@@ -1,0 +1,64 @@
+"""E1 — Theorem 4.3: sequential queries scale as Θ(n·√(νN/M)), exactly.
+
+Regenerates the theorem's quantitative content: a √N slope at fixed
+(M, ν, n), exact linearity in n at fixed (N, M, ν), fidelity pinned at 1,
+and the measured/predicted envelope ratio.
+"""
+
+import numpy as np
+
+from repro.analysis import compare_envelope, fit_power_law
+from repro.core import sample_sequential, theoretical_sequential_queries
+from repro.database import DistributedDatabase, Multiset
+
+UNIVERSES = (64, 256, 1024, 4096)
+MACHINES = (1, 2, 4)
+
+
+def _instance(n_univ: int, n_machines: int) -> DistributedDatabase:
+    shards = [Multiset(n_univ, {0: 1, 1: 1})] + [
+        Multiset.empty(n_univ) for _ in range(n_machines - 1)
+    ]
+    return DistributedDatabase.from_shards(shards, nu=1)
+
+
+def test_e01_sequential_scaling(benchmark, report):
+    rows = []
+    by_universe = {}
+    for n_univ in UNIVERSES:
+        for n in MACHINES:
+            db = _instance(n_univ, n)
+            result = sample_sequential(db, backend="subspace")
+            predicted = theoretical_sequential_queries(n, n_univ, db.total_count, db.nu)
+            rows.append(
+                [
+                    n_univ,
+                    n,
+                    result.sequential_queries,
+                    round(predicted, 1),
+                    f"{result.sequential_queries / predicted:.3f}",
+                    f"{result.fidelity:.12f}",
+                ]
+            )
+            by_universe.setdefault(n, []).append(result.sequential_queries)
+
+    fit = fit_power_law(UNIVERSES, by_universe[2])
+    measured_all = [r[2] for r in rows]
+    predicted_all = [float(r[3]) for r in rows]
+    envelope = compare_envelope(measured_all, predicted_all)
+
+    assert abs(fit.slope - 0.5) < 0.1, f"√N slope violated: {fit.slope}"
+    assert envelope.within_constant(1.5), "envelope drifted beyond a constant"
+    # Linearity in n at fixed N (N = 1024).
+    at_1024 = [r[2] for r in rows if r[0] == 1024]
+    assert at_1024[1] == 2 * at_1024[0] and at_1024[2] == 4 * at_1024[0]
+
+    report(
+        "E01",
+        f"Thm 4.3: sequential queries Θ(n√(νN/M)); fitted √N slope = {fit.slope:.3f}",
+        ["N", "n", "queries", "nπ√(νN/M)", "ratio", "fidelity"],
+        rows,
+        payload={"slope": fit.slope, "r_squared": fit.r_squared},
+    )
+
+    benchmark(lambda: sample_sequential(_instance(1024, 2), backend="subspace"))

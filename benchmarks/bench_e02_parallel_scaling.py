@@ -1,0 +1,63 @@
+"""E2 — Theorem 4.5: parallel rounds Θ(√(νN/M)), independent of n."""
+
+import numpy as np
+
+from repro.analysis import compare_envelope, fit_power_law
+from repro.core import sample_parallel, theoretical_parallel_rounds
+from repro.database import DistributedDatabase, Multiset
+
+UNIVERSES = (64, 256, 1024, 4096)
+MACHINES = (1, 2, 4, 8)
+
+
+def _instance(n_univ: int, n_machines: int) -> DistributedDatabase:
+    shards = [Multiset(n_univ, {0: 1, 1: 1})] + [
+        Multiset.empty(n_univ) for _ in range(n_machines - 1)
+    ]
+    return DistributedDatabase.from_shards(shards, nu=1)
+
+
+def test_e02_parallel_scaling(benchmark, report):
+    rows = []
+    rounds_vs_universe = []
+    for n_univ in UNIVERSES:
+        result = sample_parallel(_instance(n_univ, 2))
+        predicted = theoretical_parallel_rounds(n_univ, 2, 1)
+        rounds_vs_universe.append(result.parallel_rounds)
+        rows.append(
+            [
+                n_univ,
+                2,
+                result.parallel_rounds,
+                round(predicted, 1),
+                f"{result.parallel_rounds / predicted:.3f}",
+                f"{result.fidelity:.12f}",
+            ]
+        )
+
+    rounds_vs_machines = []
+    for n in MACHINES:
+        result = sample_parallel(_instance(1024, n))
+        rounds_vs_machines.append(result.parallel_rounds)
+        rows.append(
+            [1024, n, result.parallel_rounds, "-", "-", f"{result.fidelity:.12f}"]
+        )
+
+    fit = fit_power_law(UNIVERSES, rounds_vs_universe)
+    assert abs(fit.slope - 0.5) < 0.1, f"√N slope violated: {fit.slope}"
+    assert len(set(rounds_vs_machines)) == 1, "rounds must not depend on n"
+    envelope = compare_envelope(
+        rounds_vs_universe,
+        [theoretical_parallel_rounds(u, 2, 1) for u in UNIVERSES],
+    )
+    assert envelope.within_constant(1.5)
+
+    report(
+        "E02",
+        f"Thm 4.5: parallel rounds Θ(√(νN/M)), n-free; fitted slope = {fit.slope:.3f}",
+        ["N", "n", "rounds", "2π√(νN/M)", "ratio", "fidelity"],
+        rows,
+        payload={"slope": fit.slope, "rounds_vs_machines": rounds_vs_machines},
+    )
+
+    benchmark(lambda: sample_parallel(_instance(1024, 4)))

@@ -1,0 +1,49 @@
+"""E5 — Eq. (7): D|π,0⟩ has good amplitude exactly √(M/νN)."""
+
+import numpy as np
+
+from repro.core import DirectDistributingOperator, initial_decomposition
+from repro.database import partition, zipf_dataset
+from repro.qsim import RegisterLayout, StateVector, uniform_state
+
+
+def test_e05_initial_overlap(benchmark, report):
+    rows = []
+    for seed, (n_univ, total, nu) in enumerate(
+        [(16, 8, 2), (32, 12, 3), (64, 20, 4), (128, 16, 2)]
+    ):
+        dataset = zipf_dataset(n_univ, total, rng=seed)
+        nu_actual = max(nu, dataset.max_multiplicity())
+        db = partition(dataset, 2, strategy="round_robin", nu=nu_actual)
+
+        layout = RegisterLayout.of(i=n_univ, w=2)
+        amps = np.zeros((n_univ, 2), dtype=np.complex128)
+        amps[:, 0] = uniform_state(n_univ)
+        state = StateVector.from_array(layout, amps)
+        DirectDistributingOperator(db).apply(state)
+
+        measured_good = float(np.sqrt(state.probability_of({"w": 0})))
+        predicted_good = float(np.sqrt(db.initial_overlap()))
+        decomp = initial_decomposition(db)
+        rows.append(
+            [
+                n_univ,
+                db.total_count,
+                db.nu,
+                f"{measured_good:.10f}",
+                f"{predicted_good:.10f}",
+                f"{abs(measured_good - predicted_good):.2e}",
+            ]
+        )
+        assert abs(measured_good - predicted_good) < 1e-12
+        assert decomp.overlap == db.initial_overlap()
+
+    report(
+        "E05",
+        "Eq. (7): good amplitude of D|π,0⟩ equals √(M/νN) exactly",
+        ["N", "M", "ν", "measured √a", "√(M/νN)", "|Δ|"],
+        rows,
+    )
+
+    bench_db = partition(zipf_dataset(256, 64, rng=9), 2)
+    benchmark(lambda: initial_decomposition(bench_db))

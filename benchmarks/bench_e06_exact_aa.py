@@ -1,0 +1,44 @@
+"""E6 — zero-error amplitude amplification vs plain Grover.
+
+The paper's algorithms are exact because of the BHMT final partial
+iterate.  This bench sweeps the overlap and reports the failure
+probability of the best fixed-iterate Grover schedule next to the exact
+schedule's (identically zero).
+"""
+
+import numpy as np
+
+from repro.core import plain_grover_plan, solve_plan, success_probability
+
+
+def test_e06_exact_aa(benchmark, report):
+    rows = []
+    worst_plain = 0.0
+    for overlap in (0.001, 0.004, 0.013, 0.05, 0.11, 0.23, 0.4, 0.77):
+        exact = solve_plan(overlap)
+        plain = plain_grover_plan(overlap)
+        exact_failure = 1.0 - success_probability(exact)
+        plain_failure = 1.0 - success_probability(plain)
+        worst_plain = max(worst_plain, plain_failure)
+        rows.append(
+            [
+                overlap,
+                exact.grover_reps,
+                int(exact.needs_final),
+                f"{exact_failure:.2e}",
+                f"{plain_failure:.2e}",
+            ]
+        )
+        assert exact_failure < 1e-10
+
+    assert worst_plain > 1e-4, "plain Grover should visibly miss somewhere"
+
+    report(
+        "E06",
+        "BHMT Thm 4 schedule: exact landing (failure = 0) vs plain Grover's residual",
+        ["overlap a", "m", "final step?", "exact failure", "plain failure"],
+        rows,
+        payload={"worst_plain_failure": worst_plain},
+    )
+
+    benchmark(lambda: solve_plan(0.0007))

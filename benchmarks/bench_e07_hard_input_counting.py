@@ -1,0 +1,35 @@
+"""E7 — Lemma 5.6: |T| = C(N, m_k), verified by exhaustive enumeration."""
+
+from math import comb
+
+from repro.lowerbound import HardInputFamily, lemma_5_6_size, make_hard_input
+
+
+def test_e07_hard_input_counting(benchmark, report):
+    rows = []
+    for n_univ, m_k in [(5, 2), (6, 2), (6, 3), (7, 3), (8, 2)]:
+        base = make_hard_input(
+            universe=n_univ, n_machines=2, k=0, support_size=m_k, multiplicity=2
+        )
+        family = HardInputFamily(base, k=0)
+        members = list(family.enumerate_members())
+        distinct = {
+            tuple(member.machine(0).shard.support()) for member in members
+        }
+        rows.append(
+            [n_univ, m_k, len(members), len(distinct), comb(n_univ, m_k)]
+        )
+        assert len(members) == comb(n_univ, m_k) == family.size()
+        assert len(distinct) == len(members), "members must be pairwise distinct"
+        assert lemma_5_6_size(n_univ, m_k) == comb(n_univ, m_k)
+
+    report(
+        "E07",
+        "Lemma 5.6: hard-input family size equals C(N, m_k) (exhaustive check)",
+        ["N", "m_k", "enumerated", "distinct", "C(N, m_k)"],
+        rows,
+    )
+
+    base = make_hard_input(universe=8, n_machines=2, k=0, support_size=3, multiplicity=2)
+    family = HardInputFamily(base, k=0)
+    benchmark(lambda: sum(1 for _ in family.enumerate_members()))

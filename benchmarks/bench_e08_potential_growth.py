@@ -1,0 +1,49 @@
+"""E8 — Lemma 5.8/5.10: the potential obeys D_t ≤ 4(m_k/N)t²,
+and Lemma 5.7: it must end above C·M_k/M."""
+
+import numpy as np
+
+from repro.lowerbound import HardInputFamily, make_hard_input, potential_curve
+
+
+def test_e08_potential_growth(benchmark, report):
+    base = make_hard_input(
+        universe=12, n_machines=2, k=0, support_size=3, multiplicity=2
+    )
+    family = HardInputFamily(base, k=0)
+    curve = potential_curve(family, sample_size=10, rng=0)
+
+    rows = []
+    for t, measured, bound in zip(curve.t, curve.measured, curve.bound):
+        rows.append(
+            [
+                int(t),
+                f"{measured:.5f}",
+                f"{bound:.5f}",
+                "≤" if measured <= bound + 1e-9 else "VIOLATED",
+            ]
+        )
+
+    assert curve.within_bound(), "Lemma 5.8 growth bound violated"
+    assert curve.meets_requirement(), "Lemma 5.7 final requirement missed"
+
+    report(
+        "E08",
+        (
+            "Lemma 5.8: D_t ≤ 4(m_k/N)t²  +  Lemma 5.7: D_final ≥ "
+            f"{curve.final_requirement:.3f} (measured {curve.measured[-1]:.3f})"
+        ),
+        ["t (calls to machine k)", "D_t measured", "4(m_k/N)t²", "check"],
+        rows,
+        payload={
+            "final_requirement": curve.final_requirement,
+            "final_measured": float(curve.measured[-1]),
+            "sample_size": curve.sample_size,
+        },
+    )
+
+    small_base = make_hard_input(
+        universe=8, n_machines=1, k=0, support_size=2, multiplicity=1
+    )
+    small_family = HardInputFamily(small_base, k=0)
+    benchmark(lambda: potential_curve(small_family, sample_size=3, rng=1))

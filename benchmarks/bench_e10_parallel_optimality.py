@@ -1,0 +1,61 @@
+"""E10 — Theorem 5.2: parallel rounds within a constant of max_j √(κ_j N/M)."""
+
+import numpy as np
+
+from repro.core import sample_parallel
+from repro.database import DistributedDatabase, Multiset
+from repro.lowerbound import parallel_optimality
+
+
+def _hetero_db(n_univ: int, kappas: tuple[int, ...]) -> DistributedDatabase:
+    shards = []
+    key = 0
+    for kappa in kappas:
+        counts = np.zeros(n_univ, dtype=np.int64)
+        if kappa:
+            counts[key] = kappa
+            key += 1
+        shards.append(Multiset.from_counts(counts))
+    return DistributedDatabase.from_shards(
+        shards, capacities=list(kappas), nu=max(max(kappas), 1)
+    )
+
+
+def test_e10_parallel_optimality(benchmark, report):
+    rows = []
+    ratios = []
+    for n_univ, kappas in [
+        (64, (1, 1)),
+        (256, (1, 1, 1, 1)),
+        (1024, (1, 1)),
+        (1024, (4, 1, 1)),
+        (4096, (9, 1)),
+    ]:
+        db = _hetero_db(n_univ, kappas)
+        result = sample_parallel(db)
+        rep = parallel_optimality(db, result.parallel_rounds)
+        ratios.append(rep.ratio)
+        rows.append(
+            [
+                n_univ,
+                str(kappas),
+                rep.measured,
+                f"{rep.bound_expression:.2f}",
+                f"{rep.ratio:.2f}",
+                f"{result.fidelity:.10f}",
+            ]
+        )
+
+    spread = max(ratios) / min(ratios)
+    assert spread < 3.0, f"parallel optimality ratio drifted: spread {spread}"
+
+    report(
+        "E10",
+        f"Thm 5.2: rounds/max√(κ_jN/M) stays Θ(1) — ratio spread {spread:.2f}",
+        ["N", "κ per machine", "rounds", "bound expr", "ratio", "fidelity"],
+        rows,
+        payload={"ratio_spread": spread},
+    )
+
+    db = _hetero_db(1024, (4, 1, 1))
+    benchmark(lambda: sample_parallel(db))

@@ -1,0 +1,62 @@
+"""E11 — the intro's separation: classical nN vs quantum Θ(n√(νN/M)),
+plus the classical-output fidelity ceiling max_i c_i/M."""
+
+import numpy as np
+
+from repro.analysis import find_crossover
+from repro.baselines import ClassicalExactCoordinator, classical_mixture_fidelity
+from repro.core import sample_sequential
+from repro.database import DistributedDatabase, Multiset
+
+
+def _db(n_univ: int, total: int, n_machines: int = 2) -> DistributedDatabase:
+    counts = np.zeros(n_univ, dtype=np.int64)
+    counts[:total] = 1
+    shards = [Multiset.from_counts(counts)] + [
+        Multiset.empty(n_univ) for _ in range(n_machines - 1)
+    ]
+    return DistributedDatabase.from_shards(shards, nu=1)
+
+
+def test_e11_classical_separation(benchmark, report):
+    rows = []
+    for n_univ in (64, 256, 1024, 4096):
+        db = _db(n_univ, total=4)
+        classical = ClassicalExactCoordinator(db)
+        quantum = sample_sequential(db, backend="subspace")
+        rows.append(
+            [
+                n_univ,
+                classical.query_cost(),
+                quantum.sequential_queries,
+                f"{classical.query_cost() / quantum.sequential_queries:.1f}×",
+                f"{classical_mixture_fidelity(db):.4f}",
+                f"{quantum.fidelity:.6f}",
+            ]
+        )
+        # Quantum wins on queries and on achievable fidelity.
+        assert quantum.sequential_queries < classical.query_cost()
+        assert classical_mixture_fidelity(db) < 9 / 16 < quantum.fidelity
+
+    # Where does n·N overtake nπ√(νN/M)?  (M = 4, ν = 1, n = 2.)
+    crossing = find_crossover(
+        lambda x: 2 * x,
+        lambda x: 2 * np.pi * np.sqrt(x / 4.0),
+        lo=1.0,
+        hi=1e6,
+    )
+    assert crossing is not None and crossing < 64
+
+    report(
+        "E11",
+        (
+            "Intro separation: classical nN vs quantum Θ(n√(νN/M)); classical "
+            f"mixture fidelity ≤ max c_i/M; cost crossover at N ≈ {crossing:.1f}"
+        ),
+        ["N", "classical queries", "quantum queries", "advantage", "classical F ceil", "quantum F"],
+        rows,
+        payload={"crossover_N": crossing},
+    )
+
+    db = _db(1024, 4)
+    benchmark(lambda: ClassicalExactCoordinator(db).run())

@@ -1,0 +1,40 @@
+"""E12 — footnote 1: no unitary combines per-machine samples; the best
+physical linear map degrades with N."""
+
+from repro.baselines import BestLinearCombiner, inner_product_violation, no_go_gap
+
+
+def test_e12_no_go_combiner(benchmark, report):
+    inp, out = inner_product_violation(universe=4)
+    rows = []
+    prev_gap = -1.0
+    for n_univ in (3, 4, 6, 8, 12, 16):
+        assessment = BestLinearCombiner(n_univ).assess()
+        gap = 1.0 - assessment.worst_fidelity
+        rows.append(
+            [
+                n_univ,
+                assessment.pairs,
+                f"{assessment.worst_fidelity:.4f}",
+                f"{assessment.mean_fidelity:.4f}",
+                f"{gap:.4f}",
+            ]
+        )
+        assert gap > prev_gap - 1e-12, "gap should not shrink with N"
+        prev_gap = gap
+
+    assert inp == 0.0 and abs(out - 0.5) < 1e-9
+    assert no_go_gap(16) > 1 - 9 / 16, "combiner must fall below the 9/16 threshold"
+
+    report(
+        "E12",
+        (
+            "Footnote 1 no-go: inputs orthogonal (⟨·,·⟩ = 0) but demanded outputs "
+            "overlap (1/2); best isometric combiner fidelity collapses with N"
+        ),
+        ["N", "pairs", "worst fidelity", "mean fidelity", "gap (1 − worst)"],
+        rows,
+        payload={"violation": [inp, out]},
+    )
+
+    benchmark(lambda: BestLinearCombiner(16).assess())

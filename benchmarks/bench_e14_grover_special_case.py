@@ -1,0 +1,41 @@
+"""E14 — Grover [12] recovered: single marked key, ν = 1, exact find in
+~(π/4)√N iterations."""
+
+import numpy as np
+
+from repro.analysis import fit_power_law
+from repro.baselines import run_grover_search
+
+
+def test_e14_grover_special_case(benchmark, report):
+    rows = []
+    sizes = (16, 64, 256, 1024)
+    iterations = []
+    for n_univ in sizes:
+        result = run_grover_search(n_univ, marked=n_univ // 2)
+        iterations.append(result.iterations)
+        textbook = (np.pi / 4) * np.sqrt(n_univ)
+        rows.append(
+            [
+                n_univ,
+                result.iterations,
+                f"{textbook:.1f}",
+                result.sequential_queries,
+                f"{result.found_probability:.12f}",
+            ]
+        )
+        assert result.found_probability > 1 - 1e-9
+        assert abs(result.iterations - textbook) <= 2
+
+    fit = fit_power_law(sizes, iterations)
+    assert abs(fit.slope - 0.5) < 0.1
+
+    report(
+        "E14",
+        f"Grover special case: exact find, iterations ≈ (π/4)√N (slope {fit.slope:.3f})",
+        ["N", "iterations", "(π/4)√N", "oracle calls", "P(find marked)"],
+        rows,
+        payload={"slope": fit.slope},
+    )
+
+    benchmark(lambda: run_grover_search(1024, marked=7))

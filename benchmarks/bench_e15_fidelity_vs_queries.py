@@ -1,0 +1,49 @@
+"""E15 — the Zalka-style trade-off: fidelity vs query budget follows
+sin²((2m+1)θ), the algorithmic mirror of the t² potential growth."""
+
+import numpy as np
+
+from repro.database import DistributedDatabase, Multiset
+from repro.lowerbound import truncated_fidelity_curve
+
+
+def _db() -> DistributedDatabase:
+    return DistributedDatabase.from_shards(
+        [Multiset(128, {0: 1, 1: 1}), Multiset(128, {5: 2})], nu=2
+    )
+
+
+def test_e15_fidelity_vs_queries(benchmark, report):
+    db = _db()
+    curve = truncated_fidelity_curve(db)
+    rows = []
+    for m, queries, measured, predicted in zip(
+        curve.iterations,
+        curve.sequential_queries,
+        curve.fidelity,
+        curve.predicted_fidelity,
+    ):
+        rows.append(
+            [
+                int(m),
+                int(queries),
+                f"{measured:.6f}",
+                f"{predicted:.6f}",
+                f"{abs(measured - predicted):.2e}",
+            ]
+        )
+        assert abs(measured - predicted) < 1e-9
+
+    # Early regime is quadratic in the budget: F(m)/F(0) ≈ (2m+1)².
+    early_ratio = curve.fidelity[1] / curve.fidelity[0]
+    assert 5.0 < early_ratio < 9.5  # (2·1+1)² = 9, shaved by sin curvature
+
+    report(
+        "E15",
+        "Fidelity vs query budget: measured = sin²((2m+1)θ) exactly (quadratic onset)",
+        ["iterations m", "sequential queries", "fidelity", "sin²((2m+1)θ)", "|Δ|"],
+        rows,
+        payload={"early_ratio": float(early_ratio)},
+    )
+
+    benchmark(lambda: truncated_fidelity_curve(_db()))

@@ -1,0 +1,65 @@
+"""E16 — substrate sanity: statevector kernel throughput.
+
+Not a paper claim — this is the profiling discipline the HPC guides ask
+for: know where simulation time goes, keep the hot kernels vectorized.
+Each kernel is timed on a sampling-sized state (N = 4096, ν = 7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.database import round_robin, sparse_support_dataset
+from repro.core import u_rotation_blocks
+from repro.qsim import RegisterLayout, StateVector, uniform_state
+
+
+N_UNIVERSE = 4096
+NU = 7
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return RegisterLayout.of(i=N_UNIVERSE, s=NU + 1, w=2)
+
+
+@pytest.fixture(scope="module")
+def shifts():
+    dataset = sparse_support_dataset(N_UNIVERSE, 64, multiplicity=3, rng=0)
+    return dataset.counts
+
+
+def _fresh_state(layout):
+    amps = np.zeros(layout.shape, dtype=np.complex128)
+    amps[:, 0, 0] = uniform_state(N_UNIVERSE)
+    return StateVector.from_array(layout, amps)
+
+
+def test_e16a_value_shift_kernel(benchmark, layout, shifts):
+    """The Eq. (1) oracle gather on ~65k amplitudes."""
+    state = _fresh_state(layout)
+    benchmark(lambda: state.apply_value_shift("i", "s", shifts))
+
+
+def test_e16b_controlled_rotation_kernel(benchmark, layout):
+    """The Eq. (6) count-controlled rotation."""
+    state = _fresh_state(layout)
+    blocks = u_rotation_blocks(NU)
+    benchmark(lambda: state.apply_controlled_qubit_unitary("s", "w", blocks))
+
+
+def test_e16c_projector_phase_kernel(benchmark, layout):
+    """The S_π rank-one reflection."""
+    state = _fresh_state(layout)
+    factors = {"i": uniform_state(N_UNIVERSE), "w": 0}
+    benchmark(lambda: state.apply_projector_phase(factors, -1.0))
+
+
+def test_e16d_full_sampler_medium(benchmark):
+    """End-to-end sequential sampling at production-ish scale."""
+    from repro.core import sample_sequential
+
+    dataset = sparse_support_dataset(N_UNIVERSE, 16, multiplicity=1, rng=1)
+    db = round_robin(dataset, 2, nu=2)
+    result = sample_sequential(db, backend="subspace")
+    assert result.exact
+    benchmark(lambda: sample_sequential(db, backend="subspace"))

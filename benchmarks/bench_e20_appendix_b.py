@@ -1,0 +1,56 @@
+"""E20 — Appendix B, quantitatively: the E/F decomposition of D_t.
+
+Executes the entire Lemma 5.7 proof chain on a conforming hard-input
+family (N ≥ 16·m_k so Lemma B.4's precondition holds): the Lemma B.1
+Uhlmann identity, E_t = 0 for exact runs (Lemma B.2 at ε = 0), the
+Lemma B.4 floor on F_t via Proposition B.3's overlap bound, and the
+reverse-triangle inequality (15) tying them to D_t.
+"""
+
+import numpy as np
+
+from repro.lowerbound import (
+    HardInputFamily,
+    appendix_b_decomposition,
+    make_hard_input,
+)
+
+
+def test_e20_appendix_b(benchmark, report):
+    rows = []
+    for n_univ, m_k, mult in [(32, 2, 2), (48, 3, 1), (64, 2, 3)]:
+        base = make_hard_input(
+            universe=n_univ, n_machines=2, k=0, support_size=m_k, multiplicity=mult
+        )
+        family = HardInputFamily(base, k=0)
+        decomp = appendix_b_decomposition(family, sample_size=8, rng=n_univ)
+        rows.append(
+            [
+                n_univ,
+                m_k,
+                f"{decomp.e_t:.2e}",
+                f"{decomp.f_t:.4f}",
+                f"{decomp.d_t:.4f}",
+                f"{decomp.triangle_floor:.4f}",
+                f"{decomp.lemma_b4_floor:.3f}",
+                f"{decomp.prop_b3_lhs:.4f} ≤ {decomp.prop_b3_rhs:.4f}",
+            ]
+        )
+        assert decomp.lemma_b2_holds(), "Lemma B.2 violated"
+        assert decomp.lemma_b4_holds(), "Lemma B.4 violated"
+        assert decomp.inequality_15_holds(), "inequality (15) violated"
+        assert decomp.prop_b3_holds(), "Proposition B.3 violated"
+
+    report(
+        "E20",
+        (
+            "Appendix B: E_t ≈ 0 (B.2, ε = 0), F_t ≥ M_k/2M (B.4 via Prop B.3), "
+            "D_t ≥ (√F − √E)² (ineq. 15)"
+        ),
+        ["N", "m_k", "E_t", "F_t", "D_t", "(√F−√E)²", "B.4 floor", "Prop B.3 lhs ≤ rhs"],
+        rows,
+    )
+
+    base = make_hard_input(universe=32, n_machines=1, k=0, support_size=2, multiplicity=1)
+    family = HardInputFamily(base, k=0)
+    benchmark(lambda: appendix_b_decomposition(family, sample_size=4, rng=0))

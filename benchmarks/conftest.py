@@ -1,0 +1,44 @@
+"""Shared benchmark helpers: visible reporting + JSON artifacts.
+
+Every experiment bench prints its paper-style table straight to the
+terminal (bypassing capture, so ``pytest benchmarks/ --benchmark-only``
+shows the rows next to pytest-benchmark's timing table) and archives the
+same data under ``benchmarks/_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import archive_results, experiment_table
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an experiment table unbuffered and archive its payload."""
+
+    def _report(experiment_id: str, claim: str, header, rows, payload=None) -> None:
+        rendered = experiment_table(experiment_id, claim, header, rows)
+        with capsys.disabled():
+            print("\n" + rendered)
+        archive_results(
+            experiment_id,
+            {
+                "claim": claim,
+                "header": list(header),
+                "rows": [list(map(_plain, row)) for row in rows],
+                **(payload or {}),
+            },
+        )
+
+    return _report
+
+
+def _plain(value):
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Classical vs quantum coordination: the introduction's separation.
+
+Two gaps, tabulated side by side:
+
+* **queries** — a classical coordinator must learn all n·N multiplicities
+  in the worst case; the quantum coordinator spends Θ(n√(νN/M));
+* **fidelity** — even with unlimited classical queries, a classical-
+  output coordinator caps at F ≤ max_i c_i/M against the quantum target,
+  far below the paper's 9/16 threshold for spread-out data.
+
+Run:  python examples/classical_vs_quantum.py
+"""
+
+import numpy as np
+
+from repro import sample_sequential
+from repro.analysis import find_crossover
+from repro.baselines import ClassicalExactCoordinator, classical_mixture_fidelity
+from repro.database import DistributedDatabase, Multiset
+from repro.utils import Table
+
+
+def _instance(n_univ: int, total: int = 4, n_machines: int = 2):
+    counts = np.zeros(n_univ, dtype=np.int64)
+    counts[:total] = 1
+    shards = [Multiset.from_counts(counts)] + [
+        Multiset.empty(n_univ) for _ in range(n_machines - 1)
+    ]
+    return DistributedDatabase.from_shards(shards, nu=1)
+
+
+def main() -> None:
+    table = Table(
+        "classical exact learning vs quantum sampling (n = 2, M = 4, ν = 1)",
+        ["N", "classical queries", "quantum queries", "advantage",
+         "classical F ceiling", "quantum F"],
+    )
+    for n_univ in (64, 256, 1024, 4096, 16384):
+        db = _instance(n_univ)
+        classical = ClassicalExactCoordinator(db)
+        quantum = sample_sequential(db, backend="subspace")
+        table.add_row([
+            n_univ,
+            classical.query_cost(),
+            quantum.sequential_queries,
+            f"{classical.query_cost() / quantum.sequential_queries:.0f}×",
+            f"{classical_mixture_fidelity(db):.4f}",
+            f"{quantum.fidelity:.6f}",
+        ])
+    print(table.render())
+
+    crossing = find_crossover(
+        lambda x: 2 * x,                       # classical n·N
+        lambda x: 2 * np.pi * np.sqrt(x / 4),  # quantum envelope, n=2, M=4, ν=1
+        lo=1.0,
+        hi=1e6,
+    )
+    print(
+        f"\ncost curves cross at N ≈ {crossing:.1f}: beyond a handful of keys the\n"
+        "quantum coordinator is strictly cheaper, and the gap widens as √N·... —\n"
+        "while no classical-output strategy can exceed fidelity max_i c_i/M\n"
+        "(here ≤ 0.25) against the quantum sampling state."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Dynamic databases: cheap oracle updates, always-exact resampling.
+
+Section 3's remark: a ±1 multiplicity change updates the machine's oracle
+by one elementary U/U† multiplication — no rebuild.  This script streams
+random inserts/deletes against a 2-machine database and resamples after
+each batch, printing the update bill and verifying exactness every time.
+
+Run:  python examples/dynamic_database.py
+"""
+
+import numpy as np
+
+from repro import sample_sequential
+from repro.database import (
+    DistributedDatabase,
+    Machine,
+    Multiset,
+    random_update_stream,
+)
+from repro.utils import Table
+
+
+def main() -> None:
+    machines = [
+        Machine(Multiset(16, {0: 2, 1: 1, 5: 1}), capacity=4, name="alpha"),
+        Machine(Multiset(16, {8: 1, 9: 1}), capacity=4, name="beta"),
+    ]
+    db = DistributedDatabase(machines, nu=8)
+    stream = random_update_stream(db, length=20, insert_probability=0.65, rng=2)
+    print(f"initial database: {db}")
+    print(f"update stream: {len(stream)} elementary changes\n")
+
+    table = Table(
+        "resampling through a stream of updates",
+        ["batch", "U/U† charged", "M", "top key", "fidelity", "max |Δp|"],
+    )
+    batch = 0
+    while stream.pending:
+        stream.apply_next(4)
+        batch += 1
+        if db.total_count == 0:
+            table.add_row([batch, stream.total_update_cost(), 0, "-", "(empty)", "-"])
+            continue
+        result = sample_sequential(db, backend="subspace")
+        probs = result.output_probabilities
+        expected = db.sampling_distribution()
+        table.add_row([
+            batch,
+            stream.total_update_cost(),
+            db.total_count,
+            int(np.argmax(expected)),
+            f"{result.fidelity:.12f}",
+            f"{np.abs(probs - expected).max():.2e}",
+        ])
+    print(table.render())
+    print(
+        "\nEvery batch of k elementary changes costs exactly k oracle updates\n"
+        "(one U or U† each), and resampling the refreshed oracles reproduces\n"
+        "the refreshed frequencies with fidelity 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Grover's search, recovered as a degenerate sampling instance.
+
+A database with one marked key and ν = 1 makes the sampling state |ψ⟩ the
+marked basis state itself — so the Theorem 4.3 sampler *is* an exact
+Grover search.  We sweep N, compare iteration counts against the
+textbook (π/4)√N, and show the distributed variant (marked key hidden on
+one of several machines) pays the Theorem 4.3 factor n.
+
+Run:  python examples/grover_search.py
+"""
+
+import numpy as np
+
+from repro.baselines import run_grover_search
+from repro.utils import Table
+
+
+def main() -> None:
+    table = Table(
+        "exact Grover via distributed sampling",
+        ["N", "machines", "iterations", "(π/4)√N", "oracle calls", "P(found)"],
+    )
+    for n_univ in (16, 64, 256, 1024):
+        for n_machines in (1, 4):
+            result = run_grover_search(n_univ, marked=n_univ // 3, n_machines=n_machines)
+            table.add_row([
+                n_univ,
+                n_machines,
+                result.iterations,
+                f"{(np.pi / 4) * np.sqrt(n_univ):.1f}",
+                result.sequential_queries,
+                f"{result.found_probability:.10f}",
+            ])
+    print(table.render())
+    print(
+        "\nThe marked element is found with probability exactly 1 (the BHMT\n"
+        "final partial iterate removes the usual O(1/N) Grover failure), in\n"
+        "the textbook ~(π/4)√N iterations; distributing the database over n\n"
+        "machines multiplies the oracle-call bill by n but not the iteration\n"
+        "count."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The adversary lower bound, executed: watch D_t climb inside its t² cage.
+
+Builds a hard-input family (Definition 5.5) for one machine, runs the
+*actual* Theorem 4.3 circuit against sampled members and the emptied
+reference T̃, and prints the measured potential D_t next to the Lemma 5.8
+ceiling 4(m_k/N)t² and the Lemma 5.7 floor it must reach by the end.
+
+Run:  python examples/lower_bound_demo.py
+"""
+
+from repro.lowerbound import (
+    HardInputFamily,
+    make_hard_input,
+    per_machine_query_floor,
+    potential_curve,
+)
+from repro.utils import Table
+
+
+def main() -> None:
+    base = make_hard_input(
+        universe=14, n_machines=2, k=0, support_size=3, multiplicity=2
+    )
+    family = HardInputFamily(base, k=0)
+    print(f"hard-input family: {family}")
+    print(f"|T| = C(N, m_k) = {family.size()} relabelings of machine 0's shard\n")
+
+    curve = potential_curve(family, sample_size=12, rng=0)
+
+    table = Table(
+        "the adversary potential D_t under the Theorem 4.3 circuit",
+        ["t (oracle calls to machine 0)", "D_t measured", "ceiling 4(m_k/N)t²", "status"],
+    )
+    for t, measured, bound in zip(curve.t, curve.measured, curve.bound):
+        table.add_row([
+            int(t),
+            f"{measured:.5f}",
+            f"{bound:.5f}",
+            "inside" if measured <= bound + 1e-9 else "VIOLATION",
+        ])
+    print(table.render())
+
+    print(f"\nLemma 5.7 floor for an exact sampler: D_final ≥ {curve.final_requirement:.3f}")
+    print(f"measured D_final = {curve.measured[-1]:.3f}  →  "
+          f"{'requirement met' if curve.meets_requirement() else 'REQUIREMENT MISSED'}")
+
+    floor = per_machine_query_floor(base, k=0)
+    t_k = int(curve.t[-1])
+    print(
+        f"\nEq. (13): any exact oblivious algorithm needs t_k ≥ {floor:.2f} calls\n"
+        f"to machine 0; the Theorem 4.3 circuit used t_k = {t_k} — the squeeze\n"
+        f"between the t² ceiling and the constant floor is the whole proof."
+    )
+
+
+if __name__ == "__main__":
+    main()

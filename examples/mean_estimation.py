@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Application: estimate a mean over distributed data, quadratically faster.
+
+The scenario the paper's introduction gestures at: records live on many
+machines; an analyst wants ``E[f(record)]`` (say, average risk score of a
+sampled inventory item) without shipping the data anywhere.  Quantum mean
+estimation runs amplitude estimation on top of the distributed sampler:
+``ε`` precision for ``O((1/ε)·n√(νN/M))`` oracle calls, where classical
+Monte Carlo pays ``Θ(1/ε²)`` record lookups.
+
+Run:  python examples/mean_estimation.py
+"""
+
+import numpy as np
+
+from repro.apps import classical_monte_carlo_shots, estimate_mean
+from repro.apps.mean_estimation import true_mean
+from repro.database import round_robin, zipf_dataset
+from repro.utils import Table
+
+
+def main() -> None:
+    db = round_robin(zipf_dataset(32, 60, exponent=1.2, rng=5), n_machines=3)
+    gen = np.random.default_rng(11)
+    scores = gen.uniform(0, 1, size=db.universe)  # f: key → risk score in [0,1]
+    mu = true_mean(db, scores)
+    print(f"database: {db}")
+    print(f"true mean score μ = {mu:.6f}\n")
+
+    table = Table(
+        "precision vs budget: quantum amplitude estimation vs classical Monte Carlo",
+        ["phase bits", "μ̂", "|μ̂ − μ|", "ε guarantee", "quantum oracle calls",
+         "classical samples @ε", "advantage"],
+    )
+    for p_bits in (4, 6, 8, 10, 12):
+        est = estimate_mean(db, scores, precision_bits=p_bits, shots=9, rng=0)
+        epsilon = max(est.error_bound, 1e-9)
+        classical = classical_monte_carlo_shots(epsilon)
+        table.add_row([
+            p_bits,
+            f"{est.value:.6f}",
+            f"{est.error:.2e}",
+            f"{epsilon:.2e}",
+            est.sequential_queries,
+            classical,
+            f"{classical / est.sequential_queries:.1f}×",
+        ])
+    print(table.render())
+    print(
+        "\nEach extra phase bit halves ε and merely doubles the quantum bill,\n"
+        "while the classical Monte Carlo budget quadruples.  The quantum\n"
+        "constant carries the full n√(νN/M) sampler cost, so classical wins\n"
+        "at coarse precision — the advantage column crosses 1× once ε drops\n"
+        "below ~1/(quantum constant), and grows without bound after that:\n"
+        "the quadratic separation that makes quantum sampling worth\n"
+        "distributing shows up only at high precision, exactly as the\n"
+        "asymptotics predict."
+    )
+
+
+if __name__ == "__main__":
+    main()

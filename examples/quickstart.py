@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: sample a distributed database with zero error.
+
+Builds a small dataset, shards it over three machines, runs both the
+sequential (Theorem 4.3) and parallel (Theorem 4.5) samplers, and shows
+that the output state encodes the database frequencies exactly — with the
+query bill itemized per machine.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import sample_parallel, sample_sequential
+from repro.database import round_robin, zipf_dataset
+from repro.qsim import sample_register
+from repro.utils import Table
+
+
+def main() -> None:
+    # A Zipf-skewed dataset of 60 records over a universe of 16 keys,
+    # dealt round-robin onto 3 machines.
+    dataset = zipf_dataset(universe=16, total=60, exponent=1.3, rng=7)
+    db = round_robin(dataset, n_machines=3)
+    print(f"database: {db}")
+    print(f"public parameters: {db.public_parameters()}\n")
+
+    # --- sequential queries (Theorem 4.3) -------------------------------------
+    seq = sample_sequential(db)
+    print(f"sequential sampler:   fidelity = {seq.fidelity:.12f} (exact={seq.exact})")
+    print(f"  oracle calls: {seq.sequential_queries} "
+          f"(= 2n × {seq.plan.d_applications} D-applications)")
+    print(f"  per machine:  {seq.ledger.per_machine()}")
+
+    # --- parallel queries (Theorem 4.5) ---------------------------------------
+    par = sample_parallel(db)
+    print(f"parallel sampler:     fidelity = {par.fidelity:.12f} (exact={par.exact})")
+    print(f"  rounds: {par.parallel_rounds} (= 4 × {par.plan.d_applications}) — "
+          f"{db.n_machines / 2:.1f}× fewer than sequential calls\n")
+
+    # --- the state really samples the data -------------------------------------
+    shots = 6000
+    outcomes = sample_register(seq.final_state, "i", shots=shots, rng=1)
+    empirical = np.bincount(outcomes, minlength=db.universe) / shots
+
+    table = Table("measured vs database frequencies (top 8 keys)",
+                  ["key", "c_i", "c_i/M", "measured"])
+    order = np.argsort(-db.joint_counts)[:8]
+    for key in order:
+        table.add_row([
+            int(key),
+            int(db.joint_counts[key]),
+            float(db.sampling_distribution()[key]),
+            float(empirical[key]),
+        ])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Skewed sharding: when machines are unbalanced, which model wins?
+
+The motivating scenario of the paper's introduction — data too large for
+one quantum store, spread unevenly over machines.  We sweep sharding
+skew and machine count and tabulate the sequential-vs-parallel query
+bill, plus the per-machine lower-bound expressions of Theorems 5.1/5.2.
+
+Run:  python examples/skewed_shards.py
+"""
+
+from repro import sample_parallel, sample_sequential
+from repro.database import skewed_sizes, sparse_support_dataset
+from repro.lowerbound import parallel_bound_expression, sequential_bound_expression
+from repro.utils import Table
+
+
+def main() -> None:
+    dataset = sparse_support_dataset(universe=256, support_size=24, multiplicity=2, rng=3)
+    print(f"dataset: N = {dataset.universe}, M = {dataset.cardinality()}, "
+          f"support = {dataset.support_size()}\n")
+
+    table = Table(
+        "sequential vs parallel across sharding regimes",
+        ["n", "skew", "M_j sizes", "seq queries", "par rounds",
+         "Σ√(κ_jN/M)", "max√(κ_jN/M)", "fidelity"],
+    )
+    for n_machines in (2, 4, 8):
+        for skew in (0.0, 2.0):
+            db = skewed_sizes(dataset, n_machines, skew=skew, rng=11)
+            seq = sample_sequential(db, backend="subspace")
+            par = sample_parallel(db)
+            sizes = ",".join(str(s) for s in db.machine_sizes)
+            table.add_row([
+                n_machines,
+                skew,
+                sizes,
+                seq.sequential_queries,
+                par.parallel_rounds,
+                round(sequential_bound_expression(db), 1),
+                round(parallel_bound_expression(db), 1),
+                f"{min(seq.fidelity, par.fidelity):.9f}",
+            ])
+    print(table.render())
+    print(
+        "\nReading the table: parallel rounds are flat in n (Theorem 4.5), the\n"
+        "sequential bill grows as Θ(n) (Theorem 4.3), and both sit a constant\n"
+        "above their matching lower-bound expressions — on every regime, the\n"
+        "fidelity is exactly 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

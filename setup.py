@@ -1,0 +1,26 @@
+"""Legacy setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so the
+offline environment (no ``wheel`` package) can still do
+``pip install -e . --no-build-isolation`` through the legacy
+``setup.py develop`` path.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Optimal quantum sampling on distributed databases' "
+        "(Chen, Liu, Yao; SPAA 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23", "scipy>=1.9"],
+    extras_require={
+        "test": ["pytest>=7", "pytest-benchmark>=4", "hypothesis>=6"],
+        "analysis": ["networkx>=3"],
+    },
+)

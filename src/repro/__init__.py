@@ -1,0 +1,100 @@
+"""repro — reproduction of *Optimal quantum sampling on distributed databases*.
+
+Chen, Liu, Yao (SPAA 2025; arXiv:2506.07724).
+
+A dataset is sharded across ``n`` machines, each exposing only the
+counting oracle ``O_j|i⟩|s⟩ = |i⟩|(s + c_ij) mod (ν+1)⟩``.  This library
+implements the paper's sequential (``Θ(n√(νN/M))`` queries) and parallel
+(``Θ(√(νN/M))`` rounds) zero-error quantum sampling algorithms on an
+exact register-level simulator, plus the full Section 5 lower-bound
+machinery, baselines and an experiment harness.
+
+Quickstart
+----------
+>>> from repro import sample_sequential
+>>> from repro.database import uniform_dataset, round_robin
+>>> db = round_robin(uniform_dataset(16, 32, rng=0), n_machines=2)
+>>> result = sample_sequential(db)
+>>> result.exact                      # the zero-error guarantee
+True
+>>> result.sequential_queries == result.ledger.sequential_queries
+True
+
+Subpackages
+-----------
+:mod:`repro.qsim`
+    Exact qudit-register statevector simulator.
+:mod:`repro.circuits`
+    Gate-level qubit backend (cross-validation substrate).
+:mod:`repro.database`
+    Multisets, machines, oracles, ledgers, partitions, workloads.
+:mod:`repro.core`
+    The samplers, the distributing operator, zero-error amplitude
+    amplification, cost formulas, oblivious schedules.
+:mod:`repro.lowerbound`
+    Hard inputs, the adversary potential, optimality checks (Section 5).
+:mod:`repro.baselines`
+    Classical coordinator, centralized sampler, the no-go combiner,
+    Grover as a special case.
+:mod:`repro.analysis`
+    Scaling fits, statistics, sweeps and report tables.
+"""
+
+from .config import CONFIG, NumericsConfig, strict_mode
+from .core import (
+    AmplificationPlan,
+    ParallelSampler,
+    SamplingResult,
+    SequentialSampler,
+    sample_parallel,
+    sample_sequential,
+    solve_plan,
+    target_state,
+)
+from .database import (
+    DistributedDatabase,
+    Machine,
+    Multiset,
+    QueryLedger,
+    partition,
+)
+from .errors import (
+    CapacityError,
+    EmptyDatabaseError,
+    NotUnitaryError,
+    ObliviousnessError,
+    PlanInfeasibleError,
+    ReproError,
+    SimulationLimitError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CONFIG",
+    "AmplificationPlan",
+    "CapacityError",
+    "DistributedDatabase",
+    "EmptyDatabaseError",
+    "Machine",
+    "Multiset",
+    "NotUnitaryError",
+    "NumericsConfig",
+    "ObliviousnessError",
+    "ParallelSampler",
+    "PlanInfeasibleError",
+    "QueryLedger",
+    "ReproError",
+    "SamplingResult",
+    "SequentialSampler",
+    "SimulationLimitError",
+    "ValidationError",
+    "__version__",
+    "partition",
+    "sample_parallel",
+    "sample_sequential",
+    "solve_plan",
+    "strict_mode",
+    "target_state",
+]

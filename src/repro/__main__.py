@@ -1,0 +1,150 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart pipeline on a small Zipf instance and print the
+    full report (plan, query bill, certificate).
+``sample``
+    Sample a synthetic database with chosen parameters; flags:
+    ``--universe --total --machines --model --strategy --seed``.
+``estimate``
+    Quantum-counting demo: estimate M without reading it.
+``experiments``
+    List the experiment benches and the paper claim each regenerates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.verify import certify_run
+from .core import ParallelSampler, SequentialSampler, estimate_overlap
+from .database import partition, zipf_dataset
+from .utils import Table
+
+_EXPERIMENTS = [
+    ("E01", "Thm 4.3 — sequential queries Θ(n√(νN/M))", "bench_e01_sequential_scaling"),
+    ("E02", "Thm 4.5 — parallel rounds Θ(√(νN/M)), n-free", "bench_e02_parallel_scaling"),
+    ("E03", "Lemma 4.2 — D from exactly 2n oracle calls", "bench_e03_distributing_operator"),
+    ("E04", "Lemma 4.4 — parallel D in 4 rounds, honest ancillas", "bench_e04_parallel_oracle"),
+    ("E05", "Eq. (7) — initial good amplitude √(M/νN)", "bench_e05_initial_overlap"),
+    ("E06", "BHMT Thm 4 — zero-error landing vs plain Grover", "bench_e06_exact_aa"),
+    ("E07", "Lemma 5.6 — |T| = C(N, m_k)", "bench_e07_hard_input_counting"),
+    ("E08", "Lemmas 5.7/5.8 — potential floor and t² ceiling", "bench_e08_potential_growth"),
+    ("E09", "Thm 5.1 — sequential optimality ratio Θ(1)", "bench_e09_optimality_gap"),
+    ("E10", "Thm 5.2 — parallel optimality ratio Θ(1)", "bench_e10_parallel_optimality"),
+    ("E11", "Intro — classical nN vs quantum separation", "bench_e11_classical_separation"),
+    ("E12", "Footnote 1 — no-go for sample combiners", "bench_e12_no_go_combiner"),
+    ("E13", "§3 — dynamic updates at unit oracle cost", "bench_e13_dynamic_updates"),
+    ("E14", "Grover recovered as a special case", "bench_e14_grover_special_case"),
+    ("E15", "Fidelity vs query budget (Zalka-style)", "bench_e15_fidelity_vs_queries"),
+    ("E16", "Simulator kernel throughput", "bench_e16_simulator_kernels"),
+    ("E17", "Extension — unknown M via amplitude estimation", "bench_e17_amplitude_estimation"),
+    ("E18", "Extension — capacity-aware schedule ablation", "bench_e18_capacity_aware_schedule"),
+    ("E19", "Application — quantum mean estimation speedup", "bench_e19_mean_estimation"),
+    ("E20", "Appendix B — the E/F decomposition of D_t", "bench_e20_appendix_b"),
+    ("E21", "Intro motivation — fault tolerance via replication", "bench_e21_fault_tolerance"),
+]
+
+
+def _build_db(args: argparse.Namespace):
+    dataset = zipf_dataset(args.universe, args.total, exponent=1.2, rng=args.seed)
+    return partition(dataset, args.machines, strategy=args.strategy, rng=args.seed)
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    parser = argparse.Namespace(
+        universe=16, total=40, machines=3, strategy="round_robin", seed=7
+    )
+    db = _build_db(parser)
+    print(f"database: {db}\n")
+    result = SequentialSampler(db).run()
+    print(f"plan: m = {result.plan.grover_reps} Grover iterates"
+          f"{' + final partial' if result.plan.needs_final else ''}"
+          f" at θ = {result.plan.theta:.4f}")
+    print(f"queries: {result.sequential_queries} sequential "
+          f"({result.ledger.per_machine()} per machine)\n")
+    print(certify_run(result, db, rng=0).render())
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    sampler = (
+        SequentialSampler(db) if args.model == "sequential" else ParallelSampler(db)
+    )
+    result = sampler.run()
+    table = Table(
+        f"{args.model} sampling of {db!r}",
+        ["metric", "value"],
+    )
+    for key, value in result.summary().items():
+        if key == "public_parameters":
+            continue
+        table.add_row([key, str(value)])
+    print(table.render())
+    return 0 if result.exact else 1
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    db = _build_db(args)
+    estimate = estimate_overlap(db, precision_bits=args.bits, shots=9, rng=args.seed)
+    print(f"true  M = {db.total_count}   (a = {db.initial_overlap():.6f})")
+    print(f"est.  M̂ = {estimate.m_hat:.2f} → {estimate.m_hat_rounded()}"
+          f"   (â = {estimate.a_hat:.6f} ± {estimate.error_bound:.6f})")
+    print(f"cost: {estimate.sequential_queries} sequential oracle calls "
+          f"({estimate.grover_applications} Grover iterates × {estimate.shots} shots)")
+    return 0
+
+
+def _cmd_experiments(_args: argparse.Namespace) -> int:
+    table = Table("experiment harness (pytest benchmarks/ --benchmark-only)",
+                  ["id", "claim", "bench module"])
+    for row in _EXPERIMENTS:
+        table.add_row(list(row))
+    print(table.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("demo", help="run the quickstart pipeline")
+
+    sample = sub.add_parser("sample", help="sample a synthetic database")
+    sample.add_argument("--universe", type=int, default=32)
+    sample.add_argument("--total", type=int, default=48)
+    sample.add_argument("--machines", type=int, default=3)
+    sample.add_argument("--model", choices=["sequential", "parallel"], default="sequential")
+    sample.add_argument("--strategy", default="round_robin")
+    sample.add_argument("--seed", type=int, default=0)
+
+    estimate = sub.add_parser("estimate", help="estimate M by quantum counting")
+    estimate.add_argument("--universe", type=int, default=64)
+    estimate.add_argument("--total", type=int, default=6)
+    estimate.add_argument("--machines", type=int, default=2)
+    estimate.add_argument("--strategy", default="round_robin")
+    estimate.add_argument("--bits", type=int, default=8)
+    estimate.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("experiments", help="list the experiment harness")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "sample": _cmd_sample,
+        "estimate": _cmd_estimate,
+        "experiments": _cmd_experiments,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 2
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Analysis toolkit: scaling fits, statistics, sweeps, reporting."""
+
+from .complexity import (
+    EnvelopeComparison,
+    PowerLawFit,
+    compare_envelope,
+    find_crossover,
+    fit_power_law,
+    slope_matches,
+)
+from .report import archive_results, experiment_table, load_results, results_dir
+from .stats import (
+    GoodnessOfFit,
+    chi_square_test,
+    expected_tv_fluctuation,
+    sampling_consistent,
+    tv_distance,
+)
+from .sweep import InstanceSpec, SweepResult, grid, run_sweep
+from .verify import Certificate, CheckOutcome, certify_run
+
+__all__ = [
+    "Certificate",
+    "CheckOutcome",
+    "EnvelopeComparison",
+    "GoodnessOfFit",
+    "certify_run",
+    "InstanceSpec",
+    "PowerLawFit",
+    "SweepResult",
+    "archive_results",
+    "chi_square_test",
+    "compare_envelope",
+    "expected_tv_fluctuation",
+    "experiment_table",
+    "find_crossover",
+    "fit_power_law",
+    "grid",
+    "load_results",
+    "results_dir",
+    "run_sweep",
+    "sampling_consistent",
+    "slope_matches",
+    "tv_distance",
+]

@@ -1,0 +1,141 @@
+"""Scaling analysis: slope fits, envelope comparisons, crossovers.
+
+The theorems predict power laws — sequential queries ``∝ n·(νN/M)^{1/2}``,
+parallel rounds ``∝ (νN/M)^{1/2}`` — so the experiments fit log-log slopes
+and compare measured prefactors against the closed forms in
+:mod:`repro.core.costs`.  A crossover solver locates where one cost curve
+overtakes another (e.g. classical ``n·N`` vs quantum ``n·π√(νN/M)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import require
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Least-squares fit of ``y = C·x^slope`` in log-log space.
+
+    Attributes
+    ----------
+    slope:
+        Fitted exponent.
+    prefactor:
+        Fitted ``C``.
+    r_squared:
+        Coefficient of determination in log space.
+    """
+
+    slope: float
+    prefactor: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law."""
+        return self.prefactor * np.asarray(x, dtype=np.float64) ** self.slope
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ C·x^s``; requires positive data and ≥ 2 distinct x."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    require(x_arr.shape == y_arr.shape, "x and y must have equal length")
+    require(x_arr.size >= 2, "need at least two points")
+    if np.any(x_arr <= 0) or np.any(y_arr <= 0):
+        raise ValidationError("power-law fit needs strictly positive data")
+    if np.unique(x_arr).size < 2:
+        raise ValidationError("need at least two distinct x values")
+    lx, ly = np.log(x_arr), np.log(y_arr)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    predicted = slope * lx + intercept
+    ss_res = float(np.sum((ly - predicted) ** 2))
+    ss_tot = float(np.sum((ly - ly.mean()) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(
+        slope=float(slope), prefactor=float(np.exp(intercept)), r_squared=r_squared
+    )
+
+
+def slope_matches(fit: PowerLawFit, expected: float, tolerance: float = 0.15) -> bool:
+    """Whether the fitted exponent is within ``tolerance`` of ``expected``.
+
+    The default tolerance absorbs integer-rounding ripple in iteration
+    counts (``⌊π/(4θ) − 1/2⌋`` staircases) over small sweep ranges.
+    """
+    return bool(abs(fit.slope - expected) <= tolerance)
+
+
+@dataclass(frozen=True)
+class EnvelopeComparison:
+    """Measured values against a theoretical envelope, per point."""
+
+    ratios: np.ndarray
+
+    @property
+    def max_ratio(self) -> float:
+        """Largest measured/predicted ratio."""
+        return float(self.ratios.max())
+
+    @property
+    def min_ratio(self) -> float:
+        """Smallest measured/predicted ratio."""
+        return float(self.ratios.min())
+
+    @property
+    def spread(self) -> float:
+        """max/min ratio — 1.0 means the envelope is exact."""
+        if self.min_ratio == 0:
+            return float("inf")
+        return self.max_ratio / self.min_ratio
+
+    def within_constant(self, factor: float = 4.0) -> bool:
+        """Whether all ratios lie within a ``factor`` band (Θ-consistency)."""
+        return bool(self.spread <= factor)
+
+
+def compare_envelope(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> EnvelopeComparison:
+    """Pointwise measured/predicted ratios (both must be positive)."""
+    m_arr = np.asarray(measured, dtype=np.float64)
+    p_arr = np.asarray(predicted, dtype=np.float64)
+    require(m_arr.shape == p_arr.shape, "length mismatch")
+    if np.any(p_arr <= 0):
+        raise ValidationError("predicted values must be positive")
+    return EnvelopeComparison(ratios=m_arr / p_arr)
+
+
+def find_crossover(
+    f: Callable[[float], float],
+    g: Callable[[float], float],
+    lo: float,
+    hi: float,
+    samples: int = 256,
+) -> float | None:
+    """Smallest ``x ∈ [lo, hi]`` where ``f(x) − g(x)`` changes sign.
+
+    Scans a log-spaced grid then bisects; returns ``None`` when no sign
+    change occurs in the interval.  Used to locate e.g. the universe size
+    where the quantum sampler's cost drops below the classical ``n·N``.
+    """
+    require(lo > 0 and hi > lo, "need 0 < lo < hi")
+    xs = np.geomspace(lo, hi, samples)
+    values = np.array([f(x) - g(x) for x in xs])
+    signs = np.sign(values)
+    change = np.nonzero(np.diff(signs) != 0)[0]
+    if change.size == 0:
+        return None
+    a, b = xs[change[0]], xs[change[0] + 1]
+    for _ in range(80):
+        mid = np.sqrt(a * b)
+        if np.sign(f(mid) - g(mid)) == np.sign(f(a) - g(a)):
+            a = mid
+        else:
+            b = mid
+    return float(np.sqrt(a * b))

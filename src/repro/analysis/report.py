@@ -1,0 +1,66 @@
+"""Experiment reporting: paper-style rows, JSON archives.
+
+Each benchmark prints a table of the measured quantities next to the
+theorem predictions (the "rows the paper reports") and archives the same
+data as JSON under ``benchmarks/_results`` so EXPERIMENTS.md can be
+regenerated from artifacts rather than from memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Sequence
+
+from ..utils.tables import Table
+
+
+def experiment_table(
+    experiment_id: str,
+    claim: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render one experiment's results table with its paper claim."""
+    table = Table(f"[{experiment_id}] {claim}", header)
+    for row in rows:
+        table.add_row(row)
+    return table.render()
+
+
+def results_dir() -> str:
+    """The artifact directory (created on demand)."""
+    path = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "_results"),
+    )
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def archive_results(experiment_id: str, payload: Mapping[str, object]) -> str:
+    """Write an experiment's payload as JSON; returns the path."""
+    path = os.path.join(results_dir(), f"{experiment_id}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=_jsonify)
+    return path
+
+
+def load_results(experiment_id: str) -> dict:
+    """Read a previously archived payload."""
+    path = os.path.join(results_dir(), f"{experiment_id}.json")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _jsonify(value: object) -> object:
+    import numpy as np
+
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialize {type(value).__name__}")

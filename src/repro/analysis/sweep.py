@@ -1,0 +1,125 @@
+"""Parameter-sweep driver used by the experiment harness.
+
+A sweep is a list of instance specs (workload × partition × parameters);
+the driver materializes each instance with deterministic child seeds, runs
+a caller-supplied measurement function, and collects rows ready for
+:mod:`repro.analysis.report`.  Keeping this generic lets every benchmark
+be ~20 lines of configuration instead of bespoke loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..database.distributed import DistributedDatabase
+from ..database.partition import partition
+from ..database.workloads import WorkloadSpec
+from ..utils.rng import as_generator, spawn_seed
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """One point of a sweep: dataset recipe + sharding + capacity.
+
+    Attributes
+    ----------
+    workload:
+        The dataset recipe.
+    n_machines:
+        Number of machines to shard over.
+    strategy:
+        Partition strategy name (see :data:`repro.database.STRATEGIES`).
+    nu:
+        Optional explicit capacity ``ν`` (defaults to the tightest valid).
+    tag:
+        Free-form label carried into result rows.
+    """
+
+    workload: WorkloadSpec
+    n_machines: int
+    strategy: str = "round_robin"
+    nu: int | None = None
+    tag: str = ""
+
+    def build(self, rng: object = None) -> DistributedDatabase:
+        """Materialize the database (workload seed ⊥ partition seed)."""
+        gen = as_generator(rng)
+        dataset = self.workload.build(rng=spawn_seed(gen))
+        return partition(
+            dataset, self.n_machines, strategy=self.strategy, nu=self.nu,
+            rng=spawn_seed(gen),
+        )
+
+    def label(self) -> str:
+        """Row label: workload, sharding and machine count."""
+        suffix = f"/{self.tag}" if self.tag else ""
+        return f"{self.workload.label()}×{self.strategy}(n={self.n_machines}){suffix}"
+
+
+@dataclass
+class SweepResult:
+    """Rows produced by a sweep, with convenience columns extraction."""
+
+    rows: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        """All values of one column, in row order."""
+        return [row[key] for row in self.rows]
+
+    def filter(self, **criteria: object) -> "SweepResult":
+        """Rows matching all ``column=value`` criteria."""
+        kept = [
+            row
+            for row in self.rows
+            if all(row.get(k) == v for k, v in criteria.items())
+        ]
+        return SweepResult(rows=kept)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sweep(
+    specs: Iterable[InstanceSpec],
+    measure: Callable[[DistributedDatabase, InstanceSpec], Mapping[str, object]],
+    rng: object = None,
+) -> SweepResult:
+    """Materialize each spec and measure it; returns collected rows.
+
+    The measurement function returns a mapping of column → value; the
+    driver injects ``label``, ``n``, ``N``, ``M``, ``nu`` automatically.
+    """
+    gen = as_generator(rng)
+    result = SweepResult()
+    for spec in specs:
+        db = spec.build(rng=gen)
+        row: dict = {
+            "label": spec.label(),
+            "n": db.n_machines,
+            "N": db.universe,
+            "M": db.total_count,
+            "nu": db.nu,
+        }
+        row.update(measure(db, spec))
+        result.rows.append(row)
+    return result
+
+
+def grid(
+    workloads: Sequence[WorkloadSpec],
+    machine_counts: Sequence[int],
+    strategies: Sequence[str] = ("round_robin",),
+    nu: int | None = None,
+) -> list[InstanceSpec]:
+    """The Cartesian product of workloads × machine counts × strategies."""
+    specs = []
+    for workload in workloads:
+        for n in machine_counts:
+            for strategy in strategies:
+                specs.append(
+                    InstanceSpec(
+                        workload=workload, n_machines=n, strategy=strategy, nu=nu
+                    )
+                )
+    return specs

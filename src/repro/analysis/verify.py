@@ -1,0 +1,146 @@
+"""Run certification: machine-checkable evidence a sampling run is right.
+
+A :class:`Certificate` bundles the independent checks a downstream user
+would want before trusting a sampler (or after modifying one):
+
+1. **state fidelity** against the Eq. (4) target (exactness);
+2. **workspace cleanliness** — all non-output registers back in |0⟩;
+3. **query-accounting consistency** — ledger vs published schedule vs
+   closed-form prediction;
+4. **spectrum test** — Born-sampled outcomes pass a χ² test against
+   ``c_i/M``.
+
+The checks are deliberately redundant: a tampered oracle or a wrong
+amplification angle trips several of them at once (the failure-injection
+tests rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import CONFIG
+from ..core.result import SamplingResult
+from ..database.distributed import DistributedDatabase
+from ..qsim.measurement import sample_register
+from ..utils.rng import as_generator
+from .stats import chi_square_test
+
+
+@dataclass(frozen=True)
+class CheckOutcome:
+    """One named check: pass/fail plus a quantitative detail."""
+
+    name: str
+    passed: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """The full verification verdict for one run."""
+
+    checks: tuple[CheckOutcome, ...] = field(default_factory=tuple)
+
+    @property
+    def valid(self) -> bool:
+        """All checks passed."""
+        return all(c.passed for c in self.checks)
+
+    def failures(self) -> list[CheckOutcome]:
+        """The failed checks, if any."""
+        return [c for c in self.checks if not c.passed]
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"certificate: {'VALID' if self.valid else 'INVALID'}"]
+        for check in self.checks:
+            status = "ok " if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def certify_run(
+    result: SamplingResult,
+    db: DistributedDatabase,
+    shots: int = 4000,
+    rng: object = None,
+    significance: float = 1e-4,
+) -> Certificate:
+    """Run every check against ``result`` and the database it claims to
+    have sampled."""
+    gen = as_generator(rng)
+    checks: list[CheckOutcome] = []
+
+    # 1 — fidelity.
+    fidelity_ok = abs(result.fidelity - 1.0) <= CONFIG.fidelity_atol
+    checks.append(
+        CheckOutcome(
+            "state fidelity",
+            fidelity_ok,
+            f"F = {result.fidelity:.12f} (zero-error demands 1 ± {CONFIG.fidelity_atol})",
+        )
+    )
+
+    # 2 — workspace cleanliness.
+    workspace = {
+        name: 0 for name in result.final_state.layout.names if name != "i"
+    }
+    if workspace:
+        clean_probability = result.final_state.probability_of(workspace)
+        clean_ok = abs(clean_probability - 1.0) <= 1e-9
+    else:
+        clean_probability, clean_ok = 1.0, True
+    checks.append(
+        CheckOutcome(
+            "workspace cleared",
+            clean_ok,
+            f"P(all workspace = 0) = {clean_probability:.12f}",
+        )
+    )
+
+    # 3 — query accounting.
+    if result.model == "sequential":
+        schedule_count = result.schedule.sequential_queries()
+        ledger_count = result.ledger.sequential_queries
+    else:
+        schedule_count = result.schedule.parallel_rounds()
+        ledger_count = result.ledger.parallel_rounds
+    accounting_ok = schedule_count == ledger_count
+    checks.append(
+        CheckOutcome(
+            "query accounting",
+            accounting_ok,
+            f"schedule = {schedule_count}, ledger = {ledger_count}",
+        )
+    )
+
+    # 4 — output distribution identity (exact).
+    expected = db.sampling_distribution()
+    max_dev = float(np.abs(result.output_probabilities - expected).max())
+    dist_ok = max_dev <= 1e-9
+    checks.append(
+        CheckOutcome(
+            "output distribution",
+            dist_ok,
+            f"max |p_i − c_i/M| = {max_dev:.2e}",
+        )
+    )
+
+    # 5 — spectrum test on finite shots.
+    outcomes = sample_register(result.final_state, "i", shots=shots, rng=gen)
+    counts = np.bincount(outcomes, minlength=db.universe).astype(float)
+    # The sampled state may deviate from c_i/M if earlier checks failed;
+    # test against the *claimed* distribution so tampering shows up here.
+    try:
+        gof = chi_square_test(counts, expected)
+        spectrum_ok = gof.consistent(significance)
+        detail = f"χ² p-value = {gof.p_value:.4f} over {shots} shots"
+    except Exception as exc:  # impossible outcome ⇒ certain failure
+        spectrum_ok = False
+        detail = f"spectrum test error: {exc}"
+    checks.append(CheckOutcome("measured spectrum", spectrum_ok, detail))
+
+    return Certificate(checks=tuple(checks))

@@ -1,0 +1,22 @@
+"""Applications built on distributed quantum sampling.
+
+The paper's introduction motivates quantum sampling as the subroutine
+feeding quantum learning and estimation algorithms; this package builds
+one such consumer end-to-end on the library's public API — mean
+estimation over a distributed database with the quadratic quantum
+speedup (:mod:`repro.apps.mean_estimation`).
+"""
+
+from .mean_estimation import (
+    MeanEstimate,
+    classical_monte_carlo_shots,
+    estimate_mean,
+    mean_query_cost,
+)
+
+__all__ = [
+    "MeanEstimate",
+    "classical_monte_carlo_shots",
+    "estimate_mean",
+    "mean_query_cost",
+]

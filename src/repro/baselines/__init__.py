@@ -1,0 +1,52 @@
+"""Baselines the paper compares against (explicitly or implicitly).
+
+Classical coordinators (:mod:`~repro.baselines.classical`), the
+centralized ``n = 1`` quantum sampler (:mod:`~repro.baselines.centralized`),
+the footnote-1 no-go combiner (:mod:`~repro.baselines.naive_combiner`)
+and Grover search as a degenerate instance
+(:mod:`~repro.baselines.grover`).
+"""
+
+from .centralized import CentralizedSampler, centralize, distribution_overhead
+from .classical import (
+    ClassicalExactCoordinator,
+    ClassicalRunResult,
+    classical_beats_threshold,
+    classical_mixture_fidelity,
+)
+from .grover import (
+    GroverRunResult,
+    grover_database,
+    grover_iteration_count,
+    run_grover_search,
+    uniform_subset_database,
+)
+from .naive_combiner import (
+    BestLinearCombiner,
+    CombinerAssessment,
+    combined_target,
+    inner_product_violation,
+    no_go_gap,
+    pair_input,
+)
+
+__all__ = [
+    "BestLinearCombiner",
+    "CentralizedSampler",
+    "ClassicalExactCoordinator",
+    "ClassicalRunResult",
+    "CombinerAssessment",
+    "GroverRunResult",
+    "centralize",
+    "classical_beats_threshold",
+    "classical_mixture_fidelity",
+    "combined_target",
+    "distribution_overhead",
+    "grover_database",
+    "grover_iteration_count",
+    "inner_product_violation",
+    "no_go_gap",
+    "pair_input",
+    "run_grover_search",
+    "uniform_subset_database",
+]

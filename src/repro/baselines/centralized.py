@@ -1,0 +1,69 @@
+"""The centralized quantum sampler — the ``n = 1`` ancestor algorithm.
+
+Quantum sampling on a single machine (Grover-style amplitude
+amplification over one counting oracle) is the established baseline the
+paper generalizes.  We realize it by collapsing a distributed database
+onto one machine and running the Theorem 4.3 machinery with ``n = 1``;
+its ``Θ(√(νN/M))`` cost is the reference point for both distributed
+models:
+
+* sequential distributed pays a factor ``n`` more,
+* parallel distributed matches it round-for-round (up to the constant),
+
+which is exactly the Theorem 4.3 / 4.5 comparison.
+"""
+
+from __future__ import annotations
+
+from ..core.result import SamplingResult
+from ..core.sequential import SequentialSampler
+from ..database.distributed import DistributedDatabase
+from ..database.machine import Machine
+
+
+def centralize(db: DistributedDatabase) -> DistributedDatabase:
+    """Collapse all shards onto a single machine (same ``N``, ``ν``, data)."""
+    joint = db.joint_multiset()
+    machine = Machine(joint, name="central")
+    return DistributedDatabase([machine], nu=db.nu)
+
+
+class CentralizedSampler:
+    """Quantum sampling with a single all-holding machine.
+
+    Examples
+    --------
+    >>> from repro.database import uniform_dataset, round_robin
+    >>> from repro.baselines import CentralizedSampler
+    >>> db = round_robin(uniform_dataset(16, 32, rng=0), n_machines=4)
+    >>> central = CentralizedSampler(db).run()
+    >>> central.exact
+    True
+    """
+
+    def __init__(self, db: DistributedDatabase, backend: str = "oracles") -> None:
+        self._central_db = centralize(db)
+        self._sampler = SequentialSampler(self._central_db, backend=backend)
+
+    @property
+    def database(self) -> DistributedDatabase:
+        """The centralized (single-machine) database actually sampled."""
+        return self._central_db
+
+    def predicted_queries(self) -> int:
+        """``2·(2·iterations + 1)`` — the ``n = 1`` query count."""
+        return self._sampler.predicted_queries()
+
+    def run(self) -> SamplingResult:
+        """Execute and return the audited result."""
+        return self._sampler.run()
+
+
+def distribution_overhead(db: DistributedDatabase) -> float:
+    """Sequential-model overhead of distribution: ``n`` (exactly).
+
+    Same plan, same iterations; each ``D`` costs ``2n`` calls instead of
+    2.  The parallel model erases this factor — see
+    :func:`repro.core.costs.speedup_factor`.
+    """
+    return float(db.n_machines)

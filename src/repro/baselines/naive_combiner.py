@@ -1,0 +1,154 @@
+"""The footnote-1 no-go: per-machine samples cannot be merged unitarily.
+
+The paper's footnote 1:
+
+    "An operator that takes input |x⟩|y⟩ and outputs (|x⟩+|y⟩)/√2 for
+    every pair of states |x⟩ and |y⟩ cannot be a linear operator, even
+    with ancillaries."
+
+We make this quantitative in two ways:
+
+* :func:`inner_product_violation` — exhibits two input pairs whose inner
+  products a combiner would have to change (isometries cannot), proving
+  non-existence;
+* :class:`BestLinearCombiner` — the *best* linear map (least-squares over
+  a requirement set, then projected to an isometry on its domain) and the
+  fidelity it actually achieves, showing the attempt degrades strictly
+  below 1 (and below the 9/16 threshold as the universe grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import require, require_pos_int
+
+
+def combined_target(x: int, y: int, universe: int) -> np.ndarray:
+    """``(|x⟩ + |y⟩)/√2`` — what the combiner is supposed to emit."""
+    require(x != y, "footnote 1 concerns distinct elements")
+    vec = np.zeros(universe, dtype=np.complex128)
+    vec[x] = 1.0 / np.sqrt(2.0)
+    vec[y] = 1.0 / np.sqrt(2.0)
+    return vec
+
+
+def pair_input(x: int, y: int, universe: int) -> np.ndarray:
+    """``|x⟩ ⊗ |y⟩`` as a flat vector in dimension ``N²``."""
+    vec = np.zeros(universe * universe, dtype=np.complex128)
+    vec[x * universe + y] = 1.0
+    return vec
+
+
+def inner_product_violation(universe: int = 3) -> tuple[float, float]:
+    """The pair of inner products a combiner would have to break.
+
+    Inputs ``|x⟩|y⟩`` and ``|x⟩|y'⟩`` (``y ≠ y'``) are orthogonal, but
+    the demanded outputs ``(|x⟩+|y⟩)/√2`` and ``(|x⟩+|y'⟩)/√2`` overlap
+    in ``1/2``.  Returns ``(input_overlap, required_output_overlap)`` —
+    ``(0.0, 0.5)`` — whose inequality is the proof: linear isometries
+    preserve inner products, even with ancilla (an ancilla can only
+    *reduce* the visible overlap, never create it).
+    """
+    require_pos_int(universe, "universe")
+    require(universe >= 3, "need at least 3 elements for the violation")
+    x, y, y2 = 0, 1, 2
+    inp = complex(np.vdot(pair_input(x, y, universe), pair_input(x, y2, universe)))
+    out = complex(
+        np.vdot(combined_target(x, y, universe), combined_target(x, y2, universe))
+    )
+    return float(abs(inp)), float(abs(out))
+
+
+@dataclass(frozen=True)
+class CombinerAssessment:
+    """How close the best linear combiner gets to the impossible spec.
+
+    Attributes
+    ----------
+    universe:
+        ``N``.
+    pairs:
+        Number of ``(x, y)`` requirements imposed.
+    worst_fidelity:
+        min over pairs of ``|⟨target|combiner(x,y)⟩|²``.
+    mean_fidelity:
+        Average over pairs.
+    """
+
+    universe: int
+    pairs: int
+    worst_fidelity: float
+    mean_fidelity: float
+
+
+class BestLinearCombiner:
+    """Least-squares linear map approximating the footnote-1 combiner.
+
+    Builds the linear map ``A: C^{N²} → C^N`` minimizing
+    ``Σ_{x<y} ‖A|x,y⟩ − (|x⟩+|y⟩)/√2‖²`` — since the inputs ``|x,y⟩`` are
+    orthonormal, the optimum simply maps each input to its target, i.e.
+    the least-squares residual is zero *as a linear map*.  The
+    impossibility materializes when we demand the map be an **isometry**
+    (physical): we renormalize via the polar decomposition of ``A``
+    restricted to the demand subspace, and fidelity strictly drops.
+    """
+
+    def __init__(self, universe: int) -> None:
+        self._universe = require_pos_int(universe, "universe")
+        require(universe >= 2, "need at least two elements")
+        pairs = list(combinations(range(universe), 2))
+        self._pairs = pairs
+        # Demand matrix: columns are targets, in the orthonormal input basis.
+        targets = np.stack(
+            [combined_target(x, y, universe) for (x, y) in pairs], axis=1
+        )  # (N, P)
+        self._targets = targets
+        # Physical (isometric) version on the demand subspace via polar
+        # decomposition: A = W·H with W the closest isometry to A.
+        u_mat, _s, v_mat = np.linalg.svd(targets, full_matrices=False)
+        self._isometry = u_mat @ v_mat  # (N, P) with orthonormal columns
+
+    @property
+    def pair_count(self) -> int:
+        """Number of (x, y) demands."""
+        return len(self._pairs)
+
+    def raw_map_is_isometry(self) -> bool:
+        """Whether the unconstrained least-squares map preserves norms.
+
+        It does not (for ``N ≥ 3``): the targets of orthogonal inputs
+        overlap, so ``A†A ≠ I`` — this is footnote 1 in matrix form.
+        """
+        gram = self._targets.conj().T @ self._targets
+        return bool(np.allclose(gram, np.eye(len(self._pairs)), atol=1e-12))
+
+    def assess(self) -> CombinerAssessment:
+        """Fidelity of the best *physical* combiner against each demand."""
+        fidelities = []
+        for idx, (x, y) in enumerate(self._pairs):
+            achieved = self._isometry[:, idx]
+            wanted = combined_target(x, y, self._universe)
+            fidelities.append(float(abs(np.vdot(wanted, achieved)) ** 2))
+        fid = np.array(fidelities)
+        return CombinerAssessment(
+            universe=self._universe,
+            pairs=len(self._pairs),
+            worst_fidelity=float(fid.min()),
+            mean_fidelity=float(fid.mean()),
+        )
+
+
+def no_go_gap(universe: int) -> float:
+    """``1 − worst_fidelity`` of the best physical combiner.
+
+    Strictly positive for ``N ≥ 3`` and growing with ``N`` — the
+    quantitative content of footnote 1 (experiment E12 sweeps this).
+    """
+    if universe < 3:
+        raise ValidationError("the no-go needs N ≥ 3 (two pairs sharing an element)")
+    return 1.0 - BestLinearCombiner(universe).assess().worst_fidelity

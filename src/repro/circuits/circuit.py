@@ -1,0 +1,150 @@
+"""A minimal gate-circuit IR with an exact qubit statevector executor.
+
+Circuits are straight-line gate lists (no classical control — the paper's
+algorithms are measurement-free, per Lemma 5.3).  The executor applies
+each gate by tensor contraction on the ``(2,)*n`` amplitude array, the
+same vectorization pattern as :mod:`repro.qsim.state` specialized to
+qubits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..config import CONFIG
+from ..errors import ValidationError
+from ..utils.validation import require, require_pos_int
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application: a unitary bound to an ordered qubit tuple."""
+
+    name: str
+    qubits: tuple[int, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        k = len(self.qubits)
+        require(k >= 1, "a gate must act on at least one qubit")
+        if len(set(self.qubits)) != k:
+            raise ValidationError(f"duplicate qubits in gate {self.name}: {self.qubits}")
+        expected = (2**k, 2**k)
+        if self.matrix.shape != expected:
+            raise ValidationError(
+                f"gate {self.name} on {k} qubits needs a {expected} matrix, "
+                f"got {self.matrix.shape}"
+            )
+
+    def dagger(self) -> "Gate":
+        """The adjoint gate."""
+        return Gate(self.name + "†", self.qubits, self.matrix.conj().T)
+
+
+class Circuit:
+    """An ordered gate list on ``n_qubits`` qubits."""
+
+    def __init__(self, n_qubits: int, gates: Iterable[Gate] = ()) -> None:
+        self._n = require_pos_int(n_qubits, "n_qubits")
+        self._gates: list[Gate] = []
+        for gate in gates:
+            self.append(gate)
+
+    @property
+    def n_qubits(self) -> int:
+        """Number of qubits."""
+        return self._n
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """The gate sequence."""
+        return tuple(self._gates)
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Add a gate (qubit indices range-checked)."""
+        for q in gate.qubits:
+            if not 0 <= q < self._n:
+                raise ValidationError(
+                    f"gate {gate.name} addresses qubit {q} outside [0, {self._n})"
+                )
+        self._gates.append(gate)
+        return self
+
+    def add(self, name: str, matrix: np.ndarray, *qubits: int) -> "Circuit":
+        """Convenience: build and append a gate in one call."""
+        return self.append(Gate(name, tuple(qubits), np.asarray(matrix, dtype=np.complex128)))
+
+    def extend(self, other: "Circuit") -> "Circuit":
+        """Append all gates of ``other`` (must have the same width)."""
+        require(other.n_qubits == self._n, "circuit width mismatch")
+        for gate in other.gates:
+            self.append(gate)
+        return self
+
+    def inverse(self) -> "Circuit":
+        """The adjoint circuit (reversed daggered gates)."""
+        inv = Circuit(self._n)
+        for gate in reversed(self._gates):
+            inv.append(gate.dagger())
+        return inv
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, state: np.ndarray | None = None) -> np.ndarray:
+        """Execute on a statevector; returns the final flat amplitudes.
+
+        ``state`` may be a flat ``2**n`` vector (copied) or ``None`` for
+        ``|0…0⟩``.  Qubit 0 is the most significant index (row-major).
+        """
+        dim = 2**self._n
+        CONFIG.require_dense_dimension(dim)
+        if state is None:
+            amps = np.zeros(dim, dtype=np.complex128)
+            amps[0] = 1.0
+        else:
+            amps = np.array(state, dtype=np.complex128).reshape(dim).copy()
+        tensor = amps.reshape((2,) * self._n)
+        for gate in self._gates:
+            tensor = _apply_gate(tensor, gate, self._n)
+        return tensor.reshape(dim)
+
+    def unitary(self) -> np.ndarray:
+        """Materialize the full circuit unitary (small circuits only)."""
+        dim = 2**self._n
+        CONFIG.require_dense_dimension(dim * dim)
+        columns = np.zeros((dim, dim), dtype=np.complex128)
+        for col in range(dim):
+            basis = np.zeros(dim, dtype=np.complex128)
+            basis[col] = 1.0
+            columns[:, col] = self.run(basis)
+        return columns
+
+    def __repr__(self) -> str:
+        return f"Circuit(n_qubits={self._n}, gates={len(self._gates)})"
+
+
+def _apply_gate(tensor: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
+    k = len(gate.qubits)
+    mat = gate.matrix.reshape((2,) * (2 * k))
+    moved = np.tensordot(mat, tensor, axes=(list(range(k, 2 * k)), list(gate.qubits)))
+    return np.moveaxis(moved, list(range(k)), list(gate.qubits))
+
+
+def basis_state(n_qubits: int, value: int) -> np.ndarray:
+    """The computational-basis vector ``|value⟩`` on ``n_qubits`` qubits."""
+    n_qubits = require_pos_int(n_qubits, "n_qubits")
+    dim = 2**n_qubits
+    if not 0 <= value < dim:
+        raise ValidationError(f"value {value} out of range for {n_qubits} qubits")
+    vec = np.zeros(dim, dtype=np.complex128)
+    vec[value] = 1.0
+    return vec

@@ -1,0 +1,96 @@
+"""Standard qubit gate matrices.
+
+A compact gate library for the gate-level cross-validation substrate:
+the counting-register arithmetic the oracles perform (cyclic increments)
+compiles to multi-controlled-X cascades over these primitives, letting
+tests check the register-level kernels against a gate-by-gate execution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.validation import require_nonneg_int
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / np.sqrt(2)
+S = np.diag([1, 1j]).astype(np.complex128)
+T = np.diag([1, np.exp(1j * np.pi / 4)]).astype(np.complex128)
+
+
+def phase(angle: float) -> np.ndarray:
+    """``diag(1, e^{iθ})``."""
+    return np.diag([1.0, np.exp(1j * angle)]).astype(np.complex128)
+
+
+def rx(angle: float) -> np.ndarray:
+    """Rotation about X by ``angle``."""
+    c, s = np.cos(angle / 2), np.sin(angle / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def ry(angle: float) -> np.ndarray:
+    """Rotation about Y by ``angle``."""
+    c, s = np.cos(angle / 2), np.sin(angle / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def rz(angle: float) -> np.ndarray:
+    """Rotation about Z by ``angle``."""
+    return np.diag([np.exp(-1j * angle / 2), np.exp(1j * angle / 2)]).astype(
+        np.complex128
+    )
+
+
+CNOT = np.array(
+    [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=np.complex128
+)
+CZ = np.diag([1, 1, 1, -1]).astype(np.complex128)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=np.complex128
+)
+TOFFOLI = np.eye(8, dtype=np.complex128)
+TOFFOLI[[6, 7], :] = TOFFOLI[[7, 6], :]
+
+
+def mcx(n_controls: int) -> np.ndarray:
+    """Multi-controlled X on ``n_controls + 1`` qubits (target last).
+
+    ``mcx(0) = X``, ``mcx(1) = CNOT``, ``mcx(2) = TOFFOLI``.
+    """
+    n_controls = require_nonneg_int(n_controls, "n_controls")
+    dim = 2 ** (n_controls + 1)
+    mat = np.eye(dim, dtype=np.complex128)
+    # Swap the last two basis states: all controls 1, target 0 ↔ 1.
+    mat[[dim - 2, dim - 1], :] = mat[[dim - 1, dim - 2], :]
+    return mat
+
+
+def controlled(gate: np.ndarray) -> np.ndarray:
+    """Add one control qubit (control first) to any unitary."""
+    gate = np.asarray(gate, dtype=np.complex128)
+    if gate.ndim != 2 or gate.shape[0] != gate.shape[1]:
+        raise ValidationError("gate must be a square matrix")
+    dim = gate.shape[0]
+    out = np.eye(2 * dim, dtype=np.complex128)
+    out[dim:, dim:] = gate
+    return out
+
+
+NAMED_GATES: dict[str, np.ndarray] = {
+    "I": I2,
+    "X": X,
+    "Y": Y,
+    "Z": Z,
+    "H": H,
+    "S": S,
+    "T": T,
+    "CNOT": CNOT,
+    "CZ": CZ,
+    "SWAP": SWAP,
+    "TOFFOLI": TOFFOLI,
+}

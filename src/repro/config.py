@@ -1,0 +1,78 @@
+"""Global numerics configuration.
+
+The simulator substrate is exact up to floating point, and the paper's
+claims are *exact* (zero-error sampling), so tolerances here are tight by
+default.  ``strict_checks`` turns on norm-preservation verification after
+every primitive state operation — invaluable in tests, measurable overhead
+in benchmarks — and can be toggled globally or via the context manager
+:func:`strict_mode`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class NumericsConfig:
+    """Tunable numerical behaviour of the simulator substrate.
+
+    Attributes
+    ----------
+    atol:
+        Absolute tolerance for "is exactly zero" style comparisons
+        (amplitudes, norm drift, unitarity residuals).
+    fidelity_atol:
+        Tolerance when asserting the zero-error guarantee ``F = 1``.
+        Amplitude amplification composes ``O(√(νN/M))`` rotations, so the
+        accumulated drift budget is a little looser than :attr:`atol`.
+    strict_checks:
+        When True every :class:`~repro.qsim.state.StateVector` mutation
+        verifies norm preservation and raises
+        :class:`~repro.errors.NotUnitaryError` on violation.
+    max_dense_dimension:
+        Guard rail for dense register simulations; exceeding it raises
+        :class:`~repro.errors.SimulationLimitError` rather than attempting
+        a massive allocation.
+    """
+
+    atol: float = 1e-10
+    fidelity_atol: float = 1e-9
+    strict_checks: bool = False
+    max_dense_dimension: int = 2**24
+
+    def require_dense_dimension(self, dim: int) -> None:
+        """Raise :class:`SimulationLimitError` if ``dim`` is too large."""
+        from .errors import SimulationLimitError
+
+        if dim > self.max_dense_dimension:
+            raise SimulationLimitError(
+                f"dense simulation of dimension {dim} exceeds the configured "
+                f"limit {self.max_dense_dimension}; use a structured backend",
+                dimension=dim,
+            )
+
+
+#: The process-wide configuration instance.  Mutate fields directly or use
+#: :func:`strict_mode` for scoped changes.
+CONFIG = NumericsConfig()
+
+
+@contextlib.contextmanager
+def strict_mode(enabled: bool = True) -> Iterator[NumericsConfig]:
+    """Temporarily toggle :attr:`NumericsConfig.strict_checks`.
+
+    Examples
+    --------
+    >>> from repro.config import strict_mode
+    >>> with strict_mode():
+    ...     pass  # every state mutation is norm-checked here
+    """
+    previous = CONFIG.strict_checks
+    CONFIG.strict_checks = enabled
+    try:
+        yield CONFIG
+    finally:
+        CONFIG.strict_checks = previous

@@ -1,0 +1,105 @@
+"""Closed-form query-cost predictions for Theorems 4.3 and 4.5.
+
+Two layers:
+
+* **Exact** counts for a concrete :class:`AmplificationPlan` — these are
+  asserted (not just compared) against the runtime
+  :class:`~repro.database.ledger.QueryLedger` in the tests, making the
+  theorem constants executable.
+* **Asymptotic** envelopes ``Θ(n√(νN/M))`` / ``Θ(√(νN/M))`` used by the
+  scaling experiments to fit slopes and report measured-vs-predicted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..database.distributed import DistributedDatabase
+from ..errors import ValidationError
+from ..utils.validation import require_pos_int
+from .exact_aa import AmplificationPlan, solve_plan
+
+
+def sequential_oracle_calls(n_machines: int, plan: AmplificationPlan) -> int:
+    """Exact sequential query count: ``2n`` per ``D``/``D†`` (Lemma 4.2).
+
+    Total = ``2n · (1 + 2·iterations)`` where iterations counts both the
+    plain and the final partial ``Q``.
+    """
+    n_machines = require_pos_int(n_machines, "n_machines")
+    return 2 * n_machines * plan.d_applications
+
+
+def parallel_round_count(plan: AmplificationPlan) -> int:
+    """Exact parallel round count: 4 per ``D``/``D†`` (Lemma 4.4)."""
+    return 4 * plan.d_applications
+
+
+def predicted_costs(db: DistributedDatabase) -> dict[str, int]:
+    """Every exact cost for ``db``'s canonical plan, as a dict."""
+    plan = solve_plan(db.initial_overlap())
+    return {
+        "d_applications": plan.d_applications,
+        "grover_reps": plan.grover_reps,
+        "sequential_queries": sequential_oracle_calls(db.n_machines, plan),
+        "parallel_rounds": parallel_round_count(plan),
+    }
+
+
+def theoretical_sequential_queries(
+    n_machines: int, universe: int, total: int, nu: int
+) -> float:
+    """The Theorem 4.3 envelope ``n·π·√(νN/M)`` (leading constant included).
+
+    ``m̃ ≈ π/(4θ) ≈ (π/4)√(νN/M)`` iterations, each costing ``4n``
+    sequential calls (a ``D`` and a ``D†``), giving ``nπ√(νN/M)`` to
+    leading order.
+    """
+    ratio = _query_ratio(universe, total, nu)
+    return float(n_machines * np.pi * ratio)
+
+
+def theoretical_parallel_rounds(universe: int, total: int, nu: int) -> float:
+    """The Theorem 4.5 envelope ``2π·√(νN/M)``.
+
+    ``(π/4)√(νN/M)`` iterations × 8 rounds each (a ``D`` and a ``D†`` at
+    4 rounds apiece).
+    """
+    ratio = _query_ratio(universe, total, nu)
+    return float(2.0 * np.pi * ratio)
+
+
+def _query_ratio(universe: int, total: int, nu: int) -> float:
+    universe = require_pos_int(universe, "universe")
+    total = require_pos_int(total, "total")
+    nu = require_pos_int(nu, "nu")
+    value = nu * universe / total
+    if value < 1.0 - 1e-12:
+        raise ValidationError(
+            f"νN/M = {value} < 1 violates the capacity invariant (M ≤ νN)"
+        )
+    return float(np.sqrt(max(value, 1.0)))
+
+
+def epsilon_condition_nu(universe: int, total: int, epsilon: float) -> int:
+    """The smallest ``ν`` satisfying the theorem precondition ``ν ≥ M/(Nε)``.
+
+    Theorems 4.3/4.5 assume ``ν ≥ M/(Nε)`` for ``ε ∈ (0,1)`` — i.e. the
+    capacity is not so tight that the initial overlap exceeds ``ε``.
+    """
+    universe = require_pos_int(universe, "universe")
+    total = require_pos_int(total, "total")
+    if not 0.0 < epsilon < 1.0:
+        raise ValidationError(f"ε must lie in (0, 1), got {epsilon}")
+    return int(np.ceil(total / (universe * epsilon)))
+
+
+def speedup_factor(n_machines: int) -> float:
+    """Ideal sequential/parallel query ratio: ``n/2``.
+
+    Sequential pays ``2n`` calls per ``D`` where parallel pays 4 rounds,
+    so the round-count speedup of Theorem 4.5 over Theorem 4.3 is
+    ``2n/4 = n/2`` exactly (and ``Θ(n)`` asymptotically).
+    """
+    n_machines = require_pos_int(n_machines, "n_machines")
+    return n_machines / 2.0

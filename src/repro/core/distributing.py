@@ -1,0 +1,318 @@
+"""The distributing operator ``D`` (Eq. 5) and its oracle implementations.
+
+Three realizations, cross-validated in the tests:
+
+* :class:`DirectDistributingOperator` — the defining rotation
+  ``D|i,0⟩ = √(c_i/ν)|i,0⟩ + √((ν−c_i)/ν)|i,1⟩`` applied per element.
+  Reads the joint counts directly; the reference/fast-path form.
+* :class:`OracleDistributingOperator` — Lemma 4.2's three-step circuit
+  ``D = (O_n⋯O_1)† · U · (O_n⋯O_1)``: *2n sequential oracle calls* plus
+  the input-independent rotation ``U`` of Eq. (6).
+* :class:`ParallelDistributingOperator` — Lemma 4.4's circuit: *4 parallel
+  oracle rounds* per application, in an honest dense mode (full ancilla
+  registers, exponential in ``n``) and a synced-ancilla fast path
+  (exploits that the circuit keeps ancillas classically correlated with
+  the element register, so they never need explicit storage).
+
+All three expose the same ``apply(state, adjoint=...)`` interface the
+samplers consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..database.distributed import DistributedDatabase
+from ..database.ledger import QueryLedger
+from ..database.oracle import ParallelOracle, SequentialOracle
+from ..errors import ValidationError
+from ..qsim.operators import adjoint_blocks, controlled_rotation_blocks
+from ..qsim.register import Register, RegisterLayout
+from ..qsim.state import StateVector
+from ..utils.validation import require
+
+
+def rotation_blocks_from_counts(counts: np.ndarray, nu: int) -> np.ndarray:
+    """Per-value rotations ``[[√(c/ν), −√(1−c/ν)], [√(1−c/ν), √(c/ν)]]``.
+
+    With ``counts`` indexed by element this is ``D`` itself (Eq. 5); with
+    ``counts = 0…ν`` it is the paper's ``U`` (Eq. 6).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    if np.any(counts < 0) or np.any(counts > nu):
+        raise ValidationError("counts must lie in [0, ν] for the rotation to exist")
+    cos = np.sqrt(counts / nu)
+    sin = np.sqrt((nu - counts) / nu)
+    return controlled_rotation_blocks(cos, sin)
+
+
+def u_rotation_blocks(nu: int) -> np.ndarray:
+    """The input-independent ``U`` of Eq. (6) as per-count 2×2 blocks."""
+    return rotation_blocks_from_counts(np.arange(nu + 1), nu)
+
+
+class DirectDistributingOperator:
+    """``D`` as the defining per-element rotation on ``(i, w)``.
+
+    This form is input-*dependent* (it reads ``c_i`` directly) — it is the
+    mathematical object of Eq. (5), used by the subspace backend and as
+    the reference in cross-validation tests.  Query accounting, when a
+    ledger is supplied, charges the same ``2n`` sequential calls per
+    application that the Lemma 4.2 circuit would make, so both backends
+    report identical ledgers.
+    """
+
+    def __init__(
+        self,
+        db: DistributedDatabase,
+        ledger: QueryLedger | None = None,
+        active_machines: list[int] | None = None,
+    ) -> None:
+        self._db = db
+        self._ledger = ledger
+        self._blocks = rotation_blocks_from_counts(db.joint_counts, db.nu)
+        self._blocks_adj = adjoint_blocks(self._blocks)
+        self._active = (
+            list(range(db.n_machines)) if active_machines is None else list(active_machines)
+        )
+
+    @property
+    def oracle_calls_per_application(self) -> int:
+        """Sequential oracle calls one ``D`` (or ``D†``) costs: ``2n'``
+        (``n'`` = machines actually queried)."""
+        return 2 * len(self._active)
+
+    def apply(
+        self,
+        state: StateVector,
+        element_reg: str = "i",
+        flag_reg: str = "w",
+        adjoint: bool = False,
+    ) -> StateVector:
+        """Apply ``D`` (or ``D†``) to ``(element_reg, flag_reg)``."""
+        self._charge(adjoint)
+        blocks = self._blocks_adj if adjoint else self._blocks
+        return state.apply_controlled_qubit_unitary(element_reg, flag_reg, blocks)
+
+    def _charge(self, adjoint: bool) -> None:
+        if self._ledger is None:
+            return
+        # Lemma 4.2 cost model: forward pass O_1…O_n then inverse pass —
+        # one forward and one adjoint call per (active) machine, for D and
+        # D† alike.
+        for j in self._active:
+            self._ledger.record_machine_call(j, adjoint=False)
+        for j in reversed(self._active):
+            self._ledger.record_machine_call(j, adjoint=True)
+
+
+class OracleDistributingOperator:
+    """Lemma 4.2: ``D`` from ``2n`` genuine oracle invocations.
+
+    The three steps, on registers ``(i, s, w)`` with ``s`` the counting
+    register (dimension ``ν+1``, always ``|0⟩`` outside the operator):
+
+    1. ``|i, 0, w⟩ → |i, c_i, w⟩`` — apply ``O_1, …, O_n`` (Eq. 1);
+    2. rotate ``w`` by the count-controlled ``U`` (Eq. 6) — input-free;
+    3. uncompute with ``O_1†, …, O_n†``.
+
+    ``D†`` uses the same sandwich with ``U†`` (the oracles commute — they
+    are additive shifts of the same register — so
+    ``D† = (A† U A)† = A† U† A`` with ``A = O_n⋯O_1``).
+    """
+
+    def __init__(
+        self,
+        db: DistributedDatabase,
+        ledger: QueryLedger | None = None,
+        active_machines: list[int] | None = None,
+    ) -> None:
+        self._db = db
+        active = (
+            list(range(db.n_machines)) if active_machines is None else list(active_machines)
+        )
+        for j in active:
+            if not 0 <= j < db.n_machines:
+                raise ValidationError(f"active machine index {j} out of range")
+        if active_machines is not None:
+            # Skipping a machine is only sound when its oracle is provably
+            # the identity, i.e. its *public* capacity is zero.
+            skipped = set(range(db.n_machines)) - set(active)
+            for j in skipped:
+                if db.capacities[j] != 0:
+                    raise ValidationError(
+                        f"cannot skip machine {j}: its capacity κ_j = "
+                        f"{db.capacities[j]} > 0, so its oracle may act"
+                    )
+        self._oracles = [
+            SequentialOracle(db.machine(j), j, db.nu, ledger=ledger) for j in active
+        ]
+        self._u_blocks = u_rotation_blocks(db.nu)
+        self._u_blocks_adj = adjoint_blocks(self._u_blocks)
+
+    @property
+    def oracle_calls_per_application(self) -> int:
+        """``2n'`` — Lemma 4.2's query cost over the queried machines."""
+        return 2 * len(self._oracles)
+
+    def apply(
+        self,
+        state: StateVector,
+        element_reg: str = "i",
+        count_reg: str = "s",
+        flag_reg: str = "w",
+        adjoint: bool = False,
+    ) -> StateVector:
+        """Apply ``D`` (or ``D†``) to ``(element_reg, flag_reg)`` using
+        ``count_reg`` as the oracle scratch register."""
+        for oracle in self._oracles:
+            oracle.apply(state, element_reg, count_reg, adjoint=False)
+        blocks = self._u_blocks_adj if adjoint else self._u_blocks
+        state.apply_controlled_qubit_unitary(count_reg, flag_reg, blocks)
+        for oracle in reversed(self._oracles):
+            oracle.apply(state, element_reg, count_reg, adjoint=True)
+        return state
+
+
+class ParallelDistributingOperator:
+    """Lemma 4.4: ``D`` from 4 rounds of the parallel oracle (Eq. 3).
+
+    Modes
+    -----
+    ``"synced"`` (default):
+        State lives on ``(i, s, w)``.  The circuit below keeps every
+        ancilla register a deterministic function of ``i`` at all times
+        and returns it to ``|0⟩``, so the fast path tracks only the main
+        registers while the ledger still charges the honest 4 rounds.
+        The count-aggregation step applies the joint shift
+        ``s ← s + Σ_j c_ij`` in one gather.
+    ``"dense"``:
+        Honest simulation with explicit per-machine ancilla triples
+        ``(pi_j, ps_j, pb_j)`` — exponential in ``n``, used to validate
+        the fast path on small instances.  Requires the state layout to
+        contain those registers (see :meth:`dense_layout`).
+
+    The Lemma 4.4 register choreography (dense mode):
+
+    1. copy: ``pi_j ← pi_j ⊕ i`` (qudit CNOT), ``pb_j ← X pb_j``;
+    2. one round of ``O`` — loads ``ps_j = c_{i,j}``;
+    3. aggregate: ``s ← s + Σ_j ps_j mod (ν+1)`` (input-independent);
+    4. one round of ``O†`` — clears ``ps_j``;
+    5. uncopy step 1;
+    6. rotate ``w`` with ``U`` (Eq. 6);
+    7. the inverse of steps 1–5 to uncompute ``s``.
+
+    Steps 2+4 and their mirror in step 7 are the **4 parallel queries**.
+    """
+
+    def __init__(
+        self,
+        db: DistributedDatabase,
+        ledger: QueryLedger | None = None,
+        mode: str = "synced",
+    ) -> None:
+        require(mode in ("synced", "dense"), f"unknown mode {mode!r}")
+        self._db = db
+        self._ledger = ledger
+        self._mode = mode
+        self._u_blocks = u_rotation_blocks(db.nu)
+        self._u_blocks_adj = adjoint_blocks(self._u_blocks)
+        self._parallel_oracle = ParallelOracle(db, ledger=ledger)
+
+    # -- layout helpers ---------------------------------------------------------
+
+    @staticmethod
+    def synced_layout(db: DistributedDatabase) -> RegisterLayout:
+        """``(i, s, w)`` — the fast-path layout."""
+        return RegisterLayout.of(i=db.universe, s=db.nu + 1, w=2)
+
+    @staticmethod
+    def dense_layout(db: DistributedDatabase) -> RegisterLayout:
+        """``(i, s, w)`` plus per-machine ``(pi_j, ps_j, pb_j)`` triples."""
+        registers = [
+            Register("i", db.universe),
+            Register("s", db.nu + 1),
+            Register("w", 2),
+        ]
+        for j in range(db.n_machines):
+            registers.append(Register(f"pi{j}", db.universe))
+            registers.append(Register(f"ps{j}", db.nu + 1))
+            registers.append(Register(f"pb{j}", 2))
+        return RegisterLayout(registers)
+
+    @property
+    def rounds_per_application(self) -> int:
+        """Parallel oracle rounds one ``D`` (or ``D†``) costs: 4 (Lemma 4.4)."""
+        return 4
+
+    @property
+    def mode(self) -> str:
+        """``"synced"`` or ``"dense"``."""
+        return self._mode
+
+    # -- application ---------------------------------------------------------
+
+    def apply(
+        self,
+        state: StateVector,
+        element_reg: str = "i",
+        count_reg: str = "s",
+        flag_reg: str = "w",
+        adjoint: bool = False,
+    ) -> StateVector:
+        """Apply ``D`` (or ``D†``) costing exactly 4 parallel rounds."""
+        self._load_counts(state, element_reg, count_reg)
+        blocks = self._u_blocks_adj if adjoint else self._u_blocks
+        state.apply_controlled_qubit_unitary(count_reg, flag_reg, blocks)
+        self._unload_counts(state, element_reg, count_reg)
+        return state
+
+    # -- the |i,0⟩ → |i,c_i⟩ subroutine (2 rounds) --------------------------------
+
+    def _load_counts(self, state: StateVector, element_reg: str, count_reg: str) -> None:
+        if self._mode == "synced":
+            if self._ledger is not None:
+                self._parallel_oracle_ledger_round(adjoint=False)
+                self._parallel_oracle_ledger_round(adjoint=True)
+            state.apply_value_shift(element_reg, count_reg, self._db.joint_counts, sign=1)
+            return
+        self._dense_copy(state, element_reg, forward=True)
+        self._parallel_oracle.apply(state, adjoint=False)
+        self._dense_aggregate(state, count_reg, sign=1)
+        self._parallel_oracle.apply(state, adjoint=True)
+        self._dense_copy(state, element_reg, forward=False)
+
+    def _unload_counts(self, state: StateVector, element_reg: str, count_reg: str) -> None:
+        if self._mode == "synced":
+            if self._ledger is not None:
+                self._parallel_oracle_ledger_round(adjoint=False)
+                self._parallel_oracle_ledger_round(adjoint=True)
+            state.apply_value_shift(element_reg, count_reg, self._db.joint_counts, sign=-1)
+            return
+        self._dense_copy(state, element_reg, forward=True)
+        self._parallel_oracle.apply(state, adjoint=False)
+        self._dense_aggregate(state, count_reg, sign=-1)
+        self._parallel_oracle.apply(state, adjoint=True)
+        self._dense_copy(state, element_reg, forward=False)
+
+    def _parallel_oracle_ledger_round(self, adjoint: bool) -> None:
+        assert self._ledger is not None
+        self._ledger.record_parallel_round(adjoint=adjoint)
+
+    def _dense_copy(self, state: StateVector, element_reg: str, forward: bool) -> None:
+        """Step 1 / 5: ``pi_j ← pi_j ± i`` and flip every ``pb_j``."""
+        n_elements = self._db.universe
+        identity_shift = np.arange(n_elements, dtype=np.int64)
+        flip = np.array([1, 0], dtype=np.intp)
+        for j in range(self._db.n_machines):
+            state.apply_value_shift(
+                element_reg, f"pi{j}", identity_shift, sign=1 if forward else -1
+            )
+            state.apply_permutation(f"pb{j}", flip)
+
+    def _dense_aggregate(self, state: StateVector, count_reg: str, sign: int) -> None:
+        """Step 3: ``s ← s ± Σ_j ps_j`` — input-independent qudit adds."""
+        modulus = self._db.nu + 1
+        add_table = np.arange(modulus, dtype=np.int64)
+        for j in range(self._db.n_machines):
+            state.apply_value_shift(f"ps{j}", count_reg, add_table, sign=sign)

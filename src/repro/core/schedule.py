@@ -1,0 +1,159 @@
+"""Oblivious query schedules (the communication model of Section 3).
+
+In the oblivious model the *entire* order of communication is fixed by
+public knowledge — ``(N, M, ν, n, κ_j)`` — before a single oracle answer
+arrives.  :class:`QuerySchedule` materializes that order as data, so that
+
+* samplers can publish their schedule up front (and tests can assert two
+  databases with identical public parameters produce identical
+  schedules), and
+* the lower-bound machinery can read off ``t_k`` (the per-machine query
+  count) directly from the same object the algorithm executed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+from ..utils.validation import require, require_nonneg_int, require_pos_int
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One communication action.
+
+    ``kind = "oracle"`` is a sequential query to one machine;
+    ``kind = "parallel"`` is one round of the joint oracle (Eq. 3),
+    touching every machine.  ``machine`` is meaningful only for
+    sequential entries.
+    """
+
+    kind: Literal["oracle", "parallel"]
+    machine: int | None
+    adjoint: bool
+
+    def __post_init__(self) -> None:
+        require(self.kind in ("oracle", "parallel"), f"bad entry kind {self.kind!r}")
+        if self.kind == "oracle":
+            require(self.machine is not None, "sequential entries need a machine index")
+        else:
+            require(self.machine is None, "parallel entries have no single machine")
+
+
+class QuerySchedule:
+    """An immutable, fingerprintable communication schedule."""
+
+    def __init__(self, n_machines: int, entries: Sequence[ScheduleEntry]) -> None:
+        self._n = require_pos_int(n_machines, "n_machines")
+        for e in entries:
+            if e.kind == "oracle":
+                assert e.machine is not None
+                require(0 <= e.machine < self._n, f"machine {e.machine} out of range")
+        self._entries = tuple(entries)
+
+    # -- construction from amplification plans --------------------------------------
+
+    @classmethod
+    def sequential_from_plan(
+        cls,
+        n_machines: int,
+        d_applications: int,
+        active_machines: Sequence[int] | None = None,
+    ) -> "QuerySchedule":
+        """The Theorem 4.3 schedule: each ``D``/``D†`` is the Lemma 4.2
+        sandwich — machines ``1…n`` forward, then ``n…1`` inverse.
+
+        ``active_machines`` restricts the sandwich to a publicly-known
+        subset (the capacity-aware optimization: machines with
+        ``κ_j = 0`` are provably empty and may be skipped obliviously).
+        """
+        n_machines = require_pos_int(n_machines, "n_machines")
+        d_applications = require_nonneg_int(d_applications, "d_applications")
+        active = (
+            list(range(n_machines)) if active_machines is None else list(active_machines)
+        )
+        entries: list[ScheduleEntry] = []
+        for _ in range(d_applications):
+            for j in active:
+                entries.append(ScheduleEntry("oracle", j, adjoint=False))
+            for j in reversed(active):
+                entries.append(ScheduleEntry("oracle", j, adjoint=True))
+        return cls(n_machines, entries)
+
+    @classmethod
+    def parallel_from_plan(cls, n_machines: int, d_applications: int) -> "QuerySchedule":
+        """The Theorem 4.5 schedule: 4 joint-oracle rounds per ``D`` —
+        the Lemma 4.4 pattern ``O, O†, O, O†``."""
+        n_machines = require_pos_int(n_machines, "n_machines")
+        d_applications = require_nonneg_int(d_applications, "d_applications")
+        entries: list[ScheduleEntry] = []
+        for _ in range(d_applications):
+            for adjoint in (False, True, False, True):
+                entries.append(ScheduleEntry("parallel", None, adjoint=adjoint))
+        return cls(n_machines, entries)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def n_machines(self) -> int:
+        """Number of machines the schedule addresses."""
+        return self._n
+
+    @property
+    def entries(self) -> tuple[ScheduleEntry, ...]:
+        """All scheduled actions in order."""
+        return self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[ScheduleEntry]:
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuerySchedule):
+            return NotImplemented
+        return self._n == other._n and self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._entries))
+
+    def sequential_queries(self) -> int:
+        """Total sequential oracle actions in the schedule."""
+        return sum(1 for e in self._entries if e.kind == "oracle")
+
+    def parallel_rounds(self) -> int:
+        """Total joint-oracle rounds in the schedule."""
+        return sum(1 for e in self._entries if e.kind == "parallel")
+
+    def machine_queries(self, machine: int) -> int:
+        """``t_k`` for machine ``machine`` (parallel rounds count once each)."""
+        count = 0
+        for e in self._entries:
+            if e.kind == "parallel":
+                count += 1
+            elif e.machine == machine:
+                count += 1
+        return count
+
+    def fingerprint(self) -> str:
+        """A stable digest of the full schedule.
+
+        Two runs are oblivious-consistent iff their fingerprints match;
+        this is what the obliviousness tests compare.
+        """
+        hasher = hashlib.sha256()
+        hasher.update(str(self._n).encode())
+        for e in self._entries:
+            hasher.update(
+                f"{e.kind}:{e.machine if e.machine is not None else '*'}:{int(e.adjoint)};".encode()
+            )
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySchedule(n={self._n}, sequential={self.sequential_queries()}, "
+            f"parallel={self.parallel_rounds()})"
+        )

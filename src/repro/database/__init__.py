@@ -1,0 +1,97 @@
+"""The distributed-database substrate (Section 3 of the paper).
+
+Multisets, machines with counting oracles, the joint database with its
+public parameters, query accounting, sharding strategies, workload
+generators, dynamic updates and the star communication topology.
+"""
+
+from .distributed import DistributedDatabase
+from .dynamic import Update, UpdateStream, random_update_stream
+from .fault import (
+    FaultImpact,
+    assess_fault,
+    bhattacharyya_fidelity,
+    degraded_database,
+    worst_case_fault,
+)
+from .ledger import MachineTally, QueryLedger
+from .machine import Machine
+from .multiset import Multiset
+from .oracle import (
+    ControlledOracle,
+    ParallelOracle,
+    SequentialOracle,
+    elementary_update_matrix,
+    oracles_for,
+)
+from .partition import (
+    STRATEGIES,
+    concentrate_on_machine,
+    disjoint_support,
+    partition,
+    random_assignment,
+    replicated,
+    round_robin,
+    single_machine,
+    skewed_sizes,
+)
+from .topology import (
+    COORDINATOR,
+    RoundCost,
+    parallel_schedule_cost,
+    sequential_schedule_cost,
+    speedup,
+    star_graph,
+)
+from .workloads import (
+    GENERATORS,
+    WorkloadSpec,
+    block_dataset,
+    single_key_dataset,
+    sparse_support_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+__all__ = [
+    "COORDINATOR",
+    "ControlledOracle",
+    "DistributedDatabase",
+    "FaultImpact",
+    "GENERATORS",
+    "Machine",
+    "assess_fault",
+    "bhattacharyya_fidelity",
+    "degraded_database",
+    "worst_case_fault",
+    "MachineTally",
+    "Multiset",
+    "ParallelOracle",
+    "QueryLedger",
+    "RoundCost",
+    "STRATEGIES",
+    "SequentialOracle",
+    "Update",
+    "UpdateStream",
+    "WorkloadSpec",
+    "block_dataset",
+    "concentrate_on_machine",
+    "disjoint_support",
+    "elementary_update_matrix",
+    "oracles_for",
+    "parallel_schedule_cost",
+    "partition",
+    "random_assignment",
+    "random_update_stream",
+    "replicated",
+    "round_robin",
+    "sequential_schedule_cost",
+    "single_key_dataset",
+    "single_machine",
+    "skewed_sizes",
+    "sparse_support_dataset",
+    "speedup",
+    "star_graph",
+    "uniform_dataset",
+    "zipf_dataset",
+]

@@ -1,0 +1,169 @@
+"""Dynamic databases: the Section 3 update remark, made executable.
+
+    "It is low-cost to update oracle operation O_j if the datasets are
+    changed. For instance, if the multiplicity of element i in the j-th
+    database increases or decreases by 1, we can simply update O_j by left
+    multiplying operator U or U†."
+
+:class:`UpdateStream` replays a sequence of inserts/deletes against a
+database, charging exactly one elementary update per unit change, and lets
+experiments re-sample after any prefix to confirm the refreshed oracle
+produces the refreshed target state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Literal
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require, require_index, require_pos_int
+from .distributed import DistributedDatabase
+
+
+@dataclass(frozen=True)
+class Update:
+    """One elementary change: ±1 multiplicity of ``element`` on ``machine``."""
+
+    machine: int
+    element: int
+    kind: Literal["insert", "delete"]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("insert", "delete"):
+            raise ValidationError(f"kind must be 'insert' or 'delete', got {self.kind!r}")
+
+
+class UpdateStream:
+    """A replayable stream of elementary updates against a database.
+
+    The database is mutated in place machine-by-machine (each unit change
+    increments that machine's :attr:`~repro.database.machine.Machine.update_operations`
+    counter, standing in for one ``U``/``U†`` multiplication of its oracle).
+    """
+
+    def __init__(self, db: DistributedDatabase, updates: Iterable[Update]) -> None:
+        self._db = db
+        self._updates = list(updates)
+        for u in self._updates:
+            require_index(u.machine, db.n_machines, "update.machine")
+            require_index(u.element, db.universe, "update.element")
+        self._applied = 0
+
+    @property
+    def database(self) -> DistributedDatabase:
+        """The live database being updated."""
+        return self._db
+
+    @property
+    def pending(self) -> int:
+        """Updates not yet applied."""
+        return len(self._updates) - self._applied
+
+    @property
+    def applied(self) -> int:
+        """Updates applied so far."""
+        return self._applied
+
+    def apply_next(self, count: int = 1) -> int:
+        """Apply the next ``count`` updates; returns how many actually ran."""
+        count = require_pos_int(count, "count")
+        ran = 0
+        while ran < count and self._applied < len(self._updates):
+            update = self._updates[self._applied]
+            machine = self._db.machine(update.machine)
+            if update.kind == "insert":
+                machine.insert(update.element)
+            else:
+                machine.remove(update.element)
+            self._applied += 1
+            ran += 1
+        if ran:
+            self._db.validate()
+        return ran
+
+    def apply_all(self) -> int:
+        """Apply everything left; returns the number applied."""
+        remaining = self.pending
+        if remaining:
+            self.apply_next(remaining)
+        return remaining
+
+    def total_update_cost(self) -> int:
+        """Sum of elementary oracle updates charged across machines."""
+        return sum(m.update_operations for m in self._db.machines)
+
+    def __iter__(self) -> Iterator[Update]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+
+def random_update_stream(
+    db: DistributedDatabase,
+    length: int,
+    insert_probability: float = 0.5,
+    rng: object = None,
+) -> UpdateStream:
+    """A random but always-valid stream of ``length`` updates.
+
+    Deletes only target elements currently present on the chosen machine;
+    inserts respect both the local capacity ``κ_j`` and the global ``ν``
+    (so :meth:`DistributedDatabase.validate` holds after every prefix).
+    """
+    length = require_pos_int(length, "length")
+    require(0.0 <= insert_probability <= 1.0, "insert_probability must be in [0,1]")
+    gen = as_generator(rng)
+    # Work on a scratch copy of the count matrix to pre-validate the stream.
+    counts = db.count_matrix.copy()
+    joint = counts.sum(axis=0)
+    capacities = np.array(db.capacities, dtype=np.int64)
+    nu = db.nu
+    n, universe = counts.shape
+    updates: list[Update] = []
+    for _ in range(length):
+        want_insert = gen.random() < insert_probability
+        made = False
+        for _attempt in range(64):
+            j = int(gen.integers(0, n))
+            i = int(gen.integers(0, universe))
+            if want_insert:
+                if counts[j, i] < capacities[j] and joint[i] < nu:
+                    counts[j, i] += 1
+                    joint[i] += 1
+                    updates.append(Update(j, i, "insert"))
+                    made = True
+                    break
+            else:
+                if counts[j, i] > 0:
+                    counts[j, i] -= 1
+                    joint[i] -= 1
+                    updates.append(Update(j, i, "delete"))
+                    made = True
+                    break
+        if not made:
+            # Fall back to the other kind rather than spinning forever on a
+            # full/empty database.
+            want_insert = not want_insert
+            for j in range(n):
+                hit = False
+                for i in range(universe):
+                    if want_insert and counts[j, i] < capacities[j] and joint[i] < nu:
+                        counts[j, i] += 1
+                        joint[i] += 1
+                        updates.append(Update(j, i, "insert"))
+                        hit = True
+                        break
+                    if not want_insert and counts[j, i] > 0:
+                        counts[j, i] -= 1
+                        joint[i] -= 1
+                        updates.append(Update(j, i, "delete"))
+                        hit = True
+                        break
+                if hit:
+                    break
+    return UpdateStream(db, updates)

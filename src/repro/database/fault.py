@@ -1,0 +1,108 @@
+"""Fault tolerance via replication — the introduction's second motivation.
+
+    "We assume that datasets are distributed across multiple machines,
+    both for reducing the storage complexity for a single machine, and
+    enabling fault-tolerance in the databases."
+
+This module makes that claim quantitative.  Losing machine ``k`` turns
+the joint counts from ``c`` into ``c − c_{·k}``; the sampler then
+faithfully produces the *degraded* target, whose fidelity with the
+original is the squared Bhattacharyya coefficient between the two
+frequency vectors:
+
+* **replicated** shards: every machine holds a full copy, so losing one
+  rescales all counts uniformly — the sampling state is *invariant*,
+  fidelity exactly 1 (until the last copy dies);
+* **disjoint/partitioned** shards: losing a machine deletes its keys
+  outright, and the fidelity drops by exactly the lost probability mass:
+  ``F = 1 − M_k/M``.
+
+Both regimes (and everything between) are computed here and swept in
+experiment E21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import EmptyDatabaseError
+from ..utils.validation import require_index
+from .distributed import DistributedDatabase
+
+
+def degraded_database(db: DistributedDatabase, lost_machine: int) -> DistributedDatabase:
+    """The database after machine ``lost_machine`` fails (shard gone).
+
+    Public parameters other than the lost shard's contribution are kept —
+    in particular ``ν`` (capacities are declarations, not data).
+    """
+    lost_machine = require_index(lost_machine, db.n_machines, "lost_machine")
+    return db.without_machine_data(lost_machine)
+
+
+def bhattacharyya_fidelity(p: np.ndarray, q: np.ndarray) -> float:
+    """``(Σ_i √(p_i q_i))²`` — fidelity between two sampling states.
+
+    The overlap of ``Σ√p_i|i⟩`` and ``Σ√q_i|i⟩`` (both nonnegative real),
+    squared.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return float(np.sum(np.sqrt(p * q)) ** 2)
+
+
+@dataclass(frozen=True)
+class FaultImpact:
+    """The effect of one machine loss on the sampling task.
+
+    Attributes
+    ----------
+    lost_machine:
+        Which machine failed.
+    lost_mass:
+        ``M_k / M`` — probability mass the failed shard carried
+        *exclusively* contributes (its records, counting multiplicity).
+    fidelity_with_original:
+        ``F(ψ_degraded, ψ_original)`` — 1 means the loss is invisible to
+        sampling.
+    still_samplable:
+        Whether any data remains.
+    """
+
+    lost_machine: int
+    lost_mass: float
+    fidelity_with_original: float
+    still_samplable: bool
+
+
+def assess_fault(db: DistributedDatabase, lost_machine: int) -> FaultImpact:
+    """Quantify one machine loss against the original sampling target."""
+    lost_machine = require_index(lost_machine, db.n_machines, "lost_machine")
+    original = db.sampling_distribution()
+    degraded = degraded_database(db, lost_machine)
+    total_after = degraded.total_count
+    lost_mass = db.machine(lost_machine).size / db.total_count
+    if total_after == 0:
+        return FaultImpact(
+            lost_machine=lost_machine,
+            lost_mass=lost_mass,
+            fidelity_with_original=0.0,
+            still_samplable=False,
+        )
+    fidelity = bhattacharyya_fidelity(original, degraded.sampling_distribution())
+    return FaultImpact(
+        lost_machine=lost_machine,
+        lost_mass=lost_mass,
+        fidelity_with_original=fidelity,
+        still_samplable=True,
+    )
+
+
+def worst_case_fault(db: DistributedDatabase) -> FaultImpact:
+    """The most damaging single-machine loss."""
+    if db.total_count == 0:
+        raise EmptyDatabaseError("fault assessment needs a non-empty database")
+    impacts = [assess_fault(db, k) for k in range(db.n_machines)]
+    return min(impacts, key=lambda imp: imp.fidelity_with_original)

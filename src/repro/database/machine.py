@@ -1,0 +1,166 @@
+"""A single database machine and its counting oracle data.
+
+Machine ``j`` stores the shard ``T_j`` and exposes only the multiplicity
+table ``c_·j`` that its oracle (Eq. 1) is built from.  The machine also
+tracks its *local capacity* ``κ_j ≥ max_i c_ij`` (the generalized setting
+of Section 5) and an update ledger for the dynamic-database remark of
+Section 3: changing one multiplicity by ±1 costs exactly one elementary
+oracle update ``U`` / ``U†``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapacityError, ValidationError
+from ..utils.validation import require_nonneg_int
+from .multiset import Multiset
+
+
+class Machine:
+    """One machine of the distributed database.
+
+    Parameters
+    ----------
+    shard:
+        The multiset ``T_j`` this machine stores.
+    capacity:
+        Optional declared local capacity ``κ_j``; defaults to the current
+        maximum multiplicity.  The paper's lower bound is stated in terms
+        of ``κ_j``, and the hard-input generator varies it independently
+        of the data.
+    name:
+        Optional human-readable identifier for reports.
+    """
+
+    __slots__ = ("_shard", "_capacity", "_name", "_update_ops")
+
+    def __init__(
+        self, shard: Multiset, capacity: int | None = None, name: str | None = None
+    ) -> None:
+        if not isinstance(shard, Multiset):
+            raise ValidationError("shard must be a Multiset")
+        self._shard = shard.copy()
+        natural = self._shard.max_multiplicity()
+        if capacity is None:
+            capacity = natural
+        capacity = require_nonneg_int(capacity, "capacity")
+        if capacity < natural:
+            raise CapacityError(
+                f"declared capacity {capacity} below the maximum multiplicity {natural}"
+            )
+        self._capacity = capacity
+        self._name = name
+        self._update_ops = 0
+
+    # -- identity & data ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return self._name or "machine"
+
+    @property
+    def universe(self) -> int:
+        """Universe size ``N``."""
+        return self._shard.universe
+
+    @property
+    def shard(self) -> Multiset:
+        """A copy of the stored multiset ``T_j``."""
+        return self._shard.copy()
+
+    @property
+    def counts(self) -> np.ndarray:
+        """The multiplicity vector ``c_·j`` (read-only view).
+
+        This is exactly the data the oracle of Eq. (1) encodes; it is what
+        :class:`~repro.database.oracle.SequentialOracle` reads.
+        """
+        return self._shard.counts
+
+    def multiplicity(self, element: int) -> int:
+        """``c_ij`` for this machine."""
+        return self._shard.multiplicity(element)
+
+    # -- Table 1 statistics ----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """``M_j = |T_j|``."""
+        return self._shard.cardinality()
+
+    @property
+    def support_size(self) -> int:
+        """``m_j = |Supp(T_j)|``."""
+        return self._shard.support_size()
+
+    @property
+    def capacity(self) -> int:
+        """Declared local capacity ``κ_j``."""
+        return self._capacity
+
+    @property
+    def natural_capacity(self) -> int:
+        """``max_i c_ij`` — the tightest valid ``κ_j`` right now."""
+        return self._shard.max_multiplicity()
+
+    def is_empty(self) -> bool:
+        """Whether the shard holds no elements."""
+        return self._shard.is_empty()
+
+    # -- dynamic updates (Section 3 remark) ----------------------------------------
+
+    @property
+    def update_operations(self) -> int:
+        """Elementary oracle updates (``U``/``U†`` multiplications) so far."""
+        return self._update_ops
+
+    def insert(self, element: int, count: int = 1) -> "Machine":
+        """Insert copies of ``element``; each unit costs one ``U`` update.
+
+        Raises :class:`CapacityError` if the local capacity would be
+        exceeded — the oracle's counting register cannot represent the
+        result.
+        """
+        count = require_nonneg_int(count, "count")
+        current = self._shard.multiplicity(element)
+        if current + count > self._capacity:
+            raise CapacityError(
+                f"inserting {count} copies of {element} exceeds local capacity "
+                f"{self._capacity} (current multiplicity {current})"
+            )
+        self._shard.add(element, count)
+        self._update_ops += count
+        return self
+
+    def remove(self, element: int, count: int = 1) -> "Machine":
+        """Remove copies of ``element``; each unit costs one ``U†`` update."""
+        count = require_nonneg_int(count, "count")
+        self._shard.remove(element, count)
+        self._update_ops += count
+        return self
+
+    def with_capacity(self, capacity: int) -> "Machine":
+        """A copy of this machine with a different declared ``κ_j``."""
+        return Machine(self._shard, capacity=capacity, name=self._name)
+
+    def replaced_shard(self, shard: Multiset) -> "Machine":
+        """A copy holding ``shard`` (same declared capacity and name).
+
+        Used by the hard-input generator, which permutes one machine's
+        shard while keeping every public parameter fixed.
+        """
+        return Machine(shard, capacity=max(self._capacity, shard.max_multiplicity()), name=self._name)
+
+    def emptied(self) -> "Machine":
+        """A copy with an empty shard (the ``T̃`` construction of §5.3)."""
+        return Machine(
+            Multiset.empty(self._shard.universe), capacity=self._capacity, name=self._name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Machine({self.name!r}, N={self.universe}, M_j={self.size}, "
+            f"m_j={self.support_size}, κ_j={self._capacity})"
+        )

@@ -1,0 +1,234 @@
+"""The quantum counting oracles of the paper (Eqs. 1–3).
+
+Three oracle flavours:
+
+* :class:`SequentialOracle` — Eq. (1):
+  ``O_j |i⟩|s⟩ = |i⟩|(s + c_ij) mod (ν+1)⟩``.
+* :class:`ControlledOracle` — the flag-controlled ``Ô_j`` of Eq. (2) /
+  Section 5: acts as ``O_j`` on the ``b = 1`` slice, identity on ``b = 0``.
+* :class:`ParallelOracle` — Eq. (3): the tensor ``⊗_j Ô_j`` applied in a
+  single round; the coordinator sends one ``(i_j, s_j, b_j)`` triple to
+  every machine simultaneously.
+
+Each application is recorded on a :class:`~repro.database.ledger.QueryLedger`
+— the oracles are the *only* code in the library allowed to read a
+machine's multiplicity table on behalf of an algorithm, which is what
+makes the ledger a faithful query-complexity measure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..qsim.state import StateVector
+from ..utils.validation import require, require_pos_int
+from .distributed import DistributedDatabase
+from .ledger import QueryLedger
+from .machine import Machine
+
+
+class SequentialOracle:
+    """The basic counting oracle ``O_j`` of Eq. (1).
+
+    Parameters
+    ----------
+    machine:
+        The machine whose multiplicities drive the shift.
+    machine_index:
+        Position ``j`` in the database (for ledger attribution).
+    nu:
+        Public capacity ``ν``; the counting register has dimension
+        ``ν + 1`` and the shift is taken mod ``ν + 1``.
+    ledger:
+        Optional ledger; pass ``None`` for un-audited use in tests.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        machine_index: int,
+        nu: int,
+        ledger: QueryLedger | None = None,
+    ) -> None:
+        self._machine = machine
+        self._index = machine_index
+        self._nu = require_pos_int(nu, "nu")
+        self._ledger = ledger
+        if machine.natural_capacity > nu:
+            raise ValidationError(
+                f"machine multiplicities exceed ν = {nu}; Eq. (1) register too small"
+            )
+
+    @property
+    def machine_index(self) -> int:
+        """Position ``j`` of the backing machine."""
+        return self._index
+
+    @property
+    def modulus(self) -> int:
+        """``ν + 1`` — dimension of the counting register."""
+        return self._nu + 1
+
+    def apply(
+        self,
+        state: StateVector,
+        element_reg: str = "i",
+        count_reg: str = "s",
+        adjoint: bool = False,
+    ) -> StateVector:
+        """Apply ``O_j`` (or ``O_j†``) to the named registers of ``state``."""
+        self._check_count_register(state, count_reg)
+        self._record(adjoint)
+        shifts = self._shift_table(state, element_reg)
+        return state.apply_value_shift(
+            element_reg, count_reg, shifts, sign=-1 if adjoint else 1
+        )
+
+    # -- internals shared with the controlled variant ------------------------------
+
+    def _shift_table(self, state: StateVector, element_reg: str) -> np.ndarray:
+        n_elements = state.layout.dim(element_reg)
+        counts = self._machine.counts
+        if n_elements != counts.shape[0]:
+            raise ValidationError(
+                f"element register dimension {n_elements} does not match "
+                f"universe size {counts.shape[0]}"
+            )
+        return counts
+
+    def _check_count_register(self, state: StateVector, count_reg: str) -> None:
+        dim = state.layout.dim(count_reg)
+        if dim != self.modulus:
+            raise ValidationError(
+                f"count register must have dimension ν+1 = {self.modulus}, got {dim}"
+            )
+
+    def _record(self, adjoint: bool) -> None:
+        if self._ledger is not None:
+            self._ledger.record_machine_call(self._index, adjoint=adjoint)
+
+
+class ControlledOracle(SequentialOracle):
+    """The flag-controlled oracle ``Ô_j`` (Eq. 2 / Section 5).
+
+    ``Ô_j |i, s, b⟩ = (O_j |i, s⟩) ⊗ |b⟩`` when ``b = 1``, identity when
+    ``b = 0``.  As the paper notes, ``Ô_j`` is realizable from ``O_j``;
+    both count one query.
+    """
+
+    def apply(
+        self,
+        state: StateVector,
+        element_reg: str = "i",
+        count_reg: str = "s",
+        flag_reg: str = "b",
+        adjoint: bool = False,
+    ) -> StateVector:
+        """Apply ``Ô_j`` (or its adjoint) to the named registers."""
+        self._check_count_register(state, count_reg)
+        self._record(adjoint)
+        shifts = self._shift_table(state, element_reg)
+        return state.apply_flag_controlled_value_shift(
+            element_reg,
+            count_reg,
+            flag_reg,
+            shifts,
+            sign=-1 if adjoint else 1,
+            active=1,
+        )
+
+
+class ParallelOracle:
+    """The joint parallel oracle ``O = ⊗_j Ô_j`` of Eq. (3).
+
+    One :meth:`apply` is one communication round: every machine receives
+    its ``(i_j, s_j, b_j)`` triple simultaneously.  The register names for
+    machine ``j`` default to ``("pi{j}", "ps{j}", "pb{j}")`` but can be
+    overridden to fit any layout.
+    """
+
+    def __init__(self, db: DistributedDatabase, ledger: QueryLedger | None = None) -> None:
+        self._db = db
+        self._ledger = ledger
+        for j, machine in enumerate(db.machines):
+            if machine.natural_capacity > db.nu:
+                raise ValidationError(
+                    f"machine {j} multiplicities exceed ν = {db.nu}"
+                )
+
+    @property
+    def modulus(self) -> int:
+        """``ν + 1``."""
+        return self._db.nu + 1
+
+    @staticmethod
+    def default_register_names(n_machines: int) -> list[tuple[str, str, str]]:
+        """The conventional per-machine register naming."""
+        return [(f"pi{j}", f"ps{j}", f"pb{j}") for j in range(n_machines)]
+
+    def apply(
+        self,
+        state: StateVector,
+        register_triples: Sequence[tuple[str, str, str]] | None = None,
+        adjoint: bool = False,
+    ) -> StateVector:
+        """One round: apply ``Ô_j`` on machine ``j``'s triple, for every ``j``.
+
+        The tensor factors commute (disjoint registers), so the loop order
+        is irrelevant; the ledger records a single parallel round.
+        """
+        n = self._db.n_machines
+        if register_triples is None:
+            register_triples = self.default_register_names(n)
+        require(
+            len(register_triples) == n,
+            f"need one register triple per machine ({n}), got {len(register_triples)}",
+        )
+        if self._ledger is not None:
+            self._ledger.record_parallel_round(adjoint=adjoint)
+        for j, (el, cnt, flag) in enumerate(register_triples):
+            machine = self._db.machine(j)
+            dim = state.layout.dim(cnt)
+            if dim != self.modulus:
+                raise ValidationError(
+                    f"count register {cnt!r} must have dimension {self.modulus}, got {dim}"
+                )
+            counts = machine.counts
+            if state.layout.dim(el) != counts.shape[0]:
+                raise ValidationError(
+                    f"element register {el!r} dimension mismatch with universe"
+                )
+            state.apply_flag_controlled_value_shift(
+                el, cnt, flag, counts, sign=-1 if adjoint else 1, active=1
+            )
+        return state
+
+
+def oracles_for(
+    db: DistributedDatabase, ledger: QueryLedger | None = None, controlled: bool = False
+) -> list[SequentialOracle]:
+    """Build one (controlled) sequential oracle per machine of ``db``."""
+    cls = ControlledOracle if controlled else SequentialOracle
+    return [
+        cls(machine, j, db.nu, ledger=ledger)  # type: ignore[abstract]
+        for j, machine in enumerate(db.machines)
+    ]
+
+
+def elementary_update_matrix(nu: int) -> np.ndarray:
+    """The ``U`` of the Section 3 dynamic-update remark, as a matrix.
+
+    ``U|s⟩ = |(s+1) mod (ν+1)⟩`` on the counting register; incrementing
+    ``c_ij`` by one updates ``O_j ← U·O_j`` (conditioned on ``i``), and
+    decrementing uses ``U†``.  Exposed for tests that verify the
+    update-composition identity.
+    """
+    nu = require_pos_int(nu, "nu")
+    dim = nu + 1
+    mat = np.zeros((dim, dim))
+    for s in range(dim):
+        mat[(s + 1) % dim, s] = 1.0
+    return mat

@@ -1,0 +1,144 @@
+"""Workload generators for experiments and benchmarks.
+
+Each generator produces a joint dataset (a :class:`Multiset`) with a
+controlled shape — uniform, Zipf-skewed, sparse-support, adversarial — and
+the sweep driver pairs them with partition strategies to produce the
+distributed instances that the benchmark harness runs.  All generators are
+seeded for exact reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require, require_pos_int
+from .multiset import Multiset
+
+
+def uniform_dataset(universe: int, total: int, rng: object = None) -> Multiset:
+    """``total`` draws uniform over the universe (multinomial counts)."""
+    universe = require_pos_int(universe, "universe")
+    total = require_pos_int(total, "total")
+    gen = as_generator(rng)
+    counts = gen.multinomial(total, np.full(universe, 1.0 / universe))
+    return Multiset.from_counts(counts.astype(np.int64))
+
+
+def zipf_dataset(
+    universe: int, total: int, exponent: float = 1.1, rng: object = None
+) -> Multiset:
+    """``total`` draws from a Zipf law ``p_i ∝ (i+1)^{-exponent}``.
+
+    The classic skewed-key workload: a few elements dominate — the regime
+    where quantum sampling's amplitude encoding carries the most
+    structure.
+    """
+    universe = require_pos_int(universe, "universe")
+    total = require_pos_int(total, "total")
+    if exponent < 0:
+        raise ValidationError(f"exponent must be nonnegative, got {exponent}")
+    gen = as_generator(rng)
+    weights = (np.arange(1, universe + 1, dtype=np.float64)) ** (-exponent)
+    weights /= weights.sum()
+    counts = gen.multinomial(total, weights)
+    return Multiset.from_counts(counts.astype(np.int64))
+
+
+def sparse_support_dataset(
+    universe: int,
+    support_size: int,
+    multiplicity: int = 1,
+    rng: object = None,
+) -> Multiset:
+    """Exactly ``support_size`` random keys, each with fixed multiplicity.
+
+    With ``multiplicity = 1`` this is the index-erasure / Grover-style
+    regime (uniform superposition over an unknown subset).
+    """
+    universe = require_pos_int(universe, "universe")
+    support_size = require_pos_int(support_size, "support_size")
+    multiplicity = require_pos_int(multiplicity, "multiplicity")
+    require(support_size <= universe, "support cannot exceed the universe")
+    gen = as_generator(rng)
+    support = gen.choice(universe, size=support_size, replace=False)
+    counts = np.zeros(universe, dtype=np.int64)
+    counts[support] = multiplicity
+    return Multiset.from_counts(counts)
+
+
+def single_key_dataset(universe: int, key: int, multiplicity: int = 1) -> Multiset:
+    """One key only — the Grover marked-element special case."""
+    universe = require_pos_int(universe, "universe")
+    require(0 <= key < universe, "key outside universe")
+    multiplicity = require_pos_int(multiplicity, "multiplicity")
+    counts = np.zeros(universe, dtype=np.int64)
+    counts[key] = multiplicity
+    return Multiset.from_counts(counts)
+
+
+def block_dataset(universe: int, block_size: int, multiplicity: int = 1) -> Multiset:
+    """The first ``block_size`` keys with fixed multiplicity (deterministic).
+
+    The canonical base input for hard-input families: its support is an
+    initial segment, so order-preserving relabelings act transparently.
+    """
+    universe = require_pos_int(universe, "universe")
+    block_size = require_pos_int(block_size, "block_size")
+    require(block_size <= universe, "block cannot exceed the universe")
+    multiplicity = require_pos_int(multiplicity, "multiplicity")
+    counts = np.zeros(universe, dtype=np.int64)
+    counts[:block_size] = multiplicity
+    return Multiset.from_counts(counts)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, seeded workload recipe used by the sweep driver.
+
+    Attributes
+    ----------
+    name:
+        Generator key in :data:`GENERATORS`.
+    params:
+        Keyword arguments for the generator (excluding ``rng``).
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...]
+
+    @classmethod
+    def of(cls, name: str, **params: object) -> "WorkloadSpec":
+        """Convenience constructor with keyword params."""
+        return cls(name, tuple(sorted(params.items())))
+
+    def build(self, rng: object = None) -> Multiset:
+        """Materialize the dataset."""
+        try:
+            fn = GENERATORS[self.name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown workload {self.name!r}; choose from {sorted(GENERATORS)}"
+            ) from None
+        kwargs = dict(self.params)
+        if self.name in ("uniform", "zipf", "sparse"):
+            kwargs["rng"] = rng
+        return fn(**kwargs)
+
+    def label(self) -> str:
+        """Compact human-readable label for experiment tables."""
+        inner = ",".join(f"{k}={v}" for k, v in self.params)
+        return f"{self.name}({inner})"
+
+
+GENERATORS: dict[str, Callable[..., Multiset]] = {
+    "uniform": uniform_dataset,
+    "zipf": zipf_dataset,
+    "sparse": sparse_support_dataset,
+    "single": single_key_dataset,
+    "block": block_dataset,
+}

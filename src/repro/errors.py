@@ -1,0 +1,70 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes (:class:`ValidationError`),
+physically impossible requests (:class:`CapacityError`,
+:class:`NotUnitaryError`) and model violations
+(:class:`ObliviousnessError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all :mod:`repro` exceptions."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong type, range, or shape)."""
+
+
+class CapacityError(ValidationError):
+    """A database operation would violate the capacity bound ``ν``.
+
+    The paper requires ``ν ≥ max_i Σ_j c_ij`` so that the counting
+    registers of Eq. (1) can hold every possible oracle answer.  Any
+    construction or dynamic update that would break this invariant raises
+    ``CapacityError`` instead of silently wrapping around.
+    """
+
+
+class EmptyDatabaseError(ValidationError):
+    """The sampling target |ψ⟩ of Eq. (4) is undefined when ``M = 0``."""
+
+
+class NotUnitaryError(ReproError):
+    """An operator failed a unitarity / norm-preservation check.
+
+    Raised only in strict mode (see :mod:`repro.config`); production runs
+    can disable the checks for speed.
+    """
+
+
+class ObliviousnessError(ReproError):
+    """An algorithm attempted a data-dependent communication decision.
+
+    The paper's model (Section 3) fixes the query schedule before any data
+    is observed; schedule objects enforce this and raise when violated.
+    """
+
+
+class SimulationLimitError(ReproError):
+    """The requested instance exceeds configured simulator limits.
+
+    Dense statevector simulation is exponential in the number of
+    registers; this error carries the offending dimension so callers can
+    fall back to the structured backends.
+    """
+
+    def __init__(self, message: str, dimension: int | None = None) -> None:
+        super().__init__(message)
+        self.dimension = dimension
+
+
+class PlanInfeasibleError(ReproError):
+    """No zero-error amplification plan exists for the given overlap.
+
+    This can only happen for overlaps outside ``(0, 1]`` — e.g. an empty
+    database — or due to numerical degeneracy; the message says which.
+    """

@@ -1,0 +1,90 @@
+"""Section 5 machinery: hard inputs, the adversary potential, optimality.
+
+Executable forms of the lower-bound proof's ingredients: order-preserving
+permutation families (:mod:`~repro.lowerbound.permutations`), hard-input
+collections with the Lemma 5.6 count (:mod:`~repro.lowerbound.hard_inputs`),
+the instrumented potential ``D_t`` with the Lemma 5.8 growth law
+(:mod:`~repro.lowerbound.potential`), bound expressions and optimality
+ratios (:mod:`~repro.lowerbound.adversary`), and obliviousness/deferral
+checks (:mod:`~repro.lowerbound.oblivious`).
+"""
+
+from .appendix_b import (
+    AppendixBDecomposition,
+    aligned_target_state,
+    appendix_b_decomposition,
+    uhlmann_identity_gap,
+)
+from .adversary import (
+    OptimalityReport,
+    fidelity_threshold,
+    lemma_5_7_constant,
+    parallel_bound_expression,
+    parallel_optimality,
+    per_machine_query_floor,
+    sequential_bound_expression,
+    sequential_optimality,
+)
+from .hard_inputs import (
+    HardInputCondition,
+    HardInputFamily,
+    check_hard_input,
+    lemma_5_6_size,
+    make_hard_input,
+)
+from .oblivious import (
+    deferral_preserves_fidelity,
+    deferred_measurement_fidelity,
+    measured_then_traced_fidelity,
+    verify_oblivious,
+)
+from .permutations import (
+    apply_to_shard,
+    canonical_order_preserving,
+    is_order_preserving,
+    permutation_fixes_action,
+    random_image_set,
+)
+from .potential import (
+    FidelityCurve,
+    PotentialCurve,
+    TracedRun,
+    potential_curve,
+    run_traced_sequential,
+    truncated_fidelity_curve,
+)
+
+__all__ = [
+    "AppendixBDecomposition",
+    "FidelityCurve",
+    "HardInputCondition",
+    "aligned_target_state",
+    "appendix_b_decomposition",
+    "uhlmann_identity_gap",
+    "HardInputFamily",
+    "OptimalityReport",
+    "PotentialCurve",
+    "TracedRun",
+    "apply_to_shard",
+    "canonical_order_preserving",
+    "check_hard_input",
+    "deferral_preserves_fidelity",
+    "deferred_measurement_fidelity",
+    "fidelity_threshold",
+    "is_order_preserving",
+    "lemma_5_6_size",
+    "lemma_5_7_constant",
+    "make_hard_input",
+    "measured_then_traced_fidelity",
+    "parallel_bound_expression",
+    "parallel_optimality",
+    "per_machine_query_floor",
+    "permutation_fixes_action",
+    "potential_curve",
+    "random_image_set",
+    "run_traced_sequential",
+    "sequential_bound_expression",
+    "sequential_optimality",
+    "truncated_fidelity_curve",
+    "verify_oblivious",
+]

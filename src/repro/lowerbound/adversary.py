@@ -1,0 +1,137 @@
+"""Theorem 5.1/5.2 bound values and optimality-gap evaluation.
+
+The lower bounds say any oblivious algorithm with fidelity > 9/16 spends
+
+* sequential: ``t ≥ C'·Σ_j √(κ_j N / M)``,
+* parallel:   ``t ≥ C'·max_j √(κ_j N / M)``
+
+queries.  These functions evaluate the bound expressions (constant-free
+and with the proof's explicit constants) and compare them with the query
+ledgers of actual runs — the *optimality ratio* ``measured / bound`` must
+stay bounded by a constant across parameter sweeps, which is what the
+optimality experiments (E9/E10) verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..database.distributed import DistributedDatabase
+from ..errors import ValidationError
+from ..utils.validation import require, require_index
+
+
+def sequential_bound_expression(db: DistributedDatabase) -> float:
+    """``Σ_j √(κ_j N / M)`` — the Theorem 5.1 expression (constant-free)."""
+    m_total = db.total_count
+    require(m_total > 0, "bound undefined for an empty database")
+    n_universe = db.universe
+    return float(
+        sum(np.sqrt(kappa * n_universe / m_total) for kappa in db.capacities)
+    )
+
+
+def parallel_bound_expression(db: DistributedDatabase) -> float:
+    """``max_j √(κ_j N / M)`` — the Theorem 5.2 expression (constant-free)."""
+    m_total = db.total_count
+    require(m_total > 0, "bound undefined for an empty database")
+    n_universe = db.universe
+    return float(
+        max(np.sqrt(kappa * n_universe / m_total) for kappa in db.capacities)
+    )
+
+
+def lemma_5_7_constant(alpha: float, epsilon: float) -> float:
+    """The explicit constant ``C`` of Lemma 5.7.
+
+    From Appendix B: with ``M_k ≥ αM`` and fidelity ``≥ (1−ε)²``,
+    ``ε ≤ C₀·M_k/M`` for ``C₀ = ε/α < 1/4`` (this is where ``α > 4ε``
+    enters), and ``C = (1/√2 − √(2C₀))²``.  For an exact algorithm
+    (``ε = 0``) the constant is ``1/2``.
+    """
+    require(0 <= epsilon < 1, "ε must lie in [0, 1)")
+    require(0 < alpha <= 1, "α must lie in (0, 1]")
+    if epsilon > 0:
+        require(alpha > 4 * epsilon, "Lemma 5.7 needs α > 4ε")
+        c0 = epsilon / alpha
+    else:
+        c0 = 0.0
+    return float((1.0 / np.sqrt(2.0) - np.sqrt(2.0 * c0)) ** 2)
+
+
+def per_machine_query_floor(
+    db: DistributedDatabase, k: int, alpha: float = 1.0, beta: float = 1.0,
+    epsilon: float = 0.0,
+) -> float:
+    """The Eq. (13) per-machine floor ``t_k ≥ √(C β κ_k N / (4M))``.
+
+    This is the quantitative heart of the proof of Theorem 5.1: combining
+    the Lemma 5.7 requirement with the Lemma 5.8 growth bound and
+    ``M_k/m_k ≥ βκ_k``.
+    """
+    k = require_index(k, db.n_machines, "k")
+    m_total = db.total_count
+    require(m_total > 0, "bound undefined for an empty database")
+    c_const = lemma_5_7_constant(alpha, epsilon)
+    kappa = db.capacities[k]
+    return float(np.sqrt(c_const * beta * kappa * db.universe / (4.0 * m_total)))
+
+
+@dataclass(frozen=True)
+class OptimalityReport:
+    """Measured cost vs the matching lower-bound expression.
+
+    ``ratio = measured / bound`` — Theorems 4.x + 5.x together say this
+    stays ``Θ(1)`` (per model) across all instances; the sweeps check that
+    the ratio's spread stays within a small factor.
+    """
+
+    model: str
+    measured: int
+    bound_expression: float
+    ratio: float
+    parameters: dict
+
+
+def sequential_optimality(
+    db: DistributedDatabase, measured_queries: int
+) -> OptimalityReport:
+    """Compare a sequential run's ledger against Theorem 5.1's expression."""
+    bound = sequential_bound_expression(db)
+    if bound <= 0:
+        raise ValidationError("degenerate bound (all capacities zero)")
+    return OptimalityReport(
+        model="sequential",
+        measured=measured_queries,
+        bound_expression=bound,
+        ratio=measured_queries / bound,
+        parameters=db.public_parameters(),
+    )
+
+
+def parallel_optimality(
+    db: DistributedDatabase, measured_rounds: int
+) -> OptimalityReport:
+    """Compare a parallel run's ledger against Theorem 5.2's expression."""
+    bound = parallel_bound_expression(db)
+    if bound <= 0:
+        raise ValidationError("degenerate bound (all capacities zero)")
+    return OptimalityReport(
+        model="parallel",
+        measured=measured_rounds,
+        bound_expression=bound,
+        ratio=measured_rounds / bound,
+        parameters=db.public_parameters(),
+    )
+
+
+def fidelity_threshold() -> float:
+    """The 9/16 fidelity threshold below which the bounds do not apply.
+
+    ``(1 − ε)² > 9/16 ⟺ ε < 1/4``; the classically trivial strategy of
+    outputting a fixed state achieves fidelity up to ``max_i c_i / M``,
+    so the threshold separates meaningful samplers from guessers.
+    """
+    return 9.0 / 16.0

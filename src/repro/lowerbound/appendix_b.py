@@ -1,0 +1,191 @@
+"""Appendix B, executable: the ``E_t``/``F_t`` decomposition of ``D_t``.
+
+The proof of Lemma 5.7 splits the potential via the aligned targets
+``|ψ̃^T⟩`` of Lemma B.1 — the purification of the target ``|ψ⟩`` closest
+to the run's final state — into
+
+* ``E_t = E_T ‖ψ_t^T − ψ̃^T‖²`` — how far the algorithm lands from its
+  own aligned target (≤ 2ε by Lemma B.2; **0** for our exact runs), and
+* ``F_t = E_T ‖ψ_t − ψ̃^T‖²`` — how far the *reference* run (machine k
+  emptied) is from every member's target (≥ M_k/(2M) by Lemma B.4, via
+  the Proposition B.3 overlap bound),
+
+joined by the reverse-triangle inequality (15):
+``D_t ≥ (√F_t − √E_t)²``.  This module computes all of these exactly on
+enumerable (or sampled) hard-input families, so each appendix inequality
+becomes an assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exact_aa import solve_plan
+from ..core.target import target_amplitudes
+from ..errors import ValidationError
+from ..qsim.state import StateVector
+from ..utils.validation import require_pos_int
+from .hard_inputs import HardInputFamily
+from .potential import run_traced_sequential
+
+
+def aligned_target_state(
+    state: StateVector, target_amps: np.ndarray, element_reg: str = "i"
+) -> StateVector:
+    """The Lemma B.1 aligned target ``|ψ̃⟩`` for a given run state.
+
+    Uhlmann: ``F(Tr_Y|s⟩⟨s|, ψ) = max_v |⟨s|v⟩|²`` over purifications
+    ``v`` of ``|ψ⟩⟨ψ|``; since ``ψ`` is pure, ``v = |ψ⟩ ⊗ |η⟩`` and the
+    optimal environment vector is ``η ∝ (⟨ψ, y|s⟩)_y`` — computable in
+    one contraction.  Returns ``v`` on the same layout as ``state``.
+    """
+    layout = state.layout
+    axis = layout.axis(element_reg)
+    dim = layout.dim(element_reg)
+    target = np.asarray(target_amps, dtype=np.complex128)
+    if target.shape != (dim,):
+        raise ValidationError("target dimension mismatch with the element register")
+
+    # w_y = ⟨ψ ⊗ e_y | s⟩ — contract the element axis with ψ*.
+    w = np.tensordot(target.conj(), state.as_array(), axes=([0], [axis]))
+    norm = np.linalg.norm(w)
+    if norm < 1e-300:
+        # The run state is orthogonal to ψ on every environment branch —
+        # any purification is equally (un)aligned; pick e_0.
+        w = np.zeros_like(w)
+        w.reshape(-1)[0] = 1.0
+        norm = 1.0
+    eta = w / norm
+
+    amps = np.tensordot(target, eta, axes=0)  # ψ ⊗ η, element axis first
+    amps = np.moveaxis(amps, 0, axis)
+    return StateVector.from_array(layout, amps)
+
+
+def uhlmann_identity_gap(
+    state: StateVector, target_amps: np.ndarray, element_reg: str = "i"
+) -> float:
+    """``|F(ρ, ψ) − |⟨s|ψ̃⟩|²|`` — zero iff Lemma B.1's identity holds."""
+    from ..qsim.density import reduced_density_matrix
+    from ..qsim.fidelity import fidelity_mixed_pure
+
+    rho = reduced_density_matrix(state, [element_reg])
+    direct = fidelity_mixed_pure(rho, np.asarray(target_amps))
+    aligned = aligned_target_state(state, target_amps, element_reg)
+    via_purification = abs(state.overlap(aligned)) ** 2
+    return float(abs(direct - via_purification))
+
+
+@dataclass(frozen=True)
+class AppendixBDecomposition:
+    """All Appendix B quantities for one hard-input family at ``t = t_k``.
+
+    Attributes
+    ----------
+    e_t / f_t / d_t:
+        The measured expectations over the (sampled) family.
+    triangle_floor:
+        ``(√F_t − √E_t)²`` — inequality (15)'s lower bound on ``D_t``.
+    lemma_b2_ceiling:
+        ``2ε`` with ``ε = 1 − min_T |⟨ψ_t^T|ψ̃^T⟩|`` (0 for exact runs).
+    lemma_b4_floor:
+        ``M_k/(2M)``.
+    prop_b3_lhs / prop_b3_rhs:
+        The Proposition B.3 overlap sum and its bound (normalized by
+        ``|T|`` to per-member scale).
+    sample_size:
+        Members used.
+    """
+
+    e_t: float
+    f_t: float
+    d_t: float
+    triangle_floor: float
+    lemma_b2_ceiling: float
+    lemma_b4_floor: float
+    prop_b3_lhs: float
+    prop_b3_rhs: float
+    sample_size: int
+
+    def inequality_15_holds(self) -> bool:
+        """``D_t ≥ (√F_t − √E_t)²``."""
+        return self.d_t >= self.triangle_floor - 1e-9
+
+    def lemma_b2_holds(self) -> bool:
+        """``E_t ≤ 2ε``."""
+        return self.e_t <= self.lemma_b2_ceiling + 1e-9
+
+    def lemma_b4_holds(self) -> bool:
+        """``F_t ≥ M_k/(2M)``."""
+        return self.f_t >= self.lemma_b4_floor - 1e-9
+
+    def prop_b3_holds(self) -> bool:
+        """The overlap-sum bound."""
+        return self.prop_b3_lhs <= self.prop_b3_rhs + 1e-9
+
+
+def appendix_b_decomposition(
+    family: HardInputFamily,
+    sample_size: int = 8,
+    rng: object = None,
+    exhaustive: bool = False,
+) -> AppendixBDecomposition:
+    """Measure every Appendix B quantity on (a sample of) the family."""
+    base = family.base
+    plan = solve_plan(base.initial_overlap())
+    k = family.k
+    nu = base.nu
+
+    reference = run_traced_sequential(family.reference(), plan, k, nu)
+    ref_final = reference.final_state
+
+    if exhaustive:
+        members = list(family.enumerate_members())
+    else:
+        members = family.sample_members(require_pos_int(sample_size, "sample_size"), rng)
+
+    e_sum = f_sum = d_sum = 0.0
+    overlap_sum = 0.0
+    min_alignment = 1.0
+    for member in members:
+        run = run_traced_sequential(member, plan, k, nu)
+        member_target = target_amplitudes(member)
+        aligned = aligned_target_state(run.final_state, member_target, "i")
+        e_sum += run.final_state.distance(aligned) ** 2
+        f_sum += ref_final.distance(aligned) ** 2
+        d_sum += run.final_state.distance(ref_final) ** 2
+        overlap_sum += abs(ref_final.overlap(aligned))
+        min_alignment = min(min_alignment, abs(run.final_state.overlap(aligned)))
+
+    count = len(members)
+    e_t = e_sum / count
+    f_t = f_sum / count
+    d_t = d_sum / count
+    epsilon = max(0.0, 1.0 - min_alignment)
+
+    # Proposition B.3 (per-member scale): E_T |⟨ψ_t|ψ̃^T⟩| ≤
+    # √(Σ_{j≠k} M_j / M) + √(κ_k/(MN))·m_k.
+    m_total = base.total_count
+    m_k_size = base.machine(k).size
+    others = m_total - m_k_size
+    kappa_k = base.capacities[k]
+    m_k_support = family.support_size
+    prop_lhs = overlap_sum / count
+    prop_rhs = float(
+        np.sqrt(others / m_total)
+        + np.sqrt(kappa_k / (m_total * base.universe)) * m_k_support
+    )
+
+    return AppendixBDecomposition(
+        e_t=e_t,
+        f_t=f_t,
+        d_t=d_t,
+        triangle_floor=float((np.sqrt(f_t) - np.sqrt(e_t)) ** 2),
+        lemma_b2_ceiling=2.0 * epsilon,
+        lemma_b4_floor=m_k_size / (2.0 * m_total),
+        prop_b3_lhs=prop_lhs,
+        prop_b3_rhs=prop_rhs,
+        sample_size=count,
+    )

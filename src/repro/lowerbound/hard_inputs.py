@@ -1,0 +1,228 @@
+"""Hard-input families (Definitions 5.4–5.5, Lemma 5.6).
+
+A hard-input family for machine ``k`` starts from a base input ``T``
+whose ``k``-th shard is heavy (``M_k ≥ αM``), dense
+(``M_k/m_k ≥ βκ_k``) and capacity-compatible
+(``max_{i,j≠k} c_ij + max_i c_ik ≤ ν``), and contains every relabeling of
+that shard by an order-preserving permutation.  All members share every
+public parameter — ``N, n, ν, M, M_j, m_k, κ_j`` — so an oblivious
+algorithm runs the *identical* circuit on each of them; only machine
+``k``'s oracle answers differ.  That tension is what the potential
+function of :mod:`repro.lowerbound.potential` measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from math import comb
+from typing import Iterator
+
+import numpy as np
+
+from ..database.distributed import DistributedDatabase
+from ..database.machine import Machine
+from ..database.multiset import Multiset
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require, require_index, require_pos_int
+from .permutations import canonical_order_preserving, random_image_set
+
+
+@dataclass(frozen=True)
+class HardInputCondition:
+    """The Definition 5.4 predicate, with diagnostics.
+
+    Attributes record each clause so failures are explainable.
+    """
+
+    heavy: bool          # M_k ≥ α·M
+    dense: bool          # M_k / m_k ≥ β·κ_k
+    capacity_ok: bool    # max_{i,j≠k} c_ij + max_i c_ik ≤ ν
+    details: dict
+
+    @property
+    def satisfied(self) -> bool:
+        """All three clauses hold."""
+        return self.heavy and self.dense and self.capacity_ok
+
+
+def check_hard_input(
+    db: DistributedDatabase, k: int, alpha: float, beta: float
+) -> HardInputCondition:
+    """Evaluate the Definition 5.4 condition for machine ``k``."""
+    k = require_index(k, db.n_machines, "k")
+    require(0 < alpha <= 1, "α must lie in (0, 1]")
+    require(0 < beta <= 1, "β must lie in (0, 1]")
+    machine = db.machine(k)
+    m_total = db.total_count
+    m_k = machine.size
+    support_k = machine.support_size
+    kappa_k = machine.capacity
+
+    heavy = m_k >= alpha * m_total
+    dense = support_k > 0 and (m_k / support_k) >= beta * kappa_k
+    others_max = 0
+    for j, other in enumerate(db.machines):
+        if j != k and other.universe:
+            others_max = max(others_max, other.natural_capacity)
+    capacity_ok = others_max + machine.natural_capacity <= db.nu
+    return HardInputCondition(
+        heavy=heavy,
+        dense=dense,
+        capacity_ok=capacity_ok,
+        details={
+            "M": m_total,
+            "M_k": m_k,
+            "m_k": support_k,
+            "kappa_k": kappa_k,
+            "alpha": alpha,
+            "beta": beta,
+            "others_max_multiplicity": others_max,
+            "nu": db.nu,
+        },
+    )
+
+
+class HardInputFamily:
+    """The collection ``T`` of Definition 5.5 for one base input.
+
+    Members are indexed by image sets (size-``m_k`` subsets of the
+    universe) via Lemma 5.6's classification; :meth:`member` builds the
+    database for a given image, :meth:`enumerate_members` walks all
+    ``C(N, m_k)`` of them, and :meth:`sample_members` draws uniformly.
+    """
+
+    def __init__(
+        self,
+        base: DistributedDatabase,
+        k: int,
+        alpha: float = 1.0,
+        beta: float = 1.0,
+        validate: bool = True,
+    ) -> None:
+        self._base = base
+        self._k = require_index(k, base.n_machines, "k")
+        self._alpha = float(alpha)
+        self._beta = float(beta)
+        if validate:
+            condition = check_hard_input(base, k, alpha, beta)
+            if not condition.satisfied:
+                raise ValidationError(
+                    f"base input violates the hard-input condition: {condition.details} "
+                    f"(heavy={condition.heavy}, dense={condition.dense}, "
+                    f"capacity_ok={condition.capacity_ok})"
+                )
+        self._support = base.machine(k).shard.support()
+
+    # -- parameters --------------------------------------------------------------
+
+    @property
+    def base(self) -> DistributedDatabase:
+        """The generating input ``T``."""
+        return self._base
+
+    @property
+    def k(self) -> int:
+        """The distinguished machine index."""
+        return self._k
+
+    @property
+    def support_size(self) -> int:
+        """``m_k = |Supp(T_k)|``."""
+        return int(self._support.size)
+
+    @property
+    def alpha(self) -> float:
+        """The heaviness constant α of Definition 5.4."""
+        return self._alpha
+
+    @property
+    def beta(self) -> float:
+        """The density constant β of Definition 5.4."""
+        return self._beta
+
+    def size(self) -> int:
+        """``|T| = C(N, m_k)`` — Lemma 5.6."""
+        return comb(self._base.universe, self.support_size)
+
+    # -- members --------------------------------------------------------------
+
+    def member(self, image: np.ndarray) -> DistributedDatabase:
+        """The family member whose shard-``k`` support is ``image``."""
+        sigma = canonical_order_preserving(
+            self._base.universe, self._support, np.asarray(image)
+        )
+        shard = self._base.machine(self._k).shard.permuted(sigma)
+        machine = self._base.machine(self._k).replaced_shard(shard)
+        return self._base.replaced_machine(self._k, machine)
+
+    def enumerate_members(self) -> Iterator[DistributedDatabase]:
+        """All members, ordered by image set (exponential — small N only)."""
+        universe = self._base.universe
+        for image in combinations(range(universe), self.support_size):
+            yield self.member(np.array(image, dtype=np.intp))
+
+    def sample_members(
+        self, count: int, rng: object = None
+    ) -> list[DistributedDatabase]:
+        """``count`` members drawn uniformly (images may repeat)."""
+        count = require_pos_int(count, "count")
+        gen = as_generator(rng)
+        members = []
+        for _ in range(count):
+            image = random_image_set(self._base.universe, self.support_size, gen)
+            members.append(self.member(image))
+        return members
+
+    def reference(self) -> DistributedDatabase:
+        """``T̃`` — the base with machine ``k`` emptied (Section 5.3).
+
+        Shared by every member: the other machines' shards are identical
+        across the family.
+        """
+        return self._base.without_machine_data(self._k)
+
+    def __repr__(self) -> str:
+        return (
+            f"HardInputFamily(k={self._k}, N={self._base.universe}, "
+            f"m_k={self.support_size}, |T|={self.size()})"
+        )
+
+
+def make_hard_input(
+    universe: int,
+    n_machines: int,
+    k: int = 0,
+    support_size: int = 2,
+    multiplicity: int = 1,
+    nu: int | None = None,
+) -> DistributedDatabase:
+    """A canonical hard input: all data on machine ``k`` (Theorem 5.1 proof).
+
+    Machine ``k`` holds ``support_size`` keys with equal ``multiplicity``
+    (so ``M_k/m_k = κ_k`` exactly — β = 1 — and ``M_k = M`` — α = 1);
+    every other machine is empty.
+    """
+    universe = require_pos_int(universe, "universe")
+    n_machines = require_pos_int(n_machines, "n_machines")
+    k = require_index(k, n_machines, "k")
+    support_size = require_pos_int(support_size, "support_size")
+    multiplicity = require_pos_int(multiplicity, "multiplicity")
+    require(support_size <= universe, "support cannot exceed the universe")
+    counts = np.zeros(universe, dtype=np.int64)
+    counts[:support_size] = multiplicity
+    shards = [Multiset.empty(universe) for _ in range(n_machines)]
+    shards[k] = Multiset.from_counts(counts)
+    machines = [
+        Machine(s, capacity=(multiplicity if j == k else 0), name=f"machine-{j}")
+        for j, s in enumerate(shards)
+    ]
+    if nu is None:
+        nu = multiplicity
+    return DistributedDatabase(machines, nu=nu)
+
+
+def lemma_5_6_size(universe: int, support_size: int) -> int:
+    """``C(N, m_k)`` — the Lemma 5.6 count."""
+    return comb(universe, support_size)

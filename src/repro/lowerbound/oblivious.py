@@ -1,0 +1,108 @@
+"""Obliviousness verification and the Lemma 5.3 measurement deferral.
+
+Two executable facets of Section 5.1:
+
+* **Schedule invariance** — an oblivious algorithm's communication order
+  depends only on public parameters.  :func:`verify_oblivious` runs a
+  sampler factory over databases sharing public parameters and asserts
+  their schedules are byte-identical.
+* **Measurement deferral (Lemma 5.3 / Appendix A)** — an oblivious
+  algorithm with intermediate measurements can be replaced by a
+  measurement-free one with the same query count and fidelity.
+  :func:`deferred_measurement_fidelity` verifies the Appendix A identity
+  ``F(ρ', ψ) = F(ρ, ψ)`` numerically for the actual final states our
+  sampler produces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.result import SamplingResult
+from ..database.distributed import DistributedDatabase
+from ..errors import ObliviousnessError
+from ..qsim.state import StateVector
+from ..utils.validation import require
+
+
+def verify_oblivious(
+    sampler_factory: Callable[[DistributedDatabase], object],
+    databases: Sequence[DistributedDatabase],
+) -> str:
+    """Assert all databases yield the identical schedule; return its digest.
+
+    ``sampler_factory(db)`` must return an object with a ``schedule()``
+    method (both samplers qualify).  Databases must share public
+    parameters — that is the caller's contract; a mismatch in the
+    resulting schedules raises :class:`ObliviousnessError`.
+    """
+    require(len(databases) >= 2, "need at least two databases to compare")
+    fingerprints = []
+    for db in databases:
+        sampler = sampler_factory(db)
+        fingerprints.append(sampler.schedule().fingerprint())  # type: ignore[attr-defined]
+    first = fingerprints[0]
+    for idx, fp in enumerate(fingerprints[1:], start=1):
+        if fp != first:
+            raise ObliviousnessError(
+                f"database {idx} produced a different schedule "
+                f"({fp[:12]}… vs {first[:12]}…); the algorithm is not oblivious"
+            )
+    return first
+
+
+def measured_then_traced_fidelity(
+    state: StateVector, target_amps: np.ndarray, output_reg: str = "i"
+) -> float:
+    """Fidelity of algorithm *A* (measure, then trace): ``F(ρ, ψ)``.
+
+    ``ρ = Tr_Y[Σ_i Π_i |s⟩⟨s| Π_i]`` with ``Π_i = |i⟩⟨i| ⊗ I_Y`` — i.e.
+    the output register dephased by the measurement, then reduced.
+    For pure ``ψ``: ``F = Σ_i |ψ_i|² p_i`` with ``p_i`` the outcome
+    probabilities.
+    """
+    probs = state.marginal_probabilities(output_reg)
+    target = np.abs(np.asarray(target_amps, dtype=np.complex128)) ** 2
+    require(probs.shape == target.shape, "target dimension mismatch")
+    return float(np.sum(target * probs))
+
+
+def deferred_measurement_fidelity(
+    state: StateVector, target_amps: np.ndarray, output_reg: str = "i"
+) -> float:
+    """Fidelity of algorithm *B* (Appendix A's unitarized measurement).
+
+    *B* copies the would-be outcome into a fresh ancilla:
+    ``|s⟩|0⟩ ↦ Σ_i √p_i |s_i⟩|i⟩`` with ``|s_i⟩ = Π_i|s⟩/√p_i``.  The
+    output state is then ``ρ' = Tr_{Y,anc}``, and Appendix A shows
+    ``F(ρ', ψ) = F(ρ, ψ)``.  For ``Π_i`` projecting the output register
+    onto ``|i⟩``, the copy leaves the reduced state of the output register
+    unchanged except for the same dephasing, so we compute it directly
+    from the definition: ``F(ρ', ψ) = Σ_i Σ_{η,l} |⟨ψ,η,l|Π_i|s⟩⊗|i⟩|²``.
+    """
+    axis = state.layout.axis(output_reg)
+    dim = state.layout.dim(output_reg)
+    target = np.asarray(target_amps, dtype=np.complex128)
+    require(target.shape == (dim,), "target dimension mismatch")
+    arr = state.as_array()
+    total = 0.0
+    # ⟨ψ, η, l| (Π_i|s⟩) ⊗ |i⟩ is nonzero only for l = i, where it equals
+    # ψ_i^* · ⟨η| (the i-th slice of |s⟩).  Summing |·|² over η gives
+    # |ψ_i|² · ‖slice_i‖², i.e. |ψ_i|²·p_i — the same sum as algorithm A.
+    slicer: list[object] = [slice(None)] * len(state.layout)
+    for i in range(dim):
+        slicer[axis] = i
+        block = arr[tuple(slicer)]
+        total += float(abs(target[i]) ** 2 * np.sum(np.abs(block) ** 2))
+    return total
+
+
+def deferral_preserves_fidelity(
+    result: SamplingResult, target_amps: np.ndarray, atol: float = 1e-12
+) -> bool:
+    """The Lemma 5.3 identity, checked on a real run's final state."""
+    f_measured = measured_then_traced_fidelity(result.final_state, target_amps)
+    f_deferred = deferred_measurement_fidelity(result.final_state, target_amps)
+    return bool(abs(f_measured - f_deferred) <= atol)

@@ -1,0 +1,103 @@
+"""Order-preserving permutations and the σ-induced action (Section 5.2).
+
+A permutation ``σ`` of ``[N]`` is *order-preserving for a set S* when it
+preserves the relative order of S's elements.  Lemma 5.6 shows that the
+action of such permutations on a shard is classified exactly by the image
+set ``σ(S)`` — there are ``C(N, |S|)`` distinct actions.  The hard-input
+family enumerates/samples image sets and materializes one canonical
+order-preserving permutation per image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..database.multiset import Multiset
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require
+
+
+def is_order_preserving(sigma: np.ndarray, support: np.ndarray) -> bool:
+    """Whether permutation ``sigma`` preserves the order of ``support``.
+
+    ``σ(r) < σ(t) ⟺ r < t`` for all ``r, t`` in the support.  Since the
+    support array is sorted, this reduces to the image sequence being
+    strictly increasing.
+    """
+    sigma = np.asarray(sigma, dtype=np.intp)
+    support = np.sort(np.asarray(support, dtype=np.intp))
+    if support.size <= 1:
+        return True
+    image = sigma[support]
+    return bool(np.all(np.diff(image) > 0))
+
+
+def canonical_order_preserving(
+    universe: int, support: np.ndarray, image: np.ndarray
+) -> np.ndarray:
+    """The canonical order-preserving ``σ`` with ``σ(support) = image``.
+
+    Sorted support maps to sorted image position-by-position; the
+    complement of the support maps to the complement of the image, also
+    in increasing order.  This is a bijection of ``[N]``, order-preserving
+    for the support, and every possible action on the support arises from
+    exactly one image set (Lemma 5.6).
+    """
+    support = np.sort(np.asarray(support, dtype=np.intp))
+    image = np.sort(np.asarray(image, dtype=np.intp))
+    if support.shape != image.shape:
+        raise ValidationError(
+            f"support size {support.shape[0]} != image size {image.shape[0]}"
+        )
+    if support.size and (support[0] < 0 or support[-1] >= universe):
+        raise ValidationError("support outside the universe")
+    if image.size and (image[0] < 0 or image[-1] >= universe):
+        raise ValidationError("image outside the universe")
+    if np.unique(support).size != support.size:
+        raise ValidationError("support has duplicates")
+    if np.unique(image).size != image.size:
+        raise ValidationError("image has duplicates")
+
+    sigma = np.empty(universe, dtype=np.intp)
+    sigma[support] = image
+    in_support = np.zeros(universe, dtype=bool)
+    in_support[support] = True
+    in_image = np.zeros(universe, dtype=bool)
+    in_image[image] = True
+    rest_domain = np.flatnonzero(~in_support)
+    rest_image = np.flatnonzero(~in_image)
+    sigma[rest_domain] = rest_image
+    return sigma
+
+
+def random_image_set(
+    universe: int, size: int, rng: object = None
+) -> np.ndarray:
+    """A uniformly random ``size``-subset of the universe (sorted)."""
+    gen = as_generator(rng)
+    require(0 <= size <= universe, "image size must fit in the universe")
+    return np.sort(gen.choice(universe, size=size, replace=False))
+
+
+def apply_to_shard(shard: Multiset, sigma: np.ndarray) -> Multiset:
+    """The σ-induced relabeling of one shard: ``c'_i = c_{σ^{-1}(i)}``.
+
+    Equivalent to :meth:`Multiset.permuted` — exposed here under the
+    paper's name for readability of the hard-input code.
+    """
+    return shard.permuted(sigma)
+
+
+def permutation_fixes_action(
+    sigma1: np.ndarray, sigma2: np.ndarray, support: np.ndarray
+) -> bool:
+    """Whether two permutations act identically on the support.
+
+    This is the equivalence relation of the Lemma 5.6 counting claim:
+    ``σ̃₁ᵏ(T) = σ̃₂ᵏ(T)`` iff ``σ₁ = σ₂`` on ``Supp(T_k)``.
+    """
+    sigma1 = np.asarray(sigma1, dtype=np.intp)
+    sigma2 = np.asarray(sigma2, dtype=np.intp)
+    support = np.asarray(support, dtype=np.intp)
+    return bool(np.array_equal(sigma1[support], sigma2[support]))

@@ -1,0 +1,294 @@
+"""The adversary potential ``D_t`` (Eq. 11) and its growth law.
+
+For a hard-input family ``T`` for machine ``k``, the paper tracks
+
+    ``D_t = E_{T∈T} ‖ |ψ_t^T⟩ − |ψ_t⟩ ‖²``
+
+where ``|ψ_t^T⟩`` is the algorithm state after ``t`` calls to machine
+``k``'s oracle on input ``T``, and ``|ψ_t⟩`` the state of the same
+circuit with machine ``k`` emptied (``T̃``).  Two facts pin the query
+complexity:
+
+* **growth** (Lemma 5.8): ``D_t ≤ 4 (m_k/N) t²`` — each oracle call can
+  only push the ensemble apart by so much, because the hard inputs
+  scatter shard ``k`` across ``C(N, m_k)`` supports;
+* **requirement** (Lemma 5.7): a high-fidelity algorithm must end with
+  ``D_{t_k} ≥ C·M_k/M``.
+
+This module instruments the *actual Theorem 4.3 circuit* to measure the
+potential exactly, so both inequalities become executable assertions.
+A technical note: the paper's ``ψ_t`` includes the unitary following the
+``t``-th oracle call; since that unitary is input-independent and common
+to both runs, it cancels inside the norm — we snapshot immediately after
+each machine-``k`` oracle application, which yields identical ``D_t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.distributing import u_rotation_blocks
+from ..core.engine import apply_s_chi, apply_s_pi
+from ..core.exact_aa import AmplificationPlan, solve_plan
+from ..core.target import fidelity_with_target
+from ..database.distributed import DistributedDatabase
+from ..database.ledger import QueryLedger
+from ..database.oracle import SequentialOracle
+from ..qsim.fourier import uniform_preparation_matrix
+from ..qsim.operators import adjoint_blocks
+from ..qsim.register import RegisterLayout
+from ..qsim.state import StateVector
+from ..utils.validation import require, require_index, require_pos_int
+from .hard_inputs import HardInputFamily
+
+
+@dataclass(frozen=True)
+class TracedRun:
+    """One instrumented execution of the sequential circuit.
+
+    Attributes
+    ----------
+    snapshots:
+        ``snapshots[t]`` is the state immediately after the ``t``-th call
+        to machine ``k``'s oracle (``snapshots[0]`` is the pre-oracle
+        state, so ``len(snapshots) == t_k + 1``).
+    final_state:
+        The state at the end of the algorithm.
+    machine_k_calls:
+        ``t_k`` — total calls (forward + adjoint) to machine ``k``.
+    """
+
+    snapshots: tuple[StateVector, ...]
+    final_state: StateVector
+    machine_k_calls: int
+
+
+def run_traced_sequential(
+    data_db: DistributedDatabase,
+    plan: AmplificationPlan,
+    k: int,
+    nu: int,
+) -> TracedRun:
+    """Execute the Theorem 4.3 circuit defined by ``plan`` on ``data_db``.
+
+    The circuit — ``F``, the Eq. (6) rotations, the reflections, and the
+    amplification angles — is fixed by ``plan`` and the public ``(N, n,
+    ν)``; only the oracle answers read ``data_db``.  Running the same
+    ``plan`` against different members of a hard-input family is exactly
+    the oblivious-model premise of Section 5.
+    """
+    k = require_index(k, data_db.n_machines, "k")
+    layout = RegisterLayout.of(i=data_db.universe, s=nu + 1, w=2)
+    state = StateVector.zero(layout)
+    state.apply_local_unitary("i", uniform_preparation_matrix(data_db.universe))
+
+    ledger = QueryLedger(data_db.n_machines)
+    oracles = [
+        SequentialOracle(machine, j, nu, ledger=ledger)
+        for j, machine in enumerate(data_db.machines)
+    ]
+    u_blocks = u_rotation_blocks(nu)
+    u_blocks_adj = adjoint_blocks(u_blocks)
+    snapshots: list[StateVector] = [state.copy()]
+
+    def d_apply(s: StateVector, adjoint: bool = False) -> StateVector:
+        for j, oracle in enumerate(oracles):
+            oracle.apply(s, "i", "s", adjoint=False)
+            if j == k:
+                snapshots.append(s.copy())
+        s.apply_controlled_qubit_unitary("s", "w", u_blocks_adj if adjoint else u_blocks)
+        for j in reversed(range(len(oracles))):
+            oracles[j].apply(s, "i", "s", adjoint=True)
+            if j == k:
+                snapshots.append(s.copy())
+        return s
+
+    # The amplification skeleton, inlined so the snapshots interleave at
+    # oracle granularity rather than macro-step granularity.
+    d_apply(state, False)
+    for _ in range(plan.grover_reps):
+        _apply_q_traced(state, d_apply, np.pi, np.pi)
+    if plan.needs_final:
+        assert plan.final_varphi is not None and plan.final_phi is not None
+        _apply_q_traced(state, d_apply, plan.final_varphi, plan.final_phi)
+
+    return TracedRun(
+        snapshots=tuple(snapshots),
+        final_state=state,
+        machine_k_calls=ledger.machine_queries(k),
+    )
+
+
+def _apply_q_traced(
+    state: StateVector,
+    d_apply: Callable[[StateVector, bool], StateVector],
+    varphi: float,
+    phi: float,
+) -> None:
+    apply_s_chi(state, varphi, "w")
+    d_apply(state, True)
+    apply_s_pi(state, phi, "i", "w")
+    d_apply(state, False)
+    state.apply_global_phase(-1.0)
+
+
+@dataclass(frozen=True)
+class PotentialCurve:
+    """Measured ``D_t`` against the Lemma 5.8 bound.
+
+    Attributes
+    ----------
+    t:
+        Oracle-call counts ``0 … t_k``.
+    measured:
+        ``D_t`` averaged over the sampled family members.
+    bound:
+        ``4 (m_k/N) t²``.
+    final_requirement:
+        The Lemma 5.7 floor ``C·M_k/M`` with ``C = 1/2`` (the ε = 0 case:
+        our algorithm is exact).
+    sample_size:
+        Members averaged.
+    """
+
+    t: np.ndarray
+    measured: np.ndarray
+    bound: np.ndarray
+    final_requirement: float
+    sample_size: int
+
+    def within_bound(self) -> bool:
+        """Whether the growth law holds pointwise (with float slack)."""
+        return bool(np.all(self.measured <= self.bound + 1e-9))
+
+    def meets_requirement(self) -> bool:
+        """Whether ``D_{t_k}`` reaches the Lemma 5.7 floor."""
+        return bool(self.measured[-1] >= self.final_requirement - 1e-9)
+
+
+def potential_curve(
+    family: HardInputFamily,
+    sample_size: int = 8,
+    rng: object = None,
+    exhaustive: bool = False,
+) -> PotentialCurve:
+    """Measure ``D_t`` for the Theorem 4.3 circuit on a hard-input family.
+
+    Parameters
+    ----------
+    family:
+        The hard inputs for machine ``k``.
+    sample_size:
+        Members to average over (ignored when ``exhaustive``).
+    exhaustive:
+        Enumerate the full family (use only when ``C(N, m_k)`` is small).
+    """
+    base = family.base
+    plan = solve_plan(base.initial_overlap())
+    k = family.k
+    nu = base.nu
+
+    reference_run = run_traced_sequential(family.reference(), plan, k, nu)
+    ref_states = reference_run.snapshots
+
+    if exhaustive:
+        members: Sequence[DistributedDatabase] = list(family.enumerate_members())
+    else:
+        members = family.sample_members(require_pos_int(sample_size, "sample_size"), rng)
+
+    t_k = reference_run.machine_k_calls
+    sums = np.zeros(t_k + 1, dtype=np.float64)
+    for member in members:
+        run = run_traced_sequential(member, plan, k, nu)
+        require(
+            run.machine_k_calls == t_k,
+            "oblivious violation: members made different query counts",
+        )
+        for t in range(t_k + 1):
+            sums[t] += run.snapshots[t].distance(ref_states[t]) ** 2
+    measured = sums / len(members)
+
+    m_k = family.support_size
+    n_universe = base.universe
+    t_axis = np.arange(t_k + 1, dtype=np.float64)
+    bound = 4.0 * m_k / n_universe * t_axis**2
+    m_frac = base.machine(k).size / base.total_count
+    return PotentialCurve(
+        t=t_axis,
+        measured=measured,
+        bound=bound,
+        final_requirement=0.5 * m_frac,
+        sample_size=len(members),
+    )
+
+
+@dataclass(frozen=True)
+class FidelityCurve:
+    """Fidelity achieved as a function of query budget (experiment E15).
+
+    Truncating the amplification at ``m' < m`` iterations spends fewer
+    queries and lands short of the target; the resulting
+    fidelity-vs-queries curve is the algorithmic face of the
+    Zalka/adversary trade-off (fidelity deficits shrink quadratically in
+    the query budget, matching the ``t²`` growth law of ``D_t``).
+    """
+
+    iterations: np.ndarray
+    sequential_queries: np.ndarray
+    fidelity: np.ndarray
+    predicted_fidelity: np.ndarray
+
+
+def truncated_fidelity_curve(db: DistributedDatabase) -> FidelityCurve:
+    """Run the circuit with every truncated iteration budget ``0 … m``.
+
+    The predicted fidelity is the 2-D algebra value
+    ``sin²((2m'+1)θ)`` — measured and predicted must agree exactly.
+    """
+    full_plan = solve_plan(db.initial_overlap())
+    theta = full_plan.theta
+    iterations = np.arange(full_plan.grover_reps + 1)
+    fidelities = np.zeros(iterations.size, dtype=np.float64)
+    queries = np.zeros(iterations.size, dtype=np.int64)
+    predicted = np.sin((2 * iterations + 1) * theta) ** 2
+
+    for idx, reps in enumerate(iterations):
+        truncated = AmplificationPlan(
+            overlap=full_plan.overlap,
+            theta=theta,
+            grover_reps=int(reps),
+            needs_final=False,
+            final_varphi=None,
+            final_phi=None,
+        )
+        result = _run_with_plan(db, truncated)
+        fidelities[idx] = result[0]
+        queries[idx] = result[1]
+    return FidelityCurve(
+        iterations=iterations,
+        sequential_queries=queries,
+        fidelity=fidelities,
+        predicted_fidelity=predicted,
+    )
+
+
+def _run_with_plan(db: DistributedDatabase, plan: AmplificationPlan) -> tuple[float, int]:
+    """Execute an explicit plan on the subspace backend; return (F, queries)."""
+    from ..core.distributing import DirectDistributingOperator
+    from ..core.engine import run_amplification
+
+    layout = RegisterLayout.of(i=db.universe, w=2)
+    state = StateVector.zero(layout)
+    state.apply_local_unitary("i", uniform_preparation_matrix(db.universe))
+    ledger = QueryLedger(db.n_machines)
+    operator = DirectDistributingOperator(db, ledger=ledger)
+
+    def d_apply(s: StateVector, adjoint: bool = False) -> StateVector:
+        return operator.apply(s, "i", "w", adjoint=adjoint)
+
+    run_amplification(state, plan, d_apply)
+    ledger.freeze()
+    return fidelity_with_target(db, state), ledger.sequential_queries

@@ -1,0 +1,86 @@
+"""Exact qudit-register statevector simulator (substrate).
+
+This package is the quantum-computer stand-in: named qudit registers
+(:mod:`~repro.qsim.register`), an exact vectorized statevector
+(:mod:`~repro.qsim.state`), dense-operator utilities
+(:mod:`~repro.qsim.operators`), Fourier/uniform preparation
+(:mod:`~repro.qsim.fourier`), Born measurement
+(:mod:`~repro.qsim.measurement`), density-matrix analysis
+(:mod:`~repro.qsim.density`) and fidelity measures
+(:mod:`~repro.qsim.fidelity`).
+"""
+
+from .density import (
+    is_density_matrix,
+    pure_density,
+    purity,
+    reduced_density_matrix,
+    standard_purification,
+)
+from .fidelity import (
+    distance_to_fidelity_bound,
+    fidelity_mixed_mixed,
+    fidelity_mixed_pure,
+    fidelity_pure_pure,
+    total_variation,
+    trace_distance,
+)
+from .fourier import dft_matrix, uniform_preparation_matrix, uniform_state
+from .measurement import (
+    MeasurementRecord,
+    empirical_distribution,
+    measure_register,
+    sample_register,
+)
+from .operators import (
+    MatrixOperator,
+    adjoint_blocks,
+    assert_unitary,
+    controlled_rotation_blocks,
+    is_permutation_matrix,
+    is_unitary,
+    operator_matrix,
+)
+from .random_states import (
+    haar_random_state,
+    haar_random_unitary,
+    haar_random_vector,
+    random_density_matrix,
+)
+from .register import Register, RegisterLayout
+from .state import StateVector
+
+__all__ = [
+    "MatrixOperator",
+    "MeasurementRecord",
+    "Register",
+    "RegisterLayout",
+    "StateVector",
+    "adjoint_blocks",
+    "assert_unitary",
+    "controlled_rotation_blocks",
+    "dft_matrix",
+    "distance_to_fidelity_bound",
+    "empirical_distribution",
+    "fidelity_mixed_mixed",
+    "fidelity_mixed_pure",
+    "fidelity_pure_pure",
+    "haar_random_state",
+    "haar_random_unitary",
+    "haar_random_vector",
+    "is_density_matrix",
+    "is_permutation_matrix",
+    "is_unitary",
+    "measure_register",
+    "operator_matrix",
+    "pure_density",
+    "purity",
+    "random_density_matrix",
+    "reduced_density_matrix",
+    "sample_register",
+    "standard_purification",
+    "total_variation",
+    "trace_distance",
+    "uniform_preparation_matrix",
+    "uniform_state",
+]

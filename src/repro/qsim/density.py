@@ -1,0 +1,101 @@
+"""Density matrices, partial trace, purification helpers.
+
+The lower-bound analysis (Appendix B, Lemma B.1) reasons about the output
+*reduced* state ``ρ = Tr_Y |ψ_T⟩⟨ψ_T|`` and its Uhlmann fidelity with the
+target.  These helpers give exact small-scale implementations of those
+objects so the appendix inequalities can be verified numerically.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config import CONFIG
+from ..errors import ValidationError
+from .register import RegisterLayout
+from .state import StateVector
+
+
+def reduced_density_matrix(state: StateVector, keep: Sequence[str]) -> np.ndarray:
+    """Partial trace keeping the named registers (in the order given).
+
+    Returns a dense ``(d, d)`` density matrix with
+    ``d = ∏ dim(keep)``, indexed row-major over the kept registers.
+    """
+    layout = state.layout
+    keep = list(keep)
+    if not keep:
+        raise ValidationError("must keep at least one register")
+    keep_axes = [layout.axis(r) for r in keep]
+    if len(set(keep_axes)) != len(keep_axes):
+        raise ValidationError("duplicate registers in keep list")
+    other_axes = [a for a in range(len(layout)) if a not in keep_axes]
+
+    keep_dims = [layout.shape[a] for a in keep_axes]
+    other_dims = [layout.shape[a] for a in other_axes]
+    d_keep = int(np.prod(keep_dims))
+    d_other = int(np.prod(other_dims)) if other_dims else 1
+    CONFIG.require_dense_dimension(d_keep * d_keep)
+
+    # Reorder axes to (keep…, other…) then flatten into a d_keep × d_other
+    # matrix; ρ = Ψ Ψ† then traces the "other" index pair in one matmul.
+    arr = np.transpose(state.as_array(), keep_axes + other_axes)
+    mat = arr.reshape(d_keep, d_other)
+    return mat @ mat.conj().T
+
+
+def purity(rho: np.ndarray) -> float:
+    """``Tr ρ²`` — 1 for pure states, 1/d for maximally mixed."""
+    rho = np.asarray(rho)
+    return float(np.real(np.trace(rho @ rho)))
+
+
+def is_density_matrix(rho: np.ndarray, atol: float | None = None) -> bool:
+    """Positive semidefinite, Hermitian, unit trace — within ``atol``."""
+    rho = np.asarray(rho)
+    atol = CONFIG.atol if atol is None else atol
+    if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+        return False
+    if not np.allclose(rho, rho.conj().T, atol=max(atol, 1e-9)):
+        return False
+    if abs(np.trace(rho).real - 1.0) > max(atol, 1e-9):
+        return False
+    eigs = np.linalg.eigvalsh((rho + rho.conj().T) / 2)
+    return bool(eigs.min() > -1e-8)
+
+
+def pure_density(amplitudes: np.ndarray) -> np.ndarray:
+    """|φ⟩⟨φ| from an amplitude vector (normalized first)."""
+    vec = np.asarray(amplitudes, dtype=np.complex128).reshape(-1)
+    n = np.linalg.norm(vec)
+    if n == 0:
+        raise ValidationError("zero vector has no density matrix")
+    vec = vec / n
+    return np.outer(vec, vec.conj())
+
+
+def purification_layout(system_dim: int, env_dim: int) -> RegisterLayout:
+    """Layout ``(X: system, Y: environment)`` used in Lemma B.1 checks."""
+    return RegisterLayout.of(X=system_dim, Y=env_dim)
+
+
+def standard_purification(rho: np.ndarray) -> StateVector:
+    """A canonical purification of ``ρ`` on registers ``X ⊗ Y``.
+
+    Uses the eigendecomposition ``ρ = Σ λ_k |k⟩⟨k|`` to build
+    ``Σ √λ_k |k⟩_X |k⟩_Y``.
+    """
+    rho = np.asarray(rho, dtype=np.complex128)
+    if not is_density_matrix(rho):
+        raise ValidationError("input is not a density matrix")
+    eigvals, eigvecs = np.linalg.eigh((rho + rho.conj().T) / 2)
+    eigvals = np.clip(eigvals, 0.0, None)
+    dim = rho.shape[0]
+    layout = purification_layout(dim, dim)
+    amps = np.zeros((dim, dim), dtype=np.complex128)
+    for k in range(dim):
+        if eigvals[k] > 0:
+            amps[:, k] = np.sqrt(eigvals[k]) * eigvecs[:, k]
+    return StateVector.from_array(layout, amps)

@@ -1,0 +1,53 @@
+"""Discrete Fourier transforms on a single register.
+
+The paper's amplitude-amplification reflection ``S_π(ϕ)`` is phrased
+relative to the state-preparation unitary ``F`` with ``F|0⟩ = |π⟩`` (the
+uniform superposition).  For a register of arbitrary dimension ``N`` the
+natural choice is the quantum Fourier transform / DFT matrix; any unitary
+with first column ``(1/√N)(1,…,1)ᵀ`` works, and we expose both the DFT and
+a cheaper Householder-style alternative for large ``N``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.validation import require_pos_int
+
+
+def dft_matrix(dim: int) -> np.ndarray:
+    """The unitary DFT ``F[j,k] = ω^{jk}/√N`` with ``ω = e^{2πi/N}``.
+
+    Satisfies ``F|0⟩ = |π⟩`` exactly.
+    """
+    dim = require_pos_int(dim, "dim")
+    indices = np.arange(dim)
+    phase = np.exp(2j * np.pi / dim * np.outer(indices, indices))
+    return phase / np.sqrt(dim)
+
+
+def uniform_preparation_matrix(dim: int) -> np.ndarray:
+    """A real orthogonal ``F`` with ``F|0⟩ = |π⟩`` (Householder reflection).
+
+    The DFT is the canonical choice in the paper, but only the first
+    column matters for the algorithm; this real variant halves memory and
+    keeps every amplitude real, which makes debugging traces readable.
+    Built as the Householder reflection mapping ``e_0 ↦ u`` where
+    ``u = (1,…,1)/√N``.
+    """
+    dim = require_pos_int(dim, "dim")
+    u = np.full(dim, 1.0 / np.sqrt(dim))
+    e0 = np.zeros(dim)
+    e0[0] = 1.0
+    v = u - e0
+    vnorm = np.linalg.norm(v)
+    if vnorm < 1e-15:  # dim == 1: identity already maps e0 to u
+        return np.eye(dim)
+    v /= vnorm
+    return np.eye(dim) - 2.0 * np.outer(v, v)
+
+
+def uniform_state(dim: int) -> np.ndarray:
+    """The uniform superposition amplitudes ``|π⟩ = Σ_i |i⟩ / √N``."""
+    dim = require_pos_int(dim, "dim")
+    return np.full(dim, 1.0 / np.sqrt(dim), dtype=np.complex128)

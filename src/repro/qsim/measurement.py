@@ -1,0 +1,115 @@
+"""Born-rule measurement and sampling.
+
+Measuring the sampling state ``|ψ⟩`` of Eq. (4) in the computational basis
+is, by construction, equivalent to classically sampling the distributed
+database.  These helpers perform that measurement (destructively or as a
+pure sampling operation) so experiments can compare the *measured*
+frequency spectrum against the database frequencies ``c_i / M``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require_pos_int
+from .state import StateVector
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """Outcome of a projective measurement on one register.
+
+    Attributes
+    ----------
+    outcome:
+        The observed basis value.
+    probability:
+        Born probability of that outcome at measurement time.
+    post_state:
+        The normalized post-measurement state (collapsed).
+    """
+
+    outcome: int
+    probability: float
+    post_state: StateVector
+
+
+def sample_register(
+    state: StateVector, reg: str, shots: int, rng: object = None
+) -> np.ndarray:
+    """Draw ``shots`` i.i.d. computational-basis outcomes of ``reg``.
+
+    Non-destructive: the state is not modified (appropriate for repeated
+    sampling experiments where each shot conceptually re-prepares |ψ⟩).
+    """
+    shots = require_pos_int(shots, "shots")
+    gen = as_generator(rng)
+    probs = state.marginal_probabilities(reg)
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValidationError("state has no support; cannot sample")
+    probs = probs / total
+    return gen.choice(probs.shape[0], size=shots, p=probs)
+
+
+def empirical_distribution(outcomes: np.ndarray, dim: int) -> np.ndarray:
+    """Normalized histogram of outcomes over ``range(dim)``."""
+    dim = require_pos_int(dim, "dim")
+    counts = np.bincount(np.asarray(outcomes, dtype=np.int64), minlength=dim)
+    if counts.shape[0] > dim:
+        raise ValidationError("outcome out of range for the given dimension")
+    total = counts.sum()
+    if total == 0:
+        raise ValidationError("no outcomes supplied")
+    return counts / total
+
+
+def measure_register(
+    state: StateVector, reg: str, rng: object = None
+) -> MeasurementRecord:
+    """Projectively measure one register, collapsing the state.
+
+    Returns the outcome, its probability, and the normalized
+    post-measurement state (original object is untouched; collapse is
+    performed on a copy).
+    """
+    gen = as_generator(rng)
+    probs = state.marginal_probabilities(reg)
+    total = probs.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise ValidationError("state has no support; cannot measure")
+    probs = probs / total
+    outcome = int(gen.choice(probs.shape[0], p=probs))
+
+    collapsed = state.copy()
+    arr = collapsed.as_array()
+    axis = state.layout.axis(reg)
+    slicer: list[object] = [slice(None)] * len(state.layout)
+    for value in range(state.layout.dim(reg)):
+        if value != outcome:
+            slicer[axis] = value
+            arr[tuple(slicer)] = 0.0
+    collapsed.normalize()
+    return MeasurementRecord(
+        outcome=outcome, probability=float(probs[outcome]), post_state=collapsed
+    )
+
+
+def expected_distribution_from_counts(counts: Mapping[int, int] | np.ndarray) -> np.ndarray:
+    """Normalize a multiplicity table ``c_i`` into ``p_i = c_i / M``."""
+    if isinstance(counts, np.ndarray):
+        arr = counts.astype(np.float64)
+    else:
+        size = max(counts) + 1 if counts else 0
+        arr = np.zeros(size, dtype=np.float64)
+        for key, value in counts.items():
+            arr[key] = value
+    total = arr.sum()
+    if total <= 0:
+        raise ValidationError("counts sum to zero; distribution undefined")
+    return arr / total

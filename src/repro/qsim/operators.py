@@ -1,0 +1,143 @@
+"""Operator objects and unitarity checking.
+
+Most algorithm code applies kernels directly through
+:class:`~repro.qsim.state.StateVector`; the classes here exist for the
+places where an operator is *data* — composing, inverting, checking
+unitarity, or cross-validating a kernel against its dense matrix on small
+instances (the pattern used throughout the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..config import CONFIG
+from ..errors import NotUnitaryError, ValidationError
+from .register import RegisterLayout
+from .state import StateVector
+
+
+def is_unitary(matrix: np.ndarray, atol: float | None = None) -> bool:
+    """Whether ``matrix`` is unitary within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    atol = CONFIG.atol if atol is None else atol
+    eye = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, eye, atol=atol))
+
+
+def assert_unitary(matrix: np.ndarray, what: str = "operator") -> None:
+    """Raise :class:`NotUnitaryError` unless ``matrix`` is unitary."""
+    if not is_unitary(matrix):
+        residual = np.abs(matrix.conj().T @ matrix - np.eye(matrix.shape[0])).max()
+        raise NotUnitaryError(f"{what} is not unitary (max residual {residual:.3e})")
+
+
+def is_permutation_matrix(matrix: np.ndarray, atol: float | None = None) -> bool:
+    """Whether ``matrix`` is a 0/1 permutation matrix within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    atol = CONFIG.atol if atol is None else atol
+    rounded = np.round(matrix.real)
+    if not np.allclose(matrix, rounded, atol=atol):
+        return False
+    if not np.all((rounded == 0) | (rounded == 1)):
+        return False
+    return bool(
+        np.all(rounded.sum(axis=0) == 1) and np.all(rounded.sum(axis=1) == 1)
+    )
+
+
+def operator_matrix(
+    layout: RegisterLayout, apply: Callable[[StateVector], StateVector]
+) -> np.ndarray:
+    """Materialize the dense matrix of a kernel by acting on every basis state.
+
+    Exponentially expensive by construction; the tests use it to check that
+    vectorized kernels equal their textbook matrices on small layouts.
+    """
+    dim = layout.dimension
+    CONFIG.require_dense_dimension(dim * dim)
+    columns = np.zeros((dim, dim), dtype=np.complex128)
+    shape = layout.shape
+    for col in range(dim):
+        amps = np.zeros(shape, dtype=np.complex128)
+        amps.reshape(-1)[col] = 1.0
+        state = StateVector.from_array(layout, amps)
+        out = apply(state)
+        columns[:, col] = out.as_array().reshape(-1)
+    return columns
+
+
+@dataclass(frozen=True)
+class MatrixOperator:
+    """A dense operator bound to specific registers of a layout.
+
+    Provides composition and adjoint so small algebraic identities (e.g.
+    ``D = (O₁…O_n)† · U · (O₁…O_n)`` of Lemma 4.2) can be checked as
+    matrix equations in tests.
+    """
+
+    layout: RegisterLayout
+    regs: tuple[str, ...]
+    matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        d = 1
+        for r in self.regs:
+            d *= self.layout.dim(r)
+        if self.matrix.shape != (d, d):
+            raise ValidationError(
+                f"matrix shape {self.matrix.shape} does not match registers {self.regs}"
+            )
+
+    def apply(self, state: StateVector) -> StateVector:
+        """Apply to ``state`` in place (returns the same object)."""
+        return state.apply_unitary(self.regs, self.matrix)
+
+    def adjoint(self) -> "MatrixOperator":
+        """The Hermitian adjoint."""
+        return MatrixOperator(self.layout, self.regs, self.matrix.conj().T)
+
+    def compose(self, other: "MatrixOperator") -> "MatrixOperator":
+        """``self ∘ other`` (apply ``other`` first); registers must match."""
+        if other.regs != self.regs or other.layout != self.layout:
+            raise ValidationError("can only compose operators on identical registers")
+        return MatrixOperator(self.layout, self.regs, self.matrix @ other.matrix)
+
+    def assert_unitary(self, what: str = "operator") -> None:
+        """Unitarity check, raising :class:`NotUnitaryError` on failure."""
+        assert_unitary(self.matrix, what)
+
+
+def controlled_rotation_blocks(cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Stack per-control 2×2 real rotations ``[[c,−s],[s,c]]``.
+
+    This is the matrix family behind the paper's ``U`` (Eq. 6): control
+    value ``c`` prepares ``√(c/ν)|0⟩ + √((ν−c)/ν)|1⟩`` from ``|0⟩``.
+    """
+    cos = np.asarray(cos, dtype=np.float64)
+    sin = np.asarray(sin, dtype=np.float64)
+    if cos.shape != sin.shape or cos.ndim != 1:
+        raise ValidationError("cos and sin must be 1-D arrays of equal length")
+    if np.any(np.abs(cos**2 + sin**2 - 1.0) > 1e-9):
+        raise NotUnitaryError("cos² + sin² must equal 1 for every control value")
+    mats = np.zeros((cos.shape[0], 2, 2), dtype=np.complex128)
+    mats[:, 0, 0] = cos
+    mats[:, 0, 1] = -sin
+    mats[:, 1, 0] = sin
+    mats[:, 1, 1] = cos
+    return mats
+
+
+def adjoint_blocks(mats: np.ndarray) -> np.ndarray:
+    """Per-control adjoints of a ``(C, 2, 2)`` stack."""
+    mats = np.asarray(mats)
+    if mats.ndim != 3 or mats.shape[1:] != (2, 2):
+        raise ValidationError(f"expected shape (C, 2, 2), got {mats.shape}")
+    return mats.conj().transpose(0, 2, 1)

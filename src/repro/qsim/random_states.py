@@ -1,0 +1,50 @@
+"""Haar-random pure states and random unitaries, for property tests.
+
+Property-based tests exercise the simulator kernels on arbitrary states
+and check invariants (norm preservation, composition identities); these
+generators provide the raw material with deterministic seeding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..utils.rng import as_generator
+from ..utils.validation import require_pos_int
+from .register import RegisterLayout
+from .state import StateVector
+
+
+def haar_random_vector(dim: int, rng: object = None) -> np.ndarray:
+    """A Haar-random unit vector in dimension ``dim``."""
+    dim = require_pos_int(dim, "dim")
+    gen = as_generator(rng)
+    vec = gen.normal(size=dim) + 1j * gen.normal(size=dim)
+    return vec / np.linalg.norm(vec)
+
+
+def haar_random_state(layout: RegisterLayout, rng: object = None) -> StateVector:
+    """A Haar-random pure :class:`StateVector` on ``layout``."""
+    vec = haar_random_vector(layout.dimension, rng)
+    return StateVector.from_array(layout, vec.reshape(layout.shape))
+
+
+def haar_random_unitary(dim: int, rng: object = None) -> np.ndarray:
+    """A Haar-random unitary via QR of a Ginibre matrix."""
+    dim = require_pos_int(dim, "dim")
+    gen = as_generator(rng)
+    z = gen.normal(size=(dim, dim)) + 1j * gen.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    # Fix the phase ambiguity of QR so the distribution is Haar.
+    phases = np.diagonal(r) / np.abs(np.diagonal(r))
+    return q * phases
+
+
+def random_density_matrix(dim: int, rank: int | None = None, rng: object = None) -> np.ndarray:
+    """A random density matrix of the given rank (default: full)."""
+    dim = require_pos_int(dim, "dim")
+    rank = dim if rank is None else require_pos_int(rank, "rank")
+    gen = as_generator(rng)
+    z = gen.normal(size=(dim, rank)) + 1j * gen.normal(size=(dim, rank))
+    rho = z @ z.conj().T
+    return rho / np.trace(rho).real

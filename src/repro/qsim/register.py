@@ -1,0 +1,172 @@
+"""Named qudit registers and register layouts.
+
+The paper's coordinator state has named registers — the element register
+``|i⟩`` (dimension ``N``), the oracle-outcome register ``|s⟩`` (dimension
+``ν+1``), flag/ancilla qubits — and the algorithms are phrased as
+operations on *subsets* of those registers.  :class:`RegisterLayout` gives
+each register a name and an axis of the underlying NumPy amplitude array,
+so algorithm code reads like the paper ("apply the oracle to registers
+``i`` and ``s``") instead of raw axis arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..errors import ValidationError
+from ..utils.validation import require, require_pos_int
+
+
+@dataclass(frozen=True)
+class Register:
+    """A single qudit register.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier inside a layout (e.g. ``"i"``, ``"s"``, ``"w"``).
+    dim:
+        Local Hilbert-space dimension (``N`` for the element register,
+        ``ν+1`` for the counting register, ``2`` for flags).
+    """
+
+    name: str
+    dim: int
+
+    def __post_init__(self) -> None:
+        require(bool(self.name), "register name must be non-empty")
+        require_pos_int(self.dim, f"dimension of register {self.name!r}")
+
+    def __repr__(self) -> str:
+        return f"Register({self.name!r}, dim={self.dim})"
+
+
+class RegisterLayout:
+    """An ordered collection of named registers defining a Hilbert space.
+
+    The joint space is the tensor product in declaration order; axis ``k``
+    of the amplitude array corresponds to the ``k``-th register.
+
+    Examples
+    --------
+    >>> layout = RegisterLayout([Register("i", 4), Register("w", 2)])
+    >>> layout.dimension
+    8
+    >>> layout.axis("w")
+    1
+    """
+
+    def __init__(self, registers: Iterable[Register]) -> None:
+        regs = list(registers)
+        require(len(regs) > 0, "a layout needs at least one register")
+        names = [r.name for r in regs]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate register names in layout: {names}")
+        self._registers: tuple[Register, ...] = tuple(regs)
+        self._axis_of: dict[str, int] = {r.name: k for k, r in enumerate(regs)}
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def registers(self) -> tuple[Register, ...]:
+        """The registers in tensor order."""
+        return self._registers
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Register names in tensor order."""
+        return tuple(r.name for r in self._registers)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Per-register dimensions, i.e. the amplitude-array shape."""
+        return tuple(r.dim for r in self._registers)
+
+    @property
+    def dimension(self) -> int:
+        """Total Hilbert-space dimension (product of register dims)."""
+        total = 1
+        for r in self._registers:
+            total *= r.dim
+        return total
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def __iter__(self) -> Iterator[Register]:
+        return iter(self._registers)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._axis_of
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RegisterLayout):
+            return NotImplemented
+        return self._registers == other._registers
+
+    def __hash__(self) -> int:
+        return hash(self._registers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r.name}:{r.dim}" for r in self._registers)
+        return f"RegisterLayout({inner})"
+
+    # -- lookups ---------------------------------------------------------------
+
+    def axis(self, name: str) -> int:
+        """Array axis of register ``name``; raises if unknown."""
+        try:
+            return self._axis_of[name]
+        except KeyError:
+            raise ValidationError(
+                f"unknown register {name!r}; layout has {list(self.names)}"
+            ) from None
+
+    def axes(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Array axes for several registers at once."""
+        return tuple(self.axis(n) for n in names)
+
+    def register(self, name: str) -> Register:
+        """The :class:`Register` called ``name``."""
+        return self._registers[self.axis(name)]
+
+    def dim(self, name: str) -> int:
+        """Dimension of register ``name``."""
+        return self.register(name).dim
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def of(cls, **dims: int) -> "RegisterLayout":
+        """Build a layout from keyword dims (Python ≥3.7 keeps kw order).
+
+        >>> RegisterLayout.of(i=4, s=3, w=2).shape
+        (4, 3, 2)
+        """
+        return cls([Register(name, dim) for name, dim in dims.items()])
+
+    def extended(self, *extra: Register) -> "RegisterLayout":
+        """A new layout with ``extra`` registers appended."""
+        return RegisterLayout([*self._registers, *extra])
+
+    def basis_index(self, assignment: Mapping[str, int]) -> tuple[int, ...]:
+        """Translate ``{name: value}`` into a full array index tuple.
+
+        All registers must be assigned; values are range-checked.
+        """
+        missing = set(self.names) - set(assignment)
+        if missing:
+            raise ValidationError(f"missing assignments for registers {sorted(missing)}")
+        extra = set(assignment) - set(self.names)
+        if extra:
+            raise ValidationError(f"unknown registers in assignment: {sorted(extra)}")
+        index = []
+        for reg in self._registers:
+            value = int(assignment[reg.name])
+            if not 0 <= value < reg.dim:
+                raise ValidationError(
+                    f"value {value} out of range for register {reg.name!r} (dim {reg.dim})"
+                )
+            index.append(value)
+        return tuple(index)

@@ -1,0 +1,449 @@
+"""Exact statevector over a :class:`~repro.qsim.register.RegisterLayout`.
+
+Design notes (following the HPC guides' vectorization discipline):
+
+* Amplitudes live in a single C-contiguous ``complex128`` array whose axes
+  are the registers of the layout.  Every operation is a whole-array NumPy
+  kernel — gathers via :func:`numpy.take_along_axis`, broadcasted slice
+  rotations, ``tensordot`` contractions — never a per-amplitude Python
+  loop.
+* Unitary mutations happen in place on the object (methods return ``self``
+  for chaining) and, in strict mode (:mod:`repro.config`), verify norm
+  preservation after each step.
+* Non-unitary helpers (projection, marginals) return *new* objects and
+  never touch the strict-mode check, so instrumentation can distinguish
+  "the algorithm acted" from "the analyst looked".
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..config import CONFIG
+from ..errors import NotUnitaryError, ValidationError
+from ..utils.validation import require
+from .register import RegisterLayout
+
+
+class StateVector:
+    """A pure state on the joint space of a register layout.
+
+    Parameters
+    ----------
+    layout:
+        The register layout defining axis order and dimensions.
+    amps:
+        Optional initial amplitudes with shape ``layout.shape``; defaults
+        to the all-zeros basis state ``|0…0⟩``.  The array is copied.
+    """
+
+    __slots__ = ("_layout", "_amps", "_expected_norm")
+
+    def __init__(self, layout: RegisterLayout, amps: np.ndarray | None = None) -> None:
+        CONFIG.require_dense_dimension(layout.dimension)
+        self._layout = layout
+        if amps is None:
+            arr = np.zeros(layout.shape, dtype=np.complex128)
+            arr[(0,) * len(layout)] = 1.0
+        else:
+            arr = np.array(amps, dtype=np.complex128, copy=True, order="C")
+            if arr.shape != layout.shape:
+                raise ValidationError(
+                    f"amplitude shape {arr.shape} does not match layout shape {layout.shape}"
+                )
+        self._amps = arr
+        self._expected_norm = float(np.linalg.norm(arr))
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def zero(cls, layout: RegisterLayout) -> "StateVector":
+        """The basis state ``|0…0⟩``."""
+        return cls(layout)
+
+    @classmethod
+    def basis(cls, layout: RegisterLayout, assignment: Mapping[str, int]) -> "StateVector":
+        """The computational-basis state given by ``{register: value}``."""
+        state = cls(layout)
+        state._amps[(0,) * len(layout)] = 0.0
+        state._amps[layout.basis_index(assignment)] = 1.0
+        return state
+
+    @classmethod
+    def from_array(cls, layout: RegisterLayout, amps: np.ndarray) -> "StateVector":
+        """Wrap explicit amplitudes (copied, shape-checked)."""
+        return cls(layout, amps)
+
+    def copy(self) -> "StateVector":
+        """An independent deep copy."""
+        return StateVector(self._layout, self._amps)
+
+    # -- basic queries ----------------------------------------------------------
+
+    @property
+    def layout(self) -> RegisterLayout:
+        """The register layout of this state."""
+        return self._layout
+
+    @property
+    def dimension(self) -> int:
+        """Total Hilbert-space dimension."""
+        return self._layout.dimension
+
+    def as_array(self) -> np.ndarray:
+        """The amplitude array, shaped like the layout.
+
+        This is the live buffer; treat it as read-only.
+        """
+        return self._amps
+
+    def flat(self) -> np.ndarray:
+        """Raveled copy of the amplitudes (tensor order)."""
+        return self._amps.reshape(-1).copy()
+
+    def norm(self) -> float:
+        """Euclidean norm ‖ψ‖."""
+        return float(np.linalg.norm(self._amps))
+
+    def normalize(self) -> "StateVector":
+        """Scale to unit norm in place; raises on the zero vector."""
+        n = self.norm()
+        require(n > 0, "cannot normalize the zero vector")
+        self._amps /= n
+        self._expected_norm = 1.0
+        return self
+
+    def overlap(self, other: "StateVector") -> complex:
+        """The inner product ⟨self|other⟩."""
+        self._check_same_layout(other)
+        return complex(np.vdot(self._amps, other._amps))
+
+    def fidelity_pure(self, other: "StateVector") -> float:
+        """|⟨self|other⟩|² — pure-state fidelity."""
+        return float(abs(self.overlap(other)) ** 2)
+
+    def distance(self, other: "StateVector") -> float:
+        """Euclidean distance ‖self − other‖ (the paper's potential metric)."""
+        self._check_same_layout(other)
+        return float(np.linalg.norm(self._amps - other._amps))
+
+    def amplitude(self, assignment: Mapping[str, int]) -> complex:
+        """Amplitude of a single basis state."""
+        return complex(self._amps[self._layout.basis_index(assignment)])
+
+    # -- unitary mutations -------------------------------------------------------
+
+    def apply_permutation(self, reg: str, perm: np.ndarray) -> "StateVector":
+        """Apply the basis permutation ``|x⟩ ↦ |perm[x]⟩`` on one register.
+
+        ``perm`` must be a bijection of ``range(dim)``.
+        """
+        axis = self._layout.axis(reg)
+        dim = self._layout.dim(reg)
+        perm = np.asarray(perm, dtype=np.intp)
+        if perm.shape != (dim,):
+            raise ValidationError(f"permutation must have shape ({dim},), got {perm.shape}")
+        inverse = np.empty(dim, dtype=np.intp)
+        inverse[perm] = np.arange(dim, dtype=np.intp)
+        # new[..., y, ...] = old[..., perm^{-1}(y), ...]
+        self._amps = np.take(self._amps, inverse, axis=axis)
+        return self._after_unitary()
+
+    def apply_value_shift(
+        self, control: str, target: str, shifts: np.ndarray, sign: int = 1
+    ) -> "StateVector":
+        """The counting-oracle kernel of Eq. (1).
+
+        ``|c⟩|s⟩ ↦ |c⟩|(s + sign·shifts[c]) mod dim(target)⟩`` — a
+        control-value-dependent cyclic shift of the target register,
+        realized as a single vectorized gather.
+        """
+        c_axis = self._layout.axis(control)
+        t_axis = self._layout.axis(target)
+        require(c_axis != t_axis, "control and target must differ")
+        c_dim = self._layout.dim(control)
+        t_dim = self._layout.dim(target)
+        shifts = np.asarray(shifts, dtype=np.int64)
+        if shifts.shape != (c_dim,):
+            raise ValidationError(f"shifts must have shape ({c_dim},), got {shifts.shape}")
+        # Source index: new[c, s'] = old[c, (s' - sign*shift_c) mod t_dim].
+        s_prime = np.arange(t_dim, dtype=np.int64)
+        src = (s_prime[None, :] - sign * shifts[:, None]) % t_dim  # (c_dim, t_dim)
+        index_shape = [1] * len(self._layout)
+        index_shape[c_axis] = c_dim
+        index_shape[t_axis] = t_dim
+        if c_axis < t_axis:
+            idx = src.reshape(index_shape)
+        else:
+            idx = src.T.reshape(index_shape)
+        self._amps = np.take_along_axis(self._amps, idx, axis=t_axis)
+        return self._after_unitary()
+
+    def apply_flag_controlled_value_shift(
+        self,
+        control: str,
+        target: str,
+        flag: str,
+        shifts: np.ndarray,
+        sign: int = 1,
+        active: int = 1,
+    ) -> "StateVector":
+        """The flag-controlled oracle ``Ô`` of Eq. (2) / Section 5.
+
+        Applies :meth:`apply_value_shift` only on the slice where the
+        (dimension-2) ``flag`` register equals ``active``; the complement
+        slice is untouched.
+        """
+        f_axis = self._layout.axis(flag)
+        require(self._layout.dim(flag) == 2, "flag register must have dimension 2")
+        require(active in (0, 1), "active flag value must be 0 or 1")
+        slicer: list[object] = [slice(None)] * len(self._layout)
+        slicer[f_axis] = active
+        sub = self._amps[tuple(slicer)]
+
+        c_axis = self._layout.axis(control)
+        t_axis = self._layout.axis(target)
+        require(len({c_axis, t_axis, f_axis}) == 3, "control, target, flag must be distinct")
+        # Axis numbers inside the sliced (flag-removed) view.
+        c_sub = c_axis - (c_axis > f_axis)
+        t_sub = t_axis - (t_axis > f_axis)
+        c_dim = self._layout.dim(control)
+        t_dim = self._layout.dim(target)
+        shifts = np.asarray(shifts, dtype=np.int64)
+        if shifts.shape != (c_dim,):
+            raise ValidationError(f"shifts must have shape ({c_dim},), got {shifts.shape}")
+        s_prime = np.arange(t_dim, dtype=np.int64)
+        src = (s_prime[None, :] - sign * shifts[:, None]) % t_dim
+        index_shape = [1] * sub.ndim
+        index_shape[c_sub] = c_dim
+        index_shape[t_sub] = t_dim
+        idx = (src if c_sub < t_sub else src.T).reshape(index_shape)
+        self._amps[tuple(slicer)] = np.take_along_axis(sub, idx, axis=t_sub)
+        return self._after_unitary()
+
+    def apply_local_unitary(self, reg: str, matrix: np.ndarray) -> "StateVector":
+        """Apply a dense unitary on a single register."""
+        axis = self._layout.axis(reg)
+        dim = self._layout.dim(reg)
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (dim, dim):
+            raise ValidationError(f"matrix must be {dim}×{dim}, got {matrix.shape}")
+        moved = np.tensordot(matrix, self._amps, axes=([1], [axis]))
+        self._amps = np.ascontiguousarray(np.moveaxis(moved, 0, axis))
+        return self._after_unitary()
+
+    def apply_unitary(self, regs: Sequence[str], matrix: np.ndarray) -> "StateVector":
+        """Apply a dense unitary acting jointly on several registers.
+
+        ``matrix`` is ``(d, d)`` with ``d = ∏ dim(reg)``, indexed in the
+        order the registers are listed (row-major over their values).
+        """
+        axes = [self._layout.axis(r) for r in regs]
+        require(len(set(axes)) == len(axes), "registers must be distinct")
+        dims = [self._layout.dim(r) for r in regs]
+        d = int(np.prod(dims))
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.shape != (d, d):
+            raise ValidationError(f"matrix must be {d}×{d}, got {matrix.shape}")
+        tensor = matrix.reshape(dims + dims)
+        moved = np.tensordot(tensor, self._amps, axes=(list(range(len(dims), 2 * len(dims))), axes))
+        # tensordot puts the k output axes first; route them back.
+        self._amps = np.ascontiguousarray(np.moveaxis(moved, list(range(len(dims))), axes))
+        return self._after_unitary()
+
+    def apply_controlled_qubit_unitary(
+        self, control: str, target: str, mats: np.ndarray
+    ) -> "StateVector":
+        """Apply a 2×2 unitary on ``target`` selected by the ``control`` value.
+
+        ``mats`` has shape ``(dim(control), 2, 2)``; value ``c`` of the
+        control register selects ``mats[c]``.  This is the paper's ``U``
+        of Eq. (6) (and its adjoint) in kernel form.
+        """
+        c_axis = self._layout.axis(control)
+        t_axis = self._layout.axis(target)
+        require(self._layout.dim(target) == 2, "target register must have dimension 2")
+        require(c_axis != t_axis, "control and target must differ")
+        c_dim = self._layout.dim(control)
+        mats = np.asarray(mats, dtype=np.complex128)
+        if mats.shape != (c_dim, 2, 2):
+            raise ValidationError(f"mats must have shape ({c_dim}, 2, 2), got {mats.shape}")
+
+        slicer0: list[object] = [slice(None)] * len(self._layout)
+        slicer1 = list(slicer0)
+        slicer0[t_axis] = 0
+        slicer1[t_axis] = 1
+        a0 = self._amps[tuple(slicer0)]
+        a1 = self._amps[tuple(slicer1)]
+        # Broadcast the per-control matrix entries along the control axis of
+        # the sliced views (the target axis is gone, shifting later axes).
+        c_sub = c_axis - (c_axis > t_axis)
+        bshape = [1] * a0.ndim
+        bshape[c_sub] = c_dim
+        m00 = mats[:, 0, 0].reshape(bshape)
+        m01 = mats[:, 0, 1].reshape(bshape)
+        m10 = mats[:, 1, 0].reshape(bshape)
+        m11 = mats[:, 1, 1].reshape(bshape)
+        t0 = a0.copy()
+        t1 = a1.copy()
+        self._amps[tuple(slicer0)] = m00 * t0 + m01 * t1
+        self._amps[tuple(slicer1)] = m10 * t0 + m11 * t1
+        return self._after_unitary()
+
+    def apply_global_phase(self, phase: complex) -> "StateVector":
+        """Multiply the whole state by a unit-modulus scalar.
+
+        Physically unobservable, but kept explicit so simulated states
+        match the 2×2 subspace algebra (e.g. the minus sign in
+        ``Q = −D S_π D† S_χ``) amplitude-for-amplitude.
+        """
+        if abs(abs(phase) - 1.0) > CONFIG.atol:
+            raise NotUnitaryError(f"phase must have unit modulus, got |{phase}| = {abs(phase)}")
+        self._amps *= phase
+        return self._after_unitary()
+
+    def apply_phase_slice(self, reg: str, value: int, phase: complex) -> "StateVector":
+        """Multiply the ``reg == value`` slice by a unit-modulus scalar.
+
+        This is the paper's ``S_χ(φ)`` when applied to the flag register
+        with ``value = 0`` and ``phase = e^{iφ}``.
+        """
+        if abs(abs(phase) - 1.0) > CONFIG.atol:
+            raise NotUnitaryError(f"phase must have unit modulus, got |{phase}| = {abs(phase)}")
+        axis = self._layout.axis(reg)
+        dim = self._layout.dim(reg)
+        if not 0 <= value < dim:
+            raise ValidationError(f"value {value} out of range for register {reg!r}")
+        slicer: list[object] = [slice(None)] * len(self._layout)
+        slicer[axis] = value
+        self._amps[tuple(slicer)] *= phase
+        return self._after_unitary()
+
+    def apply_projector_phase(
+        self, factors: Mapping[str, "np.ndarray | int"], phase: complex
+    ) -> "StateVector":
+        """Apply ``I + (phase − 1)·P`` where ``P = ⊗|v_r⟩⟨v_r| ⊗ I_rest``.
+
+        ``factors`` maps register names to either an integer (basis-state
+        projector on that register) or a unit vector.  With ``|phase| = 1``
+        this is unitary; it realizes the paper's ``S_π(ϕ)`` with factors
+        ``{i: |π⟩, w: 0}``.
+        """
+        if abs(abs(phase) - 1.0) > CONFIG.atol:
+            raise NotUnitaryError(f"phase must have unit modulus, got |{phase}| = {abs(phase)}")
+        if not factors:
+            raise ValidationError("factors must name at least one register")
+        items: list[tuple[int, np.ndarray]] = []
+        for name, spec in factors.items():
+            axis = self._layout.axis(name)
+            dim = self._layout.dim(name)
+            if isinstance(spec, (int, np.integer)):
+                vec = np.zeros(dim, dtype=np.complex128)
+                if not 0 <= int(spec) < dim:
+                    raise ValidationError(f"basis value {spec} out of range for {name!r}")
+                vec[int(spec)] = 1.0
+            else:
+                vec = np.asarray(spec, dtype=np.complex128)
+                if vec.shape != (dim,):
+                    raise ValidationError(
+                        f"factor for {name!r} must have shape ({dim},), got {vec.shape}"
+                    )
+                vnorm = np.linalg.norm(vec)
+                if abs(vnorm - 1.0) > 1e-8:
+                    raise ValidationError(f"factor for {name!r} must be a unit vector")
+            items.append((axis, vec))
+        # Contract the projected axes in descending order so axis numbers of
+        # the not-yet-contracted factors stay valid.
+        items.sort(key=lambda kv: -kv[0])
+        overlap = self._amps
+        for axis, vec in items:
+            overlap = np.tensordot(vec.conj(), overlap, axes=([0], [axis]))
+        # Rebuild the rank-one correction by re-inserting axes in ascending
+        # order; broadcasting does the outer product.
+        delta = (phase - 1.0) * overlap
+        for axis, vec in sorted(items, key=lambda kv: kv[0]):
+            delta = np.expand_dims(delta, axis)
+            shape = [1] * delta.ndim
+            shape[axis] = vec.shape[0]
+            delta = delta * vec.reshape(shape)
+        self._amps = self._amps + delta
+        return self._after_unitary()
+
+    # -- non-unitary analysis helpers ---------------------------------------------
+
+    def marginal_probabilities(self, reg: str) -> np.ndarray:
+        """Born-rule marginal distribution of one register."""
+        axis = self._layout.axis(reg)
+        probs = np.abs(self._amps) ** 2
+        other = tuple(a for a in range(len(self._layout)) if a != axis)
+        return probs.sum(axis=other)
+
+    def probability_of(self, assignment: Mapping[str, int]) -> float:
+        """Probability that measuring the named registers yields the values."""
+        slicer: list[object] = [slice(None)] * len(self._layout)
+        for name, value in assignment.items():
+            axis = self._layout.axis(name)
+            dim = self._layout.dim(name)
+            if not 0 <= int(value) < dim:
+                raise ValidationError(f"value {value} out of range for register {name!r}")
+            slicer[axis] = int(value)
+        sub = self._amps[tuple(slicer)]
+        return float(np.sum(np.abs(sub) ** 2))
+
+    def project_basis(self, assignment: Mapping[str, int]) -> "StateVector":
+        """Unnormalized projection onto fixed values of some registers.
+
+        Returns a new state on the remaining registers (order preserved).
+        """
+        fixed = set(assignment)
+        remaining = [r for r in self._layout if r.name not in fixed]
+        require(len(remaining) > 0, "cannot project away every register")
+        slicer: list[object] = [slice(None)] * len(self._layout)
+        for name, value in assignment.items():
+            axis = self._layout.axis(name)
+            dim = self._layout.dim(name)
+            if not 0 <= int(value) < dim:
+                raise ValidationError(f"value {value} out of range for register {name!r}")
+            slicer[axis] = int(value)
+        sub = np.ascontiguousarray(self._amps[tuple(slicer)])
+        new_layout = RegisterLayout(remaining)
+        out = StateVector.__new__(StateVector)
+        out._layout = new_layout
+        out._amps = sub
+        out._expected_norm = float(np.linalg.norm(sub))
+        return out
+
+    def tensor(self, other: "StateVector") -> "StateVector":
+        """The product state ``self ⊗ other`` on the concatenated layout."""
+        names = set(self._layout.names) & set(other._layout.names)
+        require(not names, f"register name collision in tensor product: {sorted(names)}")
+        new_layout = RegisterLayout([*self._layout.registers, *other._layout.registers])
+        joined = np.multiply.outer(self._amps, other._amps)
+        out = StateVector.__new__(StateVector)
+        out._layout = new_layout
+        out._amps = np.ascontiguousarray(joined)
+        out._expected_norm = self._expected_norm * other._expected_norm
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _after_unitary(self) -> "StateVector":
+        if CONFIG.strict_checks:
+            n = self.norm()
+            if abs(n - self._expected_norm) > 1e-8:
+                raise NotUnitaryError(
+                    f"norm drifted to {n} (expected {self._expected_norm}) "
+                    "after a unitary operation"
+                )
+        return self
+
+    def _check_same_layout(self, other: "StateVector") -> None:
+        if self._layout != other._layout:
+            raise ValidationError(
+                f"layout mismatch: {self._layout!r} vs {other._layout!r}"
+            )
+
+    def __repr__(self) -> str:
+        return f"StateVector(layout={self._layout!r}, dim={self.dimension})"

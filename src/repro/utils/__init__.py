@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness, validation, tables, timing."""
+
+from .rng import as_generator, child_generators, spawn_seed
+from .tables import Table, format_float, format_ratio
+from .timing import Stopwatch
+from .validation import (
+    require,
+    require_in_range,
+    require_index,
+    require_nonneg_int,
+    require_pos_int,
+    require_prob,
+)
+
+__all__ = [
+    "Stopwatch",
+    "Table",
+    "as_generator",
+    "child_generators",
+    "format_float",
+    "format_ratio",
+    "require",
+    "require_in_range",
+    "require_index",
+    "require_nonneg_int",
+    "require_pos_int",
+    "require_prob",
+    "spawn_seed",
+]

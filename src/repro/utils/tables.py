@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+The benchmark harness prints the same rows the paper's theorems predict
+(query counts, ratios, slopes).  A tiny dependency-free table class keeps
+that output aligned and diff-able across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_float(value: float, digits: int = 4) -> str:
+    """Format ``value`` compactly: fixed-point when sane, scientific otherwise."""
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if 1e-3 <= magnitude < 1e6:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}e}"
+
+
+def format_ratio(measured: float, predicted: float) -> str:
+    """Render ``measured/predicted`` as a ratio string, guarding zero."""
+    if predicted == 0:
+        return "inf" if measured else "1.000"
+    return f"{measured / predicted:.3f}"
+
+
+class Table:
+    """Aligned ASCII table with a title, header and typed rows.
+
+    Examples
+    --------
+    >>> t = Table("demo", ["N", "queries"])
+    >>> t.add_row([16, 42])
+    >>> print(t.render())  # doctest: +ELLIPSIS
+    demo...
+    """
+
+    def __init__(self, title: str, header: Sequence[str]) -> None:
+        self.title = title
+        self.header = [str(h) for h in header]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; floats are compact-formatted, rest ``str()``-ed."""
+        rendered: list[str] = []
+        for cell in row:
+            if isinstance(cell, float):
+                rendered.append(format_float(cell))
+            else:
+                rendered.append(str(cell))
+        if len(rendered) != len(self.header):
+            raise ValueError(
+                f"row width {len(rendered)} does not match header width {len(self.header)}"
+            )
+        self.rows.append(rendered)
+
+    def render(self) -> str:
+        """Return the full table as a string."""
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+        lines = [self.title]
+        rule = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.header, widths)))
+        lines.append(rule)
+        for row in self.rows:
+            lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,57 @@
+"""Lightweight wall-clock timing, used by examples and sweep drivers.
+
+pytest-benchmark handles the statistically careful timing; this helper is
+for coarse per-phase reporting inside example scripts ("profile before you
+optimize" — we report where simulation time goes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw.lap("build"):
+    ...     _ = sum(range(100))
+    >>> "build" in sw.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, watch: "Stopwatch", name: str) -> None:
+            self.watch = watch
+            self.name = name
+            self.start = 0.0
+
+        def __enter__(self) -> "Stopwatch._Lap":
+            self.start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            elapsed = time.perf_counter() - self.start
+            self.watch.laps[self.name] = self.watch.laps.get(self.name, 0.0) + elapsed
+
+    def lap(self, name: str) -> "Stopwatch._Lap":
+        """Context manager accumulating elapsed time under ``name``."""
+        return Stopwatch._Lap(self, name)
+
+    def total(self) -> float:
+        """Sum of all lap times."""
+        return sum(self.laps.values())
+
+    def report(self) -> str:
+        """Human-readable multi-line summary sorted by cost."""
+        lines = ["timing report:"]
+        for name, seconds in sorted(self.laps.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<24s} {seconds * 1e3:10.3f} ms")
+        lines.append(f"  {'total':<24s} {self.total() * 1e3:10.3f} ms")
+        return "\n".join(lines)

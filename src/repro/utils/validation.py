@@ -1,0 +1,68 @@
+"""Small argument-validation helpers.
+
+These exist so that model classes (database, oracles, samplers) can state
+their preconditions in one line each and raise the library's own
+:class:`~repro.errors.ValidationError` with a uniform message style.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ValidationError
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_pos_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ≥ 1 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)) and not _is_np_int(value):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValidationError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def require_nonneg_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ≥ 0 and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int,)) and not _is_np_int(value):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def require_index(value: Any, size: int, name: str) -> int:
+    """Validate ``0 <= value < size`` and return ``int(value)``."""
+    value = require_nonneg_int(value, name)
+    if value >= size:
+        raise ValidationError(f"{name} must be < {size}, got {value}")
+    return value
+
+
+def require_prob(value: Any, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValidationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_in_range(value: Any, lo: float, hi: float, name: str) -> float:
+    """Validate ``lo <= value <= hi`` and return ``float(value)``."""
+    value = float(value)
+    if not lo <= value <= hi:
+        raise ValidationError(f"{name} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+def _is_np_int(value: Any) -> bool:
+    import numpy as np
+
+    return isinstance(value, np.integer)

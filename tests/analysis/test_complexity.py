@@ -1,0 +1,81 @@
+"""Scaling analysis: fits, envelopes, crossovers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_envelope,
+    find_crossover,
+    fit_power_law,
+    slope_matches,
+)
+from repro.errors import ValidationError
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_law(self):
+        x = np.array([1, 2, 4, 8, 16], dtype=float)
+        y = 3.0 * x**0.5
+        fit = fit_power_law(x, y)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.prefactor == pytest.approx(3.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        np.testing.assert_allclose(fit.predict(np.array([8.0])), [16.0])
+
+    def test_noise_tolerance(self, rng):
+        x = np.geomspace(1, 1000, 20)
+        y = 5 * x**1.5 * np.exp(rng.normal(0, 0.05, size=20))
+        fit = fit_power_law(x, y)
+        assert slope_matches(fit, 1.5, tolerance=0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([1, 2], [0, 1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([1], [1])
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValidationError):
+            fit_power_law([2, 2], [1, 3])
+
+
+class TestEnvelope:
+    def test_exact_envelope(self):
+        comparison = compare_envelope([2, 4, 8], [2, 4, 8])
+        assert comparison.spread == pytest.approx(1.0)
+        assert comparison.within_constant(1.01)
+
+    def test_constant_factor(self):
+        comparison = compare_envelope([4, 8, 16], [2, 4, 8])
+        assert comparison.max_ratio == pytest.approx(2.0)
+        assert comparison.within_constant(4.0)
+
+    def test_detects_wrong_shape(self):
+        measured = [2, 8, 32]        # quadratic
+        predicted = [2, 4, 8]        # linear
+        comparison = compare_envelope(measured, predicted)
+        assert not comparison.within_constant(3.0)
+
+    def test_predicted_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            compare_envelope([1], [0])
+
+
+class TestCrossover:
+    def test_linear_vs_sqrt(self):
+        crossing = find_crossover(
+            lambda x: x, lambda x: 10 * np.sqrt(x), lo=1, hi=1e4
+        )
+        assert crossing == pytest.approx(100.0, rel=1e-3)
+
+    def test_no_crossover_returns_none(self):
+        assert find_crossover(lambda x: x + 1, lambda x: x, lo=1, hi=100) is None
+
+    def test_interval_validation(self):
+        with pytest.raises(ValidationError):
+            find_crossover(lambda x: x, lambda x: x, lo=5, hi=2)

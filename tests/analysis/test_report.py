@@ -1,0 +1,63 @@
+"""Report rendering and artifact archives."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import archive_results, experiment_table, load_results
+from repro.utils import Table, format_float, format_ratio
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("demo", ["a", "bbbb"])
+        table.add_row([1, 2])
+        table.add_row([333, 4])
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "bbbb" in lines[1]
+        # title + header + rule + two rows
+        assert len(lines) == 5
+
+    def test_row_width_checked(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row([1, 2])
+
+    def test_float_formatting(self):
+        assert format_float(0.123456) == "0.1235"
+        assert format_float(1.5e-9) == "1.5000e-09"
+        assert format_float(0) == "0"
+
+    def test_ratio_formatting(self):
+        assert format_ratio(3, 2) == "1.500"
+        assert format_ratio(1, 0) == "inf"
+        assert format_ratio(0, 0) == "1.000"
+
+
+class TestExperimentTable:
+    def test_contains_claim_and_rows(self):
+        rendered = experiment_table(
+            "E1", "Thm 4.3 scaling", ["N", "queries"], [[16, 42], [64, 84]]
+        )
+        assert "[E1]" in rendered
+        assert "Thm 4.3" in rendered
+        assert "42" in rendered
+
+
+class TestArchive:
+    def test_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        payload = {
+            "rows": [1, 2, 3],
+            "np_int": np.int64(5),
+            "np_arr": np.arange(3),
+        }
+        path = archive_results("E99", payload)
+        assert os.path.exists(path)
+        loaded = load_results("E99")
+        assert loaded["rows"] == [1, 2, 3]
+        assert loaded["np_int"] == 5
+        assert loaded["np_arr"] == [0, 1, 2]

@@ -1,0 +1,74 @@
+"""Goodness-of-fit statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    chi_square_test,
+    expected_tv_fluctuation,
+    sampling_consistent,
+    tv_distance,
+)
+from repro.errors import ValidationError
+
+
+class TestChiSquare:
+    def test_consistent_sample_passes(self, rng):
+        probs = np.array([0.5, 0.3, 0.2])
+        outcomes = rng.choice(3, size=10000, p=probs)
+        counts = np.bincount(outcomes, minlength=3)
+        assert chi_square_test(counts, probs).consistent()
+
+    def test_wrong_distribution_fails(self, rng):
+        probs = np.array([0.5, 0.3, 0.2])
+        outcomes = rng.choice(3, size=10000, p=np.array([0.2, 0.3, 0.5]))
+        counts = np.bincount(outcomes, minlength=3)
+        assert not chi_square_test(counts, probs).consistent()
+
+    def test_impossible_outcome_rejected(self):
+        probs = np.array([1.0, 0.0])
+        with pytest.raises(ValidationError):
+            chi_square_test(np.array([5, 1]), probs)
+
+    def test_zero_cells_excluded(self, rng):
+        probs = np.array([0.6, 0.0, 0.4])
+        outcomes = rng.choice(3, size=5000, p=probs)
+        counts = np.bincount(outcomes, minlength=3)
+        result = chi_square_test(counts, probs)
+        assert result.consistent()
+
+    def test_small_cells_pooled(self, rng):
+        # Heavy zipf spectrum with many tiny expectations.
+        weights = 1 / np.arange(1, 30) ** 2
+        probs = weights / weights.sum()
+        outcomes = rng.choice(29, size=2000, p=probs)
+        counts = np.bincount(outcomes, minlength=29)
+        assert chi_square_test(counts, probs).consistent()
+
+    def test_no_observations_rejected(self):
+        with pytest.raises(ValidationError):
+            chi_square_test(np.zeros(3), np.ones(3) / 3)
+
+
+class TestTv:
+    def test_identical(self):
+        assert tv_distance(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0.0
+
+    def test_known_value(self):
+        assert tv_distance(np.array([1.0, 0.0]), np.array([0.5, 0.5])) == pytest.approx(0.5)
+
+    def test_fluctuation_ceiling_scales(self):
+        assert expected_tv_fluctuation(16, 1600) == pytest.approx(0.2)
+        assert expected_tv_fluctuation(16, 6400) == pytest.approx(0.1)
+
+
+class TestSamplingConsistent:
+    def test_verdict_true(self, rng):
+        probs = np.array([0.25, 0.25, 0.5])
+        outcomes = rng.choice(3, size=8000, p=probs)
+        assert sampling_consistent(outcomes, probs)
+
+    def test_verdict_false(self, rng):
+        probs = np.array([0.25, 0.25, 0.5])
+        outcomes = rng.choice(3, size=8000, p=probs[::-1])
+        assert not sampling_consistent(outcomes, probs)

@@ -1,0 +1,87 @@
+"""Sweep driver."""
+
+import pytest
+
+from repro.analysis import InstanceSpec, grid, run_sweep
+from repro.database import WorkloadSpec
+
+
+@pytest.fixture
+def spec():
+    return InstanceSpec(
+        workload=WorkloadSpec.of("uniform", universe=8, total=12),
+        n_machines=2,
+        strategy="round_robin",
+    )
+
+
+class TestInstanceSpec:
+    def test_build_produces_database(self, spec):
+        db = spec.build(rng=0)
+        assert db.universe == 8
+        assert db.total_count == 12
+        assert db.n_machines == 2
+
+    def test_label_mentions_pieces(self, spec):
+        label = spec.label()
+        assert "uniform" in label
+        assert "round_robin" in label
+        assert "n=2" in label
+
+    def test_explicit_nu(self):
+        spec = InstanceSpec(
+            workload=WorkloadSpec.of("block", universe=8, block_size=2),
+            n_machines=1,
+            nu=5,
+        )
+        assert spec.build(rng=0).nu == 5
+
+    def test_tag_in_label(self):
+        spec = InstanceSpec(
+            workload=WorkloadSpec.of("block", universe=8, block_size=2),
+            n_machines=1,
+            tag="ablation",
+        )
+        assert "ablation" in spec.label()
+
+
+class TestRunSweep:
+    def test_rows_have_injected_columns(self, spec):
+        result = run_sweep([spec], lambda db, s: {"metric": db.total_count}, rng=0)
+        row = result.rows[0]
+        assert row["N"] == 8
+        assert row["M"] == 12
+        assert row["n"] == 2
+        assert row["metric"] == 12
+
+    def test_column_extraction(self, spec):
+        result = run_sweep([spec, spec], lambda db, s: {"metric": 1}, rng=0)
+        assert result.column("metric") == [1, 1]
+        assert len(result) == 2
+
+    def test_filter(self, spec):
+        other = InstanceSpec(
+            workload=WorkloadSpec.of("uniform", universe=8, total=12),
+            n_machines=4,
+        )
+        result = run_sweep([spec, other], lambda db, s: {}, rng=0)
+        assert len(result.filter(n=4)) == 1
+
+    def test_deterministic_given_rng(self, spec):
+        measure = lambda db, s: {"counts": db.count_matrix.tolist()}
+        a = run_sweep([spec], measure, rng=11)
+        b = run_sweep([spec], measure, rng=11)
+        assert a.rows == b.rows
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        specs = grid(
+            workloads=[
+                WorkloadSpec.of("uniform", universe=8, total=12),
+                WorkloadSpec.of("zipf", universe=8, total=12),
+            ],
+            machine_counts=[1, 2, 4],
+            strategies=("round_robin", "random"),
+        )
+        assert len(specs) == 2 * 3 * 2

@@ -1,0 +1,105 @@
+"""Run certification and failure injection.
+
+The certificate must validate honest runs and trip on tampered ones —
+this file injects each failure mode the checks were designed to catch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import certify_run
+from repro.core import SequentialSampler, sample_sequential
+from repro.database import DistributedDatabase, Machine, Multiset
+
+
+class TestHonestRuns:
+    def test_sequential_run_certifies(self, small_db):
+        result = sample_sequential(small_db)
+        certificate = certify_run(result, small_db, rng=0)
+        assert certificate.valid, certificate.render()
+
+    def test_parallel_run_certifies(self, small_db):
+        from repro.core import sample_parallel
+
+        result = sample_parallel(small_db)
+        certificate = certify_run(result, small_db, rng=0)
+        assert certificate.valid, certificate.render()
+
+    def test_render_mentions_all_checks(self, small_db):
+        result = sample_sequential(small_db)
+        rendered = certify_run(result, small_db, rng=0).render()
+        for name in (
+            "state fidelity",
+            "workspace cleared",
+            "query accounting",
+            "output distribution",
+            "measured spectrum",
+        ):
+            assert name in rendered
+
+
+class TestFailureInjection:
+    def test_byzantine_machine_detected(self):
+        """A machine lying about one multiplicity breaks exactness — the
+        certificate must notice."""
+        honest = DistributedDatabase.from_shards(
+            [Multiset(8, {0: 2, 1: 1}), Multiset(8, {4: 1})], nu=4
+        )
+        # Run the sampler against a *tampered* database but certify
+        # against the honest one (= what the data owner believes is true).
+        tampered = honest.replaced_machine(
+            1, Machine(Multiset(8, {4: 3}), capacity=4)
+        )
+        result = sample_sequential(tampered, backend="subspace")
+        certificate = certify_run(result, honest, rng=0)
+        assert not certificate.valid
+        failed = {c.name for c in certificate.failures()}
+        assert "output distribution" in failed
+
+    def test_wrong_plan_detected(self, sparse_db):
+        """Planning with the wrong overlap (e.g. a stale M) leaves the
+        rotation short of the target."""
+        from repro.core.estimation import sample_with_estimated_m
+
+        # Force a coarse estimate so the plan is off.
+        _, result = sample_with_estimated_m(sparse_db, precision_bits=3, shots=1, rng=5)
+        certificate = certify_run(result, sparse_db, rng=0)
+        if result.fidelity < 0.999:
+            assert not certificate.valid
+            assert any(c.name == "state fidelity" for c in certificate.failures())
+
+    def test_dirty_workspace_detected(self, small_db):
+        """Manually corrupting the final state's workspace trips check 2."""
+        result = sample_sequential(small_db)
+        arr = result.final_state.as_array()
+        # Move some amplitude into s = 1 (unitary-ish corruption: swap slices).
+        arr[:, [0, 1], :] = arr[:, [1, 0], :]
+        certificate = certify_run(result, small_db, shots=500, rng=0)
+        assert not certificate.valid
+        failed = {c.name for c in certificate.failures()}
+        assert "workspace cleared" in failed
+
+    def test_ledger_schedule_mismatch_detected(self, small_db):
+        """A result whose schedule disagrees with its ledger is flagged."""
+        sampler = SequentialSampler(small_db)
+        result = sampler.run()
+        import dataclasses
+
+        from repro.core import QuerySchedule
+
+        wrong_schedule = QuerySchedule.sequential_from_plan(
+            small_db.n_machines, result.plan.d_applications + 1
+        )
+        forged = dataclasses.replace(result, schedule=wrong_schedule)
+        certificate = certify_run(forged, small_db, rng=0)
+        assert not certificate.valid
+        assert any(c.name == "query accounting" for c in certificate.failures())
+
+    def test_wrong_database_claim_detected(self, small_db, tiny_db):
+        """Certifying a run against a different database must fail."""
+        result = sample_sequential(small_db)
+        other = DistributedDatabase.from_shards(
+            [Multiset(8, {6: 3}), Multiset(8, {7: 2})], nu=6
+        )
+        certificate = certify_run(result, other, rng=0)
+        assert not certificate.valid

@@ -1,0 +1,123 @@
+"""Quantum mean estimation on the distributed sampler."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    classical_monte_carlo_shots,
+    estimate_mean,
+    mean_query_cost,
+)
+from repro.apps.mean_estimation import true_mean
+from repro.core import solve_plan
+from repro.database import DistributedDatabase, Multiset, round_robin, zipf_dataset
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def db():
+    return round_robin(zipf_dataset(16, 40, exponent=1.1, rng=4), n_machines=2)
+
+
+@pytest.fixture
+def scores(db):
+    gen = np.random.default_rng(9)
+    return gen.uniform(0.0, 1.0, size=db.universe)
+
+
+class TestTrueMean:
+    def test_weighted_average(self, db, scores):
+        expected = float(np.dot(db.sampling_distribution(), scores))
+        assert true_mean(db, scores) == pytest.approx(expected)
+
+    def test_constant_function(self, db):
+        assert true_mean(db, np.full(db.universe, 0.7)) == pytest.approx(0.7)
+
+    def test_score_validation(self, db):
+        with pytest.raises(ValidationError):
+            true_mean(db, np.full(db.universe, 1.5))
+        with pytest.raises(ValidationError):
+            true_mean(db, np.ones(3))
+
+
+class TestEstimateMean:
+    def test_converges_with_precision(self, db, scores):
+        errors = []
+        for p_bits in (4, 7, 10):
+            est = estimate_mean(db, scores, precision_bits=p_bits, shots=9, rng=0)
+            errors.append(est.error)
+        assert errors[2] < errors[0]
+        assert errors[2] < 5e-3
+
+    def test_within_error_bound_usually(self, db, scores):
+        hits = 0
+        for seed in range(10):
+            est = estimate_mean(db, scores, precision_bits=8, shots=1, rng=seed)
+            if est.error <= est.error_bound + 1e-12:
+                hits += 1
+        assert hits >= 7
+
+    def test_zero_function(self, db):
+        est = estimate_mean(db, np.zeros(db.universe), precision_bits=5, shots=3, rng=0)
+        assert est.value == 0.0
+        assert est.true_value == 0.0
+
+    def test_indicator_function_recovers_probability(self, db):
+        """E[1_{i=k}] = p_k — mean estimation doubles as frequency readout."""
+        key = int(np.argmax(db.joint_counts))
+        indicator = np.zeros(db.universe)
+        indicator[key] = 1.0
+        est = estimate_mean(db, indicator, precision_bits=10, shots=9, rng=1)
+        assert est.error < 5e-3
+
+    def test_per_shot_recorded(self, db, scores):
+        est = estimate_mean(db, scores, precision_bits=6, shots=7, rng=2)
+        assert est.per_shot.shape == (7,)
+        assert est.value == pytest.approx(float(np.median(est.per_shot)))
+
+
+class TestQueryCost:
+    def test_cost_formula(self, db):
+        a_invocations, total = mean_query_cost(db, precision_bits=5, shots=3)
+        plan = solve_plan(db.initial_overlap())
+        p_dim = 32
+        assert a_invocations == 2 * (p_dim - 1) + 1
+        assert total == 3 * a_invocations * 2 * db.n_machines * plan.d_applications
+
+    def test_estimate_reports_same_cost(self, db, scores):
+        est = estimate_mean(db, scores, precision_bits=5, shots=3, rng=0)
+        _, total = mean_query_cost(db, precision_bits=5, shots=3)
+        assert est.sequential_queries == total
+
+    def test_quadratic_speedup_scaling(self, db, scores):
+        """Quantum cost doubles per extra bit (ε halves): linear in 1/ε;
+        classical Monte Carlo quadruples: quadratic in 1/ε."""
+        _, q1 = mean_query_cost(db, precision_bits=6, shots=1)
+        _, q2 = mean_query_cost(db, precision_bits=7, shots=1)
+        assert q2 / q1 == pytest.approx(2.0, rel=0.05)
+        c1 = classical_monte_carlo_shots(1e-2)
+        c2 = classical_monte_carlo_shots(5e-3)
+        assert c2 / c1 == pytest.approx(4.0, rel=0.01)
+
+    def test_classical_shots_validation(self):
+        with pytest.raises(ValidationError):
+            classical_monte_carlo_shots(0.0)
+
+
+class TestDistributedInvariance:
+    def test_mean_independent_of_sharding(self, scores):
+        dataset = zipf_dataset(16, 40, exponent=1.1, rng=4)
+        db2 = round_robin(dataset, n_machines=2)
+        db4 = round_robin(dataset, n_machines=4)
+        est2 = estimate_mean(db2, scores, precision_bits=8, shots=9, rng=3)
+        est4 = estimate_mean(db4, scores, precision_bits=8, shots=9, rng=3)
+        assert est2.true_value == pytest.approx(est4.true_value)
+        assert est2.value == pytest.approx(est4.value)
+
+    def test_queries_scale_with_machines(self, scores):
+        dataset = zipf_dataset(16, 40, exponent=1.1, rng=4)
+        db2 = round_robin(dataset, n_machines=2)
+        db4 = round_robin(dataset, n_machines=4)
+        _, q2 = mean_query_cost(db2, precision_bits=6, shots=1)
+        _, q4 = mean_query_cost(db4, precision_bits=6, shots=1)
+        assert q4 == 2 * q2

@@ -1,0 +1,57 @@
+"""The centralized n = 1 baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CentralizedSampler, centralize, distribution_overhead
+from repro.core import sample_parallel, sample_sequential
+
+
+class TestCentralize:
+    def test_single_machine_same_data(self, small_db):
+        central = centralize(small_db)
+        assert central.n_machines == 1
+        np.testing.assert_array_equal(central.joint_counts, small_db.joint_counts)
+        assert central.nu == small_db.nu
+
+    def test_same_target_state(self, small_db):
+        from repro.core import target_amplitudes
+
+        np.testing.assert_allclose(
+            target_amplitudes(centralize(small_db)),
+            target_amplitudes(small_db),
+            atol=1e-12,
+        )
+
+
+class TestCentralizedSampler:
+    def test_exact(self, small_db):
+        result = CentralizedSampler(small_db).run()
+        assert result.exact
+
+    def test_overhead_factor_n_exactly(self, small_db):
+        """Distributed sequential pays exactly n× the centralized cost."""
+        central = CentralizedSampler(small_db).run()
+        distributed = sample_sequential(small_db)
+        assert (
+            distributed.sequential_queries
+            == small_db.n_machines * central.sequential_queries
+        )
+        assert distribution_overhead(small_db) == small_db.n_machines
+
+    def test_parallel_matches_centralized_up_to_constant(self, small_db):
+        """Parallel rounds = 2 × centralized queries (4 rounds vs 2 calls
+        per D) regardless of n — distribution is round-free."""
+        central = CentralizedSampler(small_db).run()
+        parallel = sample_parallel(small_db)
+        assert parallel.parallel_rounds == 2 * central.sequential_queries
+
+    def test_predicted_queries(self, small_db):
+        sampler = CentralizedSampler(small_db)
+        assert sampler.predicted_queries() == sampler.run().sequential_queries
+
+    def test_same_output_distribution(self, small_db):
+        central = CentralizedSampler(small_db).run()
+        np.testing.assert_allclose(
+            central.output_probabilities, small_db.sampling_distribution(), atol=1e-10
+        )

@@ -1,0 +1,70 @@
+"""Classical coordinator baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ClassicalExactCoordinator,
+    classical_beats_threshold,
+    classical_mixture_fidelity,
+)
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import EmptyDatabaseError
+
+
+class TestExactCoordinator:
+    def test_costs_n_times_N(self, small_db):
+        coordinator = ClassicalExactCoordinator(small_db)
+        assert coordinator.query_cost() == small_db.n_machines * small_db.universe
+        result = coordinator.run()
+        assert result.queries == coordinator.query_cost()
+
+    def test_learns_exact_counts(self, small_db):
+        result = ClassicalExactCoordinator(small_db).run()
+        np.testing.assert_array_equal(result.learned_counts, small_db.joint_counts)
+
+    def test_ledger_per_machine(self, small_db):
+        result = ClassicalExactCoordinator(small_db).run()
+        assert result.ledger.per_machine() == [small_db.universe] * small_db.n_machines
+
+    def test_sampling_matches_distribution(self, small_db):
+        coordinator = ClassicalExactCoordinator(small_db)
+        outcomes = coordinator.sample(20000, rng=0)
+        freqs = np.bincount(outcomes, minlength=small_db.universe) / 20000
+        np.testing.assert_allclose(
+            freqs, small_db.sampling_distribution(), atol=0.02
+        )
+
+    def test_empty_database_sampling_rejected(self):
+        db = DistributedDatabase.from_shards([Multiset.empty(4)], nu=1)
+        with pytest.raises(EmptyDatabaseError):
+            ClassicalExactCoordinator(db).sample(10)
+
+
+class TestMixtureFidelity:
+    def test_equals_max_frequency(self, tiny_db):
+        assert classical_mixture_fidelity(tiny_db) == pytest.approx(0.4)
+
+    def test_uniform_data_fidelity_vanishes_with_N(self):
+        for n_univ in (4, 16, 64):
+            counts = np.ones(n_univ, dtype=np.int64)
+            db = DistributedDatabase.from_shards([Multiset.from_counts(counts)], nu=1)
+            assert classical_mixture_fidelity(db) == pytest.approx(1 / n_univ)
+
+    def test_below_quantum_exactness(self, small_db):
+        from repro.core import sample_sequential
+
+        classical = classical_mixture_fidelity(small_db)
+        quantum = sample_sequential(small_db).fidelity
+        assert quantum > classical
+
+
+class TestThreshold:
+    def test_spread_data_fails_threshold(self, small_db):
+        assert not classical_beats_threshold(small_db)
+
+    def test_concentrated_data_passes(self):
+        db = DistributedDatabase.from_shards(
+            [Multiset(4, {0: 9, 1: 1})], nu=9
+        )
+        assert classical_beats_threshold(db)

@@ -1,0 +1,79 @@
+"""Grover search as a degenerate sampling instance."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    grover_database,
+    grover_iteration_count,
+    run_grover_search,
+    uniform_subset_database,
+)
+from repro.core import sample_sequential
+from repro.errors import ValidationError
+
+
+class TestGroverDatabase:
+    def test_single_marked_element(self):
+        db = grover_database(16, marked=5)
+        assert db.total_count == 1
+        assert db.nu == 1
+        assert db.joint_counts[5] == 1
+
+    def test_distributed_holder(self):
+        db = grover_database(16, marked=5, n_machines=3, holder=2)
+        assert db.machine(2).size == 1
+        assert db.machine(0).is_empty()
+
+    def test_marked_range_checked(self):
+        with pytest.raises(ValidationError):
+            grover_database(4, marked=4)
+
+
+class TestGroverSearch:
+    @pytest.mark.parametrize("n_univ", [4, 16, 64, 256])
+    def test_finds_with_certainty(self, n_univ):
+        result = run_grover_search(n_univ, marked=n_univ // 3)
+        assert result.found_probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_iteration_count_matches_textbook(self):
+        result = run_grover_search(1024, marked=1)
+        # Exact schedule uses ⌊m̃⌋ + possibly one partial iterate.
+        assert result.classic_iterations <= result.iterations <= result.classic_iterations + 1
+
+    def test_iterations_scale_sqrt_n(self):
+        small = run_grover_search(64, marked=0).iterations
+        large = run_grover_search(1024, marked=0).iterations
+        assert large == pytest.approx(4 * small, abs=3)
+
+    def test_distributed_grover_also_exact(self):
+        result = run_grover_search(64, marked=9, n_machines=3)
+        assert result.found_probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_iteration_count_helper(self):
+        assert grover_iteration_count(64) >= 1
+
+
+class TestUniformSubset:
+    def test_index_erasure_style_target(self):
+        support = np.array([2, 5, 11])
+        db = uniform_subset_database(16, support)
+        result = sample_sequential(db, backend="subspace")
+        assert result.exact
+        expected = np.zeros(16)
+        expected[support] = 1 / 3
+        np.testing.assert_allclose(result.output_probabilities, expected, atol=1e-10)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            uniform_subset_database(8, np.array([]))
+        with pytest.raises(ValidationError):
+            uniform_subset_database(8, np.array([1, 1]))
+        with pytest.raises(ValidationError):
+            uniform_subset_database(8, np.array([9]))
+
+    def test_distributed_variant(self):
+        db = uniform_subset_database(12, np.array([0, 6]), n_machines=2)
+        assert db.n_machines == 2
+        result = sample_sequential(db, backend="subspace")
+        assert result.exact

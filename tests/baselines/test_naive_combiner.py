@@ -1,0 +1,75 @@
+"""The footnote-1 no-go combiner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BestLinearCombiner,
+    combined_target,
+    inner_product_violation,
+    no_go_gap,
+    pair_input,
+)
+from repro.errors import ValidationError
+
+
+class TestViolation:
+    def test_orthogonal_inputs_overlapping_outputs(self):
+        inp, out = inner_product_violation(universe=5)
+        assert inp == 0.0
+        assert out == pytest.approx(0.5)
+
+    def test_needs_three_elements(self):
+        with pytest.raises(ValidationError):
+            inner_product_violation(universe=2)
+
+
+class TestTargets:
+    def test_combined_target_normalized(self):
+        vec = combined_target(0, 3, 6)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_distinct_elements_required(self):
+        with pytest.raises(ValidationError):
+            combined_target(2, 2, 6)
+
+    def test_pair_input_is_basis_vector(self):
+        vec = pair_input(1, 2, 3)
+        assert vec[1 * 3 + 2] == 1.0
+        assert np.linalg.norm(vec) == 1.0
+
+
+class TestBestLinearCombiner:
+    def test_raw_map_not_isometry(self):
+        """Footnote 1 in matrix form: the demanded map can't preserve
+        inner products."""
+        assert not BestLinearCombiner(4).raw_map_is_isometry()
+
+    def test_two_elements_is_trivially_fine(self):
+        # With N = 2 there is a single pair — no conflicting demands.
+        combiner = BestLinearCombiner(2)
+        assert combiner.raw_map_is_isometry()
+        assert combiner.assess().worst_fidelity == pytest.approx(1.0)
+
+    def test_physical_combiner_strictly_lossy(self):
+        assessment = BestLinearCombiner(4).assess()
+        assert assessment.worst_fidelity < 1.0 - 1e-6
+        assert assessment.mean_fidelity < 1.0 - 1e-6
+
+    def test_gap_grows_with_universe(self):
+        gaps = [no_go_gap(n) for n in (3, 6, 12)]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_large_universe_falls_below_threshold(self):
+        """For modest N the best combiner already loses to the paper's
+        9/16 fidelity threshold — combining per-machine samples is not a
+        viable sampling strategy."""
+        assessment = BestLinearCombiner(16).assess()
+        assert assessment.worst_fidelity < 9 / 16
+
+    def test_gap_requires_three(self):
+        with pytest.raises(ValidationError):
+            no_go_gap(2)
+
+    def test_pair_count(self):
+        assert BestLinearCombiner(5).pair_count == 10

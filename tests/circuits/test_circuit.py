@@ -1,0 +1,100 @@
+"""Circuit IR and the qubit statevector executor."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import CNOT, Circuit, Gate, H, X, basis_state
+from repro.errors import ValidationError
+
+
+class TestGateValidation:
+    def test_matrix_arity_check(self):
+        with pytest.raises(ValidationError):
+            Gate("bad", (0, 1), np.eye(2))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValidationError):
+            Gate("bad", (0, 0), np.eye(4))
+
+    def test_dagger(self):
+        g = Gate("S", (0,), np.diag([1, 1j]).astype(complex))
+        np.testing.assert_allclose(g.dagger().matrix, np.diag([1, -1j]), atol=1e-12)
+
+
+class TestCircuitConstruction:
+    def test_append_range_checks(self):
+        circuit = Circuit(2)
+        with pytest.raises(ValidationError):
+            circuit.add("X", X, 5)
+
+    def test_extend_width_check(self):
+        with pytest.raises(ValidationError):
+            Circuit(2).extend(Circuit(3))
+
+    def test_len_and_iter(self):
+        circuit = Circuit(2).add("H", H, 0).add("CNOT", CNOT, 0, 1)
+        assert len(circuit) == 2
+        assert [g.name for g in circuit] == ["H", "CNOT"]
+
+
+class TestExecution:
+    def test_bell_state(self):
+        circuit = Circuit(2).add("H", H, 0).add("CNOT", CNOT, 0, 1)
+        out = circuit.run()
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_qubit0_is_most_significant(self):
+        out = Circuit(2).add("X", X, 0).run()
+        np.testing.assert_allclose(out, basis_state(2, 0b10), atol=1e-12)
+        out = Circuit(2).add("X", X, 1).run()
+        np.testing.assert_allclose(out, basis_state(2, 0b01), atol=1e-12)
+
+    def test_cnot_direction(self):
+        # control qubit 0, target qubit 1
+        circuit = Circuit(2).add("CNOT", CNOT, 0, 1)
+        np.testing.assert_allclose(
+            circuit.run(basis_state(2, 0b10)), basis_state(2, 0b11), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            circuit.run(basis_state(2, 0b01)), basis_state(2, 0b01), atol=1e-12
+        )
+
+    def test_reversed_qubit_order_gate(self):
+        # CNOT with control qubit 1, target qubit 0
+        circuit = Circuit(2).add("CNOT", CNOT, 1, 0)
+        np.testing.assert_allclose(
+            circuit.run(basis_state(2, 0b01)), basis_state(2, 0b11), atol=1e-12
+        )
+
+    def test_run_copies_input(self):
+        state = basis_state(1, 0)
+        Circuit(1).add("X", X, 0).run(state)
+        np.testing.assert_allclose(state, basis_state(1, 0))
+
+    def test_norm_preserved(self, rng):
+        circuit = Circuit(3)
+        circuit.add("H", H, 0).add("CNOT", CNOT, 0, 2).add("H", H, 1)
+        vec = rng.normal(size=8) + 1j * rng.normal(size=8)
+        vec /= np.linalg.norm(vec)
+        out = circuit.run(vec)
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+
+class TestInverseAndUnitary:
+    def test_inverse_undoes(self, rng):
+        circuit = Circuit(3)
+        circuit.add("H", H, 1).add("CNOT", CNOT, 1, 2).add("X", X, 0)
+        vec = rng.normal(size=8) + 1j * rng.normal(size=8)
+        vec /= np.linalg.norm(vec)
+        roundtrip = circuit.inverse().run(circuit.run(vec))
+        np.testing.assert_allclose(roundtrip, vec, atol=1e-12)
+
+    def test_unitary_matches_kron(self):
+        circuit = Circuit(2).add("H", H, 0)
+        np.testing.assert_allclose(circuit.unitary(), np.kron(H, np.eye(2)), atol=1e-12)
+
+    def test_unitary_of_cnot(self):
+        circuit = Circuit(2).add("CNOT", CNOT, 0, 1)
+        np.testing.assert_allclose(circuit.unitary(), CNOT, atol=1e-12)

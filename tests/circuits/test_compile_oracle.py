@@ -1,0 +1,87 @@
+"""Gate-compiled oracle arithmetic vs the register-level reference."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    add_constant_circuit,
+    basis_state,
+    compiled_oracle_matches_kernel,
+    gate_count_report,
+    increment_circuit,
+    increment_permutation,
+    oracle_circuit_for_element,
+    validate_bits_for_capacity,
+)
+from repro.errors import ValidationError
+from repro.qsim import RegisterLayout, StateVector
+
+
+class TestIncrement:
+    @pytest.mark.parametrize("n_bits", [1, 2, 3, 4])
+    def test_increment_every_value(self, n_bits):
+        circuit = increment_circuit(n_bits)
+        dim = 2**n_bits
+        for value in range(dim):
+            out = circuit.run(basis_state(n_bits, value))
+            expected = basis_state(n_bits, (value + 1) % dim)
+            np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_inverse_is_decrement(self):
+        circuit = increment_circuit(3).inverse()
+        out = circuit.run(basis_state(3, 0))
+        np.testing.assert_allclose(out, basis_state(3, 7), atol=1e-12)
+
+
+class TestAddConstant:
+    @pytest.mark.parametrize("n_bits,constant", [(2, 0), (2, 3), (3, 5), (4, 9), (4, 15)])
+    def test_matches_permutation(self, n_bits, constant):
+        assert compiled_oracle_matches_kernel(n_bits, constant)
+
+    def test_constant_reduced_mod_capacity(self):
+        # +9 on 3 bits ≡ +1
+        a = add_constant_circuit(3, 9).unitary()
+        b = add_constant_circuit(3, 1).unitary()
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_zero_constant_is_identity(self):
+        np.testing.assert_allclose(
+            add_constant_circuit(3, 0).unitary(), np.eye(8), atol=1e-12
+        )
+
+    def test_gate_count_polynomial(self):
+        # Adding ν (the worst constant) must not need ν repetitions.
+        report = gate_count_report(5, 31)
+        assert report["total"] <= 5 * 6  # O(n²), far below 31 repetitions of +1
+
+
+class TestCrossValidationWithRegisterKernel:
+    @pytest.mark.parametrize("n_bits", [2, 3])
+    def test_superposition_inputs_agree(self, n_bits, rng):
+        """The compiled adder and apply_value_shift act identically on
+        arbitrary superpositions of the counting register."""
+        dim = 2**n_bits
+        constant = 3 % dim
+        vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        vec /= np.linalg.norm(vec)
+
+        compiled = oracle_circuit_for_element(n_bits, constant).run(vec)
+
+        layout = RegisterLayout.of(c=1, s=dim)
+        state = StateVector.from_array(layout, vec.reshape(1, dim))
+        state.apply_value_shift("c", "s", np.array([constant]))
+        np.testing.assert_allclose(compiled, state.flat(), atol=1e-12)
+
+    def test_permutation_reference(self):
+        perm = increment_permutation(3, 5)
+        np.testing.assert_array_equal(perm, (np.arange(8) + 5) % 8)
+
+
+class TestCapacityValidation:
+    def test_power_of_two_accepted(self):
+        assert validate_bits_for_capacity(7) == 3
+        assert validate_bits_for_capacity(1) == 1
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_bits_for_capacity(6)

@@ -1,0 +1,96 @@
+"""Gate matrices: unitarity, known identities, controlled construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    CNOT,
+    CZ,
+    H,
+    NAMED_GATES,
+    SWAP,
+    TOFFOLI,
+    X,
+    Y,
+    Z,
+    controlled,
+    mcx,
+    phase,
+    rx,
+    ry,
+    rz,
+)
+from repro.errors import ValidationError
+from repro.qsim import is_permutation_matrix, is_unitary
+
+
+class TestNamedGates:
+    @pytest.mark.parametrize("name", sorted(NAMED_GATES))
+    def test_all_unitary(self, name):
+        assert is_unitary(NAMED_GATES[name])
+
+    def test_pauli_algebra(self):
+        np.testing.assert_allclose(X @ Y, 1j * Z, atol=1e-12)
+        np.testing.assert_allclose(X @ X, np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(Y @ Y, np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(Z @ Z, np.eye(2), atol=1e-12)
+
+    def test_hadamard_conjugates_x_to_z(self):
+        np.testing.assert_allclose(H @ X @ H, Z, atol=1e-12)
+
+    def test_cnot_from_controlled_x(self):
+        np.testing.assert_allclose(controlled(X), CNOT, atol=1e-12)
+
+    def test_cz_from_controlled_z(self):
+        np.testing.assert_allclose(controlled(Z), CZ, atol=1e-12)
+
+    def test_toffoli_from_double_control(self):
+        np.testing.assert_allclose(controlled(controlled(X)), TOFFOLI, atol=1e-12)
+
+    def test_swap_squares_to_identity(self):
+        np.testing.assert_allclose(SWAP @ SWAP, np.eye(4), atol=1e-12)
+
+
+class TestRotations:
+    @pytest.mark.parametrize("maker", [rx, ry, rz, phase])
+    def test_rotations_unitary(self, maker):
+        for angle in (0.0, 0.3, np.pi, -1.7):
+            assert is_unitary(maker(angle))
+
+    def test_rotation_composition(self):
+        np.testing.assert_allclose(ry(0.4) @ ry(0.5), ry(0.9), atol=1e-12)
+
+    def test_rz_at_pi_is_z_up_to_phase(self):
+        np.testing.assert_allclose(rz(np.pi), -1j * Z, atol=1e-12)
+
+
+class TestMCX:
+    def test_small_cases(self):
+        np.testing.assert_allclose(mcx(0), X, atol=1e-12)
+        np.testing.assert_allclose(mcx(1), CNOT, atol=1e-12)
+        np.testing.assert_allclose(mcx(2), TOFFOLI, atol=1e-12)
+
+    def test_is_permutation(self):
+        assert is_permutation_matrix(mcx(3))
+
+    def test_only_flips_all_ones_block(self):
+        mat = mcx(3).real
+        dim = 16
+        for col in range(dim):
+            row = int(np.argmax(mat[:, col]))
+            if col >= dim - 2:  # controls all 1
+                assert row == (col ^ 1)
+            else:
+                assert row == col
+
+
+class TestControlled:
+    def test_block_structure(self):
+        u = ry(0.8)
+        cu = controlled(u)
+        np.testing.assert_allclose(cu[:2, :2], np.eye(2), atol=1e-12)
+        np.testing.assert_allclose(cu[2:, 2:], u, atol=1e-12)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            controlled(np.ones((2, 3)))

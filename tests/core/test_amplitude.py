@@ -1,0 +1,122 @@
+"""2-D subspace algebra: Q(φ,ϕ), rotations, Eq. (7) decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    grover_rotation_matrix,
+    initial_decomposition,
+    initial_vector,
+    q_matrix,
+    reflection_about_initial,
+    s_chi_matrix,
+    state_after_iterations,
+)
+from repro.errors import ValidationError
+from repro.qsim import is_unitary
+
+
+class TestBuildingBlocks:
+    def test_initial_vector(self):
+        v = initial_vector(0.3)
+        np.testing.assert_allclose(v, [np.sin(0.3), np.cos(0.3)])
+
+    def test_s_chi_is_unitary(self):
+        assert is_unitary(s_chi_matrix(0.7))
+
+    def test_s_chi_phases_good_axis_only(self):
+        mat = s_chi_matrix(np.pi / 3)
+        assert mat[0, 0] == pytest.approx(np.exp(1j * np.pi / 3))
+        assert mat[1, 1] == 1.0
+
+    def test_reflection_is_unitary(self):
+        assert is_unitary(reflection_about_initial(0.4, 1.1))
+
+    def test_reflection_at_pi_is_householder(self):
+        theta = 0.5
+        u = initial_vector(theta)
+        expected = np.eye(2) - 2 * np.outer(u, u.conj())
+        np.testing.assert_allclose(
+            reflection_about_initial(theta, np.pi), expected, atol=1e-12
+        )
+
+    def test_q_is_unitary_for_any_angles(self):
+        for theta in (0.1, 0.7, 1.4):
+            for varphi in (0.0, 0.9, np.pi):
+                for phi in (0.3, np.pi, 5.0):
+                    assert is_unitary(q_matrix(theta, varphi, phi))
+
+
+class TestGroverRotation:
+    def test_q_pi_pi_is_rotation_by_two_theta(self):
+        theta = 0.37
+        np.testing.assert_allclose(
+            q_matrix(theta, np.pi, np.pi), grover_rotation_matrix(theta), atol=1e-12
+        )
+
+    def test_iterating_advances_angle(self):
+        theta = 0.21
+        v = initial_vector(theta)
+        rot = q_matrix(theta, np.pi, np.pi)
+        for reps in range(5):
+            expected = state_after_iterations(theta, reps)
+            np.testing.assert_allclose(v, expected, atol=1e-12)
+            v = rot @ v
+
+    def test_state_after_iterations_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            state_after_iterations(0.3, -1)
+
+
+class TestInitialDecomposition:
+    def test_overlap_is_m_over_nu_n(self, tiny_db):
+        decomp = initial_decomposition(tiny_db)
+        assert decomp.overlap == pytest.approx(5 / 16)
+        assert decomp.theta == pytest.approx(np.arcsin(np.sqrt(5 / 16)))
+
+    def test_good_state_is_target(self, tiny_db):
+        decomp = initial_decomposition(tiny_db)
+        expected = np.sqrt(np.array([2, 2, 0, 1]) / 5)
+        np.testing.assert_allclose(decomp.good, expected, atol=1e-12)
+
+    def test_bad_state_is_capacity_residual(self, tiny_db):
+        decomp = initial_decomposition(tiny_db)
+        residual = 4 - np.array([2, 2, 0, 1])
+        expected = np.sqrt(residual / residual.sum())
+        np.testing.assert_allclose(decomp.bad, expected, atol=1e-12)
+
+    def test_good_and_bad_normalized(self, small_db):
+        decomp = initial_decomposition(small_db)
+        assert np.linalg.norm(decomp.good) == pytest.approx(1.0)
+        assert np.linalg.norm(decomp.bad) == pytest.approx(1.0)
+
+    def test_equation_seven_reassembles(self, small_db):
+        """√a·good ⊕ √(1−a)·bad must equal D|π,0⟩ componentwise."""
+        decomp = initial_decomposition(small_db)
+        counts = small_db.joint_counts
+        nu, n_univ = small_db.nu, small_db.universe
+        d_pi_good = np.sqrt(counts / (nu * n_univ))
+        d_pi_bad = np.sqrt((nu - counts) / (nu * n_univ))
+        np.testing.assert_allclose(
+            np.sqrt(decomp.overlap) * decomp.good.real, d_pi_good, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            np.sqrt(1 - decomp.overlap) * decomp.bad.real, d_pi_bad, atol=1e-12
+        )
+
+    def test_full_capacity_database_has_no_bad_part(self):
+        from repro.database import DistributedDatabase, Multiset
+
+        db = DistributedDatabase.from_shards(
+            [Multiset(3, {0: 2, 1: 2, 2: 2})], nu=2
+        )
+        decomp = initial_decomposition(db)
+        assert decomp.overlap == pytest.approx(1.0)
+        np.testing.assert_allclose(decomp.bad, 0.0, atol=1e-12)
+
+    def test_empty_database_rejected(self):
+        from repro.database import DistributedDatabase, Multiset
+
+        db = DistributedDatabase.from_shards([Multiset.empty(3)], nu=1)
+        with pytest.raises(ValidationError):
+            initial_decomposition(db)

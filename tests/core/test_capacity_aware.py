@@ -1,0 +1,103 @@
+"""The capacity-aware schedule optimization (skip κ_j = 0 machines)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OracleDistributingOperator, SequentialSampler
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def mostly_empty_db():
+    """5 machines, only two hold data (κ = 0 elsewhere)."""
+    shards = [
+        Multiset(16, {0: 1, 1: 1}),
+        Multiset.empty(16),
+        Multiset(16, {5: 2}),
+        Multiset.empty(16),
+        Multiset.empty(16),
+    ]
+    return DistributedDatabase.from_shards(shards, nu=2)
+
+
+class TestSkippingSemantics:
+    def test_same_output_state(self, mostly_empty_db):
+        full = SequentialSampler(mostly_empty_db, backend="subspace").run()
+        skipping = SequentialSampler(
+            mostly_empty_db, backend="subspace", skip_zero_capacity=True
+        ).run()
+        np.testing.assert_allclose(
+            full.output_probabilities, skipping.output_probabilities, atol=1e-10
+        )
+        assert skipping.exact
+
+    def test_query_savings(self, mostly_empty_db):
+        full = SequentialSampler(mostly_empty_db).run()
+        skipping = SequentialSampler(mostly_empty_db, skip_zero_capacity=True).run()
+        # 2 active machines of 5 → cost ratio exactly 2/5.
+        assert skipping.sequential_queries * 5 == full.sequential_queries * 2
+
+    def test_skipped_machines_never_queried(self, mostly_empty_db):
+        result = SequentialSampler(mostly_empty_db, skip_zero_capacity=True).run()
+        per_machine = result.ledger.per_machine()
+        assert per_machine[1] == per_machine[3] == per_machine[4] == 0
+        assert per_machine[0] > 0 and per_machine[2] > 0
+
+    def test_oracles_backend_agrees(self, mostly_empty_db):
+        subspace = SequentialSampler(
+            mostly_empty_db, backend="subspace", skip_zero_capacity=True
+        ).run()
+        oracles = SequentialSampler(
+            mostly_empty_db, backend="oracles", skip_zero_capacity=True
+        ).run()
+        assert subspace.sequential_queries == oracles.sequential_queries
+        np.testing.assert_allclose(
+            subspace.output_probabilities, oracles.output_probabilities, atol=1e-10
+        )
+
+    def test_no_zero_capacity_machines_changes_nothing(self, small_db):
+        plain = SequentialSampler(small_db).run()
+        skipping = SequentialSampler(small_db, skip_zero_capacity=True).run()
+        assert plain.sequential_queries == skipping.sequential_queries
+
+
+class TestObliviousnessPreserved:
+    def test_schedule_from_public_capacities_only(self, mostly_empty_db):
+        """Two members differing only in private data (same κ) share the
+        capacity-aware schedule."""
+        other = mostly_empty_db.replaced_machine(
+            0,
+            mostly_empty_db.machine(0).replaced_shard(Multiset(16, {8: 1, 9: 1})),
+        )
+        assert other.public_parameters() == mostly_empty_db.public_parameters()
+        fp_a = SequentialSampler(mostly_empty_db, skip_zero_capacity=True).schedule()
+        fp_b = SequentialSampler(other, skip_zero_capacity=True).schedule()
+        assert fp_a.fingerprint() == fp_b.fingerprint()
+
+    def test_predicted_queries_match_run(self, mostly_empty_db):
+        sampler = SequentialSampler(mostly_empty_db, skip_zero_capacity=True)
+        assert sampler.predicted_queries() == sampler.run().sequential_queries
+
+    def test_active_machines_listing(self, mostly_empty_db):
+        sampler = SequentialSampler(mostly_empty_db, skip_zero_capacity=True)
+        assert sampler.active_machines() == [0, 2]
+
+
+class TestGuards:
+    def test_cannot_skip_nonempty_capacity_machine(self, mostly_empty_db):
+        with pytest.raises(ValidationError, match="cannot skip"):
+            OracleDistributingOperator(mostly_empty_db, active_machines=[0])
+
+    def test_active_index_range_checked(self, mostly_empty_db):
+        with pytest.raises(ValidationError):
+            OracleDistributingOperator(mostly_empty_db, active_machines=[0, 2, 9])
+
+    def test_bound_consistency(self, mostly_empty_db):
+        """The Theorem 5.1 expression already ignores κ_j = 0 machines, so
+        the optimized algorithm remains within a constant of it."""
+        from repro.lowerbound import sequential_bound_expression
+
+        result = SequentialSampler(mostly_empty_db, skip_zero_capacity=True).run()
+        bound = sequential_bound_expression(mostly_empty_db)
+        assert result.sequential_queries >= 0.2 * bound

@@ -1,0 +1,94 @@
+"""Closed-form query costs vs theorem envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    epsilon_condition_nu,
+    parallel_round_count,
+    predicted_costs,
+    sequential_oracle_calls,
+    solve_plan,
+    speedup_factor,
+    theoretical_parallel_rounds,
+    theoretical_sequential_queries,
+)
+from repro.errors import ValidationError
+
+
+class TestExactCounts:
+    def test_sequential_formula(self):
+        plan = solve_plan(0.05)
+        assert sequential_oracle_calls(3, plan) == 2 * 3 * plan.d_applications
+
+    def test_parallel_formula(self):
+        plan = solve_plan(0.05)
+        assert parallel_round_count(plan) == 4 * plan.d_applications
+
+    def test_predicted_costs_dict(self, tiny_db):
+        costs = predicted_costs(tiny_db)
+        plan = solve_plan(tiny_db.initial_overlap())
+        assert costs["sequential_queries"] == 2 * 2 * plan.d_applications
+        assert costs["parallel_rounds"] == 4 * plan.d_applications
+        assert costs["grover_reps"] == plan.grover_reps
+
+
+class TestEnvelopes:
+    def test_sequential_envelope_close_for_small_overlap(self):
+        # For small a, exact ≈ envelope: 2n(2m+3) ≈ nπ√(νN/M).
+        n, n_univ, total, nu = 3, 4096, 16, 1
+        plan = solve_plan(total / (nu * n_univ))
+        exact = sequential_oracle_calls(n, plan)
+        envelope = theoretical_sequential_queries(n, n_univ, total, nu)
+        assert exact == pytest.approx(envelope, rel=0.15)
+
+    def test_parallel_envelope_close_for_small_overlap(self):
+        n_univ, total, nu = 4096, 16, 1
+        plan = solve_plan(total / (nu * n_univ))
+        exact = parallel_round_count(plan)
+        envelope = theoretical_parallel_rounds(n_univ, total, nu)
+        assert exact == pytest.approx(envelope, rel=0.15)
+
+    def test_envelope_scales_sqrt(self):
+        base = theoretical_parallel_rounds(256, 16, 1)
+        quadrupled = theoretical_parallel_rounds(1024, 16, 1)
+        assert quadrupled == pytest.approx(2 * base)
+
+    def test_envelope_linear_in_n(self):
+        one = theoretical_sequential_queries(1, 256, 16, 1)
+        five = theoretical_sequential_queries(5, 256, 16, 1)
+        assert five == pytest.approx(5 * one)
+
+    def test_capacity_invariant_enforced(self):
+        with pytest.raises(ValidationError):
+            theoretical_sequential_queries(1, 4, 100, 1)  # M > νN
+
+
+class TestEpsilonCondition:
+    def test_formula(self):
+        # ν ≥ M/(Nε)
+        assert epsilon_condition_nu(100, 50, 0.5) == 1
+        assert epsilon_condition_nu(10, 50, 0.5) == 10
+
+    def test_epsilon_range(self):
+        with pytest.raises(ValidationError):
+            epsilon_condition_nu(10, 10, 0.0)
+        with pytest.raises(ValidationError):
+            epsilon_condition_nu(10, 10, 1.0)
+
+    def test_overlap_after_condition(self):
+        # Choosing ν by the condition caps the overlap at ε.
+        n_univ, total, eps = 64, 100, 0.3
+        nu = epsilon_condition_nu(n_univ, total, eps)
+        assert total / (nu * n_univ) <= eps + 1e-12
+
+
+class TestSpeedup:
+    def test_half_n(self):
+        assert speedup_factor(6) == 3.0
+
+    def test_matches_cost_ratio(self):
+        plan = solve_plan(0.02)
+        n = 8
+        ratio = sequential_oracle_calls(n, plan) / parallel_round_count(plan)
+        assert ratio == speedup_factor(n)

@@ -1,0 +1,222 @@
+"""The distributing operator D: Eq. (5), Lemma 4.2, Lemma 4.4."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DirectDistributingOperator,
+    OracleDistributingOperator,
+    ParallelDistributingOperator,
+    rotation_blocks_from_counts,
+    u_rotation_blocks,
+)
+from repro.database import DistributedDatabase, Multiset, QueryLedger
+from repro.errors import ValidationError
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    haar_random_state,
+    is_unitary,
+    operator_matrix,
+    uniform_state,
+)
+
+
+class TestRotationBlocks:
+    def test_equation_five_column(self):
+        blocks = rotation_blocks_from_counts(np.array([0, 2, 4]), nu=4)
+        # D|i,0⟩ = √(c/ν)|0⟩ + √((ν−c)/ν)|1⟩ per element
+        np.testing.assert_allclose(blocks[0][:, 0], [0, 1], atol=1e-12)
+        np.testing.assert_allclose(
+            blocks[1][:, 0], [np.sqrt(0.5), np.sqrt(0.5)], atol=1e-12
+        )
+        np.testing.assert_allclose(blocks[2][:, 0], [1, 0], atol=1e-12)
+
+    def test_counts_above_nu_rejected(self):
+        with pytest.raises(ValidationError):
+            rotation_blocks_from_counts(np.array([5]), nu=4)
+
+    def test_u_blocks_cover_full_range(self):
+        blocks = u_rotation_blocks(3)
+        assert blocks.shape == (4, 2, 2)
+        for block in blocks:
+            assert is_unitary(block)
+
+
+class TestDirectOperator:
+    def test_action_on_basis_states(self, tiny_db):
+        op = DirectDistributingOperator(tiny_db)
+        layout = RegisterLayout.of(i=4, w=2)
+        counts = tiny_db.joint_counts
+        nu = tiny_db.nu
+        for i in range(4):
+            state = StateVector.basis(layout, {"i": i, "w": 0})
+            op.apply(state)
+            assert state.amplitude({"i": i, "w": 0}) == pytest.approx(
+                np.sqrt(counts[i] / nu)
+            )
+            assert state.amplitude({"i": i, "w": 1}) == pytest.approx(
+                np.sqrt((nu - counts[i]) / nu)
+            )
+
+    def test_lemma_4_1_unitarity(self, tiny_db):
+        """Lemma 4.1: D extends to a unitary on the whole space."""
+        op = DirectDistributingOperator(tiny_db)
+        layout = RegisterLayout.of(i=4, w=2)
+        mat = operator_matrix(layout, lambda st: op.apply(st))
+        assert is_unitary(mat)
+
+    def test_adjoint_inverts(self, tiny_db, rng):
+        op = DirectDistributingOperator(tiny_db)
+        layout = RegisterLayout.of(i=4, w=2)
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        op.apply(state)
+        op.apply(state, adjoint=True)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+    def test_equation_seven_on_uniform_input(self, small_db):
+        op = DirectDistributingOperator(small_db)
+        n_univ = small_db.universe
+        layout = RegisterLayout.of(i=n_univ, w=2)
+        amps = np.zeros((n_univ, 2), dtype=np.complex128)
+        amps[:, 0] = uniform_state(n_univ)
+        state = StateVector.from_array(layout, amps)
+        op.apply(state)
+        # Good component: √(M/νN) on |ψ,0⟩.
+        a = small_db.initial_overlap()
+        good_probability = state.probability_of({"w": 0})
+        assert good_probability == pytest.approx(a, abs=1e-12)
+
+    def test_ledger_charges_lemma_42_cost(self, tiny_db):
+        ledger = QueryLedger(tiny_db.n_machines)
+        op = DirectDistributingOperator(tiny_db, ledger=ledger)
+        layout = RegisterLayout.of(i=4, w=2)
+        op.apply(StateVector.zero(layout))
+        assert ledger.sequential_queries == 2 * tiny_db.n_machines
+
+
+class TestOracleOperator:
+    def test_lemma_4_2_matches_direct_on_workspace_zero(self, tiny_db, rng):
+        """The 2n-query circuit equals the Eq. (5) rotation on s = 0."""
+        direct = DirectDistributingOperator(tiny_db)
+        via_oracles = OracleDistributingOperator(tiny_db)
+        layout_small = RegisterLayout.of(i=4, w=2)
+        layout_full = RegisterLayout.of(i=4, s=tiny_db.nu + 1, w=2)
+
+        small = haar_random_state(layout_small, rng)
+        full_amps = np.zeros(layout_full.shape, dtype=np.complex128)
+        full_amps[:, 0, :] = small.as_array()
+        full = StateVector.from_array(layout_full, full_amps)
+
+        direct.apply(small)
+        via_oracles.apply(full)
+
+        np.testing.assert_allclose(
+            full.as_array()[:, 0, :], small.as_array(), atol=1e-12
+        )
+        # Counting register must return to |0⟩ exactly.
+        assert full.probability_of({"s": 0}) == pytest.approx(1.0, abs=1e-12)
+
+    def test_adjoint_matches_direct_adjoint(self, tiny_db, rng):
+        direct = DirectDistributingOperator(tiny_db)
+        via_oracles = OracleDistributingOperator(tiny_db)
+        layout_small = RegisterLayout.of(i=4, w=2)
+        layout_full = RegisterLayout.of(i=4, s=tiny_db.nu + 1, w=2)
+        small = haar_random_state(layout_small, rng)
+        full_amps = np.zeros(layout_full.shape, dtype=np.complex128)
+        full_amps[:, 0, :] = small.as_array()
+        full = StateVector.from_array(layout_full, full_amps)
+        direct.apply(small, adjoint=True)
+        via_oracles.apply(full, adjoint=True)
+        np.testing.assert_allclose(
+            full.as_array()[:, 0, :], small.as_array(), atol=1e-12
+        )
+
+    def test_exactly_2n_queries_per_application(self, small_db):
+        ledger = QueryLedger(small_db.n_machines)
+        op = OracleDistributingOperator(small_db, ledger=ledger)
+        layout = RegisterLayout.of(i=small_db.universe, s=small_db.nu + 1, w=2)
+        op.apply(StateVector.zero(layout))
+        assert ledger.sequential_queries == 2 * small_db.n_machines
+        op.apply(StateVector.zero(layout), adjoint=True)
+        assert ledger.sequential_queries == 4 * small_db.n_machines
+
+    def test_every_machine_queried_twice(self, small_db):
+        ledger = QueryLedger(small_db.n_machines)
+        op = OracleDistributingOperator(small_db, ledger=ledger)
+        layout = RegisterLayout.of(i=small_db.universe, s=small_db.nu + 1, w=2)
+        op.apply(StateVector.zero(layout))
+        assert ledger.per_machine() == [2] * small_db.n_machines
+
+    def test_is_unitary_on_full_space(self, tiny_db):
+        op = OracleDistributingOperator(tiny_db)
+        layout = RegisterLayout.of(i=4, s=tiny_db.nu + 1, w=2)
+        mat = operator_matrix(layout, lambda st: op.apply(st))
+        assert is_unitary(mat)
+
+
+class TestParallelOperator:
+    @pytest.fixture
+    def db(self):
+        return DistributedDatabase.from_shards(
+            [Multiset(3, {0: 1, 1: 1}), Multiset(3, {1: 1})], nu=2
+        )
+
+    def test_lemma_4_4_four_rounds(self, db):
+        for mode in ("synced", "dense"):
+            ledger = QueryLedger(db.n_machines)
+            op = ParallelDistributingOperator(db, ledger=ledger, mode=mode)
+            layout = (
+                ParallelDistributingOperator.dense_layout(db)
+                if mode == "dense"
+                else ParallelDistributingOperator.synced_layout(db)
+            )
+            op.apply(StateVector.zero(layout))
+            assert ledger.parallel_rounds == 4, mode
+
+    def test_dense_equals_synced_on_main_registers(self, db, rng):
+        synced_layout = ParallelDistributingOperator.synced_layout(db)
+        dense_layout = ParallelDistributingOperator.dense_layout(db)
+
+        small = haar_random_state(synced_layout, rng)
+        dense_amps = np.zeros(dense_layout.shape, dtype=np.complex128)
+        dense_amps[:, :, :, 0, 0, 0, 0, 0, 0] = small.as_array()
+        dense = StateVector.from_array(dense_layout, dense_amps)
+
+        ParallelDistributingOperator(db, mode="synced").apply(small)
+        ParallelDistributingOperator(db, mode="dense").apply(dense)
+
+        np.testing.assert_allclose(
+            dense.as_array()[:, :, :, 0, 0, 0, 0, 0, 0], small.as_array(), atol=1e-12
+        )
+        # All ancillas back to |0⟩.
+        assert dense.probability_of(
+            {"pi0": 0, "ps0": 0, "pb0": 0, "pi1": 0, "ps1": 0, "pb1": 0}
+        ) == pytest.approx(1.0, abs=1e-12)
+
+    def test_dense_adjoint_roundtrip(self, db, rng):
+        layout = ParallelDistributingOperator.dense_layout(db)
+        op = ParallelDistributingOperator(db, mode="dense")
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        op.apply(state)
+        op.apply(state, adjoint=True)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+    def test_synced_matches_direct_rotation(self, db, rng):
+        """On s = 0, the parallel D equals the Eq. (5) rotation too."""
+        synced_layout = ParallelDistributingOperator.synced_layout(db)
+        small_layout = RegisterLayout.of(i=3, w=2)
+        small = haar_random_state(small_layout, rng)
+        full_amps = np.zeros(synced_layout.shape, dtype=np.complex128)
+        full_amps[:, 0, :] = small.as_array()
+        full = StateVector.from_array(synced_layout, full_amps)
+
+        DirectDistributingOperator(db).apply(small)
+        ParallelDistributingOperator(db, mode="synced").apply(full)
+        np.testing.assert_allclose(full.as_array()[:, 0, :], small.as_array(), atol=1e-12)
+
+    def test_unknown_mode_rejected(self, db):
+        with pytest.raises(ValidationError):
+            ParallelDistributingOperator(db, mode="warp")

@@ -1,0 +1,144 @@
+"""The shared amplification engine vs the 2×2 subspace algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DirectDistributingOperator,
+    apply_q,
+    apply_s_chi,
+    apply_s_pi,
+    initial_decomposition,
+    q_matrix,
+    run_amplification,
+    solve_plan,
+    state_after_iterations,
+)
+from repro.qsim import RegisterLayout, StateVector, uniform_preparation_matrix, uniform_state
+
+
+def _prepared_state(db):
+    layout = RegisterLayout.of(i=db.universe, w=2)
+    state = StateVector.zero(layout)
+    state.apply_local_unitary("i", uniform_preparation_matrix(db.universe))
+    return state
+
+
+def _component(state, db, which):
+    """Project the full state onto the 2-D (good, bad) basis."""
+    decomp = initial_decomposition(db)
+    arr = state.as_array()
+    if which == "good":
+        return complex(np.vdot(decomp.good, arr[:, 0]))
+    return complex(np.vdot(decomp.bad, arr[:, 1]))
+
+
+class TestReflections:
+    def test_s_chi_phases_flag_zero(self, small_db, rng):
+        layout = RegisterLayout.of(i=8, w=2)
+        from repro.qsim import haar_random_state
+
+        state = haar_random_state(layout, rng)
+        before0 = state.as_array()[:, 0].copy()
+        before1 = state.as_array()[:, 1].copy()
+        apply_s_chi(state, 0.8)
+        np.testing.assert_allclose(
+            state.as_array()[:, 0], np.exp(1j * 0.8) * before0, atol=1e-12
+        )
+        np.testing.assert_allclose(state.as_array()[:, 1], before1, atol=1e-12)
+
+    def test_s_pi_phases_pi_zero_component_only(self, small_db):
+        layout = RegisterLayout.of(i=8, w=2)
+        amps = np.zeros((8, 2), dtype=np.complex128)
+        amps[:, 0] = uniform_state(8)
+        state = StateVector.from_array(layout, amps)
+        apply_s_pi(state, np.pi)
+        np.testing.assert_allclose(state.as_array()[:, 0], -uniform_state(8), atol=1e-12)
+
+    def test_s_pi_leaves_orthogonal_untouched(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        # A state orthogonal to |π⟩ on i: (1, -1, 0, 0)/√2 with w=0.
+        amps = np.zeros((4, 2), dtype=np.complex128)
+        amps[0, 0] = 1 / np.sqrt(2)
+        amps[1, 0] = -1 / np.sqrt(2)
+        state = StateVector.from_array(layout, amps)
+        before = state.flat()
+        apply_s_pi(state, 1.1)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+
+class TestQAgainstSubspaceAlgebra:
+    @pytest.mark.parametrize("varphi,phi", [(np.pi, np.pi), (0.7, 2.1), (-1.2, 0.4)])
+    def test_full_simulation_tracks_2x2(self, small_db, varphi, phi):
+        """Simulated amplitudes must match the 2×2 matrix algebra exactly."""
+        d_op = DirectDistributingOperator(small_db)
+
+        def d_apply(s, adjoint=False):
+            return d_op.apply(s, "i", "w", adjoint=adjoint)
+
+        state = _prepared_state(small_db)
+        d_apply(state)  # now sinθ|good⟩ + cosθ|bad⟩
+        theta = initial_decomposition(small_db).theta
+        v = np.array([np.sin(theta), np.cos(theta)], dtype=complex)
+
+        for _ in range(3):
+            apply_q(state, d_apply, varphi, phi)
+            v = q_matrix(theta, varphi, phi) @ v
+            assert _component(state, small_db, "good") == pytest.approx(v[0], abs=1e-10)
+            assert _component(state, small_db, "bad") == pytest.approx(v[1], abs=1e-10)
+
+    def test_state_stays_in_invariant_plane(self, small_db):
+        d_op = DirectDistributingOperator(small_db)
+
+        def d_apply(s, adjoint=False):
+            return d_op.apply(s, "i", "w", adjoint=adjoint)
+
+        state = _prepared_state(small_db)
+        d_apply(state)
+        for _ in range(4):
+            apply_q(state, d_apply, np.pi, np.pi)
+            good = _component(state, small_db, "good")
+            bad = _component(state, small_db, "bad")
+            assert abs(good) ** 2 + abs(bad) ** 2 == pytest.approx(1.0, abs=1e-10)
+
+
+class TestRunAmplification:
+    def test_on_step_callback_order(self, small_db):
+        plan = solve_plan(small_db.initial_overlap())
+        d_op = DirectDistributingOperator(small_db)
+
+        def d_apply(s, adjoint=False):
+            return d_op.apply(s, "i", "w", adjoint=adjoint)
+
+        labels = []
+        state = _prepared_state(small_db)
+        run_amplification(
+            state, plan, d_apply, on_step=lambda label, _s: labels.append(label)
+        )
+        assert labels[0] == "D"
+        assert len(labels) == 1 + plan.iterations
+        if plan.needs_final:
+            assert labels[-1] == "Q[final]"
+
+    def test_intermediate_good_amplitude_follows_sine(self, sparse_db):
+        plan = solve_plan(sparse_db.initial_overlap())
+        d_op = DirectDistributingOperator(sparse_db)
+
+        def d_apply(s, adjoint=False):
+            return d_op.apply(s, "i", "w", adjoint=adjoint)
+
+        theta = plan.theta
+        goods = []
+        state = _prepared_state(sparse_db)
+        run_amplification(
+            state,
+            plan,
+            d_apply,
+            on_step=lambda label, s: goods.append(
+                abs(_component(s, sparse_db, "good"))
+            ),
+        )
+        for idx in range(plan.grover_reps + 1):
+            expected = abs(np.sin((2 * idx + 1) * theta))
+            assert goods[idx] == pytest.approx(expected, abs=1e-10)
+        assert goods[-1] == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,145 @@
+"""Amplitude estimation (the unknown-M extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bhmt_error_bound,
+    estimate_overlap,
+    outcome_to_overlap,
+    phase_register_distribution,
+    sample_with_estimated_m,
+    solve_plan,
+)
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def db():
+    return DistributedDatabase.from_shards(
+        [Multiset(64, {0: 1, 3: 1}), Multiset(64, {9: 2})], nu=4
+    )
+
+
+class TestPhaseDistribution:
+    def test_is_a_distribution(self):
+        probs = phase_register_distribution(0.3, precision_bits=6)
+        assert probs.shape == (64,)
+        assert probs.min() >= 0
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_peaks_near_encoded_phase(self):
+        # Eigenphases ±2θ ⇒ phase-register peaks near P·θ/π and P(1 − θ/π).
+        theta = 0.4
+        p_bits = 8
+        p_dim = 2**p_bits
+        probs = phase_register_distribution(theta, p_bits)
+        peak = int(np.argmax(probs))
+        target1 = theta / np.pi * p_dim
+        target2 = (1 - theta / np.pi) * p_dim
+        assert min(abs(peak - target1), abs(peak - target2)) <= 1.5
+
+    def test_exact_phase_gives_deterministic_outcome(self):
+        # θ = π·k/P: the eigenphase is exactly representable.
+        p_bits = 5
+        p_dim = 2**p_bits
+        theta = np.pi * 4 / p_dim
+        probs = phase_register_distribution(theta, p_bits)
+        support = np.flatnonzero(probs > 1e-9)
+        assert set(support.tolist()) <= {4, p_dim - 4}
+
+
+class TestDecoding:
+    def test_outcome_zero_is_zero_overlap(self):
+        assert outcome_to_overlap(0, 5) == 0.0
+
+    def test_symmetry(self):
+        p_bits = 6
+        p_dim = 2**p_bits
+        for y in (1, 7, 13):
+            assert outcome_to_overlap(y, p_bits) == pytest.approx(
+                outcome_to_overlap(p_dim - y, p_bits)
+            )
+
+    def test_range_checked(self):
+        with pytest.raises(ValidationError):
+            outcome_to_overlap(64, 6)
+
+
+class TestEstimateOverlap:
+    def test_estimate_converges_with_precision(self, db):
+        true_a = db.initial_overlap()
+        errors = []
+        for p_bits in (4, 7, 10):
+            est = estimate_overlap(db, precision_bits=p_bits, shots=9, rng=0)
+            errors.append(abs(est.a_hat - true_a))
+        assert errors[2] < errors[0]
+        assert errors[2] < 1e-3
+
+    def test_error_within_bhmt_bound_usually(self, db):
+        true_a = db.initial_overlap()
+        hits = 0
+        for seed in range(10):
+            est = estimate_overlap(db, precision_bits=8, shots=1, rng=seed)
+            if abs(est.a_hat - true_a) <= bhmt_error_bound(true_a, 8):
+                hits += 1
+        # Per-shot guarantee is ≥ 8/π² ≈ 0.81; ten seeds should mostly hit.
+        assert hits >= 7
+
+    def test_query_accounting(self, db):
+        est = estimate_overlap(db, precision_bits=5, shots=3, rng=0)
+        p_dim = 2**5
+        assert est.grover_applications == p_dim - 1
+        assert est.sequential_queries == 3 * 2 * db.n_machines * (2 * (p_dim - 1) + 1)
+        assert est.parallel_rounds == 3 * 4 * (2 * (p_dim - 1) + 1)
+
+    def test_m_hat_rounds_to_true_m(self, db):
+        est = estimate_overlap(db, precision_bits=9, shots=9, rng=1)
+        assert est.m_hat_rounded() == db.total_count
+
+    def test_heisenberg_scaling(self, db):
+        """Doubling P should roughly halve the error bound."""
+        b1 = bhmt_error_bound(db.initial_overlap(), 6)
+        b2 = bhmt_error_bound(db.initial_overlap(), 7)
+        assert b2 == pytest.approx(b1 / 2, rel=0.2)
+
+    def test_empty_database_rejected(self):
+        empty = DistributedDatabase.from_shards([Multiset.empty(8)], nu=1)
+        with pytest.raises(ValidationError):
+            estimate_overlap(empty, precision_bits=4)
+
+
+class TestEndToEndUnknownM:
+    def test_good_precision_recovers_exact_sampling(self, db):
+        est, result = sample_with_estimated_m(db, precision_bits=9, shots=9, rng=1)
+        assert est.m_hat_rounded() == db.total_count
+        assert result.fidelity > 0.995
+
+    def test_coarse_precision_degrades_gracefully(self, db):
+        est, result = sample_with_estimated_m(db, precision_bits=4, shots=3, rng=3)
+        # Still a state, still accounted — just not exact.
+        assert 0.0 <= result.fidelity <= 1.0
+        assert result.sequential_queries == result.schedule.sequential_queries()
+
+    def test_planned_with_estimate_not_truth(self, db):
+        est, result = sample_with_estimated_m(db, precision_bits=8, shots=9, rng=0)
+        # The executed plan's overlap is the clamped estimate, not true a.
+        assert result.plan.overlap == pytest.approx(
+            min(max(est.a_hat, 1.0 / (db.nu * db.universe)), 1.0)
+        )
+
+    def test_fidelity_matches_mismatch_algebra(self, db):
+        """With plan overlap a' ≠ a, fidelity = sin²((2m+1)θ)-style value —
+        check against the 2-D prediction computed from the real θ."""
+        est, result = sample_with_estimated_m(db, precision_bits=6, shots=5, rng=2)
+        theta_true = np.arcsin(np.sqrt(db.initial_overlap()))
+        plan = result.plan
+        v = np.array([np.sin(theta_true), np.cos(theta_true)], dtype=complex)
+        from repro.core import q_matrix
+
+        for _ in range(plan.grover_reps):
+            v = q_matrix(theta_true, np.pi, np.pi) @ v
+        if plan.needs_final:
+            v = q_matrix(theta_true, plan.final_varphi, plan.final_phi) @ v
+        assert result.fidelity == pytest.approx(abs(v[0]) ** 2, abs=1e-9)

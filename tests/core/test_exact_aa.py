@@ -1,0 +1,116 @@
+"""Zero-error amplitude amplification: the BHMT Theorem 4 schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    grover_reps_for,
+    plain_grover_plan,
+    solve_plan,
+    success_probability,
+)
+from repro.errors import PlanInfeasibleError
+
+
+class TestGroverReps:
+    def test_formula(self):
+        theta = 0.1
+        assert grover_reps_for(theta) == int(np.floor(np.pi / (4 * theta) - 0.5))
+
+    def test_clamped_at_zero(self):
+        assert grover_reps_for(1.5) == 0
+
+    def test_positive_theta_required(self):
+        with pytest.raises(PlanInfeasibleError):
+            grover_reps_for(0.0)
+
+
+class TestSolvePlan:
+    @pytest.mark.parametrize(
+        "overlap",
+        [0.001, 0.003, 0.01, 0.02, 0.05, 0.1, 0.2, 0.25, 0.3, 0.5, 0.7, 0.9, 0.99],
+    )
+    def test_zero_error_for_many_overlaps(self, overlap):
+        plan = solve_plan(overlap)
+        assert plan.residual_bad_amplitude() < 1e-11
+        assert success_probability(plan) == pytest.approx(1.0, abs=1e-10)
+
+    def test_overlap_one_needs_nothing(self):
+        plan = solve_plan(1.0)
+        assert plan.grover_reps == 0
+        assert not plan.needs_final
+        assert plan.d_applications == 1
+
+    def test_resonant_theta_skips_final(self):
+        # θ = π/6: (2·1+1)θ = π/2 exactly → plain Grover lands exactly.
+        overlap = np.sin(np.pi / 6) ** 2
+        plan = solve_plan(overlap)
+        assert plan.grover_reps == 1
+        assert not plan.needs_final
+        assert plan.residual_bad_amplitude() < 1e-12
+
+    def test_invalid_overlaps_rejected(self):
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(PlanInfeasibleError):
+                solve_plan(bad)
+
+    def test_iteration_counts(self):
+        plan = solve_plan(0.01)
+        expected_m = int(np.floor(np.pi / (4 * np.arcsin(0.1)) - 0.5))
+        assert plan.grover_reps == expected_m
+        assert plan.iterations == expected_m + int(plan.needs_final)
+        assert plan.d_applications == 1 + 2 * plan.iterations
+
+    def test_scaling_with_overlap(self):
+        # m ≈ (π/4)/√a: quartering the overlap doubles the reps.
+        m_small = solve_plan(0.0025).grover_reps
+        m_large = solve_plan(0.01).grover_reps
+        assert m_small == pytest.approx(2 * m_large, abs=2)
+
+    def test_angles_reported_when_final_needed(self):
+        plan = solve_plan(0.013)
+        if plan.needs_final:
+            assert plan.final_varphi is not None
+            assert plan.final_phi is not None
+            assert 0 < plan.final_phi <= np.pi + 1e-12
+
+
+class TestPlainGroverBaseline:
+    def test_plain_is_generally_inexact(self):
+        # Pick an overlap where (2m+1)θ is far from π/2.
+        inexact = 0
+        for overlap in (0.011, 0.017, 0.023, 0.037, 0.06):
+            plan = plain_grover_plan(overlap)
+            if 1.0 - success_probability(plan) > 1e-6:
+                inexact += 1
+        assert inexact >= 3
+
+    def test_plain_never_beats_exact(self):
+        for overlap in (0.01, 0.05, 0.2):
+            exact = solve_plan(overlap)
+            plain = plain_grover_plan(overlap)
+            assert success_probability(plain) <= success_probability(exact) + 1e-12
+
+    def test_plain_success_still_high(self):
+        # Rounding to nearest m̃ keeps failure ≤ sin²(2θ) — check ballpark.
+        for overlap in (0.01, 0.05):
+            plan = plain_grover_plan(overlap)
+            assert success_probability(plan) > 0.9
+
+    def test_invalid_overlap(self):
+        with pytest.raises(PlanInfeasibleError):
+            plain_grover_plan(0.0)
+
+
+class TestFinalState2D:
+    def test_final_state_is_good_axis(self):
+        plan = solve_plan(0.07)
+        final = plan.final_state_2d()
+        assert abs(final[0]) == pytest.approx(1.0, abs=1e-10)
+        assert abs(final[1]) == pytest.approx(0.0, abs=1e-10)
+
+    def test_final_state_without_final_step(self):
+        plan = plain_grover_plan(0.07)
+        final = plan.final_state_2d()
+        x = (2 * plan.grover_reps + 1) * plan.theta
+        np.testing.assert_allclose(final, [np.sin(x), np.cos(x)], atol=1e-12)

@@ -1,0 +1,72 @@
+"""Property-based checks of the zero-error plan solver (hypothesis).
+
+The solver must land *exactly* for every feasible overlap — this is the
+paper's zero-error claim, so we hammer it across the full (0, 1] range
+including adversarial values near resonances and boundaries.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import q_matrix, solve_plan, state_after_iterations, success_probability
+
+overlaps = st.floats(
+    min_value=1e-4, max_value=1.0, exclude_min=False, allow_nan=False
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(overlap=overlaps)
+def test_plan_always_lands_exactly(overlap):
+    plan = solve_plan(overlap)
+    assert plan.residual_bad_amplitude() < 1e-10
+    assert abs(success_probability(plan) - 1.0) < 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(overlap=overlaps)
+def test_d_applications_formula(overlap):
+    plan = solve_plan(overlap)
+    assert plan.d_applications == 1 + 2 * (plan.grover_reps + int(plan.needs_final))
+
+
+@settings(max_examples=100, deadline=None)
+@given(overlap=overlaps)
+def test_reps_within_bhmt_envelope(overlap):
+    plan = solve_plan(overlap)
+    theta = plan.theta
+    # m̃ = π/(4θ) − 1/2 and m = ⌊m̃⌋ ⇒ (2m+1)θ ∈ [π/2 − 2θ, π/2].
+    x = (2 * plan.grover_reps + 1) * theta
+    assert x <= np.pi / 2 + 1e-9
+    assert x >= np.pi / 2 - 2 * theta - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(overlap=overlaps)
+def test_total_iterations_scale(overlap):
+    plan = solve_plan(overlap)
+    # iterations ≤ (π/4)/θ + 1 ≤ (π/4)·(π/2)/√a + 1 (θ ≥ 2θ/π·(π/2), and
+    # sin θ ≥ 2θ/π on [0, π/2] gives θ ≥ ... use the crude safe bound).
+    bound = (np.pi / 4) / plan.theta + 1
+    assert plan.iterations <= bound + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    overlap=overlaps,
+    varphi=st.floats(min_value=-np.pi, max_value=np.pi),
+    phi=st.floats(min_value=-np.pi, max_value=np.pi),
+)
+def test_q_matrix_unitary_everywhere(overlap, varphi, phi):
+    theta = float(np.arcsin(np.sqrt(overlap)))
+    q = q_matrix(theta, varphi, phi)
+    np.testing.assert_allclose(q.conj().T @ q, np.eye(2), atol=1e-10)
+
+
+@settings(max_examples=100, deadline=None)
+@given(overlap=overlaps, reps=st.integers(min_value=0, max_value=50))
+def test_iterated_state_is_unit(overlap, reps):
+    theta = float(np.arcsin(np.sqrt(overlap)))
+    v = state_after_iterations(theta, reps)
+    assert abs(np.linalg.norm(v) - 1.0) < 1e-12

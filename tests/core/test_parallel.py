@@ -1,0 +1,114 @@
+"""The parallel sampler (Theorem 4.5): exactness, rounds, n-independence."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelSampler, SequentialSampler, sample_parallel
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import ValidationError
+
+
+class TestExactness:
+    def test_fidelity_one_synced(self, small_db):
+        result = sample_parallel(small_db)
+        assert result.fidelity == pytest.approx(1.0, abs=1e-10)
+        assert result.exact
+
+    def test_fidelity_one_dense(self, tiny_db):
+        result = sample_parallel(tiny_db, backend="dense")
+        assert result.fidelity == pytest.approx(1.0, abs=1e-10)
+
+    def test_output_distribution(self, small_db):
+        result = sample_parallel(small_db)
+        np.testing.assert_allclose(
+            result.output_probabilities, small_db.sampling_distribution(), atol=1e-10
+        )
+
+    def test_workspace_cleared(self, small_db):
+        result = sample_parallel(small_db)
+        assert result.final_state.probability_of({"s": 0, "w": 0}) == pytest.approx(
+            1.0, abs=1e-10
+        )
+
+
+class TestRoundAccounting:
+    def test_rounds_match_closed_form(self, sparse_db):
+        sampler = ParallelSampler(sparse_db)
+        result = sampler.run()
+        assert result.parallel_rounds == 4 * result.plan.d_applications
+        assert result.parallel_rounds == sampler.predicted_rounds()
+
+    def test_rounds_independent_of_n(self):
+        """The headline of Theorem 4.5: at fixed (N, M, ν), round count
+        does not grow with the number of machines."""
+        rounds = []
+        for n in (1, 2, 4):
+            shards = [Multiset(16, {0: 1, 1: 1})] + [
+                Multiset.empty(16) for _ in range(n - 1)
+            ]
+            db = DistributedDatabase.from_shards(shards, nu=1)
+            rounds.append(sample_parallel(db).parallel_rounds)
+        assert rounds[0] == rounds[1] == rounds[2]
+
+    def test_sequential_equivalent_work_scales_with_n(self, small_db):
+        result = sample_parallel(small_db)
+        assert (
+            result.ledger.sequential_queries
+            == result.parallel_rounds * small_db.n_machines
+        )
+
+    def test_speedup_over_sequential_is_half_n(self, small_db):
+        seq = SequentialSampler(small_db).run()
+        par = ParallelSampler(small_db).run()
+        assert seq.sequential_queries / par.parallel_rounds == pytest.approx(
+            small_db.n_machines / 2
+        )
+
+
+class TestBackendEquivalence:
+    def test_dense_equals_synced_amplitudes(self, tiny_db):
+        r_dense = sample_parallel(tiny_db, backend="dense")
+        r_synced = sample_parallel(tiny_db, backend="synced")
+        dense_main = r_dense.final_state.project_basis(
+            {name: 0 for name in r_dense.final_state.layout.names if name.startswith("p")}
+        )
+        np.testing.assert_allclose(
+            dense_main.as_array(), r_synced.final_state.as_array(), atol=1e-10
+        )
+
+    def test_dense_equals_synced_ledger(self, tiny_db):
+        r_dense = sample_parallel(tiny_db, backend="dense")
+        r_synced = sample_parallel(tiny_db, backend="synced")
+        assert r_dense.parallel_rounds == r_synced.parallel_rounds
+
+
+class TestObliviousness:
+    def test_same_publics_same_schedule(self):
+        a = DistributedDatabase.from_shards(
+            [Multiset(8, {0: 2}), Multiset(8, {2: 1})], nu=3
+        )
+        b = DistributedDatabase.from_shards(
+            [Multiset(8, {5: 1}), Multiset(8, {7: 2})], nu=3
+        )
+        assert ParallelSampler(a).schedule() == ParallelSampler(b).schedule()
+
+    def test_schedule_is_all_parallel(self, small_db):
+        schedule = ParallelSampler(small_db).schedule()
+        assert all(e.kind == "parallel" for e in schedule)
+
+
+class TestEdgeCases:
+    def test_unknown_backend(self, small_db):
+        with pytest.raises(ValidationError):
+            ParallelSampler(small_db, backend="fast")
+
+    def test_single_machine_parallel(self, single_machine_db):
+        result = sample_parallel(single_machine_db)
+        assert result.exact
+
+    def test_matches_sequential_output(self, small_db):
+        seq = SequentialSampler(small_db, backend="subspace").run()
+        par = ParallelSampler(small_db).run()
+        np.testing.assert_allclose(
+            seq.output_probabilities, par.output_probabilities, atol=1e-10
+        )

@@ -1,0 +1,125 @@
+"""Property-based end-to-end sampler invariants (hypothesis).
+
+Random small databases — arbitrary count matrices, capacities, machine
+counts — must all yield: exact fidelity, ledger = closed form, output
+distribution = c/M, and sequential/parallel agreement.  This is the
+library's strongest single guarantee, so it gets the widest net.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import strict_mode
+from repro.core import (
+    ParallelSampler,
+    SequentialSampler,
+    parallel_round_count,
+    sequential_oracle_calls,
+    solve_plan,
+)
+from repro.database import DistributedDatabase, Multiset
+
+
+@st.composite
+def databases(draw):
+    """Random non-empty distributed databases with modest dimensions."""
+    universe = draw(st.integers(min_value=2, max_value=10))
+    n_machines = draw(st.integers(min_value=1, max_value=3))
+    counts = np.array(
+        draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=3),
+                    min_size=universe,
+                    max_size=universe,
+                ),
+                min_size=n_machines,
+                max_size=n_machines,
+            )
+        ),
+        dtype=np.int64,
+    )
+    if counts.sum() == 0:
+        counts[0, 0] = 1
+    joint_max = int(counts.sum(axis=0).max())
+    headroom = draw(st.integers(min_value=0, max_value=3))
+    shards = [Multiset.from_counts(row) for row in counts]
+    return DistributedDatabase.from_shards(shards, nu=joint_max + headroom)
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=databases())
+def test_sequential_always_exact(db):
+    result = SequentialSampler(db, backend="subspace").run()
+    assert abs(result.fidelity - 1.0) < 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=databases())
+def test_sequential_ledger_matches_closed_form(db):
+    result = SequentialSampler(db, backend="subspace").run()
+    plan = solve_plan(db.initial_overlap())
+    assert result.sequential_queries == sequential_oracle_calls(db.n_machines, plan)
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=databases())
+def test_output_distribution_is_frequencies(db):
+    result = SequentialSampler(db, backend="subspace").run()
+    np.testing.assert_allclose(
+        result.output_probabilities, db.sampling_distribution(), atol=1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=databases())
+def test_parallel_matches_sequential(db):
+    seq = SequentialSampler(db, backend="subspace").run()
+    par = ParallelSampler(db).run()
+    assert abs(par.fidelity - 1.0) < 1e-9
+    assert par.parallel_rounds == parallel_round_count(par.plan)
+    np.testing.assert_allclose(
+        seq.output_probabilities, par.output_probabilities, atol=1e-9
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=databases())
+def test_oracle_backend_agrees_with_subspace(db):
+    subspace = SequentialSampler(db, backend="subspace").run()
+    oracles = SequentialSampler(db, backend="oracles").run()
+    assert abs(oracles.fidelity - 1.0) < 1e-9
+    np.testing.assert_allclose(
+        subspace.output_probabilities, oracles.output_probabilities, atol=1e-9
+    )
+    assert subspace.sequential_queries == oracles.sequential_queries
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=databases())
+def test_samplers_pass_strict_mode(db):
+    """Every kernel application must preserve the norm exactly."""
+    with strict_mode():
+        result = SequentialSampler(db, backend="oracles").run()
+    assert abs(result.fidelity - 1.0) < 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=databases(), data=st.data())
+def test_schedule_depends_only_on_public_parameters(db, data):
+    """Shuffling private data (a permutation of the joint dataset across
+    machines preserving M_j and capacities is hard to synthesize generally,
+    so we relabel keys uniformly) leaves the schedule unchanged."""
+    sampler = SequentialSampler(db)
+    fingerprint = sampler.schedule().fingerprint()
+
+    seed = data.draw(st.integers(min_value=0, max_value=2**31))
+    sigma = np.random.default_rng(seed).permutation(db.universe)
+    relabeled = DistributedDatabase(
+        [m.replaced_shard(m.shard.permuted(sigma)) for m in db.machines],
+        nu=db.nu,
+    )
+    assert relabeled.public_parameters()["M"] == db.public_parameters()["M"]
+    assert SequentialSampler(relabeled).schedule().fingerprint() == fingerprint

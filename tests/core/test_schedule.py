@@ -1,0 +1,84 @@
+"""Oblivious query schedules."""
+
+import pytest
+
+from repro.core import QuerySchedule, ScheduleEntry
+from repro.errors import ValidationError
+
+
+class TestScheduleEntry:
+    def test_oracle_entry_needs_machine(self):
+        with pytest.raises(ValidationError):
+            ScheduleEntry("oracle", None, False)
+
+    def test_parallel_entry_forbids_machine(self):
+        with pytest.raises(ValidationError):
+            ScheduleEntry("parallel", 0, False)
+
+    def test_bad_kind(self):
+        with pytest.raises(ValidationError):
+            ScheduleEntry("telepathy", 0, False)
+
+
+class TestSequentialSchedule:
+    def test_lemma_42_sandwich_structure(self):
+        schedule = QuerySchedule.sequential_from_plan(n_machines=3, d_applications=1)
+        machines = [e.machine for e in schedule]
+        adjoints = [e.adjoint for e in schedule]
+        assert machines == [0, 1, 2, 2, 1, 0]
+        assert adjoints == [False, False, False, True, True, True]
+
+    def test_counts(self):
+        schedule = QuerySchedule.sequential_from_plan(n_machines=2, d_applications=5)
+        assert schedule.sequential_queries() == 2 * 2 * 5
+        assert schedule.parallel_rounds() == 0
+
+    def test_per_machine_count(self):
+        schedule = QuerySchedule.sequential_from_plan(n_machines=4, d_applications=3)
+        for j in range(4):
+            assert schedule.machine_queries(j) == 2 * 3
+
+    def test_machine_bounds_validated(self):
+        with pytest.raises(ValidationError):
+            QuerySchedule(1, [ScheduleEntry("oracle", 1, False)])
+
+
+class TestParallelSchedule:
+    def test_lemma_44_round_pattern(self):
+        schedule = QuerySchedule.parallel_from_plan(n_machines=3, d_applications=1)
+        assert len(schedule) == 4
+        assert [e.adjoint for e in schedule] == [False, True, False, True]
+        assert all(e.kind == "parallel" for e in schedule)
+
+    def test_counts(self):
+        schedule = QuerySchedule.parallel_from_plan(n_machines=3, d_applications=7)
+        assert schedule.parallel_rounds() == 28
+        assert schedule.sequential_queries() == 0
+
+    def test_machine_queries_counts_rounds(self):
+        schedule = QuerySchedule.parallel_from_plan(n_machines=3, d_applications=2)
+        assert schedule.machine_queries(1) == 8
+
+
+class TestFingerprint:
+    def test_equal_schedules_equal_fingerprints(self):
+        a = QuerySchedule.sequential_from_plan(2, 3)
+        b = QuerySchedule.sequential_from_plan(2, 3)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+        assert hash(a) == hash(b)
+
+    def test_different_d_count_differs(self):
+        a = QuerySchedule.sequential_from_plan(2, 3)
+        b = QuerySchedule.sequential_from_plan(2, 4)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_model_changes_fingerprint(self):
+        a = QuerySchedule.sequential_from_plan(2, 3)
+        b = QuerySchedule.parallel_from_plan(2, 3)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_machine_count_changes_fingerprint(self):
+        a = QuerySchedule.parallel_from_plan(2, 3)
+        b = QuerySchedule.parallel_from_plan(3, 3)
+        assert a.fingerprint() != b.fingerprint()

@@ -1,0 +1,153 @@
+"""The sequential sampler (Theorem 4.3): exactness, costs, obliviousness."""
+
+import numpy as np
+import pytest
+
+from repro.core import SequentialSampler, sample_sequential, solve_plan
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import ValidationError
+
+
+class TestExactness:
+    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    def test_fidelity_one(self, small_db, backend):
+        result = SequentialSampler(small_db, backend=backend).run()
+        assert result.fidelity == pytest.approx(1.0, abs=1e-10)
+        assert result.exact
+
+    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    def test_output_distribution_is_frequencies(self, small_db, backend):
+        result = SequentialSampler(small_db, backend=backend).run()
+        np.testing.assert_allclose(
+            result.output_probabilities,
+            small_db.sampling_distribution(),
+            atol=1e-10,
+        )
+
+    def test_workspace_returns_to_zero(self, small_db):
+        result = SequentialSampler(small_db, backend="oracles").run()
+        state = result.final_state
+        assert state.probability_of({"s": 0, "w": 0}) == pytest.approx(1.0, abs=1e-10)
+
+    def test_exact_on_many_random_instances(self, rng):
+        from repro.database import round_robin, zipf_dataset
+
+        for trial in range(5):
+            db = round_robin(
+                zipf_dataset(12, 18, exponent=1.0, rng=rng), n_machines=2
+            )
+            result = sample_sequential(db, backend="subspace")
+            assert result.fidelity == pytest.approx(1.0, abs=1e-9), trial
+
+
+class TestQueryAccounting:
+    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    def test_ledger_matches_closed_form(self, sparse_db, backend):
+        sampler = SequentialSampler(sparse_db, backend=backend)
+        result = sampler.run()
+        plan = result.plan
+        assert result.sequential_queries == 2 * sparse_db.n_machines * plan.d_applications
+        assert result.sequential_queries == sampler.predicted_queries()
+
+    def test_no_parallel_rounds(self, small_db):
+        result = sample_sequential(small_db)
+        assert result.parallel_rounds == 0
+
+    def test_queries_split_evenly_across_machines(self, small_db):
+        result = sample_sequential(small_db)
+        per_machine = result.ledger.per_machine()
+        assert len(set(per_machine)) == 1  # every machine queried equally
+
+    def test_ledger_frozen_after_run(self, small_db):
+        result = sample_sequential(small_db)
+        with pytest.raises(ValidationError):
+            result.ledger.record_machine_call(0)
+
+    def test_schedule_matches_ledger(self, small_db):
+        sampler = SequentialSampler(small_db)
+        schedule = sampler.schedule()
+        result = sampler.run()
+        assert schedule.sequential_queries() == result.sequential_queries
+        for j in range(small_db.n_machines):
+            assert schedule.machine_queries(j) == result.ledger.machine_queries(j)
+
+
+class TestObliviousness:
+    def test_plan_uses_public_parameters_only(self, small_db):
+        sampler = SequentialSampler(small_db)
+        plan = sampler.plan()
+        assert plan.overlap == pytest.approx(small_db.initial_overlap())
+
+    def test_same_publics_same_schedule(self):
+        # Two very different datasets with identical (N, n, ν, M, κ_j).
+        a = DistributedDatabase.from_shards(
+            [Multiset(8, {0: 2, 1: 1}), Multiset(8, {2: 1})], nu=3
+        )
+        b = DistributedDatabase.from_shards(
+            [Multiset(8, {5: 2, 6: 1}), Multiset(8, {7: 1})], nu=3
+        )
+        assert a.public_parameters() == b.public_parameters()
+        fp_a = SequentialSampler(a).schedule().fingerprint()
+        fp_b = SequentialSampler(b).schedule().fingerprint()
+        assert fp_a == fp_b
+
+    def test_schedule_known_before_run(self, small_db):
+        sampler = SequentialSampler(small_db)
+        fp_before = sampler.schedule().fingerprint()
+        sampler.run()
+        assert sampler.schedule().fingerprint() == fp_before
+
+
+class TestBackendEquivalence:
+    def test_same_final_amplitudes(self, small_db):
+        r_oracles = sample_sequential(small_db, backend="oracles")
+        r_subspace = sample_sequential(small_db, backend="subspace")
+        # Compare on the (i, w) registers with s projected at 0.
+        oracle_view = r_oracles.final_state.project_basis({"s": 0})
+        np.testing.assert_allclose(
+            oracle_view.as_array(),
+            r_subspace.final_state.as_array(),
+            atol=1e-10,
+        )
+
+    def test_same_ledger(self, small_db):
+        r_oracles = sample_sequential(small_db, backend="oracles")
+        r_subspace = sample_sequential(small_db, backend="subspace")
+        assert r_oracles.ledger.per_machine() == r_subspace.ledger.per_machine()
+
+
+class TestEdgeCases:
+    def test_full_database_single_d(self):
+        db = DistributedDatabase.from_shards(
+            [Multiset(4, {0: 2, 1: 2, 2: 2, 3: 2})], nu=2
+        )
+        result = sample_sequential(db)
+        assert result.plan.d_applications == 1
+        assert result.fidelity == pytest.approx(1.0)
+        assert result.sequential_queries == 2
+
+    def test_single_element_database(self):
+        db = DistributedDatabase.from_shards([Multiset(8, {3: 1})], nu=1)
+        result = sample_sequential(db)
+        assert result.fidelity == pytest.approx(1.0, abs=1e-10)
+        assert result.output_probabilities[3] == pytest.approx(1.0, abs=1e-10)
+
+    def test_unknown_backend_rejected(self, small_db):
+        with pytest.raises(ValidationError):
+            SequentialSampler(small_db, backend="gpu")
+
+    def test_result_summary_is_json_friendly(self, small_db):
+        import json
+
+        result = sample_sequential(small_db)
+        dumped = json.dumps(result.summary())
+        assert "sequential" in dumped
+
+    def test_heterogeneous_capacities(self):
+        db = DistributedDatabase.from_shards(
+            [Multiset(8, {0: 3}), Multiset(8, {1: 1})],
+            nu=4,
+            capacities=[3, 2],
+        )
+        result = sample_sequential(db)
+        assert result.exact

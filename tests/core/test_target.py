@@ -1,0 +1,79 @@
+"""Target state |ψ⟩ of Eq. (4) and fidelity helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    fidelity_with_target,
+    target_amplitudes,
+    target_on_layout,
+    target_state,
+)
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import EmptyDatabaseError
+from repro.qsim import RegisterLayout, StateVector
+
+
+class TestTargetAmplitudes:
+    def test_equation_four(self, tiny_db):
+        amps = target_amplitudes(tiny_db)
+        expected = np.sqrt(np.array([2, 2, 0, 1]) / 5)
+        np.testing.assert_allclose(amps, expected, atol=1e-12)
+
+    def test_unit_norm(self, small_db):
+        assert np.linalg.norm(target_amplitudes(small_db)) == pytest.approx(1.0)
+
+    def test_measurement_distribution_is_frequencies(self, small_db):
+        amps = target_amplitudes(small_db)
+        np.testing.assert_allclose(
+            np.abs(amps) ** 2, small_db.sampling_distribution(), atol=1e-12
+        )
+
+    def test_empty_rejected(self):
+        db = DistributedDatabase.from_shards([Multiset.empty(4)], nu=1)
+        with pytest.raises(EmptyDatabaseError):
+            target_amplitudes(db)
+
+
+class TestTargetState:
+    def test_single_register_layout(self, tiny_db):
+        state = target_state(tiny_db)
+        assert state.layout.names == ("i",)
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_embedded_in_larger_layout(self, tiny_db):
+        layout = RegisterLayout.of(i=4, s=5, w=2)
+        state = target_on_layout(tiny_db, layout)
+        # Support only on s=0, w=0.
+        assert state.probability_of({"s": 0, "w": 0}) == pytest.approx(1.0)
+        projected = state.project_basis({"s": 0, "w": 0})
+        np.testing.assert_allclose(
+            projected.as_array(), target_amplitudes(tiny_db), atol=1e-12
+        )
+
+
+class TestFidelityWithTarget:
+    def test_perfect_state(self, tiny_db):
+        layout = RegisterLayout.of(i=4, w=2)
+        state = target_on_layout(tiny_db, layout)
+        assert fidelity_with_target(tiny_db, state) == pytest.approx(1.0)
+
+    def test_global_phase_invariant(self, tiny_db):
+        layout = RegisterLayout.of(i=4, w=2)
+        state = target_on_layout(tiny_db, layout)
+        state.apply_global_phase(np.exp(1j * 1.234))
+        assert fidelity_with_target(tiny_db, state) == pytest.approx(1.0)
+
+    def test_orthogonal_state(self, tiny_db):
+        layout = RegisterLayout.of(i=4, w=2)
+        state = StateVector.basis(layout, {"i": 2, "w": 0})  # c_2 = 0
+        assert fidelity_with_target(tiny_db, state) == pytest.approx(0.0)
+
+    def test_workspace_leakage_reduces_fidelity(self, tiny_db):
+        layout = RegisterLayout.of(i=4, w=2)
+        good = target_on_layout(tiny_db, layout)
+        # Rotate some amplitude into w=1: fidelity must drop below 1.
+        mats = np.stack([np.array([[np.sqrt(0.5), -np.sqrt(0.5)],
+                                   [np.sqrt(0.5), np.sqrt(0.5)]])] * 4).astype(complex)
+        good.apply_controlled_qubit_unitary("i", "w", mats)
+        assert fidelity_with_target(tiny_db, good) == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,122 @@
+"""DistributedDatabase: invariants, derived stats, public parameters."""
+
+import numpy as np
+import pytest
+
+from repro.database import DistributedDatabase, Machine, Multiset
+from repro.errors import CapacityError, EmptyDatabaseError, ValidationError
+
+
+class TestConstruction:
+    def test_from_shards(self, tiny_db):
+        assert tiny_db.n_machines == 2
+        assert tiny_db.universe == 4
+        assert tiny_db.total_count == 5
+
+    def test_needs_at_least_one_machine(self):
+        with pytest.raises(ValidationError):
+            DistributedDatabase([])
+
+    def test_universe_must_match(self):
+        with pytest.raises(ValidationError):
+            DistributedDatabase(
+                [Machine(Multiset.empty(3)), Machine(Multiset.empty(4))]
+            )
+
+    def test_default_nu_is_joint_max(self):
+        shards = [Multiset(4, {0: 2}), Multiset(4, {0: 3})]
+        db = DistributedDatabase.from_shards(shards)
+        assert db.nu == 5  # joint multiplicity of element 0
+
+    def test_nu_below_joint_max_rejected(self):
+        shards = [Multiset(4, {0: 2}), Multiset(4, {0: 3})]
+        with pytest.raises(CapacityError):
+            DistributedDatabase.from_shards(shards, nu=4)
+
+    def test_from_count_matrix(self):
+        counts = np.array([[1, 0, 2], [0, 1, 1]])
+        db = DistributedDatabase.from_count_matrix(counts)
+        assert db.n_machines == 2
+        assert db.universe == 3
+        np.testing.assert_array_equal(db.count_matrix, counts)
+
+    def test_count_matrix_must_be_2d(self):
+        with pytest.raises(ValidationError):
+            DistributedDatabase.from_count_matrix(np.array([1, 2, 3]))
+
+    def test_capacities_argument(self):
+        shards = [Multiset(4, {0: 1}), Multiset(4, {1: 1})]
+        db = DistributedDatabase.from_shards(shards, capacities=[3, 2])
+        assert db.capacities == (3, 2)
+
+
+class TestDerivedQuantities:
+    def test_joint_counts(self, tiny_db):
+        np.testing.assert_array_equal(tiny_db.joint_counts, [2, 2, 0, 1])
+
+    def test_machine_sizes(self, tiny_db):
+        assert tiny_db.machine_sizes == (3, 2)
+
+    def test_joint_multiset(self, tiny_db):
+        joint = tiny_db.joint_multiset()
+        assert joint.cardinality() == 5
+        assert joint.multiplicity(1) == 2
+
+    def test_sampling_distribution(self, tiny_db):
+        np.testing.assert_allclose(
+            tiny_db.sampling_distribution(), [0.4, 0.4, 0.0, 0.2]
+        )
+
+    def test_empty_database_distribution_raises(self):
+        db = DistributedDatabase.from_shards([Multiset.empty(4)], nu=1)
+        with pytest.raises(EmptyDatabaseError):
+            db.sampling_distribution()
+
+    def test_initial_overlap(self, tiny_db):
+        # a = M/(νN) = 5/(4·4)
+        assert tiny_db.initial_overlap() == pytest.approx(5 / 16)
+
+    def test_public_parameters(self, tiny_db):
+        params = tiny_db.public_parameters()
+        assert params["N"] == 4
+        assert params["n"] == 2
+        assert params["nu"] == 4
+        assert params["M"] == 5
+        assert params["capacities"] == (2, 1)
+
+
+class TestDerivedCopies:
+    def test_replaced_machine(self, tiny_db):
+        new_machine = Machine(Multiset(4, {2: 1}))
+        db2 = tiny_db.replaced_machine(1, new_machine)
+        assert db2.machine(1).multiplicity(2) == 1
+        assert tiny_db.machine(1).multiplicity(2) == 0
+
+    def test_without_machine_data(self, tiny_db):
+        db2 = tiny_db.without_machine_data(0)
+        assert db2.machine(0).is_empty()
+        assert db2.machine(1).size == 2
+        # ν stays — it is public knowledge.
+        assert db2.nu == tiny_db.nu
+
+    def test_with_nu(self, tiny_db):
+        assert tiny_db.with_nu(9).nu == 9
+
+    def test_iteration(self, tiny_db):
+        assert len(list(tiny_db)) == 2
+        assert len(tiny_db) == 2
+
+
+class TestValidate:
+    def test_passes_on_valid(self, tiny_db):
+        tiny_db.validate()
+
+    def test_detects_joint_violation_after_mutation(self):
+        shards = [Multiset(4, {0: 1}), Multiset(4, {0: 1})]
+        db = DistributedDatabase.from_shards(shards, nu=2)
+        # Force an in-place violation through machine with headroom.
+        db.machine(0).with_capacity(5)  # copy, no effect
+        bumped = db.replaced_machine(0, db.machine(0).with_capacity(5))
+        bumped.machine(0).insert(0, 2)  # joint now 4 > ν=2... wait ν recomputed
+        with pytest.raises(CapacityError):
+            bumped.validate()

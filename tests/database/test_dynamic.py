@@ -1,0 +1,107 @@
+"""Dynamic updates (Section 3 remark): streams, costs, validity."""
+
+import pytest
+
+from repro.database import (
+    DistributedDatabase,
+    Machine,
+    Multiset,
+    Update,
+    UpdateStream,
+    random_update_stream,
+)
+from repro.errors import ValidationError
+
+
+@pytest.fixture
+def db_with_headroom():
+    machines = [
+        Machine(Multiset(6, {0: 1, 1: 1}), capacity=4, name="m0"),
+        Machine(Multiset(6, {2: 2}), capacity=4, name="m1"),
+    ]
+    return DistributedDatabase(machines, nu=8)
+
+
+class TestUpdate:
+    def test_kind_validated(self):
+        with pytest.raises(ValidationError):
+            Update(0, 0, "mutate")
+
+
+class TestUpdateStream:
+    def test_apply_next_mutates_database(self, db_with_headroom):
+        stream = UpdateStream(
+            db_with_headroom,
+            [Update(0, 3, "insert"), Update(1, 2, "delete")],
+        )
+        stream.apply_next()
+        assert db_with_headroom.machine(0).multiplicity(3) == 1
+        assert stream.pending == 1
+        stream.apply_next()
+        assert db_with_headroom.machine(1).multiplicity(2) == 1
+        assert stream.pending == 0
+
+    def test_apply_all(self, db_with_headroom):
+        stream = UpdateStream(
+            db_with_headroom, [Update(0, 3, "insert")] * 3
+        )
+        assert stream.apply_all() == 3
+        assert db_with_headroom.machine(0).multiplicity(3) == 3
+
+    def test_unit_cost_per_update(self, db_with_headroom):
+        stream = UpdateStream(
+            db_with_headroom,
+            [Update(0, 3, "insert"), Update(0, 3, "insert"), Update(0, 3, "delete")],
+        )
+        stream.apply_all()
+        assert stream.total_update_cost() == 3
+
+    def test_machine_range_validated(self, db_with_headroom):
+        with pytest.raises(ValidationError):
+            UpdateStream(db_with_headroom, [Update(5, 0, "insert")])
+
+    def test_element_range_validated(self, db_with_headroom):
+        with pytest.raises(ValidationError):
+            UpdateStream(db_with_headroom, [Update(0, 9, "insert")])
+
+    def test_len_and_iter(self, db_with_headroom):
+        updates = [Update(0, 3, "insert"), Update(0, 3, "delete")]
+        stream = UpdateStream(db_with_headroom, updates)
+        assert len(stream) == 2
+        assert list(stream) == updates
+
+    def test_apply_next_past_end_returns_zero(self, db_with_headroom):
+        stream = UpdateStream(db_with_headroom, [Update(0, 3, "insert")])
+        stream.apply_all()
+        assert stream.apply_next() == 0
+
+
+class TestRandomStream:
+    def test_stream_always_valid(self, db_with_headroom):
+        stream = random_update_stream(db_with_headroom, length=40, rng=0)
+        assert len(stream) == 40
+        stream.apply_all()
+        db_with_headroom.validate()
+
+    def test_deletes_only_present_elements(self, db_with_headroom):
+        stream = random_update_stream(
+            db_with_headroom, length=30, insert_probability=0.0, rng=1
+        )
+        stream.apply_all()  # would raise if it tried to remove an absent key
+        db_with_headroom.validate()
+
+    def test_inserts_respect_capacity(self, db_with_headroom):
+        stream = random_update_stream(
+            db_with_headroom, length=60, insert_probability=1.0, rng=2
+        )
+        stream.apply_all()
+        db_with_headroom.validate()
+
+    def test_seeded(self, db_with_headroom):
+        a = random_update_stream(db_with_headroom, length=10, rng=7)
+        fresh = DistributedDatabase(
+            [m.replaced_shard(m.shard) for m in db_with_headroom.machines],
+            nu=db_with_headroom.nu,
+        )
+        b = random_update_stream(fresh, length=10, rng=7)
+        assert list(a) == list(b)

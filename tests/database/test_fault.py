@@ -1,0 +1,109 @@
+"""Fault tolerance via replication (the intro's second motivation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_sequential, target_amplitudes
+from repro.database import (
+    DistributedDatabase,
+    Multiset,
+    assess_fault,
+    bhattacharyya_fidelity,
+    degraded_database,
+    disjoint_support,
+    replicated,
+    sparse_support_dataset,
+    worst_case_fault,
+)
+from repro.errors import EmptyDatabaseError
+
+
+@pytest.fixture
+def dataset():
+    return sparse_support_dataset(16, 6, multiplicity=2, rng=0)
+
+
+class TestBhattacharyya:
+    def test_identical_distributions(self):
+        p = np.array([0.5, 0.5])
+        assert bhattacharyya_fidelity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_distributions(self):
+        assert bhattacharyya_fidelity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_matches_state_overlap(self, dataset):
+        db = replicated(dataset, 2)
+        p = db.sampling_distribution()
+        q = np.roll(p, 1)
+        overlap = abs(np.vdot(np.sqrt(p), np.sqrt(q))) ** 2
+        assert bhattacharyya_fidelity(p, q) == pytest.approx(overlap)
+
+
+class TestReplication:
+    def test_losing_one_copy_is_invisible(self, dataset):
+        """Replicated shards: fidelity with the original stays exactly 1."""
+        db = replicated(dataset, 3)
+        for k in range(3):
+            impact = assess_fault(db, k)
+            assert impact.fidelity_with_original == pytest.approx(1.0)
+            assert impact.still_samplable
+
+    def test_degraded_replicated_db_samples_original_target(self, dataset):
+        db = replicated(dataset, 3)
+        degraded = degraded_database(db, 1)
+        result = sample_sequential(degraded, backend="subspace")
+        # The degraded run is exact for its own data AND matches the
+        # original target — replication made the loss invisible.
+        assert result.exact
+        original_target = target_amplitudes(db)
+        degraded_target = target_amplitudes(degraded)
+        np.testing.assert_allclose(original_target, degraded_target, atol=1e-12)
+
+    def test_losing_last_copy_is_fatal(self, dataset):
+        db = replicated(dataset, 1)
+        impact = assess_fault(db, 0)
+        assert not impact.still_samplable
+        assert impact.fidelity_with_original == 0.0
+
+
+class TestPartitionedLoss:
+    def test_disjoint_loss_costs_exactly_lost_mass(self, dataset):
+        """With disjoint shards, F = 1 − M_k/M exactly."""
+        db = disjoint_support(dataset, 3, rng=1)
+        for k in range(3):
+            impact = assess_fault(db, k)
+            if db.machine(k).size == db.total_count:
+                continue
+            assert impact.fidelity_with_original == pytest.approx(
+                1.0 - impact.lost_mass
+            )
+
+    def test_worst_case_picks_heaviest_disjoint_machine(self, dataset):
+        db = disjoint_support(dataset, 3, rng=1)
+        worst = worst_case_fault(db)
+        heaviest = max(range(3), key=lambda k: db.machine(k).size)
+        assert worst.lost_machine == heaviest
+
+    def test_replication_beats_partitioning(self, dataset):
+        """The quantitative version of the intro's fault-tolerance claim."""
+        part = disjoint_support(dataset, 3, rng=1)
+        repl = replicated(dataset, 3)
+        assert (
+            worst_case_fault(repl).fidelity_with_original
+            > worst_case_fault(part).fidelity_with_original
+        )
+
+    def test_empty_db_rejected(self):
+        db = DistributedDatabase.from_shards([Multiset.empty(4)], nu=1)
+        with pytest.raises(EmptyDatabaseError):
+            worst_case_fault(db)
+
+    def test_overlapping_shards_partial_protection(self):
+        """Keys held on two machines survive a single loss; exclusive keys
+        don't — fidelity lands strictly between the two regimes."""
+        shards = [Multiset(8, {0: 1, 1: 1}), Multiset(8, {1: 1, 2: 1})]
+        db = DistributedDatabase.from_shards(shards, nu=2)
+        impact = assess_fault(db, 0)
+        assert 0.0 < impact.fidelity_with_original < 1.0

@@ -1,0 +1,74 @@
+"""Query accounting semantics."""
+
+import pytest
+
+from repro.database import QueryLedger
+from repro.errors import ValidationError
+
+
+class TestRecording:
+    def test_machine_calls(self):
+        ledger = QueryLedger(3)
+        ledger.record_machine_call(0)
+        ledger.record_machine_call(0, adjoint=True)
+        ledger.record_machine_call(2)
+        assert ledger.machine_queries(0) == 2
+        assert ledger.machine_queries(1) == 0
+        assert ledger.machine_queries(2) == 1
+        assert ledger.sequential_queries == 3
+
+    def test_forward_adjoint_split(self):
+        ledger = QueryLedger(1)
+        ledger.record_machine_call(0)
+        ledger.record_machine_call(0, adjoint=True)
+        ((_, tally),) = list(ledger.tallies())
+        assert tally.forward == 1
+        assert tally.adjoint == 1
+        assert tally.total == 2
+
+    def test_parallel_round_touches_every_machine(self):
+        ledger = QueryLedger(4)
+        ledger.record_parallel_round()
+        assert ledger.parallel_rounds == 1
+        assert ledger.per_machine() == [1, 1, 1, 1]
+        assert ledger.sequential_queries == 4
+
+    def test_max_machine_queries(self):
+        ledger = QueryLedger(2)
+        ledger.record_machine_call(1)
+        ledger.record_machine_call(1)
+        ledger.record_machine_call(0)
+        assert ledger.max_machine_queries() == 2
+
+    def test_machine_index_validated(self):
+        ledger = QueryLedger(2)
+        with pytest.raises(ValidationError):
+            ledger.record_machine_call(2)
+
+
+class TestFreeze:
+    def test_frozen_rejects_recording(self):
+        ledger = QueryLedger(1)
+        ledger.freeze()
+        with pytest.raises(ValidationError):
+            ledger.record_machine_call(0)
+        with pytest.raises(ValidationError):
+            ledger.record_parallel_round()
+
+    def test_frozen_still_readable(self):
+        ledger = QueryLedger(1)
+        ledger.record_machine_call(0)
+        ledger.freeze()
+        assert ledger.sequential_queries == 1
+
+
+class TestSummary:
+    def test_summary_dict(self):
+        ledger = QueryLedger(2)
+        ledger.record_machine_call(0)
+        ledger.record_parallel_round()
+        summary = ledger.summary()
+        assert summary["n_machines"] == 2
+        assert summary["sequential_queries"] == 3
+        assert summary["parallel_rounds"] == 1
+        assert summary["per_machine"] == [2, 1]

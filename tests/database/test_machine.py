@@ -1,0 +1,93 @@
+"""Machine: shard storage, capacities, dynamic updates."""
+
+import pytest
+
+from repro.database import Machine, Multiset
+from repro.errors import CapacityError, ValidationError
+
+
+@pytest.fixture
+def machine():
+    return Machine(Multiset(6, {0: 2, 3: 1}), capacity=4, name="m0")
+
+
+class TestConstruction:
+    def test_shard_is_copied(self, machine):
+        shard = machine.shard
+        shard.add(5)
+        assert machine.multiplicity(5) == 0
+
+    def test_default_capacity_is_natural(self):
+        m = Machine(Multiset(4, {1: 3}))
+        assert m.capacity == 3
+
+    def test_capacity_below_natural_rejected(self):
+        with pytest.raises(CapacityError):
+            Machine(Multiset(4, {1: 3}), capacity=2)
+
+    def test_requires_multiset(self):
+        with pytest.raises(ValidationError):
+            Machine([1, 2, 3])
+
+    def test_empty_machine_capacity_zero(self):
+        m = Machine(Multiset.empty(4))
+        assert m.capacity == 0
+        assert m.is_empty()
+
+
+class TestStatistics:
+    def test_size_and_support(self, machine):
+        assert machine.size == 3       # M_j
+        assert machine.support_size == 2  # m_j
+        assert machine.universe == 6
+
+    def test_natural_capacity(self, machine):
+        assert machine.natural_capacity == 2
+        assert machine.capacity == 4
+
+    def test_counts_read_only(self, machine):
+        with pytest.raises(ValueError):
+            machine.counts[0] = 9
+
+
+class TestDynamicUpdates:
+    def test_insert_costs_one_update_per_unit(self, machine):
+        machine.insert(1, 2)
+        assert machine.multiplicity(1) == 2
+        assert machine.update_operations == 2
+
+    def test_remove_costs_updates(self, machine):
+        machine.remove(0, 1)
+        assert machine.multiplicity(0) == 1
+        assert machine.update_operations == 1
+
+    def test_insert_beyond_capacity_rejected(self, machine):
+        with pytest.raises(CapacityError):
+            machine.insert(0, 3)  # 2 + 3 > κ = 4
+
+    def test_remove_absent_rejected(self, machine):
+        with pytest.raises(ValidationError):
+            machine.remove(5)
+
+    def test_updates_accumulate(self, machine):
+        machine.insert(1).insert(1).remove(1)
+        assert machine.update_operations == 3
+
+
+class TestDerivedCopies:
+    def test_with_capacity(self, machine):
+        bumped = machine.with_capacity(10)
+        assert bumped.capacity == 10
+        assert machine.capacity == 4
+
+    def test_replaced_shard_keeps_capacity(self, machine):
+        new = machine.replaced_shard(Multiset(6, {2: 1}))
+        assert new.capacity == 4
+        assert new.multiplicity(2) == 1
+        assert new.multiplicity(0) == 0
+
+    def test_emptied(self, machine):
+        empty = machine.emptied()
+        assert empty.is_empty()
+        assert empty.capacity == 4  # κ_j is public — survives the T̃ construction
+        assert machine.size == 3

@@ -1,0 +1,173 @@
+"""Multiset semantics (Table 1 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.database import Multiset
+from repro.errors import ValidationError
+
+
+class TestConstruction:
+    def test_empty(self):
+        ms = Multiset.empty(5)
+        assert ms.is_empty()
+        assert ms.cardinality() == 0
+        assert ms.support_size() == 0
+
+    def test_from_mapping(self):
+        ms = Multiset(4, {0: 2, 3: 1})
+        assert ms.multiplicity(0) == 2
+        assert ms.multiplicity(3) == 1
+        assert ms.multiplicity(1) == 0
+
+    def test_from_iterable_counts_repetition(self):
+        ms = Multiset(4, [0, 0, 1, 3, 3, 3])
+        assert ms.multiplicity(0) == 2
+        assert ms.multiplicity(3) == 3
+
+    def test_from_counts_vector(self):
+        ms = Multiset.from_counts(np.array([1, 0, 2]))
+        assert ms.universe == 3
+        assert ms.cardinality() == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValidationError):
+            Multiset(3, np.array([1, -1, 0]))
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValidationError):
+            Multiset(3, np.array([1, 0]))
+
+    def test_copy_constructor(self):
+        a = Multiset(3, {0: 1})
+        b = Multiset(3, a)
+        a.add(1)
+        assert b.multiplicity(1) == 0
+
+    def test_universe_mismatch_copy(self):
+        with pytest.raises(ValidationError):
+            Multiset(4, Multiset(3, {0: 1}))
+
+
+class TestTable1Quantities:
+    @pytest.fixture
+    def ms(self):
+        return Multiset(6, {0: 3, 2: 1, 5: 2})
+
+    def test_cardinality_is_sum_of_multiplicities(self, ms):
+        assert ms.cardinality() == 6
+        assert len(ms) == 6
+
+    def test_support(self, ms):
+        np.testing.assert_array_equal(ms.support(), [0, 2, 5])
+        assert ms.support_size() == 3
+
+    def test_max_multiplicity(self, ms):
+        assert ms.max_multiplicity() == 3
+
+    def test_frequencies(self, ms):
+        np.testing.assert_allclose(
+            ms.frequencies(), [0.5, 0, 1 / 6, 0, 0, 1 / 3]
+        )
+
+    def test_frequencies_of_empty_raises(self):
+        with pytest.raises(ValidationError):
+            Multiset.empty(3).frequencies()
+
+    def test_contains(self, ms):
+        assert 0 in ms
+        assert 1 not in ms
+        assert 99 not in ms
+
+    def test_iter_repeats_elements(self, ms):
+        assert list(ms) == [0, 0, 0, 2, 5, 5]
+
+
+class TestMutation:
+    def test_add_and_remove(self):
+        ms = Multiset(3)
+        ms.add(1).add(1).remove(1)
+        assert ms.multiplicity(1) == 1
+
+    def test_remove_more_than_present_raises(self):
+        ms = Multiset(3, {1: 1})
+        with pytest.raises(ValidationError):
+            ms.remove(1, 2)
+
+    def test_out_of_universe_rejected(self):
+        ms = Multiset(3)
+        with pytest.raises(ValidationError):
+            ms.add(3)
+        with pytest.raises(ValidationError):
+            ms.add(-1)
+
+    def test_counts_view_is_read_only(self):
+        ms = Multiset(3, {0: 1})
+        with pytest.raises(ValueError):
+            ms.counts[0] = 5
+
+
+class TestAlgebra:
+    def test_union_add(self):
+        a = Multiset(4, {0: 1, 1: 2})
+        b = Multiset(4, {1: 1, 3: 1})
+        joined = a.union_add(b)
+        assert joined.multiplicity(1) == 3
+        assert joined.cardinality() == 5
+
+    def test_difference_saturates(self):
+        a = Multiset(3, {0: 1})
+        b = Multiset(3, {0: 3, 1: 1})
+        assert a.difference(b).is_empty()
+
+    def test_intersects(self):
+        a = Multiset(4, {0: 1})
+        b = Multiset(4, {0: 5})
+        c = Multiset(4, {1: 1})
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_universe_mismatch(self):
+        with pytest.raises(ValidationError):
+            Multiset(3).union_add(Multiset(4))
+
+
+class TestPermuted:
+    def test_relabels_elements(self):
+        ms = Multiset(4, {0: 2, 1: 1})
+        sigma = np.array([2, 3, 0, 1])  # 0→2, 1→3
+        out = ms.permuted(sigma)
+        assert out.multiplicity(2) == 2
+        assert out.multiplicity(3) == 1
+        assert out.multiplicity(0) == 0
+
+    def test_preserves_multiplicity_multiset(self):
+        ms = Multiset(5, {0: 3, 2: 1})
+        sigma = np.array([4, 0, 1, 2, 3])
+        out = ms.permuted(sigma)
+        assert sorted(out.counts) == sorted(ms.counts)
+
+    def test_identity_permutation(self):
+        ms = Multiset(4, {1: 2})
+        assert ms.permuted(np.arange(4)) == ms
+
+    def test_rejects_non_permutation(self):
+        ms = Multiset(3)
+        with pytest.raises(ValidationError):
+            ms.permuted(np.array([0, 0, 1]))
+
+    def test_rejects_wrong_length(self):
+        ms = Multiset(3)
+        with pytest.raises(ValidationError):
+            ms.permuted(np.array([0, 1]))
+
+
+class TestEqualityHash:
+    def test_equal_content(self):
+        assert Multiset(4, {1: 2}) == Multiset(4, {1: 2})
+
+    def test_hashable(self):
+        assert len({Multiset(4, {1: 2}), Multiset(4, {1: 2})}) == 1
+
+    def test_universe_matters(self):
+        assert Multiset(4, {1: 2}) != Multiset(5, {1: 2})

@@ -1,0 +1,85 @@
+"""Property-based multiset invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import Multiset
+
+universes = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def multisets(draw, universe=None):
+    n = draw(universes) if universe is None else universe
+    counts = draw(
+        st.lists(st.integers(min_value=0, max_value=5), min_size=n, max_size=n)
+    )
+    return Multiset(n, np.array(counts, dtype=np.int64))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=multisets())
+def test_cardinality_equals_iteration_length(ms):
+    assert ms.cardinality() == len(list(ms))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=multisets())
+def test_support_size_bounds(ms):
+    assert 0 <= ms.support_size() <= ms.universe
+    assert ms.support_size() <= ms.cardinality() or ms.is_empty()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_union_add_is_commutative(data):
+    n = data.draw(universes)
+    a = data.draw(multisets(universe=n))
+    b = data.draw(multisets(universe=n))
+    assert a.union_add(b) == b.union_add(a)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_union_add_cardinality_additive(data):
+    n = data.draw(universes)
+    a = data.draw(multisets(universe=n))
+    b = data.draw(multisets(universe=n))
+    assert a.union_add(b).cardinality() == a.cardinality() + b.cardinality()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=multisets(), seed=st.integers(min_value=0, max_value=2**31))
+def test_permutation_preserves_cardinality_and_support_size(ms, seed):
+    sigma = np.random.default_rng(seed).permutation(ms.universe)
+    out = ms.permuted(sigma)
+    assert out.cardinality() == ms.cardinality()
+    assert out.support_size() == ms.support_size()
+    assert out.max_multiplicity() == ms.max_multiplicity()
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=multisets(), seed=st.integers(min_value=0, max_value=2**31))
+def test_permutation_roundtrip(ms, seed):
+    sigma = np.random.default_rng(seed).permutation(ms.universe)
+    inverse = np.argsort(sigma)
+    assert ms.permuted(sigma).permuted(inverse) == ms
+
+
+@settings(max_examples=60, deadline=None)
+@given(ms=multisets())
+def test_frequencies_sum_to_one_when_nonempty(ms):
+    if not ms.is_empty():
+        assert abs(ms.frequencies().sum() - 1.0) < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_difference_then_union_bounds(data):
+    n = data.draw(universes)
+    a = data.draw(multisets(universe=n))
+    b = data.draw(multisets(universe=n))
+    diff = a.difference(b)
+    # a − b ⊆ a, pointwise.
+    assert np.all(diff.counts <= a.counts)

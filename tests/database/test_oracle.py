@@ -1,0 +1,215 @@
+"""The counting oracles of Eqs. (1)–(3)."""
+
+import numpy as np
+import pytest
+
+from repro.database import (
+    ControlledOracle,
+    DistributedDatabase,
+    Machine,
+    Multiset,
+    ParallelOracle,
+    QueryLedger,
+    SequentialOracle,
+    elementary_update_matrix,
+    oracles_for,
+)
+from repro.errors import ValidationError
+from repro.qsim import RegisterLayout, StateVector, haar_random_state, is_permutation_matrix, operator_matrix
+
+
+@pytest.fixture
+def machine():
+    return Machine(Multiset(4, {0: 2, 1: 1}), name="m")
+
+
+class TestSequentialOracle:
+    def test_equation_one_on_basis_states(self, machine):
+        nu = 3
+        oracle = SequentialOracle(machine, 0, nu)
+        layout = RegisterLayout.of(i=4, s=nu + 1)
+        for i in range(4):
+            for s in range(nu + 1):
+                state = StateVector.basis(layout, {"i": i, "s": s})
+                oracle.apply(state)
+                expected_s = (s + machine.multiplicity(i)) % (nu + 1)
+                assert state.amplitude({"i": i, "s": expected_s}) == pytest.approx(1.0)
+
+    def test_adjoint_inverts(self, machine, rng):
+        oracle = SequentialOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=4, s=4)
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        oracle.apply(state)
+        oracle.apply(state, adjoint=True)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+    def test_is_permutation_matrix(self, machine):
+        oracle = SequentialOracle(machine, 0, 2)
+        layout = RegisterLayout.of(i=4, s=3)
+        mat = operator_matrix(layout, lambda st: oracle.apply(st))
+        assert is_permutation_matrix(mat)
+
+    def test_ledger_records_calls(self, machine):
+        ledger = QueryLedger(2)
+        oracle = SequentialOracle(machine, 1, 3, ledger=ledger)
+        layout = RegisterLayout.of(i=4, s=4)
+        state = StateVector.zero(layout)
+        oracle.apply(state)
+        oracle.apply(state, adjoint=True)
+        assert ledger.machine_queries(1) == 2
+        assert ledger.machine_queries(0) == 0
+
+    def test_count_register_dimension_checked(self, machine):
+        oracle = SequentialOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=4, s=3)  # needs ν+1 = 4
+        with pytest.raises(ValidationError):
+            oracle.apply(StateVector.zero(layout))
+
+    def test_element_register_dimension_checked(self, machine):
+        oracle = SequentialOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=5, s=4)
+        with pytest.raises(ValidationError):
+            oracle.apply(StateVector.zero(layout))
+
+    def test_capacity_overflow_rejected_at_construction(self):
+        heavy = Machine(Multiset(3, {0: 5}))
+        with pytest.raises(ValidationError):
+            SequentialOracle(heavy, 0, 3)
+
+    def test_modular_wraparound(self):
+        machine = Machine(Multiset(2, {0: 3}))
+        oracle = SequentialOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=2, s=4)
+        state = StateVector.basis(layout, {"i": 0, "s": 2})
+        oracle.apply(state)
+        assert state.amplitude({"i": 0, "s": (2 + 3) % 4}) == pytest.approx(1.0)
+
+
+class TestControlledOracle:
+    def test_identity_when_flag_zero(self, machine, rng):
+        oracle = ControlledOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=4, s=4, b=2)
+        state = haar_random_state(layout, rng)
+        flag0_before = state.as_array()[:, :, 0].copy()
+        oracle.apply(state)
+        np.testing.assert_allclose(state.as_array()[:, :, 0], flag0_before, atol=1e-15)
+
+    def test_acts_as_sequential_when_flag_one(self, machine):
+        oracle = ControlledOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=4, s=4, b=2)
+        state = StateVector.basis(layout, {"i": 0, "s": 0, "b": 1})
+        oracle.apply(state)
+        assert state.amplitude({"i": 0, "s": 2, "b": 1}) == pytest.approx(1.0)
+
+    def test_adjoint_roundtrip(self, machine, rng):
+        oracle = ControlledOracle(machine, 0, 3)
+        layout = RegisterLayout.of(i=4, s=4, b=2)
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        oracle.apply(state)
+        oracle.apply(state, adjoint=True)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+
+class TestParallelOracle:
+    @pytest.fixture
+    def db(self):
+        return DistributedDatabase.from_shards(
+            [Multiset(3, {0: 1, 1: 1}), Multiset(3, {1: 1})], nu=2
+        )
+
+    def _layout(self, db):
+        regs = {}
+        for j in range(db.n_machines):
+            regs[f"pi{j}"] = db.universe
+            regs[f"ps{j}"] = db.nu + 1
+            regs[f"pb{j}"] = 2
+        return RegisterLayout.of(**regs)
+
+    def test_one_round_loads_all_multiplicities(self, db):
+        oracle = ParallelOracle(db)
+        layout = self._layout(db)
+        # machine 0 queried on element 1, machine 1 on element 1, flags on.
+        state = StateVector.basis(
+            layout, {"pi0": 1, "ps0": 0, "pb0": 1, "pi1": 1, "ps1": 0, "pb1": 1}
+        )
+        oracle.apply(state)
+        assert state.amplitude(
+            {"pi0": 1, "ps0": 1, "pb0": 1, "pi1": 1, "ps1": 1, "pb1": 1}
+        ) == pytest.approx(1.0)
+
+    def test_flag_zero_machine_untouched(self, db):
+        oracle = ParallelOracle(db)
+        layout = self._layout(db)
+        state = StateVector.basis(
+            layout, {"pi0": 0, "ps0": 0, "pb0": 0, "pi1": 1, "ps1": 0, "pb1": 1}
+        )
+        oracle.apply(state)
+        assert state.amplitude(
+            {"pi0": 0, "ps0": 0, "pb0": 0, "pi1": 1, "ps1": 1, "pb1": 1}
+        ) == pytest.approx(1.0)
+
+    def test_ledger_counts_one_round_n_machine_calls(self, db):
+        ledger = QueryLedger(db.n_machines)
+        oracle = ParallelOracle(db, ledger=ledger)
+        state = StateVector.zero(self._layout(db))
+        oracle.apply(state)
+        assert ledger.parallel_rounds == 1
+        assert ledger.sequential_queries == db.n_machines
+
+    def test_adjoint_roundtrip(self, db, rng):
+        oracle = ParallelOracle(db)
+        state = haar_random_state(self._layout(db), rng)
+        before = state.flat()
+        oracle.apply(state)
+        oracle.apply(state, adjoint=True)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+    def test_custom_register_names(self, db):
+        oracle = ParallelOracle(db)
+        layout = RegisterLayout.of(a0=3, c0=3, f0=2, a1=3, c1=3, f1=2)
+        state = StateVector.basis(
+            layout, {"a0": 0, "c0": 0, "f0": 1, "a1": 1, "c1": 0, "f1": 1}
+        )
+        oracle.apply(state, register_triples=[("a0", "c0", "f0"), ("a1", "c1", "f1")])
+        assert state.amplitude(
+            {"a0": 0, "c0": 1, "f0": 1, "a1": 1, "c1": 1, "f1": 1}
+        ) == pytest.approx(1.0)
+
+    def test_wrong_triple_count_rejected(self, db):
+        oracle = ParallelOracle(db)
+        state = StateVector.zero(self._layout(db))
+        with pytest.raises(ValidationError):
+            oracle.apply(state, register_triples=[("pi0", "ps0", "pb0")])
+
+
+class TestHelpers:
+    def test_oracles_for_builds_per_machine(self, tiny_db):
+        oracles = oracles_for(tiny_db)
+        assert len(oracles) == tiny_db.n_machines
+        assert [o.machine_index for o in oracles] == [0, 1]
+
+    def test_oracles_for_controlled(self, tiny_db):
+        oracles = oracles_for(tiny_db, controlled=True)
+        assert all(isinstance(o, ControlledOracle) for o in oracles)
+
+    def test_elementary_update_matrix_is_cyclic_shift(self):
+        mat = elementary_update_matrix(2)
+        expected = np.array([[0, 0, 1], [1, 0, 0], [0, 1, 0]], dtype=float)
+        np.testing.assert_allclose(mat, expected)
+
+    def test_update_composition_identity(self):
+        # Incrementing c by 1 then building the oracle == U · O (Section 3).
+        nu = 3
+        u_mat = elementary_update_matrix(nu)
+        machine_before = Machine(Multiset(1, {0: 1}), capacity=nu)
+        machine_after = Machine(Multiset(1, {0: 2}), capacity=nu)
+        layout = RegisterLayout.of(i=1, s=nu + 1)
+        o_before = operator_matrix(
+            layout, lambda st: SequentialOracle(machine_before, 0, nu).apply(st)
+        )
+        o_after = operator_matrix(
+            layout, lambda st: SequentialOracle(machine_after, 0, nu).apply(st)
+        )
+        np.testing.assert_allclose(o_after, u_mat @ o_before, atol=1e-12)

@@ -1,0 +1,109 @@
+"""Full-pipeline integration: workloads → partition → sample → verify."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import sampling_consistent
+from repro.baselines import CentralizedSampler, ClassicalExactCoordinator
+from repro.core import sample_parallel, sample_sequential
+from repro.database import (
+    disjoint_support,
+    partition,
+    random_update_stream,
+    round_robin,
+    sparse_support_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.qsim import sample_register
+
+
+class TestWorkloadsTimesStrategies:
+    @pytest.mark.parametrize("strategy", ["round_robin", "random", "disjoint", "skewed"])
+    @pytest.mark.parametrize("workload", ["uniform", "zipf"])
+    def test_exact_sampling_everywhere(self, strategy, workload):
+        maker = uniform_dataset if workload == "uniform" else zipf_dataset
+        dataset = maker(24, 30, rng=hash((strategy, workload)) % 2**31)
+        db = partition(dataset, 3, strategy=strategy, rng=7)
+        result = sample_sequential(db, backend="subspace")
+        assert result.fidelity == pytest.approx(1.0, abs=1e-9), (strategy, workload)
+
+    def test_replicated_data_also_exact(self):
+        from repro.database import replicated
+
+        dataset = sparse_support_dataset(16, 4, rng=0)
+        db = replicated(dataset, 3)
+        result = sample_sequential(db, backend="subspace")
+        assert result.exact
+        # Replication must not change the sampled distribution.
+        np.testing.assert_allclose(
+            result.output_probabilities, dataset.frequencies(), atol=1e-10
+        )
+
+
+class TestMeasurementAgreesWithData:
+    def test_born_samples_match_database(self):
+        dataset = zipf_dataset(12, 60, exponent=1.2, rng=5)
+        db = round_robin(dataset, 2)
+        result = sample_sequential(db, backend="subspace")
+        outcomes = sample_register(result.final_state, "i", shots=20000, rng=3)
+        assert sampling_consistent(outcomes, db.sampling_distribution())
+
+    def test_quantum_and_classical_sampling_agree(self):
+        dataset = uniform_dataset(10, 40, rng=2)
+        db = round_robin(dataset, 2)
+        quantum = sample_sequential(db, backend="subspace")
+        q_outcomes = sample_register(quantum.final_state, "i", shots=15000, rng=1)
+        c_outcomes = ClassicalExactCoordinator(db).sample(15000, rng=1)
+        q_freq = np.bincount(q_outcomes, minlength=10) / 15000
+        c_freq = np.bincount(c_outcomes, minlength=10) / 15000
+        np.testing.assert_allclose(q_freq, c_freq, atol=0.03)
+
+
+class TestDynamicDatabaseResampling:
+    def test_sampling_correct_after_every_prefix(self):
+        from repro.database import DistributedDatabase, Machine, Multiset
+
+        machines = [
+            Machine(Multiset(8, {0: 1, 1: 1}), capacity=3),
+            Machine(Multiset(8, {4: 1}), capacity=3),
+        ]
+        db = DistributedDatabase(machines, nu=6)
+        stream = random_update_stream(db, length=6, rng=4)
+        for _ in range(3):
+            stream.apply_next(2)
+            if db.total_count == 0:
+                continue
+            result = sample_sequential(db, backend="subspace")
+            assert result.exact
+            np.testing.assert_allclose(
+                result.output_probabilities, db.sampling_distribution(), atol=1e-9
+            )
+
+    def test_update_cost_is_unit_per_change(self):
+        from repro.database import DistributedDatabase, Machine, Multiset
+
+        machines = [Machine(Multiset(8, {0: 1}), capacity=4)]
+        db = DistributedDatabase(machines, nu=4)
+        stream = random_update_stream(db, length=9, rng=0)
+        stream.apply_all()
+        assert stream.total_update_cost() == 9
+
+
+class TestThreeModelComparison:
+    def test_cost_ordering(self):
+        """centralized ≤ parallel rounds ≤ sequential queries (for n ≥ 2)."""
+        dataset = sparse_support_dataset(64, 4, rng=8)
+        db = disjoint_support(dataset, 4, rng=9)
+        central = CentralizedSampler(db).run()
+        seq = sample_sequential(db, backend="subspace")
+        par = sample_parallel(db)
+        assert central.sequential_queries <= par.parallel_rounds
+        assert par.parallel_rounds <= seq.sequential_queries
+
+    def test_all_three_exact(self):
+        dataset = sparse_support_dataset(32, 5, rng=1)
+        db = round_robin(dataset, 3)
+        assert CentralizedSampler(db).run().exact
+        assert sample_sequential(db, backend="subspace").exact
+        assert sample_parallel(db).exact

@@ -1,0 +1,123 @@
+"""Lemma-level integration checks (4.1, 4.2, 4.4, Eq. 7) on one instance."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DirectDistributingOperator,
+    OracleDistributingOperator,
+    ParallelDistributingOperator,
+    initial_decomposition,
+)
+from repro.database import DistributedDatabase, Multiset, QueryLedger
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    is_unitary,
+    operator_matrix,
+    uniform_state,
+)
+
+
+@pytest.fixture
+def db():
+    return DistributedDatabase.from_shards(
+        [Multiset(4, {0: 1, 1: 2}), Multiset(4, {1: 1, 2: 1})], nu=3
+    )
+
+
+class TestLemma41:
+    """D extends to a unitary on the whole Hilbert space."""
+
+    def test_direct_form_unitary(self, db):
+        layout = RegisterLayout.of(i=4, w=2)
+        op = DirectDistributingOperator(db)
+        assert is_unitary(operator_matrix(layout, lambda s: op.apply(s)))
+
+    def test_inner_product_preservation_on_domain(self, db):
+        # ⟨i,0|D†D|j,0⟩ = δ_ij — the exact computation in the lemma's proof.
+        layout = RegisterLayout.of(i=4, w=2)
+        op = DirectDistributingOperator(db)
+        images = []
+        for i in range(4):
+            state = StateVector.basis(layout, {"i": i, "w": 0})
+            op.apply(state)
+            images.append(state.flat())
+        gram = np.array([[np.vdot(a, b) for b in images] for a in images])
+        np.testing.assert_allclose(gram, np.eye(4), atol=1e-12)
+
+
+class TestLemma42:
+    """D = (O₁…O_n)† U (O₁…O_n): 2n queries, input-independent U."""
+
+    def test_oracle_count(self, db):
+        ledger = QueryLedger(2)
+        op = OracleDistributingOperator(db, ledger=ledger)
+        layout = RegisterLayout.of(i=4, s=4, w=2)
+        op.apply(StateVector.zero(layout))
+        assert ledger.sequential_queries == 4  # 2n = 4
+
+    def test_matrix_identity(self, db):
+        """The three-step circuit equals D ⊗ I_s restricted to s = 0."""
+        layout = RegisterLayout.of(i=4, s=4, w=2)
+        oracle_op = OracleDistributingOperator(db)
+        full = operator_matrix(layout, lambda s: oracle_op.apply(s))
+        assert is_unitary(full)
+
+        small_layout = RegisterLayout.of(i=4, w=2)
+        direct_op = DirectDistributingOperator(db)
+        direct = operator_matrix(small_layout, lambda s: direct_op.apply(s))
+
+        # Index map: flat (i, s, w) with s = 0 ↔ flat (i, w).
+        s_dim = 4
+        idx = [i * (s_dim * 2) + 0 * 2 + w for i in range(4) for w in range(2)]
+        block = full[np.ix_(idx, idx)]
+        np.testing.assert_allclose(block, direct, atol=1e-12)
+
+
+class TestLemma44:
+    """Parallel D: 4 rounds; the dense choreography is exact."""
+
+    def test_round_count(self, db):
+        ledger = QueryLedger(2)
+        op = ParallelDistributingOperator(db, ledger=ledger, mode="dense")
+        layout = ParallelDistributingOperator.dense_layout(db)
+        op.apply(StateVector.zero(layout))
+        assert ledger.parallel_rounds == 4
+
+    def test_loads_joint_count_through_ancillas(self, db):
+        """After the first half of the circuit (load + U), measuring w
+        realizes the D rotation driven by the *joint* c_i."""
+        layout = ParallelDistributingOperator.dense_layout(db)
+        op = ParallelDistributingOperator(db, mode="dense")
+        for i in range(4):
+            state = StateVector.basis(
+                layout,
+                {"i": i, "s": 0, "w": 0, "pi0": 0, "ps0": 0, "pb0": 0,
+                 "pi1": 0, "ps1": 0, "pb1": 0},
+            )
+            op.apply(state)
+            c_i = int(db.joint_counts[i])
+            expected_w0 = c_i / db.nu
+            assert state.probability_of({"w": 0}) == pytest.approx(expected_w0)
+
+
+class TestEquationSeven:
+    def test_d_pi_decomposition(self, db):
+        """D|π,0⟩ = √(M/νN)|ψ,0⟩ + √(1−M/νN)|ψ⊥,1⟩ with the exact
+        amplitudes, on the honest oracle backend."""
+        layout = RegisterLayout.of(i=4, s=4, w=2)
+        amps = np.zeros(layout.shape, dtype=np.complex128)
+        amps[:, 0, 0] = uniform_state(4)
+        state = StateVector.from_array(layout, amps)
+        OracleDistributingOperator(db).apply(state)
+
+        decomp = initial_decomposition(db)
+        good_part = state.as_array()[:, 0, 0]
+        bad_part = state.as_array()[:, 0, 1]
+        np.testing.assert_allclose(
+            good_part, np.sqrt(decomp.overlap) * decomp.good, atol=1e-12
+        )
+        np.testing.assert_allclose(
+            bad_part, np.sqrt(1 - decomp.overlap) * decomp.bad, atol=1e-12
+        )

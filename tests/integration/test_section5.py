@@ -1,0 +1,114 @@
+"""Section 5 end-to-end: the lower-bound proof's inequalities as one story.
+
+For a heterogeneous-capacity database we check, in order, each link of the
+proof chain of Theorem 5.1 and that the algorithm lands within a constant
+of the resulting bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_parallel, sample_sequential
+from repro.database import DistributedDatabase, Multiset
+from repro.lowerbound import (
+    HardInputFamily,
+    check_hard_input,
+    make_hard_input,
+    parallel_bound_expression,
+    per_machine_query_floor,
+    potential_curve,
+    sequential_bound_expression,
+)
+
+
+class TestProofChain:
+    @pytest.fixture
+    def family(self):
+        base = make_hard_input(
+            universe=12, n_machines=2, k=0, support_size=3, multiplicity=2
+        )
+        return HardInputFamily(base, k=0)
+
+    def test_step1_condition_holds(self, family):
+        assert check_hard_input(family.base, family.k, 1.0, 1.0).satisfied
+
+    def test_step2_family_size(self, family):
+        from math import comb
+
+        assert family.size() == comb(12, 3)
+
+    def test_step3_growth_and_requirement(self, family):
+        curve = potential_curve(family, sample_size=6, rng=0)
+        assert curve.within_bound()          # Lemma 5.8
+        assert curve.meets_requirement()     # Lemma 5.7 (ε = 0 ⇒ C = 1/2)
+
+    def test_step4_implied_floor_vs_actual(self, family):
+        base = family.base
+        floor = per_machine_query_floor(base, family.k)
+        result = sample_sequential(base)
+        assert result.ledger.machine_queries(family.k) >= floor
+
+    def test_step5_total_bound_vs_algorithm(self, family):
+        base = family.base
+        result = sample_sequential(base)
+        bound = sequential_bound_expression(base)
+        # The theorem says queries = Ω(bound); our algorithm should sit a
+        # constant above it — and that constant should be modest.
+        assert result.sequential_queries >= 0.2 * bound
+        assert result.sequential_queries <= 50 * bound
+
+
+class TestHeterogeneousCapacities:
+    @pytest.fixture
+    def hetero_db(self):
+        shards = [
+            Multiset(32, {0: 4, 1: 4}),
+            Multiset(32, {8: 1}),
+            Multiset(32, {16: 1, 17: 1}),
+        ]
+        return DistributedDatabase.from_shards(shards, capacities=[4, 1, 1], nu=8)
+
+    def test_sequential_bound_sums_heterogeneous_terms(self, hetero_db):
+        total = hetero_db.total_count
+        expected = (
+            np.sqrt(4 * 32 / total)
+            + np.sqrt(1 * 32 / total)
+            + np.sqrt(1 * 32 / total)
+        )
+        assert sequential_bound_expression(hetero_db) == pytest.approx(expected)
+
+    def test_parallel_bound_is_heaviest_machine(self, hetero_db):
+        assert parallel_bound_expression(hetero_db) == pytest.approx(
+            np.sqrt(4 * 32 / hetero_db.total_count)
+        )
+
+    def test_both_models_exact_on_heterogeneous_data(self, hetero_db):
+        assert sample_sequential(hetero_db, backend="subspace").exact
+        assert sample_parallel(hetero_db).exact
+
+    def test_sequential_exceeds_its_bound_and_parallel_its_own(self, hetero_db):
+        seq = sample_sequential(hetero_db, backend="subspace")
+        par = sample_parallel(hetero_db)
+        assert seq.sequential_queries >= sequential_bound_expression(hetero_db) * 0.2
+        assert par.parallel_rounds >= parallel_bound_expression(hetero_db) * 0.2
+
+
+class TestPotentialAcrossFamilies:
+    @pytest.mark.parametrize("support_size", [2, 3, 4])
+    def test_growth_bound_various_supports(self, support_size):
+        base = make_hard_input(
+            universe=10, n_machines=1, k=0, support_size=support_size, multiplicity=1
+        )
+        family = HardInputFamily(base, k=0)
+        curve = potential_curve(family, sample_size=5, rng=support_size)
+        assert curve.within_bound()
+
+    def test_potential_grows_with_queries(self):
+        base = make_hard_input(
+            universe=16, n_machines=1, k=0, support_size=2, multiplicity=1
+        )
+        family = HardInputFamily(base, k=0)
+        curve = potential_curve(family, sample_size=6, rng=9)
+        # Potential is (weakly) increasing in the prefix and substantial at the end.
+        assert curve.measured[-1] > curve.measured[1]
+        assert curve.measured[-1] >= 0.5 * curve.final_requirement

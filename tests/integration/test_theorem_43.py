@@ -1,0 +1,101 @@
+"""Theorem 4.3 end-to-end: exact sampling, Θ(n√(νN/M)) sequential cost."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_envelope, fit_power_law, slope_matches
+from repro.core import sample_sequential, theoretical_sequential_queries
+from repro.database import DistributedDatabase, Multiset, round_robin, uniform_dataset
+
+
+class TestExactnessAcrossRegimes:
+    @pytest.mark.parametrize(
+        "n_univ,total,nu,n",
+        [
+            (8, 4, 2, 1),
+            (16, 8, 2, 2),
+            (32, 6, 3, 3),
+            (64, 10, 5, 2),
+            (128, 4, 1, 4),
+        ],
+    )
+    def test_zero_error_everywhere(self, n_univ, total, nu, n):
+        dataset = uniform_dataset(n_univ, total, rng=n_univ + total)
+        # Cap multiplicities at ν by construction: use sparse support.
+        counts = np.zeros(n_univ, dtype=np.int64)
+        counts[:total] = 1
+        db = round_robin(Multiset.from_counts(counts), n, nu=nu)
+        result = sample_sequential(db, backend="subspace")
+        assert result.fidelity == pytest.approx(1.0, abs=1e-9)
+
+
+class TestScalingInN:
+    def test_sqrt_scaling_in_universe(self):
+        """Queries must scale as √N at fixed M, ν, n."""
+        sizes = [64, 256, 1024, 4096]
+        queries = []
+        for n_univ in sizes:
+            db = DistributedDatabase.from_shards(
+                [Multiset(n_univ, {0: 1, 1: 1}), Multiset(n_univ, {2: 1, 3: 1})],
+                nu=1,
+            )
+            queries.append(sample_sequential(db, backend="subspace").sequential_queries)
+        fit = fit_power_law(sizes, queries)
+        assert slope_matches(fit, 0.5, tolerance=0.1)
+
+    def test_linear_scaling_in_machines(self):
+        """At fixed (N, M, ν), sequential cost is exactly linear in n."""
+        queries = []
+        machine_counts = [1, 2, 4, 8]
+        for n in machine_counts:
+            shards = [Multiset(64, {0: 1, 1: 1})] + [
+                Multiset.empty(64) for _ in range(n - 1)
+            ]
+            db = DistributedDatabase.from_shards(shards, nu=1)
+            queries.append(sample_sequential(db, backend="subspace").sequential_queries)
+        ratios = np.array(queries) / np.array(machine_counts)
+        assert np.all(ratios == ratios[0])
+
+    def test_envelope_constant_bounded(self):
+        """measured / (nπ√(νN/M)) stays in a tight band across the sweep."""
+        measured, predicted = [], []
+        for n_univ in (128, 512, 2048):
+            for n in (1, 3):
+                shards = [Multiset(n_univ, {0: 1, 1: 1})] + [
+                    Multiset.empty(n_univ) for _ in range(n - 1)
+                ]
+                db = DistributedDatabase.from_shards(shards, nu=1)
+                result = sample_sequential(db, backend="subspace")
+                measured.append(result.sequential_queries)
+                predicted.append(
+                    theoretical_sequential_queries(n, n_univ, db.total_count, db.nu)
+                )
+        comparison = compare_envelope(measured, predicted)
+        assert comparison.within_constant(1.5)
+
+
+class TestCapacityDependence:
+    def test_queries_scale_sqrt_nu(self):
+        """At fixed (N, M, n), cost grows like √ν (looser capacity = more
+        amplification work)."""
+        queries = []
+        nus = [1, 4, 16]
+        for nu in nus:
+            db = DistributedDatabase.from_shards(
+                [Multiset(256, {0: 1, 1: 1})], nu=nu
+            )
+            queries.append(sample_sequential(db, backend="subspace").sequential_queries)
+        fit = fit_power_law(nus, queries)
+        assert slope_matches(fit, 0.5, tolerance=0.12)
+
+    def test_queries_scale_inverse_sqrt_m(self):
+        """At fixed (N, ν, n), cost shrinks like 1/√M."""
+        queries = []
+        totals = [2, 8, 32]
+        for total in totals:
+            counts = np.zeros(256, dtype=np.int64)
+            counts[:total] = 1
+            db = DistributedDatabase.from_shards([Multiset.from_counts(counts)], nu=1)
+            queries.append(sample_sequential(db, backend="subspace").sequential_queries)
+        fit = fit_power_law(totals, queries)
+        assert slope_matches(fit, -0.5, tolerance=0.12)

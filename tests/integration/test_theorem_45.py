@@ -1,0 +1,66 @@
+"""Theorem 4.5 end-to-end: parallel rounds Θ(√(νN/M)), n-free."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare_envelope, fit_power_law, slope_matches
+from repro.core import (
+    sample_parallel,
+    sample_sequential,
+    theoretical_parallel_rounds,
+)
+from repro.database import DistributedDatabase, Multiset
+
+
+def _db(n_univ, n_machines, keys=(0, 1)):
+    shards = [Multiset(n_univ, {k: 1 for k in keys})] + [
+        Multiset.empty(n_univ) for _ in range(n_machines - 1)
+    ]
+    return DistributedDatabase.from_shards(shards, nu=1)
+
+
+class TestRoundScaling:
+    def test_sqrt_scaling_in_universe(self):
+        sizes = [64, 256, 1024, 4096]
+        rounds = [sample_parallel(_db(s, 2)).parallel_rounds for s in sizes]
+        fit = fit_power_law(sizes, rounds)
+        assert slope_matches(fit, 0.5, tolerance=0.1)
+
+    def test_rounds_flat_in_machine_count(self):
+        rounds = [sample_parallel(_db(256, n)).parallel_rounds for n in (1, 2, 4, 8)]
+        assert len(set(rounds)) == 1
+
+    def test_envelope(self):
+        measured, predicted = [], []
+        for n_univ in (128, 512, 2048):
+            db = _db(n_univ, 3)
+            measured.append(sample_parallel(db).parallel_rounds)
+            predicted.append(
+                theoretical_parallel_rounds(n_univ, db.total_count, db.nu)
+            )
+        assert compare_envelope(measured, predicted).within_constant(1.5)
+
+
+class TestSequentialParallelRelation:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_round_speedup_is_exactly_half_n(self, n):
+        db = _db(256, n)
+        seq = sample_sequential(db, backend="subspace")
+        par = sample_parallel(db)
+        assert seq.sequential_queries / par.parallel_rounds == pytest.approx(n / 2)
+
+    def test_identical_iteration_structure(self):
+        """Both models execute the same amplification plan — only the
+        query pattern per D differs."""
+        db = _db(256, 4)
+        seq = sample_sequential(db)
+        par = sample_parallel(db)
+        assert seq.plan == par.plan
+
+    def test_identical_outputs(self):
+        db = _db(128, 3, keys=(0, 5, 9))
+        seq = sample_sequential(db, backend="subspace")
+        par = sample_parallel(db)
+        np.testing.assert_allclose(
+            seq.output_probabilities, par.output_probabilities, atol=1e-10
+        )

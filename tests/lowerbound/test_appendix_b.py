@@ -1,0 +1,110 @@
+"""Appendix B: Lemma B.1 alignment, the E/F decomposition, Prop B.3."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_sequential, target_amplitudes
+from repro.lowerbound import (
+    HardInputFamily,
+    aligned_target_state,
+    appendix_b_decomposition,
+    make_hard_input,
+    uhlmann_identity_gap,
+)
+from repro.qsim import RegisterLayout, haar_random_state
+
+
+class TestLemmaB1Alignment:
+    def test_identity_on_random_states(self, rng):
+        """F(Tr_Y|s⟩⟨s|, ψ) = |⟨s|ψ̃⟩|² for arbitrary run states."""
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        target = np.sqrt(np.array([0.4, 0.3, 0.2, 0.1], dtype=complex))
+        for _ in range(8):
+            state = haar_random_state(layout, rng)
+            assert uhlmann_identity_gap(state, target) < 1e-10
+
+    def test_identity_on_sampler_output(self, small_db):
+        result = sample_sequential(small_db)
+        gap = uhlmann_identity_gap(result.final_state, target_amplitudes(small_db))
+        assert gap < 1e-10
+
+    def test_aligned_overlap_is_real_positive(self, rng):
+        layout = RegisterLayout.of(i=4, w=2)
+        target = np.sqrt(np.array([0.4, 0.3, 0.2, 0.1], dtype=complex))
+        state = haar_random_state(layout, rng)
+        aligned = aligned_target_state(state, target)
+        overlap = state.overlap(aligned)
+        assert overlap.imag == pytest.approx(0.0, abs=1e-12)
+        assert overlap.real >= 0
+
+    def test_aligned_state_is_valid_purification(self, rng):
+        """Tr_Y |ψ̃⟩⟨ψ̃| must equal |ψ⟩⟨ψ| exactly."""
+        from repro.qsim import pure_density, reduced_density_matrix
+
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        target = np.sqrt(np.array([0.1, 0.5, 0.15, 0.25], dtype=complex))
+        state = haar_random_state(layout, rng)
+        aligned = aligned_target_state(state, target)
+        rho = reduced_density_matrix(aligned, ["i"])
+        np.testing.assert_allclose(rho, pure_density(target), atol=1e-10)
+
+    def test_exact_run_aligns_perfectly(self, small_db):
+        result = sample_sequential(small_db)
+        aligned = aligned_target_state(
+            result.final_state, target_amplitudes(small_db)
+        )
+        assert abs(result.final_state.overlap(aligned)) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_dimension_mismatch_rejected(self, rng):
+        from repro.errors import ValidationError
+
+        layout = RegisterLayout.of(i=4, w=2)
+        state = haar_random_state(layout, rng)
+        with pytest.raises(ValidationError):
+            aligned_target_state(state, np.ones(3))
+
+
+@pytest.fixture
+def family():
+    # N = 32 ≥ 16·m_k satisfies Lemma B.4's condition M < β²κ_k N / 16.
+    base = make_hard_input(universe=32, n_machines=2, k=0, support_size=2, multiplicity=2)
+    return HardInputFamily(base, k=0)
+
+
+class TestDecomposition:
+    def test_exact_algorithm_has_zero_e(self, family):
+        decomp = appendix_b_decomposition(family, sample_size=6, rng=0)
+        assert decomp.e_t == pytest.approx(0.0, abs=1e-9)
+        assert decomp.lemma_b2_holds()
+
+    def test_lemma_b4_floor(self, family):
+        decomp = appendix_b_decomposition(family, sample_size=6, rng=1)
+        assert decomp.lemma_b4_floor == pytest.approx(0.5)  # M_k = M
+        assert decomp.lemma_b4_holds()
+
+    def test_inequality_15_chain(self, family):
+        decomp = appendix_b_decomposition(family, sample_size=6, rng=2)
+        assert decomp.inequality_15_holds()
+        # With E = 0 the floor collapses to F_t, and D ≥ F exactly here.
+        assert decomp.triangle_floor == pytest.approx(decomp.f_t, abs=1e-9)
+
+    def test_proposition_b3_bound(self, family):
+        decomp = appendix_b_decomposition(family, sample_size=8, rng=3)
+        assert decomp.prop_b3_holds()
+        assert decomp.prop_b3_lhs >= 0
+
+    def test_full_chain_implies_lemma_5_7(self, family):
+        """(15) + B.2 + B.4 ⇒ D ≥ (√(M_k/2M) − √(2ε))²  =  0.5 here."""
+        decomp = appendix_b_decomposition(family, sample_size=8, rng=4)
+        c_floor = (np.sqrt(decomp.lemma_b4_floor) - np.sqrt(decomp.lemma_b2_ceiling)) ** 2
+        assert decomp.d_t >= c_floor - 1e-9
+
+    def test_exhaustive_small_family(self):
+        base = make_hard_input(universe=16, n_machines=1, k=0, support_size=1, multiplicity=1)
+        fam = HardInputFamily(base, k=0)
+        decomp = appendix_b_decomposition(fam, exhaustive=True)
+        assert decomp.sample_size == 16
+        assert decomp.inequality_15_holds()
+        assert decomp.lemma_b4_holds()

@@ -1,0 +1,143 @@
+"""Hard-input families (Definitions 5.4/5.5, Lemma 5.6)."""
+
+from math import comb
+
+import numpy as np
+import pytest
+
+from repro.database import DistributedDatabase, Multiset
+from repro.errors import ValidationError
+from repro.lowerbound import (
+    HardInputFamily,
+    check_hard_input,
+    lemma_5_6_size,
+    make_hard_input,
+)
+
+
+class TestCondition:
+    def test_canonical_hard_input_satisfies(self):
+        db = make_hard_input(universe=10, n_machines=3, k=1, support_size=2, multiplicity=2)
+        condition = check_hard_input(db, k=1, alpha=1.0, beta=1.0)
+        assert condition.satisfied
+
+    def test_heaviness_violated(self):
+        # Machine 0 holds 1 of 5 elements: M_k < α·M for α = 1.
+        shards = [Multiset(8, {0: 1}), Multiset(8, {1: 4})]
+        db = DistributedDatabase.from_shards(shards, nu=5)
+        condition = check_hard_input(db, k=0, alpha=1.0, beta=1.0)
+        assert not condition.heavy
+        assert not condition.satisfied
+
+    def test_density_violated(self):
+        # M_k/m_k = 1 but κ_k = 3 (declared): density fails for β = 1.
+        shards = [Multiset(8, {0: 1, 1: 1})]
+        db = DistributedDatabase.from_shards(shards, capacities=[3], nu=3)
+        condition = check_hard_input(db, k=0, alpha=1.0, beta=1.0)
+        assert not condition.dense
+
+    def test_capacity_clause(self):
+        # max_{j≠k} c_ij + max c_ik = 3 + 3 > ν = 4... choose to violate.
+        shards = [Multiset(8, {0: 3}), Multiset(8, {0: 3})]
+        db = DistributedDatabase.from_shards(shards, nu=6)
+        assert check_hard_input(db, k=0, alpha=0.4, beta=1.0).capacity_ok
+        db2 = db.with_nu(6)
+        condition = check_hard_input(db2, k=0, alpha=0.4, beta=1.0)
+        assert condition.capacity_ok  # 3 + 3 = 6 ≤ ν = 6
+        shards3 = [Multiset(8, {0: 4}), Multiset(8, {0: 3})]
+        db3 = DistributedDatabase.from_shards(shards3, nu=7)
+        # 3 + 4 = 7 ≤ 7 ok; now α, β fine but lower ν in a copy is illegal, so
+        # craft a violation with per-machine maxima instead:
+        shards4 = [Multiset(8, {0: 4, 1: 4}), Multiset(8, {2: 4})]
+        db4 = DistributedDatabase.from_shards(shards4, nu=7)
+        condition4 = check_hard_input(db4, k=0, alpha=0.5, beta=1.0)
+        assert not condition4.capacity_ok  # 4 + 4 = 8 > 7
+
+    def test_parameter_validation(self, tiny_db):
+        with pytest.raises(ValidationError):
+            check_hard_input(tiny_db, k=0, alpha=0.0, beta=1.0)
+        with pytest.raises(ValidationError):
+            check_hard_input(tiny_db, k=0, alpha=1.0, beta=2.0)
+
+
+class TestMakeHardInput:
+    def test_structure(self):
+        db = make_hard_input(universe=12, n_machines=3, k=2, support_size=4, multiplicity=3)
+        assert db.machine(2).size == 12
+        assert db.machine(0).is_empty()
+        assert db.total_count == 12
+        assert db.capacities == (0, 0, 3)
+
+    def test_support_cannot_exceed_universe(self):
+        with pytest.raises(ValidationError):
+            make_hard_input(universe=3, n_machines=1, support_size=4)
+
+
+class TestFamily:
+    @pytest.fixture
+    def family(self):
+        base = make_hard_input(universe=8, n_machines=2, k=0, support_size=3, multiplicity=2)
+        return HardInputFamily(base, k=0)
+
+    def test_lemma_5_6_size(self, family):
+        assert family.size() == comb(8, 3)
+        assert lemma_5_6_size(8, 3) == comb(8, 3)
+
+    def test_enumeration_count_matches_lemma(self):
+        base = make_hard_input(universe=5, n_machines=1, k=0, support_size=2, multiplicity=1)
+        family = HardInputFamily(base, k=0)
+        members = list(family.enumerate_members())
+        assert len(members) == comb(5, 2)
+
+    def test_enumerated_members_distinct(self):
+        base = make_hard_input(universe=5, n_machines=1, k=0, support_size=2, multiplicity=1)
+        family = HardInputFamily(base, k=0)
+        supports = {
+            tuple(member.machine(0).shard.support())
+            for member in family.enumerate_members()
+        }
+        assert len(supports) == comb(5, 2)
+
+    def test_members_share_public_parameters(self, family):
+        base_params = family.base.public_parameters()
+        for member in family.sample_members(5, rng=0):
+            assert member.public_parameters() == base_params
+
+    def test_members_preserve_shard_statistics(self, family):
+        base_machine = family.base.machine(0)
+        for member in family.sample_members(5, rng=1):
+            machine = member.machine(0)
+            assert machine.size == base_machine.size
+            assert machine.support_size == base_machine.support_size
+            assert machine.natural_capacity == base_machine.natural_capacity
+
+    def test_member_by_image(self, family):
+        image = np.array([2, 5, 7])
+        member = family.member(image)
+        np.testing.assert_array_equal(member.machine(0).shard.support(), image)
+
+    def test_other_machines_untouched(self):
+        shards = [Multiset(8, {0: 2, 1: 2}), Multiset(8, {5: 1})]
+        base = DistributedDatabase.from_shards(shards, capacities=[2, 1], nu=3)
+        family = HardInputFamily(base, k=0, alpha=0.5, beta=1.0)
+        member = family.member(np.array([3, 6]))
+        np.testing.assert_array_equal(
+            member.machine(1).counts, base.machine(1).counts
+        )
+
+    def test_reference_empties_k_only(self, family):
+        ref = family.reference()
+        assert ref.machine(0).is_empty()
+        assert ref.machine(1).counts.sum() == family.base.machine(1).counts.sum()
+
+    def test_invalid_base_rejected(self):
+        shards = [Multiset(8, {0: 1}), Multiset(8, {1: 7})]
+        db = DistributedDatabase.from_shards(shards, nu=8)
+        with pytest.raises(ValidationError, match="hard-input condition"):
+            HardInputFamily(db, k=0)
+
+    def test_validation_can_be_skipped(self):
+        shards = [Multiset(8, {0: 1}), Multiset(8, {1: 7})]
+        db = DistributedDatabase.from_shards(shards, nu=8)
+        family = HardInputFamily(db, k=0, validate=False)
+        assert family.size() == comb(8, 1)

@@ -1,0 +1,97 @@
+"""Obliviousness verification and Lemma 5.3 measurement deferral."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ParallelSampler,
+    SequentialSampler,
+    sample_sequential,
+    target_amplitudes,
+)
+from repro.errors import ObliviousnessError, ValidationError
+from repro.lowerbound import (
+    HardInputFamily,
+    deferral_preserves_fidelity,
+    deferred_measurement_fidelity,
+    make_hard_input,
+    measured_then_traced_fidelity,
+    verify_oblivious,
+)
+
+
+@pytest.fixture
+def family():
+    base = make_hard_input(universe=8, n_machines=2, k=0, support_size=2, multiplicity=1)
+    return HardInputFamily(base, k=0)
+
+
+class TestVerifyOblivious:
+    def test_family_members_share_schedule(self, family):
+        dbs = family.sample_members(4, rng=0)
+        digest = verify_oblivious(lambda db: SequentialSampler(db), dbs)
+        assert len(digest) == 64
+
+    def test_parallel_sampler_is_oblivious_too(self, family):
+        dbs = family.sample_members(3, rng=1)
+        verify_oblivious(lambda db: ParallelSampler(db), dbs)
+
+    def test_detects_violation(self, family):
+        # Two members whose shard-0 supports start at different elements,
+        # so the cheating schedule below actually differs.
+        dbs = [
+            family.member(np.array([0, 1])),
+            family.member(np.array([3, 5])),
+        ]
+
+        class Cheater:
+            def __init__(self, db):
+                self.db = db
+
+            def schedule(self):
+                # Schedule depends on private data — an obliviousness bug.
+                from repro.core import QuerySchedule
+
+                leak = int(self.db.machine(0).shard.support()[0])
+                return QuerySchedule.sequential_from_plan(2, 1 + leak)
+
+        with pytest.raises(ObliviousnessError):
+            verify_oblivious(Cheater, dbs)
+
+    def test_needs_two_databases(self, family):
+        with pytest.raises(ValidationError):
+            verify_oblivious(lambda db: SequentialSampler(db), family.sample_members(1, rng=0))
+
+
+class TestDeferredMeasurement:
+    def test_identity_on_sampler_output(self, small_db):
+        """Appendix A: F(ρ', ψ) = F(ρ, ψ) on the real final state."""
+        result = sample_sequential(small_db)
+        target = target_amplitudes(small_db)
+        assert deferral_preserves_fidelity(result, target)
+
+    def test_both_fidelities_equal_on_random_states(self, rng):
+        from repro.qsim import RegisterLayout, haar_random_state
+
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        target = np.sqrt(np.array([0.4, 0.3, 0.2, 0.1], dtype=complex))
+        for _ in range(10):
+            state = haar_random_state(layout, rng)
+            f_a = measured_then_traced_fidelity(state, target)
+            f_b = deferred_measurement_fidelity(state, target)
+            assert f_a == pytest.approx(f_b, abs=1e-12)
+
+    def test_measured_fidelity_of_exact_output(self, small_db):
+        """Measuring the exact |ψ⟩ dephases it: F = Σ p_i² < 1 in general —
+        the deferral identity is about *equality of the two protocols*,
+        not about preserving coherence."""
+        result = sample_sequential(small_db)
+        target = target_amplitudes(small_db)
+        f_measured = measured_then_traced_fidelity(result.final_state, target)
+        probs = small_db.sampling_distribution()
+        assert f_measured == pytest.approx(float((probs**2).sum()), abs=1e-10)
+
+    def test_dimension_mismatch_rejected(self, small_db):
+        result = sample_sequential(small_db)
+        with pytest.raises(ValidationError):
+            measured_then_traced_fidelity(result.final_state, np.ones(3))

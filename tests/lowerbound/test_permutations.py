@@ -1,0 +1,111 @@
+"""Order-preserving permutations (Section 5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.database import Multiset
+from repro.errors import ValidationError
+from repro.lowerbound import (
+    apply_to_shard,
+    canonical_order_preserving,
+    is_order_preserving,
+    permutation_fixes_action,
+    random_image_set,
+)
+
+
+class TestIsOrderPreserving:
+    def test_identity_preserves(self):
+        assert is_order_preserving(np.arange(6), np.array([1, 3, 5]))
+
+    def test_monotone_relabeling_preserves(self):
+        sigma = np.array([2, 4, 5, 0, 1, 3])  # support {0,1,2} → {2,4,5} ascending
+        assert is_order_preserving(sigma, np.array([0, 1, 2]))
+
+    def test_swap_violates(self):
+        sigma = np.array([1, 0, 2])
+        assert not is_order_preserving(sigma, np.array([0, 1]))
+
+    def test_trivial_supports(self):
+        sigma = np.array([2, 0, 1])
+        assert is_order_preserving(sigma, np.array([]))
+        assert is_order_preserving(sigma, np.array([1]))
+
+
+class TestCanonical:
+    def test_maps_support_to_image_in_order(self):
+        sigma = canonical_order_preserving(8, np.array([0, 2, 5]), np.array([1, 4, 7]))
+        assert sigma[0] == 1 and sigma[2] == 4 and sigma[5] == 7
+
+    def test_is_permutation(self):
+        sigma = canonical_order_preserving(8, np.array([0, 2, 5]), np.array([1, 4, 7]))
+        assert sorted(sigma) == list(range(8))
+
+    def test_is_order_preserving_for_support(self):
+        support = np.array([1, 3, 4])
+        image = np.array([0, 5, 6])
+        sigma = canonical_order_preserving(10, support, image)
+        assert is_order_preserving(sigma, support)
+
+    def test_identity_when_image_equals_support(self):
+        support = np.array([2, 4])
+        sigma = canonical_order_preserving(6, support, support)
+        np.testing.assert_array_equal(sigma, np.arange(6))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_order_preserving(6, np.array([0, 1]), np.array([2]))
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_order_preserving(4, np.array([0]), np.array([4]))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValidationError):
+            canonical_order_preserving(6, np.array([0, 0]), np.array([1, 2]))
+
+
+class TestRandomImage:
+    def test_size_and_sortedness(self, rng):
+        image = random_image_set(20, 6, rng)
+        assert image.shape == (6,)
+        assert np.all(np.diff(image) > 0)
+
+    def test_seeded(self):
+        a = random_image_set(20, 5, 3)
+        b = random_image_set(20, 5, 3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestShardAction:
+    def test_sigma_induced_relabeling(self):
+        shard = Multiset(6, {0: 2, 2: 1})
+        sigma = canonical_order_preserving(6, np.array([0, 2]), np.array([3, 5]))
+        moved = apply_to_shard(shard, sigma)
+        assert moved.multiplicity(3) == 2
+        assert moved.multiplicity(5) == 1
+        assert moved.cardinality() == shard.cardinality()
+
+    def test_multiplicity_order_preserved_along_support(self):
+        # Order preservation means the sorted-support multiplicity sequence
+        # transfers verbatim.
+        shard = Multiset(8, {1: 5, 3: 2, 6: 9})
+        image = np.array([0, 4, 7])
+        sigma = canonical_order_preserving(8, shard.support(), image)
+        moved = apply_to_shard(shard, sigma)
+        np.testing.assert_array_equal(
+            moved.counts[image], shard.counts[shard.support()]
+        )
+
+
+class TestActionEquivalence:
+    def test_same_action_iff_same_on_support(self):
+        support = np.array([0, 2])
+        s1 = canonical_order_preserving(5, support, np.array([1, 3]))
+        s2 = s1.copy()
+        # Change s2 off the support only (swap two complement images).
+        complement = [i for i in range(5) if i not in support]
+        s2[complement[0]], s2[complement[1]] = s2[complement[1]], s2[complement[0]]
+        assert permutation_fixes_action(s1, s2, support)
+        s3 = canonical_order_preserving(5, support, np.array([0, 4]))
+        assert not permutation_fixes_action(s1, s3, support)

@@ -1,0 +1,120 @@
+"""The adversary potential D_t: growth law and final requirement."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_plan
+from repro.lowerbound import (
+    HardInputFamily,
+    make_hard_input,
+    potential_curve,
+    run_traced_sequential,
+    truncated_fidelity_curve,
+)
+
+
+@pytest.fixture
+def family():
+    base = make_hard_input(universe=10, n_machines=2, k=0, support_size=3, multiplicity=2)
+    return HardInputFamily(base, k=0)
+
+
+class TestTracedRun:
+    def test_snapshot_count_matches_query_count(self, family):
+        base = family.base
+        plan = solve_plan(base.initial_overlap())
+        run = run_traced_sequential(base, plan, k=0, nu=base.nu)
+        assert len(run.snapshots) == run.machine_k_calls + 1
+        assert run.machine_k_calls == 2 * plan.d_applications
+
+    def test_final_state_exact_on_own_input(self, family):
+        from repro.core import fidelity_with_target
+
+        base = family.base
+        plan = solve_plan(base.initial_overlap())
+        run = run_traced_sequential(base, plan, k=0, nu=base.nu)
+        assert fidelity_with_target(base, run.final_state) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_reference_run_differs_from_member_runs(self, family):
+        base = family.base
+        plan = solve_plan(base.initial_overlap())
+        member_run = run_traced_sequential(base, plan, k=0, nu=base.nu)
+        ref_run = run_traced_sequential(family.reference(), plan, k=0, nu=base.nu)
+        final_distance = member_run.final_state.distance(ref_run.final_state)
+        assert final_distance > 0.1
+
+    def test_snapshot_zero_is_common(self, family):
+        base = family.base
+        plan = solve_plan(base.initial_overlap())
+        member_run = run_traced_sequential(base, plan, k=0, nu=base.nu)
+        ref_run = run_traced_sequential(family.reference(), plan, k=0, nu=base.nu)
+        assert member_run.snapshots[0].distance(ref_run.snapshots[0]) < 1e-12
+
+
+class TestPotentialCurve:
+    def test_growth_bound_lemma_5_8(self, family):
+        curve = potential_curve(family, sample_size=6, rng=0)
+        assert curve.within_bound()
+
+    def test_starts_at_zero(self, family):
+        curve = potential_curve(family, sample_size=4, rng=1)
+        assert curve.measured[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_monotone_bound(self, family):
+        curve = potential_curve(family, sample_size=4, rng=1)
+        assert np.all(np.diff(curve.bound) >= 0)
+
+    def test_final_requirement_lemma_5_7(self, family):
+        """An exact sampler must accumulate D_{t_k} ≥ M_k/(2M)."""
+        curve = potential_curve(family, sample_size=8, rng=2)
+        assert curve.meets_requirement()
+        # For the all-on-one-machine base, M_k/M = 1 → requirement 1/2.
+        assert curve.final_requirement == pytest.approx(0.5)
+
+    def test_exhaustive_small_family(self):
+        base = make_hard_input(universe=5, n_machines=1, k=0, support_size=2, multiplicity=1)
+        family = HardInputFamily(base, k=0)
+        curve = potential_curve(family, exhaustive=True)
+        assert curve.sample_size == family.size()
+        assert curve.within_bound()
+        assert curve.meets_requirement()
+
+    def test_bound_formula(self, family):
+        curve = potential_curve(family, sample_size=3, rng=3)
+        m_k = family.support_size
+        n_univ = family.base.universe
+        np.testing.assert_allclose(curve.bound, 4 * m_k / n_univ * curve.t**2)
+
+
+class TestTruncatedFidelity:
+    def test_measured_matches_prediction(self, sparse_db):
+        curve = truncated_fidelity_curve(sparse_db)
+        np.testing.assert_allclose(
+            curve.fidelity, curve.predicted_fidelity, atol=1e-9
+        )
+
+    def test_fidelity_increases_to_near_one(self, sparse_db):
+        curve = truncated_fidelity_curve(sparse_db)
+        assert curve.fidelity[0] < curve.fidelity[-1]
+        # Truncated plans omit the final partial iterate, so the ceiling is
+        # sin²((2m+1)θ) — high, but not 1 (that's what the exact step buys).
+        assert curve.fidelity[-1] > 0.8
+
+    def test_queries_grow_linearly(self, sparse_db):
+        curve = truncated_fidelity_curve(sparse_db)
+        diffs = np.diff(curve.sequential_queries)
+        assert np.all(diffs == diffs[0])
+
+    def test_quadratic_small_budget_regime(self):
+        """Fidelity after m iterations is sin²((2m+1)θ) ≈ (2m+1)²·a — the
+        quadratic growth that mirrors the D_t ≤ O(t²) adversary bound."""
+        base = make_hard_input(universe=64, n_machines=1, k=0, support_size=2, multiplicity=1)
+        curve = truncated_fidelity_curve(base)
+        theta = solve_plan(base.initial_overlap()).theta
+        small = curve.iterations[: max(2, len(curve.iterations) // 3)]
+        for m in small:
+            quad = ((2 * m + 1) * theta) ** 2
+            assert curve.fidelity[m] <= quad + 1e-9
+            assert curve.fidelity[m] >= 0.4 * quad

@@ -1,0 +1,112 @@
+"""Partial trace, purity, purification (Appendix B substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    haar_random_state,
+    is_density_matrix,
+    pure_density,
+    purity,
+    random_density_matrix,
+    reduced_density_matrix,
+    standard_purification,
+)
+
+
+class TestReducedDensityMatrix:
+    def test_product_state_reduces_to_pure(self):
+        layout = RegisterLayout.of(x=2, y=3)
+        state = StateVector.basis(layout, {"x": 1, "y": 2})
+        rho = reduced_density_matrix(state, ["x"])
+        expected = np.zeros((2, 2))
+        expected[1, 1] = 1.0
+        np.testing.assert_allclose(rho, expected, atol=1e-12)
+
+    def test_bell_state_reduces_to_maximally_mixed(self):
+        layout = RegisterLayout.of(x=2, y=2)
+        amps = np.zeros((2, 2), dtype=np.complex128)
+        amps[0, 0] = amps[1, 1] = 1 / np.sqrt(2)
+        state = StateVector.from_array(layout, amps)
+        rho = reduced_density_matrix(state, ["x"])
+        np.testing.assert_allclose(rho, np.eye(2) / 2, atol=1e-12)
+
+    def test_trace_is_one(self, rng):
+        layout = RegisterLayout.of(x=3, y=4, z=2)
+        state = haar_random_state(layout, rng)
+        rho = reduced_density_matrix(state, ["x", "z"])
+        assert np.trace(rho).real == pytest.approx(1.0)
+        assert rho.shape == (6, 6)
+
+    def test_keep_order_controls_indexing(self, rng):
+        layout = RegisterLayout.of(x=2, y=3)
+        state = haar_random_state(layout, rng)
+        rho_xy = reduced_density_matrix(state, ["x", "y"])
+        rho_yx = reduced_density_matrix(state, ["y", "x"])
+        # Both are the full pure state, related by the swap permutation.
+        perm = np.array([y * 2 + x for x in range(2) for y in range(3)])
+        np.testing.assert_allclose(rho_xy, rho_yx[np.ix_(perm, perm)], atol=1e-12)
+
+    def test_must_keep_something(self, rng):
+        layout = RegisterLayout.of(x=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            reduced_density_matrix(state, [])
+
+    def test_is_valid_density_matrix(self, rng):
+        layout = RegisterLayout.of(x=3, y=5)
+        state = haar_random_state(layout, rng)
+        rho = reduced_density_matrix(state, ["x"])
+        assert is_density_matrix(rho)
+
+
+class TestPurity:
+    def test_pure_state_purity_one(self):
+        rho = pure_density(np.array([1.0, 1.0]) / np.sqrt(2))
+        assert purity(rho) == pytest.approx(1.0)
+
+    def test_maximally_mixed(self):
+        assert purity(np.eye(4) / 4) == pytest.approx(0.25)
+
+    def test_random_density_between(self, rng):
+        rho = random_density_matrix(5, rng=rng)
+        assert 1 / 5 - 1e-9 <= purity(rho) <= 1 + 1e-9
+
+
+class TestIsDensityMatrix:
+    def test_accepts_random_density(self, rng):
+        assert is_density_matrix(random_density_matrix(4, rng=rng))
+
+    def test_rejects_non_hermitian(self):
+        mat = np.array([[0.5, 1.0], [0.0, 0.5]])
+        assert not is_density_matrix(mat)
+
+    def test_rejects_wrong_trace(self):
+        assert not is_density_matrix(np.eye(3))
+
+    def test_rejects_negative_eigenvalue(self):
+        assert not is_density_matrix(np.diag([1.5, -0.5]))
+
+
+class TestPurification:
+    def test_purification_traces_back(self, rng):
+        rho = random_density_matrix(4, rank=2, rng=rng)
+        psi = standard_purification(rho)
+        back = reduced_density_matrix(psi, ["X"])
+        np.testing.assert_allclose(back, rho, atol=1e-10)
+
+    def test_purification_is_unit_vector(self, rng):
+        rho = random_density_matrix(3, rng=rng)
+        psi = standard_purification(rho)
+        assert psi.norm() == pytest.approx(1.0)
+
+    def test_rejects_invalid_input(self):
+        with pytest.raises(ValidationError):
+            standard_purification(np.eye(3))
+
+    def test_pure_density_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            pure_density(np.zeros(3))

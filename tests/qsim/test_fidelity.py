@@ -1,0 +1,133 @@
+"""Fidelity and distance measures (Section 2 definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    distance_to_fidelity_bound,
+    fidelity_mixed_mixed,
+    fidelity_mixed_pure,
+    fidelity_pure_pure,
+    haar_random_state,
+    haar_random_vector,
+    pure_density,
+    random_density_matrix,
+    total_variation,
+    trace_distance,
+)
+
+
+class TestPurePure:
+    def test_identical_states(self, rng):
+        vec = haar_random_vector(5, rng)
+        assert fidelity_pure_pure(vec, vec) == pytest.approx(1.0)
+
+    def test_orthogonal_states(self):
+        assert fidelity_pure_pure(np.array([1, 0]), np.array([0, 1])) == 0.0
+
+    def test_global_phase_invariance(self, rng):
+        vec = haar_random_vector(5, rng)
+        assert fidelity_pure_pure(vec, np.exp(1j * 0.9) * vec) == pytest.approx(1.0)
+
+    def test_accepts_statevectors(self, rng):
+        layout = RegisterLayout.of(i=4)
+        a = haar_random_state(layout, rng)
+        b = haar_random_state(layout, rng)
+        assert fidelity_pure_pure(a, b) == pytest.approx(
+            abs(a.overlap(b)) ** 2
+        )
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValidationError):
+            fidelity_pure_pure(np.ones(2), np.ones(3))
+
+
+class TestMixedPure:
+    def test_reduces_to_pure_pure(self, rng):
+        a = haar_random_vector(4, rng)
+        b = haar_random_vector(4, rng)
+        assert fidelity_mixed_pure(pure_density(a), b) == pytest.approx(
+            fidelity_pure_pure(a, b)
+        )
+
+    def test_maximally_mixed(self):
+        rho = np.eye(4) / 4
+        vec = np.array([1, 0, 0, 0], dtype=complex)
+        assert fidelity_mixed_pure(rho, vec) == pytest.approx(0.25)
+
+
+class TestMixedMixed:
+    def test_identical_density_matrices(self, rng):
+        rho = random_density_matrix(4, rng=rng)
+        assert fidelity_mixed_mixed(rho, rho) == pytest.approx(1.0, abs=1e-8)
+
+    def test_agrees_with_pure_formula(self, rng):
+        a = haar_random_vector(4, rng)
+        b = haar_random_vector(4, rng)
+        f_uhlmann = fidelity_mixed_mixed(pure_density(a), pure_density(b))
+        assert f_uhlmann == pytest.approx(fidelity_pure_pure(a, b), abs=1e-8)
+
+    def test_symmetry(self, rng):
+        rho = random_density_matrix(3, rng=rng)
+        sigma = random_density_matrix(3, rng=rng)
+        assert fidelity_mixed_mixed(rho, sigma) == pytest.approx(
+            fidelity_mixed_mixed(sigma, rho), abs=1e-8
+        )
+
+    def test_range(self, rng):
+        rho = random_density_matrix(3, rng=rng)
+        sigma = random_density_matrix(3, rng=rng)
+        f = fidelity_mixed_mixed(rho, sigma)
+        assert -1e-9 <= f <= 1 + 1e-9
+
+
+class TestTraceDistance:
+    def test_identical_is_zero(self, rng):
+        rho = random_density_matrix(4, rng=rng)
+        assert trace_distance(rho, rho) == pytest.approx(0.0, abs=1e-10)
+
+    def test_orthogonal_pures_is_one(self):
+        a = pure_density(np.array([1.0, 0.0]))
+        b = pure_density(np.array([0.0, 1.0]))
+        assert trace_distance(a, b) == pytest.approx(1.0)
+
+    def test_fuchs_van_de_graaf(self, rng):
+        # 1 − √F ≤ T ≤ √(1 − F)
+        rho = random_density_matrix(4, rng=rng)
+        sigma = random_density_matrix(4, rng=rng)
+        f = fidelity_mixed_mixed(rho, sigma)
+        t = trace_distance(rho, sigma)
+        assert 1 - np.sqrt(f) <= t + 1e-8
+        assert t <= np.sqrt(1 - f) + 1e-8
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        p = np.array([0.25, 0.75])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_check(self):
+        with pytest.raises(ValidationError):
+            total_variation(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestDistanceFidelityBound:
+    def test_zero_distance_full_fidelity(self):
+        assert distance_to_fidelity_bound(0.0) == 1.0
+
+    def test_bound_holds_for_random_pairs(self, rng):
+        for _ in range(20):
+            a = haar_random_vector(6, rng)
+            b = haar_random_vector(6, rng)
+            # Align phases to make the bound tight-able.
+            phase = np.vdot(a, b)
+            if abs(phase) > 0:
+                b = b * (phase.conjugate() / abs(phase))
+            dist = np.linalg.norm(a - b)
+            assert fidelity_pure_pure(a, b) >= distance_to_fidelity_bound(dist) - 1e-9

@@ -1,0 +1,71 @@
+"""Fourier / uniform-preparation matrices: F|0⟩ = |π⟩ and unitarity."""
+
+import numpy as np
+import pytest
+
+from repro.qsim import (
+    dft_matrix,
+    is_unitary,
+    uniform_preparation_matrix,
+    uniform_state,
+)
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3, 4, 7, 16, 31])
+class TestBothPreparations:
+    def test_dft_is_unitary(self, dim):
+        assert is_unitary(dft_matrix(dim))
+
+    def test_householder_is_unitary(self, dim):
+        assert is_unitary(uniform_preparation_matrix(dim))
+
+    def test_dft_maps_zero_to_uniform(self, dim):
+        np.testing.assert_allclose(
+            dft_matrix(dim)[:, 0], uniform_state(dim), atol=1e-12
+        )
+
+    def test_householder_maps_zero_to_uniform(self, dim):
+        np.testing.assert_allclose(
+            uniform_preparation_matrix(dim)[:, 0], uniform_state(dim), atol=1e-12
+        )
+
+
+class TestUniformState:
+    def test_amplitudes(self):
+        vec = uniform_state(4)
+        np.testing.assert_allclose(vec, np.full(4, 0.5), atol=1e-15)
+
+    def test_norm(self):
+        assert np.linalg.norm(uniform_state(9)) == pytest.approx(1.0)
+
+
+class TestHouseholderIsReal:
+    def test_real_entries(self):
+        mat = uniform_preparation_matrix(8)
+        assert np.allclose(mat.imag, 0.0)
+
+    def test_involution(self):
+        # A Householder reflection is its own inverse.
+        mat = uniform_preparation_matrix(8)
+        np.testing.assert_allclose(mat @ mat, np.eye(8), atol=1e-12)
+
+
+class TestDftStructure:
+    def test_dft_squared_is_parity(self):
+        # F² is the index-reversal permutation (x ↦ -x mod N).
+        dim = 5
+        f = dft_matrix(dim)
+        parity = np.zeros((dim, dim))
+        for x in range(dim):
+            parity[(-x) % dim, x] = 1
+        np.testing.assert_allclose(f @ f, parity, atol=1e-12)
+
+    def test_dft_diagonalizes_cyclic_shift(self):
+        dim = 6
+        f = dft_matrix(dim)
+        shift = np.zeros((dim, dim))
+        for x in range(dim):
+            shift[(x + 1) % dim, x] = 1
+        diag = f.conj().T @ shift @ f
+        off_diag = diag - np.diag(np.diagonal(diag))
+        assert np.abs(off_diag).max() < 1e-12

@@ -1,0 +1,112 @@
+"""Born sampling and projective measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    empirical_distribution,
+    measure_register,
+    sample_register,
+)
+from repro.qsim.measurement import expected_distribution_from_counts
+
+
+@pytest.fixture
+def biased_state():
+    layout = RegisterLayout.of(i=3, w=2)
+    amps = np.zeros((3, 2), dtype=np.complex128)
+    amps[0, 0] = np.sqrt(0.5)
+    amps[1, 0] = np.sqrt(0.3)
+    amps[2, 1] = np.sqrt(0.2)
+    return StateVector.from_array(layout, amps)
+
+
+class TestSampleRegister:
+    def test_outcomes_in_range(self, biased_state, rng):
+        outcomes = sample_register(biased_state, "i", shots=100, rng=rng)
+        assert outcomes.min() >= 0 and outcomes.max() <= 2
+
+    def test_deterministic_state_always_same_outcome(self, rng):
+        layout = RegisterLayout.of(i=4)
+        state = StateVector.basis(layout, {"i": 2})
+        outcomes = sample_register(state, "i", shots=50, rng=rng)
+        assert np.all(outcomes == 2)
+
+    def test_frequencies_approach_born_rule(self, biased_state):
+        outcomes = sample_register(biased_state, "i", shots=40000, rng=7)
+        freqs = empirical_distribution(outcomes, 3)
+        np.testing.assert_allclose(freqs, [0.5, 0.3, 0.2], atol=0.02)
+
+    def test_does_not_mutate_state(self, biased_state, rng):
+        before = biased_state.flat()
+        sample_register(biased_state, "i", shots=10, rng=rng)
+        np.testing.assert_array_equal(biased_state.flat(), before)
+
+    def test_seeded_reproducibility(self, biased_state):
+        a = sample_register(biased_state, "i", shots=20, rng=42)
+        b = sample_register(biased_state, "i", shots=20, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_requires_positive_shots(self, biased_state):
+        with pytest.raises(ValidationError):
+            sample_register(biased_state, "i", shots=0)
+
+
+class TestMeasureRegister:
+    def test_collapse_is_consistent(self, biased_state):
+        record = measure_register(biased_state, "i", rng=3)
+        post = record.post_state
+        assert post.norm() == pytest.approx(1.0)
+        probs = post.marginal_probabilities("i")
+        assert probs[record.outcome] == pytest.approx(1.0)
+
+    def test_probability_matches_marginal(self, biased_state):
+        record = measure_register(biased_state, "i", rng=3)
+        marg = biased_state.marginal_probabilities("i")
+        assert record.probability == pytest.approx(marg[record.outcome])
+
+    def test_original_untouched(self, biased_state):
+        before = biased_state.flat()
+        measure_register(biased_state, "i", rng=1)
+        np.testing.assert_array_equal(biased_state.flat(), before)
+
+    def test_correlated_register_collapses_too(self, biased_state):
+        # In biased_state, i=2 is perfectly correlated with w=1.
+        gen = np.random.default_rng(0)
+        for _ in range(20):
+            record = measure_register(biased_state, "i", rng=gen)
+            if record.outcome == 2:
+                assert record.post_state.probability_of({"w": 1}) == pytest.approx(1.0)
+            else:
+                assert record.post_state.probability_of({"w": 0}) == pytest.approx(1.0)
+
+
+class TestEmpiricalDistribution:
+    def test_normalizes(self):
+        freqs = empirical_distribution(np.array([0, 0, 1, 2]), 4)
+        np.testing.assert_allclose(freqs, [0.5, 0.25, 0.25, 0.0])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            empirical_distribution(np.array([5]), 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            empirical_distribution(np.array([], dtype=int), 3)
+
+
+class TestExpectedDistribution:
+    def test_from_array(self):
+        probs = expected_distribution_from_counts(np.array([2, 2, 0, 1]))
+        np.testing.assert_allclose(probs, [0.4, 0.4, 0.0, 0.2])
+
+    def test_from_mapping(self):
+        probs = expected_distribution_from_counts({0: 1, 3: 3})
+        np.testing.assert_allclose(probs, [0.25, 0.0, 0.0, 0.75])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            expected_distribution_from_counts(np.zeros(3))

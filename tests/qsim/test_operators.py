@@ -1,0 +1,131 @@
+"""Operator utilities: unitarity checks, matrix materialization, blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotUnitaryError, ValidationError
+from repro.qsim import (
+    MatrixOperator,
+    RegisterLayout,
+    StateVector,
+    adjoint_blocks,
+    assert_unitary,
+    controlled_rotation_blocks,
+    haar_random_unitary,
+    is_permutation_matrix,
+    is_unitary,
+    operator_matrix,
+)
+
+
+class TestUnitaryChecks:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(5))
+
+    def test_haar_random_is_unitary(self, rng):
+        assert is_unitary(haar_random_unitary(6, rng))
+
+    def test_nonsquare_is_not(self):
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_scaled_identity_is_not(self):
+        assert not is_unitary(2 * np.eye(3))
+
+    def test_assert_unitary_raises_with_residual(self):
+        with pytest.raises(NotUnitaryError, match="residual"):
+            assert_unitary(np.diag([1.0, 2.0]), "test op")
+
+
+class TestPermutationMatrix:
+    def test_permutation_detected(self):
+        mat = np.zeros((3, 3))
+        mat[[1, 2, 0], [0, 1, 2]] = 1
+        assert is_permutation_matrix(mat)
+
+    def test_doubly_stochastic_but_not_permutation(self):
+        assert not is_permutation_matrix(np.full((2, 2), 0.5))
+
+    def test_identity(self):
+        assert is_permutation_matrix(np.eye(4))
+
+
+class TestOperatorMatrix:
+    def test_materializes_permutation(self):
+        layout = RegisterLayout.of(x=3)
+        perm = np.array([1, 2, 0])
+        mat = operator_matrix(layout, lambda st: st.apply_permutation("x", perm))
+        expected = np.zeros((3, 3))
+        expected[perm, np.arange(3)] = 1
+        np.testing.assert_allclose(mat, expected, atol=1e-12)
+
+    def test_materializes_local_unitary(self, rng):
+        layout = RegisterLayout.of(x=2, y=2)
+        u = haar_random_unitary(2, rng)
+        mat = operator_matrix(layout, lambda st: st.apply_local_unitary("y", u))
+        np.testing.assert_allclose(mat, np.kron(np.eye(2), u), atol=1e-12)
+
+
+class TestMatrixOperator:
+    def test_apply_equals_matrix_action(self, rng):
+        layout = RegisterLayout.of(x=3, y=2)
+        u = haar_random_unitary(2, rng)
+        op = MatrixOperator(layout, ("y",), u)
+        state = StateVector.basis(layout, {"x": 1, "y": 0})
+        op.apply(state)
+        expected = u[:, 0]
+        np.testing.assert_allclose(state.as_array()[1, :], expected, atol=1e-12)
+
+    def test_adjoint_composes_to_identity(self, rng):
+        layout = RegisterLayout.of(y=4)
+        u = haar_random_unitary(4, rng)
+        op = MatrixOperator(layout, ("y",), u)
+        composed = op.adjoint().compose(op)
+        np.testing.assert_allclose(composed.matrix, np.eye(4), atol=1e-12)
+
+    def test_compose_requires_same_registers(self):
+        layout = RegisterLayout.of(x=2, y=2)
+        a = MatrixOperator(layout, ("x",), np.eye(2))
+        b = MatrixOperator(layout, ("y",), np.eye(2))
+        with pytest.raises(ValidationError):
+            a.compose(b)
+
+    def test_shape_validation(self):
+        layout = RegisterLayout.of(x=3)
+        with pytest.raises(ValidationError):
+            MatrixOperator(layout, ("x",), np.eye(2))
+
+    def test_assert_unitary_passes(self, rng):
+        layout = RegisterLayout.of(x=3)
+        MatrixOperator(layout, ("x",), haar_random_unitary(3, rng)).assert_unitary()
+
+
+class TestRotationBlocks:
+    def test_blocks_are_unitary(self):
+        cos = np.array([1.0, 0.6, 0.0])
+        sin = np.sqrt(1 - cos**2)
+        blocks = controlled_rotation_blocks(cos, sin)
+        for block in blocks:
+            assert is_unitary(block)
+
+    def test_block_action_on_zero(self):
+        # column 0 must be (cos, sin): |0⟩ ↦ cos|0⟩ + sin|1⟩
+        cos = np.array([0.8])
+        sin = np.array([0.6])
+        blocks = controlled_rotation_blocks(cos, sin)
+        np.testing.assert_allclose(blocks[0][:, 0], [0.8, 0.6])
+
+    def test_requires_normalized_pairs(self):
+        with pytest.raises(NotUnitaryError):
+            controlled_rotation_blocks(np.array([0.9]), np.array([0.9]))
+
+    def test_adjoint_blocks_invert(self):
+        cos = np.array([0.28, 1.0, 0.5])
+        sin = np.sqrt(1 - cos**2)
+        blocks = controlled_rotation_blocks(cos, sin)
+        adj = adjoint_blocks(blocks)
+        for b, a in zip(blocks, adj):
+            np.testing.assert_allclose(a @ b, np.eye(2), atol=1e-12)
+
+    def test_adjoint_blocks_shape_check(self):
+        with pytest.raises(ValidationError):
+            adjoint_blocks(np.zeros((2, 3, 3)))

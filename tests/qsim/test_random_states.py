@@ -1,0 +1,61 @@
+"""Random-state generators used by the property tests."""
+
+import numpy as np
+import pytest
+
+from repro.qsim import (
+    RegisterLayout,
+    haar_random_state,
+    haar_random_unitary,
+    haar_random_vector,
+    is_density_matrix,
+    is_unitary,
+    random_density_matrix,
+)
+
+
+class TestHaarVector:
+    def test_unit_norm(self, rng):
+        vec = haar_random_vector(16, rng)
+        assert np.linalg.norm(vec) == pytest.approx(1.0)
+
+    def test_seeded_reproducibility(self):
+        a = haar_random_vector(8, 13)
+        b = haar_random_vector(8, 13)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = haar_random_vector(8, 1)
+        b = haar_random_vector(8, 2)
+        assert not np.allclose(a, b)
+
+
+class TestHaarState:
+    def test_respects_layout(self, rng):
+        layout = RegisterLayout.of(i=3, w=2)
+        state = haar_random_state(layout, rng)
+        assert state.layout == layout
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestHaarUnitary:
+    def test_is_unitary(self, rng):
+        assert is_unitary(haar_random_unitary(7, rng))
+
+    def test_mean_trace_is_small(self):
+        # Haar unitaries have E[Tr U] = 0; a gross phase-convention bug
+        # (e.g. returning the raw QR factor) biases this strongly.
+        traces = [
+            np.trace(haar_random_unitary(4, seed)) for seed in range(200)
+        ]
+        assert abs(np.mean(traces)) < 0.5
+
+
+class TestRandomDensity:
+    def test_valid_density(self, rng):
+        assert is_density_matrix(random_density_matrix(5, rng=rng))
+
+    def test_rank_control(self, rng):
+        rho = random_density_matrix(6, rank=2, rng=rng)
+        eigs = np.linalg.eigvalsh(rho)
+        assert (eigs > 1e-10).sum() == 2

@@ -1,0 +1,112 @@
+"""Registers and layouts: naming, axes, shapes, validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.qsim import Register, RegisterLayout
+
+
+class TestRegister:
+    def test_holds_name_and_dim(self):
+        reg = Register("i", 4)
+        assert reg.name == "i"
+        assert reg.dim == 4
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError):
+            Register("", 2)
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValidationError):
+            Register("x", 0)
+
+    def test_rejects_non_integer_dim(self):
+        with pytest.raises(ValidationError):
+            Register("x", 2.5)
+
+    def test_is_hashable_and_comparable(self):
+        assert Register("a", 3) == Register("a", 3)
+        assert Register("a", 3) != Register("a", 4)
+        assert len({Register("a", 3), Register("a", 3)}) == 1
+
+
+class TestRegisterLayout:
+    def test_shape_follows_declaration_order(self):
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        assert layout.shape == (4, 3, 2)
+        assert layout.names == ("i", "s", "w")
+
+    def test_dimension_is_product(self):
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        assert layout.dimension == 24
+
+    def test_axis_lookup(self):
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        assert layout.axis("i") == 0
+        assert layout.axis("s") == 1
+        assert layout.axis("w") == 2
+
+    def test_axes_lookup_multiple(self):
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        assert layout.axes(["w", "i"]) == (2, 0)
+
+    def test_unknown_register_raises(self):
+        layout = RegisterLayout.of(i=4)
+        with pytest.raises(ValidationError, match="unknown register"):
+            layout.axis("nope")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="duplicate"):
+            RegisterLayout([Register("i", 2), Register("i", 3)])
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValidationError):
+            RegisterLayout([])
+
+    def test_contains(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        assert "i" in layout
+        assert "z" not in layout
+
+    def test_dim_of_register(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        assert layout.dim("w") == 2
+
+    def test_extended_appends(self):
+        layout = RegisterLayout.of(i=4)
+        bigger = layout.extended(Register("w", 2))
+        assert bigger.names == ("i", "w")
+        # original untouched
+        assert layout.names == ("i",)
+
+    def test_equality_and_hash(self):
+        a = RegisterLayout.of(i=4, w=2)
+        b = RegisterLayout.of(i=4, w=2)
+        c = RegisterLayout.of(w=2, i=4)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_basis_index_full_assignment(self):
+        layout = RegisterLayout.of(i=4, s=3, w=2)
+        assert layout.basis_index({"i": 2, "s": 1, "w": 0}) == (2, 1, 0)
+
+    def test_basis_index_missing_register(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        with pytest.raises(ValidationError, match="missing"):
+            layout.basis_index({"i": 1})
+
+    def test_basis_index_unknown_register(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        with pytest.raises(ValidationError, match="unknown"):
+            layout.basis_index({"i": 1, "w": 0, "zz": 0})
+
+    def test_basis_index_out_of_range(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        with pytest.raises(ValidationError, match="out of range"):
+            layout.basis_index({"i": 4, "w": 0})
+
+    def test_iteration_yields_registers(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        assert [r.name for r in layout] == ["i", "w"]
+        assert len(layout) == 2

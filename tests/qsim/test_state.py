@@ -1,0 +1,430 @@
+"""StateVector kernels against dense linear-algebra references."""
+
+import numpy as np
+import pytest
+
+from repro.config import strict_mode
+from repro.errors import NotUnitaryError, ValidationError
+from repro.qsim import (
+    RegisterLayout,
+    StateVector,
+    haar_random_state,
+    operator_matrix,
+)
+
+
+@pytest.fixture
+def layout():
+    return RegisterLayout.of(i=4, s=3, w=2)
+
+
+class TestConstruction:
+    def test_zero_state_is_all_zeros_basis(self, layout):
+        state = StateVector.zero(layout)
+        assert state.amplitude({"i": 0, "s": 0, "w": 0}) == 1.0
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_basis_state(self, layout):
+        state = StateVector.basis(layout, {"i": 2, "s": 1, "w": 1})
+        assert state.amplitude({"i": 2, "s": 1, "w": 1}) == 1.0
+        assert state.amplitude({"i": 0, "s": 0, "w": 0}) == 0.0
+
+    def test_from_array_checks_shape(self, layout):
+        with pytest.raises(ValidationError):
+            StateVector.from_array(layout, np.zeros((4, 3)))
+
+    def test_from_array_copies(self, layout):
+        amps = np.zeros(layout.shape, dtype=np.complex128)
+        amps[0, 0, 0] = 1.0
+        state = StateVector.from_array(layout, amps)
+        amps[0, 0, 0] = 0.0
+        assert state.amplitude({"i": 0, "s": 0, "w": 0}) == 1.0
+
+    def test_copy_is_independent(self, layout):
+        a = StateVector.zero(layout)
+        b = a.copy()
+        b.apply_phase_slice("w", 0, -1.0)
+        assert a.amplitude({"i": 0, "s": 0, "w": 0}) == 1.0
+        assert b.amplitude({"i": 0, "s": 0, "w": 0}) == -1.0
+
+
+class TestPermutation:
+    def test_cyclic_shift_moves_basis_state(self):
+        layout = RegisterLayout.of(x=5)
+        state = StateVector.basis(layout, {"x": 1})
+        perm = (np.arange(5) + 2) % 5  # x -> x+2
+        state.apply_permutation("x", perm)
+        assert state.amplitude({"x": 3}) == 1.0
+
+    def test_permutation_must_be_bijection(self):
+        layout = RegisterLayout.of(x=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(Exception):
+            state.apply_permutation("x", np.array([0, 0, 1]))
+
+    def test_permutation_preserves_norm_random_state(self, rng):
+        layout = RegisterLayout.of(x=6, y=2)
+        state = haar_random_state(layout, rng)
+        norm_before = state.norm()
+        state.apply_permutation("x", np.roll(np.arange(6), 1))
+        assert state.norm() == pytest.approx(norm_before)
+
+    def test_permutation_then_inverse_is_identity(self, rng):
+        layout = RegisterLayout.of(x=6)
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        perm = np.array([2, 0, 3, 1, 5, 4])
+        inverse = np.argsort(perm)
+        state.apply_permutation("x", perm).apply_permutation("x", inverse)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+
+class TestValueShift:
+    def test_matches_equation_one_semantics(self):
+        # O|i⟩|s⟩ = |i⟩|(s + c_i) mod 3⟩ with c = (0, 1, 2, 1)
+        layout = RegisterLayout.of(i=4, s=3)
+        shifts = np.array([0, 1, 2, 1])
+        for i in range(4):
+            for s in range(3):
+                state = StateVector.basis(layout, {"i": i, "s": s})
+                state.apply_value_shift("i", "s", shifts)
+                expected = (s + shifts[i]) % 3
+                assert state.amplitude({"i": i, "s": int(expected)}) == pytest.approx(1.0)
+
+    def test_adjoint_undoes_shift(self, rng):
+        layout = RegisterLayout.of(i=4, s=5, w=2)
+        state = haar_random_state(layout, rng)
+        before = state.flat()
+        shifts = np.array([0, 3, 1, 4])
+        state.apply_value_shift("i", "s", shifts, sign=1)
+        state.apply_value_shift("i", "s", shifts, sign=-1)
+        np.testing.assert_allclose(state.flat(), before, atol=1e-12)
+
+    def test_control_after_target_axis(self, rng):
+        # target axis before control axis exercises the transpose path
+        layout = RegisterLayout.of(s=5, i=4)
+        state = haar_random_state(layout, rng)
+        shifts = np.array([1, 0, 2, 3])
+        reference = state.as_array().copy()
+        state.apply_value_shift("i", "s", shifts)
+        expected = np.empty_like(reference)
+        for i in range(4):
+            expected[:, i] = np.roll(reference[:, i], shifts[i])
+        np.testing.assert_allclose(state.as_array(), expected, atol=1e-12)
+
+    def test_requires_correct_shift_table_size(self):
+        layout = RegisterLayout.of(i=4, s=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_value_shift("i", "s", np.array([1, 2]))
+
+    def test_control_equal_target_rejected(self):
+        layout = RegisterLayout.of(i=4, s=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_value_shift("i", "i", np.zeros(4, dtype=int))
+
+    def test_norm_preserved(self, rng):
+        layout = RegisterLayout.of(i=6, s=4)
+        state = haar_random_state(layout, rng)
+        state.apply_value_shift("i", "s", np.array([0, 1, 2, 3, 2, 1]))
+        assert state.norm() == pytest.approx(1.0)
+
+
+class TestFlagControlledShift:
+    def test_identity_on_inactive_flag(self, rng):
+        layout = RegisterLayout.of(i=3, s=4, b=2)
+        state = haar_random_state(layout, rng)
+        inactive = state.as_array()[:, :, 0].copy()
+        state.apply_flag_controlled_value_shift("i", "s", "b", np.array([1, 2, 3]))
+        np.testing.assert_allclose(state.as_array()[:, :, 0], inactive, atol=1e-15)
+
+    def test_shifts_on_active_flag(self):
+        layout = RegisterLayout.of(i=3, s=4, b=2)
+        state = StateVector.basis(layout, {"i": 1, "s": 0, "b": 1})
+        state.apply_flag_controlled_value_shift("i", "s", "b", np.array([0, 2, 0]))
+        assert state.amplitude({"i": 1, "s": 2, "b": 1}) == pytest.approx(1.0)
+
+    def test_equation_two_matches_sequential_oracle_on_flag_one(self, rng):
+        # Ô on b=1 ≡ O; build both as matrices and compare the blocks.
+        layout = RegisterLayout.of(i=3, s=3, b=2)
+        shifts = np.array([1, 0, 2])
+        controlled = operator_matrix(
+            layout,
+            lambda st: st.apply_flag_controlled_value_shift("i", "s", "b", shifts),
+        )
+        plain_layout = RegisterLayout.of(i=3, s=3)
+        plain = operator_matrix(
+            plain_layout, lambda st: st.apply_value_shift("i", "s", shifts)
+        )
+        # Controlled matrix in the (i, s, b) ordering: b is the fastest axis.
+        dim = 18
+        idx_b0 = [k for k in range(dim) if k % 2 == 0]
+        idx_b1 = [k for k in range(dim) if k % 2 == 1]
+        block0 = controlled[np.ix_(idx_b0, idx_b0)]
+        block1 = controlled[np.ix_(idx_b1, idx_b1)]
+        np.testing.assert_allclose(block0, np.eye(9), atol=1e-12)
+        np.testing.assert_allclose(block1, plain, atol=1e-12)
+
+    def test_flag_must_be_qubit(self):
+        layout = RegisterLayout.of(i=3, s=3, b=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_flag_controlled_value_shift("i", "s", "b", np.zeros(3, dtype=int))
+
+
+class TestLocalUnitary:
+    def test_matches_dense_reference(self, rng):
+        layout = RegisterLayout.of(a=3, b=4)
+        state = haar_random_state(layout, rng)
+        mat = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        expected = np.einsum("xy,ay->ax", mat, state.as_array())
+        state.apply_local_unitary("b", mat)
+        np.testing.assert_allclose(state.as_array(), expected, atol=1e-12)
+
+    def test_shape_validation(self):
+        layout = RegisterLayout.of(a=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_local_unitary("a", np.eye(2))
+
+
+class TestJointUnitary:
+    def test_two_register_unitary_matches_kron(self, rng):
+        layout = RegisterLayout.of(a=2, b=3, c=2)
+        state = haar_random_state(layout, rng)
+        u_ab = np.linalg.qr(rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6)))[0]
+        expected = np.einsum(
+            "xyab,abc->xyc", u_ab.reshape(2, 3, 2, 3), state.as_array()
+        )
+        state.apply_unitary(["a", "b"], u_ab)
+        np.testing.assert_allclose(state.as_array(), expected, atol=1e-12)
+
+    def test_non_adjacent_registers(self, rng):
+        layout = RegisterLayout.of(a=2, b=3, c=2)
+        state = haar_random_state(layout, rng)
+        u_ac = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        expected = np.einsum(
+            "xzac,abc->xbz", u_ac.reshape(2, 2, 2, 2), state.as_array()
+        )
+        state.apply_unitary(["a", "c"], u_ac)
+        np.testing.assert_allclose(state.as_array(), expected, atol=1e-12)
+
+    def test_duplicate_registers_rejected(self):
+        layout = RegisterLayout.of(a=2, b=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_unitary(["a", "a"], np.eye(4))
+
+
+class TestControlledQubitUnitary:
+    def test_selects_matrix_by_control_value(self):
+        layout = RegisterLayout.of(c=3, t=2)
+        mats = np.stack([np.eye(2), np.array([[0, 1], [1, 0]]), np.eye(2)]).astype(
+            complex
+        )
+        state = StateVector.basis(layout, {"c": 1, "t": 0})
+        state.apply_controlled_qubit_unitary("c", "t", mats)
+        assert state.amplitude({"c": 1, "t": 1}) == pytest.approx(1.0)
+        state2 = StateVector.basis(layout, {"c": 0, "t": 0})
+        state2.apply_controlled_qubit_unitary("c", "t", mats)
+        assert state2.amplitude({"c": 0, "t": 0}) == pytest.approx(1.0)
+
+    def test_target_before_control_axis(self, rng):
+        layout = RegisterLayout.of(t=2, c=3)
+        state = haar_random_state(layout, rng)
+        mats = np.stack(
+            [np.eye(2), np.array([[0, 1], [1, 0]]), np.array([[1, 0], [0, -1]])]
+        ).astype(complex)
+        ref = state.as_array().copy()
+        expected = np.empty_like(ref)
+        for c in range(3):
+            expected[:, c] = mats[c] @ ref[:, c]
+        state.apply_controlled_qubit_unitary("c", "t", mats)
+        np.testing.assert_allclose(state.as_array(), expected, atol=1e-12)
+
+    def test_target_must_be_qubit(self):
+        layout = RegisterLayout.of(c=3, t=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_controlled_qubit_unitary("c", "t", np.zeros((3, 2, 2)))
+
+    def test_mats_shape_checked(self):
+        layout = RegisterLayout.of(c=3, t=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_controlled_qubit_unitary("c", "t", np.zeros((2, 2, 2)))
+
+
+class TestPhases:
+    def test_phase_slice_only_touches_slice(self, rng):
+        layout = RegisterLayout.of(i=3, w=2)
+        state = haar_random_state(layout, rng)
+        ref = state.as_array().copy()
+        state.apply_phase_slice("w", 0, 1j)
+        np.testing.assert_allclose(state.as_array()[:, 0], 1j * ref[:, 0], atol=1e-15)
+        np.testing.assert_allclose(state.as_array()[:, 1], ref[:, 1], atol=1e-15)
+
+    def test_phase_must_be_unit_modulus(self):
+        layout = RegisterLayout.of(w=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(NotUnitaryError):
+            state.apply_phase_slice("w", 0, 2.0)
+
+    def test_global_phase(self, rng):
+        layout = RegisterLayout.of(i=3)
+        state = haar_random_state(layout, rng)
+        ref = state.flat()
+        state.apply_global_phase(-1.0)
+        np.testing.assert_allclose(state.flat(), -ref, atol=1e-15)
+
+    def test_global_phase_unit_modulus_required(self):
+        layout = RegisterLayout.of(i=3)
+        state = StateVector.zero(layout)
+        with pytest.raises(NotUnitaryError):
+            state.apply_global_phase(0.5)
+
+
+class TestProjectorPhase:
+    def test_basis_projector_phase(self):
+        layout = RegisterLayout.of(i=3, w=2)
+        state = StateVector.basis(layout, {"i": 0, "w": 0})
+        state.apply_projector_phase({"i": 0, "w": 0}, -1.0)
+        assert state.amplitude({"i": 0, "w": 0}) == pytest.approx(-1.0)
+
+    def test_orthogonal_component_untouched(self):
+        layout = RegisterLayout.of(i=3, w=2)
+        state = StateVector.basis(layout, {"i": 1, "w": 0})
+        state.apply_projector_phase({"i": 0, "w": 0}, -1.0)
+        assert state.amplitude({"i": 1, "w": 0}) == pytest.approx(1.0)
+
+    def test_vector_projector_matches_dense(self, rng):
+        layout = RegisterLayout.of(i=4, w=2)
+        vec = np.full(4, 0.5, dtype=np.complex128)
+        phase = np.exp(1j * 0.7)
+
+        def apply(st):
+            return st.apply_projector_phase({"i": vec, "w": 0}, phase)
+
+        mat = operator_matrix(layout, apply)
+        proj = np.kron(np.outer(vec, vec.conj()), np.diag([1.0, 0.0]))
+        expected = np.eye(8) + (phase - 1.0) * proj
+        np.testing.assert_allclose(mat, expected, atol=1e-12)
+
+    def test_is_unitary_for_unit_phase(self, rng):
+        layout = RegisterLayout.of(i=4, w=2)
+        state = haar_random_state(layout, rng)
+        vec = np.full(4, 0.5, dtype=np.complex128)
+        state.apply_projector_phase({"i": vec, "w": 0}, np.exp(1j * 1.3))
+        assert state.norm() == pytest.approx(1.0, abs=1e-12)
+
+    def test_requires_unit_factor_vector(self):
+        layout = RegisterLayout.of(i=4, w=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_projector_phase({"i": np.ones(4), "w": 0}, -1.0)
+
+    def test_requires_unit_phase(self):
+        layout = RegisterLayout.of(i=4)
+        state = StateVector.zero(layout)
+        with pytest.raises(NotUnitaryError):
+            state.apply_projector_phase({"i": 0}, 3.0)
+
+    def test_empty_factors_rejected(self):
+        layout = RegisterLayout.of(i=4)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.apply_projector_phase({}, -1.0)
+
+
+class TestAnalysisHelpers:
+    def test_marginal_probabilities(self):
+        layout = RegisterLayout.of(i=2, w=2)
+        amps = np.array([[0.6, 0.0], [0.0, 0.8]], dtype=np.complex128)
+        state = StateVector.from_array(layout, amps)
+        np.testing.assert_allclose(state.marginal_probabilities("i"), [0.36, 0.64])
+        np.testing.assert_allclose(state.marginal_probabilities("w"), [0.36, 0.64])
+
+    def test_probability_of_partial_assignment(self):
+        layout = RegisterLayout.of(i=2, w=2)
+        amps = np.array([[0.6, 0.0], [0.0, 0.8]], dtype=np.complex128)
+        state = StateVector.from_array(layout, amps)
+        assert state.probability_of({"i": 1}) == pytest.approx(0.64)
+        assert state.probability_of({"i": 1, "w": 0}) == pytest.approx(0.0)
+
+    def test_project_basis_returns_sub_layout(self):
+        layout = RegisterLayout.of(i=2, s=3, w=2)
+        state = StateVector.basis(layout, {"i": 1, "s": 0, "w": 0})
+        projected = state.project_basis({"s": 0, "w": 0})
+        assert projected.layout.names == ("i",)
+        assert projected.amplitude({"i": 1}) == pytest.approx(1.0)
+
+    def test_project_basis_unnormalized(self):
+        layout = RegisterLayout.of(i=2, w=2)
+        amps = np.array([[0.6, 0.0], [0.0, 0.8]], dtype=np.complex128)
+        state = StateVector.from_array(layout, amps)
+        projected = state.project_basis({"w": 0})
+        assert projected.norm() == pytest.approx(0.6)
+
+    def test_cannot_project_everything(self):
+        layout = RegisterLayout.of(i=2)
+        state = StateVector.zero(layout)
+        with pytest.raises(ValidationError):
+            state.project_basis({"i": 0})
+
+    def test_tensor_product(self):
+        a = StateVector.basis(RegisterLayout.of(x=2), {"x": 1})
+        b = StateVector.basis(RegisterLayout.of(y=3), {"y": 2})
+        joined = a.tensor(b)
+        assert joined.layout.names == ("x", "y")
+        assert joined.amplitude({"x": 1, "y": 2}) == pytest.approx(1.0)
+
+    def test_tensor_name_collision(self):
+        a = StateVector.zero(RegisterLayout.of(x=2))
+        b = StateVector.zero(RegisterLayout.of(x=3))
+        with pytest.raises(ValidationError):
+            a.tensor(b)
+
+    def test_overlap_and_distance(self):
+        layout = RegisterLayout.of(i=2)
+        a = StateVector.basis(layout, {"i": 0})
+        b = StateVector.basis(layout, {"i": 1})
+        assert a.overlap(b) == 0
+        assert a.distance(b) == pytest.approx(np.sqrt(2))
+        assert a.fidelity_pure(a) == pytest.approx(1.0)
+
+    def test_layout_mismatch_raises(self):
+        a = StateVector.zero(RegisterLayout.of(i=2))
+        b = StateVector.zero(RegisterLayout.of(j=2))
+        with pytest.raises(ValidationError):
+            a.overlap(b)
+
+    def test_normalize(self):
+        layout = RegisterLayout.of(i=2)
+        state = StateVector.from_array(layout, np.array([3.0, 4.0]))
+        state.normalize()
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_normalize_zero_vector_raises(self):
+        layout = RegisterLayout.of(i=2)
+        state = StateVector.from_array(layout, np.zeros(2))
+        with pytest.raises(ValidationError):
+            state.normalize()
+
+
+class TestStrictMode:
+    def test_strict_mode_passes_clean_unitaries(self, rng):
+        layout = RegisterLayout.of(i=4, w=2)
+        with strict_mode():
+            state = haar_random_state(layout, rng)
+            state.apply_phase_slice("w", 0, -1.0)
+            state.apply_permutation("w", np.array([1, 0]))
+
+    def test_strict_mode_traps_norm_drift(self):
+        layout = RegisterLayout.of(i=2)
+        state = StateVector.zero(layout)
+        with strict_mode():
+            # Corrupt the buffer behind the API's back, then do a "unitary".
+            state.as_array()[1] = 5.0
+            with pytest.raises(NotUnitaryError):
+                state.apply_global_phase(-1.0)

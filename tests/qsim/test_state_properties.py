@@ -1,0 +1,133 @@
+"""Property-based invariants of the statevector kernels (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.qsim import RegisterLayout, StateVector, haar_random_state
+
+dims = st.integers(min_value=2, max_value=6)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _random_state(i_dim, s_dim, seed):
+    layout = RegisterLayout.of(i=i_dim, s=s_dim, w=2)
+    return haar_random_state(layout, np.random.default_rng(seed))
+
+
+@settings(max_examples=40, deadline=None)
+@given(i_dim=dims, s_dim=dims, seed=seeds, data=st.data())
+def test_value_shift_preserves_norm(i_dim, s_dim, seed, data):
+    state = _random_state(i_dim, s_dim, seed)
+    shifts = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=s_dim - 1),
+                min_size=i_dim,
+                max_size=i_dim,
+            )
+        )
+    )
+    state.apply_value_shift("i", "s", shifts)
+    assert abs(state.norm() - 1.0) < 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(i_dim=dims, s_dim=dims, seed=seeds, data=st.data())
+def test_value_shift_roundtrip_is_identity(i_dim, s_dim, seed, data):
+    state = _random_state(i_dim, s_dim, seed)
+    before = state.flat()
+    shifts = np.array(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=3 * s_dim),
+                min_size=i_dim,
+                max_size=i_dim,
+            )
+        )
+    )
+    state.apply_value_shift("i", "s", shifts, sign=1)
+    state.apply_value_shift("i", "s", shifts, sign=-1)
+    np.testing.assert_allclose(state.flat(), before, atol=1e-10)
+
+
+@settings(max_examples=40, deadline=None)
+@given(i_dim=dims, seed=seeds)
+def test_permutation_preserves_probability_multiset(i_dim, seed):
+    layout = RegisterLayout.of(x=i_dim)
+    state = haar_random_state(layout, np.random.default_rng(seed))
+    probs_before = np.sort(state.marginal_probabilities("x"))
+    perm = np.random.default_rng(seed + 1).permutation(i_dim)
+    state.apply_permutation("x", perm)
+    probs_after = np.sort(state.marginal_probabilities("x"))
+    np.testing.assert_allclose(probs_after, probs_before, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(i_dim=dims, seed=seeds, angle=st.floats(min_value=-np.pi, max_value=np.pi))
+def test_projector_phase_preserves_norm(i_dim, seed, angle):
+    layout = RegisterLayout.of(i=i_dim, w=2)
+    state = haar_random_state(layout, np.random.default_rng(seed))
+    vec = np.full(i_dim, 1.0 / np.sqrt(i_dim), dtype=np.complex128)
+    state.apply_projector_phase({"i": vec, "w": 0}, np.exp(1j * angle))
+    assert abs(state.norm() - 1.0) < 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(i_dim=dims, seed=seeds, angle=st.floats(min_value=-np.pi, max_value=np.pi))
+def test_projector_phase_inverse(i_dim, seed, angle):
+    layout = RegisterLayout.of(i=i_dim, w=2)
+    state = haar_random_state(layout, np.random.default_rng(seed))
+    before = state.flat()
+    vec = np.full(i_dim, 1.0 / np.sqrt(i_dim), dtype=np.complex128)
+    state.apply_projector_phase({"i": vec, "w": 0}, np.exp(1j * angle))
+    state.apply_projector_phase({"i": vec, "w": 0}, np.exp(-1j * angle))
+    np.testing.assert_allclose(state.flat(), before, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(c_dim=dims, seed=seeds)
+def test_controlled_qubit_unitary_preserves_norm(c_dim, seed):
+    layout = RegisterLayout.of(c=c_dim, t=2)
+    gen = np.random.default_rng(seed)
+    state = haar_random_state(layout, gen)
+    # Random per-control unitaries via QR.
+    mats = np.stack(
+        [
+            np.linalg.qr(gen.normal(size=(2, 2)) + 1j * gen.normal(size=(2, 2)))[0]
+            for _ in range(c_dim)
+        ]
+    )
+    state.apply_controlled_qubit_unitary("c", "t", mats)
+    assert abs(state.norm() - 1.0) < 1e-10
+
+
+@settings(max_examples=30, deadline=None)
+@given(i_dim=dims, s_dim=dims, seed=seeds)
+def test_marginals_sum_to_one(i_dim, s_dim, seed):
+    state = _random_state(i_dim, s_dim, seed)
+    for reg in ("i", "s", "w"):
+        probs = state.marginal_probabilities(reg)
+        assert abs(probs.sum() - 1.0) < 1e-10
+        assert np.all(probs >= -1e-15)
+
+
+@settings(max_examples=30, deadline=None)
+@given(i_dim=dims, seed=seeds)
+def test_overlap_cauchy_schwarz(i_dim, seed):
+    layout = RegisterLayout.of(i=i_dim)
+    gen = np.random.default_rng(seed)
+    a = haar_random_state(layout, gen)
+    b = haar_random_state(layout, gen)
+    assert abs(a.overlap(b)) <= 1.0 + 1e-12
+
+
+@settings(max_examples=30, deadline=None)
+@given(i_dim=dims, seed=seeds)
+def test_distance_triangle_inequality(i_dim, seed):
+    layout = RegisterLayout.of(i=i_dim)
+    gen = np.random.default_rng(seed)
+    a = haar_random_state(layout, gen)
+    b = haar_random_state(layout, gen)
+    c = haar_random_state(layout, gen)
+    assert a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12

@@ -1,0 +1,44 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_no_command_prints_help(self, capsys):
+        code = main([])
+        assert code == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_demo(self, capsys):
+        code = main(["demo"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certificate: VALID" in out
+
+    def test_sample_sequential(self, capsys):
+        code = main(["sample", "--universe", "16", "--total", "20",
+                     "--machines", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fidelity" in out
+
+    def test_sample_parallel(self, capsys):
+        code = main(["sample", "--model", "parallel", "--universe", "16",
+                     "--total", "20", "--machines", "2", "--seed", "3"])
+        assert code == 0
+        assert "parallel" in capsys.readouterr().out
+
+    def test_estimate(self, capsys):
+        code = main(["estimate", "--universe", "32", "--total", "4",
+                     "--bits", "7", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "M̂" in out or "est." in out
+
+    def test_experiments_listing(self, capsys):
+        code = main(["experiments"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E01" in out and "E18" in out

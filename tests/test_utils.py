@@ -1,0 +1,163 @@
+"""Utility modules: rng, validation, tables, timing, config, errors."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import CONFIG, strict_mode
+from repro.errors import (
+    CapacityError,
+    EmptyDatabaseError,
+    ObliviousnessError,
+    PlanInfeasibleError,
+    ReproError,
+    SimulationLimitError,
+    ValidationError,
+)
+from repro.utils import (
+    Stopwatch,
+    Table,
+    as_generator,
+    child_generators,
+    require,
+    require_in_range,
+    require_index,
+    require_nonneg_int,
+    require_pos_int,
+    require_prob,
+    spawn_seed,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(5).integers(0, 100, 10)
+        b = as_generator(5).integers(0, 100, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        gen = as_generator(np.random.SeedSequence(42))
+        assert isinstance(gen, np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+    def test_spawn_seed_range(self):
+        seed = spawn_seed(1)
+        assert 0 <= seed < 2**63
+
+    def test_child_generators_independent(self):
+        children = child_generators(0, 3)
+        draws = [g.integers(0, 1000) for g in children]
+        assert len(children) == 3
+        # Extremely unlikely all equal if independent.
+        assert len(set(int(d) for d in draws)) > 1
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError, match="nope"):
+            require(False, "nope")
+
+    def test_pos_int(self):
+        assert require_pos_int(3, "x") == 3
+        assert require_pos_int(np.int64(3), "x") == 3
+        for bad in (0, -1, 1.5, True, "3"):
+            with pytest.raises(ValidationError):
+                require_pos_int(bad, "x")
+
+    def test_nonneg_int(self):
+        assert require_nonneg_int(0, "x") == 0
+        with pytest.raises(ValidationError):
+            require_nonneg_int(-1, "x")
+
+    def test_index(self):
+        assert require_index(2, 3, "x") == 2
+        with pytest.raises(ValidationError):
+            require_index(3, 3, "x")
+
+    def test_prob(self):
+        assert require_prob(0.5, "p") == 0.5
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValidationError):
+                require_prob(bad, "p")
+
+    def test_in_range(self):
+        assert require_in_range(1.0, 0.0, 2.0, "x") == 1.0
+        with pytest.raises(ValidationError):
+            require_in_range(3.0, 0.0, 2.0, "x")
+
+
+class TestStopwatch:
+    def test_laps_accumulate(self):
+        sw = Stopwatch()
+        with sw.lap("a"):
+            time.sleep(0.001)
+        with sw.lap("a"):
+            time.sleep(0.001)
+        assert sw.laps["a"] >= 0.002
+        assert sw.total() == pytest.approx(sum(sw.laps.values()))
+
+    def test_report_mentions_laps(self):
+        sw = Stopwatch()
+        with sw.lap("build"):
+            pass
+        assert "build" in sw.report()
+        assert "total" in sw.report()
+
+
+class TestConfig:
+    def test_strict_mode_scoped(self):
+        assert not CONFIG.strict_checks
+        with strict_mode():
+            assert CONFIG.strict_checks
+        assert not CONFIG.strict_checks
+
+    def test_strict_mode_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with strict_mode():
+                raise RuntimeError("boom")
+        assert not CONFIG.strict_checks
+
+    def test_dense_dimension_guard(self):
+        with pytest.raises(SimulationLimitError) as excinfo:
+            CONFIG.require_dense_dimension(CONFIG.max_dense_dimension + 1)
+        assert excinfo.value.dimension == CONFIG.max_dense_dimension + 1
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ValidationError,
+            CapacityError,
+            EmptyDatabaseError,
+            ObliviousnessError,
+            PlanInfeasibleError,
+            SimulationLimitError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_capacity_is_validation(self):
+        assert issubclass(CapacityError, ValidationError)
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestTable:
+    def test_mixed_types(self):
+        table = Table("t", ["a", "b"])
+        table.add_row([1, 0.123456789])
+        rendered = table.render()
+        assert "0.1235" in rendered
