@@ -1,0 +1,28 @@
+# Developer entry points. `make test` is the tier-1 gate CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint bench-smoke bench e22
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed — skipping lint"; \
+	fi
+
+# Fast pass over the experiment harness: every bench executes once,
+# pytest-benchmark timing loops disabled.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e16_simulator_kernels.py \
+		benchmarks/bench_e22_backend_scaling.py -q --benchmark-disable
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+e22:
+	$(PYTHON) -m pytest benchmarks/bench_e22_backend_scaling.py -q --benchmark-disable

@@ -1,0 +1,155 @@
+"""E22 — backend scaling: wall-time and state memory vs universe size N.
+
+The refactor claim: the ``classes`` backend turns the sampler's state from
+``Θ(N·(ν+1)·2)`` dense amplitudes into ``Θ(ν)`` class cells, so reachable
+``N`` goes from the dense cap (``max_dense_dimension = 2²⁴``) to ``10⁶``
+and beyond, while small-``N`` runs get faster — the amplification loop
+does ``O(ν)`` work per iterate instead of ``O(N·ν)``.
+
+Every row records wall time per full sampling run, the quantum-state
+bytes the backend allocates, and the fidelity (always 1 — compression
+must not cost exactness).  The JSON artifact under
+``benchmarks/_results/E22.json`` is the perf-trajectory record.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import CONFIG
+from repro.core import ParallelSampler, SequentialSampler
+from repro.database import DistributedDatabase
+
+NU = 8
+N_MACHINES = 2
+BYTES_PER_AMP = 16  # complex128
+
+#: (model, backend) pairs under test.
+BACKENDS = [
+    ("sequential", "oracles"),
+    ("sequential", "subspace"),
+    ("sequential", "classes"),
+    ("parallel", "synced"),
+    ("parallel", "classes"),
+]
+
+#: Universe sizes; dense backends stop where their layout exceeds the cap.
+#: (2¹⁶ is the largest N where the (i, s, w) backends stay pleasant to
+#: time; the 10⁶ endpoint is classes-only territory.)
+UNIVERSES = [2**10, 2**13, 2**16, 10**6]
+
+
+def _instance(universe: int) -> DistributedDatabase:
+    """Sparse heavy-key instance: M = 10³ spread as joint count 8 on 125 keys."""
+    counts = np.zeros((N_MACHINES, universe), dtype=np.int64)
+    counts[0, :125] = 4
+    counts[1, :125] = 4
+    return DistributedDatabase.from_count_matrix(counts, nu=NU)
+
+
+def _state_bytes(model: str, backend: str, universe: int) -> int:
+    if backend == "classes":
+        return (NU + 1) * 2 * BYTES_PER_AMP
+    if backend == "subspace":
+        return universe * 2 * BYTES_PER_AMP
+    # oracles / synced: the (i, s, w) layout.
+    return universe * (NU + 1) * 2 * BYTES_PER_AMP
+
+
+def _dense_dimension(backend: str, universe: int) -> int:
+    if backend == "classes":
+        return 0  # never allocates a dense register space
+    if backend == "subspace":
+        return universe * 2
+    return universe * (NU + 1) * 2
+
+
+def _run_once(model: str, backend: str, db: DistributedDatabase) -> tuple[float, float]:
+    sampler = (
+        SequentialSampler(db, backend=backend)
+        if model == "sequential"
+        else ParallelSampler(db, backend=backend)
+    )
+    start = time.perf_counter()
+    result = sampler.run()
+    elapsed = time.perf_counter() - start
+    assert result.exact, f"{model}/{backend} lost exactness at N={db.universe}"
+    return elapsed, result.fidelity
+
+
+def test_e22_backend_scaling(report):
+    rows = []
+    trajectory = []
+    for universe in UNIVERSES:
+        db = _instance(universe)
+        for model, backend in BACKENDS:
+            if _dense_dimension(backend, universe) > CONFIG.max_dense_dimension:
+                rows.append(
+                    [model, backend, universe, "—", "—", "exceeds dense cap"]
+                )
+                trajectory.append(
+                    {
+                        "model": model,
+                        "backend": backend,
+                        "N": universe,
+                        "completed": False,
+                        "reason": "exceeds max_dense_dimension",
+                    }
+                )
+                continue
+            elapsed, fidelity = _run_once(model, backend, db)
+            state_bytes = _state_bytes(model, backend, universe)
+            rows.append(
+                [
+                    model,
+                    backend,
+                    universe,
+                    f"{elapsed * 1e3:.1f} ms",
+                    f"{state_bytes / 1024:.1f} KiB",
+                    f"F={fidelity:.6f}",
+                ]
+            )
+            trajectory.append(
+                {
+                    "model": model,
+                    "backend": backend,
+                    "N": universe,
+                    "completed": True,
+                    "wall_seconds": elapsed,
+                    "state_bytes": state_bytes,
+                    "fidelity": fidelity,
+                }
+            )
+    # The headline: classes completes the largest instance dense cannot touch.
+    classes_big = [
+        r for r in trajectory
+        if r["backend"] == "classes" and r["N"] == 10**6 and r["completed"]
+    ]
+    dense_big = [
+        r for r in trajectory
+        if r["backend"] in ("oracles", "synced") and r["N"] == 10**6 and r["completed"]
+    ]
+    assert len(classes_big) == 2 and not dense_big
+    report(
+        "E22",
+        "classes backend: O(ν) state memory reaches N = 10⁶ (dense caps at 2²⁴)",
+        ["model", "backend", "N", "wall", "state mem", "check"],
+        rows,
+        payload={"trajectory": trajectory, "nu": NU, "n_machines": N_MACHINES},
+    )
+
+
+@pytest.mark.parametrize("model,backend", BACKENDS)
+def test_e22_smoke_small(benchmark, model, backend):
+    """pytest-benchmark hook: per-backend timing on a common small instance."""
+    db = _instance(2**12)
+    sampler = (
+        SequentialSampler(db, backend=backend)
+        if model == "sequential"
+        else ParallelSampler(db, backend=backend)
+    )
+    result = benchmark(sampler.run)
+    assert result.exact

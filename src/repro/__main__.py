@@ -7,7 +7,7 @@ Commands
     full report (plan, query bill, certificate).
 ``sample``
     Sample a synthetic database with chosen parameters; flags:
-    ``--universe --total --machines --model --strategy --seed``.
+    ``--universe --total --machines --model --backend --strategy --seed``.
 ``estimate``
     Quantum-counting demo: estimate M without reading it.
 ``experiments``
@@ -20,7 +20,13 @@ import argparse
 import sys
 
 from .analysis.verify import certify_run
-from .core import ParallelSampler, SequentialSampler, estimate_overlap
+from .core import (
+    DEFAULT_BACKENDS,
+    ParallelSampler,
+    SequentialSampler,
+    backend_names,
+    estimate_overlap,
+)
 from .database import partition, zipf_dataset
 from .utils import Table
 
@@ -71,9 +77,19 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
+    backend = args.backend or DEFAULT_BACKENDS[args.model]
+    if backend not in backend_names(args.model):
+        print(
+            f"error: backend {backend!r} does not support the {args.model!r} "
+            f"model; choose from {', '.join(backend_names(args.model))}",
+            file=sys.stderr,
+        )
+        return 2
     db = _build_db(args)
     sampler = (
-        SequentialSampler(db) if args.model == "sequential" else ParallelSampler(db)
+        SequentialSampler(db, backend=backend)
+        if args.model == "sequential"
+        else ParallelSampler(db, backend=backend)
     )
     result = sampler.run()
     table = Table(
@@ -120,6 +136,13 @@ def main(argv: list[str] | None = None) -> int:
     sample.add_argument("--total", type=int, default=48)
     sample.add_argument("--machines", type=int, default=3)
     sample.add_argument("--model", choices=["sequential", "parallel"], default="sequential")
+    sample.add_argument(
+        "--backend",
+        choices=sorted(set(backend_names())),
+        default=None,
+        help="simulation backend (default: the model's fast dense path; "
+        "'classes' scales to million-element universes)",
+    )
     sample.add_argument("--strategy", default="round_robin")
     sample.add_argument("--seed", type=int, default=0)
 

@@ -34,6 +34,13 @@ class InstanceSpec:
         Optional explicit capacity ``ν`` (defaults to the tightest valid).
     tag:
         Free-form label carried into result rows.
+    backend:
+        Optional sampler-backend name (see
+        :func:`repro.core.backends.backend_names`); ``None`` leaves the
+        choice to the measurement function.  Always injected as the
+        ``backend`` column (``None`` when unset) and carried into row
+        labels, so one sweep can compare representations on identical
+        instances.
     """
 
     workload: WorkloadSpec
@@ -41,6 +48,7 @@ class InstanceSpec:
     strategy: str = "round_robin"
     nu: int | None = None
     tag: str = ""
+    backend: str | None = None
 
     def build(self, rng: object = None) -> DistributedDatabase:
         """Materialize the database (workload seed ⊥ partition seed)."""
@@ -52,8 +60,10 @@ class InstanceSpec:
         )
 
     def label(self) -> str:
-        """Row label: workload, sharding and machine count."""
+        """Row label: workload, sharding, machine count and backend."""
         suffix = f"/{self.tag}" if self.tag else ""
+        if self.backend is not None:
+            suffix += f"@{self.backend}"
         return f"{self.workload.label()}×{self.strategy}(n={self.n_machines}){suffix}"
 
 
@@ -101,6 +111,7 @@ def run_sweep(
             "M": db.total_count,
             "nu": db.nu,
         }
+        row["backend"] = spec.backend
         row.update(measure(db, spec))
         result.rows.append(row)
     return result
@@ -111,15 +122,21 @@ def grid(
     machine_counts: Sequence[int],
     strategies: Sequence[str] = ("round_robin",),
     nu: int | None = None,
+    backends: Sequence[str | None] = (None,),
 ) -> list[InstanceSpec]:
-    """The Cartesian product of workloads × machine counts × strategies."""
+    """The Cartesian product of workloads × machines × strategies × backends."""
     specs = []
     for workload in workloads:
         for n in machine_counts:
             for strategy in strategies:
-                specs.append(
-                    InstanceSpec(
-                        workload=workload, n_machines=n, strategy=strategy, nu=nu
+                for backend in backends:
+                    specs.append(
+                        InstanceSpec(
+                            workload=workload,
+                            n_machines=n,
+                            strategy=strategy,
+                            nu=nu,
+                            backend=backend,
+                        )
                     )
-                )
     return specs

@@ -6,13 +6,29 @@ default.  ``strict_checks`` turns on norm-preservation verification after
 every primitive state operation — invaluable in tests, measurable overhead
 in benchmarks — and can be toggled globally or via the context manager
 :func:`strict_mode`.
+
+Concurrency
+-----------
+``strict_checks`` is backed by a :class:`contextvars.ContextVar`, not a
+plain attribute.  Parameter sweeps run sampler instances on thread pools,
+and a mutable global flag would race: one worker entering
+:func:`strict_mode` would silently switch norm checking on (or off) for
+every other in-flight run.  With a context variable each thread (and each
+asyncio task) sees its own value; writing ``CONFIG.strict_checks = True``
+affects only the current context, and :func:`strict_mode` restores the
+precise prior state via the var's token even under exceptions.
 """
 
 from __future__ import annotations
 
 import contextlib
+from contextvars import ContextVar
 from dataclasses import dataclass
 from typing import Iterator
+
+#: Context-local storage for :attr:`NumericsConfig.strict_checks`.  The
+#: default applies to any context that never toggled the flag.
+_strict_checks: ContextVar[bool] = ContextVar("repro_strict_checks", default=False)
 
 
 @dataclass
@@ -31,17 +47,29 @@ class NumericsConfig:
     strict_checks:
         When True every :class:`~repro.qsim.state.StateVector` mutation
         verifies norm preservation and raises
-        :class:`~repro.errors.NotUnitaryError` on violation.
+        :class:`~repro.errors.NotUnitaryError` on violation.  Stored in a
+        :class:`~contextvars.ContextVar`, so the setting is scoped to the
+        current thread/task and safe under concurrent sweeps.
     max_dense_dimension:
         Guard rail for dense register simulations; exceeding it raises
         :class:`~repro.errors.SimulationLimitError` rather than attempting
-        a massive allocation.
+        a massive allocation.  The ``classes`` backend
+        (:class:`~repro.qsim.classvector.ClassVector`) is exempt — its
+        state is ``O(ν)`` regardless of ``N``.
     """
 
     atol: float = 1e-10
     fidelity_atol: float = 1e-9
-    strict_checks: bool = False
     max_dense_dimension: int = 2**24
+
+    @property
+    def strict_checks(self) -> bool:
+        """Context-local norm-checking flag (see the module docstring)."""
+        return _strict_checks.get()
+
+    @strict_checks.setter
+    def strict_checks(self, enabled: bool) -> None:
+        _strict_checks.set(bool(enabled))
 
     def require_dense_dimension(self, dim: int) -> None:
         """Raise :class:`SimulationLimitError` if ``dim`` is too large."""
@@ -64,15 +92,17 @@ CONFIG = NumericsConfig()
 def strict_mode(enabled: bool = True) -> Iterator[NumericsConfig]:
     """Temporarily toggle :attr:`NumericsConfig.strict_checks`.
 
+    The toggle is context-local (thread/task scoped) and restored exactly
+    — including under exceptions — via the context variable's token.
+
     Examples
     --------
     >>> from repro.config import strict_mode
     >>> with strict_mode():
     ...     pass  # every state mutation is norm-checked here
     """
-    previous = CONFIG.strict_checks
-    CONFIG.strict_checks = enabled
+    token = _strict_checks.set(bool(enabled))
     try:
         yield CONFIG
     finally:
-        CONFIG.strict_checks = previous
+        _strict_checks.reset(token)

@@ -16,6 +16,15 @@ from .amplitude import (
     s_chi_matrix,
     state_after_iterations,
 )
+from .backends import (
+    DEFAULT_BACKENDS,
+    SamplerBackend,
+    backend_names,
+    create_backend,
+    execute_sampling,
+    register_backend,
+    resolve_backend,
+)
 from .costs import (
     epsilon_condition_nu,
     parallel_round_count,
@@ -26,6 +35,7 @@ from .costs import (
     theoretical_sequential_queries,
 )
 from .distributing import (
+    ClassDistributingOperator,
     DirectDistributingOperator,
     OracleDistributingOperator,
     ParallelDistributingOperator,
@@ -54,6 +64,7 @@ from .schedule import QuerySchedule, ScheduleEntry
 from .sequential import SequentialSampler, sample_sequential
 from .target import (
     fidelity_with_target,
+    fidelity_with_target_classes,
     target_amplitudes,
     target_on_layout,
     target_state,
@@ -61,6 +72,8 @@ from .target import (
 
 __all__ = [
     "AmplificationPlan",
+    "ClassDistributingOperator",
+    "DEFAULT_BACKENDS",
     "DirectDistributingOperator",
     "InitialDecomposition",
     "OracleDistributingOperator",
@@ -68,16 +81,21 @@ __all__ = [
     "ParallelDistributingOperator",
     "ParallelSampler",
     "QuerySchedule",
+    "SamplerBackend",
     "SamplingResult",
     "ScheduleEntry",
     "SequentialSampler",
     "apply_q",
     "apply_s_chi",
     "apply_s_pi",
+    "backend_names",
     "bhmt_error_bound",
+    "create_backend",
     "epsilon_condition_nu",
     "estimate_overlap",
+    "execute_sampling",
     "fidelity_with_target",
+    "fidelity_with_target_classes",
     "grover_reps_for",
     "grover_rotation_matrix",
     "initial_decomposition",
@@ -88,6 +106,8 @@ __all__ = [
     "plain_grover_plan",
     "predicted_costs",
     "q_matrix",
+    "register_backend",
+    "resolve_backend",
     "sample_with_estimated_m",
     "reflection_about_initial",
     "rotation_blocks_from_counts",

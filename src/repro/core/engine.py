@@ -5,10 +5,12 @@ Both samplers run the identical Theorem 4.3/4.5 skeleton —
     ``F`` → ``D`` → [``Q(π,π)``]×m → optionally ``Q(φ,ϕ)``
 
 — differing only in how ``D`` touches the machines.  The engine takes the
-``D`` applier as a callable, so the sequential-oracle, subspace, synced-
-parallel and dense-parallel backends all execute literally the same
-control flow (which is also what makes the cross-backend equivalence
-tests meaningful).
+``D`` applier as a callable and drives the state through the substrate-
+agnostic operation surface (``apply_phase_slice``,
+``apply_pi_projector_phase``, ``apply_global_phase``), so the
+sequential-oracle, subspace, synced-parallel, dense-parallel and
+count-class backends all execute literally the same control flow (which
+is also what makes the cross-backend equivalence tests meaningful).
 """
 
 from __future__ import annotations
@@ -17,48 +19,66 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from ..qsim.fourier import uniform_state
-from ..qsim.state import StateVector
 from .exact_aa import AmplificationPlan
 
-DApplier = Callable[[StateVector, bool], StateVector]
+
+class AmplifiableState(Protocol):
+    """The operation surface the engine needs from a state substrate.
+
+    Satisfied by the dense :class:`~repro.qsim.state.StateVector` and the
+    compressed :class:`~repro.qsim.classvector.ClassVector` alike.
+    """
+
+    def apply_phase_slice(self, reg: str, value: int, phase: complex):  # pragma: no cover
+        ...
+
+    def apply_pi_projector_phase(
+        self, phase: complex, element_reg: str = "i", flag_reg: str = "w"
+    ):  # pragma: no cover
+        ...
+
+    def apply_global_phase(self, phase: complex):  # pragma: no cover
+        ...
+
+
+DApplier = Callable[[AmplifiableState, bool], AmplifiableState]
 
 
 class SupportsApply(Protocol):
     """Anything with the distributing-operator ``apply`` shape."""
 
-    def apply(self, state: StateVector, adjoint: bool = False) -> StateVector:  # pragma: no cover
+    def apply(self, state: AmplifiableState, adjoint: bool = False) -> AmplifiableState:  # pragma: no cover
         ...
 
 
-def apply_s_chi(state: StateVector, varphi: float, flag_reg: str = "w") -> StateVector:
+def apply_s_chi(state: AmplifiableState, varphi: float, flag_reg: str = "w") -> AmplifiableState:
     """``S_χ(φ)``: phase ``e^{iφ}`` on the ``flag = 0`` slice."""
     return state.apply_phase_slice(flag_reg, 0, np.exp(1j * varphi))
 
 
 def apply_s_pi(
-    state: StateVector, phi: float, element_reg: str = "i", flag_reg: str = "w"
-) -> StateVector:
+    state: AmplifiableState, phi: float, element_reg: str = "i", flag_reg: str = "w"
+) -> AmplifiableState:
     """``S_π(ϕ)``: phase ``e^{iϕ}`` on the ``F|0⟩ ⊗ |0⟩`` component.
 
     Implemented as the rank-one projector phase
     ``I + (e^{iϕ} − 1)|π⟩⟨π| ⊗ |0⟩⟨0|_w`` — exactly the operator defined
-    below Eq. (7) (the ``F`` basis only enters through ``F|0⟩ = |π⟩``).
+    below Eq. (7) (the ``F`` basis only enters through ``F|0⟩ = |π⟩``) —
+    via each substrate's ``apply_pi_projector_phase`` kernel (rank-one
+    dense update for :class:`StateVector`, ``O(ν)`` closed form for
+    :class:`ClassVector`).
     """
-    n_elements = state.layout.dim(element_reg)
-    return state.apply_projector_phase(
-        {element_reg: uniform_state(n_elements), flag_reg: 0}, np.exp(1j * phi)
-    )
+    return state.apply_pi_projector_phase(np.exp(1j * phi), element_reg, flag_reg)
 
 
 def apply_q(
-    state: StateVector,
+    state: AmplifiableState,
     d_apply: DApplier,
     varphi: float,
     phi: float,
     element_reg: str = "i",
     flag_reg: str = "w",
-) -> StateVector:
+) -> AmplifiableState:
     """One generalized iterate ``Q(φ, ϕ) = −D S_π(ϕ) D† S_χ(φ)``.
 
     The global ``−1`` is applied explicitly so the simulated amplitudes
@@ -73,13 +93,13 @@ def apply_q(
 
 
 def run_amplification(
-    state: StateVector,
+    state: AmplifiableState,
     plan: AmplificationPlan,
     d_apply: DApplier,
     element_reg: str = "i",
     flag_reg: str = "w",
-    on_step: Callable[[str, StateVector], None] | None = None,
-) -> StateVector:
+    on_step: Callable[[str, AmplifiableState], None] | None = None,
+) -> AmplifiableState:
     """Execute the full zero-error schedule on ``state``.
 
     ``state`` must already hold ``|π⟩`` on the element register and

@@ -5,8 +5,8 @@ only the distributing operator changes: Lemma 4.4 implements ``D`` with
 **4 rounds** of the joint parallel oracle (Eq. 3), independent of ``n``.
 Total cost: exactly ``4·(2·iterations + 1)`` rounds — ``Θ(√(νN/M))``.
 
-Backends
---------
+Backends (resolved through :mod:`repro.core.backends`)
+------------------------------------------------------
 ``"synced"``:
     Fast path on ``(i, s, w)``.  The Lemma 4.4 circuit keeps every
     ancilla register classically correlated with ``i`` and returns it to
@@ -16,23 +16,20 @@ Backends
     Honest simulation with explicit per-machine ``(pi_j, ps_j, pb_j)``
     ancilla triples — dimension grows like ``(2N(ν+1))^n``, so this is
     for validation on small instances (the cross-backend test).
+``"classes"``:
+    ``O(ν)``-memory count-class compression — same substrate the
+    sequential sampler uses, with Lemma 4.4's 4-rounds-per-``D`` ledger
+    accounting.  Reaches ``N ≥ 10⁶``.
 """
 
 from __future__ import annotations
 
 from ..database.distributed import DistributedDatabase
-from ..database.ledger import QueryLedger
-from ..errors import ValidationError
-from ..qsim.fourier import uniform_preparation_matrix
-from ..qsim.state import StateVector
-from .distributing import ParallelDistributingOperator
-from .engine import run_amplification
+from .backends import create_backend, execute_sampling, resolve_backend
+from .engine import AmplifiableState
 from .exact_aa import AmplificationPlan, solve_plan
 from .result import SamplingResult
 from .schedule import QuerySchedule
-from .target import fidelity_with_target
-
-_BACKENDS = ("synced", "dense")
 
 
 class ParallelSampler:
@@ -48,11 +45,10 @@ class ParallelSampler:
     (True, True)
     """
 
+    MODEL = "parallel"
+
     def __init__(self, db: DistributedDatabase, backend: str = "synced") -> None:
-        if backend not in _BACKENDS:
-            raise ValidationError(
-                f"unknown backend {backend!r}; choose from {_BACKENDS}"
-            )
+        resolve_backend(backend, self.MODEL)  # fail fast on unknown names
         self._db = db
         self._backend = backend
 
@@ -74,45 +70,14 @@ class ParallelSampler:
 
     # -- execution --------------------------------------------------------------
 
-    def initial_state(self) -> StateVector:
+    def initial_state(self) -> AmplifiableState:
         """``|π⟩`` on the element register, all ancillas zeroed."""
-        if self._backend == "dense":
-            layout = ParallelDistributingOperator.dense_layout(self._db)
-        else:
-            layout = ParallelDistributingOperator.synced_layout(self._db)
-        state = StateVector.zero(layout)
-        state.apply_local_unitary("i", uniform_preparation_matrix(self._db.universe))
-        return state
+        return create_backend(self._backend, self._db, self.MODEL).initial_state()
 
     def run(self) -> SamplingResult:
         """Execute the algorithm and return the audited result."""
-        plan = self.plan()
-        schedule = self.schedule()
-        ledger = QueryLedger(self._db.n_machines)
-        state = self.initial_state()
-        d_operator = ParallelDistributingOperator(
-            self._db, ledger=ledger, mode=self._backend
-        )
-
-        def d_apply(s: StateVector, adjoint: bool = False) -> StateVector:
-            return d_operator.apply(
-                s, element_reg="i", count_reg="s", flag_reg="w", adjoint=adjoint
-            )
-
-        run_amplification(state, plan, d_apply)
-        ledger.freeze()
-
-        fidelity = fidelity_with_target(self._db, state)
-        return SamplingResult(
-            model="parallel",
-            backend=self._backend,
-            plan=plan,
-            schedule=schedule,
-            ledger=ledger,
-            fidelity=fidelity,
-            output_probabilities=state.marginal_probabilities("i"),
-            final_state=state,
-            public_parameters=self._db.public_parameters(),
+        return execute_sampling(
+            self._db, self.MODEL, self._backend, self.plan(), self.schedule()
         )
 
 

@@ -8,7 +8,7 @@ from typing import Mapping
 import numpy as np
 
 from ..database.ledger import QueryLedger
-from ..qsim.state import StateVector
+from .engine import AmplifiableState
 from .exact_aa import AmplificationPlan
 from .schedule import QuerySchedule
 
@@ -35,8 +35,10 @@ class SamplingResult:
         Born distribution of the element register in the final state —
         should equal ``c_i/M`` exactly.
     final_state:
-        The full final :class:`StateVector` (kept for analysis; drop it
-        via :meth:`summary` for lightweight records).
+        The full final state — a dense :class:`~repro.qsim.state.StateVector`
+        or a compressed :class:`~repro.qsim.classvector.ClassVector`,
+        depending on the backend (kept for analysis; drop it via
+        :meth:`summary` for lightweight records).
     public_parameters:
         The database's public side ``(N, n, ν, M, κ_j)`` at run time.
     """
@@ -48,7 +50,7 @@ class SamplingResult:
     ledger: QueryLedger
     fidelity: float
     output_probabilities: np.ndarray
-    final_state: StateVector
+    final_state: AmplifiableState
     public_parameters: Mapping[str, object] = field(default_factory=dict)
 
     @property

@@ -6,8 +6,8 @@ flag — prepares ``|π⟩`` with ``F``, applies the distributing operator
 amplitude amplification.  Query cost: exactly
 ``2n·(2·iterations + 1)`` sequential calls — ``Θ(n√(νN/M))``.
 
-Backends
---------
+Backends (resolved through :mod:`repro.core.backends`)
+------------------------------------------------------
 ``"oracles"``:
     Executes Lemma 4.2's circuit literally: every oracle call is a real
     permutation of the counting register, recorded on the ledger by the
@@ -18,24 +18,22 @@ Backends
     returns to ``|0⟩`` after each ``D`` (Lemma 4.2's uncompute step), so
     the two backends agree amplitude-for-amplitude — a tested invariant.
     ~``ν+1``× less memory, same ledger.
+``"classes"``:
+    ``O(ν)``-memory count-class compression
+    (:class:`~repro.qsim.classvector.ClassVector`) — the amplification
+    dynamics only see ``i`` through ``c_i``, so one amplitude per
+    ``(count-class, flag)`` cell suffices.  Reaches ``N ≥ 10⁶``; same
+    ledger as the dense backends.
 """
 
 from __future__ import annotations
 
 from ..database.distributed import DistributedDatabase
-from ..database.ledger import QueryLedger
-from ..errors import ValidationError
-from ..qsim.fourier import uniform_preparation_matrix
-from ..qsim.register import RegisterLayout
-from ..qsim.state import StateVector
-from .distributing import DirectDistributingOperator, OracleDistributingOperator
-from .engine import run_amplification
+from .backends import create_backend, execute_sampling, resolve_backend
+from .engine import AmplifiableState
 from .exact_aa import AmplificationPlan, solve_plan
 from .result import SamplingResult
 from .schedule import QuerySchedule
-from .target import fidelity_with_target
-
-_BACKENDS = ("oracles", "subspace")
 
 
 class SequentialSampler:
@@ -46,8 +44,9 @@ class SequentialSampler:
     db:
         The distributed database to sample.
     backend:
-        ``"oracles"`` (literal Lemma 4.2 circuit) or ``"subspace"``
-        (Eq. 5 rotation form); see the module docstring.
+        Any registered backend supporting the sequential model —
+        ``"oracles"`` (default), ``"subspace"`` or ``"classes"``; see the
+        module docstring and :func:`repro.core.backends.backend_names`.
 
     Examples
     --------
@@ -58,6 +57,8 @@ class SequentialSampler:
     >>> result.exact
     True
     """
+
+    MODEL = "sequential"
 
     def __init__(
         self,
@@ -72,10 +73,7 @@ class SequentialSampler:
         cost drops to ``2n'·(2·iterations+1)`` with ``n'`` the number of
         nonempty-capacity machines — matching the Theorem 5.1 bound, whose
         ``Σ_j √(κ_j N/M)`` terms vanish at ``κ_j = 0`` (experiment E18)."""
-        if backend not in _BACKENDS:
-            raise ValidationError(
-                f"unknown backend {backend!r}; choose from {_BACKENDS}"
-            )
+        resolve_backend(backend, self.MODEL)  # fail fast on unknown names
         self._db = db
         self._backend = backend
         self._skip_zero_capacity = skip_zero_capacity
@@ -106,60 +104,27 @@ class SequentialSampler:
 
     # -- execution --------------------------------------------------------------
 
-    def initial_state(self) -> StateVector:
+    def initial_state(self) -> AmplifiableState:
         """``|π⟩`` on the element register, workspace zeroed."""
-        layout = self._layout()
-        state = StateVector.zero(layout)
-        state.apply_local_unitary("i", uniform_preparation_matrix(self._db.universe))
-        return state
+        return create_backend(
+            self._backend, self._db, self.MODEL, active_machines=self._restriction()
+        ).initial_state()
 
     def run(self) -> SamplingResult:
         """Execute the algorithm and return the audited result."""
-        plan = self.plan()
-        schedule = self.schedule()
-        ledger = QueryLedger(self._db.n_machines)
-        state = self.initial_state()
-        d_operator = self._distributing_operator(ledger)
-
-        if self._backend == "oracles":
-            def d_apply(s: StateVector, adjoint: bool = False) -> StateVector:
-                return d_operator.apply(
-                    s, element_reg="i", count_reg="s", flag_reg="w", adjoint=adjoint
-                )
-        else:
-            def d_apply(s: StateVector, adjoint: bool = False) -> StateVector:
-                return d_operator.apply(
-                    s, element_reg="i", flag_reg="w", adjoint=adjoint
-                )
-
-        run_amplification(state, plan, d_apply)
-        ledger.freeze()
-
-        fidelity = fidelity_with_target(self._db, state)
-        return SamplingResult(
-            model="sequential",
-            backend=self._backend,
-            plan=plan,
-            schedule=schedule,
-            ledger=ledger,
-            fidelity=fidelity,
-            output_probabilities=state.marginal_probabilities("i"),
-            final_state=state,
-            public_parameters=self._db.public_parameters(),
+        return execute_sampling(
+            self._db,
+            self.MODEL,
+            self._backend,
+            self.plan(),
+            self.schedule(),
+            active_machines=self._restriction(),
         )
 
     # -- internals --------------------------------------------------------------
 
-    def _layout(self) -> RegisterLayout:
-        if self._backend == "oracles":
-            return RegisterLayout.of(i=self._db.universe, s=self._db.nu + 1, w=2)
-        return RegisterLayout.of(i=self._db.universe, w=2)
-
-    def _distributing_operator(self, ledger: QueryLedger):
-        active = self.active_machines() if self._skip_zero_capacity else None
-        if self._backend == "oracles":
-            return OracleDistributingOperator(self._db, ledger=ledger, active_machines=active)
-        return DirectDistributingOperator(self._db, ledger=ledger, active_machines=active)
+    def _restriction(self) -> list[int] | None:
+        return self.active_machines() if self._skip_zero_capacity else None
 
 
 def sample_sequential(

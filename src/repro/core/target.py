@@ -48,3 +48,21 @@ def fidelity_with_target(
     """``|⟨ψ, 0…0 | state⟩|²`` — global-phase-invariant success measure."""
     reference = target_on_layout(db, state.layout, element_reg)
     return float(abs(reference.overlap(state)) ** 2)
+
+
+def fidelity_with_target_classes(db: DistributedDatabase, state) -> float:
+    """:func:`fidelity_with_target` for a count-class compressed state.
+
+    In class coordinates ``⟨ψ, 0|state⟩ = Σ_c N_c √(c/M) α[c, 0]`` — the
+    target amplitude ``√(c_i/M)`` is itself a function of the count class,
+    so the overlap contracts in ``O(ν)`` without expanding the state.
+    """
+    total = db.total_count
+    if total <= 0:
+        raise EmptyDatabaseError("the joint database is empty; |ψ⟩ is undefined")
+    class_values = np.arange(state.n_classes, dtype=np.float64)
+    target_per_class = np.sqrt(class_values / total)
+    overlap = np.sum(
+        state.class_sizes * target_per_class * state.class_amplitudes()[:, 0]
+    )
+    return float(abs(overlap) ** 2)

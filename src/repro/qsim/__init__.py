@@ -10,6 +10,7 @@ This package is the quantum-computer stand-in: named qudit registers
 (:mod:`~repro.qsim.fidelity`).
 """
 
+from .classvector import ClassVector
 from .density import (
     is_density_matrix,
     pure_density,
@@ -51,6 +52,7 @@ from .register import Register, RegisterLayout
 from .state import StateVector
 
 __all__ = [
+    "ClassVector",
     "MatrixOperator",
     "MeasurementRecord",
     "Register",

@@ -371,6 +371,21 @@ class StateVector:
         self._amps = self._amps + delta
         return self._after_unitary()
 
+    def apply_pi_projector_phase(
+        self, phase: complex, element_reg: str = "i", flag_reg: str = "w"
+    ) -> "StateVector":
+        """``S_π(ϕ) = I + (phase − 1)|π⟩⟨π| ⊗ |0⟩⟨0|_flag`` on this state.
+
+        The uniform-state special case of :meth:`apply_projector_phase`,
+        promoted to a named method so every sampler substrate (dense and
+        count-class compressed alike) exposes the same ``S_π`` entry point
+        to the amplification engine.
+        """
+        from .fourier import uniform_state
+
+        uniform = uniform_state(self._layout.dim(element_reg))
+        return self.apply_projector_phase({element_reg: uniform, flag_reg: 0}, phase)
+
     # -- non-unitary analysis helpers ---------------------------------------------
 
     def marginal_probabilities(self, reg: str) -> np.ndarray:

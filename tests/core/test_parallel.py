@@ -18,6 +18,11 @@ class TestExactness:
         result = sample_parallel(tiny_db, backend="dense")
         assert result.fidelity == pytest.approx(1.0, abs=1e-10)
 
+    def test_fidelity_one_classes(self, small_db):
+        result = sample_parallel(small_db, backend="classes")
+        assert result.fidelity == pytest.approx(1.0, abs=1e-10)
+        assert result.exact
+
     def test_output_distribution(self, small_db):
         result = sample_parallel(small_db)
         np.testing.assert_allclose(

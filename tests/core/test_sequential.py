@@ -9,13 +9,13 @@ from repro.errors import ValidationError
 
 
 class TestExactness:
-    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    @pytest.mark.parametrize("backend", ["oracles", "subspace", "classes"])
     def test_fidelity_one(self, small_db, backend):
         result = SequentialSampler(small_db, backend=backend).run()
         assert result.fidelity == pytest.approx(1.0, abs=1e-10)
         assert result.exact
 
-    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    @pytest.mark.parametrize("backend", ["oracles", "subspace", "classes"])
     def test_output_distribution_is_frequencies(self, small_db, backend):
         result = SequentialSampler(small_db, backend=backend).run()
         np.testing.assert_allclose(
@@ -41,7 +41,7 @@ class TestExactness:
 
 
 class TestQueryAccounting:
-    @pytest.mark.parametrize("backend", ["oracles", "subspace"])
+    @pytest.mark.parametrize("backend", ["oracles", "subspace", "classes"])
     def test_ledger_matches_closed_form(self, sparse_db, backend):
         sampler = SequentialSampler(sparse_db, backend=backend)
         result = sampler.run()

@@ -1,0 +1,147 @@
+"""The O(ν)-memory count-class compressed state (``classes`` substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.config import strict_mode
+from repro.core import u_rotation_blocks
+from repro.errors import NotUnitaryError, ValidationError
+from repro.qsim import ClassVector, StateVector
+
+
+@pytest.fixture
+def classes():
+    """8 elements in classes (counts) 0..3: sizes N_c = (3, 2, 2, 1)."""
+    return np.array([0, 0, 0, 1, 1, 2, 2, 3], dtype=np.int64)
+
+
+@pytest.fixture
+def state(classes):
+    return ClassVector.uniform(classes, 4)
+
+
+class TestConstruction:
+    def test_uniform_is_normalized(self, state):
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_uniform_matches_dense_pi(self, state):
+        dense = state.to_statevector()
+        expected = np.zeros((8, 2), dtype=np.complex128)
+        expected[:, 0] = 1.0 / np.sqrt(8)
+        np.testing.assert_allclose(dense.as_array(), expected)
+
+    def test_class_sizes(self, state):
+        np.testing.assert_array_equal(state.class_sizes, [3, 2, 2, 1])
+
+    def test_logical_layout(self, state):
+        assert state.layout.shape == (8, 2)
+        assert state.dimension == 16
+
+    def test_out_of_range_class_rejected(self):
+        with pytest.raises(ValidationError):
+            ClassVector(np.array([0, 5]), n_classes=4)
+
+    def test_bad_amp_shape_rejected(self, classes):
+        with pytest.raises(ValidationError):
+            ClassVector(classes, 4, amps=np.zeros((4, 3)))
+
+    def test_memory_independent_of_universe(self):
+        big = ClassVector.uniform(np.zeros(10**5, dtype=np.int64), 4)
+        assert big.class_amplitudes().size == 8  # (ν+1) × 2 cells only
+
+
+class TestKernelsAgainstDense:
+    """Every class-space kernel must equal the dense kernel elementwise."""
+
+    def _dense_twin(self, state):
+        return state.to_statevector()
+
+    def test_class_flag_unitary_is_dense_controlled_rotation(self, state, classes):
+        blocks = u_rotation_blocks(3)
+        dense = self._dense_twin(state)
+        # Dense equivalent: per-element blocks selected by the class map.
+        dense.apply_controlled_qubit_unitary("i", "w", blocks[classes])
+        state.apply_class_flag_unitary(blocks)
+        np.testing.assert_allclose(state.to_statevector().as_array(), dense.as_array(), atol=1e-12)
+
+    def test_phase_slice_matches_dense(self, state):
+        dense = self._dense_twin(state)
+        phase = np.exp(0.7j)
+        dense.apply_phase_slice("w", 0, phase)
+        state.apply_phase_slice("w", 0, phase)
+        np.testing.assert_allclose(state.to_statevector().as_array(), dense.as_array(), atol=1e-12)
+
+    def test_pi_projector_phase_matches_dense(self, state):
+        blocks = u_rotation_blocks(3)
+        state.apply_class_flag_unitary(blocks)  # leave the uniform state first
+        dense = self._dense_twin(state)
+        phase = np.exp(1.1j)
+        dense.apply_pi_projector_phase(phase)
+        state.apply_pi_projector_phase(phase)
+        np.testing.assert_allclose(state.to_statevector().as_array(), dense.as_array(), atol=1e-12)
+
+    def test_global_phase(self, state):
+        state.apply_global_phase(-1.0)
+        assert state.class_amplitudes()[0, 0] == pytest.approx(-1.0 / np.sqrt(8))
+
+    def test_marginals_match_dense(self, state):
+        blocks = u_rotation_blocks(3)
+        state.apply_class_flag_unitary(blocks)
+        dense = self._dense_twin(state)
+        for reg in ("i", "w"):
+            np.testing.assert_allclose(
+                state.marginal_probabilities(reg),
+                dense.marginal_probabilities(reg),
+                atol=1e-12,
+            )
+
+    def test_probability_of_matches_dense(self, state):
+        blocks = u_rotation_blocks(3)
+        state.apply_class_flag_unitary(blocks)
+        dense = self._dense_twin(state)
+        for assignment in ({"w": 0}, {"w": 1}, {"i": 5}, {"i": 7, "w": 1}):
+            assert state.probability_of(assignment) == pytest.approx(
+                dense.probability_of(assignment), abs=1e-12
+            )
+
+
+class TestUnitarityAndGuards:
+    def test_rotation_preserves_norm(self, state):
+        state.apply_class_flag_unitary(u_rotation_blocks(3))
+        assert state.norm() == pytest.approx(1.0)
+
+    def test_strict_mode_traps_norm_drift(self, state):
+        bad = np.tile(np.eye(2, dtype=np.complex128) * 2.0, (4, 1, 1))
+        with strict_mode():
+            with pytest.raises(NotUnitaryError):
+                state.apply_class_flag_unitary(bad)
+
+    def test_nonunit_phase_rejected(self, state):
+        with pytest.raises(NotUnitaryError):
+            state.apply_global_phase(0.5)
+        with pytest.raises(NotUnitaryError):
+            state.apply_phase_slice("w", 0, 2.0)
+
+    def test_element_phase_slice_rejected(self, state):
+        with pytest.raises(ValidationError):
+            state.apply_phase_slice("i", 3, -1.0)
+
+    def test_overlap_requires_same_class_map(self, state):
+        other = ClassVector.uniform(np.zeros(8, dtype=np.int64), 4)
+        with pytest.raises(ValidationError):
+            state.overlap(other)
+
+    def test_copy_is_independent(self, state):
+        twin = state.copy()
+        twin.apply_global_phase(-1.0)
+        assert state.class_amplitudes()[0, 0] != twin.class_amplitudes()[0, 0]
+
+    def test_overlap_and_fidelity(self, state):
+        assert state.overlap(state) == pytest.approx(1.0)
+        assert state.fidelity_pure(state) == pytest.approx(1.0)
+
+
+class TestDenseExpansion:
+    def test_to_statevector_roundtrip_norm(self, state):
+        assert isinstance(state.to_statevector(), StateVector)
+        assert state.to_statevector().norm() == pytest.approx(state.norm())

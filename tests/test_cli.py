@@ -30,6 +30,27 @@ class TestCli:
         assert code == 0
         assert "parallel" in capsys.readouterr().out
 
+    def test_sample_classes_backend(self, capsys):
+        code = main(["sample", "--backend", "classes", "--universe", "16",
+                     "--total", "20", "--machines", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "classes" in out
+
+    def test_sample_classes_backend_parallel(self, capsys):
+        code = main(["sample", "--model", "parallel", "--backend", "classes",
+                     "--universe", "16", "--total", "20", "--machines", "2",
+                     "--seed", "3"])
+        assert code == 0
+        assert "classes" in capsys.readouterr().out
+
+    def test_sample_rejects_model_incompatible_backend(self, capsys):
+        code = main(["sample", "--model", "sequential", "--backend", "dense",
+                     "--universe", "16", "--total", "20", "--machines", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not support" in err and "subspace" in err
+
     def test_estimate(self, capsys):
         code = main(["estimate", "--universe", "32", "--total", "4",
                      "--bits", "7", "--seed", "0"])
