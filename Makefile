@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench e22
+.PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,3 +26,13 @@ bench:
 
 e22:
 	$(PYTHON) -m pytest benchmarks/bench_e22_backend_scaling.py -q --benchmark-disable
+
+# E23: batched stacked-classes engine vs the per-instance loop.
+# Full run asserts the ≥5× instances/sec bar at B = 256; the smoke
+# variant (tiny B, no throughput assertion) is what CI executes.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_e23_batched_throughput.py -q --benchmark-disable
+
+bench-batch-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e23_batched_throughput.py -q \
+		--benchmark-disable -k smoke

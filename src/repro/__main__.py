@@ -8,6 +8,10 @@ Commands
 ``sample``
     Sample a synthetic database with chosen parameters; flags:
     ``--universe --total --machines --model --backend --strategy --seed``.
+    With ``--batch B`` the batched subsystem (:mod:`repro.batch`) runs
+    ``B`` independent instances of the recipe as stacked tensors on the
+    ``classes`` substrate, optionally fanned across ``--jobs`` worker
+    processes, and reports aggregate fidelity/throughput.
 ``estimate``
     Quantum-counting demo: estimate M without reading it.
 ``experiments``
@@ -52,6 +56,8 @@ _EXPERIMENTS = [
     ("E19", "Application — quantum mean estimation speedup", "bench_e19_mean_estimation"),
     ("E20", "Appendix B — the E/F decomposition of D_t", "bench_e20_appendix_b"),
     ("E21", "Intro motivation — fault tolerance via replication", "bench_e21_fault_tolerance"),
+    ("E22", "Scaling — backend wall-time/memory up to N = 10⁶", "bench_e22_backend_scaling"),
+    ("E23", "Scaling — batched engine ≥5× instances/sec at B = 256", "bench_e23_batched_throughput"),
 ]
 
 
@@ -76,7 +82,64 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sample_batch(args: argparse.Namespace) -> int:
+    import time
+
+    from .analysis.sweep import InstanceSpec
+    from .batch import run_batched
+    from .database.workloads import WorkloadSpec
+
+    if args.batch < 1:
+        print(f"error: --batch needs a positive instance count, got {args.batch}",
+              file=sys.stderr)
+        return 2
+    backend = args.backend or "classes"
+    if backend != "classes":
+        print(
+            f"error: --batch runs on the 'classes' substrate; backend {backend!r} "
+            "is not batchable",
+            file=sys.stderr,
+        )
+        return 2
+    spec = InstanceSpec(
+        workload=WorkloadSpec.of(
+            "zipf", universe=args.universe, total=args.total, exponent=1.2
+        ),
+        n_machines=args.machines,
+        strategy=args.strategy,
+        backend=backend,
+    )
+    start = time.perf_counter()
+    # The aggregate table reads audit columns only, so skip the O(N)
+    # per-instance output-distribution gather (the engine's serving fast
+    # path).
+    sweep = run_batched(
+        [spec] * args.batch,
+        model=args.model,
+        jobs=args.jobs,
+        rng=args.seed,
+        include_probabilities=False,
+    )
+    elapsed = time.perf_counter() - start
+    exact = sum(1 for row in sweep.rows if row["exact"])
+    table = Table(
+        f"batched {args.model} sampling × {args.batch} instances", ["metric", "value"]
+    )
+    table.add_row(["instances", str(len(sweep))])
+    table.add_row(["exact (F = 1)", f"{exact}/{len(sweep)}"])
+    table.add_row(["mean fidelity", f"{sum(sweep.column('fidelity')) / len(sweep):.9f}"])
+    table.add_row(["sequential queries", str(sum(sweep.column("sequential_queries")))])
+    table.add_row(["parallel rounds", str(sum(sweep.column("parallel_rounds")))])
+    table.add_row(["jobs", str(args.jobs or 1)])
+    table.add_row(["wall time", f"{elapsed:.3f} s"])
+    table.add_row(["throughput", f"{len(sweep) / elapsed:.0f} instances/s"])
+    print(table.render())
+    return 0 if exact == len(sweep) else 1
+
+
 def _cmd_sample(args: argparse.Namespace) -> int:
+    if args.batch:
+        return _cmd_sample_batch(args)
     backend = args.backend or DEFAULT_BACKENDS[args.model]
     if backend not in backend_names(args.model):
         print(
@@ -145,6 +208,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     sample.add_argument("--strategy", default="round_robin")
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="B",
+        help="run B independent instances through the batched stacked-classes "
+        "engine and report aggregate fidelity + throughput",
+    )
+    sample.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="J",
+        help="fan batches across J worker processes (only with --batch)",
+    )
 
     estimate = sub.add_parser("estimate", help="estimate M by quantum counting")
     estimate.add_argument("--universe", type=int, default=64)

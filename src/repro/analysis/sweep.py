@@ -15,6 +15,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..database.distributed import DistributedDatabase
 from ..database.partition import partition
 from ..database.workloads import WorkloadSpec
+from ..utils.pool import process_map
 from ..utils.rng import as_generator, spawn_seed
 
 
@@ -90,30 +91,60 @@ class SweepResult:
         return len(self.rows)
 
 
+def _measure_spec(
+    payload: tuple[
+        InstanceSpec,
+        object,
+        Callable[[DistributedDatabase, InstanceSpec], Mapping[str, object]],
+    ],
+) -> dict:
+    """Build and measure one spec (module-level so worker processes can run it)."""
+    spec, rng, measure = payload
+    db = spec.build(rng=rng)
+    row: dict = {
+        "label": spec.label(),
+        "n": db.n_machines,
+        "N": db.universe,
+        "M": db.total_count,
+        "nu": db.nu,
+    }
+    row["backend"] = spec.backend
+    row.update(measure(db, spec))
+    return row
+
+
 def run_sweep(
     specs: Iterable[InstanceSpec],
     measure: Callable[[DistributedDatabase, InstanceSpec], Mapping[str, object]],
     rng: object = None,
+    jobs: int | None = None,
 ) -> SweepResult:
     """Materialize each spec and measure it; returns collected rows.
 
     The measurement function returns a mapping of column → value; the
     driver injects ``label``, ``n``, ``N``, ``M``, ``nu`` automatically.
+
+    ``jobs > 1`` fans specs across a process pool (the same
+    :func:`~repro.utils.pool.process_map` path the batch driver uses):
+    child seeds are drawn per spec *up front, in spec order*, so rows are
+    deterministic given ``rng`` and identical for every ``jobs ≥ 2``
+    value, and they come back in spec order regardless of completion
+    order.  ``measure`` must then be a module-level (picklable)
+    function.  Per-worker config such as ``CONFIG.strict_checks`` is
+    isolated by construction — it is ContextVar-backed and workers are
+    separate processes (regression-tested).
+
+    With ``jobs`` unset the legacy in-process path runs: one shared
+    generator threaded through every build, bit-for-bit identical to
+    previous releases.
     """
     gen = as_generator(rng)
+    if jobs is not None and jobs > 1:
+        payloads = [(spec, spawn_seed(gen), measure) for spec in specs]
+        return SweepResult(rows=process_map(_measure_spec, payloads, jobs=jobs))
     result = SweepResult()
     for spec in specs:
-        db = spec.build(rng=gen)
-        row: dict = {
-            "label": spec.label(),
-            "n": db.n_machines,
-            "N": db.universe,
-            "M": db.total_count,
-            "nu": db.nu,
-        }
-        row["backend"] = spec.backend
-        row.update(measure(db, spec))
-        result.rows.append(row)
+        result.rows.append(_measure_spec((spec, gen, measure)))
     return result
 
 

@@ -1,0 +1,30 @@
+"""Batched execution: stacked ``classes`` engine + throughput driver.
+
+The scaling layer above :mod:`repro.core`: many sampling instances run
+as one tensor.
+
+:mod:`repro.batch.stacked`
+    :class:`StackedClassVector` — ``B`` count-class states as a single
+    ``(B, C, 2)`` amplitude tensor with per-instance class maps.
+:mod:`repro.batch.engine`
+    :func:`execute_sampling_batch` — the Theorem 4.3/4.5 amplification
+    loop over a whole batch at once, grouped by schedule shape, with
+    honest per-instance query ledgers.
+:mod:`repro.batch.driver`
+    :func:`run_batched` — spec-in/rows-out throughput driver with
+    deterministic seeding, batch packing and optional process fan-out.
+"""
+
+from .driver import DEFAULT_BATCH_SIZE, default_row, pack_batches, run_batched
+from .engine import cached_plan, execute_sampling_batch
+from .stacked import StackedClassVector
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "StackedClassVector",
+    "cached_plan",
+    "default_row",
+    "execute_sampling_batch",
+    "pack_batches",
+    "run_batched",
+]

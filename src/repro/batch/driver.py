@@ -1,0 +1,157 @@
+"""High-throughput sweep/serving driver over the batched engine.
+
+:func:`run_batched` is the traffic-facing entry point of the batch
+subsystem: it takes an iterable of
+:class:`~repro.analysis.sweep.InstanceSpec` (the same spec objects the
+sweep harness uses), materializes each with a deterministic child seed,
+packs instances into fixed-size batches for
+:func:`~repro.batch.engine.execute_sampling_batch`, optionally fans the
+batches across a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+streams one row per instance into a
+:class:`~repro.analysis.sweep.SweepResult` — ready for
+:mod:`repro.analysis.report` exactly like ``run_sweep`` output.
+
+Determinism and ordering are contracts, not best effort:
+
+* child seeds are drawn from the caller's ``rng`` *up front, in spec
+  order*, so the materialized instances — and therefore every row — are
+  identical for any ``jobs`` value;
+* rows come back in spec order regardless of which worker finished
+  first (:func:`~repro.utils.pool.process_map` collects in submission
+  order).
+
+Worker-side config isolation is inherited from :mod:`repro.config`:
+``strict_checks`` lives in a ContextVar and workers are separate
+processes, so per-worker toggles cannot leak (regression-tested in
+``tests/analysis/test_sweep.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..analysis.sweep import InstanceSpec, SweepResult
+from ..core.result import SamplingResult
+from ..database.distributed import DistributedDatabase
+from ..utils.pool import process_map
+from ..utils.rng import as_generator, spawn_seed
+from ..utils.validation import require_pos_int
+from .engine import execute_sampling_batch
+
+#: Default instances per stacked tensor.  Large enough to amortize the
+#: per-batch Python overhead, small enough that mixed-shape groups still
+#: fill (see bench_e23 for the measured plateau).
+DEFAULT_BATCH_SIZE = 256
+
+#: A row builder: ``(spec, db, result) → column mapping``.
+RowFn = Callable[[InstanceSpec, DistributedDatabase, SamplingResult], Mapping[str, object]]
+
+
+def default_row(
+    spec: InstanceSpec, db: DistributedDatabase, result: SamplingResult
+) -> dict[str, object]:
+    """The standard per-instance row: sweep columns + run audit fields.
+
+    Matches ``run_sweep``'s injected columns (``label``/``n``/``N``/
+    ``M``/``nu``/``backend``) so batched rows drop into the same report
+    tables, and keeps every value a plain Python scalar so rows cross
+    process boundaries cheaply.
+    """
+    return {
+        "label": spec.label(),
+        "n": db.n_machines,
+        "N": db.universe,
+        "M": db.total_count,
+        "nu": db.nu,
+        "backend": result.backend,
+        "model": result.model,
+        "batched": True,
+        "fidelity": float(result.fidelity),
+        "exact": bool(result.exact),
+        "grover_reps": int(result.plan.grover_reps),
+        "d_applications": int(result.plan.d_applications),
+        "sequential_queries": int(result.sequential_queries),
+        "parallel_rounds": int(result.parallel_rounds),
+    }
+
+
+def pack_batches(
+    items: Sequence[tuple[InstanceSpec, int]], batch_size: int
+) -> list[list[tuple[InstanceSpec, int]]]:
+    """Chunk ``(spec, seed)`` pairs into order-preserving batches."""
+    batch_size = require_pos_int(batch_size, "batch_size")
+    return [list(items[i : i + batch_size]) for i in range(0, len(items), batch_size)]
+
+
+def _run_batch(
+    payload: tuple[str, list[tuple[InstanceSpec, int]], RowFn, bool],
+) -> list[dict[str, object]]:
+    """Worker: materialize one batch, execute it stacked, build its rows.
+
+    Module-level (and single-argument) so :func:`process_map` can ship it
+    to worker processes.
+    """
+    model, batch, row_fn, include_probabilities = payload
+    dbs = [spec.build(rng=seed) for spec, seed in batch]
+    results = execute_sampling_batch(
+        dbs, model=model, include_probabilities=include_probabilities
+    )
+    return [
+        dict(row_fn(spec, db, result))
+        for (spec, _), db, result in zip(batch, dbs, results)
+    ]
+
+
+def run_batched(
+    specs: Iterable[InstanceSpec],
+    model: str = "sequential",
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    jobs: int | None = None,
+    rng: object = None,
+    row_fn: RowFn = default_row,
+    include_probabilities: bool = True,
+) -> SweepResult:
+    """Materialize, batch and execute many instances; collect result rows.
+
+    Parameters
+    ----------
+    specs:
+        Instance recipes, one result row each.  Specs may mix workloads,
+        universe sizes, machine counts and capacities freely — the
+        engine groups compatible schedules internally.
+    model:
+        Query model for the whole run (``"sequential"``/``"parallel"``).
+    batch_size:
+        Instances per stacked tensor (also the unit of work one process
+        executes when ``jobs > 1``).
+    jobs:
+        ``None``/``0``/``1`` execute in-process; larger values fan
+        batches across that many worker processes.  ``row_fn`` must then
+        be a module-level function and rows must pickle.
+    rng:
+        Seed for the deterministic per-spec child seeds; rows are
+        identical for any ``jobs`` value given the same ``rng``.
+    row_fn:
+        Per-instance row builder (default: :func:`default_row`).
+    include_probabilities:
+        Forwarded to the engine; switch off to skip the ``O(N)`` output
+        distribution per instance when only audit columns are needed.
+
+    Returns
+    -------
+    SweepResult
+        One row per spec, in spec order.
+    """
+    specs = list(specs)
+    gen = as_generator(rng)
+    seeded = [(spec, spawn_seed(gen)) for spec in specs]
+    batches = pack_batches(seeded, batch_size)
+    payloads = zip(
+        itertools.repeat(model),
+        batches,
+        itertools.repeat(row_fn),
+        itertools.repeat(include_probabilities),
+    )
+    rows_per_batch = process_map(_run_batch, payloads, jobs=jobs)
+    return SweepResult(rows=[row for rows in rows_per_batch for row in rows])

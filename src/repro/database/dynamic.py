@@ -52,6 +52,7 @@ class UpdateStream:
             require_index(u.machine, db.n_machines, "update.machine")
             require_index(u.element, db.universe, "update.element")
         self._applied = 0
+        self._class_state = None
 
     @property
     def database(self) -> DistributedDatabase:
@@ -68,6 +69,28 @@ class UpdateStream:
         """Updates applied so far."""
         return self._applied
 
+    def class_state(self):
+        """A live count-class view of the joint database, updated in O(1).
+
+        Builds a :class:`~repro.qsim.classvector.ClassVector` in ``|π⟩``
+        (one ``O(N)`` scan, on first call only) and thereafter keeps it
+        synchronized with the update stream via
+        :meth:`~repro.qsim.classvector.ClassVector.transfer_element` —
+        a ±1 joint-count change moves one element between adjacent count
+        classes, so the class map never needs rebuilding.  The state it
+        tracks is exactly the ``classes`` backend's initial state, kept
+        current at ``O(#updates)`` bookkeeping; wiring the samplers to
+        start from it (skipping their per-run ``O(nN)`` rebuild) is a
+        ROADMAP item.
+        """
+        if self._class_state is None:
+            from ..qsim.classvector import ClassVector
+
+            self._class_state = ClassVector.uniform(
+                self._db.joint_counts, self._db.nu + 1
+            )
+        return self._class_state
+
     def apply_next(self, count: int = 1) -> int:
         """Apply the next ``count`` updates; returns how many actually ran."""
         count = require_pos_int(count, "count")
@@ -75,10 +98,28 @@ class UpdateStream:
         while ran < count and self._applied < len(self._updates):
             update = self._updates[self._applied]
             machine = self._db.machine(update.machine)
+            new_class = None
+            if self._class_state is not None:
+                delta = 1 if update.kind == "insert" else -1
+                new_class = int(self._class_state.element_classes[update.element]) + delta
+                # Check the ν bound (and the empty-delete case) BEFORE
+                # touching the machine: Machine.insert only enforces the
+                # local κ_j, and a failure after the mutation would leave
+                # the stream position and class map behind the database —
+                # a retry would then double-apply the update.
+                if not 0 <= new_class < self._class_state.n_classes:
+                    raise ValidationError(
+                        f"update #{self._applied} ({update.kind} of element "
+                        f"{update.element}) would move its joint count to "
+                        f"{new_class}, outside [0, ν = "
+                        f"{self._class_state.n_classes - 1}]"
+                    )
             if update.kind == "insert":
                 machine.insert(update.element)
             else:
                 machine.remove(update.element)
+            if new_class is not None:
+                self._class_state.transfer_element(update.element, new_class)
             self._applied += 1
             ran += 1
         if ran:

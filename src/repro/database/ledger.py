@@ -50,29 +50,38 @@ class QueryLedger:
 
     # -- recording --------------------------------------------------------------
 
-    def record_machine_call(self, machine: int, adjoint: bool = False) -> None:
-        """One invocation of ``O_j`` (or its adjoint) on machine ``machine``."""
+    def record_machine_call(self, machine: int, adjoint: bool = False, count: int = 1) -> None:
+        """``count`` invocations of ``O_j`` (or its adjoint) on machine ``machine``.
+
+        ``count > 1`` records a block of identical calls in one step —
+        the tallies are pure counters, so this is observationally equal
+        to ``count`` single calls.  The batched engine uses it to charge
+        a whole amplification run's worth of Lemma 4.2 sandwiches without
+        a Python loop per oracle invocation.
+        """
         self._check_mutable()
         machine = require_index(machine, self._n, "machine")
+        count = require_pos_int(count, "count")
         if adjoint:
-            self._machines[machine].adjoint += 1
+            self._machines[machine].adjoint += count
         else:
-            self._machines[machine].forward += 1
+            self._machines[machine].forward += count
 
-    def record_parallel_round(self, adjoint: bool = False) -> None:
-        """One application of the joint parallel oracle ``O`` (Eq. 3).
+    def record_parallel_round(self, adjoint: bool = False, count: int = 1) -> None:
+        """``count`` applications of the joint parallel oracle ``O`` (Eq. 3).
 
         A round counts once toward :attr:`parallel_rounds` and once toward
         each machine's tally (the joint oracle is the tensor of all ``n``
         per-machine oracles).
         """
         self._check_mutable()
-        self._parallel_rounds += 1
+        count = require_pos_int(count, "count")
+        self._parallel_rounds += count
         for tally in self._machines:
             if adjoint:
-                tally.adjoint += 1
+                tally.adjoint += count
             else:
-                tally.forward += 1
+                tally.forward += count
 
     def freeze(self) -> "QueryLedger":
         """Disallow further recording (called when an algorithm finishes)."""

@@ -57,7 +57,8 @@ class ClassVector:
         :meth:`uniform` constructor for ``|π⟩ ⊗ |0⟩``).
     """
 
-    __slots__ = ("_element_classes", "_class_sizes", "_amps", "_expected_norm")
+    __slots__ = ("_element_classes", "_class_sizes", "_amps", "_expected_norm",
+                 "_owns_class_structure")
 
     def __init__(
         self,
@@ -90,6 +91,10 @@ class ClassVector:
                 )
         self._amps = arr
         self._expected_norm = self.norm()
+        # The class map may be the caller's array (np.asarray skips the
+        # copy), so ownership is never assumed: the first
+        # transfer_element copies before writing.
+        self._owns_class_structure = False
 
     # -- constructors ----------------------------------------------------------
 
@@ -101,13 +106,46 @@ class ClassVector:
         state._expected_norm = state.norm()
         return state
 
+    @classmethod
+    def from_parts(
+        cls,
+        element_classes: np.ndarray,
+        class_sizes: np.ndarray,
+        amps: np.ndarray,
+        expected_norm: float | None = None,
+    ) -> "ClassVector":
+        """Assemble from precomputed pieces, skipping validation.
+
+        The trusted fast path for callers that already hold a consistent
+        ``(class map, multiplicities, amplitudes)`` triple — the stacked
+        batch engine extracts thousands of per-instance states per run,
+        and re-deriving ``class_sizes`` via ``bincount`` there would put
+        an ``O(N)`` scan back into the per-instance cost this
+        representation exists to avoid.  The class map is *shared*, not
+        copied (copy-on-write via :meth:`transfer_element`).
+        """
+        out = cls.__new__(cls)
+        out._element_classes = element_classes
+        out._class_sizes = class_sizes
+        out._amps = np.array(amps, dtype=np.complex128, copy=True, order="C")
+        out._owns_class_structure = False
+        out._expected_norm = out.norm() if expected_norm is None else float(expected_norm)
+        return out
+
     def copy(self) -> "ClassVector":
-        """An independent deep copy (class map shared; it is immutable)."""
+        """An independent deep copy (class structure shared, copy-on-write).
+
+        The class map and multiplicities are shared between the copies
+        until either side calls :meth:`transfer_element`, which copies
+        them first (both sides drop ownership here).
+        """
         out = ClassVector.__new__(ClassVector)
         out._element_classes = self._element_classes
         out._class_sizes = self._class_sizes
         out._amps = self._amps.copy()
         out._expected_norm = self._expected_norm
+        out._owns_class_structure = False
+        self._owns_class_structure = False  # the copy now shares the arrays
         return out
 
     # -- basic queries ----------------------------------------------------------
@@ -220,6 +258,43 @@ class ClassVector:
             raise NotUnitaryError(f"phase must have unit modulus, got |{phase}| = {abs(phase)}")
         self._amps *= phase
         return self._after_unitary()
+
+    # -- dynamic updates ---------------------------------------------------------
+
+    def transfer_element(self, element: int, new_class: int) -> "ClassVector":
+        """Move one element to another count class in ``O(1)``.
+
+        The Section 3 dynamic-update remark in class coordinates: a ±1
+        change of element ``i``'s joint count moves it between *adjacent*
+        count classes, which here is one decrement and one increment of
+        the multiplicity table plus a class-map write — no ``O(N)``
+        rebuild.  (Any target class is accepted; elementary updates use
+        ``c_i ± 1``.)
+
+        This is a *database metadata* update, not a unitary: the element
+        now reads its amplitude from its new class's cell, so the state
+        norm may change.  The expected norm used by ``strict_checks`` is
+        refreshed accordingly.  Class structure shared with copies is
+        copied on first write (see :meth:`copy`).
+        """
+        if not 0 <= element < self.n_elements:
+            raise ValidationError(f"element {element} out of range [0, {self.n_elements})")
+        if not 0 <= new_class < self.n_classes:
+            raise ValidationError(
+                f"target class {new_class} out of range [0, {self.n_classes})"
+            )
+        old_class = int(self._element_classes[element])
+        if old_class == new_class:
+            return self
+        if not self._owns_class_structure:
+            self._element_classes = self._element_classes.copy()
+            self._class_sizes = self._class_sizes.copy()
+            self._owns_class_structure = True
+        self._element_classes[element] = new_class
+        self._class_sizes[old_class] -= 1.0
+        self._class_sizes[new_class] += 1.0
+        self._expected_norm = self.norm()
+        return self
 
     # -- non-unitary analysis helpers ---------------------------------------------
 

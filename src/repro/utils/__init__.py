@@ -1,5 +1,6 @@
 """Shared utilities: seeded randomness, validation, tables, timing."""
 
+from .pool import process_map
 from .rng import as_generator, child_generators, spawn_seed
 from .tables import Table, format_float, format_ratio
 from .timing import Stopwatch
@@ -19,6 +20,7 @@ __all__ = [
     "child_generators",
     "format_float",
     "format_ratio",
+    "process_map",
     "require",
     "require_in_range",
     "require_index",

@@ -1,0 +1,53 @@
+"""Shared process-pool fan-out for sweeps and the batch driver.
+
+Both :func:`repro.analysis.sweep.run_sweep` and
+:func:`repro.batch.driver.run_batched` scale across CPU cores the same
+way: pre-compute a deterministic payload per work item (so results do not
+depend on scheduling), submit every payload to a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and collect results in
+*submission* order — row-order stability is part of both drivers'
+contracts.  This module holds that one pattern so the two paths cannot
+drift apart.
+
+Per-worker config isolation comes for free: ``CONFIG.strict_checks`` is
+backed by a :class:`~contextvars.ContextVar` (see :mod:`repro.config`)
+and each worker is a separate process, so a worker toggling it can never
+leak into the parent or into sibling workers — a tested invariant.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+def process_map(fn: Callable[[P], R], payloads: Iterable[P], jobs: int | None = None) -> list[R]:
+    """Apply ``fn`` to every payload, optionally across worker processes.
+
+    Parameters
+    ----------
+    fn:
+        The work function.  Must be a module-level (picklable) callable
+        when ``jobs > 1``; closures and lambdas only work in-process.
+    payloads:
+        One argument per work item; must be picklable when ``jobs > 1``.
+    jobs:
+        ``None``, ``0`` or ``1`` run everything in-process (no pool, no
+        pickling constraints); ``jobs > 1`` fans out over that many
+        worker processes.
+
+    Returns
+    -------
+    list
+        Results in payload order, regardless of completion order.
+    """
+    items: Sequence[P] = list(payloads)
+    if jobs is None or jobs <= 1:
+        return [fn(p) for p in items]
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        # Executor.map preserves input order even when workers finish
+        # out of order, which is exactly the row-stability contract.
+        return list(pool.map(fn, items))

@@ -85,3 +85,50 @@ class TestGrid:
             strategies=("round_robin", "random"),
         )
         assert len(specs) == 2 * 3 * 2
+
+
+def _count_measure(db, spec):
+    """Module-level measure so worker processes can unpickle it."""
+    return {"metric": db.total_count, "counts": db.count_matrix.tolist()}
+
+
+def _strict_toggling_measure(db, spec):
+    """Flips the ContextVar-backed flag inside the worker and reports it."""
+    from repro.config import CONFIG
+
+    CONFIG.strict_checks = True
+    return {"worker_saw_strict": CONFIG.strict_checks}
+
+
+class TestProcessParallelSweep:
+    def test_jobs_rows_match_for_any_worker_count(self, spec):
+        specs = [spec] * 4
+        two = run_sweep(specs, _count_measure, rng=11, jobs=2)
+        three = run_sweep(specs, _count_measure, rng=11, jobs=3)
+        assert two.rows == three.rows
+        assert len(two) == 4
+
+    def test_jobs_preserve_spec_order(self, spec):
+        other = InstanceSpec(
+            workload=WorkloadSpec.of("uniform", universe=8, total=12),
+            n_machines=4,
+        )
+        result = run_sweep([spec, other, spec], _count_measure, rng=0, jobs=2)
+        assert result.column("n") == [2, 4, 2]
+
+    def test_jobs_one_is_the_legacy_sequential_path(self, spec):
+        # jobs=None and jobs=1 share the generator-threading code path,
+        # so they stay bit-for-bit identical to previous releases.
+        a = run_sweep([spec, spec], _count_measure, rng=11)
+        b = run_sweep([spec, spec], _count_measure, rng=11, jobs=1)
+        assert a.rows == b.rows
+
+    def test_strict_checks_isolated_per_worker(self, spec):
+        from repro.config import CONFIG
+
+        assert CONFIG.strict_checks is False
+        result = run_sweep([spec] * 3, _strict_toggling_measure, rng=0, jobs=2)
+        # Every worker saw its own toggle...
+        assert result.column("worker_saw_strict") == [True, True, True]
+        # ...and none of them leaked into the parent process/context.
+        assert CONFIG.strict_checks is False

@@ -1,0 +1,135 @@
+"""Batched-vs-sequential equivalence: the stacked engine must be invisible.
+
+The satellite contract: over a randomized ``(N, M, ν, n, B)`` grid, a
+batched run and ``B`` independent ``classes``-backend runs produce
+identical output probabilities, fidelities and query-ledger totals.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import execute_sampling_batch
+from repro.batch.engine import cached_plan
+from repro.config import strict_mode
+from repro.core import ParallelSampler, SequentialSampler
+from repro.database import DistributedDatabase
+from repro.errors import ValidationError
+
+
+def random_database(rng: np.random.Generator) -> DistributedDatabase:
+    """A random valid instance: N ∈ [16, 192], n ∈ [1, 4], ν ∈ [2, 9]."""
+    universe = int(rng.integers(16, 193))
+    n_machines = int(rng.integers(1, 5))
+    nu_data = int(rng.integers(1, 7))
+    support = int(rng.integers(1, max(2, universe // 2)))
+    joint = np.zeros(universe, dtype=np.int64)
+    keys = rng.choice(universe, size=support, replace=False)
+    joint[keys] = rng.integers(1, nu_data + 1, size=support)
+    # Split the joint counts across machines arbitrarily.
+    counts = np.zeros((n_machines, universe), dtype=np.int64)
+    for i in np.flatnonzero(joint):
+        split = rng.multinomial(joint[i], np.full(n_machines, 1.0 / n_machines))
+        counts[:, i] = split
+    nu = int(joint.max()) + int(rng.integers(0, 3))
+    return DistributedDatabase.from_count_matrix(counts, nu=nu)
+
+
+def reference_run(db: DistributedDatabase, model: str):
+    sampler = (
+        SequentialSampler(db, backend="classes")
+        if model == "sequential"
+        else ParallelSampler(db, backend="classes")
+    )
+    return sampler.run()
+
+
+@pytest.mark.parametrize("model", ["sequential", "parallel"])
+@pytest.mark.parametrize("batch_size,seed", [(3, 1), (7, 2), (17, 3)])
+def test_randomized_grid_equivalence(model, batch_size, seed):
+    rng = np.random.default_rng(1000 * seed)
+    dbs = [random_database(rng) for _ in range(batch_size)]
+    batched = execute_sampling_batch(dbs, model=model)
+    assert len(batched) == batch_size
+    for db, result in zip(dbs, batched):
+        reference = reference_run(db, model)
+        np.testing.assert_allclose(
+            result.output_probabilities, reference.output_probabilities, atol=1e-12
+        )
+        assert result.fidelity == pytest.approx(reference.fidelity, abs=1e-12)
+        assert result.exact and reference.exact
+        assert result.ledger.sequential_queries == reference.ledger.sequential_queries
+        assert result.ledger.parallel_rounds == reference.ledger.parallel_rounds
+        assert result.ledger.per_machine() == reference.ledger.per_machine()
+        assert result.schedule.fingerprint() == reference.schedule.fingerprint()
+        assert result.plan == reference.plan
+        np.testing.assert_allclose(
+            result.final_state.class_amplitudes(),
+            reference.final_state.class_amplitudes(),
+            atol=1e-12,
+        )
+
+
+class TestGrouping:
+    def test_mixed_schedule_shapes_preserve_input_order(self):
+        # Overlaps far apart → different grover_reps → multiple groups.
+        rng = np.random.default_rng(42)
+        dbs = []
+        for _ in range(4):
+            dbs.append(random_database(rng))
+        plans = {cached_plan(db.initial_overlap()).grover_reps for db in dbs}
+        # The seed is chosen so the batch genuinely spans several groups.
+        assert len(plans) > 1
+        batched = execute_sampling_batch(dbs, model="sequential")
+        for db, result in zip(dbs, batched):
+            assert result.public_parameters["N"] == db.universe
+            assert result.public_parameters["M"] == db.total_count
+
+    def test_plan_cache_shares_frozen_plans(self):
+        rng = np.random.default_rng(0)
+        db = random_database(rng)
+        copies = [db, db, db]
+        batched = execute_sampling_batch(copies, model="sequential")
+        assert batched[0].plan is batched[1].plan is batched[2].plan
+
+
+class TestEdges:
+    def test_empty_batch(self):
+        assert execute_sampling_batch([], model="sequential") == []
+
+    def test_single_instance_batch(self, small_db):
+        [result] = execute_sampling_batch([small_db], model="sequential")
+        reference = reference_run(small_db, "sequential")
+        assert result.fidelity == pytest.approx(reference.fidelity, abs=1e-12)
+        assert result.summary()["per_machine_queries"] == (
+            reference.summary()["per_machine_queries"]
+        )
+
+    def test_unknown_model_rejected(self, small_db):
+        with pytest.raises(ValidationError):
+            execute_sampling_batch([small_db], model="tensor")
+
+    def test_include_probabilities_false_skips_gather(self, small_db):
+        [result] = execute_sampling_batch(
+            [small_db], model="sequential", include_probabilities=False
+        )
+        assert result.output_probabilities is None
+        assert result.exact
+
+    def test_strict_mode_run_stays_exact(self, small_db, sparse_db):
+        with strict_mode():
+            results = execute_sampling_batch([small_db, sparse_db], model="parallel")
+        assert all(r.exact for r in results)
+
+    def test_million_element_instances_stack(self):
+        # The classes substrate's O(ν) state carries over: stacked runs
+        # never allocate anything proportional to N except the class maps.
+        universe = 10**6
+        counts = np.zeros((2, universe), dtype=np.int64)
+        counts[0, :125] = 4
+        counts[1, :125] = 4
+        db = DistributedDatabase.from_count_matrix(counts, nu=8)
+        results = execute_sampling_batch(
+            [db, db], model="sequential", include_probabilities=False
+        )
+        assert all(r.exact for r in results)
+        assert results[0].final_state.class_amplitudes().shape == (9, 2)

@@ -1,0 +1,101 @@
+"""The throughput driver: determinism, ordering, packing, process fan-out."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import InstanceSpec
+from repro.batch import DEFAULT_BATCH_SIZE, default_row, pack_batches, run_batched
+from repro.database import WorkloadSpec
+from repro.errors import ValidationError
+
+
+def specs(count=6, universe=64, total=24):
+    return [
+        InstanceSpec(
+            workload=WorkloadSpec.of("zipf", universe=universe, total=total),
+            n_machines=2 + (k % 2),
+            strategy="round_robin",
+            tag=f"inst{k}",
+        )
+        for k in range(count)
+    ]
+
+
+class TestRows:
+    def test_one_row_per_spec_in_spec_order(self):
+        result = run_batched(specs(), rng=0, batch_size=4)
+        assert len(result) == 6
+        for k, row in enumerate(result.rows):
+            assert f"inst{k}" in row["label"]
+
+    def test_rows_carry_sweep_and_audit_columns(self):
+        result = run_batched(specs(count=2), rng=0)
+        row = result.rows[0]
+        for column in ("label", "n", "N", "M", "nu", "backend", "fidelity",
+                       "exact", "sequential_queries", "parallel_rounds", "batched"):
+            assert column in row
+        assert row["backend"] == "classes"
+        assert row["batched"] is True
+        assert row["exact"] is True
+
+    def test_parallel_model_rows(self):
+        result = run_batched(specs(count=3), model="parallel", rng=0)
+        assert all(row["parallel_rounds"] > 0 for row in result.rows)
+        assert all(row["exact"] for row in result.rows)
+
+    def test_custom_row_fn(self):
+        result = run_batched(
+            specs(count=2), rng=0, row_fn=lambda spec, db, res: {"f": res.fidelity}
+        )
+        assert set(result.rows[0]) == {"f"}
+
+
+class TestDeterminism:
+    def test_same_rng_same_rows(self):
+        a = run_batched(specs(), rng=7, batch_size=2)
+        b = run_batched(specs(), rng=7, batch_size=2)
+        assert a.rows == b.rows
+
+    def test_batch_size_does_not_change_rows(self):
+        # Packing width can shift float reductions by an ulp (NumPy's
+        # pairwise summation blocks differently per row length), so
+        # fidelity is compared to 1e-12 and everything else exactly.
+        a = run_batched(specs(), rng=7, batch_size=2)
+        b = run_batched(specs(), rng=7, batch_size=DEFAULT_BATCH_SIZE)
+        for row_a, row_b in zip(a.rows, b.rows):
+            assert row_a["fidelity"] == pytest.approx(row_b["fidelity"], abs=1e-12)
+            scalar_a = {k: v for k, v in row_a.items() if k != "fidelity"}
+            scalar_b = {k: v for k, v in row_b.items() if k != "fidelity"}
+            assert scalar_a == scalar_b
+
+    def test_jobs_do_not_change_rows(self):
+        a = run_batched(specs(), rng=7, batch_size=2)
+        b = run_batched(specs(), rng=7, batch_size=2, jobs=2)
+        assert a.rows == b.rows
+
+
+class TestPacking:
+    def test_pack_batches_chunks_in_order(self):
+        items = [(None, k) for k in range(7)]
+        batches = pack_batches(items, 3)
+        assert [len(b) for b in batches] == [3, 3, 1]
+        assert [seed for batch in batches for _, seed in batch] == list(range(7))
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValidationError):
+            pack_batches([], 0)
+
+    def test_empty_specs(self):
+        assert len(run_batched([], rng=0)) == 0
+
+
+class TestDefaultRow:
+    def test_values_are_plain_python_scalars(self):
+        result = run_batched(specs(count=1), rng=0)
+        for value in result.rows[0].values():
+            assert not isinstance(value, np.generic)
+
+    def test_default_row_is_picklable(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(default_row)) is default_row

@@ -1,0 +1,189 @@
+"""StackedClassVector: every batched kernel must equal per-instance ClassVector."""
+
+import numpy as np
+import pytest
+
+from repro.batch import StackedClassVector
+from repro.config import strict_mode
+from repro.core import u_rotation_blocks
+from repro.errors import NotUnitaryError, ValidationError
+from repro.qsim import ClassVector
+
+
+@pytest.fixture
+def maps():
+    """Three heterogeneous instances: mixed N and mixed class counts."""
+    return [
+        np.array([0, 0, 1, 2, 2, 2], dtype=np.int64),        # N=6, 3 classes
+        np.array([1, 1, 0, 3], dtype=np.int64),               # N=4, 4 classes
+        np.array([0, 2, 2, 1, 0, 1, 2, 0], dtype=np.int64),   # N=8, 3 classes
+    ]
+
+
+@pytest.fixture
+def n_classes():
+    return [3, 4, 3]
+
+
+@pytest.fixture
+def stacked(maps, n_classes):
+    return StackedClassVector.uniform(maps, n_classes)
+
+
+@pytest.fixture
+def singles(maps, n_classes):
+    return [ClassVector.uniform(ec, c) for ec, c in zip(maps, n_classes)]
+
+
+def padded_blocks(mats_per_instance, width):
+    out = np.tile(np.eye(2, dtype=np.complex128), (len(mats_per_instance), width, 1, 1))
+    for b, mats in enumerate(mats_per_instance):
+        out[b, : mats.shape[0]] = mats
+    return out
+
+
+def assert_matches_singles(stacked, singles):
+    for b, single in enumerate(singles):
+        extracted = stacked.extract(b)
+        np.testing.assert_allclose(
+            extracted.class_amplitudes(), single.class_amplitudes(), atol=1e-12
+        )
+        np.testing.assert_array_equal(extracted.class_sizes, single.class_sizes)
+        np.testing.assert_allclose(
+            stacked.output_probabilities(b),
+            single.marginal_probabilities("i"),
+            atol=1e-12,
+        )
+
+
+class TestConstruction:
+    def test_uniform_is_normalized_per_instance(self, stacked):
+        np.testing.assert_allclose(stacked.norms(), np.ones(3), atol=1e-12)
+
+    def test_width_is_max_class_count(self, stacked):
+        assert stacked.width == 4
+        assert stacked.batch_size == 3
+
+    def test_padded_classes_have_zero_multiplicity(self, stacked):
+        assert stacked.class_sizes[0, 3] == 0.0
+        assert stacked.class_sizes[2, 3] == 0.0
+
+    def test_uniform_matches_per_instance(self, stacked, singles):
+        assert_matches_singles(stacked, singles)
+
+    def test_stack_roundtrips_existing_states(self, singles):
+        restacked = StackedClassVector.stack(singles)
+        assert_matches_singles(restacked, singles)
+
+    def test_out_of_range_class_rejected(self):
+        with pytest.raises(ValidationError):
+            StackedClassVector.uniform([np.array([0, 5])], [4])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValidationError):
+            StackedClassVector.uniform([], [])
+
+    def test_mismatched_lengths_rejected(self, maps):
+        with pytest.raises(ValidationError):
+            StackedClassVector.uniform(maps, [3, 4])
+
+    def test_memory_independent_of_universe(self):
+        big = StackedClassVector.uniform(
+            [np.zeros(10**5, dtype=np.int64), np.zeros(10**4, dtype=np.int64)], [4, 4]
+        )
+        assert big.amplitudes().size == 2 * 4 * 2  # B × (ν+1) × 2 cells only
+
+
+class TestKernelsAgainstSingles:
+    def test_class_flag_unitary(self, stacked, singles, n_classes):
+        mats = [u_rotation_blocks(c - 1) for c in n_classes]
+        stacked.apply_class_flag_unitary(padded_blocks(mats, stacked.width))
+        for single, m in zip(singles, mats):
+            single.apply_class_flag_unitary(m)
+        assert_matches_singles(stacked, singles)
+
+    def test_phase_slice_scalar(self, stacked, singles):
+        phase = np.exp(0.7j)
+        stacked.apply_phase_slice("w", 0, phase)
+        for single in singles:
+            single.apply_phase_slice("w", 0, phase)
+        assert_matches_singles(stacked, singles)
+
+    def test_phase_slice_per_instance(self, stacked, singles):
+        phases = np.exp(1j * np.array([0.3, -1.2, 2.5]))
+        stacked.apply_phase_slice("w", 1, phases)
+        for single, p in zip(singles, phases):
+            single.apply_phase_slice("w", 1, complex(p))
+        assert_matches_singles(stacked, singles)
+
+    def test_pi_projector_phase(self, stacked, singles, n_classes):
+        # A non-uniform state first, so the projector has real work to do.
+        mats = [u_rotation_blocks(c - 1) for c in n_classes]
+        stacked.apply_class_flag_unitary(padded_blocks(mats, stacked.width))
+        for single, m in zip(singles, mats):
+            single.apply_class_flag_unitary(m)
+        phases = np.exp(1j * np.array([np.pi, 0.4, -0.9]))
+        stacked.apply_pi_projector_phase(phases)
+        for single, p in zip(singles, phases):
+            single.apply_pi_projector_phase(complex(p))
+        assert_matches_singles(stacked, singles)
+
+    def test_global_phase(self, stacked, singles):
+        stacked.apply_global_phase(-1.0)
+        for single in singles:
+            single.apply_global_phase(-1.0)
+        assert_matches_singles(stacked, singles)
+
+    def test_fidelities_match_single_form(self, stacked, singles, n_classes):
+        from repro.core import fidelity_with_target_classes
+        from repro.database import DistributedDatabase
+
+        mats = [u_rotation_blocks(c - 1) for c in n_classes]
+        stacked.apply_class_flag_unitary(padded_blocks(mats, stacked.width))
+        totals = [int(s.class_sizes @ np.arange(s.n_classes)) for s in singles]
+        fids = stacked.fidelities_with_targets(totals)
+        for b, single in enumerate(singles):
+            single.apply_class_flag_unitary(mats[b])
+            counts = single.element_classes  # class == joint count here
+            db = DistributedDatabase.from_count_matrix(
+                counts[None, :], nu=single.n_classes - 1
+            )
+            assert fids[b] == pytest.approx(
+                fidelity_with_target_classes(db, single), abs=1e-12
+            )
+
+
+class TestValidation:
+    def test_bad_mats_shape_rejected(self, stacked):
+        with pytest.raises(ValidationError):
+            stacked.apply_class_flag_unitary(np.zeros((3, 2, 2, 2)))
+
+    def test_non_unit_phase_rejected(self, stacked):
+        with pytest.raises(NotUnitaryError):
+            stacked.apply_global_phase(0.5)
+
+    def test_non_unit_phase_array_rejected(self, stacked):
+        with pytest.raises(NotUnitaryError):
+            stacked.apply_phase_slice("w", 0, np.array([1.0, 1.0, 0.5]))
+
+    def test_wrong_phase_array_shape_rejected(self, stacked):
+        with pytest.raises(ValidationError):
+            stacked.apply_phase_slice("w", 0, np.exp(1j * np.ones(5)))
+
+    def test_element_register_phase_rejected(self, stacked):
+        with pytest.raises(ValidationError):
+            stacked.apply_phase_slice("i", 0, 1.0)
+
+    def test_bad_flag_value_rejected(self, stacked):
+        with pytest.raises(ValidationError):
+            stacked.apply_phase_slice("w", 2, 1.0)
+
+    def test_fidelity_needs_one_total_per_instance(self, stacked):
+        with pytest.raises(ValidationError):
+            stacked.fidelities_with_targets([5, 5])
+
+    def test_strict_checks_catch_norm_drift(self, stacked):
+        bad = np.tile(0.5 * np.eye(2, dtype=np.complex128), (3, stacked.width, 1, 1))
+        with strict_mode():
+            with pytest.raises(NotUnitaryError):
+                stacked.apply_class_flag_unitary(bad)

@@ -105,3 +105,74 @@ class TestRandomStream:
         )
         b = random_update_stream(fresh, length=10, rng=7)
         assert list(a) == list(b)
+
+
+class TestClassStateTracking:
+    """The ``classes``-substrate hook: updates move elements between
+    adjacent count classes in O(1) instead of rebuilding the class map."""
+
+    def test_class_state_tracks_updates_incrementally(self, db_with_headroom):
+        stream = UpdateStream(
+            db_with_headroom,
+            [Update(0, 3, "insert"), Update(1, 3, "insert"), Update(1, 2, "delete")],
+        )
+        state = stream.class_state()  # built once, before any update
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            state.element_classes, db_with_headroom.joint_counts
+        )
+        stream.apply_all()
+        np.testing.assert_array_equal(
+            state.element_classes, db_with_headroom.joint_counts
+        )
+        np.testing.assert_array_equal(
+            state.class_sizes,
+            np.bincount(
+                db_with_headroom.joint_counts, minlength=db_with_headroom.nu + 1
+            ),
+        )
+
+    def test_class_state_matches_fresh_rebuild_on_random_stream(self):
+        import numpy as np
+
+        from repro.database import round_robin, uniform_dataset
+        from repro.qsim import ClassVector
+
+        db = round_robin(uniform_dataset(24, 30, rng=3), n_machines=3)
+        db = db.with_nu(db.nu + 2)  # headroom so inserts are possible
+        stream = random_update_stream(db, 40, rng=5)
+        state = stream.class_state()
+        stream.apply_all()
+        rebuilt = ClassVector.uniform(db.joint_counts, db.nu + 1)
+        np.testing.assert_array_equal(state.element_classes, rebuilt.element_classes)
+        np.testing.assert_array_equal(state.class_sizes, rebuilt.class_sizes)
+
+    def test_untracked_stream_pays_no_bookkeeping(self, db_with_headroom):
+        stream = UpdateStream(db_with_headroom, [Update(0, 3, "insert")])
+        stream.apply_all()  # class_state never requested: no ClassVector built
+        assert stream._class_state is None
+
+    def test_tracked_over_capacity_insert_fails_atomically(self):
+        # Regression: Machine.insert only enforces the local κ_j, so a
+        # ν-violating insert used to mutate the machine and *then* blow
+        # up in the class-map transfer, leaving the stream position
+        # behind the database (a retry double-applied the update).
+        import numpy as np
+
+        from repro.errors import ValidationError
+
+        machines = [
+            Machine(Multiset(4, {0: 2}), capacity=8, name="m0"),
+            Machine(Multiset(4, {0: 1}), capacity=8, name="m1"),
+        ]
+        db = DistributedDatabase(machines, nu=3)  # element 0 already at ν
+        stream = UpdateStream(db, [Update(0, 0, "insert")])
+        state = stream.class_state()
+        before = db.joint_counts.copy()
+        for _ in range(2):  # the retry must not double-apply either
+            with pytest.raises(ValidationError):
+                stream.apply_next()
+        np.testing.assert_array_equal(db.joint_counts, before)
+        assert stream.applied == 0
+        np.testing.assert_array_equal(state.element_classes, before)

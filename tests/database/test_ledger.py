@@ -72,3 +72,32 @@ class TestSummary:
         assert summary["sequential_queries"] == 3
         assert summary["parallel_rounds"] == 1
         assert summary["per_machine"] == [2, 1]
+
+
+class TestBulkRecording:
+    """Block recording is observationally identical to repeated single calls."""
+
+    def test_machine_call_count_blocks(self):
+        one_by_one, bulk = QueryLedger(2), QueryLedger(2)
+        for _ in range(5):
+            one_by_one.record_machine_call(1, adjoint=False)
+            one_by_one.record_machine_call(1, adjoint=True)
+        bulk.record_machine_call(1, adjoint=False, count=5)
+        bulk.record_machine_call(1, adjoint=True, count=5)
+        assert bulk.per_machine() == one_by_one.per_machine()
+        assert bulk.summary() == one_by_one.summary()
+
+    def test_parallel_round_count_blocks(self):
+        one_by_one, bulk = QueryLedger(3), QueryLedger(3)
+        for _ in range(4):
+            one_by_one.record_parallel_round()
+        bulk.record_parallel_round(count=4)
+        assert bulk.parallel_rounds == one_by_one.parallel_rounds
+        assert bulk.per_machine() == one_by_one.per_machine()
+
+    def test_nonpositive_count_rejected(self):
+        ledger = QueryLedger(1)
+        with pytest.raises(ValidationError):
+            ledger.record_machine_call(0, count=0)
+        with pytest.raises(ValidationError):
+            ledger.record_parallel_round(count=-1)

@@ -145,3 +145,83 @@ class TestDenseExpansion:
     def test_to_statevector_roundtrip_norm(self, state):
         assert isinstance(state.to_statevector(), StateVector)
         assert state.to_statevector().norm() == pytest.approx(state.norm())
+
+
+class TestTransferElement:
+    """O(1) dynamic updates: one multiplicity move, no class-map rebuild."""
+
+    def test_moves_multiplicity_between_classes(self, state):
+        state.transfer_element(3, 2)  # element 3 was in class 1
+        np.testing.assert_array_equal(state.class_sizes, [3, 1, 3, 1])
+        assert state.element_classes[3] == 2
+
+    def test_matches_full_rebuild(self, classes):
+        state = ClassVector.uniform(classes, 4)
+        state.transfer_element(0, 1).transfer_element(7, 2)
+        rebuilt = ClassVector.uniform(state.element_classes, 4)
+        np.testing.assert_array_equal(state.class_sizes, rebuilt.class_sizes)
+        np.testing.assert_allclose(
+            state.marginal_probabilities("i"), rebuilt.marginal_probabilities("i")
+        )
+
+    def test_noop_when_class_unchanged(self, state):
+        before = state.class_sizes.copy()
+        state.transfer_element(3, 1)
+        np.testing.assert_array_equal(state.class_sizes, before)
+
+    def test_refreshes_expected_norm_for_strict_checks(self, classes):
+        state = ClassVector.uniform(classes, 4)
+        state.apply_class_flag_unitary(u_rotation_blocks(3))  # class-dependent amps
+        state.transfer_element(0, 3)  # norm genuinely changes here
+        with strict_mode():
+            state.apply_global_phase(-1.0)  # must not trip the drift check
+
+    def test_copy_on_write_isolates_copies(self, state):
+        twin = state.copy()
+        twin.transfer_element(0, 3)
+        np.testing.assert_array_equal(state.class_sizes, [3, 2, 2, 1])
+        np.testing.assert_array_equal(twin.class_sizes, [2, 2, 2, 2])
+        assert state.element_classes[0] == 0
+        assert twin.element_classes[0] == 3
+
+    def test_original_mutation_after_copy_is_isolated_too(self, state):
+        twin = state.copy()
+        state.transfer_element(0, 3)
+        np.testing.assert_array_equal(twin.class_sizes, [3, 2, 2, 1])
+
+    def test_out_of_range_element_rejected(self, state):
+        with pytest.raises(ValidationError):
+            state.transfer_element(8, 0)
+
+    def test_out_of_range_class_rejected(self, state):
+        with pytest.raises(ValidationError):
+            state.transfer_element(0, 4)
+
+
+class TestFromParts:
+    def test_roundtrips_construction(self, state):
+        rebuilt = ClassVector.from_parts(
+            state.element_classes, state.class_sizes, state.class_amplitudes()
+        )
+        assert rebuilt.norm() == pytest.approx(state.norm())
+        np.testing.assert_allclose(
+            rebuilt.marginal_probabilities("i"), state.marginal_probabilities("i")
+        )
+
+    def test_shared_structure_copies_on_transfer(self, state):
+        derived = ClassVector.from_parts(
+            state.element_classes, state.class_sizes, state.class_amplitudes()
+        )
+        derived.transfer_element(0, 3)
+        np.testing.assert_array_equal(state.class_sizes, [3, 2, 2, 1])
+
+    def test_transfer_never_mutates_caller_array(self, classes):
+        # Regression: __init__ stores the caller's int64 array without a
+        # copy, so ownership must start False — a transfer on one state
+        # must leave the caller's array and sibling states untouched.
+        a = ClassVector.uniform(classes, 4)
+        b = ClassVector.uniform(classes, 4)
+        a.transfer_element(0, 2)
+        assert classes[0] == 0
+        assert b.element_classes[0] == 0
+        np.testing.assert_array_equal(b.class_sizes, [3, 2, 2, 1])

@@ -63,3 +63,29 @@ class TestCli:
         out = capsys.readouterr().out
         assert code == 0
         assert "E01" in out and "E18" in out
+
+    def test_sample_batched(self, capsys):
+        code = main(["sample", "--batch", "8", "--universe", "64", "--total", "24",
+                     "--machines", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8" in out and "instances/s" in out
+
+    def test_sample_batched_parallel_with_jobs(self, capsys):
+        code = main(["sample", "--batch", "6", "--jobs", "2", "--model", "parallel",
+                     "--universe", "32", "--total", "12", "--machines", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "6/6" in out
+
+    def test_sample_batched_rejects_dense_backend(self, capsys):
+        code = main(["sample", "--batch", "4", "--backend", "subspace",
+                     "--universe", "16", "--total", "8", "--machines", "2"])
+        assert code == 2
+        assert "not batchable" in capsys.readouterr().err
+
+    def test_sample_batched_rejects_nonpositive_count(self, capsys):
+        code = main(["sample", "--batch", "-1", "--universe", "16",
+                     "--total", "8", "--machines", "2"])
+        assert code == 2
+        assert "positive instance count" in capsys.readouterr().err
