@@ -3,7 +3,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke
+.PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke \
+	bench-serve bench-serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -36,3 +37,17 @@ bench-batch:
 bench-batch-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_e23_batched_throughput.py -q \
 		--benchmark-disable -k smoke
+
+# E24: the long-lived serving loop vs the offline batched driver.  Full
+# run asserts the ≥0.8× throughput bar and the deadline-bounded p99; the
+# smoke variant (tiny trace, no rate assertions) is what CI executes,
+# alongside a CLI trace through `python -m repro serve`.
+bench-serve:
+	$(PYTHON) -m pytest benchmarks/bench_e24_serving.py -q --benchmark-disable \
+		-k "not hook"
+
+bench-serve-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e24_serving.py -q \
+		--benchmark-disable -k smoke
+	$(PYTHON) -m repro serve --max-requests 32 --universe 256 --total 64 \
+		--machines 2 --batch-size 8 --flush-deadline 0.02

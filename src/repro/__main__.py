@@ -12,6 +12,12 @@ Commands
     ``B`` independent instances of the recipe as stacked tensors on the
     ``classes`` substrate, optionally fanned across ``--jobs`` worker
     processes, and reports aggregate fidelity/throughput.
+``serve``
+    Run the long-lived batching sampler service (:mod:`repro.serve`) on
+    a synthetic Poisson arrival trace and print its telemetry; flags:
+    ``--max-requests --rate --batch-size --flush-deadline --workers``
+    plus the ``sample`` instance flags.  ``--rate 0`` offers requests as
+    fast as the submitter can (full-load mode).
 ``estimate``
     Quantum-counting demo: estimate M without reading it.
 ``experiments``
@@ -58,6 +64,7 @@ _EXPERIMENTS = [
     ("E21", "Intro motivation — fault tolerance via replication", "bench_e21_fault_tolerance"),
     ("E22", "Scaling — backend wall-time/memory up to N = 10⁶", "bench_e22_backend_scaling"),
     ("E23", "Scaling — batched engine ≥5× instances/sec at B = 256", "bench_e23_batched_throughput"),
+    ("E24", "Serving — latency/throughput vs offered load & flush deadline", "bench_e24_serving"),
 ]
 
 
@@ -167,6 +174,64 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     return 0 if result.exact else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from .analysis.sweep import InstanceSpec
+    from .database.workloads import WorkloadSpec
+    from .serve import SamplerService
+
+    if args.max_requests < 1:
+        print(f"error: --max-requests needs a positive count, got {args.max_requests}",
+              file=sys.stderr)
+        return 2
+    spec = InstanceSpec(
+        workload=WorkloadSpec.of(
+            "zipf", universe=args.universe, total=args.total, exponent=1.2
+        ),
+        n_machines=args.machines,
+        strategy=args.strategy,
+        backend="classes",
+    )
+    arrivals = np.random.default_rng(args.seed)
+    start = time.perf_counter()
+    with SamplerService(
+        model=args.model,
+        batch_size=args.batch_size,
+        flush_deadline=args.flush_deadline,
+        workers=args.workers,
+        rng=args.seed,
+    ) as service:
+        for _ in range(args.max_requests):
+            if args.rate > 0:
+                time.sleep(float(arrivals.exponential(1.0 / args.rate)))
+            service.submit(spec)
+        for _request, _result in service.iter_results():
+            pass
+        telemetry = service.telemetry()
+    elapsed = time.perf_counter() - start
+    table = Table(
+        f"served {args.model} sampling × {args.max_requests} requests "
+        f"(rate={'max' if args.rate <= 0 else f'{args.rate:g}/s'}, "
+        f"deadline={args.flush_deadline:g}s)",
+        ["metric", "value"],
+    )
+    table.add_row(["requests", str(telemetry["completed"])])
+    table.add_row(["exact (F = 1)", f"{telemetry['exact']}/{telemetry['completed']}"])
+    table.add_row(["batches", str(telemetry["batches_executed"])])
+    table.add_row(["batch fill ratio", f"{telemetry['batch_fill_ratio']:.3f}"])
+    table.add_row(["p50 latency", f"{telemetry['p50_latency'] * 1e3:.1f} ms"])
+    table.add_row(["p99 latency", f"{telemetry['p99_latency'] * 1e3:.1f} ms"])
+    table.add_row(["throughput", f"{telemetry['instances_per_sec']:.0f} instances/s"])
+    table.add_row(["sequential queries", str(telemetry["sequential_queries"])])
+    table.add_row(["parallel rounds", str(telemetry["parallel_rounds"])])
+    table.add_row(["wall time", f"{elapsed:.3f} s"])
+    print(table.render())
+    return 0 if telemetry["exact"] == telemetry["completed"] else 1
+
+
 def _cmd_estimate(args: argparse.Namespace) -> int:
     db = _build_db(args)
     estimate = estimate_overlap(db, precision_bits=args.bits, shots=9, rng=args.seed)
@@ -224,6 +289,30 @@ def main(argv: list[str] | None = None) -> int:
         help="fan batches across J worker processes (only with --batch)",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the batching sampler service on a Poisson trace"
+    )
+    serve.add_argument("--universe", type=int, default=512)
+    serve.add_argument("--total", type=int, default=128)
+    serve.add_argument("--machines", type=int, default=3)
+    serve.add_argument("--model", choices=["sequential", "parallel"], default="sequential")
+    serve.add_argument("--strategy", default="round_robin")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--max-requests", type=int, default=64, metavar="R",
+        help="stop after serving R requests (the smoke/trace length)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=0.0, metavar="HZ",
+        help="Poisson arrival rate in requests/sec; 0 = full offered load",
+    )
+    serve.add_argument("--batch-size", type=int, default=32, metavar="B")
+    serve.add_argument(
+        "--flush-deadline", type=float, default=0.02, metavar="SEC",
+        help="max seconds a request waits for co-batchable arrivals",
+    )
+    serve.add_argument("--workers", type=int, default=2, metavar="W")
+
     estimate = sub.add_parser("estimate", help="estimate M by quantum counting")
     estimate.add_argument("--universe", type=int, default=64)
     estimate.add_argument("--total", type=int, default=6)
@@ -238,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "demo": _cmd_demo,
         "sample": _cmd_sample,
+        "serve": _cmd_serve,
         "estimate": _cmd_estimate,
         "experiments": _cmd_experiments,
     }

@@ -15,7 +15,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 from ..database.distributed import DistributedDatabase
 from ..database.partition import partition
 from ..database.workloads import WorkloadSpec
-from ..utils.pool import process_map
+from ..utils.pool import process_map_iter
 from ..utils.rng import as_generator, spawn_seed
 
 
@@ -78,6 +78,23 @@ class SweepResult:
         """All values of one column, in row order."""
         return [row[key] for row in self.rows]
 
+    def append(self, row: Mapping[str, object]) -> None:
+        """Add one row (copied to a plain dict)."""
+        self.rows.append(dict(row))
+
+    def extend(self, rows: Iterable[Mapping[str, object]]) -> "SweepResult":
+        """Add many rows in order; returns self for chaining.
+
+        This is how row producers outside the sweep drivers — the batch
+        driver's streaming path, the serving loop's completed requests —
+        feed :mod:`repro.analysis.report` tables: any mapping with the
+        standard columns drops in next to ``run_sweep``/``run_batched``
+        output.
+        """
+        for row in rows:
+            self.append(row)
+        return self
+
     def filter(self, **criteria: object) -> "SweepResult":
         """Rows matching all ``column=value`` criteria."""
         kept = [
@@ -125,8 +142,10 @@ def run_sweep(
     driver injects ``label``, ``n``, ``N``, ``M``, ``nu`` automatically.
 
     ``jobs > 1`` fans specs across a process pool (the same
-    :func:`~repro.utils.pool.process_map` path the batch driver uses):
-    child seeds are drawn per spec *up front, in spec order*, so rows are
+    :func:`~repro.utils.pool.process_map_iter` path the batch driver
+    uses): specs are consumed lazily with a bounded in-flight window —
+    an unbounded generator streams — and child seeds are drawn one per
+    spec *in spec order as the stream is consumed*, so rows are
     deterministic given ``rng`` and identical for every ``jobs ≥ 2``
     value, and they come back in spec order regardless of completion
     order.  ``measure`` must then be a module-level (picklable)
@@ -140,8 +159,11 @@ def run_sweep(
     """
     gen = as_generator(rng)
     if jobs is not None and jobs > 1:
-        payloads = [(spec, spawn_seed(gen), measure) for spec in specs]
-        return SweepResult(rows=process_map(_measure_spec, payloads, jobs=jobs))
+        # Lazy payloads: child seeds still come one per spec in spec
+        # order, but an unbounded spec stream is consumed incrementally
+        # (bounded in-flight window) instead of being materialized.
+        payloads = ((spec, spawn_seed(gen), measure) for spec in specs)
+        return SweepResult(rows=list(process_map_iter(_measure_spec, payloads, jobs=jobs)))
     result = SweepResult()
     for spec in specs:
         result.rows.append(_measure_spec((spec, gen, measure)))

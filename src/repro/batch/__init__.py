@@ -15,16 +15,27 @@ as one tensor.
     deterministic seeding, batch packing and optional process fan-out.
 """
 
-from .driver import DEFAULT_BATCH_SIZE, default_row, pack_batches, run_batched
-from .engine import cached_plan, execute_sampling_batch
+from .driver import (
+    DEFAULT_BATCH_SIZE,
+    audit_row,
+    default_row,
+    iter_seeded_batches,
+    pack_batches,
+    run_batched,
+)
+from .engine import ClassInstance, cached_plan, execute_class_batch, execute_sampling_batch
 from .stacked import StackedClassVector
 
 __all__ = [
     "DEFAULT_BATCH_SIZE",
+    "ClassInstance",
+    "audit_row",
     "StackedClassVector",
     "cached_plan",
     "default_row",
+    "execute_class_batch",
     "execute_sampling_batch",
+    "iter_seeded_batches",
     "pack_batches",
     "run_batched",
 ]

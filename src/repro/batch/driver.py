@@ -13,12 +13,23 @@ streams one row per instance into a
 
 Determinism and ordering are contracts, not best effort:
 
-* child seeds are drawn from the caller's ``rng`` *up front, in spec
-  order*, so the materialized instances — and therefore every row — are
-  identical for any ``jobs`` value;
+* child seeds are drawn from the caller's ``rng`` *in spec order* (one
+  :func:`~repro.utils.rng.spawn_seed` per spec, chunk by chunk), so the
+  materialized instances — and therefore every row — are identical for
+  any ``jobs`` or ``batch_size`` value;
 * rows come back in spec order regardless of which worker finished
-  first (:func:`~repro.utils.pool.process_map` collects in submission
-  order).
+  first (:func:`~repro.utils.pool.process_map_iter` yields in
+  submission order);
+* ``specs`` may be any iterable, including an unbounded generator — it
+  is consumed lazily one batch at a time (bounded in-flight window under
+  ``jobs > 1``), never materialized, which is what lets the serving
+  packer (:mod:`repro.serve`) and huge sweeps stream through this
+  driver.
+
+For a *long-lived* request stream — arrivals over time, per-request
+futures, deadline-bounded latency — see
+:class:`repro.serve.SamplerService`, which re-packs in-flight requests
+into schedule-shape groups on top of the same stacked engine.
 
 Worker-side config isolation is inherited from :mod:`repro.config`:
 ``strict_checks`` lives in a ContextVar and workers are separate
@@ -28,13 +39,12 @@ processes, so per-worker toggles cannot leak (regression-tested in
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..analysis.sweep import InstanceSpec, SweepResult
 from ..core.result import SamplingResult
 from ..database.distributed import DistributedDatabase
-from ..utils.pool import process_map
+from ..utils.pool import process_map_iter
 from ..utils.rng import as_generator, spawn_seed
 from ..utils.validation import require_pos_int
 from .engine import execute_sampling_batch
@@ -48,22 +58,23 @@ DEFAULT_BATCH_SIZE = 256
 RowFn = Callable[[InstanceSpec, DistributedDatabase, SamplingResult], Mapping[str, object]]
 
 
-def default_row(
-    spec: InstanceSpec, db: DistributedDatabase, result: SamplingResult
+def audit_row(
+    label: str, n: int, N: int, M: int, nu: int, result: SamplingResult
 ) -> dict[str, object]:
-    """The standard per-instance row: sweep columns + run audit fields.
+    """The shared audit-column core of every batched/served result row.
 
-    Matches ``run_sweep``'s injected columns (``label``/``n``/``N``/
-    ``M``/``nu``/``backend``) so batched rows drop into the same report
-    tables, and keeps every value a plain Python scalar so rows cross
+    One definition keeps :func:`default_row` (spec requests) and the
+    serving layer's live-request rows column-for-column identical, so
+    both drop into the same :class:`~repro.analysis.sweep.SweepResult`
+    report tables.  Every value is a plain Python scalar so rows cross
     process boundaries cheaply.
     """
     return {
-        "label": spec.label(),
-        "n": db.n_machines,
-        "N": db.universe,
-        "M": db.total_count,
-        "nu": db.nu,
+        "label": label,
+        "n": int(n),
+        "N": int(N),
+        "M": int(M),
+        "nu": int(nu),
         "backend": result.backend,
         "model": result.model,
         "batched": True,
@@ -76,12 +87,50 @@ def default_row(
     }
 
 
+def default_row(
+    spec: InstanceSpec, db: DistributedDatabase, result: SamplingResult
+) -> dict[str, object]:
+    """The standard per-instance row: sweep columns + run audit fields.
+
+    Matches ``run_sweep``'s injected columns (``label``/``n``/``N``/
+    ``M``/``nu``/``backend``) so batched rows drop into the same report
+    tables.
+    """
+    return audit_row(
+        spec.label(), db.n_machines, db.universe, db.total_count, db.nu, result
+    )
+
+
 def pack_batches(
     items: Sequence[tuple[InstanceSpec, int]], batch_size: int
 ) -> list[list[tuple[InstanceSpec, int]]]:
     """Chunk ``(spec, seed)`` pairs into order-preserving batches."""
     batch_size = require_pos_int(batch_size, "batch_size")
     return [list(items[i : i + batch_size]) for i in range(0, len(items), batch_size)]
+
+
+def iter_seeded_batches(
+    specs: Iterable[InstanceSpec], rng: object, batch_size: int
+) -> Iterator[list[tuple[InstanceSpec, int]]]:
+    """Lazily chunk a spec stream into seeded, order-preserving batches.
+
+    Child seeds are drawn one per spec **as the stream is consumed**, in
+    spec order — the exact :func:`~repro.utils.rng.spawn_seed` sequence
+    the materialize-everything driver used to draw up front, so the
+    determinism contract survives streaming: same ``rng``, same seeds,
+    regardless of when (or whether) downstream execution interleaves
+    with consumption.
+    """
+    batch_size = require_pos_int(batch_size, "batch_size")
+    gen = as_generator(rng)
+    batch: list[tuple[InstanceSpec, int]] = []
+    for spec in specs:
+        batch.append((spec, spawn_seed(gen)))
+        if len(batch) == batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch
 
 
 def _run_batch(
@@ -119,7 +168,10 @@ def run_batched(
     specs:
         Instance recipes, one result row each.  Specs may mix workloads,
         universe sizes, machine counts and capacities freely — the
-        engine groups compatible schedules internally.
+        engine groups compatible schedules internally.  Any iterable
+        works, including generators: the stream is consumed lazily one
+        batch at a time, so arbitrarily long sweeps never hold the whole
+        job list in memory.
     model:
         Query model for the whole run (``"sequential"``/``"parallel"``).
     batch_size:
@@ -143,15 +195,11 @@ def run_batched(
     SweepResult
         One row per spec, in spec order.
     """
-    specs = list(specs)
-    gen = as_generator(rng)
-    seeded = [(spec, spawn_seed(gen)) for spec in specs]
-    batches = pack_batches(seeded, batch_size)
-    payloads = zip(
-        itertools.repeat(model),
-        batches,
-        itertools.repeat(row_fn),
-        itertools.repeat(include_probabilities),
+    payloads = (
+        (model, batch, row_fn, include_probabilities)
+        for batch in iter_seeded_batches(specs, rng, batch_size)
     )
-    rows_per_batch = process_map(_run_batch, payloads, jobs=jobs)
-    return SweepResult(rows=[row for rows in rows_per_batch for row in rows])
+    result = SweepResult()
+    for rows in process_map_iter(_run_batch, payloads, jobs=jobs):
+        result.rows.extend(rows)
+    return result

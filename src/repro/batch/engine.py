@@ -37,12 +37,14 @@ only.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from ..core.distributing import u_rotation_blocks
+from ..qsim.classvector import ClassVector
 from ..qsim.operators import adjoint_blocks
 from ..core.exact_aa import AmplificationPlan, solve_plan
 from ..core.result import SamplingResult
@@ -55,6 +57,88 @@ from .stacked import StackedClassVector
 #: The backend name stamped on batched results: the substrate is the
 #: ``classes`` compression, executed by the stacked engine.
 BATCH_BACKEND = "classes"
+
+
+@dataclass(frozen=True)
+class ClassInstance:
+    """One batchable sampling instance in count-class coordinates.
+
+    Everything the stacked engine needs, decoupled from
+    :class:`~repro.database.distributed.DistributedDatabase`: the
+    per-element joint counts (which double as the class map), the public
+    capacity ``ν``, the machine count (for ledger width and Lemma 4.2/4.4
+    accounting) and ``M``.  Two construction paths:
+
+    * :meth:`from_db` — one ``O(nN)`` joint-count scan, the classic batch
+      path;
+    * :meth:`from_class_state` — a snapshot of a **live**
+      :class:`~repro.qsim.classvector.ClassVector` (e.g.
+      :meth:`repro.database.dynamic.UpdateStream.class_state`), which the
+      serving layer uses to re-sample a mutating dynamic database with an
+      ``O(N)`` copy and *no* machine scan — the class map **is** the
+      joint-count table.
+    """
+
+    joints: np.ndarray
+    nu: int
+    n_machines: int
+    total: int
+    capacities: tuple[int, ...] | None = None
+
+    @classmethod
+    def from_db(cls, db: DistributedDatabase) -> "ClassInstance":
+        """The one ``O(nN)`` scan, reused for state, overlap and targets."""
+        joints = db.joint_counts
+        return cls(
+            joints=joints,
+            nu=db.nu,
+            n_machines=db.n_machines,
+            total=int(joints.sum()),
+            capacities=db.capacities,
+        )
+
+    @classmethod
+    def from_class_state(
+        cls,
+        state: ClassVector,
+        n_machines: int,
+        capacities: tuple[int, ...] | None = None,
+    ) -> "ClassInstance":
+        """Snapshot a live count-class view (dynamic-database serving).
+
+        The element→class map of the samplers' ``classes`` substrate maps
+        each element to its joint count, so it is copied verbatim as the
+        ``joints`` table; ``M`` reduces over the ``O(ν)`` multiplicity
+        row.  The copy pins the request to the database state at snapshot
+        time — the stream may keep mutating while the batch executes.
+        """
+        class_values = np.arange(state.n_classes, dtype=np.float64)
+        return cls(
+            joints=state.element_classes.copy(),
+            nu=state.n_classes - 1,
+            n_machines=n_machines,
+            total=int(round(float(state.class_sizes @ class_values))),
+            capacities=capacities,
+        )
+
+    @property
+    def universe(self) -> int:
+        """``N`` — the element-register size."""
+        return int(self.joints.size)
+
+    def overlap(self) -> float:
+        """``a = M/(νN)`` — float-identical to ``db.initial_overlap()``."""
+        return self.total / (self.nu * self.universe)
+
+    def public_parameters(self) -> dict[str, object]:
+        """The oblivious planning surface carried onto the result."""
+        return {
+            "N": self.universe,
+            "n": self.n_machines,
+            "nu": self.nu,
+            "M": self.total,
+            "capacities": self.capacities,
+        }
 
 
 @lru_cache(maxsize=4096)
@@ -110,22 +194,22 @@ def _charge_run(ledger: QueryLedger, model: str, n_machines: int, d_applications
 
 
 def _run_group(
-    dbs: Sequence[DistributedDatabase],
+    instances: Sequence[ClassInstance],
     plans: Sequence[AmplificationPlan],
-    joints: Sequence[np.ndarray],
-    totals: Sequence[int],
     model: str,
     include_probabilities: bool,
 ) -> list[SamplingResult]:
     """Execute one schedule-shape group as a single stacked tensor."""
     plan0 = plans[0]
-    batch = len(dbs)
-    state = StackedClassVector.uniform(joints, [db.nu + 1 for db in dbs])
+    batch = len(instances)
+    state = StackedClassVector.uniform(
+        [inst.joints for inst in instances], [inst.nu + 1 for inst in instances]
+    )
     width = state.width
     blocks = np.empty((batch, width, 2, 2), dtype=np.complex128)
     blocks_adj = np.empty_like(blocks)
-    for b, db in enumerate(dbs):
-        fwd, adj = _cached_u_blocks(db.nu, width)
+    for b, inst in enumerate(instances):
+        fwd, adj = _cached_u_blocks(inst.nu, width)
         blocks[b] = fwd
         blocks_adj[b] = adj
 
@@ -145,35 +229,26 @@ def _run_group(
         phi = np.exp(1j * np.array([p.final_phi for p in plans]))
         apply_q(varphi, phi)
 
-    fidelities = state.fidelities_with_targets(totals)
+    fidelities = state.fidelities_with_targets([inst.total for inst in instances])
     probabilities = state.output_probabilities_all() if include_probabilities else None
     results = []
-    for b, (db, plan) in enumerate(zip(dbs, plans)):
-        ledger = QueryLedger(db.n_machines)
-        _charge_run(ledger, model, db.n_machines, plan.d_applications)
+    for b, (inst, plan) in enumerate(zip(instances, plans)):
+        ledger = QueryLedger(inst.n_machines)
+        _charge_run(ledger, model, inst.n_machines, plan.d_applications)
         ledger.freeze()
         results.append(
             SamplingResult(
                 model=model,
                 backend=BATCH_BACKEND,
                 plan=plan,
-                schedule=_cached_schedule(model, db.n_machines, plan.d_applications),
+                schedule=_cached_schedule(model, inst.n_machines, plan.d_applications),
                 ledger=ledger,
                 fidelity=float(fidelities[b]),
                 output_probabilities=(
                     probabilities[b] if probabilities is not None else None
                 ),
                 final_state=state.extract(b),
-                # db.public_parameters(), with M reusing the joint-count
-                # reduction computed once per instance instead of another
-                # O(nN) machine scan.
-                public_parameters={
-                    "N": db.universe,
-                    "n": db.n_machines,
-                    "nu": db.nu,
-                    "M": totals[b],
-                    "capacities": db.capacities,
-                },
+                public_parameters=inst.public_parameters(),
             )
         )
     return results
@@ -208,30 +283,45 @@ def execute_sampling_batch(
         instance, compressed) state — interchangeable with results from
         ``execute_sampling(db, model, "classes", ...)``.
     """
-    if model not in ("sequential", "parallel"):
-        raise ValidationError(f"unknown model {model!r}; choose from ('sequential', 'parallel')")
-    dbs = list(dbs)
-    if not dbs:
-        return []
     # One O(nN) joint-count scan per instance, reused for the state, the
     # overlap (M/(νN), float-identical to db.initial_overlap()), the
     # fidelity targets and the public parameters.
-    joints = [db.joint_counts for db in dbs]
-    totals = [int(joint.sum()) for joint in joints]
-    plans = [
-        cached_plan(total / (db.nu * db.universe))
-        for db, total in zip(dbs, totals)
-    ]
+    return execute_class_batch(
+        [ClassInstance.from_db(db) for db in dbs],
+        model=model,
+        include_probabilities=include_probabilities,
+    )
+
+
+def execute_class_batch(
+    instances: Sequence[ClassInstance],
+    model: str = "sequential",
+    include_probabilities: bool = True,
+) -> list[SamplingResult]:
+    """The class-coordinate core of :func:`execute_sampling_batch`.
+
+    Takes pre-extracted :class:`ClassInstance` snapshots — either scanned
+    from databases or copied from live
+    :meth:`~repro.database.dynamic.UpdateStream.class_state` views — so
+    the serving layer (:mod:`repro.serve`) can mix spec-built and
+    dynamic-database requests in one stacked tensor without any
+    ``O(nN)`` rebuild for the latter.  Semantics and guarantees are those
+    of :func:`execute_sampling_batch`; results come back in input order.
+    """
+    if model not in ("sequential", "parallel"):
+        raise ValidationError(f"unknown model {model!r}; choose from ('sequential', 'parallel')")
+    instances = list(instances)
+    if not instances:
+        return []
+    plans = [cached_plan(inst.overlap()) for inst in instances]
     groups: dict[tuple[int, bool], list[int]] = {}
     for idx, plan in enumerate(plans):
         groups.setdefault((plan.grover_reps, plan.needs_final), []).append(idx)
-    results: list[SamplingResult | None] = [None] * len(dbs)
+    results: list[SamplingResult | None] = [None] * len(instances)
     for indices in groups.values():
         group_results = _run_group(
-            [dbs[i] for i in indices],
+            [instances[i] for i in indices],
             [plans[i] for i in indices],
-            [joints[i] for i in indices],
-            [totals[i] for i in indices],
             model,
             include_probabilities,
         )

@@ -281,7 +281,9 @@ class _ParallelDenseBase(SamplerBackend):
         return self._prepared_dense_state(layout)
 
     def d_applier(self, ledger: QueryLedger | None) -> DApplier:
-        op = ParallelDistributingOperator(self._db, ledger=ledger, mode=self.mode)
+        op = ParallelDistributingOperator(
+            self._db, ledger=ledger, mode=self.mode, active_machines=self._active
+        )
 
         def d_apply(state, adjoint: bool = False):
             return op.apply(

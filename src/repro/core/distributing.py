@@ -24,7 +24,11 @@ import numpy as np
 
 from ..database.distributed import DistributedDatabase
 from ..database.ledger import QueryLedger
-from ..database.oracle import ParallelOracle, SequentialOracle
+from ..database.oracle import (
+    ParallelOracle,
+    SequentialOracle,
+    validated_active_machines,
+)
 from ..errors import ValidationError
 from ..qsim.operators import adjoint_blocks, controlled_rotation_blocks
 from ..qsim.register import Register, RegisterLayout
@@ -51,6 +55,8 @@ def u_rotation_blocks(nu: int) -> np.ndarray:
     return rotation_blocks_from_counts(np.arange(nu + 1), nu)
 
 
+
+
 class DirectDistributingOperator:
     """``D`` as the defining per-element rotation on ``(i, w)``.
 
@@ -72,9 +78,7 @@ class DirectDistributingOperator:
         self._ledger = ledger
         self._blocks = rotation_blocks_from_counts(db.joint_counts, db.nu)
         self._blocks_adj = adjoint_blocks(self._blocks)
-        self._active = (
-            list(range(db.n_machines)) if active_machines is None else list(active_machines)
-        )
+        self._active = validated_active_machines(db, active_machines)
 
     @property
     def oracle_calls_per_application(self) -> int:
@@ -131,9 +135,7 @@ class ClassDistributingOperator:
         self._model = model
         self._blocks = u_rotation_blocks(db.nu)
         self._blocks_adj = adjoint_blocks(self._blocks)
-        self._active = (
-            list(range(db.n_machines)) if active_machines is None else list(active_machines)
-        )
+        self._active = validated_active_machines(db, active_machines)
 
     @property
     def oracle_calls_per_application(self) -> int:
@@ -169,9 +171,11 @@ class ClassDistributingOperator:
     def _charge_parallel_half(self) -> None:
         if self._ledger is None:
             return
-        # Lemma 4.4 load/unload: one O round and one O† round each.
-        self._ledger.record_parallel_round(adjoint=False)
-        self._ledger.record_parallel_round(adjoint=True)
+        # Lemma 4.4 load/unload: one O round and one O† round each.  An
+        # active-machine restriction means the flagged joint oracle left
+        # b_j = 0 on the skipped (provably empty) machines.
+        self._ledger.record_parallel_round(adjoint=False, machines=self._active)
+        self._ledger.record_parallel_round(adjoint=True, machines=self._active)
 
 
 class OracleDistributingOperator:
@@ -196,22 +200,7 @@ class OracleDistributingOperator:
         active_machines: list[int] | None = None,
     ) -> None:
         self._db = db
-        active = (
-            list(range(db.n_machines)) if active_machines is None else list(active_machines)
-        )
-        for j in active:
-            if not 0 <= j < db.n_machines:
-                raise ValidationError(f"active machine index {j} out of range")
-        if active_machines is not None:
-            # Skipping a machine is only sound when its oracle is provably
-            # the identity, i.e. its *public* capacity is zero.
-            skipped = set(range(db.n_machines)) - set(active)
-            for j in skipped:
-                if db.capacities[j] != 0:
-                    raise ValidationError(
-                        f"cannot skip machine {j}: its capacity κ_j = "
-                        f"{db.capacities[j]} > 0, so its oracle may act"
-                    )
+        active = validated_active_machines(db, active_machines)
         self._oracles = [
             SequentialOracle(db.machine(j), j, db.nu, ledger=ledger) for j in active
         ]
@@ -278,6 +267,7 @@ class ParallelDistributingOperator:
         db: DistributedDatabase,
         ledger: QueryLedger | None = None,
         mode: str = "synced",
+        active_machines: list[int] | None = None,
     ) -> None:
         require(mode in ("synced", "dense"), f"unknown mode {mode!r}")
         self._db = db
@@ -285,7 +275,12 @@ class ParallelDistributingOperator:
         self._mode = mode
         self._u_blocks = u_rotation_blocks(db.nu)
         self._u_blocks_adj = adjoint_blocks(self._u_blocks)
-        self._parallel_oracle = ParallelOracle(db, ledger=ledger)
+        # The flagged joint oracle (capacity-aware rounds): ParallelOracle
+        # validates that skipped machines are publicly empty (κ_j = 0).
+        self._parallel_oracle = ParallelOracle(
+            db, ledger=ledger, active_machines=active_machines
+        )
+        self._active = active_machines
 
     # -- layout helpers ---------------------------------------------------------
 
@@ -365,14 +360,22 @@ class ParallelDistributingOperator:
 
     def _parallel_oracle_ledger_round(self, adjoint: bool) -> None:
         assert self._ledger is not None
-        self._ledger.record_parallel_round(adjoint=adjoint)
+        self._ledger.record_parallel_round(adjoint=adjoint, machines=self._active)
 
     def _dense_copy(self, state: StateVector, element_reg: str, forward: bool) -> None:
-        """Step 1 / 5: ``pi_j ← pi_j ± i`` and flip every ``pb_j``."""
+        """Step 1 / 5: ``pi_j ← pi_j ± i`` and flip every active ``pb_j``.
+
+        Machines outside the active set never get their flag raised — the
+        capacity-aware flagged rounds leave their ``(pi_j, ps_j, pb_j)``
+        triple in ``|0⟩`` for the whole run.
+        """
         n_elements = self._db.universe
         identity_shift = np.arange(n_elements, dtype=np.int64)
         flip = np.array([1, 0], dtype=np.intp)
-        for j in range(self._db.n_machines):
+        active = (
+            range(self._db.n_machines) if self._active is None else self._active
+        )
+        for j in active:
             state.apply_value_shift(
                 element_reg, f"pi{j}", identity_shift, sign=1 if forward else -1
             )

@@ -47,10 +47,32 @@ class ParallelSampler:
 
     MODEL = "parallel"
 
-    def __init__(self, db: DistributedDatabase, backend: str = "synced") -> None:
+    def __init__(
+        self,
+        db: DistributedDatabase,
+        backend: str = "synced",
+        skip_zero_capacity: bool = False,
+    ) -> None:
+        """``skip_zero_capacity`` enables the capacity-aware *flagged*
+        rounds (the Theorem 5.2-side analogue of the sequential
+        optimization): each ``Ô_j`` is already flag-controlled (Eq. 2),
+        so the coordinator obliviously leaves ``b_j = 0`` on machines
+        whose public capacity ``κ_j = 0`` — their oracle is provably the
+        identity.  The round count stays ``4·(2·iterations+1)``
+        (``Θ(√(νN/M))`` is ``n``-free), but the per-machine load and the
+        total work ``Σ_j t_j`` drop to the nonempty machines — matching
+        Theorem 5.2's ``Σ_k √(κ_k N/M)`` terms, which vanish at
+        ``κ_k = 0``."""
         resolve_backend(backend, self.MODEL)  # fail fast on unknown names
         self._db = db
         self._backend = backend
+        self._skip_zero_capacity = skip_zero_capacity
+
+    def active_machines(self) -> list[int]:
+        """The machines the flagged rounds query (all, unless skipping κ = 0)."""
+        if not self._skip_zero_capacity:
+            return list(range(self._db.n_machines))
+        return [j for j, kappa in enumerate(self._db.capacities) if kappa > 0]
 
     # -- oblivious planning --------------------------------------------------------
 
@@ -61,24 +83,48 @@ class ParallelSampler:
     def schedule(self) -> QuerySchedule:
         """The oblivious round schedule, fixed before any query."""
         return QuerySchedule.parallel_from_plan(
-            self._db.n_machines, self.plan().d_applications
+            self._db.n_machines,
+            self.plan().d_applications,
+            active_machines=self._restriction(),
         )
 
     def predicted_rounds(self) -> int:
         """Exact parallel round count the run will incur."""
         return 4 * self.plan().d_applications
 
+    def predicted_total_queries(self) -> int:
+        """``Σ_j t_j`` the run will incur: rounds × flagged machines."""
+        return self.predicted_rounds() * len(self.active_machines())
+
     # -- execution --------------------------------------------------------------
 
     def initial_state(self) -> AmplifiableState:
         """``|π⟩`` on the element register, all ancillas zeroed."""
-        return create_backend(self._backend, self._db, self.MODEL).initial_state()
+        return create_backend(
+            self._backend, self._db, self.MODEL, active_machines=self._restriction()
+        ).initial_state()
 
     def run(self) -> SamplingResult:
         """Execute the algorithm and return the audited result."""
         return execute_sampling(
-            self._db, self.MODEL, self._backend, self.plan(), self.schedule()
+            self._db,
+            self.MODEL,
+            self._backend,
+            self.plan(),
+            self.schedule(),
+            active_machines=self._restriction(),
         )
+
+    # -- internals --------------------------------------------------------------
+
+    def _restriction(self) -> list[int] | None:
+        if not self._skip_zero_capacity:
+            return None
+        active = self.active_machines()
+        # A full active set is no restriction: publish the unrestricted
+        # schedule so enabling the flag on an all-nonempty database is a
+        # no-op (fingerprint included).
+        return active if len(active) < self._db.n_machines else None
 
 
 def sample_parallel(db: DistributedDatabase, backend: str = "synced") -> SamplingResult:

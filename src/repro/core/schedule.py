@@ -27,17 +27,23 @@ class ScheduleEntry:
     ``kind = "oracle"`` is a sequential query to one machine;
     ``kind = "parallel"`` is one round of the joint oracle (Eq. 3),
     touching every machine.  ``machine`` is meaningful only for
-    sequential entries.
+    sequential entries.  ``machines`` (parallel entries only) restricts a
+    *flagged* round to a publicly-known machine subset — the
+    capacity-aware optimization where the coordinator leaves ``b_j = 0``
+    on provably-empty machines; ``None`` means the round touches all
+    ``n``.
     """
 
     kind: Literal["oracle", "parallel"]
     machine: int | None
     adjoint: bool
+    machines: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         require(self.kind in ("oracle", "parallel"), f"bad entry kind {self.kind!r}")
         if self.kind == "oracle":
             require(self.machine is not None, "sequential entries need a machine index")
+            require(self.machines is None, "sequential entries use `machine`, not `machines`")
         else:
             require(self.machine is None, "parallel entries have no single machine")
 
@@ -83,15 +89,28 @@ class QuerySchedule:
         return cls(n_machines, entries)
 
     @classmethod
-    def parallel_from_plan(cls, n_machines: int, d_applications: int) -> "QuerySchedule":
+    def parallel_from_plan(
+        cls,
+        n_machines: int,
+        d_applications: int,
+        active_machines: Sequence[int] | None = None,
+    ) -> "QuerySchedule":
         """The Theorem 4.5 schedule: 4 joint-oracle rounds per ``D`` —
-        the Lemma 4.4 pattern ``O, O†, O, O†``."""
+        the Lemma 4.4 pattern ``O, O†, O, O†``.
+
+        ``active_machines`` publishes flagged rounds restricted to that
+        subset (the capacity-aware optimization: ``κ_j = 0`` machines are
+        provably empty, so their flag stays ``b_j = 0`` obliviously).
+        """
         n_machines = require_pos_int(n_machines, "n_machines")
         d_applications = require_nonneg_int(d_applications, "d_applications")
+        machines = None if active_machines is None else tuple(active_machines)
         entries: list[ScheduleEntry] = []
         for _ in range(d_applications):
             for adjoint in (False, True, False, True):
-                entries.append(ScheduleEntry("parallel", None, adjoint=adjoint))
+                entries.append(
+                    ScheduleEntry("parallel", None, adjoint=adjoint, machines=machines)
+                )
         return cls(n_machines, entries)
 
     # -- inspection --------------------------------------------------------------
@@ -129,11 +148,13 @@ class QuerySchedule:
         return sum(1 for e in self._entries if e.kind == "parallel")
 
     def machine_queries(self, machine: int) -> int:
-        """``t_k`` for machine ``machine`` (parallel rounds count once each)."""
+        """``t_k`` for machine ``machine`` (parallel rounds count once each,
+        flagged rounds only for the machines they touch)."""
         count = 0
         for e in self._entries:
             if e.kind == "parallel":
-                count += 1
+                if e.machines is None or machine in e.machines:
+                    count += 1
             elif e.machine == machine:
                 count += 1
         return count
@@ -147,8 +168,13 @@ class QuerySchedule:
         hasher = hashlib.sha256()
         hasher.update(str(self._n).encode())
         for e in self._entries:
+            # Flagged rounds fold their machine subset into the digest;
+            # unrestricted entries keep the historical format so existing
+            # fingerprints stay stable.
+            subset = "" if e.machines is None else "@" + ",".join(map(str, e.machines))
             hasher.update(
-                f"{e.kind}:{e.machine if e.machine is not None else '*'}:{int(e.adjoint)};".encode()
+                f"{e.kind}:{e.machine if e.machine is not None else '*'}"
+                f"{subset}:{int(e.adjoint)};".encode()
             )
         return hasher.hexdigest()
 

@@ -23,6 +23,7 @@ from .oracle import (
     SequentialOracle,
     elementary_update_matrix,
     oracles_for,
+    validated_active_machines,
 )
 from .partition import (
     STRATEGIES,
@@ -79,6 +80,7 @@ __all__ = [
     "disjoint_support",
     "elementary_update_matrix",
     "oracles_for",
+    "validated_active_machines",
     "parallel_schedule_cost",
     "partition",
     "random_assignment",

@@ -79,9 +79,12 @@ class UpdateStream:
         a ±1 joint-count change moves one element between adjacent count
         classes, so the class map never needs rebuilding.  The state it
         tracks is exactly the ``classes`` backend's initial state, kept
-        current at ``O(#updates)`` bookkeeping; wiring the samplers to
-        start from it (skipping their per-run ``O(nN)`` rebuild) is a
-        ROADMAP item.
+        current at ``O(#updates)`` bookkeeping.  This is what the serving
+        layer consumes: :meth:`repro.serve.SamplerService.submit_live`
+        snapshots this view (via
+        :meth:`repro.batch.engine.ClassInstance.from_class_state`) to
+        re-sample a mutating database with an ``O(N)`` copy and no
+        ``O(nN)`` machine scan.
         """
         if self._class_state is None:
             from ..qsim.classvector import ClassVector

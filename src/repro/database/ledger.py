@@ -12,7 +12,7 @@ Theorems 4.3 / 4.5 make.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from ..errors import ValidationError
 from ..utils.validation import require_index, require_pos_int
@@ -67,17 +67,31 @@ class QueryLedger:
         else:
             self._machines[machine].forward += count
 
-    def record_parallel_round(self, adjoint: bool = False, count: int = 1) -> None:
+    def record_parallel_round(
+        self,
+        adjoint: bool = False,
+        count: int = 1,
+        machines: "Sequence[int] | None" = None,
+    ) -> None:
         """``count`` applications of the joint parallel oracle ``O`` (Eq. 3).
 
         A round counts once toward :attr:`parallel_rounds` and once toward
         each machine's tally (the joint oracle is the tensor of all ``n``
-        per-machine oracles).
+        per-machine oracles).  With ``machines`` given, the round is a
+        *flagged* one — the coordinator leaves the control flag ``b_j = 0``
+        for every machine not listed (sound when those machines are
+        provably empty, ``κ_j = 0``), so the round still counts but only
+        the listed machines' tallies grow.
         """
         self._check_mutable()
         count = require_pos_int(count, "count")
         self._parallel_rounds += count
-        for tally in self._machines:
+        queried = (
+            self._machines
+            if machines is None
+            else [self._machines[require_index(j, self._n, "machine")] for j in machines]
+        )
+        for tally in queried:
             if adjoint:
                 tally.adjoint += count
             else:

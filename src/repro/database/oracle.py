@@ -30,6 +30,32 @@ from .ledger import QueryLedger
 from .machine import Machine
 
 
+def validated_active_machines(
+    db: DistributedDatabase, active_machines: Sequence[int] | None
+) -> list[int]:
+    """Resolve an active-machine restriction, proving every skip is sound.
+
+    Skipping a machine is only oblivious when its oracle is provably the
+    identity, i.e. its *public* capacity is zero — every ``D``
+    implementation and the flagged joint oracle enforce the same rule
+    through this one helper, so a query ledger can never silently
+    undercount a machine that might act.
+    """
+    if active_machines is None:
+        return list(range(db.n_machines))
+    active = [int(j) for j in active_machines]
+    for j in active:
+        if not 0 <= j < db.n_machines:
+            raise ValidationError(f"active machine index {j} out of range")
+    for j in set(range(db.n_machines)) - set(active):
+        if db.capacities[j] != 0:
+            raise ValidationError(
+                f"cannot skip machine {j}: its capacity κ_j = "
+                f"{db.capacities[j]} > 0, so its oracle may act"
+            )
+    return active
+
+
 class SequentialOracle:
     """The basic counting oracle ``O_j`` of Eq. (1).
 
@@ -148,9 +174,21 @@ class ParallelOracle:
     its ``(i_j, s_j, b_j)`` triple simultaneously.  The register names for
     machine ``j`` default to ``("pi{j}", "ps{j}", "pb{j}")`` but can be
     overridden to fit any layout.
+
+    ``active_machines`` restricts the round to a publicly-known subset —
+    the capacity-aware *flagged* joint oracle: each ``Ô_j`` is already
+    flag-controlled (Eq. 2), so the coordinator simply never raises the
+    flag of a machine whose public capacity is ``κ_j = 0`` (its oracle is
+    provably the identity).  The round still counts as one round, but
+    only the flagged machines' ledger tallies grow.
     """
 
-    def __init__(self, db: DistributedDatabase, ledger: QueryLedger | None = None) -> None:
+    def __init__(
+        self,
+        db: DistributedDatabase,
+        ledger: QueryLedger | None = None,
+        active_machines: Sequence[int] | None = None,
+    ) -> None:
         self._db = db
         self._ledger = ledger
         for j, machine in enumerate(db.machines):
@@ -158,6 +196,10 @@ class ParallelOracle:
                 raise ValidationError(
                     f"machine {j} multiplicities exceed ν = {db.nu}"
                 )
+        self._active = (
+            None if active_machines is None
+            else validated_active_machines(db, active_machines)
+        )
 
     @property
     def modulus(self) -> int:
@@ -178,7 +220,10 @@ class ParallelOracle:
         """One round: apply ``Ô_j`` on machine ``j``'s triple, for every ``j``.
 
         The tensor factors commute (disjoint registers), so the loop order
-        is irrelevant; the ledger records a single parallel round.
+        is irrelevant; the ledger records a single parallel round.  With
+        an active-machine restriction, skipped machines keep their flag at
+        ``b_j = 0`` — ``Ô_j`` acts as the identity, so applying it is
+        elided entirely and their tallies stay untouched.
         """
         n = self._db.n_machines
         if register_triples is None:
@@ -188,8 +233,11 @@ class ParallelOracle:
             f"need one register triple per machine ({n}), got {len(register_triples)}",
         )
         if self._ledger is not None:
-            self._ledger.record_parallel_round(adjoint=adjoint)
+            self._ledger.record_parallel_round(adjoint=adjoint, machines=self._active)
+        active = set(range(n)) if self._active is None else set(self._active)
         for j, (el, cnt, flag) in enumerate(register_triples):
+            if j not in active:
+                continue
             machine = self._db.machine(j)
             dim = state.layout.dim(cnt)
             if dim != self.modulus:

@@ -1,0 +1,50 @@
+"""Serving: a long-lived, continuously-fed front end for the batch engine.
+
+Where :mod:`repro.batch` executes a *known* job list at maximum
+throughput, :mod:`repro.serve` accepts sampling requests **over time**
+and keeps the stacked ``(B, ν+1, 2)`` engine saturated anyway:
+
+:mod:`repro.serve.service`
+    :class:`SamplerService` — submit :class:`InstanceSpec` recipes or
+    live dynamic databases, get :class:`ServedRequest` futures back, in
+    submission order, with honest per-instance ledgers.
+:mod:`repro.serve.packer`
+    :class:`ShapePacker` — re-packs in-flight requests into
+    schedule-shape groups; flushes full groups immediately and partial
+    groups on a latency deadline.
+:mod:`repro.serve.stats`
+    :class:`ServiceStats` — live telemetry: instances/sec, batch-fill
+    ratio, p50/p99 latency, queue depth, ledger totals (experiment E24).
+
+Quickstart::
+
+    from repro.analysis import InstanceSpec
+    from repro.database import WorkloadSpec
+    from repro.serve import SamplerService
+
+    spec = InstanceSpec(
+        workload=WorkloadSpec.of("zipf", universe=4096, total=1000),
+        n_machines=4,
+    )
+    with SamplerService(rng=0, flush_deadline=0.02) as service:
+        futures = [service.submit(spec) for _ in range(1000)]
+        print(futures[0].result().exact, service.telemetry())
+"""
+
+from .packer import ShapePacker
+from .service import (
+    DEFAULT_FLUSH_DEADLINE,
+    SamplerService,
+    ServedRequest,
+    ServiceClosedError,
+)
+from .stats import ServiceStats
+
+__all__ = [
+    "DEFAULT_FLUSH_DEADLINE",
+    "SamplerService",
+    "ServedRequest",
+    "ServiceClosedError",
+    "ServiceStats",
+    "ShapePacker",
+]

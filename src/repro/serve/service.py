@@ -1,0 +1,455 @@
+"""The long-lived batching sampler service.
+
+:class:`SamplerService` turns the one-shot Theorem 4.3/4.5 samplers into
+a continuously-fed serving loop on top of the stacked ``classes`` engine:
+
+* **submit** — callers hand in
+  :class:`~repro.analysis.sweep.InstanceSpec` recipes
+  (:meth:`~SamplerService.submit`) or live dynamic databases
+  (:meth:`~SamplerService.submit_live`) and get a
+  :class:`ServedRequest` future back immediately;
+* **pack** — a dispatcher thread materializes each request, solves its
+  (memoized) amplification plan and re-packs in-flight requests into
+  schedule-shape groups (:class:`~repro.serve.packer.ShapePacker`),
+  flushing groups when full *or* when their oldest request hits the
+  flush deadline — so the stacked tensor stays saturated under load and
+  latency stays bounded at a trickle;
+* **execute** — flushed batches run on a thread pool via
+  :func:`~repro.batch.engine.execute_class_batch`, each request keeping
+  its own honest :class:`~repro.database.ledger.QueryLedger`;
+* **observe** — every event feeds a
+  :class:`~repro.serve.stats.ServiceStats` telemetry surface
+  (instances/sec, batch-fill ratio, p50/p99 latency, queue depth,
+  ledger totals).
+
+Determinism mirrors :func:`~repro.batch.driver.run_batched`: child seeds
+are drawn one per spec request **in submission order** from the service's
+``rng``, so a served spec stream reproduces ``run_batched`` rows for the
+same seeds (regression-tested to the same 1e-12 fidelity tolerance the
+batch driver's own packing-invariance tests use).
+
+Dynamic databases are served without ``O(nN)`` rebuilds: a live request
+snapshots :meth:`UpdateStream.class_state` — the ``O(1)``-maintained
+count-class view — into a
+:class:`~repro.batch.engine.ClassInstance` (one ``O(N)`` class-map copy,
+no machine scan), pinning the request to the database state at
+submission time while updates keep streaming.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Iterator
+
+from ..analysis.sweep import InstanceSpec
+from ..batch.driver import DEFAULT_BATCH_SIZE, RowFn, audit_row, default_row
+from ..batch.engine import ClassInstance, cached_plan, execute_class_batch
+from ..core.result import SamplingResult
+from ..database.dynamic import UpdateStream
+from ..errors import ValidationError
+from ..utils.rng import as_generator, spawn_seed
+from .packer import ShapePacker
+from .stats import ServiceStats
+
+#: Default seconds a request may wait in the packer before a partial flush.
+DEFAULT_FLUSH_DEADLINE = 0.05
+
+_STOP = object()
+
+
+class ServiceClosedError(ValidationError):
+    """Submission after :meth:`SamplerService.close`, or abandoned drain."""
+
+
+class ServedRequest:
+    """One in-flight sampling request: a future plus its audit context.
+
+    Returned by :meth:`SamplerService.submit` /
+    :meth:`SamplerService.submit_live`; resolves to a
+    :class:`~repro.core.result.SamplingResult` with the same honest
+    ledger, plan and schedule an unbatched ``classes`` run would carry.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        label: str,
+        spec: InstanceSpec | None,
+        seed: int | None,
+        instance: ClassInstance | None,
+        submitted_at: float,
+        row_fn: RowFn,
+    ) -> None:
+        self.index = index
+        self.label = label
+        self.spec = spec
+        self.seed = seed
+        self.submitted_at = submitted_at
+        # Set by the dispatcher for spec requests; released (with the
+        # class-map snapshot) once the row is built at completion, so a
+        # retained or caller-held future costs row+result-sized memory,
+        # not database-sized.
+        self.db = None
+        self._instance = instance
+        self._row_fn = row_fn
+        self._row: dict[str, object] | None = None
+        self._event = threading.Event()
+        self._result: SamplingResult | None = None
+        self._error: BaseException | None = None
+
+    # -- future surface ----------------------------------------------------------
+
+    def done(self) -> bool:
+        """Whether a result (or error) has been delivered."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> SamplingResult:
+        """Block until the request resolves; re-raise its error if it failed."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.index} ({self.label}) still in flight")
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The error the request failed with, or ``None`` on success."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"request {self.index} ({self.label}) still in flight")
+        return self._error
+
+    def row(self) -> dict[str, object]:
+        """The request as a sweep-compatible result row.
+
+        Spec requests produce **exactly** the configured ``row_fn``'s
+        columns (``default_row`` by default) — bit-compatible with
+        :func:`~repro.batch.driver.run_batched` rows for the same spec
+        and seed; the row is built once at completion (so the built
+        database can be released) and copied out here.  Live requests
+        share :func:`~repro.batch.driver.audit_row`, reading the sizes
+        from the result's public parameters (there is no spec or
+        database to label them).
+        """
+        result = self.result()
+        if self._row is not None:
+            return dict(self._row)
+        params = result.public_parameters
+        return audit_row(
+            self.label, params["n"], params["N"], params["M"], params["nu"], result
+        )
+
+    # -- resolution (service-internal) ---------------------------------------------
+
+    def _fulfill(self, result: SamplingResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class SamplerService:
+    """Long-lived batching sampler over the stacked ``classes`` engine.
+
+    Parameters
+    ----------
+    model:
+        ``"sequential"`` or ``"parallel"`` — the query model every served
+        request runs under.
+    batch_size:
+        Target instances per stacked tensor (the packer's full-flush
+        trigger).
+    flush_deadline:
+        Seconds a request may wait for co-batchable arrivals before its
+        partial group is flushed — the service's latency bound knob.
+    workers:
+        Batch-execution threads.  NumPy kernels dominate batch runtime
+        and release the GIL, so a couple of workers overlap execution
+        with packing; process-level fan-out remains ``run_batched``'s
+        job (offline sweeps).
+    rng:
+        Seed source for deterministic per-spec child seeds (submission
+        order), exactly like ``run_batched(rng=...)``.
+    include_probabilities:
+        Whether results carry the ``O(N)`` output distribution; off by
+        default — the serving fast path only needs fidelity + ledger.
+    row_fn:
+        Row builder for :meth:`ServedRequest.row` on spec requests.
+
+    Use as a context manager: leaving the ``with`` block drains and
+    closes the service.
+    """
+
+    def __init__(
+        self,
+        model: str = "sequential",
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        flush_deadline: float = DEFAULT_FLUSH_DEADLINE,
+        workers: int = 2,
+        rng: object = None,
+        include_probabilities: bool = False,
+        row_fn: RowFn = default_row,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if model not in ("sequential", "parallel"):
+            raise ValidationError(
+                f"unknown model {model!r}; choose from ('sequential', 'parallel')"
+            )
+        self._model = model
+        self._include_probabilities = include_probabilities
+        self._row_fn = row_fn
+        self._clock = clock
+        self._gen = as_generator(rng)
+        self._stats = ServiceStats(clock=clock)
+        self._packer: ShapePacker[ServedRequest] = ShapePacker(
+            batch_size, flush_deadline, clock=clock
+        )
+        self._input: "queue.SimpleQueue[object]" = queue.SimpleQueue()
+        self._next_index = 0
+        self._requests: list[ServedRequest] = []
+        self._submit_lock = threading.Lock()
+        self._close_lock = threading.Lock()
+        self._closed = False
+        self._abandon = False
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, workers), thread_name_prefix="repro-serve"
+        )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, spec: InstanceSpec) -> ServedRequest:
+        """Queue one spec-built instance; returns its future immediately.
+
+        The child seed is drawn under the submission lock, so the seed
+        sequence is exactly the spec-submission order — the
+        ``run_batched`` determinism contract, continuously.
+        """
+        with self._submit_lock:
+            self._check_open()
+            request = ServedRequest(
+                index=self._next_index,
+                label=spec.label(),
+                spec=spec,
+                seed=spawn_seed(self._gen),
+                instance=None,
+                submitted_at=self._clock(),
+                row_fn=self._row_fn,
+            )
+            self._next_index += 1
+            self._requests.append(request)
+            self._stats.record_submit()
+            self._input.put(request)
+        return request
+
+    def submit_live(self, stream: UpdateStream, label: str = "live") -> ServedRequest:
+        """Queue a re-sample of a mutating dynamic database.
+
+        Snapshots the stream's ``O(1)``-maintained count-class view
+        (:meth:`~repro.database.dynamic.UpdateStream.class_state`) into a
+        :class:`~repro.batch.engine.ClassInstance` **at submission time**
+        — one ``O(N)`` class-map copy, no ``O(nN)`` machine scan — so the
+        result reflects the database exactly as of this call even while
+        updates keep streaming.  (The first ``class_state()`` call on a
+        stream builds the view once; prime it before heavy traffic.)
+        """
+        db = stream.database
+        snapshot = ClassInstance.from_class_state(
+            stream.class_state(), db.n_machines, capacities=db.capacities
+        )
+        with self._submit_lock:
+            self._check_open()
+            request = ServedRequest(
+                index=self._next_index,
+                label=label,
+                spec=None,
+                seed=None,
+                instance=snapshot,
+                submitted_at=self._clock(),
+                row_fn=self._row_fn,
+            )
+            self._next_index += 1
+            self._requests.append(request)
+            self._stats.record_submit()
+            self._input.put(request)
+        return request
+
+    # -- results & telemetry --------------------------------------------------------
+
+    @property
+    def stats(self) -> ServiceStats:
+        """The live telemetry surface."""
+        return self._stats
+
+    def telemetry(self) -> dict[str, object]:
+        """A plain-scalar snapshot of the serving counters."""
+        return self._stats.snapshot()
+
+    def requests(self) -> list[ServedRequest]:
+        """All retained requests, in submission order."""
+        with self._submit_lock:
+            return list(self._requests)
+
+    def purge_completed(self) -> int:
+        """Drop resolved requests from the retained history; returns count.
+
+        A truly long-lived service must not keep every served request
+        alive forever — each one pins its database, result and state.
+        Callers who consume results through the futures they already
+        hold (or who call this after each :meth:`rows` sweep) can purge
+        periodically; subsequent :meth:`requests`/:meth:`rows` cover only
+        the still-retained tail.  The telemetry counters are cumulative
+        and unaffected.
+        """
+        with self._submit_lock:
+            kept = [request for request in self._requests if not request.done()]
+            dropped = len(self._requests) - len(kept)
+            self._requests = kept
+        return dropped
+
+    def iter_results(self) -> Iterator[tuple[ServedRequest, SamplingResult]]:
+        """Yield ``(request, result)`` in submission order, blocking."""
+        for request in self.requests():
+            yield request, request.result()
+
+    def rows(self) -> list[dict[str, object]]:
+        """All result rows in submission order (blocks until complete)."""
+        return [request.row() for request in self.requests()]
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting requests and shut down (idempotent).
+
+        ``drain=True`` (graceful): every accepted request is packed,
+        executed and resolved before the call returns.  ``drain=False``:
+        requests not yet handed to a worker fail with
+        :class:`ServiceClosedError`; in-flight batches still finish.
+
+        Safe to call from multiple threads: ``_close_lock`` serializes
+        the whole teardown, so a second caller blocks until the first
+        has finished draining rather than shutting the executor down
+        under the still-dispatching drain.
+        """
+        with self._close_lock:
+            if not self._closed:
+                with self._submit_lock:
+                    self._closed = True
+                    self._abandon = not drain
+                    self._input.put(_STOP)
+                self._dispatcher.join()
+                self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "SamplerService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(drain=True)
+
+    # -- the dispatcher ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            timeout = self._packer.seconds_until_flush()
+            try:
+                item = (
+                    self._input.get()
+                    if timeout is None
+                    else self._input.get(timeout=max(timeout, 1e-4))
+                )
+            except queue.Empty:
+                item = None
+            if item is _STOP:
+                break
+            if item is not None:
+                self._prepare_and_pack(item)
+            self._flush_ready()
+        # Shutdown: whatever was accepted before close() must still be
+        # in the input queue or the packer; drain (or abandon) it all.
+        while True:
+            try:
+                item = self._input.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            if self._abandon:
+                item._fail(ServiceClosedError("service closed without draining"))
+                self._stats.record_failure()
+            else:
+                self._prepare_and_pack(item)
+        if self._abandon:
+            for batch in self._packer.drain():
+                for request in batch:
+                    request._fail(ServiceClosedError("service closed without draining"))
+                    self._stats.record_failure()
+        else:
+            self._flush_ready()
+            for batch in self._packer.drain():
+                self._launch(batch)
+
+    def _prepare_and_pack(self, request: ServedRequest) -> None:
+        """Materialize the request and queue it under its schedule shape."""
+        try:
+            if request._instance is None:
+                assert request.spec is not None
+                request.db = request.spec.build(rng=request.seed)
+                request._instance = ClassInstance.from_db(request.db)
+            plan = cached_plan(request._instance.overlap())
+        except BaseException as error:  # bad spec/plan: fail just this request
+            request._fail(error)
+            self._stats.record_failure()
+            return
+        self._packer.add((plan.grover_reps, plan.needs_final), request)
+
+    def _flush_ready(self) -> None:
+        for batch in self._packer.pop_ready():
+            self._launch(batch)
+
+    def _launch(self, batch: list[ServedRequest]) -> None:
+        self._stats.record_batch(len(batch), self._packer.batch_size)
+        self._executor.submit(self._execute_batch, batch)
+
+    def _execute_batch(self, batch: list[ServedRequest]) -> None:
+        try:
+            results = execute_class_batch(
+                [request._instance for request in batch],
+                model=self._model,
+                include_probabilities=self._include_probabilities,
+            )
+        except BaseException as error:
+            for request in batch:
+                request._fail(error)
+                self._stats.record_failure()
+            return
+        completed_at = self._clock()
+        for request, result in zip(batch, results):
+            try:
+                if request.spec is not None:
+                    request._row = dict(
+                        request._row_fn(request.spec, request.db, result)
+                    )
+            except BaseException as error:  # a broken row_fn fails its request
+                request._fail(error)
+                self._stats.record_failure()
+                continue
+            # Row and result are all a resolved request keeps: the built
+            # database and the O(N) class-map snapshot are released here.
+            request.db = None
+            request._instance = None
+            request._fulfill(result)
+            self._stats.record_complete(completed_at - request.submitted_at, result)
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("service is closed; no further submissions")

@@ -1,0 +1,139 @@
+"""Live serving telemetry (the E23/E24 counters, continuously updated).
+
+:class:`ServiceStats` is the one mutation point every serving event goes
+through — submissions, batch launches, completions — so a single lock
+keeps the counters consistent while the dispatcher, the worker pool and
+any number of submitting threads race.  :meth:`snapshot` returns a
+plain-scalar dict ready for report tables and JSON artifacts:
+
+``instances_per_sec``
+    Completed requests over the busy wall-clock span (first submission →
+    latest completion) — directly comparable to the E23 batched
+    throughput rates.
+``batch_fill_ratio``
+    Mean executed-batch size over the target batch size: 1.0 means the
+    packer always filled the stacked tensor, lower values quantify the
+    latency-for-throughput trade the deadline flush makes.
+``p50_latency`` / ``p99_latency``
+    Submit-to-completion percentiles over a bounded window of recent
+    requests (:data:`LATENCY_WINDOW`), so a long-lived service reports
+    *current* behaviour, not its lifetime average.
+``queue_depth``
+    Requests accepted but not yet completed (in the input queue, the
+    packer, or an executing batch).
+``sequential_queries`` / ``parallel_rounds``
+    Honest ledger totals summed over completed requests — the same
+    audit columns ``run_batched`` rows carry.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+#: How many most-recent request latencies the percentile window keeps.
+LATENCY_WINDOW = 10_000
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (``q`` in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return float(sorted_values[rank])
+
+
+class ServiceStats:
+    """Thread-safe counters for one :class:`~repro.serve.SamplerService`."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._exact = 0
+        self._batches = 0
+        self._batched_instances = 0
+        self._fill_sum = 0.0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._sequential_queries = 0
+        self._parallel_rounds = 0
+        self._first_submit: float | None = None
+        self._last_complete: float | None = None
+
+    # -- recording (called by the service machinery) -------------------------------
+
+    def record_submit(self) -> None:
+        """One request accepted."""
+        with self._lock:
+            self._submitted += 1
+            if self._first_submit is None:
+                self._first_submit = self._clock()
+
+    def record_batch(self, size: int, target: int) -> None:
+        """One packed batch handed to the worker pool."""
+        with self._lock:
+            self._batches += 1
+            self._batched_instances += size
+            self._fill_sum += size / max(target, 1)
+
+    def record_complete(self, latency: float, result) -> None:
+        """One request finished; ``result`` is its :class:`SamplingResult`."""
+        with self._lock:
+            self._completed += 1
+            self._latencies.append(latency)
+            self._sequential_queries += result.sequential_queries
+            self._parallel_rounds += result.parallel_rounds
+            if result.exact:
+                self._exact += 1
+            self._last_complete = self._clock()
+
+    def record_failure(self) -> None:
+        """One request errored (its future carries the exception)."""
+        with self._lock:
+            self._failed += 1
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def completed(self) -> int:
+        """Requests finished successfully so far."""
+        with self._lock:
+            return self._completed
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests accepted but not yet completed or failed."""
+        with self._lock:
+            return self._submitted - self._completed - self._failed
+
+    def snapshot(self) -> dict[str, object]:
+        """All counters as plain scalars (JSON-/table-ready)."""
+        with self._lock:
+            span = None
+            if self._first_submit is not None and self._last_complete is not None:
+                span = max(self._last_complete - self._first_submit, 1e-9)
+            ordered = sorted(self._latencies)
+            return {
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "exact": self._exact,
+                "queue_depth": self._submitted - self._completed - self._failed,
+                "batches_executed": self._batches,
+                "batch_fill_ratio": (
+                    self._fill_sum / self._batches if self._batches else 0.0
+                ),
+                "mean_batch_size": (
+                    self._batched_instances / self._batches if self._batches else 0.0
+                ),
+                "instances_per_sec": (self._completed / span if span else 0.0),
+                "p50_latency": percentile(ordered, 0.50),
+                "p99_latency": percentile(ordered, 0.99),
+                "max_latency": (max(ordered) if ordered else 0.0),
+                "sequential_queries": self._sequential_queries,
+                "parallel_rounds": self._parallel_rounds,
+            }

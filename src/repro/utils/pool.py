@@ -17,8 +17,9 @@ leak into the parent or into sibling workers — a tested invariant.
 
 from __future__ import annotations
 
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 P = TypeVar("P")
 R = TypeVar("R")
@@ -51,3 +52,48 @@ def process_map(fn: Callable[[P], R], payloads: Iterable[P], jobs: int | None = 
         # Executor.map preserves input order even when workers finish
         # out of order, which is exactly the row-stability contract.
         return list(pool.map(fn, items))
+
+
+def process_map_iter(
+    fn: Callable[[P], R],
+    payloads: Iterable[P],
+    jobs: int | None = None,
+    window: int | None = None,
+) -> Iterator[R]:
+    """Streaming :func:`process_map`: results in payload order, lazily.
+
+    The payload iterable is consumed *incrementally* — never materialized
+    — so callers can feed unbounded or expensive-to-build work streams
+    (the lazy-spec batch driver, the serving packer's replay paths).
+    Ordering is the same submission-order contract as
+    :func:`process_map`.
+
+    Parameters
+    ----------
+    fn, payloads, jobs:
+        As in :func:`process_map`.
+    window:
+        Maximum payloads in flight at once when ``jobs > 1`` (default
+        ``2 × jobs``): at most ``window`` submitted-but-unyielded
+        payloads exist at any moment — payload ``k + window`` is drawn
+        only after result ``k`` has left the deque (just before it is
+        yielded) — which bounds both memory and how far ahead of the
+        results the iterable is consumed.
+    """
+    if jobs is None or jobs <= 1:
+        for payload in payloads:
+            yield fn(payload)
+        return
+    if window is None:
+        window = 2 * jobs
+    if window < 1:
+        raise ValueError(f"window must be positive, got {window}")
+    source = iter(payloads)
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        in_flight: deque = deque()
+        for payload in source:
+            in_flight.append(pool.submit(fn, payload))
+            if len(in_flight) >= window:
+                yield in_flight.popleft().result()
+        while in_flight:
+            yield in_flight.popleft().result()

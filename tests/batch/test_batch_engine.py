@@ -133,3 +133,61 @@ class TestEdges:
         )
         assert all(r.exact for r in results)
         assert results[0].final_state.class_amplitudes().shape == (9, 2)
+
+
+class TestClassInstance:
+    """The serving-facing entry: batches from raw class-state snapshots."""
+
+    def test_from_db_reproduces_batch_path(self, small_db, sparse_db):
+        from repro.batch import ClassInstance, execute_class_batch
+
+        via_dbs = execute_sampling_batch([small_db, sparse_db], model="sequential")
+        via_instances = execute_class_batch(
+            [ClassInstance.from_db(small_db), ClassInstance.from_db(sparse_db)],
+            model="sequential",
+        )
+        for a, b in zip(via_dbs, via_instances):
+            assert a.fidelity == b.fidelity
+            assert a.ledger.summary() == b.ledger.summary()
+            np.testing.assert_array_equal(a.output_probabilities, b.output_probabilities)
+
+    def test_from_class_state_snapshot_is_pinned(self, small_db):
+        from repro.batch import ClassInstance
+        from repro.database.dynamic import random_update_stream
+
+        stream = random_update_stream(small_db, 10, rng=0)
+        snapshot = ClassInstance.from_class_state(
+            stream.class_state(), small_db.n_machines, capacities=small_db.capacities
+        )
+        m_before = small_db.total_count
+        joints_before = snapshot.joints.copy()
+        stream.apply_all()
+        # The snapshot must not follow the live view.
+        assert snapshot.total == m_before
+        np.testing.assert_array_equal(snapshot.joints, joints_before)
+        fresh = ClassInstance.from_db(small_db)
+        assert fresh.total == small_db.total_count
+
+    def test_from_class_state_matches_from_db(self, small_db):
+        from repro.batch import ClassInstance, execute_class_batch
+        from repro.database.dynamic import random_update_stream
+
+        stream = random_update_stream(small_db, 8, rng=1)
+        stream.class_state()
+        stream.apply_all()
+        live = ClassInstance.from_class_state(
+            stream.class_state(), small_db.n_machines, capacities=small_db.capacities
+        )
+        scanned = ClassInstance.from_db(small_db)
+        np.testing.assert_array_equal(live.joints, scanned.joints)
+        assert live.total == scanned.total
+        assert live.nu == scanned.nu
+        assert live.overlap() == scanned.overlap()
+        [a], [b] = execute_class_batch([live]), execute_class_batch([scanned])
+        assert a.fidelity == b.fidelity
+        assert a.public_parameters == b.public_parameters
+
+    def test_empty_batch(self):
+        from repro.batch import execute_class_batch
+
+        assert execute_class_batch([]) == []

@@ -99,3 +99,51 @@ class TestDefaultRow:
         import pickle
 
         assert pickle.loads(pickle.dumps(default_row)) is default_row
+
+
+class TestLazySpecStreams:
+    """specs may be a generator: consumed chunk-wise, never materialized."""
+
+    def test_generator_rows_match_list_rows(self):
+        eager = run_batched(specs(), rng=7, batch_size=2)
+        lazy = run_batched(iter(specs()), rng=7, batch_size=2)
+        assert eager.rows == lazy.rows
+
+    def test_stream_consumed_incrementally(self):
+        """The first batch executes before later specs are even drawn."""
+        pulled = []
+        consumed_at_execution = []
+
+        def spec_stream():
+            for k, spec in enumerate(specs()):
+                pulled.append(k)
+                yield spec
+
+        def recording_row(spec, db, result):
+            consumed_at_execution.append(len(pulled))
+            return {"label": spec.label()}
+
+        run_batched(spec_stream(), rng=0, batch_size=2, row_fn=recording_row)
+        # 6 specs, batch_size 2: when the first batch's rows are built,
+        # only that batch's specs (2) have been drawn from the stream.
+        assert consumed_at_execution[0] == 2
+        assert consumed_at_execution[-1] == 6
+
+    def test_generator_with_jobs_matches_in_process(self):
+        lazy_fanout = run_batched(iter(specs()), rng=7, batch_size=2, jobs=2)
+        in_process = run_batched(specs(), rng=7, batch_size=2)
+        assert lazy_fanout.rows == in_process.rows
+
+    def test_iter_seeded_batches_chunks_and_seed_order(self):
+        from repro.batch import iter_seeded_batches
+
+        items = specs()
+        batches = list(iter_seeded_batches(items, 5, batch_size=4))
+        assert [len(b) for b in batches] == [4, 2]
+        assert [spec for batch in batches for spec, _ in batch] == items
+        # seeds are the spec-order spawn_seed sequence for rng=5
+        from repro.utils.rng import as_generator, spawn_seed
+
+        gen = as_generator(5)
+        expected = [spawn_seed(gen) for _ in items]
+        assert [seed for batch in batches for _, seed in batch] == expected

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import OracleDistributingOperator, SequentialSampler
+from repro.core import OracleDistributingOperator, ParallelSampler, SequentialSampler
 from repro.database import DistributedDatabase, Multiset
 from repro.errors import ValidationError
 
@@ -101,3 +101,113 @@ class TestGuards:
         result = SequentialSampler(mostly_empty_db, skip_zero_capacity=True).run()
         bound = sequential_bound_expression(mostly_empty_db)
         assert result.sequential_queries >= 0.2 * bound
+
+
+class TestParallelFlaggedRounds:
+    """The Theorem 5.2-side analogue: flagged joint-oracle rounds skip κ = 0."""
+
+    def test_same_output_state(self, mostly_empty_db):
+        full = ParallelSampler(mostly_empty_db, backend="synced").run()
+        skipping = ParallelSampler(
+            mostly_empty_db, backend="synced", skip_zero_capacity=True
+        ).run()
+        np.testing.assert_allclose(
+            full.output_probabilities, skipping.output_probabilities, atol=1e-10
+        )
+        assert skipping.exact
+
+    def test_rounds_unchanged_but_fewer_queries(self, mostly_empty_db):
+        """The round count is n-free (Theorem 4.5) so it cannot drop; the
+        ledger's total work Σ_j t_j falls to rounds × active machines."""
+        full = ParallelSampler(mostly_empty_db).run()
+        skipping = ParallelSampler(mostly_empty_db, skip_zero_capacity=True).run()
+        assert skipping.parallel_rounds == full.parallel_rounds
+        assert skipping.sequential_queries < full.sequential_queries
+        # 2 active machines of 5: total work ratio is exactly 2/5.
+        assert skipping.sequential_queries * 5 == full.sequential_queries * 2
+        assert skipping.sequential_queries == skipping.parallel_rounds * 2
+
+    def test_skipped_machines_never_queried(self, mostly_empty_db):
+        result = ParallelSampler(mostly_empty_db, skip_zero_capacity=True).run()
+        per_machine = result.ledger.per_machine()
+        assert per_machine[1] == per_machine[3] == per_machine[4] == 0
+        assert per_machine[0] == per_machine[2] == result.parallel_rounds
+
+    def test_classes_backend_agrees(self, mostly_empty_db):
+        synced = ParallelSampler(
+            mostly_empty_db, backend="synced", skip_zero_capacity=True
+        ).run()
+        classes = ParallelSampler(
+            mostly_empty_db, backend="classes", skip_zero_capacity=True
+        ).run()
+        assert synced.ledger.summary() == classes.ledger.summary()
+        np.testing.assert_allclose(
+            synced.output_probabilities, classes.output_probabilities, atol=1e-10
+        )
+
+    def test_dense_backend_agrees(self):
+        """Honest per-machine ancillas: skipped flags stay |0⟩ throughout."""
+        shards = [Multiset(4, {0: 1, 1: 1}), Multiset.empty(4), Multiset(4, {3: 1})]
+        db = DistributedDatabase.from_shards(shards, nu=2)
+        synced = ParallelSampler(db, backend="synced", skip_zero_capacity=True).run()
+        dense = ParallelSampler(db, backend="dense", skip_zero_capacity=True).run()
+        assert synced.ledger.summary() == dense.ledger.summary()
+        np.testing.assert_allclose(
+            synced.output_probabilities, dense.output_probabilities, atol=1e-10
+        )
+
+    def test_schedule_publishes_flagged_subset(self, mostly_empty_db):
+        sampler = ParallelSampler(mostly_empty_db, skip_zero_capacity=True)
+        schedule = sampler.schedule()
+        assert all(e.machines == (0, 2) for e in schedule)
+        assert schedule.machine_queries(0) == schedule.parallel_rounds()
+        assert schedule.machine_queries(1) == 0
+        plain = ParallelSampler(mostly_empty_db).schedule()
+        assert schedule.fingerprint() != plain.fingerprint()
+
+    def test_schedule_matches_ledger(self, mostly_empty_db):
+        sampler = ParallelSampler(mostly_empty_db, skip_zero_capacity=True)
+        result = sampler.run()
+        for j in range(mostly_empty_db.n_machines):
+            assert result.schedule.machine_queries(j) == result.ledger.machine_queries(j)
+        assert sampler.predicted_total_queries() == result.sequential_queries
+
+    def test_cannot_skip_nonempty_machine_via_parallel_oracle(self, mostly_empty_db):
+        from repro.database import ParallelOracle
+
+        with pytest.raises(ValidationError, match="cannot skip"):
+            ParallelOracle(mostly_empty_db, active_machines=[0])
+
+    def test_no_zero_capacity_machines_changes_nothing(self, small_db):
+        plain = ParallelSampler(small_db).run()
+        skipping = ParallelSampler(small_db, skip_zero_capacity=True).run()
+        assert plain.ledger.summary() == skipping.ledger.summary()
+        assert plain.schedule.fingerprint() == skipping.schedule.fingerprint()
+
+
+class TestAllOperatorsValidateSkips:
+    """Every D implementation rejects skipping a machine that may act."""
+
+    def test_class_operator_rejects_nonempty_skip(self, mostly_empty_db):
+        from repro.core import ClassDistributingOperator
+
+        with pytest.raises(ValidationError, match="cannot skip"):
+            ClassDistributingOperator(mostly_empty_db, active_machines=[0])
+
+    def test_direct_operator_rejects_nonempty_skip(self, mostly_empty_db):
+        from repro.core import DirectDistributingOperator
+
+        with pytest.raises(ValidationError, match="cannot skip"):
+            DirectDistributingOperator(mostly_empty_db, active_machines=[0])
+
+    def test_parallel_operator_rejects_nonempty_skip(self, mostly_empty_db):
+        from repro.core import ParallelDistributingOperator
+
+        with pytest.raises(ValidationError, match="cannot skip"):
+            ParallelDistributingOperator(mostly_empty_db, active_machines=[0])
+
+    def test_class_operator_accepts_sound_skip(self, mostly_empty_db):
+        from repro.core import ClassDistributingOperator
+
+        op = ClassDistributingOperator(mostly_empty_db, active_machines=[0, 2])
+        assert op.oracle_calls_per_application == 4

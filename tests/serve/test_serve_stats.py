@@ -1,0 +1,70 @@
+"""ServiceStats: counter bookkeeping and snapshot fields."""
+
+from repro.serve import ServiceStats
+from repro.serve.stats import percentile
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class FakeResult:
+    def __init__(self, sequential_queries=10, parallel_rounds=0, exact=True):
+        self.sequential_queries = sequential_queries
+        self.parallel_rounds = parallel_rounds
+        self.exact = exact
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_median_and_tail(self):
+        values = sorted(float(v) for v in range(100))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 99.0  # clamped to the last rank
+
+
+class TestCounters:
+    def test_snapshot_follows_lifecycle(self):
+        clock = FakeClock()
+        stats = ServiceStats(clock=clock)
+        for _ in range(4):
+            stats.record_submit()
+        assert stats.queue_depth == 4
+
+        stats.record_batch(3, target=4)
+        clock.now = 2.0
+        for latency in (0.5, 1.0, 2.0):
+            stats.record_complete(latency, FakeResult(sequential_queries=6))
+        snap = stats.snapshot()
+        assert snap["submitted"] == 4
+        assert snap["completed"] == 3
+        assert snap["queue_depth"] == 1
+        assert snap["batches_executed"] == 1
+        assert snap["batch_fill_ratio"] == 0.75
+        assert snap["mean_batch_size"] == 3.0
+        assert snap["sequential_queries"] == 18
+        assert snap["exact"] == 3
+        # busy span: first submit at t=0, last completion at t=2 → 1.5/s
+        assert snap["instances_per_sec"] == 1.5
+        assert snap["p50_latency"] == 1.0
+        assert snap["max_latency"] == 2.0
+
+    def test_failures_reduce_queue_depth(self):
+        stats = ServiceStats(clock=FakeClock())
+        stats.record_submit()
+        stats.record_failure()
+        assert stats.queue_depth == 0
+        assert stats.snapshot()["failed"] == 1
+
+    def test_empty_snapshot_is_all_zero(self):
+        snap = ServiceStats(clock=FakeClock()).snapshot()
+        assert snap["instances_per_sec"] == 0.0
+        assert snap["batch_fill_ratio"] == 0.0
+        assert snap["p99_latency"] == 0.0

@@ -89,3 +89,28 @@ class TestCli:
                      "--total", "8", "--machines", "2"])
         assert code == 2
         assert "positive instance count" in capsys.readouterr().err
+
+
+class TestServeCli:
+    def test_serve_smoke(self, capsys):
+        code = main(["serve", "--max-requests", "8", "--universe", "64",
+                     "--total", "24", "--machines", "2", "--batch-size", "4",
+                     "--flush-deadline", "0.01", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8" in out  # every request exact
+        assert "throughput" in out
+        assert "p99 latency" in out
+
+    def test_serve_parallel_model(self, capsys):
+        code = main(["serve", "--model", "parallel", "--max-requests", "4",
+                     "--universe", "64", "--total", "24", "--machines", "2",
+                     "--batch-size", "4", "--flush-deadline", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "parallel rounds" in out
+
+    def test_serve_rejects_nonpositive_count(self, capsys):
+        code = main(["serve", "--max-requests", "0"])
+        assert code == 2
+        assert "max-requests" in capsys.readouterr().err

@@ -161,3 +161,67 @@ class TestTable:
         table.add_row([1, 0.123456789])
         rendered = table.render()
         assert "0.1235" in rendered
+
+
+def _square(x):
+    """Module-level so process_map_iter can pickle it to workers."""
+    return x * x
+
+
+class TestProcessMapIter:
+    def test_in_process_streams_lazily(self):
+        from repro.utils.pool import process_map_iter
+
+        pulled = []
+
+        def source():
+            for k in range(6):
+                pulled.append(k)
+                yield k
+
+        stream = process_map_iter(_square, source())
+        assert pulled == []  # nothing consumed before iteration starts
+        assert next(stream) == 0
+        assert len(pulled) == 1  # one payload per yielded result
+        assert list(stream) == [1, 4, 9, 16, 25]
+
+    def test_results_in_submission_order(self):
+        from repro.utils.pool import process_map_iter
+
+        assert list(process_map_iter(_square, range(20), jobs=2)) == [
+            k * k for k in range(20)
+        ]
+
+    def test_window_bounds_consumption(self):
+        from repro.utils.pool import process_map_iter
+
+        pulled = []
+
+        def source():
+            for k in range(10):
+                pulled.append(k)
+                yield k
+
+        stream = process_map_iter(_square, source(), jobs=2, window=3)
+        first = next(stream)
+        assert first == 0
+        # payload k+window is not drawn until result k is yielded:
+        # at most window + 1 payloads consumed after one yield.
+        assert len(pulled) <= 4
+        assert list(stream) == [k * k for k in range(1, 10)]
+
+    def test_bad_window_rejected(self):
+        import pytest
+
+        from repro.utils.pool import process_map_iter
+
+        with pytest.raises(ValueError):
+            list(process_map_iter(_square, range(3), jobs=2, window=0))
+
+    def test_matches_process_map(self):
+        from repro.utils.pool import process_map, process_map_iter
+
+        payloads = list(range(13))
+        assert list(process_map_iter(_square, payloads, jobs=2)) == process_map(
+            _square, payloads, jobs=2
+        )
