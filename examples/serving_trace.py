@@ -4,11 +4,11 @@
 A production sampler does not get its job list up front: requests arrive
 over time, and the service must keep the stacked batch engine saturated
 while bounding each request's latency.  This script replays a Poisson
-arrival trace of mixed-shape sampling requests through
-:class:`repro.serve.SamplerService` at three offered loads, interleaves
-live re-samples of a mutating dynamic database (no O(nN) rebuilds —
-requests snapshot the O(1)-maintained count-class view), and prints the
-telemetry each load level produces.
+arrival trace of mixed-shape sampling requests through the front door's
+stream call — ``repro.serve`` — at three offered loads, interleaves live
+re-samples of a mutating dynamic database (no O(nN) rebuilds — requests
+snapshot the O(1)-maintained count-class view), and prints the telemetry
+each load level produces.
 
 Run:  python examples/serving_trace.py
 """
@@ -17,14 +17,14 @@ import time
 
 import numpy as np
 
+import repro
 from repro.analysis import InstanceSpec
 from repro.database import WorkloadSpec, round_robin, zipf_dataset
 from repro.database.dynamic import random_update_stream
-from repro.serve import SamplerService
 from repro.utils import Table
 
 #: Two spec families with different overlaps → different schedule shapes,
-#: so the packer's shape-keyed grouping actually has work to do.
+#: so the dispatcher's shape-keyed grouping actually has work to do.
 SPECS = [
     InstanceSpec(
         workload=WorkloadSpec.of("zipf", universe=1024, total=256), n_machines=3
@@ -41,16 +41,22 @@ FLUSH_DEADLINE = 0.02
 def replay(rate_hz: float) -> dict:
     """Drive one trace at the given offered load; returns the telemetry."""
     arrivals = np.random.default_rng(42)
-    with SamplerService(
-        batch_size=32, flush_deadline=FLUSH_DEADLINE, rng=7
-    ) as service:
+
+    def trace():
+        # The stream is consumed lazily in the submit thread, so sleeping
+        # between yields replays real arrival timing.
         for k in range(REQUESTS):
             if rate_hz > 0:
                 time.sleep(float(arrivals.exponential(1.0 / rate_hz)))
-            service.submit(SPECS[k % len(SPECS)])
-        for _request, result in service.iter_results():
-            assert result.exact
-        return service.telemetry()
+            yield repro.SamplingRequest(
+                spec=SPECS[k % len(SPECS)], include_probabilities=False
+            )
+
+    results = repro.serve(
+        trace(), batch_size=32, flush_deadline=FLUSH_DEADLINE, rng=7
+    )
+    assert all(results.column("exact"))
+    return results.telemetry
 
 
 def main() -> None:
@@ -75,12 +81,21 @@ def main() -> None:
     db = round_robin(zipf_dataset(512, 128, exponent=1.2, rng=0), n_machines=3)
     stream = random_update_stream(db, length=60, insert_probability=0.7, rng=1)
     stream.class_state()  # build the O(1)-maintained view once, up front
-    with SamplerService(batch_size=8, flush_deadline=0.01, rng=0) as service:
-        befores = [service.submit_live(stream, label="before") for _ in range(4)]
+
+    def live_trace():
+        for _ in range(4):
+            yield repro.SamplingRequest(
+                stream=stream, label="before", include_probabilities=False
+            )
         stream.apply_all()
-        afters = [service.submit_live(stream, label="after") for _ in range(4)]
-        m_before = befores[0].result().public_parameters["M"]
-        m_after = afters[0].result().public_parameters["M"]
+        for _ in range(4):
+            yield repro.SamplingRequest(
+                stream=stream, label="after", include_probabilities=False
+            )
+
+    results = repro.serve(live_trace(), batch_size=8, flush_deadline=0.01, rng=0)
+    m_before = results[0].sampling.public_parameters["M"]
+    m_after = results[-1].sampling.public_parameters["M"]
     print(f"live re-sampling: M = {m_before} before the updates, "
           f"{m_after} after ({stream.applied} elementary changes, "
           f"update bill {stream.total_update_cost()}) — all exact, no rebuilds")

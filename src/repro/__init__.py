@@ -11,17 +11,25 @@ machinery, baselines and an experiment harness.
 
 Quickstart
 ----------
->>> from repro import sample_sequential
+>>> import repro
 >>> from repro.database import uniform_dataset, round_robin
 >>> db = round_robin(uniform_dataset(16, 32, rng=0), n_machines=2)
->>> result = sample_sequential(db)
+>>> result = repro.sample(repro.SamplingRequest(database=db))
 >>> result.exact                      # the zero-error guarantee
 True
->>> result.sequential_queries == result.ledger.sequential_queries
-True
+>>> result.strategy, result.sequential_queries == result.ledger.sequential_queries
+('instance', True)
+
+The front door (:mod:`repro.api`) routes every workload — single runs,
+batched sweeps, process fan-out, served streams — through one
+request → plan → execute pipeline: :func:`repro.sample`,
+:func:`repro.sample_many`, :func:`repro.serve`.
 
 Subpackages
 -----------
+:mod:`repro.api`
+    The unified entry point: ``SamplingRequest`` → ``Planner`` →
+    ``ExecutionPlan`` → ``Result``/``ResultSet``.
 :mod:`repro.qsim`
     Exact qudit-register statevector simulator.
 :mod:`repro.circuits`
@@ -69,12 +77,45 @@ from .errors import (
     NotUnitaryError,
     ObliviousnessError,
     PlanInfeasibleError,
+    PlanningError,
     ReproError,
+    RequestError,
     SimulationLimitError,
     ValidationError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Front-door names resolved lazily from :mod:`repro.api` (PEP 562), so
+#: ``import repro`` stays light — the batch/serve layers load on first
+#: use.  ``serve`` resolves to the :mod:`repro.serve` subpackage, which
+#: is itself callable as the stream entry point.
+_API_EXPORTS = (
+    "ExecutionPlan",
+    "Planner",
+    "Result",
+    "ResultSet",
+    "SamplingRequest",
+    "sample",
+    "sample_many",
+)
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        from . import api
+
+        return getattr(api, name)
+    if name == "serve":
+        import importlib
+
+        return importlib.import_module(".serve", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_API_EXPORTS) | {"serve"})
+
 
 __all__ = [
     "CONFIG",
@@ -82,6 +123,7 @@ __all__ = [
     "CapacityError",
     "DistributedDatabase",
     "EmptyDatabaseError",
+    "ExecutionPlan",
     "Machine",
     "Multiset",
     "NotUnitaryError",
@@ -89,16 +131,25 @@ __all__ = [
     "ObliviousnessError",
     "ParallelSampler",
     "PlanInfeasibleError",
+    "Planner",
+    "PlanningError",
     "QueryLedger",
     "ReproError",
+    "RequestError",
+    "Result",
+    "ResultSet",
+    "SamplingRequest",
     "SamplingResult",
     "SequentialSampler",
     "SimulationLimitError",
     "ValidationError",
     "__version__",
     "partition",
+    "sample",
+    "sample_many",
     "sample_parallel",
     "sample_sequential",
+    "serve",
     "solve_plan",
     "strict_mode",
     "target_state",

@@ -7,14 +7,18 @@ Commands
     full report (plan, query bill, certificate).
 ``sample``
     Sample a synthetic database with chosen parameters; flags:
-    ``--universe --total --machines --model --backend --strategy --seed``.
-    With ``--batch B`` the batched subsystem (:mod:`repro.batch`) runs
-    ``B`` independent instances of the recipe as stacked tensors on the
-    ``classes`` substrate, optionally fanned across ``--jobs`` worker
-    processes, and reports aggregate fidelity/throughput.
+    ``--universe --total --machines --model --backend --strategy --seed
+    --capacity``.  Routed through the :mod:`repro.api` front door
+    (``repro.sample``); ``--backend`` defaults to the planner's ``auto``
+    choice.  With ``--batch B`` the same front door
+    (``repro.sample_many``) runs ``B`` independent instances of the
+    recipe through the stacked ``classes`` engine, optionally fanned
+    across ``--jobs`` worker processes, and reports aggregate
+    fidelity/throughput.
 ``serve``
-    Run the long-lived batching sampler service (:mod:`repro.serve`) on
-    a synthetic Poisson arrival trace and print its telemetry; flags:
+    Run the long-lived batching sampler service (``repro.serve`` — the
+    front door's stream strategy) on a synthetic Poisson arrival trace
+    and print its telemetry; flags:
     ``--max-requests --rate --batch-size --flush-deadline --workers``
     plus the ``sample`` instance flags.  ``--rate 0`` offers requests as
     fast as the submitter can (full-load mode).
@@ -30,14 +34,11 @@ import argparse
 import sys
 
 from .analysis.verify import certify_run
-from .core import (
-    DEFAULT_BACKENDS,
-    ParallelSampler,
-    SequentialSampler,
-    backend_names,
-    estimate_overlap,
-)
+from .api import SamplingRequest, sample, sample_many
+from .api import serve as api_serve
+from .core import SequentialSampler, backend_names, estimate_overlap
 from .database import partition, zipf_dataset
+from .errors import ReproError
 from .utils import Table
 
 _EXPERIMENTS = [
@@ -65,6 +66,7 @@ _EXPERIMENTS = [
     ("E22", "Scaling — backend wall-time/memory up to N = 10⁶", "bench_e22_backend_scaling"),
     ("E23", "Scaling — batched engine ≥5× instances/sec at B = 256", "bench_e23_batched_throughput"),
     ("E24", "Serving — latency/throughput vs offered load & flush deadline", "bench_e24_serving"),
+    ("E25", "API — one request through all four planner strategies", "bench_e25_api_pipeline"),
 ]
 
 
@@ -89,87 +91,94 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sample_batch(args: argparse.Namespace) -> int:
-    import time
-
+def _instance_spec(args: argparse.Namespace):
     from .analysis.sweep import InstanceSpec
-    from .batch import run_batched
     from .database.workloads import WorkloadSpec
 
-    if args.batch < 1:
-        print(f"error: --batch needs a positive instance count, got {args.batch}",
-              file=sys.stderr)
-        return 2
-    backend = args.backend or "classes"
-    if backend != "classes":
-        print(
-            f"error: --batch runs on the 'classes' substrate; backend {backend!r} "
-            "is not batchable",
-            file=sys.stderr,
-        )
-        return 2
-    spec = InstanceSpec(
+    return InstanceSpec(
         workload=WorkloadSpec.of(
             "zipf", universe=args.universe, total=args.total, exponent=1.2
         ),
         n_machines=args.machines,
         strategy=args.strategy,
-        backend=backend,
+        backend="classes",
+    )
+
+
+def _cmd_sample_batch(args: argparse.Namespace) -> int:
+    import time
+
+    if args.batch < 1:
+        print(f"error: --batch needs a positive instance count, got {args.batch}",
+              file=sys.stderr)
+        return 2
+    spec = _instance_spec(args)
+    # batchable=True asks the planner for the stacked engine at any
+    # batch size (and for process fan-out when --jobs > 1); the
+    # aggregate table reads audit columns only, so skip the O(N)
+    # per-instance output-distribution gather (the engine's serving
+    # fast path).
+    request = SamplingRequest(
+        spec=spec,
+        model=args.model,
+        backend=args.backend or "auto",
+        capacity=args.capacity,
+        include_probabilities=False,
+        batchable=True,
     )
     start = time.perf_counter()
-    # The aggregate table reads audit columns only, so skip the O(N)
-    # per-instance output-distribution gather (the engine's serving fast
-    # path).
-    sweep = run_batched(
-        [spec] * args.batch,
-        model=args.model,
-        jobs=args.jobs,
-        rng=args.seed,
-        include_probabilities=False,
-    )
+    try:
+        results = sample_many(
+            [request] * args.batch, jobs=args.jobs, rng=args.seed
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
-    exact = sum(1 for row in sweep.rows if row["exact"])
+    exact = sum(1 for flag in results.column("exact") if flag)
     table = Table(
         f"batched {args.model} sampling × {args.batch} instances", ["metric", "value"]
     )
-    table.add_row(["instances", str(len(sweep))])
-    table.add_row(["exact (F = 1)", f"{exact}/{len(sweep)}"])
-    table.add_row(["mean fidelity", f"{sum(sweep.column('fidelity')) / len(sweep):.9f}"])
-    table.add_row(["sequential queries", str(sum(sweep.column("sequential_queries")))])
-    table.add_row(["parallel rounds", str(sum(sweep.column("parallel_rounds")))])
+    table.add_row(["instances", str(len(results))])
+    table.add_row(["exact (F = 1)", f"{exact}/{len(results)}"])
+    table.add_row(["mean fidelity",
+                   f"{sum(results.column('fidelity')) / len(results):.9f}"])
+    table.add_row(["sequential queries",
+                   str(sum(results.column("sequential_queries")))])
+    table.add_row(["parallel rounds", str(sum(results.column("parallel_rounds")))])
+    table.add_row(["strategy", results.strategies()[0]])
     table.add_row(["jobs", str(args.jobs or 1)])
     table.add_row(["wall time", f"{elapsed:.3f} s"])
-    table.add_row(["throughput", f"{len(sweep) / elapsed:.0f} instances/s"])
+    table.add_row(["throughput", f"{len(results) / elapsed:.0f} instances/s"])
     print(table.render())
-    return 0 if exact == len(sweep) else 1
+    return 0 if exact == len(results) else 1
 
 
 def _cmd_sample(args: argparse.Namespace) -> int:
     if args.batch:
         return _cmd_sample_batch(args)
-    backend = args.backend or DEFAULT_BACKENDS[args.model]
-    if backend not in backend_names(args.model):
-        print(
-            f"error: backend {backend!r} does not support the {args.model!r} "
-            f"model; choose from {', '.join(backend_names(args.model))}",
-            file=sys.stderr,
-        )
-        return 2
     db = _build_db(args)
-    sampler = (
-        SequentialSampler(db, backend=backend)
-        if args.model == "sequential"
-        else ParallelSampler(db, backend=backend)
+    request = SamplingRequest(
+        database=db,
+        model=args.model,
+        backend=args.backend or "auto",
+        capacity=args.capacity,
     )
-    result = sampler.run()
+    try:
+        result = sample(request)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     table = Table(
         f"{args.model} sampling of {db!r}",
         ["metric", "value"],
     )
-    for key, value in result.summary().items():
+    assert result.sampling is not None
+    for key, value in result.sampling.summary().items():
         if key == "public_parameters":
             continue
         table.add_row([key, str(value)])
+    table.add_row(["strategy", result.strategy])
     print(table.render())
     return 0 if result.exact else 1
 
@@ -179,39 +188,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     import numpy as np
 
-    from .analysis.sweep import InstanceSpec
-    from .database.workloads import WorkloadSpec
-    from .serve import SamplerService
-
     if args.max_requests < 1:
         print(f"error: --max-requests needs a positive count, got {args.max_requests}",
               file=sys.stderr)
         return 2
-    spec = InstanceSpec(
-        workload=WorkloadSpec.of(
-            "zipf", universe=args.universe, total=args.total, exponent=1.2
-        ),
-        n_machines=args.machines,
-        strategy=args.strategy,
-        backend="classes",
-    )
+    spec = _instance_spec(args)
     arrivals = np.random.default_rng(args.seed)
-    start = time.perf_counter()
-    with SamplerService(
-        model=args.model,
-        batch_size=args.batch_size,
-        flush_deadline=args.flush_deadline,
-        workers=args.workers,
-        rng=args.seed,
-    ) as service:
+
+    def request_trace():
+        """Poisson arrivals, replayed by sleeping in the submit thread."""
         for _ in range(args.max_requests):
             if args.rate > 0:
                 time.sleep(float(arrivals.exponential(1.0 / args.rate)))
-            service.submit(spec)
-        for _request, _result in service.iter_results():
-            pass
-        telemetry = service.telemetry()
+            yield SamplingRequest(
+                spec=spec, model=args.model, include_probabilities=False
+            )
+
+    start = time.perf_counter()
+    try:
+        results = api_serve(
+            request_trace(),
+            batch_size=args.batch_size,
+            flush_deadline=args.flush_deadline,
+            workers=args.workers,
+            rng=args.seed,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     elapsed = time.perf_counter() - start
+    telemetry = results.telemetry
+    assert telemetry is not None
     table = Table(
         f"served {args.model} sampling × {args.max_requests} requests "
         f"(rate={'max' if args.rate <= 0 else f'{args.rate:g}/s'}, "
@@ -268,11 +275,18 @@ def main(argv: list[str] | None = None) -> int:
         "--backend",
         choices=sorted(set(backend_names())),
         default=None,
-        help="simulation backend (default: the model's fast dense path; "
-        "'classes' scales to million-element universes)",
+        help="simulation backend (default: the planner's auto choice — "
+        "the dense fast path for small N, 'classes' at scale)",
     )
     sample.add_argument("--strategy", default="round_robin")
     sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--capacity",
+        choices=["all", "skip_empty"],
+        default="all",
+        help="capacity policy: skip_empty applies the capacity-aware "
+        "flagged-round restriction (κ_j = 0 machines are never queried)",
+    )
     sample.add_argument(
         "--batch",
         type=int,

@@ -157,13 +157,19 @@ def run_sweep(
     generator threaded through every build, bit-for-bit identical to
     previous releases.
     """
+    # The fan-out decision is the repro.api planner's routing rule, so
+    # this driver and the front door cannot drift apart (lazy import:
+    # the api layer sits above analysis in the dependency order).
+    from ..api.planner import Planner
+
     gen = as_generator(rng)
-    if jobs is not None and jobs > 1:
+    fanout = Planner().fanout_jobs(jobs)
+    if fanout is not None:
         # Lazy payloads: child seeds still come one per spec in spec
         # order, but an unbounded spec stream is consumed incrementally
         # (bounded in-flight window) instead of being materialized.
         payloads = ((spec, spawn_seed(gen), measure) for spec in specs)
-        return SweepResult(rows=list(process_map_iter(_measure_spec, payloads, jobs=jobs)))
+        return SweepResult(rows=list(process_map_iter(_measure_spec, payloads, jobs=fanout)))
     result = SweepResult()
     for spec in specs:
         result.rows.append(_measure_spec((spec, gen, measure)))

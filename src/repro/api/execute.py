@@ -1,0 +1,516 @@
+"""Executors for the four strategies, and the three front-door calls.
+
+:func:`sample`, :func:`sample_many` and :func:`serve` are the public
+entry points (re-exported as ``repro.sample``/``repro.sample_many``/
+``repro.serve``).  Each call runs request → plan → execute:
+
+1. the :class:`~repro.api.planner.Planner` resolves backends and routes
+   every request onto a strategy (:class:`ExecutionPlan`);
+2. child seeds are drawn **in request order** for spec requests without
+   an explicit seed — the same ``spawn_seed`` sequence the legacy
+   ``run_batched``/``SamplerService`` drivers draw, so rows reproduce
+   theirs for the same ``rng``;
+3. one executor per strategy runs its groups and the results reassemble
+   in request order as a :class:`~repro.api.results.ResultSet`.
+
+Strategy executors
+------------------
+``instance``:
+    One sampler run per request (``SequentialSampler``/
+    ``ParallelSampler`` on the resolved backend; stream snapshots run as
+    a stacked batch of one).
+``stacked``:
+    The ``(B, ν+1, 2)`` count-class engine
+    (:func:`~repro.batch.engine.execute_class_batch`), chunked by
+    ``batch_size`` in request order — bit-identical rows to
+    ``run_batched`` for the same seeds and batch size.
+``fanout``:
+    The same stacked chunks shipped to a
+    :class:`~concurrent.futures.ProcessPoolExecutor` for build-dominated
+    spec loads; workers return audit rows (states stay worker-side).
+``served``:
+    The long-lived :class:`~repro.serve.SamplerService` dispatcher —
+    shape-keyed re-packing with deadline flush, live telemetry on the
+    returned :class:`ResultSet`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator, Sequence
+
+from ..batch.engine import ClassInstance, execute_class_batch
+from ..core.parallel import ParallelSampler
+from ..core.result import SamplingResult
+from ..core.sequential import SequentialSampler
+from ..database.distributed import DistributedDatabase
+from ..errors import PlanningError
+from ..utils.pool import process_map_iter
+from ..utils.rng import as_generator, spawn_seed
+from .planner import ExecutionGroup, ExecutionPlan, Planner, ResolvedRequest
+from .request import SamplingRequest
+from .results import Result, ResultSet, unified_row
+
+#: The planner the module-level entry points use when none is supplied.
+DEFAULT_PLANNER = Planner()
+
+
+# -- the front door ---------------------------------------------------------------
+
+
+def sample(
+    request: SamplingRequest,
+    rng: object = None,
+    strategy: str | None = None,
+    planner: Planner | None = None,
+) -> Result:
+    """Run one request through the planner; returns its :class:`Result`.
+
+    A single request routes to per-instance execution unless ``strategy``
+    forces another path (or ``batchable=True`` asks for the stacked
+    engine).  ``rng`` seeds spec materialization when the request carries
+    no explicit ``seed``.
+    """
+    return sample_many([request], rng=rng, strategy=strategy, planner=planner)[0]
+
+
+def sample_many(
+    requests: Iterable[SamplingRequest],
+    rng: object = None,
+    batch_size: int | None = None,
+    jobs: int | None = None,
+    strategy: str | None = None,
+    flush_deadline: float | None = None,
+    workers: int = 2,
+    planner: Planner | None = None,
+) -> ResultSet:
+    """Plan and execute a request list; results come back in request order.
+
+    Parameters
+    ----------
+    requests:
+        The workloads.  Models, sources, backends and capacity policies
+        may mix freely — the planner groups compatible requests and
+        routes the rest per-instance.
+    rng:
+        Seed source for deterministic per-spec child seeds, drawn in
+        request order (``run_batched``'s determinism contract).
+    batch_size:
+        Instances per stacked tensor / fan-out work unit (default:
+        :data:`~repro.batch.driver.DEFAULT_BATCH_SIZE`).
+    jobs:
+        ``jobs > 1`` fans spec-built groups across worker processes
+        (the build-dominated regime); otherwise everything runs
+        in-process.
+    strategy:
+        Force every request onto one strategy (``"instance"``,
+        ``"stacked"``, ``"fanout"``, ``"served"``); ``None`` lets the
+        planner route.
+    flush_deadline, workers:
+        Serving knobs, used only when requests route to the dispatcher.
+    planner:
+        A configured :class:`Planner` (thresholds); defaults to
+        :data:`DEFAULT_PLANNER`.
+    """
+    planner = planner or DEFAULT_PLANNER
+    plan = planner.plan_many(
+        requests,
+        strategy=strategy,
+        batch_size=batch_size,
+        jobs=jobs,
+        flush_deadline=flush_deadline,
+        workers=workers,
+    )
+    return execute_plan(plan, rng=rng)
+
+
+def serve(
+    requests: Iterable[SamplingRequest],
+    batch_size: int | None = None,
+    flush_deadline: float | None = None,
+    workers: int = 2,
+    rng: object = None,
+    planner: Planner | None = None,
+) -> ResultSet:
+    """Stream requests through the serving dispatcher; block until drained.
+
+    The iterable is consumed **lazily in the calling thread** — a
+    generator that sleeps between yields replays a real arrival trace,
+    and the dispatcher re-packs whatever is in flight into schedule-shape
+    groups (full-batch or deadline flush) exactly as
+    :class:`~repro.serve.SamplerService` does, because it *is* that
+    service underneath.  All requests must share one model, capacity
+    policy and ``include_probabilities`` setting (the service is
+    homogeneous in those); spec and stream sources may interleave.
+
+    Returns a :class:`ResultSet` in submission order whose ``telemetry``
+    carries the service's counters snapshot.
+    """
+    from ..serve.service import DEFAULT_FLUSH_DEADLINE, SamplerService
+
+    planner = planner or DEFAULT_PLANNER
+    gen = as_generator(rng)
+    service: SamplerService | None = None
+    first: ResolvedRequest | None = None
+    submissions: list[tuple[ResolvedRequest, int | None, object]] = []
+    try:
+        for request in requests:
+            res = planner.resolve_for_serving(request)
+            if service is None:
+                first = res
+                service = SamplerService(
+                    model=request.model,
+                    batch_size=(
+                        batch_size if batch_size is not None else _serve_batch_size()
+                    ),
+                    flush_deadline=(
+                        DEFAULT_FLUSH_DEADLINE
+                        if flush_deadline is None
+                        else flush_deadline
+                    ),
+                    workers=workers,
+                    include_probabilities=request.include_probabilities,
+                    capacity=request.capacity,
+                )
+            else:
+                assert first is not None
+                for attr in ("model", "capacity", "include_probabilities"):
+                    if getattr(request, attr) != getattr(first.request, attr):
+                        raise PlanningError(
+                            f"served streams are homogeneous in {attr}: got "
+                            f"{getattr(request, attr)!r} after "
+                            f"{getattr(first.request, attr)!r}"
+                        )
+            if request.source == "spec":
+                seed = request.seed if request.seed is not None else spawn_seed(gen)
+                future = service.submit(request.spec, seed=seed)
+            else:
+                seed = None
+                future = service.submit_live(request.stream, label=res.label)
+            submissions.append((res, seed, future))
+    finally:
+        if service is not None:
+            service.close(drain=True)
+    if service is None:
+        return ResultSet(results=[])
+    results = [
+        _served_result(res, seed, future) for res, seed, future in submissions
+    ]
+    return ResultSet(results=results, telemetry=service.telemetry())
+
+
+# -- plan execution ---------------------------------------------------------------
+
+
+def execute_plan(plan: ExecutionPlan, rng: object = None) -> ResultSet:
+    """Execute a planned routing; the low-level half of the front door."""
+    gen = as_generator(rng)
+    seeds: list[int | None] = []
+    for res in plan.resolved:
+        if res.request.source == "spec" and res.request.seed is None:
+            seeds.append(spawn_seed(gen))
+        else:
+            seeds.append(res.request.seed)
+    results: list[Result | None] = [None] * len(plan.resolved)
+    snapshots: list[dict[str, object]] = []
+    for group in plan.groups:
+        executor = _EXECUTORS[group.strategy]
+        context: dict[str, object] = {}
+        for index, result in executor(plan, group, seeds, context):
+            results[index] = result
+        if "telemetry" in context:
+            snapshots.append(context["telemetry"])  # type: ignore[arg-type]
+    assert all(result is not None for result in results)
+    if len(snapshots) == 1:
+        telemetry: dict[str, object] | None = snapshots[0]
+    elif snapshots:
+        # Several served groups (e.g. forced strategy over mixed models):
+        # each ran its own service; keep every snapshot.
+        telemetry = {"served_groups": snapshots}
+    else:
+        telemetry = None
+    return ResultSet(results=list(results), plan=plan, telemetry=telemetry)  # type: ignore[arg-type]
+
+
+def _chunked(indices: Sequence[int], size: int) -> Iterator[list[int]]:
+    for start in range(0, len(indices), size):
+        yield list(indices[start : start + size])
+
+
+def _materialize(
+    res: ResolvedRequest, seed: int | None
+) -> tuple[DistributedDatabase | None, ClassInstance]:
+    """Build one request's count-class instance (and database, if any)."""
+    request = res.request
+    if request.source == "stream":
+        stream = request.stream
+        assert stream is not None
+        db = stream.database
+        return None, ClassInstance.from_class_state(
+            stream.class_state(), db.n_machines, capacities=db.capacities
+        )
+    db = request.database if request.database is not None else None
+    if db is None:
+        assert request.spec is not None
+        db = request.spec.build(rng=seed)
+    return db, ClassInstance.from_db(db)
+
+
+def _class_result(
+    res: ResolvedRequest,
+    seed: int | None,
+    inst: ClassInstance,
+    sampling: SamplingResult,
+    strategy: str,
+    wall: float,
+) -> Result:
+    row = unified_row(
+        res.label,
+        inst.n_machines,
+        inst.universe,
+        inst.total,
+        inst.nu,
+        sampling,
+        strategy,
+        wall,
+    )
+    return Result(
+        request=res.request,
+        strategy=strategy,
+        backend=sampling.backend,
+        seed=seed,
+        wall_time=wall,
+        sampling=sampling,
+        _row=row,
+    )
+
+
+# -- per-instance -----------------------------------------------------------------
+
+
+def _execute_instance(
+    plan: ExecutionPlan,
+    group: ExecutionGroup,
+    seeds: list[int | None],
+    context: dict[str, object],
+) -> Iterator[tuple[int, Result]]:
+    for index in group.indices:
+        res = plan.resolved[index]
+        request = res.request
+        start = time.perf_counter()
+        if request.source == "stream":
+            _, inst = _materialize(res, None)
+            sampling = execute_class_batch(
+                [inst],
+                model=request.model,
+                include_probabilities=request.include_probabilities,
+                skip_zero_capacity=res.skip_zero_capacity,
+            )[0]
+            wall = time.perf_counter() - start
+            yield index, _class_result(res, None, inst, sampling, "instance", wall)
+            continue
+        db = request.database
+        if db is None:
+            assert request.spec is not None
+            db = request.spec.build(rng=seeds[index])
+        sampler_cls = (
+            SequentialSampler if request.model == "sequential" else ParallelSampler
+        )
+        sampler = sampler_cls(
+            db, backend=res.backend, skip_zero_capacity=res.skip_zero_capacity
+        )
+        sampling = sampler.run()
+        wall = time.perf_counter() - start
+        row = unified_row(
+            res.label,
+            db.n_machines,
+            db.universe,
+            db.total_count,
+            db.nu,
+            sampling,
+            "instance",
+            wall,
+        )
+        yield index, Result(
+            request=request,
+            strategy="instance",
+            backend=res.backend,
+            seed=seeds[index],
+            wall_time=wall,
+            sampling=sampling,
+            _row=row,
+        )
+
+
+# -- stacked batch ----------------------------------------------------------------
+
+
+def _execute_stacked(
+    plan: ExecutionPlan,
+    group: ExecutionGroup,
+    seeds: list[int | None],
+    context: dict[str, object],
+) -> Iterator[tuple[int, Result]]:
+    first = plan.resolved[group.indices[0]].request
+    for chunk in _chunked(group.indices, plan.batch_size):
+        built = [(index, _materialize(plan.resolved[index], seeds[index])) for index in chunk]
+        start = time.perf_counter()
+        samplings = execute_class_batch(
+            [inst for _, (_, inst) in built],
+            model=first.model,
+            include_probabilities=first.include_probabilities,
+            skip_zero_capacity=plan.resolved[chunk[0]].skip_zero_capacity,
+        )
+        wall = time.perf_counter() - start
+        for (index, (_, inst)), sampling in zip(built, samplings):
+            yield index, _class_result(
+                plan.resolved[index], seeds[index], inst, sampling, "stacked", wall
+            )
+
+
+# -- process fan-out --------------------------------------------------------------
+
+
+def _fanout_worker(
+    payload: tuple[str, list[tuple[object, int | None, str]], bool, bool],
+) -> list[dict[str, object]]:
+    """Build one chunk's databases, execute them stacked, return audit rows.
+
+    Module-level (single-argument) so the process pool can pickle it; the
+    heavyweight objects — databases, states, results — never cross the
+    process boundary, only the plain-scalar rows do.
+    """
+    model, items, include_probabilities, skip_zero_capacity = payload
+    from ..batch.engine import execute_sampling_batch
+
+    dbs = [spec.build(rng=seed) for spec, seed, _ in items]  # type: ignore[union-attr]
+    samplings = execute_sampling_batch(
+        dbs,
+        model=model,
+        include_probabilities=include_probabilities,
+        skip_zero_capacity=skip_zero_capacity,
+    )
+    rows = []
+    for (_, _, label), db, sampling in zip(items, dbs, samplings):
+        rows.append(
+            unified_row(
+                label,
+                db.n_machines,
+                db.universe,
+                db.total_count,
+                db.nu,
+                sampling,
+                "fanout",
+                0.0,
+            )
+        )
+    return rows
+
+
+def _execute_fanout(
+    plan: ExecutionPlan,
+    group: ExecutionGroup,
+    seeds: list[int | None],
+    context: dict[str, object],
+) -> Iterator[tuple[int, Result]]:
+    first = plan.resolved[group.indices[0]].request
+    chunks = list(_chunked(group.indices, plan.batch_size))
+    payloads = (
+        (
+            first.model,
+            [
+                (plan.resolved[i].request.spec, seeds[i], plan.resolved[i].label)
+                for i in chunk
+            ],
+            first.include_probabilities,
+            plan.resolved[chunk[0]].skip_zero_capacity,
+        )
+        for chunk in chunks
+    )
+    previous = time.perf_counter()
+    for chunk, rows in zip(chunks, process_map_iter(_fanout_worker, payloads, jobs=plan.jobs)):
+        now = time.perf_counter()
+        wall = now - previous  # observed pipeline time for this chunk
+        previous = now
+        for index, row in zip(chunk, rows):
+            row["wall_time_s"] = wall
+            yield index, Result(
+                request=plan.resolved[index].request,
+                strategy="fanout",
+                backend=str(row["backend"]),
+                seed=seeds[index],
+                wall_time=wall,
+                sampling=None,
+                _row=row,
+            )
+
+
+# -- served stream ----------------------------------------------------------------
+
+
+def _serve_batch_size() -> int:
+    from ..batch.driver import DEFAULT_BATCH_SIZE
+
+    return DEFAULT_BATCH_SIZE
+
+
+def _served_result(res: ResolvedRequest, seed: int | None, future) -> Result:
+    sampling = future.result()
+    wall = (
+        future.completed_at - future.submitted_at
+        if future.completed_at is not None
+        else 0.0
+    )
+    row = future.row()
+    row["label"] = res.label
+    row["strategy"] = "served"
+    row["wall_time_s"] = float(wall)
+    return Result(
+        request=res.request,
+        strategy="served",
+        backend=sampling.backend,
+        seed=seed,
+        wall_time=wall,
+        sampling=sampling,
+        _row=row,
+    )
+
+
+def _execute_served(
+    plan: ExecutionPlan,
+    group: ExecutionGroup,
+    seeds: list[int | None],
+    context: dict[str, object],
+) -> Iterator[tuple[int, Result]]:
+    from ..serve.service import DEFAULT_FLUSH_DEADLINE, SamplerService
+
+    first = plan.resolved[group.indices[0]].request
+    submissions: list[tuple[int, int | None, object]] = []
+    with SamplerService(
+        model=first.model,
+        batch_size=plan.batch_size,
+        flush_deadline=(
+            DEFAULT_FLUSH_DEADLINE if plan.flush_deadline is None else plan.flush_deadline
+        ),
+        workers=plan.workers,
+        include_probabilities=first.include_probabilities,
+        capacity=first.capacity,
+    ) as service:
+        for index in group.indices:
+            res = plan.resolved[index]
+            if res.request.source == "spec":
+                future = service.submit(res.request.spec, seed=seeds[index])
+            else:
+                future = service.submit_live(res.request.stream, label=res.label)
+            submissions.append((index, seeds[index], future))
+    context["telemetry"] = service.telemetry()
+    for index, seed, future in submissions:
+        yield index, _served_result(plan.resolved[index], seed, future)
+
+
+_EXECUTORS = {
+    "instance": _execute_instance,
+    "stacked": _execute_stacked,
+    "fanout": _execute_fanout,
+    "served": _execute_served,
+}

@@ -1,0 +1,390 @@
+"""The planner: requests in, an executable :class:`ExecutionPlan` out.
+
+The paper is one algorithm family parameterized by schedule and
+topology; the stack, likewise, is one set of engines parameterized by
+strategy.  The :class:`Planner` owns every routing rule that used to be
+duplicated across the four legacy front doors:
+
+* **backend selection** — ``"auto"`` resolves by scale and model: the
+  dense fast path (``subspace`` sequential / ``synced`` parallel) below
+  :data:`CLASSES_UNIVERSE_THRESHOLD`, the ``O(ν)``-memory ``classes``
+  compression at ``N ≥ 10⁵`` — and always ``classes`` for requests that
+  execute batched, served, or from a stream snapshot (the stacked engine
+  is a ``classes`` substrate);
+* **strategy selection** — per-instance execution for heterogeneous or
+  dense-backend requests, the stacked ``(B, ν+1, 2)`` batch engine for
+  homogeneous groups of at least :data:`STACK_THRESHOLD` requests (or
+  any size with ``batchable=True``), process fan-out for build-dominated
+  spec loads when ``jobs > 1``, and the serving dispatcher for streams;
+* **capacity policy** — ``"skip_empty"`` maps to the capacity-aware
+  flagged-round restriction on every strategy.
+
+The legacy drivers (``run_sweep``, ``run_batched``,
+:class:`~repro.serve.SamplerService`) consume the same planner helpers
+instead of re-deciding these rules locally.
+
+Every planning failure raises :class:`~repro.errors.PlanningError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.backends import MODELS, backend_names, resolve_backend
+from ..errors import PlanningError, ValidationError
+from .request import AUTO_BACKEND, CAPACITY_POLICIES, SamplingRequest
+
+#: Minimum homogeneous group size at which the planner routes to the
+#: stacked batch engine (below it, per-batch Python overhead beats the
+#: tensor-stacking win — see bench_e23's throughput plateau).
+STACK_THRESHOLD = 64
+
+#: Universe size at which ``"auto"`` switches from the dense fast path
+#: to the ``classes`` compression (the dense layouts' wall time crosses
+#: ``classes`` well before this; see benchmarks/_results/E22.json).
+CLASSES_UNIVERSE_THRESHOLD = 10**5
+
+#: The four execution strategies.
+STRATEGIES = ("instance", "stacked", "fanout", "served")
+
+#: The substrate every batched/served/stream execution runs on.
+BATCH_SUBSTRATE = "classes"
+
+
+def require_model(model: str) -> str:
+    """Validate a query-model name; raises :class:`PlanningError`."""
+    if model not in MODELS:
+        raise PlanningError(f"unknown model {model!r}; choose from {MODELS}")
+    return model
+
+
+def skip_zero_capacity_for(capacity: str) -> bool:
+    """Map a capacity policy to the flagged-round restriction switch."""
+    if capacity not in CAPACITY_POLICIES:
+        raise PlanningError(
+            f"unknown capacity policy {capacity!r}; choose from {CAPACITY_POLICIES}"
+        )
+    return capacity == "skip_empty"
+
+
+@dataclass(frozen=True)
+class ResolvedRequest:
+    """One request with its routing decisions attached.
+
+    ``backend`` is the final, registered backend name (never
+    ``"auto"``); ``strategy`` is one of :data:`STRATEGIES`.
+    """
+
+    index: int
+    request: SamplingRequest
+    backend: str
+    strategy: str
+    skip_zero_capacity: bool
+    label: str
+
+
+@dataclass(frozen=True)
+class ExecutionGroup:
+    """Requests that execute together under one strategy.
+
+    Stacked/fanout/served groups are homogeneous in
+    ``(model, capacity, include_probabilities)``; instance groups just
+    collect everything that runs one-at-a-time.
+    """
+
+    strategy: str
+    indices: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """The full routing decision for one front-door call.
+
+    ``resolved[i]`` matches ``requests[i]``; ``groups`` partition the
+    indices and preserve request order inside each group.  The executor
+    (:mod:`repro.api.execute`) walks the groups and reassembles results
+    in request order.
+    """
+
+    resolved: tuple[ResolvedRequest, ...]
+    groups: tuple[ExecutionGroup, ...]
+    batch_size: int
+    jobs: int | None = None
+    flush_deadline: float | None = None
+    workers: int = 2
+
+    def strategies(self) -> tuple[str, ...]:
+        """Per-request strategy, in request order."""
+        return tuple(r.strategy for r in self.resolved)
+
+    def backends(self) -> tuple[str, ...]:
+        """Per-request resolved backend, in request order."""
+        return tuple(r.backend for r in self.resolved)
+
+
+class Planner:
+    """Routes :class:`SamplingRequest` objects onto execution strategies.
+
+    Parameters
+    ----------
+    stack_threshold:
+        Homogeneous group size at which stacking wins
+        (default :data:`STACK_THRESHOLD`).
+    classes_universe_threshold:
+        ``N`` at which ``"auto"`` switches to the ``classes`` backend
+        (default :data:`CLASSES_UNIVERSE_THRESHOLD`).
+    """
+
+    def __init__(
+        self,
+        stack_threshold: int = STACK_THRESHOLD,
+        classes_universe_threshold: int = CLASSES_UNIVERSE_THRESHOLD,
+    ) -> None:
+        if stack_threshold < 1:
+            raise PlanningError(f"stack_threshold must be >= 1, got {stack_threshold}")
+        if classes_universe_threshold < 1:
+            raise PlanningError(
+                "classes_universe_threshold must be >= 1, got "
+                f"{classes_universe_threshold}"
+            )
+        self.stack_threshold = stack_threshold
+        self.classes_universe_threshold = classes_universe_threshold
+
+    # -- backend selection ---------------------------------------------------------
+
+    def auto_backend(self, model: str, universe: int) -> str:
+        """The ``"auto"`` rule for a *per-instance* run: dense below the
+        scale threshold, ``classes`` at and above it."""
+        require_model(model)
+        if universe >= self.classes_universe_threshold:
+            return BATCH_SUBSTRATE
+        return "subspace" if model == "sequential" else "synced"
+
+    def validated_backend(self, name: str, model: str) -> str:
+        """Resolve an explicit backend name; raises with the choices."""
+        require_model(model)
+        try:
+            resolve_backend(name, model)
+        except ValidationError:
+            raise PlanningError(
+                f"backend {name!r} does not support the {model!r} model; "
+                f"choose from {', '.join(backend_names(model))}"
+            ) from None
+        return name
+
+    # -- single-request and stream entry points -------------------------------------
+
+    def plan(
+        self,
+        request: SamplingRequest,
+        strategy: str | None = None,
+        batch_size: int | None = None,
+        jobs: int | None = None,
+        flush_deadline: float | None = None,
+        workers: int = 2,
+    ) -> ExecutionPlan:
+        """Route one request (``repro.sample``): per-instance by default."""
+        return self.plan_many(
+            [request],
+            strategy=strategy,
+            batch_size=batch_size,
+            jobs=jobs,
+            flush_deadline=flush_deadline,
+            workers=workers,
+        )
+
+    def resolve_for_serving(self, request: SamplingRequest) -> ResolvedRequest:
+        """Validate + resolve one request for the serving dispatcher.
+
+        Used by :func:`repro.api.serve`, which consumes its request
+        stream lazily (one resolution per arrival, no global plan).
+        """
+        return self._resolve(request, 0, "served")
+
+    # -- the bulk entry point --------------------------------------------------------
+
+    def plan_many(
+        self,
+        requests: Sequence[SamplingRequest] | Iterable[SamplingRequest],
+        strategy: str | None = None,
+        batch_size: int | None = None,
+        jobs: int | None = None,
+        flush_deadline: float | None = None,
+        workers: int = 2,
+    ) -> ExecutionPlan:
+        """Route a request list (``repro.sample_many``).
+
+        ``strategy`` forces every request onto one strategy (each request
+        must be eligible — :class:`PlanningError` otherwise).  With
+        ``strategy=None`` the routing rules of the module docstring
+        apply.  ``batch_size``/``jobs``/``flush_deadline``/``workers``
+        are execution hints carried onto the plan for the strategies
+        that use them.
+        """
+        from ..batch.driver import DEFAULT_BATCH_SIZE
+
+        requests = list(requests)
+        if strategy is not None and strategy not in STRATEGIES:
+            raise PlanningError(
+                f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        if strategy == "fanout" and self.fanout_jobs(jobs) is None:
+            # A serial "fan-out" would strip ledgers/states for nothing.
+            raise PlanningError(
+                "the fanout strategy needs jobs > 1 (process fan-out); "
+                f"got jobs={jobs!r} — use the stacked strategy in-process"
+            )
+        if batch_size is not None and batch_size < 1:
+            raise PlanningError(f"batch_size must be >= 1, got {batch_size}")
+        resolved_strategies = self._route(requests, strategy, jobs)
+        resolved = tuple(
+            self._resolve(request, index, resolved_strategies[index])
+            for index, request in enumerate(requests)
+        )
+        groups = self._group(resolved)
+        return ExecutionPlan(
+            resolved=resolved,
+            groups=groups,
+            batch_size=DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+            jobs=jobs,
+            flush_deadline=flush_deadline,
+            workers=workers,
+        )
+
+    # -- legacy-driver helpers -------------------------------------------------------
+
+    def fanout_jobs(self, jobs: int | None) -> int | None:
+        """The process fan-out width, or ``None`` for in-process execution.
+
+        The one routing rule ``run_sweep`` and ``run_batched`` used to
+        hard-code locally: ``jobs > 1`` means the load is build-dominated
+        enough to fan across worker processes.
+        """
+        if jobs is not None and jobs > 1:
+            return jobs
+        return None
+
+    # -- internals --------------------------------------------------------------
+
+    def _route(
+        self,
+        requests: Sequence[SamplingRequest],
+        forced: str | None,
+        jobs: int | None,
+    ) -> list[str]:
+        """Pick a strategy per request (forced, or by the routing rules)."""
+        if forced is not None:
+            return [forced] * len(requests)
+        strategies = ["instance"] * len(requests)
+        fanout = self.fanout_jobs(jobs) is not None
+        buckets: dict[tuple[object, ...], list[int]] = {}
+        for index, request in enumerate(requests):
+            if not self._stackable(request):
+                continue
+            if fanout and request.source == "spec":
+                strategies[index] = "fanout"
+                continue
+            key = (request.model, request.capacity, request.include_probabilities)
+            buckets.setdefault(key, []).append(index)
+        for indices in buckets.values():
+            if len(indices) >= self.stack_threshold:
+                for i in indices:
+                    strategies[i] = "stacked"
+            else:
+                # Below the threshold the hint is per-request: only the
+                # requests that asked for the stacked engine get it;
+                # hint-less siblings keep their own auto routing.
+                for i in indices:
+                    if requests[i].batchable:
+                        strategies[i] = "stacked"
+        return strategies
+
+    def _stackable(self, request: SamplingRequest) -> bool:
+        """Whether the stacked ``classes`` engine may execute the request."""
+        if request.batchable is False:
+            return False
+        return request.backend in (AUTO_BACKEND, BATCH_SUBSTRATE)
+
+    def _resolve(
+        self, request: SamplingRequest, index: int, strategy: str
+    ) -> ResolvedRequest:
+        require_model(request.model)
+        skip = request.skip_zero_capacity()
+        if strategy not in STRATEGIES:
+            raise PlanningError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
+        if strategy in ("stacked", "fanout", "served"):
+            if request.backend not in (AUTO_BACKEND, BATCH_SUBSTRATE):
+                raise PlanningError(
+                    f"backend {request.backend!r} is not batchable; the "
+                    f"{strategy!r} strategy runs the {BATCH_SUBSTRATE!r} "
+                    "substrate (stacked count-class engine)"
+                )
+            backend = BATCH_SUBSTRATE
+        elif request.source == "stream":
+            # Stream snapshots are count-class views; only the classes
+            # substrate can execute them, at any strategy.
+            if request.backend not in (AUTO_BACKEND, BATCH_SUBSTRATE):
+                raise PlanningError(
+                    f"backend {request.backend!r} cannot execute a stream "
+                    f"snapshot; stream requests run on the {BATCH_SUBSTRATE!r} "
+                    "substrate"
+                )
+            backend = BATCH_SUBSTRATE
+        elif request.backend == AUTO_BACKEND:
+            backend = self.auto_backend(request.model, request.planning_universe())
+        else:
+            backend = self.validated_backend(request.backend, request.model)
+            if request.batchable and backend != BATCH_SUBSTRATE:
+                # A conflicting hint is a caller bug, not a routing choice.
+                raise PlanningError(
+                    f"backend {request.backend!r} is not batchable; the "
+                    f"batchable=True hint requires the {BATCH_SUBSTRATE!r} "
+                    "substrate (or backend='auto')"
+                )
+        if strategy == "fanout" and request.source != "spec":
+            raise PlanningError(
+                "process fan-out executes spec-built requests (databases and "
+                "streams live in this process); use the stacked or instance "
+                "strategy instead"
+            )
+        if strategy == "served" and request.source == "database":
+            raise PlanningError(
+                "the serving dispatcher takes spec or stream requests; wrap "
+                "the database in an UpdateStream or submit its spec"
+            )
+        return ResolvedRequest(
+            index=index,
+            request=request,
+            backend=backend,
+            strategy=strategy,
+            skip_zero_capacity=skip,
+            label=request.resolved_label(),
+        )
+
+    def _group(self, resolved: tuple[ResolvedRequest, ...]) -> tuple[ExecutionGroup, ...]:
+        """Partition resolved requests into ordered execution groups.
+
+        Batched strategies group by homogeneity key so one stacked
+        tensor (or one worker payload, or one service) executes the
+        whole group; instance requests pool into a single group.
+        """
+        keyed: dict[tuple[object, ...], list[int]] = {}
+        for res in resolved:
+            request = res.request
+            if res.strategy == "instance":
+                key: tuple[object, ...] = ("instance",)
+            else:
+                key = (
+                    res.strategy,
+                    request.model,
+                    request.capacity,
+                    request.include_probabilities,
+                )
+            keyed.setdefault(key, []).append(res.index)
+        groups = [
+            ExecutionGroup(strategy=str(key[0]), indices=tuple(indices))
+            for key, indices in keyed.items()
+        ]
+        groups.sort(key=lambda g: g.indices[0])
+        return tuple(groups)

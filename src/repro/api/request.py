@@ -1,0 +1,162 @@
+"""The unified request surface of the :mod:`repro.api` front door.
+
+A :class:`SamplingRequest` says *what* to sample — a database (already
+built), an :class:`~repro.analysis.sweep.InstanceSpec` recipe (built on
+demand with a deterministic seed), or a live
+:class:`~repro.database.dynamic.UpdateStream` snapshot — under which
+query model, on which backend, with which capacity policy.  It says
+nothing about *how* the run executes: that is the
+:class:`~repro.api.planner.Planner`'s job, which routes requests to one
+of the four execution strategies (per-instance, stacked batch, process
+fan-out, served stream).
+
+Every validation failure raises :class:`~repro.errors.RequestError`, a
+:class:`~repro.errors.ReproError`, so callers of the front door catch
+one base exception.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.sweep import InstanceSpec
+from ..core.backends import MODELS
+from ..database.distributed import DistributedDatabase
+from ..database.dynamic import UpdateStream
+from ..errors import RequestError
+
+#: Capacity policies: ``"all"`` queries every machine; ``"skip_empty"``
+#: applies the capacity-aware restriction — machines whose *public*
+#: capacity is ``κ_j = 0`` are provably empty, so the oblivious schedule
+#: skips them (sequential) or leaves their flag down (parallel), exactly
+#: the per-instance samplers' ``skip_zero_capacity=True``.
+CAPACITY_POLICIES = ("all", "skip_empty")
+
+#: The backend sentinel that delegates the choice to the planner.
+AUTO_BACKEND = "auto"
+
+
+@dataclass(frozen=True)
+class SamplingRequest:
+    """One sampling workload, ready for the planner.
+
+    Parameters
+    ----------
+    database:
+        An already-materialized :class:`DistributedDatabase` to sample.
+    spec:
+        An :class:`InstanceSpec` recipe; the executor materializes it
+        with :attr:`seed` (or a seed drawn deterministically in request
+        order from the run's ``rng``).
+    stream:
+        A live :class:`UpdateStream`; the executor snapshots its
+        ``O(1)``-maintained count-class view at execution (or
+        submission) time — no ``O(nN)`` rebuild — and runs on the
+        ``classes`` substrate.
+    model:
+        ``"sequential"`` (Theorem 4.3) or ``"parallel"`` (Theorem 4.5).
+    backend:
+        A registered backend name, or ``"auto"`` (default) to let the
+        planner choose by scale: the dense fast path for small ``N``
+        (``subspace``/``synced``), the ``O(ν)``-memory ``classes``
+        compression at ``N ≥ 10⁵`` — and always ``classes`` when the
+        request executes batched, served, or from a stream snapshot.
+    capacity:
+        ``"all"`` or ``"skip_empty"`` (see :data:`CAPACITY_POLICIES`).
+    seed:
+        Explicit child seed for spec materialization; only meaningful
+        with :attr:`spec`.
+    include_probabilities:
+        Whether the result carries the ``O(N)`` output distribution.
+        Switch off for audit-only throughput runs (the serving layer's
+        fast path).
+    label:
+        Row label override; defaults to ``spec.label()``, a compact
+        database descriptor, or ``"live"`` for streams.
+    batchable:
+        Batching hint for the planner.  ``None`` (default) lets the
+        group-size threshold decide; ``True`` prefers the stacked engine
+        even for small groups; ``False`` pins the request to per-instance
+        execution.
+
+    Exactly one of ``database``/``spec``/``stream`` must be set.
+    """
+
+    database: DistributedDatabase | None = None
+    spec: InstanceSpec | None = None
+    stream: UpdateStream | None = None
+    model: str = "sequential"
+    backend: str = AUTO_BACKEND
+    capacity: str = "all"
+    seed: int | None = None
+    include_probabilities: bool = True
+    label: str | None = None
+    batchable: bool | None = None
+
+    def __post_init__(self) -> None:
+        sources = [s for s in (self.database, self.spec, self.stream) if s is not None]
+        if len(sources) != 1:
+            raise RequestError(
+                "a SamplingRequest needs exactly one of database=, spec= or "
+                f"stream=, got {len(sources)}"
+            )
+        if self.model not in MODELS:
+            raise RequestError(
+                f"unknown model {self.model!r}; choose from {MODELS}"
+            )
+        if self.capacity not in CAPACITY_POLICIES:
+            raise RequestError(
+                f"unknown capacity policy {self.capacity!r}; choose from "
+                f"{CAPACITY_POLICIES}"
+            )
+        if self.seed is not None and self.spec is None:
+            raise RequestError(
+                "seed= applies to spec-built requests only; database and "
+                "stream sources are already materialized"
+            )
+        if not isinstance(self.backend, str) or not self.backend:
+            raise RequestError("backend must be a non-empty string (or 'auto')")
+
+    # -- planner-facing views ----------------------------------------------------
+
+    @property
+    def source(self) -> str:
+        """``"database"``, ``"spec"`` or ``"stream"``."""
+        if self.database is not None:
+            return "database"
+        return "spec" if self.spec is not None else "stream"
+
+    def planning_universe(self) -> int:
+        """``N`` — the element-register size, without building anything.
+
+        Databases and streams know it directly; spec recipes expose it
+        through the workload's ``universe`` parameter (every registered
+        generator takes one).
+        """
+        if self.database is not None:
+            return self.database.universe
+        if self.stream is not None:
+            return self.stream.database.universe
+        assert self.spec is not None
+        universe = dict(self.spec.workload.params).get("universe")
+        if universe is None:
+            raise RequestError(
+                f"workload {self.spec.workload.name!r} declares no 'universe' "
+                "parameter; pass an explicit backend= instead of 'auto'"
+            )
+        return int(universe)
+
+    def resolved_label(self) -> str:
+        """The row label this request will carry."""
+        if self.label is not None:
+            return self.label
+        if self.spec is not None:
+            return self.spec.label()
+        if self.database is not None:
+            db = self.database
+            return f"db(N={db.universe},M={db.total_count},n={db.n_machines})"
+        return "live"
+
+    def skip_zero_capacity(self) -> bool:
+        """Whether the capacity policy restricts provably-empty machines."""
+        return self.capacity == "skip_empty"

@@ -134,17 +134,20 @@ def iter_seeded_batches(
 
 
 def _run_batch(
-    payload: tuple[str, list[tuple[InstanceSpec, int]], RowFn, bool],
+    payload: tuple[str, list[tuple[InstanceSpec, int]], RowFn, bool, bool],
 ) -> list[dict[str, object]]:
     """Worker: materialize one batch, execute it stacked, build its rows.
 
     Module-level (and single-argument) so :func:`process_map` can ship it
     to worker processes.
     """
-    model, batch, row_fn, include_probabilities = payload
+    model, batch, row_fn, include_probabilities, skip_zero_capacity = payload
     dbs = [spec.build(rng=seed) for spec, seed in batch]
     results = execute_sampling_batch(
-        dbs, model=model, include_probabilities=include_probabilities
+        dbs,
+        model=model,
+        include_probabilities=include_probabilities,
+        skip_zero_capacity=skip_zero_capacity,
     )
     return [
         dict(row_fn(spec, db, result))
@@ -160,8 +163,20 @@ def run_batched(
     rng: object = None,
     row_fn: RowFn = default_row,
     include_probabilities: bool = True,
+    capacity: str = "all",
 ) -> SweepResult:
     """Materialize, batch and execute many instances; collect result rows.
+
+    .. deprecated::
+        ``run_batched`` remains supported as the *streaming* bulk driver
+        (unbounded spec iterables, custom row builders), but new code
+        should prefer the front door —
+        ``repro.sample_many([SamplingRequest(spec=...), ...])`` — which
+        routes through the same planner and engines and returns the
+        unified :class:`~repro.api.results.ResultSet`.  Routing (fan-out
+        width, capacity policy) is resolved by the shared
+        :class:`~repro.api.planner.Planner`, so both paths stay
+        row-identical for the same seeds.
 
     Parameters
     ----------
@@ -189,17 +204,27 @@ def run_batched(
     include_probabilities:
         Forwarded to the engine; switch off to skip the ``O(N)`` output
         distribution per instance when only audit columns are needed.
+    capacity:
+        ``"all"`` or ``"skip_empty"`` — the front door's capacity
+        policy; ``"skip_empty"`` carries the capacity-aware
+        flagged-round restriction into every batch.
 
     Returns
     -------
     SweepResult
         One row per spec, in spec order.
     """
+    # Routing — fan-out width and capacity policy — is the planner's
+    # call, the same rules the repro.api front door applies.
+    from ..api.planner import Planner, skip_zero_capacity_for
+
+    planner = Planner()
+    skip_zero_capacity = skip_zero_capacity_for(capacity)
     payloads = (
-        (model, batch, row_fn, include_probabilities)
+        (model, batch, row_fn, include_probabilities, skip_zero_capacity)
         for batch in iter_seeded_batches(specs, rng, batch_size)
     )
     result = SweepResult()
-    for rows in process_map_iter(_run_batch, payloads, jobs=jobs):
+    for rows in process_map_iter(_run_batch, payloads, jobs=planner.fanout_jobs(jobs)):
         result.rows.extend(rows)
     return result

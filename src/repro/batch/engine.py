@@ -29,10 +29,19 @@ stacking: zero-error plans are memoized by overlap value (a sweep's
 instances usually share public parameters, so :func:`solve_plan`'s
 root-finding runs once per distinct ``a = M/(νN)``), and oblivious
 schedules are memoized by ``(model, n, d_applications)`` — both objects
-are immutable, so sharing them across results is safe.  The batched
-engine always queries all ``n`` machines; the capacity-aware
-``skip_zero_capacity`` restriction is a per-instance-sampler feature
-only.
+are immutable, so sharing them across results is safe.
+
+``skip_zero_capacity=True`` carries the capacity-aware flagged-round
+restriction of the per-instance samplers into batched groups: a machine
+whose *public* capacity is ``κ_j = 0`` is provably empty (its oracle is
+the identity), so the Lemma 4.2 sandwich skips it and the Lemma 4.4
+rounds leave its flag at ``b_j = 0`` — per instance, read off that
+instance's own capacities.  The stacked state math is untouched (an
+identity oracle contributes nothing), but each instance's ledger and
+published schedule shed the same ``Σ_j t_j`` the per-instance
+``skip_zero_capacity`` samplers do; instances whose capacities are not
+known (``ClassInstance.capacities is None``) conservatively query all
+machines.
 """
 
 from __future__ import annotations
@@ -153,10 +162,33 @@ def cached_plan(overlap: float) -> AmplificationPlan:
 
 
 @lru_cache(maxsize=4096)
-def _cached_schedule(model: str, n_machines: int, d_applications: int) -> QuerySchedule:
+def _cached_schedule(
+    model: str,
+    n_machines: int,
+    d_applications: int,
+    active: tuple[int, ...] | None = None,
+) -> QuerySchedule:
     if model == "sequential":
-        return QuerySchedule.sequential_from_plan(n_machines, d_applications)
-    return QuerySchedule.parallel_from_plan(n_machines, d_applications)
+        return QuerySchedule.sequential_from_plan(
+            n_machines, d_applications, active_machines=active
+        )
+    return QuerySchedule.parallel_from_plan(
+        n_machines, d_applications, active_machines=active
+    )
+
+
+def _active_restriction(inst: ClassInstance, skip_zero_capacity: bool) -> tuple[int, ...] | None:
+    """The flagged-round machine subset for one instance, or ``None``.
+
+    ``None`` means "query all machines" — also returned when every
+    capacity is positive, so enabling the flag on an all-nonempty
+    instance is a no-op (ledger, schedule and fingerprint included),
+    matching the per-instance samplers' ``_restriction`` convention.
+    """
+    if not skip_zero_capacity or inst.capacities is None:
+        return None
+    active = tuple(j for j, kappa in enumerate(inst.capacities) if kappa > 0)
+    return active if len(active) < inst.n_machines else None
 
 
 @lru_cache(maxsize=256)
@@ -175,22 +207,35 @@ def _cached_u_blocks(nu: int, width: int) -> tuple[np.ndarray, np.ndarray]:
     return forward, adjoint
 
 
-def _charge_run(ledger: QueryLedger, model: str, n_machines: int, d_applications: int) -> None:
+def _charge_run(
+    ledger: QueryLedger,
+    model: str,
+    n_machines: int,
+    d_applications: int,
+    active: tuple[int, ...] | None = None,
+) -> None:
     """Charge one full run's honest oracle cost onto ``ledger``.
 
     Sequential: each ``D``/``D†`` is Lemma 4.2's sandwich — one forward
     and one adjoint call per machine.  Parallel: each ``D``/``D†`` is
     Lemma 4.4's 4 rounds — two forward, two adjoint.  Identical totals,
     per-machine splits and forward/adjoint splits to what
-    ``ClassDistributingOperator`` records call by call.
+    ``ClassDistributingOperator`` records call by call.  With ``active``
+    given, the capacity-aware restriction applies: only the listed
+    machines are charged (sequential) or flagged (parallel rounds — the
+    round count itself is ``n``-free and cannot drop).
     """
     if model == "sequential":
-        for j in range(n_machines):
+        for j in range(n_machines) if active is None else active:
             ledger.record_machine_call(j, adjoint=False, count=d_applications)
             ledger.record_machine_call(j, adjoint=True, count=d_applications)
     else:
-        ledger.record_parallel_round(adjoint=False, count=2 * d_applications)
-        ledger.record_parallel_round(adjoint=True, count=2 * d_applications)
+        ledger.record_parallel_round(
+            adjoint=False, count=2 * d_applications, machines=active
+        )
+        ledger.record_parallel_round(
+            adjoint=True, count=2 * d_applications, machines=active
+        )
 
 
 def _run_group(
@@ -198,6 +243,7 @@ def _run_group(
     plans: Sequence[AmplificationPlan],
     model: str,
     include_probabilities: bool,
+    skip_zero_capacity: bool,
 ) -> list[SamplingResult]:
     """Execute one schedule-shape group as a single stacked tensor."""
     plan0 = plans[0]
@@ -233,15 +279,18 @@ def _run_group(
     probabilities = state.output_probabilities_all() if include_probabilities else None
     results = []
     for b, (inst, plan) in enumerate(zip(instances, plans)):
+        active = _active_restriction(inst, skip_zero_capacity)
         ledger = QueryLedger(inst.n_machines)
-        _charge_run(ledger, model, inst.n_machines, plan.d_applications)
+        _charge_run(ledger, model, inst.n_machines, plan.d_applications, active=active)
         ledger.freeze()
         results.append(
             SamplingResult(
                 model=model,
                 backend=BATCH_BACKEND,
                 plan=plan,
-                schedule=_cached_schedule(model, inst.n_machines, plan.d_applications),
+                schedule=_cached_schedule(
+                    model, inst.n_machines, plan.d_applications, active
+                ),
                 ledger=ledger,
                 fidelity=float(fidelities[b]),
                 output_probabilities=(
@@ -258,6 +307,7 @@ def execute_sampling_batch(
     dbs: Sequence[DistributedDatabase],
     model: str = "sequential",
     include_probabilities: bool = True,
+    skip_zero_capacity: bool = False,
 ) -> list[SamplingResult]:
     """Run the Theorem 4.3/4.5 loop over many databases as stacked tensors.
 
@@ -274,6 +324,12 @@ def execute_sampling_batch(
         When False, skip the ``O(N_b)`` output-distribution gather per
         instance and store ``None`` — the serving fast path for callers
         that only need fidelities and ledgers.
+    skip_zero_capacity:
+        Carry the capacity-aware flagged-round restriction into the
+        batch: machines with public capacity ``κ_j = 0`` are skipped per
+        instance, exactly as ``SequentialSampler``/``ParallelSampler``
+        with ``skip_zero_capacity=True`` skip them (same ledgers, same
+        schedule fingerprints, identical output state).
 
     Returns
     -------
@@ -290,6 +346,7 @@ def execute_sampling_batch(
         [ClassInstance.from_db(db) for db in dbs],
         model=model,
         include_probabilities=include_probabilities,
+        skip_zero_capacity=skip_zero_capacity,
     )
 
 
@@ -297,6 +354,7 @@ def execute_class_batch(
     instances: Sequence[ClassInstance],
     model: str = "sequential",
     include_probabilities: bool = True,
+    skip_zero_capacity: bool = False,
 ) -> list[SamplingResult]:
     """The class-coordinate core of :func:`execute_sampling_batch`.
 
@@ -324,6 +382,7 @@ def execute_class_batch(
             [plans[i] for i in indices],
             model,
             include_probabilities,
+            skip_zero_capacity,
         )
         for i, res in zip(indices, group_results):
             results[i] = res

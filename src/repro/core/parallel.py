@@ -128,5 +128,13 @@ class ParallelSampler:
 
 
 def sample_parallel(db: DistributedDatabase, backend: str = "synced") -> SamplingResult:
-    """One-call convenience wrapper around :class:`ParallelSampler`."""
+    """One-call convenience wrapper around :class:`ParallelSampler`.
+
+    .. deprecated::
+        Prefer the front door —
+        ``repro.sample(repro.SamplingRequest(database=db,
+        model="parallel"))`` — which resolves the backend automatically
+        and returns the unified :class:`~repro.api.results.Result`.
+        This wrapper remains as a thin shim over the same engine.
+    """
     return ParallelSampler(db, backend=backend).run()

@@ -130,5 +130,13 @@ class SequentialSampler:
 def sample_sequential(
     db: DistributedDatabase, backend: str = "oracles"
 ) -> SamplingResult:
-    """One-call convenience wrapper around :class:`SequentialSampler`."""
+    """One-call convenience wrapper around :class:`SequentialSampler`.
+
+    .. deprecated::
+        Prefer the front door —
+        ``repro.sample(repro.SamplingRequest(database=db))`` — which
+        resolves the backend automatically and returns the unified
+        :class:`~repro.api.results.Result`.  This wrapper remains as a
+        thin shim over the same engine.
+    """
     return SequentialSampler(db, backend=backend).run()

@@ -19,6 +19,25 @@ class ValidationError(ReproError, ValueError):
     """An argument failed validation (wrong type, range, or shape)."""
 
 
+class RequestError(ValidationError):
+    """A malformed :class:`repro.api.SamplingRequest`.
+
+    Raised when a request is self-inconsistent before any planning
+    happens — no source (or several), an unknown capacity policy, a seed
+    on a request that carries no spec to materialize.
+    """
+
+
+class PlanningError(ValidationError):
+    """The planner cannot route a request to an execution strategy.
+
+    Raised by :class:`repro.api.Planner` when a request is well-formed
+    but unroutable: a backend that does not support the requested model,
+    a dense backend forced onto the stacked batch engine, a source kind
+    the forced strategy cannot execute.
+    """
+
+
 class CapacityError(ValidationError):
     """A database operation would violate the capacity bound ``ν``.
 

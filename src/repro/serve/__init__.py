@@ -31,6 +31,9 @@ Quickstart::
         print(futures[0].result().exact, service.telemetry())
 """
 
+import sys
+from types import ModuleType
+
 from .packer import ShapePacker
 from .service import (
     DEFAULT_FLUSH_DEADLINE,
@@ -48,3 +51,23 @@ __all__ = [
     "ServiceStats",
     "ShapePacker",
 ]
+
+
+class _CallableServeModule(ModuleType):
+    """Make ``repro.serve(...)`` the front door's stream call.
+
+    ``repro.serve`` is both this subpackage *and* the unified API's
+    third entry point (``repro.sample`` / ``repro.sample_many`` /
+    ``repro.serve``).  Rebinding the module's class (the documented
+    PEP 562-era idiom) lets the same attribute serve both roles — the
+    import system keeps rebinding ``repro.serve`` to this module, and
+    calling it forwards to :func:`repro.api.serve`.
+    """
+
+    def __call__(self, requests, **kwargs):
+        from ..api.execute import serve as _serve
+
+        return _serve(requests, **kwargs)
+
+
+sys.modules[__name__].__class__ = _CallableServeModule

@@ -87,6 +87,9 @@ class ServedRequest:
         self.spec = spec
         self.seed = seed
         self.submitted_at = submitted_at
+        #: Service-clock timestamp of batch completion (None until done);
+        #: ``completed_at - submitted_at`` is the request's latency.
+        self.completed_at: float | None = None
         # Set by the dispatcher for spec requests; released (with the
         # class-map snapshot) once the row is built at completion, so a
         # retained or caller-held future costs row+result-sized memory,
@@ -154,6 +157,13 @@ class ServedRequest:
 class SamplerService:
     """Long-lived batching sampler over the stacked ``classes`` engine.
 
+    .. deprecated:: direct construction
+        The front door's stream call — ``repro.serve(requests, ...)`` —
+        drives this service for you (lazy request stream in, unified
+        :class:`~repro.api.results.ResultSet` + telemetry out).  Direct
+        construction remains supported for callers that need the raw
+        future surface (``submit``/``submit_live``/``iter_results``).
+
     Parameters
     ----------
     model:
@@ -178,6 +188,13 @@ class SamplerService:
         default — the serving fast path only needs fidelity + ledger.
     row_fn:
         Row builder for :meth:`ServedRequest.row` on spec requests.
+    capacity:
+        Capacity policy (``"all"``/``"skip_empty"``) applied to every
+        executed batch — ``"skip_empty"`` is the capacity-aware
+        flagged-round restriction of
+        :func:`~repro.batch.engine.execute_class_batch`.  Resolved
+        through the :mod:`repro.api` planner, the same policy surface
+        every front-door strategy uses.
 
     Use as a context manager: leaving the ``with`` block drains and
     closes the service.
@@ -193,12 +210,15 @@ class SamplerService:
         include_probabilities: bool = False,
         row_fn: RowFn = default_row,
         clock: Callable[[], float] = time.monotonic,
+        capacity: str = "all",
     ) -> None:
-        if model not in ("sequential", "parallel"):
-            raise ValidationError(
-                f"unknown model {model!r}; choose from ('sequential', 'parallel')"
-            )
-        self._model = model
+        # Model and capacity policy are the front-door planner's rules;
+        # imported at call time so this lower layer carries no load-time
+        # dependency on the api package above it.
+        from ..api.planner import require_model, skip_zero_capacity_for
+
+        self._model = require_model(model)
+        self._skip_zero_capacity = skip_zero_capacity_for(capacity)
         self._include_probabilities = include_probabilities
         self._row_fn = row_fn
         self._clock = clock
@@ -226,12 +246,14 @@ class SamplerService:
 
     # -- submission --------------------------------------------------------------
 
-    def submit(self, spec: InstanceSpec) -> ServedRequest:
+    def submit(self, spec: InstanceSpec, seed: int | None = None) -> ServedRequest:
         """Queue one spec-built instance; returns its future immediately.
 
-        The child seed is drawn under the submission lock, so the seed
-        sequence is exactly the spec-submission order — the
-        ``run_batched`` determinism contract, continuously.
+        Without an explicit ``seed``, the child seed is drawn under the
+        submission lock, so the seed sequence is exactly the
+        spec-submission order — the ``run_batched`` determinism
+        contract, continuously.  The :mod:`repro.api` front door passes
+        pre-drawn seeds (same sequence, drawn in request order) instead.
         """
         with self._submit_lock:
             self._check_open()
@@ -239,7 +261,7 @@ class SamplerService:
                 index=self._next_index,
                 label=spec.label(),
                 spec=spec,
-                seed=spawn_seed(self._gen),
+                seed=seed if seed is not None else spawn_seed(self._gen),
                 instance=None,
                 submitted_at=self._clock(),
                 row_fn=self._row_fn,
@@ -424,6 +446,7 @@ class SamplerService:
                 [request._instance for request in batch],
                 model=self._model,
                 include_probabilities=self._include_probabilities,
+                skip_zero_capacity=self._skip_zero_capacity,
             )
         except BaseException as error:
             for request in batch:
@@ -445,6 +468,7 @@ class SamplerService:
             # database and the O(N) class-map snapshot are released here.
             request.db = None
             request._instance = None
+            request.completed_at = completed_at
             request._fulfill(result)
             self._stats.record_complete(completed_at - request.submitted_at, result)
 

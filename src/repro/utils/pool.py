@@ -21,6 +21,8 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
+from ..errors import ValidationError
+
 P = TypeVar("P")
 R = TypeVar("R")
 
@@ -87,7 +89,7 @@ def process_map_iter(
     if window is None:
         window = 2 * jobs
     if window < 1:
-        raise ValueError(f"window must be positive, got {window}")
+        raise ValidationError(f"window must be positive, got {window}")
     source = iter(payloads)
     with ProcessPoolExecutor(max_workers=jobs) as pool:
         in_flight: deque = deque()

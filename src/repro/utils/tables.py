@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from ..errors import ValidationError
+
 
 def format_float(value: float, digits: int = 4) -> str:
     """Format ``value`` compactly: fixed-point when sane, scientific otherwise."""
@@ -52,7 +54,7 @@ class Table:
             else:
                 rendered.append(str(cell))
         if len(rendered) != len(self.header):
-            raise ValueError(
+            raise ValidationError(
                 f"row width {len(rendered)} does not match header width {len(self.header)}"
             )
         self.rows.append(rendered)

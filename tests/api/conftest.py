@@ -1,0 +1,18 @@
+"""Fixtures for the front-door test suite."""
+
+import pytest
+
+from repro.database import DistributedDatabase, Multiset
+
+
+@pytest.fixture
+def mostly_empty_db() -> DistributedDatabase:
+    """5 machines, only two hold data (κ = 0 elsewhere)."""
+    shards = [
+        Multiset(16, {0: 1, 1: 1}),
+        Multiset.empty(16),
+        Multiset(16, {5: 2}),
+        Multiset.empty(16),
+        Multiset.empty(16),
+    ]
+    return DistributedDatabase.from_shards(shards, nu=2)

@@ -1,0 +1,219 @@
+"""Planner unit tests: every routing branch, auto backend selection."""
+
+import pytest
+
+from repro.analysis import InstanceSpec
+from repro.api import (
+    CLASSES_UNIVERSE_THRESHOLD,
+    STACK_THRESHOLD,
+    Planner,
+    SamplingRequest,
+)
+from repro.database import WorkloadSpec
+from repro.database.dynamic import UpdateStream
+from repro.errors import PlanningError, ReproError
+
+
+def spec_of(universe=64, total=24, n=2):
+    return InstanceSpec(
+        workload=WorkloadSpec.of("zipf", universe=universe, total=total),
+        n_machines=n,
+    )
+
+
+def spec_request(universe=64, **kwargs):
+    return SamplingRequest(spec=spec_of(universe=universe), **kwargs)
+
+
+@pytest.fixture
+def planner():
+    return Planner()
+
+
+class TestAutoBackend:
+    """The acceptance bar: classes chosen for N ≥ 10⁵, dense below."""
+
+    def test_classes_at_scale(self, planner):
+        assert planner.auto_backend("sequential", CLASSES_UNIVERSE_THRESHOLD) == "classes"
+        assert planner.auto_backend("parallel", 10**6) == "classes"
+
+    def test_dense_fast_path_below_threshold(self, planner):
+        assert planner.auto_backend("sequential", 64) == "subspace"
+        assert planner.auto_backend("parallel", 64) == "synced"
+        assert (
+            planner.auto_backend("sequential", CLASSES_UNIVERSE_THRESHOLD - 1)
+            == "subspace"
+        )
+
+    def test_plan_resolves_auto_by_universe(self, planner):
+        small = planner.plan(spec_request(universe=64))
+        large = planner.plan(spec_request(universe=10**5))
+        assert small.backends() == ("subspace",)
+        assert large.backends() == ("classes",)
+
+    def test_explicit_backend_respected(self, planner):
+        plan = planner.plan(spec_request(backend="oracles"))
+        assert plan.backends() == ("oracles",)
+
+    def test_incompatible_backend_rejected(self, planner):
+        with pytest.raises(PlanningError, match="does not support"):
+            planner.plan(spec_request(backend="dense"))  # parallel-only
+        with pytest.raises(PlanningError, match="does not support"):
+            planner.plan(spec_request(backend="nonsense"))
+
+    def test_stream_always_classes(self, planner, small_db):
+        request = SamplingRequest(stream=UpdateStream(small_db, []))
+        assert planner.plan(request).backends() == ("classes",)
+
+    def test_stream_rejects_dense_backend(self, planner, small_db):
+        request = SamplingRequest(
+            stream=UpdateStream(small_db, []), backend="subspace"
+        )
+        with pytest.raises(PlanningError, match="stream"):
+            planner.plan(request)
+
+
+class TestAutoStrategy:
+    """The acceptance bar: stacked engine chosen for homogeneous B ≥ 64."""
+
+    def test_single_request_runs_per_instance(self, planner):
+        assert planner.plan(spec_request()).strategies() == ("instance",)
+
+    def test_homogeneous_group_at_threshold_stacks(self, planner):
+        plan = planner.plan_many([spec_request() for _ in range(STACK_THRESHOLD)])
+        assert set(plan.strategies()) == {"stacked"}
+        assert set(plan.backends()) == {"classes"}
+        assert len(plan.groups) == 1 and plan.groups[0].strategy == "stacked"
+
+    def test_below_threshold_runs_per_instance(self, planner):
+        plan = planner.plan_many([spec_request() for _ in range(STACK_THRESHOLD - 1)])
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_batchable_hint_stacks_any_size(self, planner):
+        plan = planner.plan_many([spec_request(batchable=True)] * 2)
+        assert set(plan.strategies()) == {"stacked"}
+
+    def test_batchable_hint_is_per_request(self, planner):
+        """A sibling's hint must not reroute hint-less requests."""
+        plan = planner.plan_many([spec_request(), spec_request(batchable=True)])
+        assert plan.strategies() == ("instance", "stacked")
+        assert plan.backends() == ("subspace", "classes")
+
+    def test_batchable_false_pins_to_instance(self, planner):
+        plan = planner.plan_many(
+            [spec_request(batchable=False) for _ in range(STACK_THRESHOLD)]
+        )
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_dense_backend_never_stacks(self, planner):
+        plan = planner.plan_many(
+            [spec_request(backend="subspace") for _ in range(STACK_THRESHOLD)]
+        )
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_heterogeneous_models_bucket_separately(self, planner):
+        requests = [spec_request() for _ in range(STACK_THRESHOLD)] + [
+            spec_request(model="parallel") for _ in range(STACK_THRESHOLD)
+        ]
+        plan = planner.plan_many(requests)
+        assert set(plan.strategies()) == {"stacked"}
+        assert len(plan.groups) == 2
+        assert {g.indices[0] for g in plan.groups} == {0, STACK_THRESHOLD}
+
+    def test_mixed_small_buckets_fall_back_to_instance(self, planner):
+        requests = [spec_request()] * 32 + [spec_request(model="parallel")] * 32
+        plan = planner.plan_many(requests)
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_capacity_policy_splits_buckets(self, planner):
+        requests = [spec_request()] * 32 + [spec_request(capacity="skip_empty")] * 32
+        plan = planner.plan_many(requests)
+        # Two half-size buckets, neither reaches the stack threshold.
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_jobs_route_spec_loads_to_fanout(self, planner):
+        plan = planner.plan_many([spec_request()] * 4, jobs=2)
+        assert set(plan.strategies()) == {"fanout"}
+        assert plan.jobs == 2
+
+    def test_jobs_leave_database_requests_local(self, planner, small_db):
+        plan = planner.plan_many(
+            [SamplingRequest(database=small_db)] * 4, jobs=2
+        )
+        assert set(plan.strategies()) == {"instance"}
+
+    def test_custom_thresholds(self):
+        planner = Planner(stack_threshold=2, classes_universe_threshold=32)
+        plan = planner.plan_many([spec_request()] * 2)
+        assert set(plan.strategies()) == {"stacked"}
+        assert planner.auto_backend("sequential", 32) == "classes"
+
+
+class TestForcedStrategy:
+    def test_forced_stacked(self, planner):
+        plan = planner.plan(spec_request(), strategy="stacked")
+        assert plan.strategies() == ("stacked",)
+        assert plan.backends() == ("classes",)
+
+    def test_forced_fanout_and_served(self, planner):
+        fanout = planner.plan(spec_request(), strategy="fanout", jobs=2)
+        assert fanout.strategies() == ("fanout",)
+        assert planner.plan(spec_request(), strategy="served").strategies() == ("served",)
+
+    def test_forced_fanout_needs_jobs(self, planner):
+        """A serial 'fan-out' would strip ledgers for nothing: rejected."""
+        with pytest.raises(PlanningError, match="jobs"):
+            planner.plan(spec_request(), strategy="fanout")
+        with pytest.raises(PlanningError, match="jobs"):
+            planner.plan(spec_request(), strategy="fanout", jobs=1)
+
+    def test_forced_stacked_rejects_dense_backend(self, planner):
+        with pytest.raises(PlanningError, match="not batchable"):
+            planner.plan(spec_request(backend="subspace"), strategy="stacked")
+
+    def test_batchable_hint_conflicts_with_dense_backend(self, planner):
+        with pytest.raises(PlanningError, match="not batchable"):
+            planner.plan(spec_request(backend="subspace", batchable=True))
+
+    def test_explicit_classes_backend_is_batchable_everywhere(self, planner):
+        """backend='classes' IS the batch substrate — no conflict, on any
+        strategy."""
+        request = spec_request(backend="classes", batchable=True)
+        assert planner.plan(request, strategy="instance").strategies() == ("instance",)
+        assert planner.plan(request).strategies() == ("stacked",)
+
+    def test_forced_fanout_rejects_database_source(self, planner, small_db):
+        with pytest.raises(PlanningError, match="spec-built"):
+            planner.plan(SamplingRequest(database=small_db), strategy="fanout", jobs=2)
+
+    def test_forced_served_rejects_database_source(self, planner, small_db):
+        with pytest.raises(PlanningError, match="serving"):
+            planner.plan(SamplingRequest(database=small_db), strategy="served")
+
+    def test_unknown_strategy(self, planner):
+        with pytest.raises(PlanningError, match="strategy"):
+            planner.plan(spec_request(), strategy="teleport")
+
+    def test_planning_errors_are_repro_errors(self, planner):
+        with pytest.raises(ReproError):
+            planner.plan(spec_request(), strategy="teleport")
+
+
+class TestPlanShape:
+    def test_groups_partition_indices_in_order(self, planner):
+        requests = (
+            [spec_request(batchable=True)] * 2
+            + [spec_request(backend="oracles")]
+            + [spec_request(batchable=True)] * 2
+        )
+        plan = planner.plan_many(requests)
+        covered = sorted(i for g in plan.groups for i in g.indices)
+        assert covered == list(range(len(requests)))
+        stacked = next(g for g in plan.groups if g.strategy == "stacked")
+        assert stacked.indices == (0, 1, 3, 4)
+        instance = next(g for g in plan.groups if g.strategy == "instance")
+        assert instance.indices == (2,)
+
+    def test_bad_batch_size_rejected(self, planner):
+        with pytest.raises(PlanningError, match="batch_size"):
+            planner.plan_many([spec_request()], batch_size=0)

@@ -1,0 +1,59 @@
+"""The public-API surface snapshot (CI satellite).
+
+``tests/api/public_api_manifest.json`` is the committed contract: the
+importable names of ``repro`` and ``repro.api``.  Adding a name is a
+deliberate act (regenerate the manifest in the same commit); removing or
+renaming one fails here before it breaks a downstream caller.
+"""
+
+import importlib
+import json
+from pathlib import Path
+
+import pytest
+
+MANIFEST_PATH = Path(__file__).parent / "public_api_manifest.json"
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return json.loads(MANIFEST_PATH.read_text())
+
+
+@pytest.mark.parametrize("module_name", ["repro", "repro.api"])
+class TestSurfaceSnapshot:
+    def test_all_matches_manifest(self, manifest, module_name):
+        module = importlib.import_module(module_name)
+        assert sorted(module.__all__) == manifest[module_name], (
+            f"{module_name}.__all__ drifted from the committed manifest; "
+            "if intentional, regenerate tests/api/public_api_manifest.json"
+        )
+
+    def test_every_name_importable(self, manifest, module_name):
+        module = importlib.import_module(module_name)
+        for name in manifest[module_name]:
+            assert getattr(module, name, None) is not None, name
+
+    def test_dir_covers_manifest(self, manifest, module_name):
+        module = importlib.import_module(module_name)
+        missing = set(manifest[module_name]) - set(dir(module))
+        assert not missing, f"dir({module_name}) misses {sorted(missing)}"
+
+
+class TestFrontDoorAttributes:
+    def test_lazy_exports_resolve(self):
+        import repro
+
+        assert callable(repro.sample)
+        assert callable(repro.sample_many)
+        assert repro.SamplingRequest is not None
+
+    def test_serve_is_both_module_and_callable(self):
+        """``repro.serve`` is the subpackage *and* the stream entry point."""
+        import repro
+        import repro.serve
+
+        assert callable(repro.serve)
+        assert repro.serve.SamplerService is not None
+        results = repro.serve(iter(()))
+        assert len(results) == 0
