@@ -28,9 +28,11 @@ bench:
 e22:
 	$(PYTHON) -m pytest benchmarks/bench_e22_backend_scaling.py -q --benchmark-disable
 
-# E23: batched stacked-classes engine vs the per-instance loop.
-# Full run asserts the ≥5× instances/sec bar at B = 256; the smoke
-# variant (tiny B, no throughput assertion) is what CI executes.
+# E23: the stacked engines vs the per-instance loop — classes at any
+# scale plus the (B, N, 2) stacked-dense subspace backend on the
+# medium-N grid.  Full run asserts the ≥5× (classes) and ≥3× (dense)
+# instances/sec bars at B = 256; the smoke variant (tiny B, both
+# backends, no throughput assertion) is what CI executes.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_e23_batched_throughput.py -q --benchmark-disable
 

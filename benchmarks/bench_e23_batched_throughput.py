@@ -1,19 +1,33 @@
-"""E23 — batched throughput: stacked ``classes`` engine vs per-instance loop.
+"""E23 — batched throughput: stacked backends vs the per-instance loop.
 
-The batch subsystem's claim: because the ``classes`` backend compresses
-each instance to a ``(ν+1)×2`` cell grid, ``B`` instances stack into one
-``(B, ν+1, 2)`` tensor and the whole Theorem 4.3/4.5 amplification loop
-runs as a constant number of NumPy kernels per iterate instead of ``B``
-Python round-trips — plus batch-level amortization of plan solving and
-schedule construction.  The acceptance bar (ISSUE 2): **≥ 5× instances/sec
-over the per-instance ``classes`` loop at B ≥ 256, ν ≤ 32**, with
-equivalence (fidelity, ledger) checked inside the bench itself.
+Two claims, one artifact:
+
+* **Stacked classes** (PR 2 / ISSUE 2): the ``classes`` backend
+  compresses each instance to a ``(ν+1)×2`` cell grid, so ``B``
+  instances stack into one ``(B, ν+1, 2)`` tensor and the whole Theorem
+  4.3/4.5 amplification loop runs as a constant number of NumPy kernels
+  per iterate.  Acceptance bar: **≥ 5× instances/sec over the
+  per-instance ``classes`` loop at B = 256, ν ≤ 32**.
+* **Stacked dense subspace** (ISSUE 5): on the medium-``N`` grid —
+  where the planner's per-instance choice is the dense ``subspace``
+  backend — the ``(B, N, 2)`` stacked-dense backend amortizes the
+  per-run Python cost (sampler construction, plan solve, schedule,
+  kernel dispatch) across the batch while staying bit-identical to
+  per-instance rows.  Acceptance bar: **≥ 3× instances/sec over
+  per-instance ``subspace`` execution at B = 256** on the medium-N
+  grid, with the stacked-``classes`` rate on the same databases
+  recorded alongside (the classes-vs-subspace stacked comparison).
+
+Rates are best-of-2 after a warm-up pass — the paths share caches
+(plans, schedules, NumPy dispatch) and the CI-class machines this runs
+on are noisy, so single-shot timings under-resolve the ratio.
 
 ``test_e23_batched_throughput`` runs the full B = 256 comparison and
-asserts the bar; ``test_e23_smoke_small`` is the CI-sized variant (tiny
-B, no ratio assertion — a 2-vCPU runner under noisy neighbors is not a
-throughput instrument) that still exercises the whole path and archives
-the JSON perf trajectory under ``benchmarks/_results/E23.json``.
+asserts both bars; ``test_e23_smoke_small`` is the CI-sized variant
+(tiny B, no ratio assertion — a 2-vCPU runner under noisy neighbors is
+not a throughput instrument) that still exercises both stacked backends
+and archives the JSON perf trajectory under
+``benchmarks/_results/E23.json``.
 """
 
 from __future__ import annotations
@@ -34,6 +48,16 @@ FAMILIES = [
     ("nu32/N4096", 4096, 32),
 ]
 
+#: The medium-N grid of the stacked-dense acceptance bar: big enough
+#: that the dense representation is the planner's per-instance choice,
+#: small enough that per-run Python overhead still dominates the O(N)
+#: kernels — the regime the (B, N, 2) stack exists for.
+DENSE_FAMILIES = [
+    ("nu8/N512", 512, 8),
+    ("nu8/N1024", 1024, 8),
+    ("nu8/N2048", 2048, 8),
+]
+
 
 def _instance(universe: int, nu: int, seed: int) -> DistributedDatabase:
     """Sparse heavy-key workload with per-seed support (M, ν shared)."""
@@ -45,22 +69,31 @@ def _instance(universe: int, nu: int, seed: int) -> DistributedDatabase:
     return DistributedDatabase.from_count_matrix(counts, nu=nu)
 
 
-def _per_instance_rate(dbs, model: str) -> tuple[float, list]:
+def _best_rate(run, count: int, repetitions: int = 2):
+    """Best instances/sec over ``repetitions`` timed calls of ``run``."""
+    rate, results = 0.0, None
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        results = run()
+        rate = max(rate, count / (time.perf_counter() - start))
+    return rate, results
+
+
+def _per_instance_rate(dbs, model: str, backend: str = "classes"):
     sampler_cls = SequentialSampler if model == "sequential" else ParallelSampler
-    start = time.perf_counter()
-    results = [sampler_cls(db, backend="classes").run() for db in dbs]
-    elapsed = time.perf_counter() - start
-    return len(dbs) / elapsed, results
+    return _best_rate(
+        lambda: [sampler_cls(db, backend=backend).run() for db in dbs], len(dbs)
+    )
 
 
-def _batched_rate(dbs, model: str) -> tuple[float, list]:
-    start = time.perf_counter()
-    results = execute_sampling_batch(dbs, model=model)
-    elapsed = time.perf_counter() - start
-    return len(dbs) / elapsed, results
+def _batched_rate(dbs, model: str, backend: str = "classes"):
+    return _best_rate(
+        lambda: execute_sampling_batch(dbs, model=model, backend=backend), len(dbs)
+    )
 
 
 def _compare(dbs, model: str, batch_size: int) -> dict:
+    """The classes-substrate comparison (per-instance vs stacked classes)."""
     dbs = dbs[:batch_size]
     # Warm both paths once (plan/schedule caches, NumPy dispatch) so the
     # measurement sees steady-state serving throughput, not first-call cost.
@@ -73,6 +106,7 @@ def _compare(dbs, model: str, batch_size: int) -> dict:
         assert res.ledger.summary() == ref.ledger.summary()
     return {
         "model": model,
+        "backend": "classes",
         "B": batch_size,
         "per_instance_rate": base_rate,
         "batched_rate": batch_rate,
@@ -80,11 +114,44 @@ def _compare(dbs, model: str, batch_size: int) -> dict:
     }
 
 
+def _compare_dense(dbs, batch_size: int) -> list[dict]:
+    """The medium-N comparison: per-instance subspace vs both stacks.
+
+    Returns two rows — the stacked ``subspace`` tensor and the stacked
+    ``classes`` compression on the same databases — each rated against
+    the same per-instance ``subspace`` baseline, which is what the
+    planner would run one at a time in this regime.  Bit-identity of the
+    dense stack is asserted inline (fidelity via ``==``, ledgers exact).
+    """
+    dbs = dbs[:batch_size]
+    _batched_rate(dbs[:4], "sequential", backend="subspace")
+    _per_instance_rate(dbs[:4], "sequential", backend="subspace")
+    base_rate, base_results = _per_instance_rate(dbs, "sequential", backend="subspace")
+    dense_rate, dense_results = _batched_rate(dbs, "sequential", backend="subspace")
+    classes_rate, classes_results = _batched_rate(dbs, "sequential", backend="classes")
+    for ref, res, cls in zip(base_results, dense_results, classes_results):
+        assert res.exact and ref.exact and cls.exact
+        assert res.fidelity == ref.fidelity  # bit-identical, not approximate
+        assert res.ledger.summary() == ref.ledger.summary() == cls.ledger.summary()
+    return [
+        {
+            "model": "sequential",
+            "backend": backend,
+            "B": batch_size,
+            "per_instance_rate": base_rate,
+            "batched_rate": rate,
+            "speedup": rate / base_rate,
+        }
+        for backend, rate in (("subspace", dense_rate), ("classes", classes_rate))
+    ]
+
+
 def _report_rows(trajectory, report, claim):
     rows = [
         [
             r["family"],
             r["model"],
+            r["backend"],
             r["B"],
             f"{r['per_instance_rate']:.0f}/s",
             f"{r['batched_rate']:.0f}/s",
@@ -95,7 +162,7 @@ def _report_rows(trajectory, report, claim):
     report(
         "E23",
         claim,
-        ["family", "model", "B", "per-instance", "batched", "speedup"],
+        ["family", "model", "backend", "B", "per-instance", "batched", "speedup"],
         rows,
         payload={"trajectory": trajectory, "n_machines": N_MACHINES},
     )
@@ -109,16 +176,30 @@ def test_e23_batched_throughput(report):
             row = _compare(dbs, model, batch_size=256)
             row["family"] = family
             trajectory.append(row)
+    for family, universe, nu in DENSE_FAMILIES:
+        dbs = [_instance(universe, nu, seed) for seed in range(256)]
+        for row in _compare_dense(dbs, batch_size=256):
+            row["family"] = f"medium/{family}"
+            trajectory.append(row)
     _report_rows(
         trajectory,
         report,
-        "stacked engine ≥5× instances/sec over per-instance classes at B=256",
+        "stacked classes ≥5× per-instance classes; stacked dense ≥3× "
+        "per-instance subspace on the medium-N grid (B=256)",
     )
     for row in trajectory:
-        assert row["speedup"] >= 5.0, (
-            f"{row['family']}/{row['model']}: batched speedup {row['speedup']:.2f}× "
-            "below the 5× acceptance bar at B=256"
-        )
+        if row["family"].startswith("medium/"):
+            if row["backend"] != "subspace":
+                continue  # the classes rate on the grid is recorded, not barred
+            assert row["speedup"] >= 3.0, (
+                f"{row['family']}: stacked-dense speedup {row['speedup']:.2f}× "
+                "below the 3× acceptance bar at B=256"
+            )
+        else:
+            assert row["speedup"] >= 5.0, (
+                f"{row['family']}/{row['model']}: batched speedup "
+                f"{row['speedup']:.2f}× below the 5× acceptance bar at B=256"
+            )
 
 
 def test_e23_smoke_small(report):
@@ -130,10 +211,14 @@ def test_e23_smoke_small(report):
         row["family"] = "smoke/nu8/N512"
         trajectory.append(row)
         assert row["speedup"] > 0  # correctness + a recorded rate is the point
+    for row in _compare_dense(dbs, batch_size=8):
+        row["family"] = "smoke-medium/nu8/N512"
+        trajectory.append(row)
+        assert row["speedup"] > 0
     _report_rows(
         trajectory,
         report,
-        "batched engine smoke (tiny B): equivalence holds, rates recorded",
+        "batched engines smoke (tiny B): equivalence holds, rates recorded",
     )
 
 
@@ -143,4 +228,14 @@ def test_e23_benchmark_hook(benchmark, model):
     dbs = [_instance(1024, 8, seed) for seed in range(64)]
     execute_sampling_batch(dbs, model=model)  # warm caches
     results = benchmark(execute_sampling_batch, dbs, model)
+    assert all(r.exact for r in results)
+
+
+def test_e23_benchmark_hook_stacked_dense(benchmark):
+    """pytest-benchmark hook: the (B, N, 2) stacked-dense engine at B=64."""
+    dbs = [_instance(1024, 8, seed) for seed in range(64)]
+    execute_sampling_batch(dbs, model="sequential", backend="subspace")
+    results = benchmark(
+        execute_sampling_batch, dbs, "sequential", True, False, "subspace"
+    )
     assert all(r.exact for r in results)

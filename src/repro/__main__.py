@@ -36,6 +36,7 @@ import sys
 from .analysis.verify import certify_run
 from .api import SamplingRequest, sample, sample_many
 from .api import serve as api_serve
+from .batch import stacked_backend_names
 from .core import SequentialSampler, backend_names, estimate_overlap
 from .database import partition, zipf_dataset
 from .errors import ReproError
@@ -118,16 +119,17 @@ def _cmd_sample_batch(args: argparse.Namespace) -> int:
     # aggregate table reads audit columns only, so skip the O(N)
     # per-instance output-distribution gather (the engine's serving
     # fast path).
-    request = SamplingRequest(
-        spec=spec,
-        model=args.model,
-        backend=args.backend or "auto",
-        capacity=args.capacity,
-        include_probabilities=False,
-        batchable=True,
-    )
     start = time.perf_counter()
     try:
+        request = SamplingRequest(
+            spec=spec,
+            model=args.model,
+            backend=args.backend or "auto",
+            capacity=args.capacity,
+            include_probabilities=False,
+            batchable=True,
+            max_dense_dimension=args.max_dense_dim,
+        )
         results = sample_many(
             [request] * args.batch, jobs=args.jobs, rng=args.seed
         )
@@ -158,13 +160,14 @@ def _cmd_sample(args: argparse.Namespace) -> int:
     if args.batch:
         return _cmd_sample_batch(args)
     db = _build_db(args)
-    request = SamplingRequest(
-        database=db,
-        model=args.model,
-        backend=args.backend or "auto",
-        capacity=args.capacity,
-    )
     try:
+        request = SamplingRequest(
+            database=db,
+            model=args.model,
+            backend=args.backend or "auto",
+            capacity=args.capacity,
+            max_dense_dimension=args.max_dense_dim,
+        )
         result = sample(request)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -201,7 +204,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             if args.rate > 0:
                 time.sleep(float(arrivals.exponential(1.0 / args.rate)))
             yield SamplingRequest(
-                spec=spec, model=args.model, include_probabilities=False
+                spec=spec,
+                model=args.model,
+                backend=args.backend,
+                include_probabilities=False,
             )
 
     start = time.perf_counter()
@@ -302,6 +308,15 @@ def main(argv: list[str] | None = None) -> int:
         metavar="J",
         help="fan batches across J worker processes (only with --batch)",
     )
+    sample.add_argument(
+        "--max-dense-dim",
+        type=int,
+        default=None,
+        metavar="DIM",
+        help="per-run override of the dense memory cap: auto routing picks a "
+        "dense representation (per-instance or the (B, N, 2) stacked-dense "
+        "batch tensor) only while the instance dimension 2N fits DIM",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the batching sampler service on a Poisson trace"
@@ -310,6 +325,13 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--total", type=int, default=128)
     serve.add_argument("--machines", type=int, default=3)
     serve.add_argument("--model", choices=["sequential", "parallel"], default="sequential")
+    serve.add_argument(
+        "--backend",
+        choices=["auto", *stacked_backend_names()],
+        default="auto",
+        help="stacked substrate batches execute on; auto resolves per "
+        "request by universe size (the planner's rule)",
+    )
     serve.add_argument("--strategy", default="round_robin")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(

@@ -20,18 +20,20 @@ Strategy executors
     ``ParallelSampler`` on the resolved backend; stream snapshots run as
     a stacked batch of one).
 ``stacked``:
-    The ``(B, ν+1, 2)`` count-class engine
-    (:func:`~repro.batch.engine.execute_class_batch`), chunked by
-    ``batch_size`` in request order — bit-identical rows to
-    ``run_batched`` for the same seeds and batch size.
+    The stacked batch engine
+    (:func:`~repro.batch.engine.execute_class_batch`) on the group's
+    resolved substrate — the ``(B, ν+1, 2)`` count-class tensor or the
+    ``(B, N, 2)`` dense subspace tensor — chunked by ``batch_size`` in
+    request order; rows are bit-identical to
+    ``run_batched(backend=<same>)`` for the same seeds and batch size.
 ``fanout``:
     The same stacked chunks shipped to a
     :class:`~concurrent.futures.ProcessPoolExecutor` for build-dominated
     spec loads; workers return audit rows (states stay worker-side).
 ``served``:
     The long-lived :class:`~repro.serve.SamplerService` dispatcher —
-    shape-keyed re-packing with deadline flush, live telemetry on the
-    returned :class:`ResultSet`.
+    backend-and-shape-keyed re-packing with deadline flush, live
+    telemetry on the returned :class:`ResultSet`.
 """
 
 from __future__ import annotations
@@ -171,10 +173,17 @@ def serve(
                     workers=workers,
                     include_probabilities=request.include_probabilities,
                     capacity=request.capacity,
+                    # "auto" passes through verbatim: the dispatcher then
+                    # resolves the stacked substrate per request by
+                    # universe size (mixed-N streams pack per backend),
+                    # honoring the request's dense memory cap.
+                    backend=request.backend,
+                    max_dense_dimension=request.max_dense_dimension,
                 )
             else:
                 assert first is not None
-                for attr in ("model", "capacity", "include_probabilities"):
+                for attr in ("model", "capacity", "include_probabilities",
+                             "backend", "max_dense_dimension"):
                     if getattr(request, attr) != getattr(first.request, attr):
                         raise PlanningError(
                             f"served streams are homogeneous in {attr}: got "
@@ -305,6 +314,7 @@ def _execute_instance(
                 model=request.model,
                 include_probabilities=request.include_probabilities,
                 skip_zero_capacity=res.skip_zero_capacity,
+                backend=res.backend,
             )[0]
             wall = time.perf_counter() - start
             yield index, _class_result(res, None, inst, sampling, "instance", wall)
@@ -360,6 +370,7 @@ def _execute_stacked(
             model=first.model,
             include_probabilities=first.include_probabilities,
             skip_zero_capacity=plan.resolved[chunk[0]].skip_zero_capacity,
+            backend=plan.resolved[chunk[0]].backend,
         )
         wall = time.perf_counter() - start
         for (index, (_, inst)), sampling in zip(built, samplings):
@@ -372,7 +383,7 @@ def _execute_stacked(
 
 
 def _fanout_worker(
-    payload: tuple[str, list[tuple[object, int | None, str]], bool, bool],
+    payload: tuple[str, list[tuple[object, int | None, str]], bool, bool, str],
 ) -> list[dict[str, object]]:
     """Build one chunk's databases, execute them stacked, return audit rows.
 
@@ -380,7 +391,7 @@ def _fanout_worker(
     heavyweight objects — databases, states, results — never cross the
     process boundary, only the plain-scalar rows do.
     """
-    model, items, include_probabilities, skip_zero_capacity = payload
+    model, items, include_probabilities, skip_zero_capacity, backend = payload
     from ..batch.engine import execute_sampling_batch
 
     dbs = [spec.build(rng=seed) for spec, seed, _ in items]  # type: ignore[union-attr]
@@ -389,6 +400,7 @@ def _fanout_worker(
         model=model,
         include_probabilities=include_probabilities,
         skip_zero_capacity=skip_zero_capacity,
+        backend=backend,
     )
     rows = []
     for (_, _, label), db, sampling in zip(items, dbs, samplings):
@@ -424,6 +436,7 @@ def _execute_fanout(
             ],
             first.include_probabilities,
             plan.resolved[chunk[0]].skip_zero_capacity,
+            plan.resolved[chunk[0]].backend,
         )
         for chunk in chunks
     )
@@ -495,6 +508,7 @@ def _execute_served(
         workers=plan.workers,
         include_probabilities=first.include_probabilities,
         capacity=first.capacity,
+        backend=plan.resolved[group.indices[0]].backend,
     ) as service:
         for index in group.indices:
             res = plan.resolved[index]

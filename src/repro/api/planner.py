@@ -8,16 +8,25 @@ duplicated across the four legacy front doors:
 * **backend selection** — ``"auto"`` resolves by scale and model: the
   dense fast path (``subspace`` sequential / ``synced`` parallel) below
   :data:`CLASSES_UNIVERSE_THRESHOLD`, the ``O(ν)``-memory ``classes``
-  compression at ``N ≥ 10⁵`` — and always ``classes`` for requests that
-  execute batched, served, or from a stream snapshot (the stacked engine
-  is a ``classes`` substrate);
+  compression at ``N ≥ 10⁵``.  Batched strategies resolve against the
+  *stacked*-backend registry (:mod:`repro.batch.backends`) with the
+  same shape of rule: small/medium-``N`` sequential groups stack on the
+  ``(B, N, 2)`` dense ``subspace`` tensor (while ``2N`` fits the
+  ``max_dense_dimension`` cap, overridable per request), everything
+  else on the ``(B, ν+1, 2)`` ``classes`` compression — and stream
+  snapshots always run ``classes``;
 * **strategy selection** — per-instance execution for heterogeneous or
-  dense-backend requests, the stacked ``(B, ν+1, 2)`` batch engine for
+  unstackable-backend requests, the stacked batch engine for
   homogeneous groups of at least :data:`STACK_THRESHOLD` requests (or
   any size with ``batchable=True``), process fan-out for build-dominated
   spec loads when ``jobs > 1``, and the serving dispatcher for streams;
 * **capacity policy** — ``"skip_empty"`` maps to the capacity-aware
   flagged-round restriction on every strategy.
+
+The two routing thresholds live in :mod:`repro.config`
+(:attr:`~repro.config.NumericsConfig.stack_threshold`,
+:attr:`~repro.config.NumericsConfig.classes_universe_threshold`) so
+tests and benchmarks consume the same numbers the planner does.
 
 The legacy drivers (``run_sweep``, ``run_batched``,
 :class:`~repro.serve.SamplerService`) consume the same planner helpers
@@ -31,24 +40,34 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..batch.backends import auto_stacked_backend, stacked_backend_names
+from ..config import CONFIG
 from ..core.backends import MODELS, backend_names, resolve_backend
-from ..errors import PlanningError, ValidationError
+from ..errors import PlanningError, RequestError, ValidationError
 from .request import AUTO_BACKEND, CAPACITY_POLICIES, SamplingRequest
 
 #: Minimum homogeneous group size at which the planner routes to the
 #: stacked batch engine (below it, per-batch Python overhead beats the
-#: tensor-stacking win — see bench_e23's throughput plateau).
-STACK_THRESHOLD = 64
+#: tensor-stacking win — see bench_e23's throughput plateau).  The
+#: number is defined in :attr:`repro.config.NumericsConfig.stack_threshold`;
+#: this constant is an import-time snapshot of its *default*, kept for
+#: the historical public name — runtime overrides go through ``CONFIG``
+#: (every ``Planner()`` built afterwards picks them up), not this value.
+STACK_THRESHOLD = CONFIG.stack_threshold
 
 #: Universe size at which ``"auto"`` switches from the dense fast path
 #: to the ``classes`` compression (the dense layouts' wall time crosses
 #: ``classes`` well before this; see benchmarks/_results/E22.json).
-CLASSES_UNIVERSE_THRESHOLD = 10**5
+#: Import-time snapshot of the default of
+#: :attr:`repro.config.NumericsConfig.classes_universe_threshold` —
+#: same caveat as :data:`STACK_THRESHOLD`.
+CLASSES_UNIVERSE_THRESHOLD = CONFIG.classes_universe_threshold
 
 #: The four execution strategies.
 STRATEGIES = ("instance", "stacked", "fanout", "served")
 
-#: The substrate every batched/served/stream execution runs on.
+#: The always-available stacked substrate (any scale, both models) and
+#: the one stream snapshots run on.
 BATCH_SUBSTRATE = "classes"
 
 
@@ -138,9 +157,15 @@ class Planner:
 
     def __init__(
         self,
-        stack_threshold: int = STACK_THRESHOLD,
-        classes_universe_threshold: int = CLASSES_UNIVERSE_THRESHOLD,
+        stack_threshold: int | None = None,
+        classes_universe_threshold: int | None = None,
     ) -> None:
+        # None pulls the live config fields, so a CONFIG override (tests,
+        # tuned deployments) reaches every planner built afterwards.
+        if stack_threshold is None:
+            stack_threshold = CONFIG.stack_threshold
+        if classes_universe_threshold is None:
+            classes_universe_threshold = CONFIG.classes_universe_threshold
         if stack_threshold < 1:
             raise PlanningError(f"stack_threshold must be >= 1, got {stack_threshold}")
         if classes_universe_threshold < 1:
@@ -153,13 +178,51 @@ class Planner:
 
     # -- backend selection ---------------------------------------------------------
 
-    def auto_backend(self, model: str, universe: int) -> str:
+    def auto_backend(
+        self, model: str, universe: int, max_dense_dimension: int | None = None
+    ) -> str:
         """The ``"auto"`` rule for a *per-instance* run: dense below the
-        scale threshold, ``classes`` at and above it."""
+        scale threshold (and within the dense-dimension cap), ``classes``
+        at and above it.
+
+        The cap guard compares the element-register dimension ``2N`` — a
+        lower bound on every dense layout.  Parallel-model layouts also
+        carry a ``ν+1`` counting axis the planner cannot know at routing
+        time, so an over-cap ``synced`` run still fails with the honest
+        :class:`~repro.errors.SimulationLimitError` at construction
+        rather than being silently rerouted.
+        """
         require_model(model)
-        if universe >= self.classes_universe_threshold:
+        cap = (
+            CONFIG.max_dense_dimension
+            if max_dense_dimension is None
+            else max_dense_dimension
+        )
+        if universe >= self.classes_universe_threshold or 2 * universe > cap:
             return BATCH_SUBSTRATE
         return "subspace" if model == "sequential" else "synced"
+
+    def stacked_backend(
+        self, model: str, universe: int, max_dense_dimension: int | None = None
+    ) -> str:
+        """The ``"auto"`` rule for one *batched* instance.
+
+        Pure delegation to
+        :func:`repro.batch.backends.auto_stacked_backend` — the one
+        definition of the rule, also applied by
+        ``run_batched(backend="auto")`` and the serving dispatcher —
+        with this planner's ``classes_universe_threshold`` threaded
+        through: ``classes`` at scale or when the dense tensor would
+        not fit, the ``(B, N, 2)`` stacked-dense representation for the
+        small/medium-``N`` groups it supports.
+        """
+        require_model(model)
+        return auto_stacked_backend(
+            model,
+            universe,
+            max_dense_dimension=max_dense_dimension,
+            classes_universe_threshold=self.classes_universe_threshold,
+        )
 
     def validated_backend(self, name: str, model: str) -> str:
         """Resolve an explicit backend name; raises with the choices."""
@@ -301,10 +364,49 @@ class Planner:
         return strategies
 
     def _stackable(self, request: SamplingRequest) -> bool:
-        """Whether the stacked ``classes`` engine may execute the request."""
+        """Whether a stacked backend may execute the request.
+
+        ``auto`` and any registered *stacked* backend name qualify —
+        ``classes`` always, ``subspace`` for sequential-model requests
+        (stream snapshots stay on ``classes``, their substrate).
+        """
         if request.batchable is False:
             return False
-        return request.backend in (AUTO_BACKEND, BATCH_SUBSTRATE)
+        if request.backend == AUTO_BACKEND:
+            return True
+        if request.source == "stream":
+            return request.backend == BATCH_SUBSTRATE
+        return request.backend in stacked_backend_names(request.model)
+
+    def _resolve_stacked_backend(self, request: SamplingRequest, strategy: str) -> str:
+        """The stacked substrate one batched/served request executes on."""
+        names = stacked_backend_names(request.model)
+        if request.source == "stream":
+            # Stream snapshots are count-class views; only the classes
+            # substrate serves them without a rebuild, at any strategy.
+            if request.backend not in (AUTO_BACKEND, BATCH_SUBSTRATE):
+                raise PlanningError(
+                    f"backend {request.backend!r} cannot execute a stream "
+                    f"snapshot; stream requests run on the {BATCH_SUBSTRATE!r} "
+                    "substrate"
+                )
+            return BATCH_SUBSTRATE
+        if request.backend == AUTO_BACKEND:
+            try:
+                universe = request.planning_universe()
+            except RequestError:
+                # A spec recipe without a declared universe can still
+                # stack — on the scale-free substrate.
+                return BATCH_SUBSTRATE
+            return self.stacked_backend(
+                request.model, universe, request.max_dense_dimension
+            )
+        if request.backend in names:
+            return request.backend
+        raise PlanningError(
+            f"backend {request.backend!r} is not stackable; the {strategy!r} "
+            f"strategy runs a stacked substrate — choose from {names} or 'auto'"
+        )
 
     def _resolve(
         self, request: SamplingRequest, index: int, strategy: str
@@ -314,13 +416,7 @@ class Planner:
         if strategy not in STRATEGIES:
             raise PlanningError(f"unknown strategy {strategy!r}; choose from {STRATEGIES}")
         if strategy in ("stacked", "fanout", "served"):
-            if request.backend not in (AUTO_BACKEND, BATCH_SUBSTRATE):
-                raise PlanningError(
-                    f"backend {request.backend!r} is not batchable; the "
-                    f"{strategy!r} strategy runs the {BATCH_SUBSTRATE!r} "
-                    "substrate (stacked count-class engine)"
-                )
-            backend = BATCH_SUBSTRATE
+            backend = self._resolve_stacked_backend(request, strategy)
         elif request.source == "stream":
             # Stream snapshots are count-class views; only the classes
             # substrate can execute them, at any strategy.
@@ -332,15 +428,17 @@ class Planner:
                 )
             backend = BATCH_SUBSTRATE
         elif request.backend == AUTO_BACKEND:
-            backend = self.auto_backend(request.model, request.planning_universe())
+            backend = self.auto_backend(
+                request.model, request.planning_universe(), request.max_dense_dimension
+            )
         else:
             backend = self.validated_backend(request.backend, request.model)
-            if request.batchable and backend != BATCH_SUBSTRATE:
+            if request.batchable and backend not in stacked_backend_names(request.model):
                 # A conflicting hint is a caller bug, not a routing choice.
                 raise PlanningError(
                     f"backend {request.backend!r} is not batchable; the "
-                    f"batchable=True hint requires the {BATCH_SUBSTRATE!r} "
-                    "substrate (or backend='auto')"
+                    f"batchable=True hint requires a stacked substrate "
+                    f"({stacked_backend_names(request.model)}) or backend='auto'"
                 )
         if strategy == "fanout" and request.source != "spec":
             raise PlanningError(
@@ -365,9 +463,10 @@ class Planner:
     def _group(self, resolved: tuple[ResolvedRequest, ...]) -> tuple[ExecutionGroup, ...]:
         """Partition resolved requests into ordered execution groups.
 
-        Batched strategies group by homogeneity key so one stacked
-        tensor (or one worker payload, or one service) executes the
-        whole group; instance requests pool into a single group.
+        Batched strategies group by homogeneity key — including the
+        resolved stacked backend, so one tensor representation (or one
+        worker payload, or one service) executes the whole group;
+        instance requests pool into a single group.
         """
         keyed: dict[tuple[object, ...], list[int]] = {}
         for res in resolved:
@@ -377,6 +476,7 @@ class Planner:
             else:
                 key = (
                     res.strategy,
+                    res.backend,
                     request.model,
                     request.capacity,
                     request.include_probabilities,

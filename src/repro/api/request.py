@@ -78,6 +78,20 @@ class SamplingRequest:
         group-size threshold decide; ``True`` prefers the stacked engine
         even for small groups; ``False`` pins the request to per-instance
         execution.
+    max_dense_dimension:
+        Per-run *routing* override of the dense-stacking memory cap
+        (:attr:`~repro.config.NumericsConfig.max_dense_dimension`): the
+        planner's auto rules pick a dense representation — per-instance
+        or the ``(B, N, 2)`` stacked subspace tensor — only while the
+        per-instance element-register dimension ``2N`` fits, so stacked
+        memory stays under ``max_dense_dimension × B`` cells.  The
+        global config cap still guards tensor construction, so this
+        override can tighten routing below it but not lift it (raise
+        the config field for that); parallel-model layouts carry an
+        extra ``ν+1`` counting axis the planner cannot see, so their
+        honest :class:`~repro.errors.SimulationLimitError` at execution
+        remains the backstop.  ``None`` (default) uses the global
+        config value; must be positive.
 
     Exactly one of ``database``/``spec``/``stream`` must be set.
     """
@@ -92,6 +106,7 @@ class SamplingRequest:
     include_probabilities: bool = True
     label: str | None = None
     batchable: bool | None = None
+    max_dense_dimension: int | None = None
 
     def __post_init__(self) -> None:
         sources = [s for s in (self.database, self.spec, self.stream) if s is not None]
@@ -116,6 +131,11 @@ class SamplingRequest:
             )
         if not isinstance(self.backend, str) or not self.backend:
             raise RequestError("backend must be a non-empty string (or 'auto')")
+        if self.max_dense_dimension is not None and self.max_dense_dimension <= 0:
+            raise RequestError(
+                "max_dense_dimension must be a positive dimension cap, got "
+                f"{self.max_dense_dimension}"
+            )
 
     # -- planner-facing views ----------------------------------------------------
 

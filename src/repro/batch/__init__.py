@@ -1,20 +1,38 @@
-"""Batched execution: stacked ``classes`` engine + throughput driver.
+"""Batched execution: pluggable stacked backends + throughput driver.
 
 The scaling layer above :mod:`repro.core`: many sampling instances run
-as one tensor.
+as one tensor, on an interchangeable stacked representation.
 
+:mod:`repro.batch.backends`
+    :class:`StackedBackend` — the stacked-backend protocol and registry
+    (the batch-level mirror of :mod:`repro.core.backends`), with
+    ``"auto"`` resolution by universe size.
 :mod:`repro.batch.stacked`
     :class:`StackedClassVector` — ``B`` count-class states as a single
-    ``(B, C, 2)`` amplitude tensor with per-instance class maps.
+    ``(B, C, 2)`` amplitude tensor with per-instance class maps (the
+    ``"classes"`` substrate, any scale).
+:mod:`repro.batch.stacked_dense`
+    :class:`StackedSubspaceVector` — ``B`` dense Eq. (5) states as one
+    ``(B, N, 2)`` tensor (the ``"subspace"`` substrate, bit-identical to
+    per-instance subspace rows for small/medium ``N``).
 :mod:`repro.batch.engine`
     :func:`execute_sampling_batch` — the Theorem 4.3/4.5 amplification
-    loop over a whole batch at once, grouped by schedule shape, with
-    honest per-instance query ledgers.
+    loop over a whole batch at once, grouped by backend and schedule
+    shape, with honest per-instance query ledgers.
 :mod:`repro.batch.driver`
     :func:`run_batched` — spec-in/rows-out throughput driver with
     deterministic seeding, batch packing and optional process fan-out.
 """
 
+from .backends import (
+    AUTO_STACKED_BACKEND,
+    StackedBackend,
+    auto_stacked_backend,
+    create_stacked_backend,
+    register_stacked_backend,
+    resolve_stacked_backend,
+    stacked_backend_names,
+)
 from .driver import (
     DEFAULT_BATCH_SIZE,
     audit_row,
@@ -25,17 +43,26 @@ from .driver import (
 )
 from .engine import ClassInstance, cached_plan, execute_class_batch, execute_sampling_batch
 from .stacked import StackedClassVector
+from .stacked_dense import StackedSubspaceVector
 
 __all__ = [
-    "DEFAULT_BATCH_SIZE",
+    "AUTO_STACKED_BACKEND",
     "ClassInstance",
-    "audit_row",
+    "DEFAULT_BATCH_SIZE",
+    "StackedBackend",
     "StackedClassVector",
+    "StackedSubspaceVector",
+    "audit_row",
+    "auto_stacked_backend",
     "cached_plan",
+    "create_stacked_backend",
     "default_row",
     "execute_class_batch",
     "execute_sampling_batch",
     "iter_seeded_batches",
     "pack_batches",
+    "register_stacked_backend",
+    "resolve_stacked_backend",
     "run_batched",
+    "stacked_backend_names",
 ]

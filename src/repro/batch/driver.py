@@ -134,20 +134,21 @@ def iter_seeded_batches(
 
 
 def _run_batch(
-    payload: tuple[str, list[tuple[InstanceSpec, int]], RowFn, bool, bool],
+    payload: tuple[str, list[tuple[InstanceSpec, int]], RowFn, bool, bool, str],
 ) -> list[dict[str, object]]:
     """Worker: materialize one batch, execute it stacked, build its rows.
 
     Module-level (and single-argument) so :func:`process_map` can ship it
     to worker processes.
     """
-    model, batch, row_fn, include_probabilities, skip_zero_capacity = payload
+    model, batch, row_fn, include_probabilities, skip_zero_capacity, backend = payload
     dbs = [spec.build(rng=seed) for spec, seed in batch]
     results = execute_sampling_batch(
         dbs,
         model=model,
         include_probabilities=include_probabilities,
         skip_zero_capacity=skip_zero_capacity,
+        backend=backend,
     )
     return [
         dict(row_fn(spec, db, result))
@@ -164,6 +165,7 @@ def run_batched(
     row_fn: RowFn = default_row,
     include_probabilities: bool = True,
     capacity: str = "all",
+    backend: str = "classes",
 ) -> SweepResult:
     """Materialize, batch and execute many instances; collect result rows.
 
@@ -208,6 +210,10 @@ def run_batched(
         ``"all"`` or ``"skip_empty"`` — the front door's capacity
         policy; ``"skip_empty"`` carries the capacity-aware
         flagged-round restriction into every batch.
+    backend:
+        The stacked substrate (``"classes"`` default, ``"subspace"``
+        for small/medium-``N`` sequential sweeps, ``"auto"`` to resolve
+        per instance by universe size — the planner's rule).
 
     Returns
     -------
@@ -221,7 +227,7 @@ def run_batched(
     planner = Planner()
     skip_zero_capacity = skip_zero_capacity_for(capacity)
     payloads = (
-        (model, batch, row_fn, include_probabilities, skip_zero_capacity)
+        (model, batch, row_fn, include_probabilities, skip_zero_capacity, backend)
         for batch in iter_seeded_batches(specs, rng, batch_size)
     )
     result = SweepResult()

@@ -1,13 +1,17 @@
-"""Batched Theorem 4.3/4.5 execution on stacked count-class states.
+"""Batched Theorem 4.3/4.5 execution on stacked states.
 
 :func:`execute_sampling_batch` is the batch analogue of
 :func:`repro.core.backends.execute_sampling`: it takes *many* databases,
-groups them by amplification-schedule shape (``grover_reps``,
-``needs_final`` — the two values that fix the control flow), runs each
-group's amplification loop once on a single
-:class:`~repro.batch.stacked.StackedClassVector`, and hands back one
+groups them by stacked backend and amplification-schedule shape
+(``grover_reps``, ``needs_final`` — the two values that fix the control
+flow), runs each group's amplification loop once on a single stacked
+tensor, and hands back one
 :class:`~repro.core.result.SamplingResult` per input database, in input
-order.
+order.  The stacked representation is pluggable
+(:mod:`repro.batch.backends`): the ``(B, ν+1, 2)`` count-class tensor
+(``"classes"``, any scale), the ``(B, N, 2)`` dense subspace tensor
+(``"subspace"``, small/medium ``N``), or ``"auto"`` to pick per instance
+by universe size — the engine below never branches on the substrate.
 
 Exactness is not traded for throughput:
 
@@ -18,11 +22,12 @@ Exactness is not traded for throughput:
   recorded in bulk (the ledger is a counter, so block-recording is
   observationally identical);
 * instances in one group may differ in ``N``, ``ν``, ``n`` and final
-  partial-iterate angles — the stacked state pads classes with inert
-  cells and identity rotation blocks, and phases are per-instance
-  arrays;
+  partial-iterate angles — the stacked states pad with inert cells and
+  identity rotation blocks, and phases are per-instance arrays;
 * the equivalence tests assert output probabilities, fidelities and
-  ledger totals match unbatched ``classes``-backend runs cell for cell.
+  ledger totals match unbatched ``classes``-backend runs cell for cell,
+  and that stacked ``subspace`` runs match per-instance
+  :class:`~repro.core.backends.SubspaceBackend` rows bit for bit.
 
 Two batch-level amortizations do the heavy lifting beyond tensor
 stacking: zero-error plans are memoized by overlap value (a sweep's
@@ -52,19 +57,21 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.distributing import u_rotation_blocks
 from ..qsim.classvector import ClassVector
-from ..qsim.operators import adjoint_blocks
 from ..core.exact_aa import AmplificationPlan, solve_plan
 from ..core.result import SamplingResult
 from ..core.schedule import QuerySchedule
 from ..database.distributed import DistributedDatabase
 from ..database.ledger import QueryLedger
 from ..errors import ValidationError
-from .stacked import StackedClassVector
+from .backends import (
+    create_stacked_backend,
+    resolve_stacked_backend,
+    resolve_stacked_name,
+)
 
-#: The backend name stamped on batched results: the substrate is the
-#: ``classes`` compression, executed by the stacked engine.
+#: The default stacked substrate (and the name stamped on its results):
+#: the ``classes`` compression, which batches at any scale.
 BATCH_BACKEND = "classes"
 
 
@@ -191,22 +198,6 @@ def _active_restriction(inst: ClassInstance, skip_zero_capacity: bool) -> tuple[
     return active if len(active) < inst.n_machines else None
 
 
-@lru_cache(maxsize=256)
-def _cached_u_blocks(nu: int, width: int) -> tuple[np.ndarray, np.ndarray]:
-    """Eq. (6) rotation blocks for capacity ``nu``, identity-padded to ``width``.
-
-    Padded classes carry the identity so a stacked application acts on
-    instance cells exactly as the unpadded per-instance operator would.
-    Returns ``(forward, adjoint)``; treat both as read-only.
-    """
-    forward = np.tile(np.eye(2, dtype=np.complex128), (width, 1, 1))
-    forward[: nu + 1] = u_rotation_blocks(nu)
-    adjoint = adjoint_blocks(forward)
-    forward.setflags(write=False)
-    adjoint.setflags(write=False)
-    return forward, adjoint
-
-
 def _charge_run(
     ledger: QueryLedger,
     model: str,
@@ -244,30 +235,28 @@ def _run_group(
     model: str,
     include_probabilities: bool,
     skip_zero_capacity: bool,
+    backend_name: str,
 ) -> list[SamplingResult]:
-    """Execute one schedule-shape group as a single stacked tensor."""
+    """Execute one (backend, schedule-shape) group as a single stacked tensor.
+
+    The control flow below is the whole engine: the named
+    :class:`~repro.batch.backends.StackedBackend` owns the tensor and the
+    batched ``D`` kernel; ledgers, schedules and plans are charged here,
+    identically for every substrate.
+    """
     plan0 = plans[0]
-    batch = len(instances)
-    state = StackedClassVector.uniform(
-        [inst.joints for inst in instances], [inst.nu + 1 for inst in instances]
-    )
-    width = state.width
-    blocks = np.empty((batch, width, 2, 2), dtype=np.complex128)
-    blocks_adj = np.empty_like(blocks)
-    for b, inst in enumerate(instances):
-        fwd, adj = _cached_u_blocks(inst.nu, width)
-        blocks[b] = fwd
-        blocks_adj[b] = adj
+    backend = create_stacked_backend(backend_name, instances, model)
+    state = backend.uniform_state()
 
     def apply_q(varphi: complex | np.ndarray, phi: complex | np.ndarray) -> None:
         # Q(φ, ϕ) = −D S_π(ϕ) D† S_χ(φ), mirroring core.engine.apply_q.
         state.apply_phase_slice("w", 0, varphi)
-        state.apply_class_flag_unitary(blocks_adj)
+        backend.apply_d(state, adjoint=True)
         state.apply_pi_projector_phase(phi)
-        state.apply_class_flag_unitary(blocks)
+        backend.apply_d(state)
         state.apply_global_phase(-1.0)
 
-    state.apply_class_flag_unitary(blocks)  # the initial D
+    backend.apply_d(state)  # the initial D
     for _ in range(plan0.grover_reps):
         apply_q(np.exp(1j * np.pi), np.exp(1j * np.pi))
     if plan0.needs_final:
@@ -275,8 +264,10 @@ def _run_group(
         phi = np.exp(1j * np.array([p.final_phi for p in plans]))
         apply_q(varphi, phi)
 
-    fidelities = state.fidelities_with_targets([inst.total for inst in instances])
-    probabilities = state.output_probabilities_all() if include_probabilities else None
+    fidelities = backend.fidelities(state)
+    probabilities = (
+        backend.output_probabilities_all(state) if include_probabilities else None
+    )
     results = []
     for b, (inst, plan) in enumerate(zip(instances, plans)):
         active = _active_restriction(inst, skip_zero_capacity)
@@ -286,7 +277,7 @@ def _run_group(
         results.append(
             SamplingResult(
                 model=model,
-                backend=BATCH_BACKEND,
+                backend=backend_name,
                 plan=plan,
                 schedule=_cached_schedule(
                     model, inst.n_machines, plan.d_applications, active
@@ -296,7 +287,7 @@ def _run_group(
                 output_probabilities=(
                     probabilities[b] if probabilities is not None else None
                 ),
-                final_state=state.extract(b),
+                final_state=backend.final_state(state, b),
                 public_parameters=inst.public_parameters(),
             )
         )
@@ -308,6 +299,7 @@ def execute_sampling_batch(
     model: str = "sequential",
     include_probabilities: bool = True,
     skip_zero_capacity: bool = False,
+    backend: str = BATCH_BACKEND,
 ) -> list[SamplingResult]:
     """Run the Theorem 4.3/4.5 loop over many databases as stacked tensors.
 
@@ -316,7 +308,8 @@ def execute_sampling_batch(
     dbs:
         The databases to sample.  They may differ in ``N``, ``M``, ``ν``
         and ``n``; instances whose zero-error schedules share the same
-        shape (``grover_reps``, ``needs_final``) execute together.
+        shape (``grover_reps``, ``needs_final``) — and resolve to the
+        same stacked backend — execute together.
     model:
         ``"sequential"`` (Theorem 4.3 ledger accounting) or
         ``"parallel"`` (Theorem 4.5), applied to the whole batch.
@@ -330,14 +323,20 @@ def execute_sampling_batch(
         instance, exactly as ``SequentialSampler``/``ParallelSampler``
         with ``skip_zero_capacity=True`` skip them (same ledgers, same
         schedule fingerprints, identical output state).
+    backend:
+        The stacked substrate: ``"classes"`` (default — the ``O(ν)``
+        compression, any scale), ``"subspace"`` (the ``(B, N, 2)`` dense
+        tensor, bit-identical to per-instance ``subspace`` rows), or
+        ``"auto"`` to resolve per instance by universe size
+        (:func:`~repro.batch.backends.auto_stacked_backend`).
 
     Returns
     -------
     list[SamplingResult]
         One result per input database, **in input order**, each with its
         own honest ledger, plan, oblivious schedule and final (per
-        instance, compressed) state — interchangeable with results from
-        ``execute_sampling(db, model, "classes", ...)``.
+        instance) state — interchangeable with results from
+        ``execute_sampling(db, model, <backend>, ...)``.
     """
     # One O(nN) joint-count scan per instance, reused for the state, the
     # overlap (M/(νN), float-identical to db.initial_overlap()), the
@@ -347,6 +346,7 @@ def execute_sampling_batch(
         model=model,
         include_probabilities=include_probabilities,
         skip_zero_capacity=skip_zero_capacity,
+        backend=backend,
     )
 
 
@@ -355,16 +355,20 @@ def execute_class_batch(
     model: str = "sequential",
     include_probabilities: bool = True,
     skip_zero_capacity: bool = False,
+    backend: str = BATCH_BACKEND,
 ) -> list[SamplingResult]:
-    """The class-coordinate core of :func:`execute_sampling_batch`.
+    """The instance-level core of :func:`execute_sampling_batch`.
 
     Takes pre-extracted :class:`ClassInstance` snapshots — either scanned
     from databases or copied from live
     :meth:`~repro.database.dynamic.UpdateStream.class_state` views — so
     the serving layer (:mod:`repro.serve`) can mix spec-built and
     dynamic-database requests in one stacked tensor without any
-    ``O(nN)`` rebuild for the latter.  Semantics and guarantees are those
-    of :func:`execute_sampling_batch`; results come back in input order.
+    ``O(nN)`` rebuild for the latter.  (The snapshot's joint-count table
+    doubles as the per-element count map, so every stacked backend,
+    dense included, executes it directly.)  Semantics and guarantees are
+    those of :func:`execute_sampling_batch`; results come back in input
+    order.
     """
     if model not in ("sequential", "parallel"):
         raise ValidationError(f"unknown model {model!r}; choose from ('sequential', 'parallel')")
@@ -372,18 +376,32 @@ def execute_class_batch(
     if not instances:
         return []
     plans = [cached_plan(inst.overlap()) for inst in instances]
-    groups: dict[tuple[int, bool], list[int]] = {}
+    backends = [
+        resolve_stacked_name(backend, model, inst.universe) for inst in instances
+    ]
+    groups: dict[tuple[str, int, bool], list[int]] = {}
     for idx, plan in enumerate(plans):
-        groups.setdefault((plan.grover_reps, plan.needs_final), []).append(idx)
+        key = (backends[idx], plan.grover_reps, plan.needs_final)
+        groups.setdefault(key, []).append(idx)
     results: list[SamplingResult | None] = [None] * len(instances)
-    for indices in groups.values():
-        group_results = _run_group(
-            [instances[i] for i in indices],
-            [plans[i] for i in indices],
-            model,
-            include_probabilities,
-            skip_zero_capacity,
+    for (backend_name, _, _), indices in groups.items():
+        # Backends may bound how many instances one tensor should hold
+        # (dense stacks stay cache-resident); blocks run their whole
+        # amplification loop back to back, results unaffected.
+        limit = resolve_stacked_backend(backend_name, model).group_size_limit(
+            [instances[i] for i in indices]
         )
-        for i, res in zip(indices, group_results):
-            results[i] = res
+        step = len(indices) if limit is None else max(1, limit)
+        for start in range(0, len(indices), step):
+            block = indices[start : start + step]
+            group_results = _run_group(
+                [instances[i] for i in block],
+                [plans[i] for i in block],
+                model,
+                include_probabilities,
+                skip_zero_capacity,
+                backend_name,
+            )
+            for i, res in zip(block, group_results):
+                results[i] = res
     return results  # type: ignore[return-value]

@@ -55,12 +55,28 @@ class NumericsConfig:
         :class:`~repro.errors.SimulationLimitError` rather than attempting
         a massive allocation.  The ``classes`` backend
         (:class:`~repro.qsim.classvector.ClassVector`) is exempt — its
-        state is ``O(ν)`` regardless of ``N``.
+        state is ``O(ν)`` regardless of ``N``.  Also the default
+        per-instance cap for dense *stacking*: the planner routes a
+        batch to the ``(B, N, 2)`` stacked subspace backend only while
+        ``2N`` fits, so stacked memory stays under
+        ``max_dense_dimension × B`` cells (overridable per run via
+        ``SamplingRequest.max_dense_dimension``).
+    stack_threshold:
+        Minimum homogeneous group size at which the planner routes to a
+        stacked batch engine (below it, per-batch Python overhead beats
+        the tensor-stacking win — see bench_e23's throughput plateau).
+    classes_universe_threshold:
+        Universe size at which backend auto-selection switches from the
+        dense representations to the ``O(ν)``-memory ``classes``
+        compression (the dense layouts' wall time crosses ``classes``
+        well before this; see benchmarks/_results/E22.json).
     """
 
     atol: float = 1e-10
     fidelity_atol: float = 1e-9
     max_dense_dimension: int = 2**24
+    stack_threshold: int = 64
+    classes_universe_threshold: int = 10**5
 
     @property
     def strict_checks(self) -> bool:

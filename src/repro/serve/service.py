@@ -9,14 +9,17 @@ a continuously-fed serving loop on top of the stacked ``classes`` engine:
   (:meth:`~SamplerService.submit_live`) and get a
   :class:`ServedRequest` future back immediately;
 * **pack** — a dispatcher thread materializes each request, solves its
-  (memoized) amplification plan and re-packs in-flight requests into
-  schedule-shape groups (:class:`~repro.serve.packer.ShapePacker`),
-  flushing groups when full *or* when their oldest request hits the
-  flush deadline — so the stacked tensor stays saturated under load and
-  latency stays bounded at a trickle;
+  (memoized) amplification plan, resolves its stacked substrate
+  (``backend="auto"`` picks per request by universe size) and re-packs
+  in-flight requests into backend × schedule-shape groups
+  (:class:`~repro.serve.packer.ShapePacker`), flushing groups when full
+  *or* when their oldest request hits the flush deadline — so the
+  stacked tensor stays saturated under load and latency stays bounded
+  at a trickle;
 * **execute** — flushed batches run on a thread pool via
-  :func:`~repro.batch.engine.execute_class_batch`, each request keeping
-  its own honest :class:`~repro.database.ledger.QueryLedger`;
+  :func:`~repro.batch.engine.execute_class_batch` on the group's
+  stacked backend, each request keeping its own honest
+  :class:`~repro.database.ledger.QueryLedger`;
 * **observe** — every event feeds a
   :class:`~repro.serve.stats.ServiceStats` telemetry surface
   (instances/sec, batch-fill ratio, p50/p99 latency, queue depth,
@@ -44,6 +47,11 @@ import time
 from typing import Callable, Iterator
 
 from ..analysis.sweep import InstanceSpec
+from ..batch.backends import (
+    AUTO_STACKED_BACKEND,
+    auto_stacked_backend,
+    resolve_stacked_backend,
+)
 from ..batch.driver import DEFAULT_BATCH_SIZE, RowFn, audit_row, default_row
 from ..batch.engine import ClassInstance, cached_plan, execute_class_batch
 from ..core.result import SamplingResult
@@ -96,6 +104,10 @@ class ServedRequest:
         # not database-sized.
         self.db = None
         self._instance = instance
+        # Resolved stacked substrate, set by the dispatcher at packing
+        # time (the packer's group key carries it too; stashing it here
+        # keeps it with the batch through the worker pool).
+        self._backend: str | None = None
         self._row_fn = row_fn
         self._row: dict[str, object] | None = None
         self._event = threading.Event()
@@ -195,6 +207,23 @@ class SamplerService:
         :func:`~repro.batch.engine.execute_class_batch`.  Resolved
         through the :mod:`repro.api` planner, the same policy surface
         every front-door strategy uses.
+    backend:
+        The stacked substrate batches execute on: ``"classes"``
+        (default — the ``O(ν)`` compression, any scale),
+        ``"subspace"`` (the ``(B, N, 2)`` dense tensor for
+        small/medium-``N`` sequential traffic), or ``"auto"`` to
+        resolve per request by universe size
+        (:func:`~repro.batch.backends.auto_stacked_backend`).  The
+        packer keys groups by resolved backend, so a mixed-``N`` auto
+        stream packs dense and compressed batches side by side.  Live
+        snapshots run on ``classes`` — an explicit ``"subspace"``
+        service therefore rejects :meth:`submit_live` (the front-door
+        planner raises the matching :class:`PlanningError`).
+    max_dense_dimension:
+        Per-service override of the dense-stacking memory cap the
+        ``"auto"`` resolution applies (defaults to
+        :attr:`repro.config.NumericsConfig.max_dense_dimension`) — the
+        serving twin of ``SamplingRequest.max_dense_dimension``.
 
     Use as a context manager: leaving the ``with`` block drains and
     closes the service.
@@ -211,6 +240,8 @@ class SamplerService:
         row_fn: RowFn = default_row,
         clock: Callable[[], float] = time.monotonic,
         capacity: str = "all",
+        backend: str = "classes",
+        max_dense_dimension: int | None = None,
     ) -> None:
         # Model and capacity policy are the front-door planner's rules;
         # imported at call time so this lower layer carries no load-time
@@ -219,6 +250,16 @@ class SamplerService:
 
         self._model = require_model(model)
         self._skip_zero_capacity = skip_zero_capacity_for(capacity)
+        if backend != AUTO_STACKED_BACKEND:
+            # Fail fast at construction, not on the dispatcher thread.
+            resolve_stacked_backend(backend, self._model)
+        if max_dense_dimension is not None and max_dense_dimension <= 0:
+            raise ValidationError(
+                "max_dense_dimension must be a positive dimension cap, got "
+                f"{max_dense_dimension}"
+            )
+        self._backend = backend
+        self._max_dense_dimension = max_dense_dimension
         self._include_probabilities = include_probabilities
         self._row_fn = row_fn
         self._clock = clock
@@ -283,6 +324,15 @@ class SamplerService:
         updates keep streaming.  (The first ``class_state()`` call on a
         stream builds the view once; prime it before heavy traffic.)
         """
+        if self._backend not in (AUTO_STACKED_BACKEND, "classes"):
+            # Mirror the front-door planner: a stream snapshot cannot run
+            # on an explicitly pinned dense substrate — reject loudly
+            # instead of silently substituting classes.
+            raise ValidationError(
+                f"backend {self._backend!r} cannot execute a live snapshot; "
+                "live requests run on the 'classes' substrate — construct the "
+                "service with backend='auto' or 'classes'"
+            )
         db = stream.database
         snapshot = ClassInstance.from_class_state(
             stream.class_state(), db.n_machines, capacities=db.capacities
@@ -419,18 +469,36 @@ class SamplerService:
                 self._launch(batch)
 
     def _prepare_and_pack(self, request: ServedRequest) -> None:
-        """Materialize the request and queue it under its schedule shape."""
+        """Materialize the request; queue it under (backend, schedule shape).
+
+        Live snapshots always run ``classes`` (their substrate);
+        ``backend="auto"`` resolves spec requests per universe size, so
+        a mixed-``N`` stream packs dense and compressed groups side by
+        side without ever mixing representations in one tensor.
+        """
         try:
+            live = request.spec is None
             if request._instance is None:
                 assert request.spec is not None
                 request.db = request.spec.build(rng=request.seed)
                 request._instance = ClassInstance.from_db(request.db)
             plan = cached_plan(request._instance.overlap())
+            if live:
+                backend = "classes"
+            elif self._backend == AUTO_STACKED_BACKEND:
+                backend = auto_stacked_backend(
+                    self._model,
+                    request._instance.universe,
+                    max_dense_dimension=self._max_dense_dimension,
+                )
+            else:
+                backend = self._backend
         except BaseException as error:  # bad spec/plan: fail just this request
             request._fail(error)
             self._stats.record_failure()
             return
-        self._packer.add((plan.grover_reps, plan.needs_final), request)
+        request._backend = backend
+        self._packer.add((backend, plan.grover_reps, plan.needs_final), request)
 
     def _flush_ready(self) -> None:
         for batch in self._packer.pop_ready():
@@ -447,6 +515,8 @@ class SamplerService:
                 model=self._model,
                 include_probabilities=self._include_probabilities,
                 skip_zero_capacity=self._skip_zero_capacity,
+                # The packer groups by backend, so one name covers the batch.
+                backend=batch[0]._backend or "classes",
             )
         except BaseException as error:
             for request in batch:

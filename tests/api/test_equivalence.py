@@ -102,7 +102,21 @@ class TestStackedStrategy:
         ]
         results = sample_many(requests, rng=7, batch_size=4)
         assert set(results.strategies()) == {"stacked"}
-        legacy = run_batched(specs, model=model, rng=7, batch_size=4)
+        # backend="auto" applies the same stacked-substrate rule the
+        # planner does (subspace for these small-N sequential specs,
+        # classes for parallel), so rows stay bit-identical.
+        legacy = run_batched(specs, model=model, rng=7, batch_size=4, backend="auto")
+        assert_rows_identical(results.rows(), legacy.rows)
+
+    def test_explicit_classes_backend_matches_run_batched_default(self):
+        specs = mixed_specs()
+        requests = [
+            SamplingRequest(spec=spec, backend="classes", batchable=True)
+            for spec in specs
+        ]
+        results = sample_many(requests, rng=7, batch_size=4)
+        assert set(r.backend for r in results) == {"classes"}
+        legacy = run_batched(specs, rng=7, batch_size=4)
         assert_rows_identical(results.rows(), legacy.rows)
 
     def test_explicit_seeds_override_rng(self):
@@ -129,7 +143,7 @@ class TestFanoutStrategy:
         requests = [SamplingRequest(spec=spec, batchable=True) for spec in specs]
         results = sample_many(requests, rng=7, batch_size=2, jobs=2)
         assert set(results.strategies()) == {"fanout"}
-        legacy = run_batched(specs, rng=7, batch_size=2, jobs=2)
+        legacy = run_batched(specs, rng=7, batch_size=2, jobs=2, backend="auto")
         assert_rows_identical(results.rows(), legacy.rows)
         # Fan-out ships rows, not states: the run stayed worker-side.
         assert all(result.sampling is None for result in results)
@@ -146,7 +160,9 @@ class TestServedStrategy:
             batch_size=4,
             flush_deadline=0.01,
         )
-        with SamplerService(rng=7, batch_size=4, flush_deadline=0.01) as service:
+        with SamplerService(
+            rng=7, batch_size=4, flush_deadline=0.01, backend="auto"
+        ) as service:
             for spec in specs:
                 service.submit(spec)
             legacy_rows = service.rows()
@@ -158,6 +174,25 @@ class TestServedStrategy:
     def test_empty_stream(self):
         results = serve(iter(()))
         assert len(results) == 0 and results.telemetry is None
+
+    def test_served_requests_honor_max_dense_dimension(self):
+        """serve() must apply the request's dense cap exactly like
+        repro.sample does — auto falls back to classes when 2N > cap."""
+        request = SamplingRequest(
+            spec=spec_of(), include_probabilities=False, max_dense_dimension=8
+        )
+        results = serve([request], rng=0)
+        assert results[0].backend == "classes"
+
+    def test_served_streams_homogeneous_in_dense_cap(self):
+        from repro.errors import PlanningError
+
+        capped = SamplingRequest(
+            spec=spec_of(), include_probabilities=False, max_dense_dimension=8
+        )
+        uncapped = SamplingRequest(spec=spec_of(), include_probabilities=False)
+        with pytest.raises(PlanningError, match="max_dense_dimension"):
+            serve([capped, uncapped], rng=0)
 
     def test_sample_many_served_strategy_carries_telemetry(self):
         results = sample_many(
@@ -202,7 +237,8 @@ class TestFourStrategyRoundTrip:
             assert row["fidelity"] == pytest.approx(
                 reference["fidelity"], abs=1e-12
             )
-        # The three classes-substrate batch paths agree bit-for-bit.
+        # Stacked and fanout share one substrate (the planner resolved
+        # the same stacked backend for both): bit-for-bit agreement.
         assert results["fanout"].row()["fidelity"] == reference["fidelity"]
 
     def test_round_trip_matches_each_legacy_entry_point(self):
@@ -211,18 +247,18 @@ class TestFourStrategyRoundTrip:
 
         stacked = sample_many([request], rng=7, strategy="stacked")
         legacy_batched = run_batched(
-            [spec], rng=7, include_probabilities=False
+            [spec], rng=7, include_probabilities=False, backend="auto"
         )
         assert_rows_identical(stacked.rows(), legacy_batched.rows)
 
         fanout = sample_many([request], rng=7, strategy="fanout", jobs=2)
         legacy_fanout = run_batched(
-            [spec], rng=7, jobs=2, include_probabilities=False
+            [spec], rng=7, jobs=2, include_probabilities=False, backend="auto"
         )
         assert_rows_identical(fanout.rows(), legacy_fanout.rows)
 
         served = serve([request], rng=7)
-        with SamplerService(rng=7) as service:
+        with SamplerService(rng=7, backend="auto") as service:
             service.submit(spec)
             legacy_served = service.rows()
         assert_rows_equivalent(served.rows(), legacy_served)

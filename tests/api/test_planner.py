@@ -74,16 +74,54 @@ class TestAutoBackend:
 
 
 class TestAutoStrategy:
-    """The acceptance bar: stacked engine chosen for homogeneous B ≥ 64."""
+    """The acceptance bar: stacked engine chosen for homogeneous B ≥ 64,
+    with the stacked substrate picked by universe size."""
 
     def test_single_request_runs_per_instance(self, planner):
         assert planner.plan(spec_request()).strategies() == ("instance",)
 
-    def test_homogeneous_group_at_threshold_stacks(self, planner):
+    def test_homogeneous_small_n_group_stacks_dense(self, planner):
+        """The stacked-dense branch: a homogeneous small-N sequential
+        group of B ≥ threshold routes to the (B, N, 2) subspace stack."""
         plan = planner.plan_many([spec_request() for _ in range(STACK_THRESHOLD)])
         assert set(plan.strategies()) == {"stacked"}
-        assert set(plan.backends()) == {"classes"}
+        assert set(plan.backends()) == {"subspace"}
         assert len(plan.groups) == 1 and plan.groups[0].strategy == "stacked"
+
+    def test_homogeneous_large_n_group_stacks_classes(self, planner):
+        plan = planner.plan_many(
+            [spec_request(universe=10**5) for _ in range(STACK_THRESHOLD)]
+        )
+        assert set(plan.strategies()) == {"stacked"}
+        assert set(plan.backends()) == {"classes"}
+
+    def test_parallel_groups_stack_on_classes(self, planner):
+        """No parallel-model dense stack is registered: classes it is."""
+        plan = planner.plan_many(
+            [spec_request(model="parallel") for _ in range(STACK_THRESHOLD)]
+        )
+        assert set(plan.strategies()) == {"stacked"}
+        assert set(plan.backends()) == {"classes"}
+
+    def test_max_dense_dimension_override_forces_classes(self, planner):
+        """The per-request cap: 2N over the override → the dense stack
+        (and the dense per-instance fast path) are off the table."""
+        capped = [
+            spec_request(max_dense_dimension=64)
+            for _ in range(STACK_THRESHOLD)
+        ]
+        plan = planner.plan_many(capped)
+        assert set(plan.strategies()) == {"stacked"}
+        assert set(plan.backends()) == {"classes"}
+        single = planner.plan(spec_request(max_dense_dimension=64))
+        assert single.backends() == ("classes",)
+
+    def test_mixed_universes_split_stacked_groups_by_backend(self, planner):
+        small = [spec_request(batchable=True) for _ in range(2)]
+        large = [spec_request(universe=10**5, batchable=True) for _ in range(2)]
+        plan = planner.plan_many(small + large)
+        assert plan.backends() == ("subspace", "subspace", "classes", "classes")
+        assert len(plan.groups) == 2
 
     def test_below_threshold_runs_per_instance(self, planner):
         plan = planner.plan_many([spec_request() for _ in range(STACK_THRESHOLD - 1)])
@@ -97,7 +135,7 @@ class TestAutoStrategy:
         """A sibling's hint must not reroute hint-less requests."""
         plan = planner.plan_many([spec_request(), spec_request(batchable=True)])
         assert plan.strategies() == ("instance", "stacked")
-        assert plan.backends() == ("subspace", "classes")
+        assert plan.backends() == ("subspace", "subspace")
 
     def test_batchable_false_pins_to_instance(self, planner):
         plan = planner.plan_many(
@@ -105,11 +143,25 @@ class TestAutoStrategy:
         )
         assert set(plan.strategies()) == {"instance"}
 
-    def test_dense_backend_never_stacks(self, planner):
+    def test_explicit_subspace_backend_stacks(self, planner):
+        """subspace is a stacked substrate now — an explicit choice keeps
+        the dense representation and still batches."""
         plan = planner.plan_many(
             [spec_request(backend="subspace") for _ in range(STACK_THRESHOLD)]
         )
+        assert set(plan.strategies()) == {"stacked"}
+        assert set(plan.backends()) == {"subspace"}
+
+    def test_unstackable_backend_never_stacks(self, planner):
+        plan = planner.plan_many(
+            [spec_request(backend="oracles") for _ in range(STACK_THRESHOLD)]
+        )
         assert set(plan.strategies()) == {"instance"}
+        synced = planner.plan_many(
+            [spec_request(model="parallel", backend="synced")
+             for _ in range(STACK_THRESHOLD)]
+        )
+        assert set(synced.strategies()) == {"instance"}
 
     def test_heterogeneous_models_bucket_separately(self, planner):
         requests = [spec_request() for _ in range(STACK_THRESHOLD)] + [
@@ -148,12 +200,37 @@ class TestAutoStrategy:
         assert set(plan.strategies()) == {"stacked"}
         assert planner.auto_backend("sequential", 32) == "classes"
 
+    def test_thresholds_come_from_config(self):
+        """One definition: the planner's defaults are the config fields."""
+        from repro.config import CONFIG
+
+        assert Planner().stack_threshold == CONFIG.stack_threshold
+        assert Planner().classes_universe_threshold == (
+            CONFIG.classes_universe_threshold
+        )
+        assert STACK_THRESHOLD == CONFIG.stack_threshold
+        assert CLASSES_UNIVERSE_THRESHOLD == CONFIG.classes_universe_threshold
+
+    def test_config_override_reaches_new_planners(self):
+        from repro.config import CONFIG
+
+        before = CONFIG.stack_threshold
+        CONFIG.stack_threshold = 2
+        try:
+            plan = Planner().plan_many([spec_request()] * 2)
+            assert set(plan.strategies()) == {"stacked"}
+        finally:
+            CONFIG.stack_threshold = before
+
 
 class TestForcedStrategy:
     def test_forced_stacked(self, planner):
         plan = planner.plan(spec_request(), strategy="stacked")
         assert plan.strategies() == ("stacked",)
-        assert plan.backends() == ("classes",)
+        # auto resolution still applies: small-N sequential → dense stack.
+        assert plan.backends() == ("subspace",)
+        large = planner.plan(spec_request(universe=10**5), strategy="stacked")
+        assert large.backends() == ("classes",)
 
     def test_forced_fanout_and_served(self, planner):
         fanout = planner.plan(spec_request(), strategy="fanout", jobs=2)
@@ -167,13 +244,25 @@ class TestForcedStrategy:
         with pytest.raises(PlanningError, match="jobs"):
             planner.plan(spec_request(), strategy="fanout", jobs=1)
 
-    def test_forced_stacked_rejects_dense_backend(self, planner):
-        with pytest.raises(PlanningError, match="not batchable"):
-            planner.plan(spec_request(backend="subspace"), strategy="stacked")
+    def test_forced_stacked_rejects_unstackable_backend(self, planner):
+        with pytest.raises(PlanningError, match="not stackable"):
+            planner.plan(spec_request(backend="oracles"), strategy="stacked")
+        with pytest.raises(PlanningError, match="not stackable"):
+            # subspace has no parallel stack registered.
+            planner.plan(
+                spec_request(model="parallel", backend="subspace"),
+                strategy="stacked",
+            )
 
-    def test_batchable_hint_conflicts_with_dense_backend(self, planner):
+    def test_batchable_hint_conflicts_with_unstackable_backend(self, planner):
         with pytest.raises(PlanningError, match="not batchable"):
-            planner.plan(spec_request(backend="subspace", batchable=True))
+            planner.plan(spec_request(backend="oracles", batchable=True))
+
+    def test_explicit_subspace_backend_is_batchable(self, planner):
+        request = spec_request(backend="subspace", batchable=True)
+        plan = planner.plan(request)
+        assert plan.strategies() == ("stacked",)
+        assert plan.backends() == ("subspace",)
 
     def test_explicit_classes_backend_is_batchable_everywhere(self, planner):
         """backend='classes' IS the batch substrate — no conflict, on any

@@ -1,0 +1,181 @@
+"""Property tests: StackedClassVector on degenerate batches.
+
+The satellite contract: ``stack``/``extract`` (through the trusted
+``ClassVector.from_parts`` path) and ``transfer_element`` behave on the
+edges the randomized grids rarely hit — single-instance stacks, mixed
+widths where an instance's entire padded tail is empty (ν = 0 instances:
+one class), and ``N = 1`` universes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.batch import StackedClassVector
+from repro.qsim import ClassVector
+
+#: One instance: (element→class map, class count), sizes kept tiny so the
+#: hypothesis grid explores shapes, not arithmetic.
+instance_shapes = st.tuples(
+    st.integers(min_value=1, max_value=9),   # N
+    st.integers(min_value=1, max_value=6),   # ν + 1  (1 ⇒ a ν=0 instance)
+)
+
+
+def build_instance(rng: np.random.Generator, n: int, n_classes: int) -> ClassVector:
+    element_classes = rng.integers(0, n_classes, size=n).astype(np.int64)
+    amps = rng.normal(size=(n_classes, 2)) + 1j * rng.normal(size=(n_classes, 2))
+    state = ClassVector(element_classes, n_classes, amps=amps)
+    return state
+
+
+@st.composite
+def batches(draw):
+    shapes = draw(st.lists(instance_shapes, min_size=1, max_size=5))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return shapes, seed
+
+
+class TestStackExtractRoundTrip:
+    @given(batches())
+    @settings(max_examples=60, deadline=None)
+    def test_stack_then_extract_is_identity(self, batch):
+        """stack → extract returns every instance cell for cell, at any
+        mix of widths (padding classes carry multiplicity 0)."""
+        shapes, seed = batch
+        rng = np.random.default_rng(seed)
+        singles = [build_instance(rng, n, c) for n, c in shapes]
+        stacked = StackedClassVector.stack(singles)
+        assert stacked.batch_size == len(singles)
+        assert stacked.width == max(c for _, c in shapes)
+        for b, single in enumerate(singles):
+            extracted = stacked.extract(b)
+            assert extracted.n_classes == single.n_classes
+            assert extracted.n_elements == single.n_elements
+            assert (extracted.class_amplitudes() == single.class_amplitudes()).all()
+            assert (extracted.class_sizes == single.class_sizes).all()
+            assert (extracted.element_classes == single.element_classes).all()
+            # Padded tail (if any) holds only empty classes.
+            assert (stacked.class_sizes[b, single.n_classes:] == 0).all()
+
+    @given(batches())
+    @settings(max_examples=60, deadline=None)
+    def test_norms_and_probabilities_survive_stacking(self, batch):
+        shapes, seed = batch
+        rng = np.random.default_rng(seed)
+        singles = [build_instance(rng, n, c) for n, c in shapes]
+        stacked = StackedClassVector.stack(singles)
+        for b, single in enumerate(singles):
+            assert stacked.norms()[b] == pytest.approx(single.norm(), abs=1e-12)
+            np.testing.assert_allclose(
+                stacked.output_probabilities(b),
+                single.marginal_probabilities("i"),
+                atol=1e-12,
+            )
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_single_instance_stack_is_transparent(self, n_classes, seed):
+        """B = 1: the stack is exactly its one instance (no padding)."""
+        rng = np.random.default_rng(seed)
+        single = build_instance(rng, 7, n_classes)
+        stacked = StackedClassVector.stack([single])
+        assert stacked.batch_size == 1
+        assert stacked.width == n_classes
+        assert (stacked.extract(0).class_amplitudes() == single.class_amplitudes()).all()
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_n_equals_one_instances(self, n_classes, seed):
+        """N = 1 universes stack, extract and normalize like any other."""
+        rng = np.random.default_rng(seed)
+        singles = [build_instance(rng, 1, n_classes), build_instance(rng, 5, 2)]
+        stacked = StackedClassVector.stack(singles)
+        assert stacked.n_elements(0) == 1
+        extracted = stacked.extract(0)
+        assert extracted.n_elements == 1
+        assert (extracted.class_amplitudes() == singles[0].class_amplitudes()).all()
+        uniform = StackedClassVector.uniform(
+            [s.element_classes for s in singles], [s.n_classes for s in singles]
+        )
+        np.testing.assert_allclose(uniform.norms(), np.ones(2), atol=1e-12)
+
+
+class TestFromPartsContract:
+    """extract() rides ClassVector.from_parts — shared, copy-on-write."""
+
+    @given(batches())
+    @settings(max_examples=40, deadline=None)
+    def test_extracted_states_share_class_maps(self, batch):
+        shapes, seed = batch
+        rng = np.random.default_rng(seed)
+        singles = [build_instance(rng, n, c) for n, c in shapes]
+        stacked = StackedClassVector.stack(singles)
+        for b in range(stacked.batch_size):
+            extracted = stacked.extract(b)
+            # from_parts shares (not copies) the map — the O(N) rebuild
+            # the fast path exists to avoid.
+            assert extracted.element_classes is stacked._element_classes[b]
+
+    @given(st.integers(min_value=2, max_value=6), st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_transfer_element_on_extract_never_corrupts_the_stack(
+        self, n_classes, seed
+    ):
+        """Copy-on-write: a dynamic update on an extracted state must not
+        write through to the stacked tensor's shared class map."""
+        rng = np.random.default_rng(seed)
+        singles = [build_instance(rng, 6, n_classes) for _ in range(2)]
+        stacked = StackedClassVector.stack(singles)
+        before_map = stacked._element_classes[0].copy()
+        before_sizes = stacked.class_sizes.copy()
+        extracted = stacked.extract(0)
+        element = int(rng.integers(0, extracted.n_elements))
+        target = int(rng.integers(0, n_classes))
+        extracted.transfer_element(element, target)
+        assert int(extracted.element_classes[element]) == target
+        assert (stacked._element_classes[0] == before_map).all()
+        assert (stacked.class_sizes == before_sizes).all()
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_element_roundtrip_restores_state(self, seed):
+        rng = np.random.default_rng(seed)
+        single = build_instance(rng, 8, 4)
+        reference = single.copy()
+        state = single.copy()
+        element = int(rng.integers(0, 8))
+        original = int(state.element_classes[element])
+        target = (original + 1) % 4
+        state.transfer_element(element, target)
+        state.transfer_element(element, original)
+        assert (state.element_classes == reference.element_classes).all()
+        assert (state.class_sizes == reference.class_sizes).all()
+        assert state.norm() == pytest.approx(reference.norm(), abs=1e-12)
+
+
+class TestMixedWidthPadding:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_nu_zero_instance_pads_against_wide_sibling(self, seed):
+        """A one-class (ν = 0) instance next to a wide one: the whole
+        padded tail is empty classes and stays inert under the batched
+        operator surface."""
+        rng = np.random.default_rng(seed)
+        narrow = build_instance(rng, 4, 1)   # one class only
+        wide = build_instance(rng, 6, 5)
+        stacked = StackedClassVector.stack([narrow, wide])
+        assert stacked.width == 5
+        assert (stacked.class_sizes[0, 1:] == 0).all()
+        # Identity on the padding, real work on live cells: apply a
+        # global phase and a flag phase and re-extract.
+        stacked.apply_global_phase(-1.0)
+        stacked.apply_phase_slice("w", 0, np.exp(0.4j))
+        for b, single in enumerate((narrow, wide)):
+            single.apply_global_phase(-1.0)
+            single.apply_phase_slice("w", 0, np.exp(0.4j))
+            np.testing.assert_allclose(
+                stacked.extract(b).class_amplitudes(),
+                single.class_amplitudes(),
+                atol=1e-12,
+            )

@@ -191,6 +191,91 @@ class TestFailureIsolation:
         assert service.telemetry()["completed"] == 2
 
 
+class TestStackedDenseServing:
+    """The dispatcher's backend-keyed packing over the (B, N, 2) stack."""
+
+    def test_subspace_rows_match_run_batched_subspace(self):
+        specs = mixed_specs()
+        with SamplerService(
+            rng=7, batch_size=4, flush_deadline=0.01, backend="subspace"
+        ) as service:
+            for spec in specs:
+                service.submit(spec)
+            rows = service.rows()
+        reference = run_batched(specs, rng=7, batch_size=4, backend="subspace")
+        assert_rows_equivalent(rows, reference.rows)
+        assert all(row["backend"] == "subspace" for row in rows)
+
+    def test_auto_backend_resolves_per_request_universe(self):
+        """A mixed-N auto stream packs dense and compressed batches side
+        by side — the packer key carries the resolved backend."""
+        small = spec_of(24, tag="small")  # universe 64 → subspace
+        large = InstanceSpec(
+            workload=WorkloadSpec.of("zipf", universe=10**5, total=64),
+            n_machines=2,
+            tag="large",  # universe ≥ threshold → classes
+        )
+        with SamplerService(
+            rng=3, batch_size=8, flush_deadline=0.01, backend="auto"
+        ) as service:
+            futures = {
+                "small": service.submit(small),
+                "large": service.submit(large),
+            }
+            results = {k: f.result(timeout=WAIT) for k, f in futures.items()}
+        assert results["small"].backend == "subspace"
+        assert results["large"].backend == "classes"
+        assert all(r.exact for r in results.values())
+
+    def test_live_requests_stay_on_classes_under_auto(self):
+        db = round_robin(zipf_dataset(128, 48, exponent=1.2, rng=0), n_machines=2)
+        stream = random_update_stream(db, 5, rng=1)
+        stream.class_state()
+        with SamplerService(
+            rng=0, batch_size=2, flush_deadline=0.01, backend="auto"
+        ) as service:
+            live = service.submit_live(stream).result(timeout=WAIT)
+            spec = service.submit(spec_of(24)).result(timeout=WAIT)
+        assert live.backend == "classes"  # snapshots are count-class views
+        assert spec.backend == "subspace"
+        assert live.exact and spec.exact
+
+    def test_unknown_backend_rejected_at_construction(self):
+        with pytest.raises(Exception, match="unknown stacked backend"):
+            SamplerService(backend="oracles")
+        with pytest.raises(Exception, match="unknown stacked backend"):
+            SamplerService(model="parallel", backend="subspace")
+
+    def test_max_dense_dimension_caps_auto_onto_classes(self):
+        """The serving twin of SamplingRequest.max_dense_dimension: a cap
+        below 2N must push auto resolution back to classes."""
+        with SamplerService(
+            rng=0, batch_size=2, flush_deadline=0.01,
+            backend="auto", max_dense_dimension=8,
+        ) as service:
+            result = service.submit(spec_of(24)).result(timeout=WAIT)
+        assert result.backend == "classes"  # universe 64, 2N = 128 > 8
+        assert result.exact
+
+    def test_nonpositive_max_dense_dimension_rejected(self):
+        with pytest.raises(Exception, match="max_dense_dimension"):
+            SamplerService(max_dense_dimension=0)
+
+    def test_explicit_dense_service_rejects_live_requests(self):
+        """Mirror of the front-door planner: a stream snapshot cannot run
+        on an explicitly pinned dense substrate — no silent substitution."""
+        from repro.errors import ValidationError
+
+        db = round_robin(zipf_dataset(64, 24, exponent=1.2, rng=0), n_machines=2)
+        stream = random_update_stream(db, 3, rng=1)
+        service = SamplerService(backend="subspace")
+        try:
+            with pytest.raises(ValidationError, match="live snapshot"):
+                service.submit_live(stream)
+        finally:
+            service.close()
+
+
 class TestDynamicServing:
     def _stream(self, rng=0):
         db = round_robin(zipf_dataset(128, 48, exponent=1.2, rng=rng), n_machines=3)

@@ -78,8 +78,15 @@ class TestCli:
         assert code == 0
         assert "6/6" in out
 
-    def test_sample_batched_rejects_dense_backend(self, capsys):
+    def test_sample_batched_runs_stacked_dense_backend(self, capsys):
+        """--backend subspace batches on the (B, N, 2) stacked-dense path."""
         code = main(["sample", "--batch", "4", "--backend", "subspace",
+                     "--universe", "16", "--total", "8", "--machines", "2"])
+        assert code == 0
+        assert "4/4" in capsys.readouterr().out
+
+    def test_sample_batched_rejects_unstackable_backend(self, capsys):
+        code = main(["sample", "--batch", "4", "--backend", "oracles",
                      "--universe", "16", "--total", "8", "--machines", "2"])
         assert code == 2
         assert "not batchable" in capsys.readouterr().err
@@ -89,6 +96,24 @@ class TestCli:
                      "--total", "8", "--machines", "2"])
         assert code == 2
         assert "positive instance count" in capsys.readouterr().err
+
+    def test_max_dense_dim_rejects_nonpositive(self, capsys):
+        code = main(["sample", "--max-dense-dim", "0", "--universe", "16",
+                     "--total", "8", "--machines", "2"])
+        assert code == 2
+        assert "max_dense_dimension" in capsys.readouterr().err
+        code = main(["sample", "--batch", "4", "--max-dense-dim", "-5",
+                     "--universe", "16", "--total", "8", "--machines", "2"])
+        assert code == 2
+        assert "max_dense_dimension" in capsys.readouterr().err
+
+    def test_max_dense_dim_caps_auto_onto_classes(self, capsys):
+        """2N = 32 over an 8-cell cap: auto routing must pick classes."""
+        code = main(["sample", "--max-dense-dim", "8", "--universe", "16",
+                     "--total", "8", "--machines", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "classes" in out
 
 
 class TestServeCli:

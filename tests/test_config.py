@@ -8,6 +8,23 @@ import pytest
 from repro.config import CONFIG, strict_mode
 
 
+class TestRoutingThresholds:
+    """The planner's magic numbers live here, once."""
+
+    def test_defaults(self):
+        assert CONFIG.stack_threshold == 64
+        assert CONFIG.classes_universe_threshold == 10**5
+        assert CONFIG.max_dense_dimension == 2**24
+
+    def test_fields_are_plain_mutable_attributes(self):
+        before = CONFIG.stack_threshold
+        CONFIG.stack_threshold = 8
+        try:
+            assert CONFIG.stack_threshold == 8
+        finally:
+            CONFIG.stack_threshold = before
+
+
 class TestStrictChecksContextVar:
     def test_default_off(self):
         assert not CONFIG.strict_checks
