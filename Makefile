@@ -4,7 +4,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke \
-	bench-serve bench-serve-smoke bench-api
+	bench-serve bench-serve-smoke bench-api bench-serve-sharded \
+	bench-serve-sharded-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +54,22 @@ bench-serve-smoke:
 		--benchmark-disable -k smoke
 	$(PYTHON) -m repro serve --max-requests 32 --universe 256 --total 64 \
 		--machines 2 --batch-size 8 --flush-deadline 0.02
+
+# E26: the sharded multi-process serving tier vs the single-process
+# dispatcher.  Full run sweeps {poisson, bursty} arrival traces across
+# shards {1, 2, 4} and asserts row equivalence + the zero-copy bar; the
+# ≥2× scaling bar self-skips below 4 CPU cores.  The smoke variant
+# (tiny trace, shards=2) is what CI executes, alongside a CLI trace
+# through `python -m repro serve --shards`.
+bench-serve-sharded:
+	$(PYTHON) -m pytest benchmarks/bench_e26_sharded_serving.py -q \
+		--benchmark-disable -k "not hook"
+
+bench-serve-sharded-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e26_sharded_serving.py -q \
+		--benchmark-disable -k smoke
+	$(PYTHON) -m repro serve --max-requests 16 --universe 256 --total 64 \
+		--machines 2 --batch-size 8 --flush-deadline 0.02 --shards 2
 
 # E25: the repro.api front door — the planner routes one tiny request
 # grid through all four execution strategies (instance, stacked, fanout,

@@ -1,0 +1,130 @@
+"""Compare archived perf trajectories and flag throughput regressions.
+
+CI uploads ``benchmarks/_results/E2x.json`` artifacts on every run; this
+script diffs the current results against a baseline directory (a
+previous run's downloaded artifact) and warns when any scenario's
+sustained ``instances_per_sec`` drops by more than the threshold
+(default 20%). Warnings are advisory — shared runners are not clocks —
+so the exit code is 0 unless ``--strict`` is passed.
+
+Usage::
+
+    python benchmarks/compare_results.py --baseline /path/to/old/_results
+    python benchmarks/compare_results.py --baseline old/ --current new/ \
+        --threshold 0.2 --strict E23 E24 E26
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Experiments whose payloads carry a throughput trajectory.
+DEFAULT_EXPERIMENTS = ("E23", "E24", "E25", "E26")
+DEFAULT_THRESHOLD = 0.2
+
+#: Trajectory keys that identify a scenario row, in precedence order.
+_SCENARIO_KEYS = ("scenario", "label", "name")
+
+
+def _scenario_key(row: dict) -> str:
+    """A stable identity for one trajectory row across runs."""
+    parts = [str(row[k]) for k in _SCENARIO_KEYS if k in row]
+    for extra in ("offered_load", "shards", "flush_deadline"):
+        if extra in row:
+            parts.append(f"{extra}={row[extra]}")
+    return "|".join(parts) if parts else "<unlabelled>"
+
+
+def extract_rates(payload: dict) -> dict[str, float]:
+    """Map scenario key → instances/sec for every trajectory row."""
+    rates: dict[str, float] = {}
+    for row in payload.get("trajectory", []):
+        rate = row.get("instances_per_sec")
+        if isinstance(rate, (int, float)) and rate > 0:
+            rates[_scenario_key(row)] = float(rate)
+    return rates
+
+
+def compare_payloads(
+    baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Warnings for every scenario whose rate regressed past the threshold."""
+    base_rates = extract_rates(baseline)
+    cur_rates = extract_rates(current)
+    warnings = []
+    for key, base in sorted(base_rates.items()):
+        cur = cur_rates.get(key)
+        if cur is None:
+            warnings.append(f"scenario missing from current run: {key}")
+        elif cur < (1.0 - threshold) * base:
+            drop = 100.0 * (1.0 - cur / base)
+            warnings.append(
+                f"throughput regression {drop:.0f}% in {key}: "
+                f"{base:.0f}/s -> {cur:.0f}/s"
+            )
+    return warnings
+
+
+def _load(directory: str, experiment_id: str) -> dict | None:
+    path = os.path.join(directory, f"{experiment_id}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare_directories(
+    baseline_dir: str,
+    current_dir: str,
+    experiments=DEFAULT_EXPERIMENTS,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Diff every experiment present in *both* directories."""
+    warnings = []
+    for experiment_id in experiments:
+        baseline = _load(baseline_dir, experiment_id)
+        current = _load(current_dir, experiment_id)
+        if baseline is None or current is None:
+            continue  # nothing to compare — new experiment or fresh baseline
+        warnings.extend(
+            f"[{experiment_id}] {w}"
+            for w in compare_payloads(baseline, current, threshold)
+        )
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("experiments", nargs="*", default=None,
+                        help=f"experiment ids (default: {' '.join(DEFAULT_EXPERIMENTS)})")
+    parser.add_argument("--baseline", required=True,
+                        help="directory holding the baseline *.json results")
+    parser.add_argument("--current",
+                        default=os.path.join(os.path.dirname(__file__), "_results"),
+                        help="directory holding the current results "
+                             "(default: benchmarks/_results)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="fractional drop that counts as a regression "
+                             "(default: 0.2 = 20%%)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any regression is found")
+    args = parser.parse_args(argv)
+
+    experiments = tuple(args.experiments) or DEFAULT_EXPERIMENTS
+    warnings = compare_directories(
+        args.baseline, args.current, experiments, args.threshold
+    )
+    if warnings:
+        for warning in warnings:
+            print(f"WARNING: {warning}", file=sys.stderr)
+        return 1 if args.strict else 0
+    print(f"no throughput regressions beyond {args.threshold:.0%} "
+          f"across {', '.join(experiments)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,9 +19,11 @@ Commands
     Run the long-lived batching sampler service (``repro.serve`` — the
     front door's stream strategy) on a synthetic Poisson arrival trace
     and print its telemetry; flags:
-    ``--max-requests --rate --batch-size --flush-deadline --workers``
-    plus the ``sample`` instance flags.  ``--rate 0`` offers requests as
-    fast as the submitter can (full-load mode).
+    ``--max-requests --rate --batch-size --flush-deadline --workers
+    --shards`` plus the ``sample`` instance flags.  ``--rate 0`` offers
+    requests as fast as the submitter can (full-load mode);
+    ``--shards S`` runs the multi-process sharded tier with zero-copy
+    shared-memory result handoff instead of the in-process dispatcher.
 ``estimate``
     Quantum-counting demo: estimate M without reading it.
 ``experiments``
@@ -68,6 +70,7 @@ _EXPERIMENTS = [
     ("E23", "Scaling — batched engine ≥5× instances/sec at B = 256", "bench_e23_batched_throughput"),
     ("E24", "Serving — latency/throughput vs offered load & flush deadline", "bench_e24_serving"),
     ("E25", "API — one request through all four planner strategies", "bench_e25_api_pipeline"),
+    ("E26", "Scaling — sharded serving tier, zero-copy shm handoff", "bench_e26_sharded_serving"),
 ]
 
 
@@ -111,6 +114,10 @@ def _cmd_sample_batch(args: argparse.Namespace) -> int:
 
     if args.batch < 1:
         print(f"error: --batch needs a positive instance count, got {args.batch}",
+              file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs needs a positive worker count, got {args.jobs}",
               file=sys.stderr)
         return 2
     spec = _instance_spec(args)
@@ -195,6 +202,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: --max-requests needs a positive count, got {args.max_requests}",
               file=sys.stderr)
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"error: --shards needs a positive worker count, got {args.shards}",
+              file=sys.stderr)
+        return 2
     spec = _instance_spec(args)
     arrivals = np.random.default_rng(args.seed)
 
@@ -217,6 +228,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             flush_deadline=args.flush_deadline,
             workers=args.workers,
+            shards=args.shards,
             rng=args.seed,
         )
     except ReproError as error:
@@ -240,6 +252,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     table.add_row(["throughput", f"{telemetry['instances_per_sec']:.0f} instances/s"])
     table.add_row(["sequential queries", str(telemetry["sequential_queries"])])
     table.add_row(["parallel rounds", str(telemetry["parallel_rounds"])])
+    if "shards" in telemetry:  # the sharded multi-process tier
+        table.add_row(["shards", str(telemetry["shards"])])
+        table.add_row(["shm batches", str(telemetry["shm_batches"])])
+        table.add_row(["shm fallbacks", str(telemetry["shm_fallback_batches"])])
+        table.add_row(["worker restarts", str(telemetry["worker_restarts"])])
+        table.add_row(["requeued batches", str(telemetry["requeued_batches"])])
     table.add_row(["wall time", f"{elapsed:.3f} s"])
     print(table.render())
     return 0 if telemetry["exact"] == telemetry["completed"] else 1
@@ -348,6 +366,12 @@ def main(argv: list[str] | None = None) -> int:
         help="max seconds a request waits for co-batchable arrivals",
     )
     serve.add_argument("--workers", type=int, default=2, metavar="W")
+    serve.add_argument(
+        "--shards", type=int, default=None, metavar="S",
+        help="fan the service across S shard worker processes (the "
+        "multi-process tier with zero-copy shared-memory result handoff); "
+        "default serves in-process",
+    )
 
     estimate = sub.add_parser("estimate", help="estimate M by quantum counting")
     estimate.add_argument("--universe", type=int, default=64)

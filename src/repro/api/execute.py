@@ -84,6 +84,7 @@ def sample_many(
     strategy: str | None = None,
     flush_deadline: float | None = None,
     workers: int = 2,
+    shards: int | None = None,
     planner: Planner | None = None,
 ) -> ResultSet:
     """Plan and execute a request list; results come back in request order.
@@ -110,6 +111,11 @@ def sample_many(
         planner route.
     flush_deadline, workers:
         Serving knobs, used only when requests route to the dispatcher.
+    shards:
+        Served-strategy scale-out: run served groups on the sharded
+        multi-process tier with this many workers (``None`` serves
+        in-process; requests carrying their own ``shards=`` are honored
+        when this is unset).
     planner:
         A configured :class:`Planner` (thresholds); defaults to
         :data:`DEFAULT_PLANNER`.
@@ -122,6 +128,7 @@ def sample_many(
         jobs=jobs,
         flush_deadline=flush_deadline,
         workers=workers,
+        shards=shards,
     )
     return execute_plan(plan, rng=rng)
 
@@ -131,6 +138,7 @@ def serve(
     batch_size: int | None = None,
     flush_deadline: float | None = None,
     workers: int = 2,
+    shards: int | None = None,
     rng: object = None,
     planner: Planner | None = None,
 ) -> ResultSet:
@@ -142,17 +150,26 @@ def serve(
     groups (full-batch or deadline flush) exactly as
     :class:`~repro.serve.SamplerService` does, because it *is* that
     service underneath.  All requests must share one model, capacity
-    policy and ``include_probabilities`` setting (the service is
-    homogeneous in those); spec and stream sources may interleave.
+    policy, ``include_probabilities`` setting and ``shards`` knob (the
+    service is homogeneous in those); spec and stream sources may
+    interleave.
+
+    ``shards`` (or the requests' own ``shards=``) routes the stream
+    through the sharded multi-process tier
+    (:class:`~repro.serve.shard.ShardedSamplerService`) instead of the
+    in-process dispatcher — same determinism contract, same rows, with
+    build and execution fanned across worker processes and results
+    returned zero-copy through shared memory.
 
     Returns a :class:`ResultSet` in submission order whose ``telemetry``
     carries the service's counters snapshot.
     """
     from ..serve.service import DEFAULT_FLUSH_DEADLINE, SamplerService
+    from ..serve.shard import ShardedSamplerService
 
     planner = planner or DEFAULT_PLANNER
     gen = as_generator(rng)
-    service: SamplerService | None = None
+    service: SamplerService | ShardedSamplerService | None = None
     first: ResolvedRequest | None = None
     submissions: list[tuple[ResolvedRequest, int | None, object]] = []
     try:
@@ -160,7 +177,8 @@ def serve(
             res = planner.resolve_for_serving(request)
             if service is None:
                 first = res
-                service = SamplerService(
+                effective_shards = shards if shards is not None else request.shards
+                common = dict(
                     model=request.model,
                     batch_size=(
                         batch_size if batch_size is not None else _serve_batch_size()
@@ -170,7 +188,6 @@ def serve(
                         if flush_deadline is None
                         else flush_deadline
                     ),
-                    workers=workers,
                     include_probabilities=request.include_probabilities,
                     capacity=request.capacity,
                     # "auto" passes through verbatim: the dispatcher then
@@ -180,10 +197,16 @@ def serve(
                     backend=request.backend,
                     max_dense_dimension=request.max_dense_dimension,
                 )
+                if effective_shards is not None:
+                    service = ShardedSamplerService(
+                        shards=effective_shards, **common
+                    )
+                else:
+                    service = SamplerService(workers=workers, **common)
             else:
                 assert first is not None
                 for attr in ("model", "capacity", "include_probabilities",
-                             "backend", "max_dense_dimension"):
+                             "backend", "max_dense_dimension", "shards"):
                     if getattr(request, attr) != getattr(first.request, attr):
                         raise PlanningError(
                             f"served streams are homogeneous in {attr}: got "
@@ -496,20 +519,27 @@ def _execute_served(
     context: dict[str, object],
 ) -> Iterator[tuple[int, Result]]:
     from ..serve.service import DEFAULT_FLUSH_DEADLINE, SamplerService
+    from ..serve.shard import ShardedSamplerService
 
     first = plan.resolved[group.indices[0]].request
     submissions: list[tuple[int, int | None, object]] = []
-    with SamplerService(
+    shards = plan.shards if plan.shards is not None else first.shards
+    common = dict(
         model=first.model,
         batch_size=plan.batch_size,
         flush_deadline=(
             DEFAULT_FLUSH_DEADLINE if plan.flush_deadline is None else plan.flush_deadline
         ),
-        workers=plan.workers,
         include_probabilities=first.include_probabilities,
         capacity=first.capacity,
         backend=plan.resolved[group.indices[0]].backend,
-    ) as service:
+    )
+    service = (
+        ShardedSamplerService(shards=shards, **common)
+        if shards is not None
+        else SamplerService(workers=plan.workers, **common)
+    )
+    with service:
         for index in group.indices:
             res = plan.resolved[index]
             if res.request.source == "spec":

@@ -132,6 +132,9 @@ class ExecutionPlan:
     jobs: int | None = None
     flush_deadline: float | None = None
     workers: int = 2
+    #: Served-strategy scale-out: worker processes of the sharded tier
+    #: (``None`` serves in-process; see ``SamplingRequest.shards``).
+    shards: int | None = None
 
     def strategies(self) -> tuple[str, ...]:
         """Per-request strategy, in request order."""
@@ -246,6 +249,7 @@ class Planner:
         jobs: int | None = None,
         flush_deadline: float | None = None,
         workers: int = 2,
+        shards: int | None = None,
     ) -> ExecutionPlan:
         """Route one request (``repro.sample``): per-instance by default."""
         return self.plan_many(
@@ -255,6 +259,7 @@ class Planner:
             jobs=jobs,
             flush_deadline=flush_deadline,
             workers=workers,
+            shards=shards,
         )
 
     def resolve_for_serving(self, request: SamplingRequest) -> ResolvedRequest:
@@ -275,15 +280,16 @@ class Planner:
         jobs: int | None = None,
         flush_deadline: float | None = None,
         workers: int = 2,
+        shards: int | None = None,
     ) -> ExecutionPlan:
         """Route a request list (``repro.sample_many``).
 
         ``strategy`` forces every request onto one strategy (each request
         must be eligible — :class:`PlanningError` otherwise).  With
         ``strategy=None`` the routing rules of the module docstring
-        apply.  ``batch_size``/``jobs``/``flush_deadline``/``workers``
-        are execution hints carried onto the plan for the strategies
-        that use them.
+        apply.  ``batch_size``/``jobs``/``flush_deadline``/``workers``/
+        ``shards`` are execution hints carried onto the plan for the
+        strategies that use them.
         """
         from ..batch.driver import DEFAULT_BATCH_SIZE
 
@@ -291,6 +297,12 @@ class Planner:
         if strategy is not None and strategy not in STRATEGIES:
             raise PlanningError(
                 f"unknown strategy {strategy!r}; choose from {STRATEGIES}"
+            )
+        if jobs is not None and jobs <= 0:
+            raise PlanningError(f"jobs must be a positive worker count, got {jobs}")
+        if shards is not None and shards <= 0:
+            raise PlanningError(
+                f"shards must be a positive worker count, got {shards}"
             )
         if strategy == "fanout" and self.fanout_jobs(jobs) is None:
             # A serial "fan-out" would strip ledgers/states for nothing.
@@ -313,6 +325,7 @@ class Planner:
             jobs=jobs,
             flush_deadline=flush_deadline,
             workers=workers,
+            shards=shards,
         )
 
     # -- legacy-driver helpers -------------------------------------------------------

@@ -78,6 +78,15 @@ class SamplingRequest:
         group-size threshold decide; ``True`` prefers the stacked engine
         even for small groups; ``False`` pins the request to per-instance
         execution.
+    shards:
+        Served-strategy scale-out knob: route this request's stream
+        through the sharded multi-process serving tier
+        (:class:`~repro.serve.shard.ShardedSamplerService`) with this
+        many worker processes.  ``None`` (default) serves in-process via
+        the single dispatcher; must be positive when set, and served
+        streams must agree on it (the tier is one homogeneous service).
+        Ignored by the non-served strategies — like ``batch_size``, it
+        describes *how* serving executes, not what is sampled.
     max_dense_dimension:
         Per-run *routing* override of the dense-stacking memory cap
         (:attr:`~repro.config.NumericsConfig.max_dense_dimension`): the
@@ -107,6 +116,7 @@ class SamplingRequest:
     label: str | None = None
     batchable: bool | None = None
     max_dense_dimension: int | None = None
+    shards: int | None = None
 
     def __post_init__(self) -> None:
         sources = [s for s in (self.database, self.spec, self.stream) if s is not None]
@@ -135,6 +145,10 @@ class SamplingRequest:
             raise RequestError(
                 "max_dense_dimension must be a positive dimension cap, got "
                 f"{self.max_dense_dimension}"
+            )
+        if self.shards is not None and self.shards <= 0:
+            raise RequestError(
+                f"shards must be a positive worker count, got {self.shards}"
             )
 
     # -- planner-facing views ----------------------------------------------------

@@ -58,6 +58,8 @@ from typing import Sequence
 import numpy as np
 
 from ..qsim.classvector import ClassVector
+from ..qsim.register import RegisterLayout
+from ..qsim.state import StateVector
 from ..core.exact_aa import AmplificationPlan, solve_plan
 from ..core.result import SamplingResult
 from ..core.schedule import QuerySchedule
@@ -184,18 +186,30 @@ def _cached_schedule(
     )
 
 
-def _active_restriction(inst: ClassInstance, skip_zero_capacity: bool) -> tuple[int, ...] | None:
-    """The flagged-round machine subset for one instance, or ``None``.
+def _active_machines(
+    capacities: tuple[int, ...] | None,
+    n_machines: int,
+    skip_zero_capacity: bool,
+) -> tuple[int, ...] | None:
+    """The flagged-round machine subset from public capacities, or ``None``.
 
     ``None`` means "query all machines" — also returned when every
     capacity is positive, so enabling the flag on an all-nonempty
     instance is a no-op (ledger, schedule and fingerprint included),
     matching the per-instance samplers' ``_restriction`` convention.
+    Split from :func:`_active_restriction` so result reconstruction
+    (:func:`unpack_group_results`) can re-derive the subset from plain
+    scalars without a :class:`ClassInstance` in hand.
     """
-    if not skip_zero_capacity or inst.capacities is None:
+    if not skip_zero_capacity or capacities is None:
         return None
-    active = tuple(j for j, kappa in enumerate(inst.capacities) if kappa > 0)
-    return active if len(active) < inst.n_machines else None
+    active = tuple(j for j, kappa in enumerate(capacities) if kappa > 0)
+    return active if len(active) < n_machines else None
+
+
+def _active_restriction(inst: ClassInstance, skip_zero_capacity: bool) -> tuple[int, ...] | None:
+    """The flagged-round machine subset for one instance, or ``None``."""
+    return _active_machines(inst.capacities, inst.n_machines, skip_zero_capacity)
 
 
 def _charge_run(
@@ -405,3 +419,189 @@ def execute_class_batch(
             for i, res in zip(block, group_results):
                 results[i] = res
     return results  # type: ignore[return-value]
+
+
+def execute_group_local(
+    instances: Sequence[ClassInstance],
+    model: str = "sequential",
+    include_probabilities: bool = False,
+    skip_zero_capacity: bool = False,
+    backend: str = BATCH_BACKEND,
+) -> list[SamplingResult]:
+    """Execute one *pre-packed* schedule-shape group (the shard-local entry).
+
+    The sharded serving tier's packer already groups requests by
+    ``(backend, grover_reps, needs_final)`` before a batch reaches a
+    worker, so re-deriving the grouping (:func:`execute_class_batch`'s
+    first pass) would be pure overhead on the hot path.  This entry
+    point trusts the caller on backend homogeneity — ``backend`` must be
+    a concrete registered name, never ``"auto"`` — but still *verifies*
+    schedule-shape homogeneity (the plans are memoized, so the check is
+    a few tuple compares) because a mixed-shape group would silently run
+    every instance on the first instance's schedule.  Block splitting by
+    :meth:`~repro.batch.backends.StackedBackend.group_size_limit` and
+    all result guarantees match :func:`execute_class_batch`.
+    """
+    if model not in ("sequential", "parallel"):
+        raise ValidationError(
+            f"unknown model {model!r}; choose from ('sequential', 'parallel')"
+        )
+    instances = list(instances)
+    if not instances:
+        return []
+    plans = [cached_plan(inst.overlap()) for inst in instances]
+    shape = (plans[0].grover_reps, plans[0].needs_final)
+    for b, plan in enumerate(plans):
+        if (plan.grover_reps, plan.needs_final) != shape:
+            raise ValidationError(
+                f"execute_group_local takes one schedule-shape group: instance "
+                f"{b} has shape ({plan.grover_reps}, {plan.needs_final}), the "
+                f"group leads with {shape}"
+            )
+    limit = resolve_stacked_backend(backend, model).group_size_limit(instances)
+    step = len(instances) if limit is None else max(1, limit)
+    results: list[SamplingResult] = []
+    for start in range(0, len(instances), step):
+        results.extend(
+            _run_group(
+                instances[start : start + step],
+                plans[start : start + step],
+                model,
+                include_probabilities,
+                skip_zero_capacity,
+                backend,
+            )
+        )
+    return results
+
+
+# -- cross-process result marshalling ----------------------------------------------
+#
+# The sharded serving tier hands finished batches back to the dispatcher
+# process through shared memory (:mod:`repro.serve.shm`).  A
+# SamplingResult is mostly *derivable* state — the plan is a pure
+# function of the overlap, the schedule and ledger are pure functions of
+# (model, n, d_applications, active) — so the wire format is: a small
+# plain-scalar meta dict per instance (picklable, a few hundred bytes)
+# plus the genuinely big arrays (final-state amplitudes, class maps,
+# optional output distribution), which cross zero-copy in a shm block.
+# ``unpack_group_results`` rebuilds full, honest results: recomputing
+# the overlap from the same integers gives the float-identical plan the
+# worker used (lru-cached by value), and ``_charge_run`` is
+# deterministic, so the reconstructed ledger/schedule match the
+# worker-side originals exactly.
+
+
+def pack_group_results(results: Sequence[SamplingResult]) -> tuple[
+    list[dict[str, object]], dict[str, np.ndarray]
+]:
+    """Flatten executed results into ``(meta, arrays)`` for the shm handoff.
+
+    ``meta`` holds only plain scalars (ints, floats, small tuples);
+    ``arrays`` holds every ndarray, keyed ``<field><index>``.  Raises
+    :class:`ValidationError` for final-state types it does not know how
+    to marshal (a custom registered backend) — callers fall back to
+    pickling the whole results list for that batch.
+    """
+    meta: list[dict[str, object]] = []
+    arrays: dict[str, np.ndarray] = {}
+    for i, res in enumerate(results):
+        params = res.public_parameters
+        entry: dict[str, object] = {
+            "n": int(params["n"]),
+            "N": int(params["N"]),
+            "M": int(params["M"]),
+            "nu": int(params["nu"]),
+            "capacities": params["capacities"],
+            "fidelity": float(res.fidelity),
+            "backend": res.backend,
+        }
+        state = res.final_state
+        if isinstance(state, ClassVector):
+            entry["state"] = "classes"
+            entry["norm"] = float(state._expected_norm)
+            arrays[f"ec{i}"] = state.element_classes
+            arrays[f"cs{i}"] = state.class_sizes
+            arrays[f"amps{i}"] = state.class_amplitudes()
+        elif isinstance(state, StateVector):
+            entry["state"] = "dense"
+            entry["norm"] = float(state._expected_norm)
+            arrays[f"amps{i}"] = state.as_array()
+        else:
+            raise ValidationError(
+                f"cannot marshal final state of type {type(state).__name__}; "
+                "pack_group_results knows the classes and dense substrates"
+            )
+        if res.output_probabilities is not None:
+            arrays[f"prob{i}"] = res.output_probabilities
+        meta.append(entry)
+    return meta, arrays
+
+
+def unpack_group_results(
+    meta: Sequence[dict[str, object]],
+    arrays: dict[str, np.ndarray],
+    model: str,
+    skip_zero_capacity: bool,
+) -> list[SamplingResult]:
+    """Rebuild full :class:`SamplingResult` objects from the wire format.
+
+    ``arrays`` may alias a shared-memory block about to be recycled, so
+    every kept ndarray is copied out here (one memcpy per array — the
+    transfer itself crossed the process boundary with zero
+    serialization).  Plans, schedules and ledgers are reconstructed
+    from the meta integers via the same memoized/deterministic helpers
+    the direct execution path uses, so the rebuilt result is
+    indistinguishable from one returned by
+    :func:`execute_class_batch` in-process.
+    """
+    results: list[SamplingResult] = []
+    for i, entry in enumerate(meta):
+        n = int(entry["n"])  # type: ignore[arg-type]
+        universe = int(entry["N"])  # type: ignore[arg-type]
+        total = int(entry["M"])  # type: ignore[arg-type]
+        nu = int(entry["nu"])  # type: ignore[arg-type]
+        capacities = entry["capacities"]
+        # The same integer arithmetic as ClassInstance.overlap() — the
+        # float is identical, so cached_plan returns the worker's plan.
+        plan = cached_plan(total / (nu * universe))
+        active = _active_machines(capacities, n, skip_zero_capacity)  # type: ignore[arg-type]
+        ledger = QueryLedger(n)
+        _charge_run(ledger, model, n, plan.d_applications, active=active)
+        ledger.freeze()
+        if entry["state"] == "classes":
+            final_state: object = ClassVector.from_parts(
+                np.array(arrays[f"ec{i}"]),
+                np.array(arrays[f"cs{i}"]),
+                np.array(arrays[f"amps{i}"]),
+                expected_norm=float(entry["norm"]),  # type: ignore[arg-type]
+            )
+        else:
+            dense = StateVector.__new__(StateVector)
+            dense._layout = RegisterLayout.of(i=universe, w=2)
+            dense._amps = np.array(arrays[f"amps{i}"])
+            dense._expected_norm = float(entry["norm"])  # type: ignore[arg-type]
+            final_state = dense
+        probs_key = f"prob{i}"
+        results.append(
+            SamplingResult(
+                model=model,
+                backend=str(entry["backend"]),
+                plan=plan,
+                schedule=_cached_schedule(model, n, plan.d_applications, active),
+                ledger=ledger,
+                fidelity=float(entry["fidelity"]),  # type: ignore[arg-type]
+                output_probabilities=(
+                    np.array(arrays[probs_key]) if probs_key in arrays else None
+                ),
+                final_state=final_state,
+                public_parameters={
+                    "N": universe,
+                    "n": n,
+                    "nu": nu,
+                    "M": total,
+                    "capacities": capacities,
+                },
+            )
+        )
+    return results

@@ -70,6 +70,12 @@ class NumericsConfig:
         dense representations to the ``O(ν)``-memory ``classes``
         compression (the dense layouts' wall time crosses ``classes``
         well before this; see benchmarks/_results/E22.json).
+    shard_arena_bytes:
+        Per-worker shared-memory arena capacity of the sharded serving
+        tier (:class:`repro.serve.shard.ShardedSamplerService`).  Sized
+        to hold several in-flight result batches; undersizing is safe —
+        a full arena degrades that batch to pickling, surfaced as
+        ``shm_fallback_batches`` in the tier telemetry.
     """
 
     atol: float = 1e-10
@@ -77,6 +83,7 @@ class NumericsConfig:
     max_dense_dimension: int = 2**24
     stack_threshold: int = 64
     classes_universe_threshold: int = 10**5
+    shard_arena_bytes: int = 1 << 24
 
     @property
     def strict_checks(self) -> bool:

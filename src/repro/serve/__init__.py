@@ -15,6 +15,11 @@ and keeps the stacked ``(B, ν+1, 2)`` engine saturated anyway:
 :mod:`repro.serve.stats`
     :class:`ServiceStats` — live telemetry: instances/sec, batch-fill
     ratio, p50/p99 latency, queue depth, ledger totals (experiment E24).
+:mod:`repro.serve.shard`
+    :class:`ShardedSamplerService` — the same surface fanned across
+    worker *processes*, one shard per affinity-hashed request slice,
+    results returned zero-copy through per-worker shared-memory arenas
+    (:mod:`repro.serve.shm`; experiment E26).
 
 Quickstart::
 
@@ -41,6 +46,7 @@ from .service import (
     ServedRequest,
     ServiceClosedError,
 )
+from .shard import ShardedSamplerService
 from .stats import ServiceStats
 
 __all__ = [
@@ -50,6 +56,7 @@ __all__ = [
     "ServiceClosedError",
     "ServiceStats",
     "ShapePacker",
+    "ShardedSamplerService",
 ]
 
 

@@ -11,9 +11,18 @@ plain-scalar dict ready for report tables and JSON artifacts:
     latest completion) — directly comparable to the E23 batched
     throughput rates.
 ``batch_fill_ratio``
-    Mean executed-batch size over the target batch size: 1.0 means the
-    packer always filled the stacked tensor, lower values quantify the
-    latency-for-throughput trade the deadline flush makes.
+    Executed instances over offered tensor capacity, ``Σ size / Σ
+    target``: 1.0 means the packer always filled the stacked tensor,
+    lower values quantify the latency-for-throughput trade the deadline
+    flush makes.  The ratio is weighted by target size — a near-empty
+    deadline flush at a trickle moves it by its actual share of
+    capacity, not by a full batch's worth (the old unweighted mean let
+    one straggler batch skew the stat).
+``fill_p10``
+    The 10th-percentile per-batch fill over a bounded window of recent
+    batches (:data:`FILL_WINDOW`) — the tail the weighted mean hides:
+    a healthy full-load service keeps both near 1.0, while trickle
+    load shows a low ``fill_p10`` under a still-respectable mean.
 ``p50_latency`` / ``p99_latency``
     Submit-to-completion percentiles over a bounded window of recent
     requests (:data:`LATENCY_WINDOW`), so a long-lived service reports
@@ -31,10 +40,13 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable
+from typing import Callable, Sequence
 
 #: How many most-recent request latencies the percentile window keeps.
 LATENCY_WINDOW = 10_000
+
+#: How many most-recent per-batch fill ratios the ``fill_p10`` window keeps.
+FILL_WINDOW = 10_000
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -57,7 +69,8 @@ class ServiceStats:
         self._exact = 0
         self._batches = 0
         self._batched_instances = 0
-        self._fill_sum = 0.0
+        self._fill_target_sum = 0
+        self._fills: deque[float] = deque(maxlen=FILL_WINDOW)
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._sequential_queries = 0
         self._parallel_rounds = 0
@@ -78,7 +91,8 @@ class ServiceStats:
         with self._lock:
             self._batches += 1
             self._batched_instances += size
-            self._fill_sum += size / max(target, 1)
+            self._fill_target_sum += max(target, 1)
+            self._fills.append(size / max(target, 1))
 
     def record_complete(self, latency: float, result) -> None:
         """One request finished; ``result`` is its :class:`SamplingResult`."""
@@ -113,27 +127,80 @@ class ServiceStats:
     def snapshot(self) -> dict[str, object]:
         """All counters as plain scalars (JSON-/table-ready)."""
         with self._lock:
-            span = None
-            if self._first_submit is not None and self._last_complete is not None:
-                span = max(self._last_complete - self._first_submit, 1e-9)
-            ordered = sorted(self._latencies)
-            return {
-                "submitted": self._submitted,
-                "completed": self._completed,
-                "failed": self._failed,
-                "exact": self._exact,
-                "queue_depth": self._submitted - self._completed - self._failed,
-                "batches_executed": self._batches,
-                "batch_fill_ratio": (
-                    self._fill_sum / self._batches if self._batches else 0.0
-                ),
-                "mean_batch_size": (
-                    self._batched_instances / self._batches if self._batches else 0.0
-                ),
-                "instances_per_sec": (self._completed / span if span else 0.0),
-                "p50_latency": percentile(ordered, 0.50),
-                "p99_latency": percentile(ordered, 0.99),
-                "max_latency": (max(ordered) if ordered else 0.0),
-                "sequential_queries": self._sequential_queries,
-                "parallel_rounds": self._parallel_rounds,
-            }
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, object]:
+        span = None
+        if self._first_submit is not None and self._last_complete is not None:
+            span = max(self._last_complete - self._first_submit, 1e-9)
+        ordered = sorted(self._latencies)
+        fills = sorted(self._fills)
+        return {
+            "submitted": self._submitted,
+            "completed": self._completed,
+            "failed": self._failed,
+            "exact": self._exact,
+            "queue_depth": self._submitted - self._completed - self._failed,
+            "batches_executed": self._batches,
+            "batch_fill_ratio": (
+                self._batched_instances / self._fill_target_sum
+                if self._fill_target_sum
+                else 0.0
+            ),
+            "fill_p10": percentile(fills, 0.10),
+            "mean_batch_size": (
+                self._batched_instances / self._batches if self._batches else 0.0
+            ),
+            "instances_per_sec": (self._completed / span if span else 0.0),
+            "p50_latency": percentile(ordered, 0.50),
+            "p99_latency": percentile(ordered, 0.99),
+            "max_latency": (max(ordered) if ordered else 0.0),
+            "sequential_queries": self._sequential_queries,
+            "parallel_rounds": self._parallel_rounds,
+        }
+
+    # -- aggregation (the sharded tier's one-view telemetry) -------------------------
+
+    @staticmethod
+    def aggregate(per_shard: "Sequence[ServiceStats]") -> dict[str, object]:
+        """Merge several shards' counters into one snapshot-shaped view.
+
+        Counters and ledger totals sum; fill is re-weighted over the
+        combined capacity (``Σ size / Σ target`` across shards, so a
+        busy shard counts by its share); latency and fill percentiles
+        pool the shards' bounded windows; the busy span runs from the
+        earliest first submission to the latest completion, so
+        ``instances_per_sec`` is the tier's sustained rate, not a sum
+        of per-shard rates over disjoint spans.  Per-shard snapshots
+        ride along under ``"per_shard"`` (shard order preserved).
+        """
+        merged = ServiceStats()
+        snapshots: list[dict[str, object]] = []
+        for stats in per_shard:
+            with stats._lock:
+                snapshots.append(stats._snapshot_locked())
+                merged._submitted += stats._submitted
+                merged._completed += stats._completed
+                merged._failed += stats._failed
+                merged._exact += stats._exact
+                merged._batches += stats._batches
+                merged._batched_instances += stats._batched_instances
+                merged._fill_target_sum += stats._fill_target_sum
+                merged._fills.extend(stats._fills)
+                merged._latencies.extend(stats._latencies)
+                merged._sequential_queries += stats._sequential_queries
+                merged._parallel_rounds += stats._parallel_rounds
+                for mine, theirs, pick in (
+                    ("_first_submit", stats._first_submit, min),
+                    ("_last_complete", stats._last_complete, max),
+                ):
+                    if theirs is not None:
+                        current = getattr(merged, mine)
+                        setattr(
+                            merged,
+                            mine,
+                            theirs if current is None else pick(current, theirs),
+                        )
+        view = merged._snapshot_locked()
+        view["per_shard"] = snapshots
+        return view

@@ -194,6 +194,32 @@ class TestServedStrategy:
         with pytest.raises(PlanningError, match="max_dense_dimension"):
             serve([capped, uncapped], rng=0)
 
+    def test_sharded_serve_matches_unsharded(self):
+        """``shards=`` on the front door routes to the sharded tier and
+        reproduces the single-process service at 1e-12."""
+        specs = mixed_specs()
+        requests = [
+            SamplingRequest(spec=spec, include_probabilities=False, shards=2)
+            for spec in specs
+        ]
+        sharded = serve(requests, rng=7, batch_size=4, flush_deadline=0.01)
+        unsharded = serve(
+            [SamplingRequest(spec=spec, include_probabilities=False) for spec in specs],
+            rng=7,
+            batch_size=4,
+            flush_deadline=0.01,
+        )
+        assert sharded.telemetry is not None
+        assert sharded.telemetry["shards"] == 2
+        assert sharded.telemetry["completed"] == len(specs)
+        rows, refs = sharded.rows(), unsharded.rows()
+        assert len(rows) == len(refs)
+        for mine, ref in zip(rows, refs):
+            assert mine["fidelity"] == pytest.approx(ref["fidelity"], abs=1e-12)
+            for key, value in ref.items():
+                if key not in ("fidelity", "wall_time_s"):
+                    assert mine[key] == value, (key, mine[key], value)
+
     def test_sample_many_served_strategy_carries_telemetry(self):
         results = sample_many(
             [SamplingRequest(spec=spec_of(), include_probabilities=False)] * 3,

@@ -60,6 +60,15 @@ class TestPolicyValidation:
         request = SamplingRequest(spec=spec_of(), max_dense_dimension=128)
         assert request.max_dense_dimension == 128
 
+    def test_nonpositive_shards_rejected(self):
+        for bad in (0, -1, -8):
+            with pytest.raises(RequestError, match="shards"):
+                SamplingRequest(spec=spec_of(), shards=bad)
+
+    def test_shards_accepts_positive_and_default(self):
+        assert SamplingRequest(spec=spec_of()).shards is None
+        assert SamplingRequest(spec=spec_of(), shards=4).shards == 4
+
     def test_skip_zero_capacity_mapping(self):
         assert SamplingRequest(spec=spec_of()).skip_zero_capacity() is False
         assert (

@@ -1,0 +1,211 @@
+"""Shard-local execution + cross-process result marshalling.
+
+``execute_group_local`` must be observationally identical to
+``execute_class_batch`` for a pre-packed shape group, and a
+pack → (shared memory) → unpack round trip must rebuild results
+indistinguishable from the in-process originals — same plan object,
+same ledger totals, same schedule fingerprint, same final state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import ClassInstance, execute_class_batch
+from repro.batch.engine import (
+    cached_plan,
+    execute_group_local,
+    pack_group_results,
+    unpack_group_results,
+)
+from repro.errors import ValidationError
+from repro.database import DistributedDatabase
+from repro.serve.shm import ArenaClient, ShmArena, arrays_nbytes, read_arrays, write_arrays
+
+
+def random_database(rng):
+    """A small random distributed database (mirrors test_batch_engine)."""
+    n_machines = int(rng.integers(2, 5))
+    universe = int(rng.integers(16, 193))
+    nu = int(rng.integers(2, 9))
+    total = int(rng.integers(1, max(2, universe // 4)))
+    counts = np.zeros((n_machines, universe), dtype=np.int64)
+    for _ in range(total):
+        j = int(rng.integers(n_machines))
+        i = int(rng.integers(universe))
+        if counts[:, i].sum() < nu:
+            counts[j, i] += 1
+    if counts.sum() == 0:
+        counts[0, 0] = 1
+    return DistributedDatabase.from_count_matrix(counts, nu=nu)
+
+
+def shape_group(rng, size, model="sequential"):
+    """Instances sharing one schedule shape (the packer's invariant)."""
+    instances, shape = [], None
+    while len(instances) < size:
+        inst = ClassInstance.from_db(random_database(rng))
+        plan = cached_plan(inst.overlap())
+        key = (plan.grover_reps, plan.needs_final)
+        if shape is None:
+            shape = key
+        if key == shape:
+            instances.append(inst)
+    return instances
+
+
+def assert_results_match(rebuilt, original):
+    assert len(rebuilt) == len(original)
+    for ours, ref in zip(rebuilt, original):
+        assert ours.model == ref.model
+        assert ours.backend == ref.backend
+        assert ours.plan is ref.plan  # the memoized plan, by float identity
+        assert ours.fidelity == ref.fidelity
+        assert ours.schedule.fingerprint() == ref.schedule.fingerprint()
+        assert ours.ledger.sequential_queries == ref.ledger.sequential_queries
+        assert ours.ledger.parallel_rounds == ref.ledger.parallel_rounds
+        assert ours.ledger.per_machine() == ref.ledger.per_machine()
+        assert ours.public_parameters == ref.public_parameters
+        if ref.output_probabilities is None:
+            assert ours.output_probabilities is None
+        else:
+            np.testing.assert_array_equal(
+                ours.output_probabilities, ref.output_probabilities
+            )
+
+
+class TestExecuteGroupLocal:
+    @pytest.mark.parametrize("model", ["sequential", "parallel"])
+    def test_matches_execute_class_batch(self, model):
+        rng = np.random.default_rng(7)
+        instances = shape_group(rng, 5, model)
+        direct = execute_class_batch(
+            instances, model=model, include_probabilities=True, backend="classes"
+        )
+        local = execute_group_local(
+            instances, model=model, include_probabilities=True, backend="classes"
+        )
+        assert_results_match(local, direct)
+        for ours, ref in zip(local, direct):
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )
+
+    def test_subspace_group_matches(self):
+        rng = np.random.default_rng(11)
+        instances = shape_group(rng, 4)
+        direct = execute_class_batch(
+            instances, model="sequential", backend="subspace",
+            include_probabilities=True,
+        )
+        local = execute_group_local(
+            instances, model="sequential", backend="subspace",
+            include_probabilities=True,
+        )
+        assert_results_match(local, direct)
+
+    def test_mixed_shapes_rejected(self):
+        rng = np.random.default_rng(13)
+        instances = [ClassInstance.from_db(random_database(rng)) for _ in range(12)]
+        shapes = {
+            (p.grover_reps, p.needs_final)
+            for p in (cached_plan(i.overlap()) for i in instances)
+        }
+        assert len(shapes) > 1  # the seed spans several schedule shapes
+        with pytest.raises(ValidationError, match="schedule-shape"):
+            execute_group_local(instances, model="sequential", backend="classes")
+
+    def test_auto_backend_rejected(self):
+        rng = np.random.default_rng(3)
+        instances = shape_group(rng, 2)
+        with pytest.raises(ValidationError):
+            execute_group_local(instances, backend="auto")
+
+    def test_empty_group(self):
+        assert execute_group_local([], model="sequential") == []
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("model", ["sequential", "parallel"])
+    @pytest.mark.parametrize("include_probabilities", [False, True])
+    def test_classes_round_trip(self, model, include_probabilities):
+        rng = np.random.default_rng(23)
+        instances = shape_group(rng, 4, model)
+        original = execute_group_local(
+            instances,
+            model=model,
+            include_probabilities=include_probabilities,
+            backend="classes",
+        )
+        meta, arrays = pack_group_results(original)
+        assert all(not isinstance(v, np.ndarray) for e in meta for v in e.values())
+        rebuilt = unpack_group_results(meta, arrays, model, False)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )
+            assert ours.final_state.norm() == pytest.approx(
+                ref.final_state.norm(), abs=1e-12
+            )
+
+    def test_dense_round_trip(self):
+        rng = np.random.default_rng(29)
+        instances = shape_group(rng, 3)
+        original = execute_group_local(
+            instances, model="sequential", include_probabilities=True,
+            backend="subspace",
+        )
+        meta, arrays = pack_group_results(original)
+        rebuilt = unpack_group_results(meta, arrays, "sequential", False)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            np.testing.assert_array_equal(
+                ours.final_state.as_array(), ref.final_state.as_array()
+            )
+            assert tuple(ours.final_state.layout.names) == ("i", "w")
+
+    def test_skip_zero_capacity_restriction_survives(self):
+        # A database with an empty machine: the reconstructed ledger and
+        # schedule must shed the same machine the worker-side run shed.
+        counts = np.zeros((3, 32), dtype=np.int64)
+        counts[0, :6] = 2
+        counts[2, 6:10] = 1
+        db = DistributedDatabase.from_count_matrix(counts, nu=4)
+        inst = ClassInstance.from_db(db)
+        original = execute_group_local(
+            [inst], model="sequential", skip_zero_capacity=True, backend="classes"
+        )
+        meta, arrays = pack_group_results(original)
+        rebuilt = unpack_group_results(meta, arrays, "sequential", True)
+        assert_results_match(rebuilt, original)
+        assert rebuilt[0].ledger.per_machine()[1] == 0
+
+    def test_round_trip_through_shared_memory(self):
+        # The full wire path: pack → write into a shm block → attach as
+        # a peer → zero-copy views → unpack → release. The rebuilt
+        # results must not alias the (recycled) block.
+        rng = np.random.default_rng(31)
+        instances = shape_group(rng, 3)
+        original = execute_group_local(
+            instances, model="sequential", include_probabilities=True,
+            backend="classes",
+        )
+        meta, arrays = pack_group_results(original)
+        client = ArenaClient()
+        with ShmArena("pack-roundtrip", 1 << 20) as arena:
+            block = arena.alloc(arrays_nbytes(arrays))
+            layout = write_arrays(arena.payload(block), arrays)
+            try:
+                views = read_arrays(client.view(block), layout)
+                rebuilt = unpack_group_results(meta, views, "sequential", False)
+            finally:
+                client.detach_all()
+            arena.free(block)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )

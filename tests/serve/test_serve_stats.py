@@ -56,6 +56,27 @@ class TestCounters:
         assert snap["p50_latency"] == 1.0
         assert snap["max_latency"] == 2.0
 
+    def test_fill_ratio_is_weighted_by_target(self):
+        # One full big batch + one near-empty deadline flush: unweighted
+        # averaging would report (1.0 + 0.125) / 2 ≈ 0.56; the weighted
+        # ratio charges the straggler only for its capacity share.
+        stats = ServiceStats(clock=FakeClock())
+        stats.record_batch(64, target=64)
+        stats.record_batch(1, target=8)
+        snap = stats.snapshot()
+        assert snap["batch_fill_ratio"] == 65 / 72
+        assert snap["fill_p10"] == 0.125  # the tail flush shows up here
+
+    def test_fill_p10_tracks_the_worst_batches(self):
+        stats = ServiceStats(clock=FakeClock())
+        for _ in range(16):
+            stats.record_batch(10, target=10)
+        for _ in range(4):
+            stats.record_batch(1, target=10)
+        snap = stats.snapshot()
+        assert snap["fill_p10"] == 0.1
+        assert snap["batch_fill_ratio"] == 164 / 200
+
     def test_failures_reduce_queue_depth(self):
         stats = ServiceStats(clock=FakeClock())
         stats.record_submit()
@@ -67,4 +88,45 @@ class TestCounters:
         snap = ServiceStats(clock=FakeClock()).snapshot()
         assert snap["instances_per_sec"] == 0.0
         assert snap["batch_fill_ratio"] == 0.0
+        assert snap["fill_p10"] == 0.0
         assert snap["p99_latency"] == 0.0
+
+
+class TestAggregate:
+    def test_merges_counters_and_spans(self):
+        clock_a, clock_b = FakeClock(), FakeClock()
+        a = ServiceStats(clock=clock_a)
+        b = ServiceStats(clock=clock_b)
+        a.record_submit()  # first submit at t=0 on shard a
+        clock_b.now = 1.0
+        b.record_submit()
+        b.record_submit()
+        a.record_batch(4, target=8)
+        b.record_batch(8, target=8)
+        clock_a.now = 2.0
+        a.record_complete(0.5, FakeResult(sequential_queries=6))
+        clock_b.now = 4.0  # the tier's busy span ends here
+        b.record_complete(1.5, FakeResult(sequential_queries=4, exact=False))
+        b.record_failure()
+
+        view = ServiceStats.aggregate([a, b])
+        assert view["submitted"] == 3
+        assert view["completed"] == 2
+        assert view["failed"] == 1
+        assert view["exact"] == 1
+        assert view["batches_executed"] == 2
+        assert view["batch_fill_ratio"] == 12 / 16
+        assert view["sequential_queries"] == 10
+        # span: earliest first submit (t=0, shard a) → latest completion
+        # (t=4, shard b) → 2 completions / 4 s.
+        assert view["instances_per_sec"] == 0.5
+        assert view["max_latency"] == 1.5
+        per_shard = view["per_shard"]
+        assert len(per_shard) == 2
+        assert per_shard[0]["completed"] == 1
+        assert per_shard[1]["failed"] == 1
+
+    def test_empty_aggregate(self):
+        view = ServiceStats.aggregate([])
+        assert view["submitted"] == 0
+        assert view["per_shard"] == []

@@ -1,0 +1,160 @@
+"""ShmArena / ArenaClient: allocation, generations, array round trips."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.serve.shm import (
+    ARRAY_ALIGN,
+    BLOCK_ALIGN,
+    BLOCK_HEADER,
+    ArenaClient,
+    ShmArena,
+    arrays_nbytes,
+    read_arrays,
+    write_arrays,
+)
+
+
+@pytest.fixture
+def arena():
+    with ShmArena("test-arena", 1 << 16) as a:
+        yield a
+
+
+class TestArenaAllocation:
+    def test_alloc_free_reuses_space(self, arena):
+        first = arena.alloc(1000)
+        assert first is not None
+        assert first.offset == 0
+        arena.free(first)
+        again = arena.alloc(1000)
+        assert again is not None
+        assert again.offset == 0  # the freed run was coalesced back
+        assert again.generation > first.generation
+
+    def test_blocks_are_aligned_and_disjoint(self, arena):
+        blocks = [arena.alloc(100) for _ in range(5)]
+        offsets = [b.offset for b in blocks]
+        assert all(off % BLOCK_ALIGN == 0 for off in offsets)
+        for a, b in zip(blocks, blocks[1:]):
+            assert b.offset >= a.offset + a.size
+
+    def test_full_arena_returns_none(self, arena):
+        assert arena.alloc(arena.capacity) is None
+        huge = arena.alloc(arena.capacity - BLOCK_HEADER)
+        assert huge is not None
+        assert arena.alloc(1) is None  # nothing left
+        arena.free(huge)
+        assert arena.alloc(1) is not None
+
+    def test_free_coalesces_adjacent_runs(self, arena):
+        a = arena.alloc(100)
+        b = arena.alloc(100)
+        c = arena.alloc(100)
+        arena.free(a)
+        arena.free(c)
+        arena.free(b)  # middle free must merge all three runs
+        big = arena.alloc(arena.capacity - BLOCK_HEADER)
+        assert big is not None
+
+    def test_double_free_raises(self, arena):
+        block = arena.alloc(64)
+        arena.free(block)
+        with pytest.raises(ValidationError, match="stale handle or double free"):
+            arena.free(block)
+
+    def test_stale_handle_payload_raises(self, arena):
+        block = arena.alloc(64)
+        arena.free(block)
+        arena.alloc(64)  # recycles the offset under a new generation
+        with pytest.raises(ValidationError):
+            arena.payload(block)
+
+
+class TestPeerViews:
+    def test_peer_sees_owner_bytes(self, arena):
+        client = ArenaClient()
+        try:
+            block = arena.alloc(256)
+            arena.payload(block)[:4] = b"ping"
+            assert bytes(client.view(block)[:4]) == b"ping"
+        finally:
+            client.detach_all()
+
+    def test_stale_generation_detected_peer_side(self, arena):
+        client = ArenaClient()
+        try:
+            block = arena.alloc(256)
+            arena.free(block)
+            recycled = arena.alloc(256)
+            assert recycled.offset == block.offset
+            with pytest.raises(ValidationError, match="generation"):
+                client.view(block)
+            client.view(recycled)  # the live handle still works
+        finally:
+            client.detach_all()
+
+
+class TestArrayMarshalling:
+    def test_round_trip_preserves_values_and_dtypes(self, arena):
+        arrays = {
+            "amps": (np.arange(12, dtype=np.complex128) * (1 + 2j)).reshape(3, 4),
+            "sizes": np.array([3, 1, 4], dtype=np.int64),
+            "fids": np.linspace(0.0, 1.0, 7),
+        }
+        block = arena.alloc(arrays_nbytes(arrays))
+        layout = write_arrays(arena.payload(block), arrays)
+        client = ArenaClient()
+        try:
+            out = read_arrays(client.view(block), layout)
+            assert set(out) == set(arrays)
+            for name in arrays:
+                assert out[name].dtype == arrays[name].dtype
+                assert np.array_equal(out[name], arrays[name])
+        finally:
+            client.detach_all()
+
+    def test_reads_are_zero_copy_views(self, arena):
+        arrays = {"x": np.arange(8, dtype=np.float64)}
+        block = arena.alloc(arrays_nbytes(arrays))
+        layout = write_arrays(arena.payload(block), arrays)
+        client = ArenaClient()
+        try:
+            view = read_arrays(client.view(block), layout)["x"]
+            # Owner-side mutation shows through: same physical memory.
+            np.frombuffer(arena.payload(block), dtype=np.float64, count=8)
+            owner = np.ndarray(
+                (8,), dtype=np.float64, buffer=arena.payload(block), offset=0
+            )
+            owner[0] = 99.0
+            assert view[0] == 99.0
+        finally:
+            client.detach_all()
+
+    def test_array_payloads_are_aligned(self, arena):
+        arrays = {
+            "a": np.zeros(3, dtype=np.int8),
+            "b": np.zeros(5, dtype=np.complex128),
+        }
+        block = arena.alloc(arrays_nbytes(arrays))
+        layout = write_arrays(arena.payload(block), arrays)
+        assert all(offset % ARRAY_ALIGN == 0 for _, _, _, offset in layout)
+
+    def test_overflow_raises(self, arena):
+        block = arena.alloc(16)
+        with pytest.raises(ValidationError, match="payload bytes"):
+            write_arrays(arena.payload(block), {"x": np.zeros(1024)})
+
+    def test_noncontiguous_input_written_contiguously(self, arena):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        strided = base[:, ::2]  # non-contiguous view
+        arrays = {"s": strided}
+        block = arena.alloc(arrays_nbytes(arrays))
+        layout = write_arrays(arena.payload(block), arrays)
+        client = ArenaClient()
+        try:
+            out = read_arrays(client.view(block), layout)["s"]
+            assert np.array_equal(out, strided)
+        finally:
+            client.detach_all()

@@ -97,6 +97,12 @@ class TestCli:
         assert code == 2
         assert "positive instance count" in capsys.readouterr().err
 
+    def test_sample_batched_rejects_nonpositive_jobs(self, capsys):
+        code = main(["sample", "--batch", "4", "--jobs", "0", "--universe", "16",
+                     "--total", "8", "--machines", "2"])
+        assert code == 2
+        assert "positive worker count" in capsys.readouterr().err
+
     def test_max_dense_dim_rejects_nonpositive(self, capsys):
         code = main(["sample", "--max-dense-dim", "0", "--universe", "16",
                      "--total", "8", "--machines", "2"])
@@ -139,3 +145,19 @@ class TestServeCli:
         code = main(["serve", "--max-requests", "0"])
         assert code == 2
         assert "max-requests" in capsys.readouterr().err
+
+    def test_serve_rejects_nonpositive_shards(self, capsys):
+        code = main(["serve", "--max-requests", "4", "--shards", "0"])
+        assert code == 2
+        assert "shards" in capsys.readouterr().err
+
+    def test_serve_sharded_tier(self, capsys):
+        code = main(["serve", "--max-requests", "8", "--universe", "64",
+                     "--total", "24", "--machines", "2", "--batch-size", "4",
+                     "--flush-deadline", "0.01", "--seed", "3", "--shards", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8" in out
+        assert "shards" in out
+        assert "shm batches" in out
+        assert "worker restarts" in out

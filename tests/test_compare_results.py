@@ -1,0 +1,108 @@
+"""benchmarks/compare_results.py — perf-trajectory regression diffing."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_MODULE_PATH = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "compare_results.py"
+)
+_spec = importlib.util.spec_from_file_location("compare_results", _MODULE_PATH)
+compare_results = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_results)
+
+
+def payload(rates):
+    return {
+        "trajectory": [
+            {"scenario": name, "offered_load": "max", "instances_per_sec": rate}
+            for name, rate in rates.items()
+        ]
+    }
+
+
+class TestComparePayloads:
+    def test_no_regression_within_threshold(self):
+        base = payload({"served": 1000.0, "batched": 2000.0})
+        cur = payload({"served": 850.0, "batched": 2100.0})  # -15%, +5%
+        assert compare_results.compare_payloads(base, cur) == []
+
+    def test_regression_past_threshold_warns(self):
+        base = payload({"served": 1000.0})
+        cur = payload({"served": 700.0})  # -30%
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1
+        assert "regression" in warnings[0] and "served" in warnings[0]
+        assert "30%" in warnings[0]
+
+    def test_missing_scenario_warns(self):
+        base = payload({"served": 1000.0, "gone": 500.0})
+        cur = payload({"served": 1000.0})
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1 and "missing" in warnings[0]
+
+    def test_custom_threshold(self):
+        base = payload({"served": 1000.0})
+        cur = payload({"served": 940.0})  # -6%
+        assert compare_results.compare_payloads(base, cur, threshold=0.2) == []
+        assert len(compare_results.compare_payloads(base, cur, threshold=0.05)) == 1
+
+    def test_scenario_identity_includes_shape_keys(self):
+        row = {"scenario": "poisson", "offered_load": "200/s", "shards": 4,
+               "instances_per_sec": 10.0}
+        key = compare_results._scenario_key(row)
+        assert "poisson" in key and "offered_load=200/s" in key and "shards=4" in key
+
+    def test_rows_without_rate_are_ignored(self):
+        base = {"trajectory": [{"scenario": "ref", "instances_per_sec": 0.0},
+                               {"scenario": "no-rate"}]}
+        assert compare_results.extract_rates(base) == {}
+
+
+class TestCompareDirectories:
+    @pytest.fixture
+    def dirs(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        baseline.mkdir()
+        current.mkdir()
+        return str(baseline), str(current)
+
+    def _write(self, directory, experiment_id, rates):
+        with open(os.path.join(directory, f"{experiment_id}.json"), "w") as fh:
+            json.dump(payload(rates), fh)
+
+    def test_diffs_only_shared_experiments(self, dirs):
+        baseline, current = dirs
+        self._write(baseline, "E26", {"sharded": 1000.0})
+        self._write(current, "E26", {"sharded": 500.0})
+        self._write(current, "E24", {"served": 100.0})  # no baseline: skipped
+        warnings = compare_results.compare_directories(baseline, current)
+        assert len(warnings) == 1 and warnings[0].startswith("[E26]")
+
+    def test_main_clean_exit(self, dirs, capsys):
+        baseline, current = dirs
+        self._write(baseline, "E26", {"sharded": 1000.0})
+        self._write(current, "E26", {"sharded": 990.0})
+        code = compare_results.main(["--baseline", baseline, "--current", current])
+        assert code == 0
+        assert "no throughput regressions" in capsys.readouterr().out
+
+    def test_main_warns_but_exits_zero(self, dirs, capsys):
+        baseline, current = dirs
+        self._write(baseline, "E26", {"sharded": 1000.0})
+        self._write(current, "E26", {"sharded": 100.0})
+        code = compare_results.main(["--baseline", baseline, "--current", current])
+        assert code == 0
+        assert "WARNING" in capsys.readouterr().err
+
+    def test_main_strict_fails(self, dirs):
+        baseline, current = dirs
+        self._write(baseline, "E26", {"sharded": 1000.0})
+        self._write(current, "E26", {"sharded": 100.0})
+        code = compare_results.main(
+            ["--baseline", baseline, "--current", current, "--strict"]
+        )
+        assert code == 1
