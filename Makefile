@@ -5,7 +5,7 @@ export PYTHONPATH := src
 
 .PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke \
 	bench-serve bench-serve-smoke bench-api bench-serve-sharded \
-	bench-serve-sharded-smoke
+	bench-serve-sharded-smoke bench-scenarios bench-scenarios-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -70,6 +70,23 @@ bench-serve-sharded-smoke:
 		--benchmark-disable -k smoke
 	$(PYTHON) -m repro serve --max-requests 16 --universe 256 --total 64 \
 		--machines 2 --batch-size 8 --flush-deadline 0.02 --shards 2
+
+# E27: the adversarial-scenario matrix — every registered scenario
+# (machine loss on replicated/disjoint shards, kill/revive schedules,
+# churn, skew, topology growth) served across the unsharded and 2-shard
+# tiers, each cell gated on instance-replay equivalence (1e-12) and the
+# exact fault-fidelity identities.  The smoke variant (four scenario
+# families, short trace) is what CI executes, alongside a CLI trace
+# through `python -m repro serve --scenario`.
+bench-scenarios:
+	$(PYTHON) -m pytest benchmarks/bench_e27_scenario_matrix.py -q \
+		--benchmark-disable -k "not hook"
+
+bench-scenarios-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_e27_scenario_matrix.py -q \
+		--benchmark-disable -k smoke
+	$(PYTHON) -m repro serve --scenario disjoint-loss --max-requests 8 \
+		--batch-size 4
 
 # E25: the repro.api front door — the planner routes one tiny request
 # grid through all four execution strategies (instance, stacked, fanout,

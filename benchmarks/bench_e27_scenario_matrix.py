@@ -1,0 +1,149 @@
+"""E27 — the adversarial-scenario matrix: faults, skew & churn, served.
+
+The scenario engine's claim: adversarial regimes — machine loss under
+replicated and disjoint sharding, mid-trace kill/revive schedules,
+heavy update churn, skewed data on skewed shards, topology growth — are
+*first-class served workloads*, not bespoke scripts.  Every cell of the
+scenario × model × backend × shards sweep is gated:
+
+* **equivalence** — the served trace (in-process dispatcher or sharded
+  multi-process tier) matches a per-instance replay on the same seeds
+  and the same degraded databases to 1e-12 on every physical column;
+* **fault-fidelity identities** — replicated-shard loss keeps the
+  expected fidelity against the original target at exactly 1 (the copy
+  answers), disjoint loss lands exactly ``1 − M_lost/M`` (the lost
+  shard's mass is gone, the survivors renormalize);
+* **exactness** — every served result is exact for its own (degraded)
+  target: faults change *what* is sampled, never the zero-error
+  guarantee.
+
+``test_e27_scenario_matrix`` sweeps all registered scenarios across the
+unsharded and 2-shard tiers; ``test_e27_smoke_small`` is the CI-sized
+cut archiving ``benchmarks/_results/E27.json``;
+``test_e27_disjoint_identity`` asserts the closed-form identity
+per-request rather than per-cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.database import expected_mask_fidelity
+from repro.scenarios import ScenarioMatrix, resolve_scenario, scenario_names
+
+#: Long enough for chaos-kill-revive to kill (request 2) and revive
+#: (request 6) inside every full-matrix trace.
+TRACE = 8
+
+
+def _report_rows(rows, report, claim, extra=None):
+    table = [
+        [
+            r["scenario"],
+            r["model"],
+            r["backend"],
+            r["shards"],
+            f"{r['min_fidelity']:.6f}",
+            f"{r['expected_fidelity_min']:.4f}",
+            f"{r['instances_per_sec']:.0f}/s",
+            r["gate"],
+        ]
+        for r in rows
+    ]
+    report(
+        "E27",
+        claim,
+        ["scenario", "model", "backend", "shards", "minF", "expF", "rate", "gate"],
+        table,
+        payload={"matrix": rows, **(extra or {})},
+    )
+
+
+def test_e27_scenario_matrix(report):
+    """Full sweep: every registered scenario, unsharded and 2-shard
+    tiers, strict gates (a failed cell raises)."""
+    matrix = ScenarioMatrix(
+        scenarios=scenario_names(),
+        shards=(None, 2),
+        requests_per_cell=TRACE,
+        strict=True,
+    )
+    rows = matrix.run(rng=0)
+    assert len(rows) == len(scenario_names()) * 2
+    assert all(r["gate"] == "passed" for r in rows)
+    assert all(r["all_exact"] for r in rows)
+    # The fault-fidelity identities, per cell.
+    for r in rows:
+        if r["scenario"] in ("replicated-loss", "chaos-kill-revive"):
+            assert r["expected_fidelity_min"] == pytest.approx(1.0, abs=1e-12), (
+                "replicated-shard loss must be invisible"
+            )
+        if r["scenario"] == "disjoint-loss":
+            assert r["expected_fidelity_min"] < 1.0 - 1e-6, (
+                "disjoint loss must cost fidelity"
+            )
+    _report_rows(
+        rows,
+        report,
+        "every scenario cell: served ≡ instance replay (1e-12), exact on the "
+        "degraded target, fidelity floors hold (replicated loss ≡ 1)",
+        extra={"requests_per_cell": TRACE, "tiers": [0, 2]},
+    )
+
+
+def test_e27_disjoint_identity():
+    """Disjoint-shard loss: expected fidelity is exactly 1 − M_lost/M,
+    request by request (Bhattacharyya on nested uniform supports)."""
+    scenario = resolve_scenario("disjoint-loss")
+    (lost,) = scenario.fault_mask
+    for seed in (11, 23, 47):
+        db = scenario.spec(0).build(rng=seed)
+        expected = expected_mask_fidelity(db, scenario.fault_mask)
+        identity = 1.0 - db.machine(lost).size / db.total_count
+        assert expected == pytest.approx(identity, abs=1e-12)
+
+
+def test_e27_replicated_invisible():
+    """Replicated-shard loss: the surviving copy answers — expected
+    fidelity exactly 1, for any lost machine."""
+    scenario = resolve_scenario("replicated-loss")
+    for seed in (5, 19):
+        db = scenario.spec(0).build(rng=seed)
+        for lost in range(db.n_machines):
+            assert expected_mask_fidelity(db, (lost,)) == pytest.approx(
+                1.0, abs=1e-12
+            )
+
+
+def test_e27_smoke_small(report):
+    """CI-sized cut: three scenario families (healthy baseline, both
+    loss regimes, churn), unsharded, short trace, strict gates; archives
+    the E27.json artifact."""
+    matrix = ScenarioMatrix(
+        scenarios=[
+            "uniform-baseline",
+            "replicated-loss",
+            "disjoint-loss",
+            "churn-heavy",
+        ],
+        requests_per_cell=4,
+        strict=True,
+    )
+    rows = matrix.run(rng=2)
+    assert all(r["gate"] == "passed" for r in rows)
+    _report_rows(
+        rows,
+        report,
+        "scenario smoke: served ≡ instance replay on both loss regimes and "
+        "churn, fidelity floors hold",
+        extra={"requests_per_cell": 4, "tiers": [0]},
+    )
+
+
+def test_e27_benchmark_hook(benchmark):
+    """pytest-benchmark hook: one gated loss-regime cell, end to end."""
+    matrix = ScenarioMatrix(
+        scenarios=["replicated-loss"], requests_per_cell=4, strict=True
+    )
+    rows = benchmark(matrix.run, 0)
+    assert rows[0]["gate"] == "passed"

@@ -21,27 +21,38 @@ import json
 import os
 import sys
 
-#: Experiments whose payloads carry a throughput trajectory.
-DEFAULT_EXPERIMENTS = ("E23", "E24", "E25", "E26")
+#: Experiments whose payloads carry a throughput trajectory (or, for
+#: E27, a scenario-matrix row list).
+DEFAULT_EXPERIMENTS = ("E23", "E24", "E25", "E26", "E27")
 DEFAULT_THRESHOLD = 0.2
 
 #: Trajectory keys that identify a scenario row, in precedence order.
 _SCENARIO_KEYS = ("scenario", "label", "name")
 
+#: Secondary keys that split one scenario into distinct cells — the
+#: matrix-shaped artifacts (E27) key cells by execution regime too.
+_CELL_KEYS = ("model", "backend", "offered_load", "shards", "flush_deadline")
+
 
 def _scenario_key(row: dict) -> str:
-    """A stable identity for one trajectory row across runs."""
+    """A stable identity for one trajectory/matrix row across runs."""
     parts = [str(row[k]) for k in _SCENARIO_KEYS if k in row]
-    for extra in ("offered_load", "shards", "flush_deadline"):
+    for extra in _CELL_KEYS:
         if extra in row:
             parts.append(f"{extra}={row[extra]}")
     return "|".join(parts) if parts else "<unlabelled>"
 
 
 def extract_rates(payload: dict) -> dict[str, float]:
-    """Map scenario key → instances/sec for every trajectory row."""
+    """Map scenario key → instances/sec for every trajectory/matrix row.
+
+    Reads ``payload["trajectory"]`` (the serving benches) and
+    ``payload["matrix"]`` (the scenario-matrix artifact) with one key
+    scheme, so a matrix cell that slows down across commits warns just
+    like a serving scenario.
+    """
     rates: dict[str, float] = {}
-    for row in payload.get("trajectory", []):
+    for row in list(payload.get("trajectory", [])) + list(payload.get("matrix", [])):
         rate = row.get("instances_per_sec")
         if isinstance(rate, (int, float)) and rate > 0:
             rates[_scenario_key(row)] = float(rate)

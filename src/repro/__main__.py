@@ -40,7 +40,7 @@ from .api import SamplingRequest, sample, sample_many
 from .api import serve as api_serve
 from .batch import stacked_backend_names
 from .core import SequentialSampler, backend_names, estimate_overlap
-from .database import partition, zipf_dataset
+from .database import partition, workload_names, workload_spec_for
 from .errors import ReproError
 from .utils import Table
 
@@ -71,17 +71,26 @@ _EXPERIMENTS = [
     ("E24", "Serving — latency/throughput vs offered load & flush deadline", "bench_e24_serving"),
     ("E25", "API — one request through all four planner strategies", "bench_e25_api_pipeline"),
     ("E26", "Scaling — sharded serving tier, zero-copy shm handoff", "bench_e26_sharded_serving"),
+    ("E27", "Scenarios — adversarial matrix: faults, skew & churn served, gated", "bench_e27_scenario_matrix"),
 ]
 
 
+def _workload_spec(args: argparse.Namespace):
+    """The ``--workload`` recipe (registry-routed; zipf keeps its classic
+    exponent so default runs reproduce the pre-registry CLI)."""
+    overrides = {"exponent": 1.2} if args.workload == "zipf" else {}
+    return workload_spec_for(args.workload, args.universe, args.total, **overrides)
+
+
 def _build_db(args: argparse.Namespace):
-    dataset = zipf_dataset(args.universe, args.total, exponent=1.2, rng=args.seed)
+    dataset = _workload_spec(args).build(rng=args.seed)
     return partition(dataset, args.machines, strategy=args.strategy, rng=args.seed)
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
     parser = argparse.Namespace(
-        universe=16, total=40, machines=3, strategy="round_robin", seed=7
+        universe=16, total=40, machines=3, strategy="round_robin", seed=7,
+        workload="zipf",
     )
     db = _build_db(parser)
     print(f"database: {db}\n")
@@ -97,12 +106,9 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
 
 def _instance_spec(args: argparse.Namespace):
     from .analysis.sweep import InstanceSpec
-    from .database.workloads import WorkloadSpec
 
     return InstanceSpec(
-        workload=WorkloadSpec.of(
-            "zipf", universe=args.universe, total=args.total, exponent=1.2
-        ),
+        workload=_workload_spec(args),
         n_machines=args.machines,
         strategy=args.strategy,
         backend="classes",
@@ -166,21 +172,35 @@ def _cmd_sample_batch(args: argparse.Namespace) -> int:
 def _cmd_sample(args: argparse.Namespace) -> int:
     if args.batch:
         return _cmd_sample_batch(args)
-    db = _build_db(args)
     try:
-        request = SamplingRequest(
-            database=db,
-            model=args.model,
-            backend=args.backend or "auto",
-            capacity=args.capacity,
-            max_dense_dimension=args.max_dense_dim,
-        )
+        if args.scenario:
+            # A registered adversarial scenario is the whole recipe:
+            # data shape, partition, capacity policy and fault mask.
+            request = SamplingRequest(
+                scenario=args.scenario,
+                model=args.model,
+                backend=args.backend or "auto",
+                capacity=args.capacity,
+                seed=args.seed,
+                max_dense_dimension=args.max_dense_dim,
+            )
+            subject = f"scenario {args.scenario!r}"
+        else:
+            db = _build_db(args)
+            request = SamplingRequest(
+                database=db,
+                model=args.model,
+                backend=args.backend or "auto",
+                capacity=args.capacity,
+                max_dense_dimension=args.max_dense_dim,
+            )
+            subject = repr(db)
         result = sample(request)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     table = Table(
-        f"{args.model} sampling of {db!r}",
+        f"{args.model} sampling of {subject}",
         ["metric", "value"],
     )
     assert result.sampling is not None
@@ -189,6 +209,8 @@ def _cmd_sample(args: argparse.Namespace) -> int:
             continue
         table.add_row([key, str(value)])
     table.add_row(["strategy", result.strategy])
+    if request.fault_mask:
+        table.add_row(["fault mask (machines lost)", str(list(request.fault_mask))])
     print(table.render())
     return 0 if result.exact else 1
 
@@ -206,20 +228,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: --shards needs a positive worker count, got {args.shards}",
               file=sys.stderr)
         return 2
-    spec = _instance_spec(args)
+    scenario = None
+    if args.scenario:
+        from .scenarios import resolve_scenario
+
+        try:
+            scenario = resolve_scenario(args.scenario)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    spec = None if scenario is not None else _instance_spec(args)
     arrivals = np.random.default_rng(args.seed)
 
     def request_trace():
         """Poisson arrivals, replayed by sleeping in the submit thread."""
-        for _ in range(args.max_requests):
+        for index in range(args.max_requests):
             if args.rate > 0:
                 time.sleep(float(arrivals.exponential(1.0 / args.rate)))
-            yield SamplingRequest(
-                spec=spec,
-                model=args.model,
-                backend=args.backend,
-                include_probabilities=False,
-            )
+            if scenario is not None:
+                # Per-index materialization: a FaultSchedule kills and
+                # revives machines across the trace, topology steps
+                # force mid-trace re-planning.
+                yield scenario.request(
+                    index=index, model=args.model, backend=args.backend
+                )
+            else:
+                yield SamplingRequest(
+                    spec=spec,
+                    model=args.model,
+                    backend=args.backend,
+                    include_probabilities=False,
+                )
 
     start = time.perf_counter()
     try:
@@ -274,6 +313,31 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from .scenarios import resolve_scenario, scenario_names
+
+    table = Table(
+        "registered adversarial scenarios (sample/serve --scenario <name>)",
+        ["name", "machines", "axes", "description"],
+    )
+    for name in scenario_names():
+        sc = resolve_scenario(name)
+        axes = []
+        if sc.fault_mask:
+            axes.append(f"mask={list(sc.fault_mask)}")
+        if sc.fault_schedule is not None:
+            axes.append("fault-schedule")
+        if sc.churn is not None:
+            axes.append("churn")
+        if sc.topology_steps:
+            axes.append(f"topology={list(sc.topology_steps)}")
+        table.add_row(
+            [name, str(sc.n_machines), ",".join(axes) or "healthy", sc.description]
+        )
+    print(table.render())
+    return 0
+
+
 def _cmd_experiments(_args: argparse.Namespace) -> int:
     table = Table("experiment harness (pytest benchmarks/ --benchmark-only)",
                   ["id", "claim", "bench module"])
@@ -303,6 +367,20 @@ def main(argv: list[str] | None = None) -> int:
         "the dense fast path for small N, 'classes' at scale)",
     )
     sample.add_argument("--strategy", default="round_robin")
+    sample.add_argument(
+        "--workload",
+        choices=workload_names(),
+        default="zipf",
+        help="named workload generator shaping the synthetic dataset "
+        "(default: zipf with the classic 1.2 exponent)",
+    )
+    sample.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="run a registered adversarial scenario instead of the "
+        "--workload flags (see 'python -m repro scenarios')",
+    )
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument(
         "--capacity",
@@ -351,6 +429,20 @@ def main(argv: list[str] | None = None) -> int:
         "request by universe size (the planner's rule)",
     )
     serve.add_argument("--strategy", default="round_robin")
+    serve.add_argument(
+        "--workload",
+        choices=workload_names(),
+        default="zipf",
+        help="named workload generator for the served recipe",
+    )
+    serve.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="serve a registered adversarial scenario trace — per-index "
+        "fault masks and topology steps included (see 'python -m repro "
+        "scenarios')",
+    )
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument(
         "--max-requests", type=int, default=64, metavar="R",
@@ -378,10 +470,12 @@ def main(argv: list[str] | None = None) -> int:
     estimate.add_argument("--total", type=int, default=6)
     estimate.add_argument("--machines", type=int, default=2)
     estimate.add_argument("--strategy", default="round_robin")
+    estimate.add_argument("--workload", choices=workload_names(), default="zipf")
     estimate.add_argument("--bits", type=int, default=8)
     estimate.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("experiments", help="list the experiment harness")
+    sub.add_parser("scenarios", help="list the registered adversarial scenarios")
 
     args = parser.parse_args(argv)
     handlers = {
@@ -390,6 +484,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "estimate": _cmd_estimate,
         "experiments": _cmd_experiments,
+        "scenarios": _cmd_scenarios,
     }
     if args.command is None:
         parser.print_help()

@@ -215,7 +215,9 @@ def serve(
                         )
             if request.source == "spec":
                 seed = request.seed if request.seed is not None else spawn_seed(gen)
-                future = service.submit(request.spec, seed=seed)
+                future = service.submit(
+                    request.spec, seed=seed, fault_mask=request.fault_mask
+                )
             else:
                 seed = None
                 future = service.submit_live(request.stream, label=res.label)
@@ -285,6 +287,7 @@ def _materialize(
     if db is None:
         assert request.spec is not None
         db = request.spec.build(rng=seed)
+    db = request.masked(db)
     return db, ClassInstance.from_db(db)
 
 
@@ -346,6 +349,7 @@ def _execute_instance(
         if db is None:
             assert request.spec is not None
             db = request.spec.build(rng=seeds[index])
+        db = request.masked(db)
         sampler_cls = (
             SequentialSampler if request.model == "sequential" else ParallelSampler
         )
@@ -406,18 +410,26 @@ def _execute_stacked(
 
 
 def _fanout_worker(
-    payload: tuple[str, list[tuple[object, int | None, str]], bool, bool, str],
+    payload: tuple[
+        str, list[tuple[object, int | None, str, tuple[int, ...] | None]], bool, bool, str
+    ],
 ) -> list[dict[str, object]]:
     """Build one chunk's databases, execute them stacked, return audit rows.
 
     Module-level (single-argument) so the process pool can pickle it; the
     heavyweight objects — databases, states, results — never cross the
-    process boundary, only the plain-scalar rows do.
+    process boundary, only the plain-scalar rows and fault masks do.
+    Masks apply worker-side, after the build, exactly as in-process.
     """
     model, items, include_probabilities, skip_zero_capacity, backend = payload
     from ..batch.engine import execute_sampling_batch
+    from ..database.fault import apply_fault_mask
 
-    dbs = [spec.build(rng=seed) for spec, seed, _ in items]  # type: ignore[union-attr]
+    dbs = [
+        spec.build(rng=seed) if mask is None  # type: ignore[union-attr]
+        else apply_fault_mask(spec.build(rng=seed), mask)  # type: ignore[union-attr]
+        for spec, seed, _, mask in items
+    ]
     samplings = execute_sampling_batch(
         dbs,
         model=model,
@@ -426,7 +438,7 @@ def _fanout_worker(
         backend=backend,
     )
     rows = []
-    for (_, _, label), db, sampling in zip(items, dbs, samplings):
+    for (_, _, label, _), db, sampling in zip(items, dbs, samplings):
         rows.append(
             unified_row(
                 label,
@@ -454,7 +466,12 @@ def _execute_fanout(
         (
             first.model,
             [
-                (plan.resolved[i].request.spec, seeds[i], plan.resolved[i].label)
+                (
+                    plan.resolved[i].request.spec,
+                    seeds[i],
+                    plan.resolved[i].label,
+                    plan.resolved[i].fault_mask,
+                )
                 for i in chunk
             ],
             first.include_probabilities,
@@ -543,7 +560,9 @@ def _execute_served(
         for index in group.indices:
             res = plan.resolved[index]
             if res.request.source == "spec":
-                future = service.submit(res.request.spec, seed=seeds[index])
+                future = service.submit(
+                    res.request.spec, seed=seeds[index], fault_mask=res.fault_mask
+                )
             else:
                 future = service.submit_live(res.request.stream, label=res.label)
             submissions.append((index, seeds[index], future))

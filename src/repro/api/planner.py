@@ -21,7 +21,13 @@ duplicated across the four legacy front doors:
   any size with ``batchable=True``), process fan-out for build-dominated
   spec loads when ``jobs > 1``, and the serving dispatcher for streams;
 * **capacity policy** — ``"skip_empty"`` maps to the capacity-aware
-  flagged-round restriction on every strategy.
+  flagged-round restriction on every strategy;
+* **fault masks** — a request's machine-loss mask rides along on the
+  :class:`ResolvedRequest` and is applied by every executor after the
+  database is built, so the scenario engine's degraded topologies route
+  through the same four strategies as healthy traffic (masked requests
+  composing with ``skip_empty`` — dead machines are skipped, never
+  queried).
 
 The two routing thresholds live in :mod:`repro.config`
 (:attr:`~repro.config.NumericsConfig.stack_threshold`,
@@ -93,6 +99,16 @@ class ResolvedRequest:
 
     ``backend`` is the final, registered backend name (never
     ``"auto"``); ``strategy`` is one of :data:`STRATEGIES`.
+    ``fault_mask`` is the request's normalized machine-loss mask (or
+    ``None``) — per-request data, deliberately *not* part of any
+    homogeneity key: masked and healthy requests stack, fan out and
+    serve together, because the mask acts on the built database (lost
+    shards dropped, capacities republished as ``κ_j = 0``) before the
+    engine sees it.  Combined with ``capacity="skip_empty"`` the
+    flagged-round restriction then provably never queries a dead
+    machine; when consecutive served requests carry different masks
+    (a :class:`~repro.scenarios.FaultSchedule` mid-trace), each
+    submission re-plans against its own degraded topology.
     """
 
     index: int
@@ -101,6 +117,7 @@ class ResolvedRequest:
     strategy: str
     skip_zero_capacity: bool
     label: str
+    fault_mask: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
@@ -471,6 +488,7 @@ class Planner:
             strategy=strategy,
             skip_zero_capacity=skip,
             label=request.resolved_label(),
+            fault_mask=request.fault_mask,
         )
 
     def _group(self, resolved: tuple[ResolvedRequest, ...]) -> tuple[ExecutionGroup, ...]:

@@ -23,7 +23,8 @@ from ..analysis.sweep import InstanceSpec
 from ..core.backends import MODELS
 from ..database.distributed import DistributedDatabase
 from ..database.dynamic import UpdateStream
-from ..errors import RequestError
+from ..database.fault import apply_fault_mask, normalize_fault_mask
+from ..errors import RequestError, ValidationError
 
 #: Capacity policies: ``"all"`` queries every machine; ``"skip_empty"``
 #: applies the capacity-aware restriction — machines whose *public*
@@ -78,6 +79,26 @@ class SamplingRequest:
         group-size threshold decide; ``True`` prefers the stacked engine
         even for small groups; ``False`` pins the request to per-instance
         execution.
+    scenario:
+        A registered scenario name (or :class:`~repro.scenarios.Scenario`
+        instance) — a fourth way to say *what* to sample.  Resolving it
+        fills :attr:`spec` (the scenario's data shape and partition at
+        trace position 0), the scenario's capacity policy, and its
+        position-0 :attr:`fault_mask`; it cannot combine with an explicit
+        ``database``/``spec``/``stream`` source.  Churn scenarios serve
+        live snapshots and must go through
+        :class:`~repro.scenarios.ScenarioMatrix` (or explicit stream
+        requests) instead.
+    fault_mask:
+        Machine indices considered lost.  The executor applies the mask
+        *after* the database is built
+        (:func:`~repro.database.fault.apply_fault_mask`): each lost
+        shard's data is dropped and its capacity republished as
+        ``κ_j = 0``, so with ``capacity="skip_empty"`` the oblivious
+        schedule provably never queries a dead machine.  Normalized
+        (sorted, deduplicated) at validation; losing every machine is a
+        :class:`~repro.errors.RequestError`.  Stream sources reject the
+        mask — a live snapshot carries its own degraded state.
     shards:
         Served-strategy scale-out knob: route this request's stream
         through the sharded multi-process serving tier
@@ -117,8 +138,12 @@ class SamplingRequest:
     batchable: bool | None = None
     max_dense_dimension: int | None = None
     shards: int | None = None
+    scenario: object | None = None
+    fault_mask: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
+        if self.scenario is not None:
+            self._resolve_scenario()
         sources = [s for s in (self.database, self.spec, self.stream) if s is not None]
         if len(sources) != 1:
             raise RequestError(
@@ -150,6 +175,60 @@ class SamplingRequest:
             raise RequestError(
                 f"shards must be a positive worker count, got {self.shards}"
             )
+        if self.fault_mask is not None:
+            self._validate_fault_mask()
+
+    def _resolve_scenario(self) -> None:
+        """Expand ``scenario=`` into spec/capacity/fault_mask fields.
+
+        Imported lazily: :mod:`repro.scenarios` sits above this module
+        (its matrix drives the front door), so the registry cannot be a
+        module-level import here.
+        """
+        from ..scenarios.registry import resolve_scenario
+
+        if any(s is not None for s in (self.database, self.spec, self.stream)):
+            raise RequestError(
+                "scenario= is itself a request source; drop the explicit "
+                "database=/spec=/stream="
+            )
+        try:
+            scenario = resolve_scenario(self.scenario)
+        except ValidationError as exc:
+            raise RequestError(str(exc)) from None
+        if scenario.is_churn:
+            raise RequestError(
+                f"churn scenario {scenario.name!r} serves live snapshots; "
+                "drive it through repro.scenarios.ScenarioMatrix or submit "
+                "stream requests directly"
+            )
+        object.__setattr__(self, "scenario", scenario.name)
+        object.__setattr__(self, "spec", scenario.spec(0))
+        if self.capacity == "all":
+            object.__setattr__(self, "capacity", scenario.capacity)
+        if self.fault_mask is None:
+            object.__setattr__(self, "fault_mask", scenario.mask_at(0) or None)
+
+    def _validate_fault_mask(self) -> None:
+        if self.stream is not None:
+            raise RequestError(
+                "fault_mask applies to database/spec sources; a live stream "
+                "snapshot carries its own degraded state"
+            )
+        mask = tuple(self.fault_mask)
+        if not mask:
+            object.__setattr__(self, "fault_mask", None)
+            return
+        if self.database is not None:
+            n_machines = self.database.n_machines
+        else:
+            assert self.spec is not None
+            n_machines = self.spec.n_machines
+        try:
+            normalized = normalize_fault_mask(mask, n_machines)
+        except ValidationError as exc:
+            raise RequestError(str(exc)) from None
+        object.__setattr__(self, "fault_mask", normalized)
 
     # -- planner-facing views ----------------------------------------------------
 
@@ -194,3 +273,15 @@ class SamplingRequest:
     def skip_zero_capacity(self) -> bool:
         """Whether the capacity policy restricts provably-empty machines."""
         return self.capacity == "skip_empty"
+
+    def masked(self, db: DistributedDatabase) -> DistributedDatabase:
+        """Apply this request's fault mask to a built database.
+
+        The one hook every executor calls after materializing the
+        source: lost shards are dropped, their capacities republished as
+        ``κ_j = 0`` so ``skip_empty`` routing stays honest.  A maskless
+        request returns ``db`` unchanged.
+        """
+        if self.fault_mask is None:
+            return db
+        return apply_fault_mask(db, self.fault_mask)

@@ -9,9 +9,12 @@ from .distributed import DistributedDatabase
 from .dynamic import Update, UpdateStream, random_update_stream
 from .fault import (
     FaultImpact,
+    apply_fault_mask,
     assess_fault,
     bhattacharyya_fidelity,
     degraded_database,
+    expected_mask_fidelity,
+    normalize_fault_mask,
     worst_case_fault,
 )
 from .ledger import MachineTally, QueryLedger
@@ -39,18 +42,24 @@ from .partition import (
 from .topology import (
     COORDINATOR,
     RoundCost,
+    degraded_sequential_cost,
     parallel_schedule_cost,
     sequential_schedule_cost,
     speedup,
     star_graph,
+    surviving_machines,
 )
 from .workloads import (
     GENERATORS,
+    SEEDED_GENERATORS,
     WorkloadSpec,
     block_dataset,
+    make_workload,
     single_key_dataset,
     sparse_support_dataset,
     uniform_dataset,
+    workload_names,
+    workload_spec_for,
     zipf_dataset,
 )
 
@@ -61,9 +70,18 @@ __all__ = [
     "FaultImpact",
     "GENERATORS",
     "Machine",
+    "SEEDED_GENERATORS",
+    "apply_fault_mask",
     "assess_fault",
     "bhattacharyya_fidelity",
     "degraded_database",
+    "degraded_sequential_cost",
+    "expected_mask_fidelity",
+    "make_workload",
+    "normalize_fault_mask",
+    "surviving_machines",
+    "workload_names",
+    "workload_spec_for",
     "worst_case_fault",
     "MachineTally",
     "Multiset",

@@ -24,22 +24,83 @@ experiment E21.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 
-from ..errors import EmptyDatabaseError
+from ..errors import EmptyDatabaseError, ValidationError
 from ..utils.validation import require_index
 from .distributed import DistributedDatabase
 
 
-def degraded_database(db: DistributedDatabase, lost_machine: int) -> DistributedDatabase:
+def degraded_database(
+    db: DistributedDatabase, lost_machine: int, zero_capacity: bool = False
+) -> DistributedDatabase:
     """The database after machine ``lost_machine`` fails (shard gone).
 
     Public parameters other than the lost shard's contribution are kept —
-    in particular ``ν`` (capacities are declarations, not data).
+    in particular ``ν`` (capacities are declarations, not data).  With
+    ``zero_capacity=True`` the failure is *announced*: the lost shard's
+    public capacity is republished as ``κ_j = 0``, so the capacity-aware
+    ``skip_empty`` routing (flagged rounds, honest ledgers) provably
+    never queries the dead machine.  The silent default keeps the
+    declared ``κ_j`` — the coordinator then still schedules the machine,
+    which answers (honestly) with empty counts.
     """
     lost_machine = require_index(lost_machine, db.n_machines, "lost_machine")
-    return db.without_machine_data(lost_machine)
+    degraded = db.without_machine_data(lost_machine)
+    if zero_capacity:
+        degraded = degraded.replaced_machine(
+            lost_machine, degraded.machine(lost_machine).with_capacity(0)
+        )
+    return degraded
+
+
+def normalize_fault_mask(mask: Iterable[int], n_machines: int) -> tuple[int, ...]:
+    """Validate and canonicalize a machine-loss mask (sorted, deduplicated)."""
+    indices = sorted({require_index(j, n_machines, "fault_mask machine") for j in mask})
+    if len(indices) == n_machines:
+        raise ValidationError(
+            f"a fault mask cannot lose all {n_machines} machines; "
+            "at least one must survive"
+        )
+    return tuple(indices)
+
+
+def apply_fault_mask(
+    db: DistributedDatabase, mask: Iterable[int]
+) -> DistributedDatabase:
+    """The database after every machine in ``mask`` fails, announced.
+
+    Each lost shard's data is dropped *and* its public capacity is
+    republished as ``κ_j = 0`` (``degraded_database(...,
+    zero_capacity=True)`` per machine), so the result composes directly
+    with ``capacity="skip_empty"`` routing: surviving machines keep
+    their declarations, dead machines are provably empty and skipped.
+    Masks always derive from the *original* database, so a revived
+    machine (a shrinking mask) gets its shard back exactly.
+    """
+    degraded = db
+    for lost in normalize_fault_mask(mask, db.n_machines):
+        degraded = degraded_database(degraded, lost, zero_capacity=True)
+    return degraded
+
+
+def expected_mask_fidelity(db: DistributedDatabase, mask: Iterable[int]) -> float:
+    """``F(ψ_masked, ψ_original)`` — the Bhattacharyya fidelity floor.
+
+    Exactly 1 for replicated shards (any loss short of all copies) and
+    exactly ``1 − M_lost/M`` for disjoint shards; 0.0 when the mask
+    leaves no data at all.
+    """
+    mask = normalize_fault_mask(mask, db.n_machines)
+    if not mask:
+        return 1.0
+    original = db.sampling_distribution()
+    degraded = apply_fault_mask(db, mask)
+    if degraded.total_count == 0:
+        return 0.0
+    return bhattacharyya_fidelity(original, degraded.sampling_distribution())
 
 
 def bhattacharyya_fidelity(p: np.ndarray, q: np.ndarray) -> float:

@@ -82,3 +82,33 @@ def speedup(sequential: RoundCost, parallel: RoundCost) -> float:
     if parallel.rounds == 0:
         return float("inf") if sequential.rounds else 1.0
     return sequential.rounds / parallel.rounds
+
+
+def surviving_machines(n_machines: int, lost: Sequence[int]) -> tuple[int, ...]:
+    """Machine indices still on the star after ``lost`` machines fail.
+
+    The degraded topology the scenario engine re-plans against: a fault
+    mask removes coordinator links, and the capacity-aware schedules
+    restrict to exactly these indices.
+    """
+    n_machines = require_pos_int(n_machines, "n_machines")
+    gone = set()
+    for j in lost:
+        if not 0 <= j < n_machines:
+            raise ValidationError(f"machine index {j} out of range")
+        gone.add(j)
+    return tuple(j for j in range(n_machines) if j not in gone)
+
+
+def degraded_sequential_cost(
+    machine_sequence: Sequence[int], n_machines: int, lost: Sequence[int]
+) -> RoundCost:
+    """Cost of a sequential schedule re-planned around lost machines.
+
+    Queries addressed to dead machines are dropped from the schedule
+    (the ``skip_empty`` restriction); the survivors keep one round and
+    one link use each.
+    """
+    alive = set(surviving_machines(n_machines, lost))
+    kept = [j for j in machine_sequence if j in alive]
+    return sequential_schedule_cost(kept, n_machines)

@@ -118,16 +118,7 @@ class WorkloadSpec:
 
     def build(self, rng: object = None) -> Multiset:
         """Materialize the dataset."""
-        try:
-            fn = GENERATORS[self.name]
-        except KeyError:
-            raise ValidationError(
-                f"unknown workload {self.name!r}; choose from {sorted(GENERATORS)}"
-            ) from None
-        kwargs = dict(self.params)
-        if self.name in ("uniform", "zipf", "sparse"):
-            kwargs["rng"] = rng
-        return fn(**kwargs)
+        return make_workload(self.name, rng=rng, **dict(self.params))
 
     def label(self) -> str:
         """Compact human-readable label for experiment tables."""
@@ -142,3 +133,59 @@ GENERATORS: dict[str, Callable[..., Multiset]] = {
     "single": single_key_dataset,
     "block": block_dataset,
 }
+
+#: Generators that consume a seed; the rest are fully deterministic.
+SEEDED_GENERATORS = ("uniform", "zipf", "sparse")
+
+
+def workload_names() -> tuple[str, ...]:
+    """Registered generator names, sorted — the ``--workload`` choices."""
+    return tuple(sorted(GENERATORS))
+
+
+def make_workload(name: str, rng: object = None, **params: object) -> Multiset:
+    """Build a dataset through the named-generator registry.
+
+    The one dispatch point behind :meth:`WorkloadSpec.build`, the CLI's
+    ``--workload`` flag and the scenario engine — replacing ad-hoc
+    generator imports.  ``rng`` reaches only the seeded generators
+    (:data:`SEEDED_GENERATORS`); the deterministic ones ignore it.
+    """
+    try:
+        fn = GENERATORS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workload {name!r}; choose from {sorted(GENERATORS)}"
+        ) from None
+    if name in SEEDED_GENERATORS:
+        params = dict(params, rng=rng)
+    return fn(**params)
+
+
+def workload_spec_for(
+    name: str, universe: int, total: int, **overrides: object
+) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` for any registered generator from the two
+    parameters every caller has — ``universe`` and a target ``total``
+    mass — mapped onto each generator's own signature.
+
+    ``sparse``/``block`` cap their support at the universe; ``single``
+    puts all mass on key 0.  ``overrides`` win over the mapping (e.g.
+    ``exponent=`` for Zipf, ``multiplicity=`` for sparse).
+    """
+    universe = require_pos_int(universe, "universe")
+    total = require_pos_int(total, "total")
+    if name in ("uniform", "zipf"):
+        params: dict[str, object] = {"universe": universe, "total": total}
+    elif name == "sparse":
+        params = {"universe": universe, "support_size": min(total, universe)}
+    elif name == "single":
+        params = {"universe": universe, "key": 0, "multiplicity": total}
+    elif name == "block":
+        params = {"universe": universe, "block_size": min(total, universe)}
+    else:
+        raise ValidationError(
+            f"unknown workload {name!r}; choose from {sorted(GENERATORS)}"
+        )
+    params.update(overrides)
+    return WorkloadSpec.of(name, **params)

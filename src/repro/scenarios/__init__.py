@@ -1,0 +1,63 @@
+"""The adversarial-scenario engine: faults, skew and churn, served.
+
+The ROADMAP's last scaling direction made first-class: a
+:class:`Scenario` names a regime — data shape × fault model × churn —
+and the engine materializes it as front-door requests
+(:class:`~repro.api.SamplingRequest` with ``scenario=`` /
+``fault_mask=``), serves it through the single-process or sharded tier,
+and gates the outcome against a per-instance reference replay and the
+paper's exact fault-fidelity identities (:class:`ScenarioMatrix` →
+``benchmarks/_results/E27.json``).
+
+Quickstart::
+
+    from repro.scenarios import ScenarioMatrix
+
+    rows = ScenarioMatrix(
+        scenarios=["replicated-loss", "disjoint-loss"],
+        shards=(None, 2),
+    ).run(rng=0)
+"""
+
+from .faults import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultImpact,
+    FaultSchedule,
+    apply_fault_mask,
+    assess_fault,
+    bhattacharyya_fidelity,
+    degraded_snapshot,
+    expected_mask_fidelity,
+    normalize_fault_mask,
+)
+from .matrix import COMPARED_COLUMNS, TOLERANCE, MatrixCell, ScenarioMatrix
+from .registry import (
+    ChurnSpec,
+    Scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "COMPARED_COLUMNS",
+    "ChurnSpec",
+    "EVENT_KINDS",
+    "FaultEvent",
+    "FaultImpact",
+    "FaultSchedule",
+    "MatrixCell",
+    "Scenario",
+    "ScenarioMatrix",
+    "TOLERANCE",
+    "apply_fault_mask",
+    "assess_fault",
+    "bhattacharyya_fidelity",
+    "degraded_snapshot",
+    "expected_mask_fidelity",
+    "normalize_fault_mask",
+    "register_scenario",
+    "resolve_scenario",
+    "scenario_names",
+]

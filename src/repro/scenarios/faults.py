@@ -1,0 +1,185 @@
+"""Fault models for the scenario engine: masks and mid-trace schedules.
+
+A *fault mask* is a set of machine indices considered lost.  Applying it
+(:func:`~repro.database.fault.apply_fault_mask`) drops each lost shard's
+data **and** republishes its capacity as ``κ_j = 0``, so the mask
+composes with ``capacity="skip_empty"``: the oblivious schedule never
+queries a dead machine, ledgers stay honest, and the run is exact for
+the degraded target.  Fidelity against the *original* target is the
+squared Bhattacharyya coefficient — exactly 1 for replicated shards,
+exactly ``1 − M_lost/M`` for disjoint shards (E21's regimes, now served).
+
+A :class:`FaultSchedule` turns the static mask into a deterministic
+seeded timeline: kill/revive events pinned to request indices of a
+served trace.  Masks always derive from the original database, so a
+revive restores the machine's shard exactly (the replicated regime's
+"copy comes back") — the schedule is pure data, replayable bit-for-bit
+by the reference run that the equivalence gates compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..database.distributed import DistributedDatabase
+from ..database.fault import (
+    FaultImpact,
+    apply_fault_mask,
+    assess_fault,
+    bhattacharyya_fidelity,
+    expected_mask_fidelity,
+    normalize_fault_mask,
+)
+from ..errors import ValidationError
+from ..utils.rng import as_generator
+from ..utils.validation import require_index, require_nonneg_int, require_pos_int
+
+__all__ = [
+    "FaultEvent",
+    "FaultImpact",
+    "FaultSchedule",
+    "apply_fault_mask",
+    "assess_fault",
+    "bhattacharyya_fidelity",
+    "expected_mask_fidelity",
+    "normalize_fault_mask",
+]
+
+#: Event kinds a schedule may contain.
+EVENT_KINDS = ("kill", "revive")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One topology change: machine ``machine`` dies or comes back
+    *before* the request at index ``at_request`` is materialized."""
+
+    at_request: int
+    machine: int
+    kind: str = "kill"
+
+    def __post_init__(self) -> None:
+        require_nonneg_int(self.at_request, "at_request")
+        require_nonneg_int(self.machine, "machine")
+        if self.kind not in EVENT_KINDS:
+            raise ValidationError(
+                f"unknown fault-event kind {self.kind!r}; choose from {EVENT_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A deterministic kill/revive timeline over a served trace.
+
+    ``mask_at(i)`` replays every event with ``at_request <= i`` and
+    returns the machine-loss mask in force for request ``i`` — the
+    planner re-plans whenever consecutive masks differ (the degraded
+    overlap and the ``skip_empty`` restriction both change).  Events
+    must be consistent: killing a dead machine or reviving a live one is
+    a :class:`~repro.errors.ValidationError`, and no prefix of the
+    timeline may leave every machine dead.
+    """
+
+    n_machines: int
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        require_pos_int(self.n_machines, "n_machines")
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=lambda e: e.at_request))
+        )
+        dead: set[int] = set()
+        for event in self.events:
+            require_index(event.machine, self.n_machines, "fault-event machine")
+            if event.kind == "kill":
+                if event.machine in dead:
+                    raise ValidationError(
+                        f"event at request {event.at_request} kills machine "
+                        f"{event.machine}, which is already dead"
+                    )
+                dead.add(event.machine)
+            else:
+                if event.machine not in dead:
+                    raise ValidationError(
+                        f"event at request {event.at_request} revives machine "
+                        f"{event.machine}, which is alive"
+                    )
+                dead.remove(event.machine)
+            if len(dead) == self.n_machines:
+                raise ValidationError(
+                    f"the schedule leaves no machine alive at request "
+                    f"{event.at_request}"
+                )
+
+    @classmethod
+    def random(
+        cls,
+        n_machines: int,
+        trace_length: int,
+        n_kills: int = 1,
+        revive: bool = True,
+        rng: object = None,
+    ) -> "FaultSchedule":
+        """A seeded schedule: ``n_kills`` machine deaths spread over the
+        trace, each optionally revived halfway to the end.
+
+        Deterministic in ``rng`` — two calls with the same seed produce
+        the identical timeline, so a served run and its reference replay
+        degrade the same databases at the same points.
+        """
+        require_pos_int(n_machines, "n_machines")
+        require_pos_int(trace_length, "trace_length")
+        require_pos_int(n_kills, "n_kills")
+        if n_kills >= n_machines:
+            raise ValidationError(
+                f"n_kills must leave a survivor: got {n_kills} kills over "
+                f"{n_machines} machines"
+            )
+        gen = as_generator(rng)
+        victims = gen.choice(n_machines, size=n_kills, replace=False)
+        events: list[FaultEvent] = []
+        for victim in sorted(int(v) for v in victims):
+            at = int(gen.integers(1, max(2, trace_length)))
+            events.append(FaultEvent(at_request=at, machine=victim, kind="kill"))
+            if revive and at + 1 < trace_length:
+                back = int(gen.integers(at + 1, trace_length))
+                events.append(
+                    FaultEvent(at_request=back, machine=victim, kind="revive")
+                )
+        return cls(n_machines=n_machines, events=events)
+
+    def mask_at(self, index: int) -> tuple[int, ...]:
+        """The machine-loss mask in force for request ``index``."""
+        require_nonneg_int(index, "index")
+        dead: set[int] = set()
+        for event in self.events:
+            if event.at_request > index:
+                break
+            if event.kind == "kill":
+                dead.add(event.machine)
+            else:
+                dead.discard(event.machine)
+        return tuple(sorted(dead))
+
+    def masks(self, count: int) -> list[tuple[int, ...]]:
+        """``mask_at`` for every request of a ``count``-long trace."""
+        require_pos_int(count, "count")
+        return [self.mask_at(index) for index in range(count)]
+
+    def change_points(self, count: int) -> tuple[int, ...]:
+        """Request indices where the mask differs from its predecessor —
+        exactly where the planner re-plans the degraded topology."""
+        masks = self.masks(count)
+        return tuple(
+            i for i in range(1, count) if masks[i] != masks[i - 1]
+        )
+
+
+def degraded_snapshot(
+    db: DistributedDatabase, mask: tuple[int, ...]
+) -> DistributedDatabase:
+    """The database a trace position sees: masked, announced, original
+    otherwise untouched (masks never accumulate across positions)."""
+    if not mask:
+        return db
+    return apply_fault_mask(db, mask)

@@ -1,0 +1,424 @@
+"""The scenario registry: named adversarial regimes as first-class data.
+
+A :class:`Scenario` composes the three orthogonal axes the ROADMAP's
+adversarial-serving item names, each delegating to the subsystem that
+already owns it:
+
+* **data shape** — a :class:`~repro.database.workloads.WorkloadSpec`
+  through the named generator registry (uniform/Zipf/sparse/adversarial
+  skew) plus a partition strategy (round-robin, replicated, disjoint,
+  skewed);
+* **fault model** — a static machine-loss mask or a seeded
+  :class:`~repro.scenarios.faults.FaultSchedule` that kills and revives
+  machines mid-trace, composed with the capacity-aware ``skip_empty``
+  policy so dead machines are provably never queried;
+* **churn** — a :class:`ChurnSpec` driving heavy
+  :class:`~repro.database.dynamic.UpdateStream` insert/delete mixes
+  served as live snapshots, and ``topology_steps`` cycling the machine
+  count so consecutive requests force re-planning.
+
+The registry mirrors :mod:`repro.core.backends`:
+:func:`register_scenario` / :func:`resolve_scenario` /
+:func:`scenario_names`, with a set of built-in scenarios registered at
+import (the E27 matrix's rows).  A scenario is pure data — materializing
+requests (:meth:`Scenario.request` / :meth:`Scenario.requests`) is
+deterministic given the seeds, which is what lets the served rows be
+gated bit-identical against a per-instance reference replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..analysis.sweep import InstanceSpec
+from ..database.partition import STRATEGIES as PARTITION_STRATEGIES
+from ..database.workloads import WorkloadSpec, workload_names, workload_spec_for
+from ..errors import ValidationError
+from ..utils.validation import require_index, require_nonneg_int, require_pos_int
+from .faults import FaultEvent, FaultSchedule
+
+#: Capacity policies a scenario may pin (the front door's values; kept
+#: literal here so the database-layer registry stays importable without
+#: the api package).
+_CAPACITY_POLICIES = ("all", "skip_empty")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """The update-churn axis: a seeded insert/delete mix per request.
+
+    Before each served request, ``updates_per_request`` random updates
+    (insert with probability ``insert_probability``, delete otherwise)
+    are applied to the live database; the request then samples the
+    ``O(1)``-maintained count-class snapshot.  Pure data — the stream is
+    regenerated from the same seed by the reference replay.
+    """
+
+    updates_per_request: int = 4
+    insert_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        require_pos_int(self.updates_per_request, "updates_per_request")
+        if not 0.0 <= self.insert_probability <= 1.0:
+            raise ValidationError(
+                "insert_probability must lie in [0, 1], got "
+                f"{self.insert_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named adversarial regime: data shape × fault model × churn.
+
+    Attributes
+    ----------
+    name:
+        Registry key (``scenario_names()`` entry, ``--scenario`` value).
+    description:
+        One line for tables and ``python -m repro scenarios``.
+    workload:
+        The data-shape recipe, built through the workload registry.
+    n_machines, partition, nu:
+        Sharding: machine count, partition strategy
+        (:data:`repro.database.partition.STRATEGIES`), optional explicit
+        capacity ``ν``.
+    capacity:
+        Capacity policy requests carry (``"skip_empty"`` for every
+        faulted scenario — dead machines are skipped, not queried).
+    fault_mask:
+        Static machine-loss mask applied to every request's database.
+    fault_schedule:
+        Seeded kill/revive timeline; the mask then varies per request
+        index.  Mutually exclusive with ``fault_mask``.
+    churn:
+        Update-churn axis; mutually exclusive with the fault axes (live
+        snapshots carry their own degraded state).
+    topology_steps:
+        Machine-count cycle over request indices (e.g. ``(2, 2, 3, 3)``)
+        — consecutive shape changes that force the planner and packer to
+        re-plan mid-trace.
+    fidelity_floor:
+        Per-cell gate: every request's expected fidelity against the
+        *original* (un-degraded) target must stay at or above this.
+    """
+
+    name: str
+    description: str
+    workload: WorkloadSpec = field(
+        default_factory=lambda: WorkloadSpec.of("zipf", universe=64, total=48)
+    )
+    n_machines: int = 3
+    partition: str = "round_robin"
+    nu: int | None = None
+    capacity: str = "all"
+    fault_mask: tuple[int, ...] = ()
+    fault_schedule: FaultSchedule | None = None
+    churn: ChurnSpec | None = None
+    topology_steps: tuple[int, ...] = ()
+    fidelity_floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValidationError("a scenario needs a non-empty string name")
+        if self.workload.name not in workload_names():
+            raise ValidationError(
+                f"unknown workload {self.workload.name!r}; choose from "
+                f"{workload_names()}"
+            )
+        require_pos_int(self.n_machines, "n_machines")
+        if self.partition not in PARTITION_STRATEGIES:
+            raise ValidationError(
+                f"unknown partition strategy {self.partition!r}; choose from "
+                f"{sorted(PARTITION_STRATEGIES)}"
+            )
+        if self.capacity not in _CAPACITY_POLICIES:
+            raise ValidationError(
+                f"unknown capacity policy {self.capacity!r}; choose from "
+                f"{_CAPACITY_POLICIES}"
+            )
+        if not 0.0 <= self.fidelity_floor <= 1.0:
+            raise ValidationError(
+                f"fidelity_floor must lie in [0, 1], got {self.fidelity_floor}"
+            )
+        for step in self.topology_steps:
+            require_pos_int(step, "topology step")
+        if self.fault_mask and self.fault_schedule is not None:
+            raise ValidationError(
+                "a scenario takes a static fault_mask or a fault_schedule, "
+                "not both"
+            )
+        if self.churn is not None and (
+            self.fault_mask or self.fault_schedule is not None or self.topology_steps
+        ):
+            raise ValidationError(
+                "churn scenarios serve live snapshots and cannot combine "
+                "with fault masks, fault schedules or topology steps"
+            )
+        min_machines = min((*self.topology_steps, self.n_machines))
+        object.__setattr__(
+            self, "fault_mask", tuple(sorted(set(self.fault_mask)))
+        )
+        for machine in self.fault_mask:
+            require_index(machine, min_machines, "fault_mask machine")
+        if len(self.fault_mask) >= min_machines:
+            raise ValidationError(
+                f"scenario {self.name!r} loses all {min_machines} machines; "
+                "at least one must survive"
+            )
+        if self.fault_schedule is not None:
+            if self.fault_schedule.n_machines != min_machines:
+                raise ValidationError(
+                    f"fault_schedule covers {self.fault_schedule.n_machines} "
+                    f"machines but the scenario's smallest topology has "
+                    f"{min_machines}"
+                )
+        if (self.fault_mask or self.fault_schedule is not None) and (
+            self.capacity != "skip_empty"
+        ):
+            raise ValidationError(
+                f"faulted scenario {self.name!r} must route capacity-aware: "
+                "set capacity='skip_empty' so dead machines are skipped, "
+                "not queried"
+            )
+
+    # -- the three axes, per request index ---------------------------------------
+
+    @property
+    def is_churn(self) -> bool:
+        """Whether requests serve live snapshots of an update stream."""
+        return self.churn is not None
+
+    def machines_at(self, index: int) -> int:
+        """The machine count request ``index`` shards over."""
+        require_nonneg_int(index, "index")
+        if self.topology_steps:
+            return self.topology_steps[index % len(self.topology_steps)]
+        return self.n_machines
+
+    def mask_at(self, index: int) -> tuple[int, ...]:
+        """The machine-loss mask in force for request ``index``."""
+        if self.fault_schedule is not None:
+            return self.fault_schedule.mask_at(index)
+        return self.fault_mask
+
+    def spec(self, index: int = 0) -> InstanceSpec:
+        """The instance recipe request ``index`` materializes."""
+        return InstanceSpec(
+            workload=self.workload,
+            n_machines=self.machines_at(index),
+            strategy=self.partition,
+            nu=self.nu,
+            tag=self.name,
+        )
+
+    # -- request materialization ---------------------------------------------------
+
+    def request(
+        self,
+        index: int = 0,
+        model: str = "sequential",
+        backend: str = "auto",
+        seed: int | None = None,
+        include_probabilities: bool = False,
+        shards: int | None = None,
+    ):
+        """The :class:`~repro.api.SamplingRequest` for trace position
+        ``index`` — spec source, the position's fault mask attached, the
+        scenario's capacity policy pinned.  (Churn scenarios build their
+        requests from the live stream instead; see
+        :class:`~repro.scenarios.matrix.ScenarioMatrix`.)
+        """
+        from ..api.request import SamplingRequest
+
+        if self.is_churn:
+            raise ValidationError(
+                f"churn scenario {self.name!r} serves live snapshots; "
+                "drive it through ScenarioMatrix (or submit stream "
+                "requests yourself)"
+            )
+        mask = self.mask_at(index)
+        return SamplingRequest(
+            spec=self.spec(index),
+            model=model,
+            backend=backend,
+            capacity=self.capacity,
+            seed=seed,
+            include_probabilities=include_probabilities,
+            fault_mask=mask if mask else None,
+            shards=shards,
+        )
+
+    def requests(
+        self,
+        count: int,
+        model: str = "sequential",
+        backend: str = "auto",
+        seeds: list[int] | None = None,
+        include_probabilities: bool = False,
+        shards: int | None = None,
+    ) -> list:
+        """The full ``count``-request trace, in submission order."""
+        require_pos_int(count, "count")
+        if seeds is not None and len(seeds) != count:
+            raise ValidationError(
+                f"got {len(seeds)} seeds for a {count}-request trace"
+            )
+        return [
+            self.request(
+                index=index,
+                model=model,
+                backend=backend,
+                seed=None if seeds is None else seeds[index],
+                include_probabilities=include_probabilities,
+                shards=shards,
+            )
+            for index in range(count)
+        ]
+
+    def with_(self, **changes: object) -> "Scenario":
+        """A copy with fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+# -- the registry (mirrors repro.core.backends) ---------------------------------------
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
+    """Add a scenario to the registry; returns it for chaining."""
+    if not overwrite and scenario.name in _REGISTRY:
+        raise ValidationError(
+            f"scenario {scenario.name!r} is already registered; pass "
+            "overwrite=True to replace it"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_scenario(scenario: str | Scenario) -> Scenario:
+    """Look up a scenario by name (instances pass through unchanged)."""
+    if isinstance(scenario, Scenario):
+        return scenario
+    try:
+        return _REGISTRY[scenario]
+    except KeyError:
+        raise ValidationError(
+            f"unknown scenario {scenario!r}; choose from {scenario_names()}"
+        ) from None
+
+
+# -- built-in scenarios (the E27 matrix rows) -----------------------------------------
+
+register_scenario(
+    Scenario(
+        name="uniform-baseline",
+        description="uniform keys, healthy round-robin shards",
+        workload=WorkloadSpec.of("uniform", universe=64, total=48),
+        n_machines=3,
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="zipf-skew",
+        description="heavy Zipf key skew (exponent 1.5), healthy shards",
+        workload=WorkloadSpec.of("zipf", universe=128, total=64, exponent=1.5),
+        n_machines=3,
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="sparse-grover",
+        description="sparse support (the Grover regime), healthy shards",
+        workload=workload_spec_for("sparse", universe=64, total=12, multiplicity=2),
+        n_machines=2,
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="adversarial-hot-shard",
+        description="Zipf keys concentrated onto skewed shard sizes",
+        workload=WorkloadSpec.of("zipf", universe=96, total=64, exponent=1.3),
+        n_machines=3,
+        partition="skewed",
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="replicated-loss",
+        description="replicated shards, machine 1 lost — loss invisible (F = 1)",
+        workload=workload_spec_for("sparse", universe=32, total=8, multiplicity=2),
+        n_machines=3,
+        partition="replicated",
+        capacity="skip_empty",
+        fault_mask=(1,),
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="disjoint-loss",
+        description="disjoint shards, machine 0 lost — F = 1 − M_0/M exactly",
+        workload=workload_spec_for("sparse", universe=32, total=9, multiplicity=2),
+        n_machines=3,
+        partition="disjoint",
+        capacity="skip_empty",
+        fault_mask=(0,),
+        fidelity_floor=0.05,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="chaos-kill-revive",
+        description="replicated shards; machine 1 dies at request 2, revives at 6",
+        workload=workload_spec_for("sparse", universe=32, total=8, multiplicity=2),
+        n_machines=3,
+        partition="replicated",
+        capacity="skip_empty",
+        fault_schedule=FaultSchedule(
+            n_machines=3,
+            events=(
+                FaultEvent(at_request=2, machine=1, kind="kill"),
+                FaultEvent(at_request=6, machine=1, kind="revive"),
+            ),
+        ),
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="churn-heavy",
+        description="heavy insert/delete churn served as live snapshots",
+        workload=WorkloadSpec.of("zipf", universe=64, total=48),
+        n_machines=3,
+        churn=ChurnSpec(updates_per_request=6, insert_probability=0.5),
+        fidelity_floor=1.0,
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="reshard-growth",
+        description="topology cycles 2→3 machines mid-trace, forcing re-planning",
+        workload=WorkloadSpec.of("uniform", universe=64, total=40),
+        n_machines=2,
+        topology_steps=(2, 2, 3, 3),
+        fidelity_floor=1.0,
+    )
+)

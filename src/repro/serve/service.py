@@ -56,6 +56,7 @@ from ..batch.driver import DEFAULT_BATCH_SIZE, RowFn, audit_row, default_row
 from ..batch.engine import ClassInstance, cached_plan, execute_class_batch
 from ..core.result import SamplingResult
 from ..database.dynamic import UpdateStream
+from ..database.fault import apply_fault_mask
 from ..errors import ValidationError
 from ..utils.rng import as_generator, spawn_seed
 from .packer import ShapePacker
@@ -89,11 +90,15 @@ class ServedRequest:
         instance: ClassInstance | None,
         submitted_at: float,
         row_fn: RowFn,
+        fault_mask: tuple[int, ...] | None = None,
     ) -> None:
         self.index = index
         self.label = label
         self.spec = spec
         self.seed = seed
+        #: Machine-loss mask applied after the build (scenario traffic);
+        #: ``None`` for healthy requests.
+        self.fault_mask = fault_mask
         self.submitted_at = submitted_at
         #: Service-clock timestamp of batch completion (None until done);
         #: ``completed_at - submitted_at`` is the request's latency.
@@ -287,7 +292,12 @@ class SamplerService:
 
     # -- submission --------------------------------------------------------------
 
-    def submit(self, spec: InstanceSpec, seed: int | None = None) -> ServedRequest:
+    def submit(
+        self,
+        spec: InstanceSpec,
+        seed: int | None = None,
+        fault_mask: tuple[int, ...] | None = None,
+    ) -> ServedRequest:
         """Queue one spec-built instance; returns its future immediately.
 
         Without an explicit ``seed``, the child seed is drawn under the
@@ -295,6 +305,13 @@ class SamplerService:
         spec-submission order — the ``run_batched`` determinism
         contract, continuously.  The :mod:`repro.api` front door passes
         pre-drawn seeds (same sequence, drawn in request order) instead.
+
+        ``fault_mask`` marks machines lost for this request only: the
+        dispatcher applies it after the build
+        (:func:`~repro.database.fault.apply_fault_mask` — shard dropped,
+        capacity republished as zero), so scenario traces interleave
+        degraded and healthy requests in one service and each submission
+        re-plans against its own topology.
         """
         with self._submit_lock:
             self._check_open()
@@ -306,6 +323,7 @@ class SamplerService:
                 instance=None,
                 submitted_at=self._clock(),
                 row_fn=self._row_fn,
+                fault_mask=tuple(fault_mask) if fault_mask else None,
             )
             self._next_index += 1
             self._requests.append(request)
@@ -481,6 +499,8 @@ class SamplerService:
             if request._instance is None:
                 assert request.spec is not None
                 request.db = request.spec.build(rng=request.seed)
+                if request.fault_mask is not None:
+                    request.db = apply_fault_mask(request.db, request.fault_mask)
                 request._instance = ClassInstance.from_db(request.db)
             plan = cached_plan(request._instance.overlap())
             if live:

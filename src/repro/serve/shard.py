@@ -86,18 +86,26 @@ def shard_for(affinity_key: str, shards: int) -> int:
     return zlib.crc32(affinity_key.encode()) % shards
 
 
-def _affinity(spec: InstanceSpec | None, label: str, backend: str | None) -> str:
+def _affinity(
+    spec: InstanceSpec | None,
+    label: str,
+    backend: str | None,
+    fault_mask: tuple[int, ...] | None = None,
+) -> str:
     """Everything that pins a request's schedule shape, sans building.
 
     Two requests with equal keys build equal-shaped instances (same
-    workload recipe, sharding and substrate), so routing by this key
-    keeps a shape's whole stream on one shard — its packer then flushes
-    full batches where a round-robin split would flush ``1/shards``
-    fragments everywhere.
+    workload recipe, sharding, substrate and fault mask — a degraded
+    topology changes the amplification plan, so masked and healthy
+    repeats of one recipe pack separately), so routing by this key keeps
+    a shape's whole stream on one shard — its packer then flushes full
+    batches where a round-robin split would flush ``1/shards`` fragments
+    everywhere.
     """
     if spec is None:
         return f"live:{label}:{backend}"
-    return f"{spec.label()}|{spec.strategy}|{spec.nu}|{backend}"
+    mask = "" if fault_mask is None else f"|mask={','.join(map(str, fault_mask))}"
+    return f"{spec.label()}|{spec.strategy}|{spec.nu}|{backend}{mask}"
 
 
 # -- worker side ----------------------------------------------------------------------
@@ -113,14 +121,18 @@ def _affinity(spec: InstanceSpec | None, label: str, backend: str | None) -> str
 class _Work:
     """One request, worker-side: the future's pickled essentials."""
 
-    __slots__ = ("index", "label", "spec", "seed", "instance", "db", "backend", "retries")
+    __slots__ = (
+        "index", "label", "spec", "seed", "instance", "fault_mask", "db",
+        "backend", "retries",
+    )
 
-    def __init__(self, index, label, spec, seed, instance, retries):
+    def __init__(self, index, label, spec, seed, instance, fault_mask, retries):
         self.index = index
         self.label = label
         self.spec = spec
         self.seed = seed
         self.instance = instance
+        self.fault_mask = fault_mask
         self.db = None
         self.backend = None
         self.retries = retries
@@ -131,6 +143,13 @@ def _worker_prepare(work: _Work, config: dict) -> tuple:
     if work.instance is None:
         assert work.spec is not None
         work.db = work.spec.build(rng=work.seed)
+        if work.fault_mask is not None:
+            # Scenario traffic: drop the lost shards and republish their
+            # capacities as zero, worker-side, exactly as the in-process
+            # dispatcher does.
+            from ..database.fault import apply_fault_mask
+
+            work.db = apply_fault_mask(work.db, work.fault_mask)
         work.instance = ClassInstance.from_db(work.db)
     plan = cached_plan(work.instance.overlap())
     if work.spec is None:
@@ -368,12 +387,19 @@ class ShardedSamplerService:
 
     # -- submission --------------------------------------------------------------
 
-    def submit(self, spec: InstanceSpec, seed: int | None = None) -> ServedRequest:
+    def submit(
+        self,
+        spec: InstanceSpec,
+        seed: int | None = None,
+        fault_mask: tuple[int, ...] | None = None,
+    ) -> ServedRequest:
         """Queue one spec request on its affinity shard; future back now.
 
         Seeds are drawn under the submission lock in submission order —
         the exact :class:`SamplerService` contract, so a sharded stream
         reproduces the unsharded rows for the same ``rng``.
+        ``fault_mask`` travels with the request and is applied
+        worker-side after the build (see :meth:`SamplerService.submit`).
         """
         with self._submit_lock:
             self._check_open()
@@ -385,6 +411,7 @@ class ShardedSamplerService:
                 instance=None,
                 submitted_at=self._clock(),
                 row_fn=self._row_fn,
+                fault_mask=tuple(fault_mask) if fault_mask else None,
             )
             self._next_index += 1
             self._requests.append(request)
@@ -427,11 +454,14 @@ class ShardedSamplerService:
 
     def _route(self, request: ServedRequest, instance, retries: int = 0) -> None:
         shard_id = shard_for(
-            _affinity(request.spec, request.label, self._backend), self._n_shards
+            _affinity(
+                request.spec, request.label, self._backend, request.fault_mask
+            ),
+            self._n_shards,
         )
         message = (
             "req", request.index, request.label, request.spec, request.seed,
-            instance, retries,
+            instance, request.fault_mask, retries,
         )
         # Shard lookup and the pending entry go under one lock so a
         # concurrent death handler either sees this request (and

@@ -1,0 +1,80 @@
+"""Front-door fault masks: validation, masking, planner carriage."""
+
+import pytest
+
+from repro.analysis import InstanceSpec
+from repro.api import DEFAULT_PLANNER, SamplingRequest
+from repro.database import WorkloadSpec
+from repro.database.dynamic import UpdateStream
+from repro.errors import RequestError
+
+
+def spec_of(universe=32, total=12, n=3):
+    return InstanceSpec(
+        workload=WorkloadSpec.of("zipf", universe=universe, total=total),
+        n_machines=n,
+    )
+
+
+class TestMaskValidation:
+    def test_mask_is_normalized(self):
+        request = SamplingRequest(spec=spec_of(), fault_mask=(2, 1, 2))
+        assert request.fault_mask == (1, 2)
+
+    def test_empty_mask_collapses_to_none(self):
+        assert SamplingRequest(spec=spec_of(), fault_mask=()).fault_mask is None
+
+    def test_mask_must_leave_a_survivor(self):
+        with pytest.raises(RequestError, match="survive"):
+            SamplingRequest(spec=spec_of(n=2), fault_mask=(0, 1))
+
+    def test_mask_bounds_checked_against_the_spec(self):
+        with pytest.raises(RequestError):
+            SamplingRequest(spec=spec_of(n=2), fault_mask=(5,))
+
+    def test_mask_bounds_checked_against_the_database(self, small_db):
+        with pytest.raises(RequestError):
+            SamplingRequest(
+                database=small_db, fault_mask=(small_db.n_machines,)
+            )
+
+    def test_stream_requests_cannot_be_masked(self, small_db):
+        stream = UpdateStream(small_db, [])
+        with pytest.raises(RequestError, match="stream"):
+            SamplingRequest(stream=stream, fault_mask=(0,))
+
+
+class TestMasking:
+    def test_masked_drops_the_shard_and_announces(self, small_db):
+        request = SamplingRequest(database=small_db, fault_mask=(0,))
+        degraded = request.masked(small_db)
+        assert degraded.machine(0).size == 0
+        assert degraded.machine(0).capacity == 0
+        assert degraded.total_count == (
+            small_db.total_count - small_db.machine(0).size
+        )
+
+    def test_masked_is_identity_without_a_mask(self, small_db):
+        request = SamplingRequest(database=small_db)
+        assert request.masked(small_db) is small_db
+
+
+class TestPlannerCarriage:
+    def test_resolved_requests_carry_the_mask(self):
+        requests = [
+            SamplingRequest(spec=spec_of(), seed=1, fault_mask=(1,)),
+            SamplingRequest(spec=spec_of(), seed=2),
+        ]
+        resolved = DEFAULT_PLANNER.plan_many(requests).resolved
+        assert resolved[0].fault_mask == (1,)
+        assert resolved[1].fault_mask is None
+
+    def test_masked_and_healthy_requests_pack_together(self):
+        """The mask is per-request data, not a grouping key — degraded
+        and healthy requests of the same shape share one group."""
+        requests = [
+            SamplingRequest(spec=spec_of(), seed=1, fault_mask=(1,)),
+            SamplingRequest(spec=spec_of(), seed=2),
+        ]
+        groups = DEFAULT_PLANNER.plan_many(requests).groups
+        assert len(groups) == 1

@@ -107,3 +107,65 @@ class TestPartitionedLoss:
         db = DistributedDatabase.from_shards(shards, nu=2)
         impact = assess_fault(db, 0)
         assert 0.0 < impact.fidelity_with_original < 1.0
+
+
+class TestAnnouncedFailure:
+    """``degraded_database(..., zero_capacity=True)`` × ``skip_empty``:
+    an announced failure is provably never queried (the regression that
+    motivated the scenario engine's mask plumbing)."""
+
+    @pytest.fixture
+    def degraded(self, dataset):
+        db = replicated(dataset, 3)
+        return degraded_database(db, 1, zero_capacity=True)
+
+    def test_capacity_republished_as_zero(self, degraded):
+        assert degraded.machine(1).capacity == 0
+        assert degraded.machine(1).size == 0
+        assert degraded.capacities[1] == 0
+
+    def test_silent_default_keeps_the_declaration(self, dataset):
+        db = replicated(dataset, 3)
+        silent = degraded_database(db, 1)
+        assert silent.machine(1).size == 0
+        assert silent.machine(1).capacity == db.machine(1).capacity
+
+    def test_sequential_skip_empty_never_queries_the_dead_machine(self, degraded):
+        from repro.core import SequentialSampler
+
+        result = SequentialSampler(degraded, skip_zero_capacity=True).run()
+        assert result.exact
+        assert result.ledger.machine_queries(1) == 0
+        for alive in (0, 2):
+            assert result.ledger.machine_queries(alive) > 0
+
+    def test_sequential_silent_failure_still_queries(self, dataset):
+        db = degraded_database(replicated(dataset, 3), 1)  # not announced
+        result = sample_sequential(db)
+        assert result.exact
+        assert result.ledger.machine_queries(1) > 0
+
+    def test_parallel_skip_empty_restricts_the_rounds(self, degraded):
+        from repro.core import ParallelSampler
+
+        result = ParallelSampler(degraded, skip_zero_capacity=True).run()
+        assert result.exact
+        assert result.ledger.machine_queries(1) == 0
+
+    def test_front_door_routes_skip_empty(self, degraded):
+        import repro
+
+        result = repro.sample(
+            repro.SamplingRequest(database=degraded, capacity="skip_empty")
+        )
+        assert result.exact
+        assert result.ledger.machine_queries(1) == 0
+
+    def test_replicated_loss_exact_and_invisible_end_to_end(self, degraded, dataset):
+        """The degraded run is exact for its target AND that target still
+        matches the original distribution (replication pays off)."""
+        original = replicated(dataset, 3)
+        fidelity = bhattacharyya_fidelity(
+            original.sampling_distribution(), degraded.sampling_distribution()
+        )
+        assert fidelity == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,101 @@
+"""Property-based workload-generator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.database import (
+    SEEDED_GENERATORS,
+    make_workload,
+    workload_names,
+    workload_spec_for,
+    zipf_dataset,
+)
+from repro.errors import ValidationError
+
+universes = st.integers(min_value=1, max_value=64)
+totals = st.integers(min_value=1, max_value=128)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(universe=universes, total=totals, seed=seeds)
+def test_uniform_and_zipf_conserve_total(universe, total, seed):
+    """The multinomial generators place exactly ``total`` mass."""
+    for name in ("uniform", "zipf"):
+        ds = make_workload(name, rng=seed, universe=universe, total=total)
+        assert ds.cardinality() == total
+        assert ds.universe == universe
+        assert np.all(ds.counts >= 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(universe=universes, total=totals, seed=seeds)
+def test_seeded_generators_are_deterministic(universe, total, seed):
+    """Same seed → identical dataset, for every seeded generator."""
+    for name in SEEDED_GENERATORS:
+        spec = workload_spec_for(name, universe=universe, total=total)
+        assert spec.build(rng=seed) == spec.build(rng=seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    universe=st.integers(min_value=4, max_value=64),
+    support=st.integers(min_value=1, max_value=64),
+    multiplicity=st.integers(min_value=1, max_value=5),
+    seed=seeds,
+)
+def test_sparse_support_bounds(universe, support, multiplicity, seed):
+    """Sparse datasets hit exactly the requested support, each key at the
+    fixed multiplicity — never exceeding the universe."""
+    support = min(support, universe)
+    ds = make_workload(
+        "sparse", rng=seed, universe=universe,
+        support_size=support, multiplicity=multiplicity,
+    )
+    assert ds.support_size() == support
+    assert ds.cardinality() == support * multiplicity
+    on_support = ds.counts[ds.counts > 0]
+    assert np.all(on_support == multiplicity)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_zipf_head_dominates_in_expectation(seed):
+    """Averaged over many draws, low keys carry more Zipf mass than high
+    keys — the monotone-in-expectation shape the skew scenarios rely on."""
+    gen = np.random.default_rng(seed)
+    counts = sum(
+        zipf_dataset(32, 400, exponent=1.5, rng=int(gen.integers(2**31))).counts
+        for _ in range(8)
+    )
+    head, tail = counts[:8].sum(), counts[-8:].sum()
+    assert head > tail
+
+
+@settings(max_examples=40, deadline=None)
+@given(universe=universes, total=totals)
+def test_workload_spec_for_covers_every_generator(universe, total):
+    """The universe/total mapping produces a buildable spec for every
+    registered name, with total mass bounded by the request."""
+    for name in workload_names():
+        ds = workload_spec_for(name, universe=universe, total=total).build(rng=0)
+        assert ds.universe == universe
+        assert 1 <= ds.cardinality() <= max(total, universe * total)
+
+
+def test_make_workload_unknown_name():
+    with pytest.raises(ValidationError, match="unknown workload"):
+        make_workload("pareto", universe=8, total=4)
+
+
+def test_workload_spec_for_unknown_name():
+    with pytest.raises(ValidationError, match="unknown workload"):
+        workload_spec_for("pareto", universe=8, total=4)
+
+
+def test_workload_spec_for_overrides_win():
+    spec = workload_spec_for("sparse", universe=16, total=8, multiplicity=3)
+    assert dict(spec.params)["multiplicity"] == 3
+    assert spec.build(rng=1).cardinality() == 8 * 3

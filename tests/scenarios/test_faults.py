@@ -1,0 +1,103 @@
+"""Fault schedules: ordering, consistency, determinism, snapshots."""
+
+import pytest
+
+from repro.database import disjoint_support, replicated, sparse_support_dataset
+from repro.errors import ValidationError
+from repro.scenarios import (
+    EVENT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    degraded_snapshot,
+    expected_mask_fidelity,
+)
+
+
+def schedule(*events):
+    return FaultSchedule(n_machines=3, events=events)
+
+
+class TestFaultEvent:
+    def test_kinds(self):
+        assert set(EVENT_KINDS) == {"kill", "revive"}
+        with pytest.raises(ValidationError, match="kind"):
+            FaultEvent(at_request=0, machine=0, kind="maim")
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultEvent(at_request=-1, machine=0)
+
+
+class TestFaultSchedule:
+    def test_events_sorted_by_request(self):
+        s = schedule(FaultEvent(5, 1, "revive"), FaultEvent(2, 1, "kill"))
+        assert [e.at_request for e in s.events] == [2, 5]
+
+    def test_killing_a_dead_machine_rejected(self):
+        with pytest.raises(ValidationError, match="already dead"):
+            schedule(FaultEvent(1, 0, "kill"), FaultEvent(2, 0, "kill"))
+
+    def test_reviving_a_live_machine_rejected(self):
+        with pytest.raises(ValidationError, match="alive"):
+            schedule(FaultEvent(1, 0, "revive"))
+
+    def test_no_prefix_may_kill_everyone(self):
+        with pytest.raises(ValidationError, match="no machine alive"):
+            FaultSchedule(
+                n_machines=2,
+                events=(FaultEvent(1, 0, "kill"), FaultEvent(2, 1, "kill")),
+            )
+
+    def test_machine_index_bounds(self):
+        with pytest.raises(ValidationError):
+            schedule(FaultEvent(1, 7, "kill"))
+
+    def test_mask_at_replays_the_timeline(self):
+        s = schedule(
+            FaultEvent(2, 1, "kill"),
+            FaultEvent(4, 2, "kill"),
+            FaultEvent(6, 1, "revive"),
+        )
+        assert s.masks(8) == [
+            (), (), (1,), (1,), (1, 2), (1, 2), (2,), (2,),
+        ]
+
+    def test_change_points_mark_replan_positions(self):
+        s = schedule(FaultEvent(2, 1, "kill"), FaultEvent(6, 1, "revive"))
+        assert s.change_points(8) == (2, 6)
+        assert s.change_points(2) == ()
+
+    def test_random_is_deterministic_in_the_seed(self):
+        a = FaultSchedule.random(4, 10, n_kills=2, rng=13)
+        b = FaultSchedule.random(4, 10, n_kills=2, rng=13)
+        assert a == b
+
+    def test_random_leaves_a_survivor_everywhere(self):
+        for seed in range(8):
+            s = FaultSchedule.random(3, 12, n_kills=2, rng=seed)
+            for mask in s.masks(12):
+                assert len(mask) < 3
+
+    def test_random_needs_a_survivor(self):
+        with pytest.raises(ValidationError, match="survivor"):
+            FaultSchedule.random(2, 8, n_kills=2)
+
+
+class TestDegradedSnapshot:
+    def test_empty_mask_is_identity(self):
+        db = replicated(sparse_support_dataset(16, 4, rng=0), 3)
+        assert degraded_snapshot(db, ()) is db
+
+    def test_masks_never_accumulate(self):
+        """Each position masks the ORIGINAL database — a revive restores
+        the shard exactly."""
+        db = disjoint_support(sparse_support_dataset(16, 6, rng=1), 3, rng=1)
+        once = degraded_snapshot(db, (1,))
+        again = degraded_snapshot(db, ())
+        assert once.machine(1).size == 0
+        assert once.machine(1).capacity == 0  # announced, not silent
+        assert again.machine(1).size == db.machine(1).size
+
+    def test_replicated_snapshot_keeps_fidelity_one(self):
+        db = replicated(sparse_support_dataset(16, 4, multiplicity=2, rng=2), 3)
+        assert expected_mask_fidelity(db, (0, 2)) == pytest.approx(1.0)

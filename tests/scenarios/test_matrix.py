@@ -1,0 +1,113 @@
+"""The scenario matrix: cells, gates, equivalence, churn replay."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.scenarios import (
+    COMPARED_COLUMNS,
+    ScenarioMatrix,
+    resolve_scenario,
+    scenario_names,
+)
+
+
+class TestCells:
+    def test_cell_grid_shape_and_order(self):
+        matrix = ScenarioMatrix(
+            scenarios=["uniform-baseline", "zipf-skew"],
+            models=("sequential",),
+            backends=("auto", "statevector"),
+            shards=(None, 2),
+        )
+        cells = matrix.cells()
+        assert len(cells) == 2 * 1 * 2 * 2
+        # Scenario-major: the first four cells all belong to the first name.
+        assert all(c.scenario.name == "uniform-baseline" for c in cells[:4])
+
+    def test_default_sweep_covers_the_registry(self):
+        matrix = ScenarioMatrix()
+        assert tuple(c.scenario.name for c in matrix.cells()) == scenario_names()
+
+    def test_cell_key_normalizes_unsharded_to_zero(self):
+        matrix = ScenarioMatrix(scenarios=["uniform-baseline"], shards=(None,))
+        assert matrix.cells()[0].key()["shards"] == 0
+
+    def test_needs_at_least_one_scenario(self):
+        with pytest.raises(ValidationError):
+            ScenarioMatrix(scenarios=[])
+
+
+class TestGates:
+    def test_small_strict_matrix_passes(self):
+        rows = ScenarioMatrix(
+            scenarios=["uniform-baseline", "disjoint-loss"],
+            requests_per_cell=3,
+            strict=True,
+        ).run(rng=1)
+        assert [r["gate"] for r in rows] == ["passed", "passed"]
+        assert all(r["all_exact"] for r in rows)
+        assert all(r["requests"] == 3 for r in rows)
+
+    def test_floor_failure_recorded_when_not_strict(self):
+        # Disjoint loss cannot reach fidelity 1 — the floor must trip.
+        doomed = resolve_scenario("disjoint-loss").with_(
+            name="doomed", fidelity_floor=1.0
+        )
+        rows = ScenarioMatrix(
+            scenarios=[doomed], requests_per_cell=2, strict=False
+        ).run(rng=0)
+        assert rows[0]["gate"].startswith("failed:")
+        assert "floor" in rows[0]["gate"]
+
+    def test_floor_failure_raises_when_strict(self):
+        doomed = resolve_scenario("disjoint-loss").with_(
+            name="doomed", fidelity_floor=1.0
+        )
+        with pytest.raises(ValidationError, match="doomed"):
+            ScenarioMatrix(
+                scenarios=[doomed], requests_per_cell=2, strict=True
+            ).run(rng=0)
+
+    def test_verify_off_skips_the_gates(self):
+        rows = ScenarioMatrix(
+            scenarios=["uniform-baseline"], requests_per_cell=2, verify=False
+        ).run(rng=0)
+        assert rows[0]["gate"] == "skipped"
+
+    def test_compared_columns_cover_the_physics(self):
+        for column in ("fidelity", "exact", "sequential_queries", "nu"):
+            assert column in COMPARED_COLUMNS
+
+
+class TestChurnCells:
+    def test_churn_cell_passes_strict(self):
+        rows = ScenarioMatrix(
+            scenarios=["churn-heavy"], requests_per_cell=3, strict=True
+        ).run(rng=4)
+        assert rows[0]["gate"] == "passed"
+        assert rows[0]["all_exact"]
+        assert rows[0]["expected_fidelity_min"] == 1.0
+
+    def test_churn_rows_are_deterministic_in_the_sweep_rng(self):
+        run = lambda: ScenarioMatrix(  # noqa: E731
+            scenarios=["churn-heavy"], requests_per_cell=3, strict=True
+        ).run(rng=11)
+        a, b = run(), run()
+        drop = ("wall_time_s", "instances_per_sec")
+        strip = lambda row: {k: v for k, v in row.items() if k not in drop}  # noqa: E731
+        assert [strip(r) for r in a] == [strip(r) for r in b]
+
+
+class TestFaultIdentities:
+    def test_replicated_cell_expected_fidelity_is_one(self):
+        rows = ScenarioMatrix(
+            scenarios=["replicated-loss"], requests_per_cell=2, strict=True
+        ).run(rng=3)
+        assert rows[0]["expected_fidelity_min"] == pytest.approx(1.0, abs=1e-12)
+
+    def test_disjoint_cell_expected_fidelity_below_one(self):
+        rows = ScenarioMatrix(
+            scenarios=["disjoint-loss"], requests_per_cell=2, strict=True
+        ).run(rng=3)
+        assert rows[0]["expected_fidelity_min"] < 1.0 - 1e-6
+        assert rows[0]["expected_fidelity_min"] >= rows[0]["fidelity_floor"]

@@ -1,0 +1,215 @@
+"""The scenario registry: validation rules, built-ins, materialization."""
+
+import pytest
+
+from repro.database import WorkloadSpec
+from repro.errors import RequestError, ValidationError
+from repro.scenarios import (
+    ChurnSpec,
+    FaultEvent,
+    FaultSchedule,
+    Scenario,
+    register_scenario,
+    resolve_scenario,
+    scenario_names,
+)
+
+BUILTINS = (
+    "uniform-baseline",
+    "zipf-skew",
+    "sparse-grover",
+    "adversarial-hot-shard",
+    "replicated-loss",
+    "disjoint-loss",
+    "chaos-kill-revive",
+    "churn-heavy",
+    "reshard-growth",
+)
+
+
+class TestValidation:
+    def test_needs_a_name(self):
+        with pytest.raises(ValidationError):
+            Scenario(name="", description="x")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValidationError, match="unknown workload"):
+            Scenario(name="s", description="x",
+                     workload=WorkloadSpec.of("pareto", universe=8, total=4))
+
+    def test_unknown_partition_rejected(self):
+        with pytest.raises(ValidationError, match="partition"):
+            Scenario(name="s", description="x", partition="mystery")
+
+    def test_unknown_capacity_rejected(self):
+        with pytest.raises(ValidationError, match="capacity"):
+            Scenario(name="s", description="x", capacity="greedy")
+
+    def test_mask_and_schedule_are_exclusive(self):
+        schedule = FaultSchedule(n_machines=3)
+        with pytest.raises(ValidationError, match="not both"):
+            Scenario(name="s", description="x", capacity="skip_empty",
+                     fault_mask=(1,), fault_schedule=schedule)
+
+    def test_churn_excludes_fault_axes(self):
+        with pytest.raises(ValidationError, match="churn"):
+            Scenario(name="s", description="x", capacity="skip_empty",
+                     churn=ChurnSpec(), fault_mask=(1,))
+        with pytest.raises(ValidationError, match="churn"):
+            Scenario(name="s", description="x", churn=ChurnSpec(),
+                     topology_steps=(2, 3))
+
+    def test_faulted_scenario_requires_skip_empty(self):
+        with pytest.raises(ValidationError, match="skip_empty"):
+            Scenario(name="s", description="x", fault_mask=(1,))
+
+    def test_mask_must_leave_a_survivor(self):
+        with pytest.raises(ValidationError, match="survive"):
+            Scenario(name="s", description="x", n_machines=2,
+                     capacity="skip_empty", fault_mask=(0, 1))
+
+    def test_mask_checked_against_smallest_topology(self):
+        # Machine 2 exists at n_machines=3 but not in the 2-machine steps.
+        with pytest.raises(ValidationError):
+            Scenario(name="s", description="x", n_machines=3,
+                     capacity="skip_empty", fault_mask=(2,),
+                     topology_steps=(2, 3))
+
+    def test_schedule_must_match_smallest_topology(self):
+        with pytest.raises(ValidationError, match="smallest topology"):
+            Scenario(name="s", description="x", capacity="skip_empty",
+                     fault_schedule=FaultSchedule(n_machines=2),
+                     n_machines=3)
+
+    def test_mask_is_canonicalized(self):
+        s = Scenario(name="s", description="x", n_machines=4,
+                     capacity="skip_empty", fault_mask=(2, 1, 2))
+        assert s.fault_mask == (1, 2)
+
+    def test_fidelity_floor_bounds(self):
+        with pytest.raises(ValidationError, match="fidelity_floor"):
+            Scenario(name="s", description="x", fidelity_floor=1.5)
+
+    def test_churn_spec_bounds(self):
+        with pytest.raises(ValidationError):
+            ChurnSpec(updates_per_request=0)
+        with pytest.raises(ValidationError):
+            ChurnSpec(insert_probability=1.5)
+
+
+class TestAxes:
+    def test_machines_at_cycles_topology_steps(self):
+        s = Scenario(name="s", description="x", n_machines=2,
+                     topology_steps=(2, 2, 3, 3))
+        assert [s.machines_at(i) for i in range(6)] == [2, 2, 3, 3, 2, 2]
+
+    def test_machines_at_constant_without_steps(self):
+        s = Scenario(name="s", description="x", n_machines=3)
+        assert s.machines_at(0) == s.machines_at(99) == 3
+
+    def test_mask_at_static(self):
+        s = Scenario(name="s", description="x", capacity="skip_empty",
+                     fault_mask=(1,))
+        assert s.mask_at(0) == s.mask_at(5) == (1,)
+
+    def test_mask_at_follows_schedule(self):
+        schedule = FaultSchedule(
+            n_machines=3,
+            events=(FaultEvent(2, 1, "kill"), FaultEvent(4, 1, "revive")),
+        )
+        s = Scenario(name="s", description="x", capacity="skip_empty",
+                     fault_schedule=schedule)
+        assert [s.mask_at(i) for i in range(5)] == [(), (), (1,), (1,), ()]
+
+    def test_spec_carries_the_shape(self):
+        s = resolve_scenario("reshard-growth")
+        assert s.spec(0).n_machines == 2
+        assert s.spec(2).n_machines == 3
+        assert s.spec(0).tag == "reshard-growth"
+
+
+class TestRequests:
+    def test_request_carries_mask_and_capacity(self):
+        s = resolve_scenario("disjoint-loss")
+        req = s.request(0, seed=3)
+        assert req.fault_mask == (0,)
+        assert req.capacity == "skip_empty"
+        assert req.spec is not None and req.seed == 3
+
+    def test_healthy_request_has_no_mask(self):
+        req = resolve_scenario("uniform-baseline").request(0)
+        assert req.fault_mask is None
+
+    def test_requests_pin_seeds_per_position(self):
+        s = resolve_scenario("zipf-skew")
+        reqs = s.requests(3, seeds=[7, 8, 9])
+        assert [r.seed for r in reqs] == [7, 8, 9]
+
+    def test_requests_seed_count_must_match(self):
+        with pytest.raises(ValidationError, match="seeds"):
+            resolve_scenario("zipf-skew").requests(3, seeds=[1])
+
+    def test_churn_scenario_rejects_spec_requests(self):
+        with pytest.raises(ValidationError, match="live snapshots"):
+            resolve_scenario("churn-heavy").request(0)
+
+    def test_with_replaces_fields(self):
+        s = resolve_scenario("disjoint-loss").with_(name="mine", fault_mask=(1,))
+        assert s.name == "mine" and s.fault_mask == (1,)
+        # The original registry entry is untouched.
+        assert resolve_scenario("disjoint-loss").fault_mask == (0,)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = scenario_names()
+        for name in BUILTINS:
+            assert name in names
+        assert names == tuple(sorted(names))
+
+    def test_resolve_by_name_and_passthrough(self):
+        s = resolve_scenario("uniform-baseline")
+        assert resolve_scenario(s) is s
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown scenario"):
+            resolve_scenario("not-a-scenario")
+
+    def test_register_rejects_duplicates(self):
+        s = resolve_scenario("uniform-baseline")
+        with pytest.raises(ValidationError, match="already registered"):
+            register_scenario(s.with_(description="dup"))
+
+    def test_register_overwrite_roundtrip(self):
+        original = resolve_scenario("uniform-baseline")
+        try:
+            register_scenario(
+                original.with_(description="patched"), overwrite=True
+            )
+            assert resolve_scenario("uniform-baseline").description == "patched"
+        finally:
+            register_scenario(original, overwrite=True)
+
+
+class TestFrontDoorIntegration:
+    def test_scenario_kwarg_fills_the_request(self):
+        from repro.api import SamplingRequest
+
+        req = SamplingRequest(scenario="disjoint-loss", seed=5)
+        assert req.scenario == "disjoint-loss"
+        assert req.fault_mask == (0,)
+        assert req.capacity == "skip_empty"
+        assert req.spec is not None
+
+    def test_scenario_kwarg_rejects_explicit_source(self):
+        from repro.api import SamplingRequest
+
+        s = resolve_scenario("uniform-baseline")
+        with pytest.raises(RequestError):
+            SamplingRequest(scenario="uniform-baseline", spec=s.spec(0))
+
+    def test_churn_scenario_rejected_at_the_front_door(self):
+        from repro.api import SamplingRequest
+
+        with pytest.raises(RequestError, match="churn|live"):
+            SamplingRequest(scenario="churn-heavy")

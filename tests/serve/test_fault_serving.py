@@ -1,0 +1,81 @@
+"""Serving degraded topologies: masks through both tiers, bit-identical."""
+
+import pytest
+
+import repro
+from repro.scenarios import resolve_scenario
+
+#: Columns that must agree between a served trace and its per-instance
+#: reference on the same seeds and masks.
+PHYSICAL = (
+    "fidelity", "exact", "n", "N", "M", "nu",
+    "grover_reps", "sequential_queries", "parallel_rounds",
+)
+
+
+def physical(rows):
+    return [{k: r[k] for k in PHYSICAL if k in r} for r in rows]
+
+
+def masked_trace(name, count, base_seed):
+    scenario = resolve_scenario(name)
+    seeds = [base_seed + i for i in range(count)]
+    return scenario.requests(count, seeds=seeds)
+
+
+class TestUnshardedFaultServing:
+    @pytest.mark.parametrize("name", ["replicated-loss", "disjoint-loss"])
+    def test_served_matches_instance_reference(self, name):
+        requests = masked_trace(name, 4, 300)
+        served = repro.serve(requests, batch_size=4)
+        reference = repro.sample_many(requests, strategy="instance")
+        assert physical(served.rows()) == physical(reference.rows())
+        assert all(served.column("exact"))
+
+    def test_mid_trace_schedule_changes_the_served_target(self):
+        """chaos-kill-revive: M drops while machine 1 is dead (replicated
+        shards — one copy's mass gone), and recovers on revival."""
+        scenario = resolve_scenario("chaos-kill-revive")
+        seed = 88  # one seed: every position rebuilds the same database
+        requests = scenario.requests(8, seeds=[seed] * 8)
+        served = repro.serve(requests, batch_size=4)
+        masses = [int(m) for m in served.column("M")]
+        healthy, degraded = masses[0], masses[2]
+        assert degraded < healthy
+        assert masses == [
+            healthy, healthy,
+            degraded, degraded, degraded, degraded,
+            healthy, healthy,
+        ]
+        assert all(served.column("exact"))
+
+    def test_mask_changes_never_leak_across_positions(self):
+        """Masks derive from the original build: after the revive the
+        rows are identical to an all-healthy trace at those positions."""
+        scenario = resolve_scenario("chaos-kill-revive")
+        seeds = [500 + i for i in range(8)]
+        chaos = repro.serve(scenario.requests(8, seeds=seeds), batch_size=4)
+        healthy = scenario.with_(
+            name="healthy", fault_schedule=None, capacity="skip_empty"
+        )
+        clean = repro.serve(healthy.requests(8, seeds=seeds), batch_size=4)
+        for i in (0, 1, 6, 7):  # before the kill, after the revive
+            assert physical([chaos.rows()[i]]) == physical([clean.rows()[i]])
+
+
+class TestShardedFaultServing:
+    def test_sharded_tier_matches_instance_reference(self):
+        requests = masked_trace("disjoint-loss", 4, 700)
+        served = repro.serve(requests, shards=2, batch_size=4)
+        reference = repro.sample_many(requests, strategy="instance")
+        assert physical(served.rows()) == physical(reference.rows())
+
+    def test_sharded_schedule_trace_matches_unsharded(self):
+        scenario = resolve_scenario("chaos-kill-revive")
+        seeds = [900 + i for i in range(8)]
+        requests = scenario.requests(8, seeds=seeds)
+        sharded = repro.serve(requests, shards=2, batch_size=4)
+        unsharded = repro.serve(
+            scenario.requests(8, seeds=seeds), batch_size=4
+        )
+        assert physical(sharded.rows()) == physical(unsharded.rows())

@@ -161,3 +161,50 @@ class TestServeCli:
         assert "shards" in out
         assert "shm batches" in out
         assert "worker restarts" in out
+
+    # -- workloads and scenarios (the adversarial-scenario engine) ----------------
+
+    def test_sample_workload_flag(self, capsys):
+        code = main(["sample", "--workload", "sparse", "--universe", "32",
+                     "--total", "8", "--machines", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "exact" in out
+
+    def test_sample_rejects_unknown_workload(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sample", "--workload", "pareto"])
+
+    def test_scenarios_listing(self, capsys):
+        code = main(["scenarios"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in ("replicated-loss", "disjoint-loss", "chaos-kill-revive"):
+            assert name in out
+
+    def test_sample_scenario(self, capsys):
+        code = main(["sample", "--scenario", "disjoint-loss", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "disjoint-loss" in out
+        assert "fault mask" in out
+
+    def test_sample_rejects_unknown_scenario(self, capsys):
+        code = main(["sample", "--scenario", "not-a-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_serve_scenario_trace(self, capsys):
+        code = main(["serve", "--scenario", "chaos-kill-revive",
+                     "--max-requests", "8", "--batch-size", "4",
+                     "--flush-deadline", "0.01", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8" in out
+
+    def test_serve_workload_flag(self, capsys):
+        code = main(["serve", "--workload", "uniform", "--max-requests", "4",
+                     "--universe", "32", "--total", "16", "--machines", "2",
+                     "--batch-size", "4", "--flush-deadline", "0.01"])
+        assert code == 0
+        assert "4/4" in capsys.readouterr().out

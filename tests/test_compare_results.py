@@ -61,6 +61,63 @@ class TestComparePayloads:
         assert compare_results.extract_rates(base) == {}
 
 
+def matrix_payload(cells):
+    """An E27-shaped payload: rows live under ``matrix``, keyed by the
+    scenario name plus the execution-regime columns."""
+    return {
+        "matrix": [
+            {
+                "scenario": scenario,
+                "model": "sequential",
+                "backend": backend,
+                "shards": shards,
+                "instances_per_sec": rate,
+            }
+            for (scenario, backend, shards), rate in cells.items()
+        ]
+    }
+
+
+class TestCompareMatrixPayloads:
+    def test_matrix_rows_are_extracted(self):
+        rates = compare_results.extract_rates(
+            matrix_payload({("disjoint-loss", "auto", 0): 500.0})
+        )
+        assert rates == {
+            "disjoint-loss|model=sequential|backend=auto|shards=0": 500.0
+        }
+
+    def test_same_scenario_different_cells_are_distinct(self):
+        base = matrix_payload({
+            ("disjoint-loss", "auto", 0): 1000.0,
+            ("disjoint-loss", "auto", 2): 1000.0,
+        })
+        cur = matrix_payload({
+            ("disjoint-loss", "auto", 0): 1000.0,
+            ("disjoint-loss", "auto", 2): 500.0,  # only the sharded cell
+        })
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1
+        assert "shards=2" in warnings[0] and "regression" in warnings[0]
+
+    def test_per_cell_regression_warns(self):
+        base = matrix_payload({("churn-heavy", "auto", 0): 2000.0})
+        cur = matrix_payload({("churn-heavy", "auto", 0): 1000.0})
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1 and "churn-heavy" in warnings[0]
+
+    def test_mixed_trajectory_and_matrix(self):
+        base = payload({"served": 1000.0})
+        base["matrix"] = matrix_payload({("zipf-skew", "auto", 0): 800.0})["matrix"]
+        cur = payload({"served": 1000.0})
+        cur["matrix"] = matrix_payload({("zipf-skew", "auto", 0): 300.0})["matrix"]
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1 and "zipf-skew" in warnings[0]
+
+    def test_default_experiments_include_e27(self):
+        assert "E27" in compare_results.DEFAULT_EXPERIMENTS
+
+
 class TestCompareDirectories:
     @pytest.fixture
     def dirs(self, tmp_path):
