@@ -197,6 +197,83 @@ def test_e24_smoke_small(report):
     )
 
 
+def test_e24_smoke_tracing_overhead():
+    """ISSUE 8 acceptance bar: serving with tracing enabled sustains
+    ≥ 0.95× the untraced instances/sec on the same stream (best-of-3
+    each, so one scheduler hiccup does not fail the gate).  The traced
+    run's spans land in ``benchmarks/_results/E24_trace.jsonl`` (the CI
+    artifact) and a per-phase p50/p99 summary is merged into
+    ``E24.json`` under ``"spans"`` for compare_results to diff.
+    """
+    import json
+    import os
+
+    from repro.analysis import archive_results, load_results, results_dir
+    from repro.obs.metrics import percentile
+    from repro.obs.trace import disable_tracing, enable_tracing
+
+    specs = [
+        InstanceSpec(
+            workload=WorkloadSpec.of("zipf", universe=256, total=64),
+            n_machines=2,
+            nu=64,
+        )
+    ] * 24
+    _serve_trace(specs[:8], rng=4, rate_hz=0.0, deadline=0.02)  # warm caches
+
+    def best_rate():
+        best, rows = 0.0, None
+        for _ in range(3):
+            telemetry, run_rows = _serve_trace(
+                specs, rng=4, rate_hz=0.0, deadline=0.02
+            )
+            if telemetry["instances_per_sec"] >= best:
+                best, rows = telemetry["instances_per_sec"], run_rows
+        return best, rows
+
+    untraced_rate, untraced_rows = best_rate()
+    sink = os.path.join(results_dir(), "E24_trace.jsonl")
+    open(sink, "w", encoding="utf-8").close()  # fresh artifact per run
+    enable_tracing(sink=sink)
+    try:
+        traced_rate, traced_rows = best_rate()
+    finally:
+        disable_tracing()
+    _assert_rows_equivalent(traced_rows, untraced_rows)
+
+    with open(sink, encoding="utf-8") as handle:
+        records = [json.loads(line) for line in handle if line.strip()]
+    spans = [r for r in records if r.get("kind") == "span"]
+    assert {"request", "build", "execute"} <= {s["name"] for s in spans}
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        durations.setdefault(span["name"], []).append(float(span["duration_s"]))
+    span_summary = {
+        name: {
+            "count": len(values),
+            "p50_s": percentile(sorted(values), 0.50),
+            "p99_s": percentile(sorted(values), 0.99),
+        }
+        for name, values in sorted(durations.items())
+    }
+
+    try:  # merge into the smoke's artifact (overwritten whole otherwise)
+        payload = load_results("E24")
+    except FileNotFoundError:
+        payload = {"claim": "serving smoke (tracing overhead only)"}
+    payload["tracing"] = {
+        "untraced_rate": untraced_rate,
+        "traced_rate": traced_rate,
+        "overhead_ratio": traced_rate / untraced_rate,
+    }
+    payload["spans"] = span_summary
+    archive_results("E24", payload)
+    assert traced_rate >= 0.95 * untraced_rate, (
+        f"traced serving {traced_rate:.0f}/s below 0.95× untraced "
+        f"{untraced_rate:.0f}/s — tracing overhead too high"
+    )
+
+
 def test_e24_benchmark_hook(benchmark):
     """pytest-benchmark hook: steady-state full-load serving of 32 requests."""
     specs = [

@@ -238,6 +238,63 @@ def test_e26_smoke_small(report):
     )
 
 
+def test_e26_smoke_traced():
+    """Cross-process tracing through the sharded tier: worker-side spans
+    (build/execute/marshal, foreign pids) ship home over the pipe and
+    land in ``benchmarks/_results/E26_trace.jsonl`` (the CI artifact);
+    a per-phase summary is merged into ``E26.json`` under ``"spans"``.
+    """
+    import json
+
+    from repro.analysis import archive_results, load_results, results_dir
+    from repro.obs.metrics import percentile
+    from repro.obs.trace import disable_tracing, enable_tracing
+
+    specs = _specs(12, universe=256, total=64)
+    sink = os.path.join(results_dir(), "E26_trace.jsonl")
+    open(sink, "w", encoding="utf-8").close()
+    enable_tracing(sink=sink)
+    try:
+        telemetry, rows, _ = _run_tier(specs, rng=7, shards=2, deadline=0.02)
+    finally:
+        disable_tracing()
+    assert telemetry["completed"] == len(specs)
+    assert telemetry["failed"] == 0
+
+    with open(sink, encoding="utf-8") as handle:
+        spans = [
+            record
+            for record in (json.loads(line) for line in handle if line.strip())
+            if record.get("kind") == "span"
+        ]
+    names = {span["name"] for span in spans}
+    assert {"request", "dispatch", "build", "execute", "marshal"} <= names
+    worker_pids = {
+        span["pid"] for span in spans if span["name"] in ("build", "execute")
+    }
+    assert worker_pids and all(pid != os.getpid() for pid in worker_pids), (
+        "expected shard-worker spans from forked processes"
+    )
+
+    durations: dict[str, list[float]] = {}
+    for span in spans:
+        durations.setdefault(span["name"], []).append(float(span["duration_s"]))
+    span_summary = {
+        name: {
+            "count": len(values),
+            "p50_s": percentile(sorted(values), 0.50),
+            "p99_s": percentile(sorted(values), 0.99),
+        }
+        for name, values in sorted(durations.items())
+    }
+    try:
+        payload = load_results("E26")
+    except FileNotFoundError:
+        payload = {"claim": "sharded smoke (traced only)"}
+    payload["spans"] = span_summary
+    archive_results("E26", payload)
+
+
 def test_e26_benchmark_hook(benchmark):
     """pytest-benchmark hook: steady-state full-load 2-shard serving."""
     specs = _specs(24, universe=256, total=64)

@@ -4,8 +4,12 @@ CI uploads ``benchmarks/_results/E2x.json`` artifacts on every run; this
 script diffs the current results against a baseline directory (a
 previous run's downloaded artifact) and warns when any scenario's
 sustained ``instances_per_sec`` drops by more than the threshold
-(default 20%). Warnings are advisory — shared runners are not clocks —
-so the exit code is 0 unless ``--strict`` is passed.
+(default 20%). Payloads carrying a ``"spans"`` metric snapshot (the
+traced E24/E26 smokes) are diffed too: a span phase whose p99 duration
+*grew* past the same threshold warns — a per-phase localization of the
+regression the rate diff only shows in aggregate. Warnings are advisory
+— shared runners are not clocks — so the exit code is 0 unless
+``--strict`` is passed.
 
 Usage::
 
@@ -59,6 +63,23 @@ def extract_rates(payload: dict) -> dict[str, float]:
     return rates
 
 
+def extract_span_p99s(payload: dict) -> dict[str, float]:
+    """Map span phase name → p99 seconds from a ``"spans"`` summary.
+
+    The traced E24/E26 smokes merge ``{"spans": {name: {count, p50_s,
+    p99_s}}}`` into their artifacts; phases with a non-positive or
+    missing p99 are skipped (nothing meaningful to diff).
+    """
+    p99s: dict[str, float] = {}
+    for name, summary in (payload.get("spans") or {}).items():
+        if not isinstance(summary, dict):
+            continue
+        p99 = summary.get("p99_s")
+        if isinstance(p99, (int, float)) and p99 > 0:
+            p99s[str(name)] = float(p99)
+    return p99s
+
+
 def compare_payloads(
     baseline: dict, current: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> list[str]:
@@ -75,6 +96,19 @@ def compare_payloads(
             warnings.append(
                 f"throughput regression {drop:.0f}% in {key}: "
                 f"{base:.0f}/s -> {cur:.0f}/s"
+            )
+    # Span-phase durations regress the other way: growth is bad.  Same
+    # threshold, same advisory character.  A phase missing from the
+    # current run is not flagged — traced smokes are optional per run.
+    base_spans = extract_span_p99s(baseline)
+    cur_spans = extract_span_p99s(current)
+    for name, base in sorted(base_spans.items()):
+        cur = cur_spans.get(name)
+        if cur is not None and cur > (1.0 + threshold) * base:
+            growth = 100.0 * (cur / base - 1.0)
+            warnings.append(
+                f"span p99 regression +{growth:.0f}% in phase {name!r}: "
+                f"{base * 1e3:.3f}ms -> {cur * 1e3:.3f}ms"
             )
     return warnings
 

@@ -26,8 +26,16 @@ Commands
     shared-memory result handoff instead of the in-process dispatcher.
 ``estimate``
     Quantum-counting demo: estimate M without reading it.
+``stats``
+    Render a ``--trace out.jsonl`` artifact: per-phase span aggregates
+    (count, total, p50/p99/max) plus the final metrics snapshot.
 ``experiments``
     List the experiment benches and the paper claim each regenerates.
+
+``sample`` and ``serve`` accept ``--trace PATH``: the run executes with
+:mod:`repro.obs` tracing enabled, every finished span appended to PATH
+as one JSON line, and a final ``{"kind": "metrics", ...}`` snapshot line
+written at exit — the input ``stats`` reads.
 """
 
 from __future__ import annotations
@@ -297,9 +305,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         table.add_row(["shm fallbacks", str(telemetry["shm_fallback_batches"])])
         table.add_row(["worker restarts", str(telemetry["worker_restarts"])])
         table.add_row(["requeued batches", str(telemetry["requeued_batches"])])
+        table.add_row(["flight dumps", str(telemetry.get("flight_dumps", 0))])
     table.add_row(["wall time", f"{elapsed:.3f} s"])
     print(table.render())
     return 0 if telemetry["exact"] == telemetry["completed"] else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs.metrics import percentile
+
+    spans: list[dict] = []
+    metrics: dict | None = None
+    try:
+        with open(args.trace, encoding="utf-8") as lines:
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("kind") == "span":
+                    spans.append(record)
+                elif record.get("kind") == "metrics":
+                    metrics = record  # the last snapshot wins
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not spans and metrics is None:
+        print(f"error: {args.trace} holds no span or metrics records",
+              file=sys.stderr)
+        return 2
+
+    if spans:
+        durations: dict[str, list[float]] = {}
+        for record in spans:
+            durations.setdefault(record["name"], []).append(
+                float(record["duration_s"])
+            )
+        traces = len({record["trace_id"] for record in spans})
+        pids = len({record["pid"] for record in spans})
+        table = Table(
+            f"{args.trace}: {len(spans)} spans, {traces} traces, "
+            f"{pids} process(es)",
+            ["phase", "count", "total", "p50", "p99", "max"],
+        )
+        for name in sorted(durations):
+            values = sorted(durations[name])
+            table.add_row([
+                name,
+                str(len(values)),
+                f"{sum(values) * 1e3:.1f} ms",
+                f"{percentile(values, 0.50) * 1e3:.3f} ms",
+                f"{percentile(values, 0.99) * 1e3:.3f} ms",
+                f"{values[-1] * 1e3:.3f} ms",
+            ])
+        print(table.render())
+
+    if metrics is not None:
+        table = Table("metrics snapshot", ["metric", "value"])
+        for name, value in sorted(metrics.get("metrics", {}).items()):
+            if isinstance(value, dict):  # a histogram: show the tail
+                rendered = (
+                    f"n={value.get('count', 0)} mean={value.get('mean', 0.0):.6f} "
+                    f"p99={value.get('p99', 0.0):.6f}"
+                )
+            else:
+                rendered = str(value)
+            table.add_row([name, rendered])
+        print(table.render())
+    return 0
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
@@ -413,6 +488,12 @@ def main(argv: list[str] | None = None) -> int:
         "dense representation (per-instance or the (B, N, 2) stacked-dense "
         "batch tensor) only while the instance dimension 2N fits DIM",
     )
+    sample.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable repro.obs tracing and append every finished span to "
+        "PATH as JSON lines (plus a final metrics snapshot); render with "
+        "'python -m repro stats PATH'",
+    )
 
     serve = sub.add_parser(
         "serve", help="run the batching sampler service on a Poisson trace"
@@ -464,6 +545,18 @@ def main(argv: list[str] | None = None) -> int:
         "multi-process tier with zero-copy shared-memory result handoff); "
         "default serves in-process",
     )
+    serve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable repro.obs tracing and append every finished span "
+        "(including shard-worker spans) to PATH as JSON lines; render "
+        "with 'python -m repro stats PATH'",
+    )
+
+    stats = sub.add_parser(
+        "stats", help="render a --trace JSONL artifact (spans + metrics)"
+    )
+    stats.add_argument("trace", metavar="TRACE.jsonl",
+                       help="a trace file written by sample/serve --trace")
 
     estimate = sub.add_parser("estimate", help="estimate M by quantum counting")
     estimate.add_argument("--universe", type=int, default=64)
@@ -483,12 +576,27 @@ def main(argv: list[str] | None = None) -> int:
         "sample": _cmd_sample,
         "serve": _cmd_serve,
         "estimate": _cmd_estimate,
+        "stats": _cmd_stats,
         "experiments": _cmd_experiments,
         "scenarios": _cmd_scenarios,
     }
     if args.command is None:
         parser.print_help()
         return 2
+    trace_path = getattr(args, "trace", None)
+    if args.command in ("sample", "serve") and trace_path:
+        from .obs.metrics import METRICS
+        from .obs.trace import disable_tracing, enable_tracing
+
+        open(trace_path, "w", encoding="utf-8").close()  # fresh artifact
+        tracer = enable_tracing(sink=trace_path)
+        try:
+            return handlers[args.command](args)
+        finally:
+            # The run's closing metrics snapshot rides in the same file,
+            # one {"kind": "metrics"} line the stats command picks up.
+            tracer.write(METRICS.record())
+            disable_tracing()
     return handlers[args.command](args)
 
 

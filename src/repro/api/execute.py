@@ -47,6 +47,7 @@ from ..core.result import SamplingResult
 from ..core.sequential import SequentialSampler
 from ..database.distributed import DistributedDatabase
 from ..errors import PlanningError
+from ..obs.trace import Span, Tracer, get_tracer, span, stitch
 from ..utils.pool import process_map_iter
 from ..utils.rng import as_generator, spawn_seed
 from .planner import ExecutionGroup, ExecutionPlan, Planner, ResolvedRequest
@@ -169,6 +170,8 @@ def serve(
 
     planner = planner or DEFAULT_PLANNER
     gen = as_generator(rng)
+    tracer = get_tracer()
+    roots: dict[int, Span] = {}
     service: SamplerService | ShardedSamplerService | None = None
     first: ResolvedRequest | None = None
     submissions: list[tuple[ResolvedRequest, int | None, object]] = []
@@ -213,14 +216,31 @@ def serve(
                             f"{getattr(request, attr)!r} after "
                             f"{getattr(first.request, attr)!r}"
                         )
+            root = None
+            if tracer is not None:
+                root = tracer.start(
+                    "request",
+                    label=res.label,
+                    strategy="served",
+                    backend=res.backend,
+                    model=request.model,
+                    index=len(submissions),
+                )
+                roots[len(submissions)] = root
+            ctx = root.context if root is not None else None
             if request.source == "spec":
                 seed = request.seed if request.seed is not None else spawn_seed(gen)
                 future = service.submit(
-                    request.spec, seed=seed, fault_mask=request.fault_mask
+                    request.spec,
+                    seed=seed,
+                    fault_mask=request.fault_mask,
+                    trace_ctx=ctx,
                 )
             else:
                 seed = None
-                future = service.submit_live(request.stream, label=res.label)
+                future = service.submit_live(
+                    request.stream, label=res.label, trace_ctx=ctx
+                )
             submissions.append((res, seed, future))
     finally:
         if service is not None:
@@ -230,6 +250,8 @@ def serve(
     results = [
         _served_result(res, seed, future) for res, seed, future in submissions
     ]
+    if tracer is not None:
+        _attach_traces(tracer, roots, results)
     return ResultSet(results=results, telemetry=service.telemetry())
 
 
@@ -237,7 +259,14 @@ def serve(
 
 
 def execute_plan(plan: ExecutionPlan, rng: object = None) -> ResultSet:
-    """Execute a planned routing; the low-level half of the front door."""
+    """Execute a planned routing; the low-level half of the front door.
+
+    With tracing enabled (:func:`repro.obs.enable_tracing`), every
+    request gets a root ``request`` span; the executors hang their phase
+    spans (``build``/``execute``/``pack``/``dispatch``/``marshal``,
+    wherever they ran) off it and the stitched trace is attached to each
+    :class:`Result` before the set returns.
+    """
     gen = as_generator(rng)
     seeds: list[int | None] = []
     for res in plan.resolved:
@@ -245,16 +274,20 @@ def execute_plan(plan: ExecutionPlan, rng: object = None) -> ResultSet:
             seeds.append(spawn_seed(gen))
         else:
             seeds.append(res.request.seed)
+    tracer = get_tracer()
+    roots = _trace_roots(tracer, plan.resolved) if tracer is not None else {}
     results: list[Result | None] = [None] * len(plan.resolved)
     snapshots: list[dict[str, object]] = []
     for group in plan.groups:
         executor = _EXECUTORS[group.strategy]
-        context: dict[str, object] = {}
+        context: dict[str, object] = {"trace_roots": roots}
         for index, result in executor(plan, group, seeds, context):
             results[index] = result
         if "telemetry" in context:
             snapshots.append(context["telemetry"])  # type: ignore[arg-type]
     assert all(result is not None for result in results)
+    if tracer is not None:
+        _attach_traces(tracer, roots, results)
     if len(snapshots) == 1:
         telemetry: dict[str, object] | None = snapshots[0]
     elif snapshots:
@@ -269,6 +302,44 @@ def execute_plan(plan: ExecutionPlan, rng: object = None) -> ResultSet:
 def _chunked(indices: Sequence[int], size: int) -> Iterator[list[int]]:
     for start in range(0, len(indices), size):
         yield list(indices[start : start + size])
+
+
+# -- tracing glue ------------------------------------------------------------------
+
+
+def _trace_roots(tracer: Tracer, resolved) -> dict[int, Span]:
+    """One root ``request`` span per resolved request (tracing-enabled runs)."""
+    roots: dict[int, Span] = {}
+    for res in resolved:
+        attrs: dict[str, object] = {
+            "label": res.label,
+            "strategy": res.strategy,
+            "backend": res.backend,
+            "model": res.request.model,
+            "index": res.index,
+        }
+        if res.fault_mask:
+            attrs["fault_mask"] = list(res.fault_mask)
+        roots[res.index] = tracer.start("request", **attrs)
+    return roots
+
+
+def _attach_traces(tracer: Tracer, roots: dict[int, Span], results) -> None:
+    """Finish the roots, stitch the buffered spans, attach per-request traces."""
+    for root in roots.values():
+        tracer.finish(root)
+    by_trace = stitch(tracer.drain())
+    for index, root in roots.items():
+        result = results[index]
+        if result is not None:
+            result.attach_trace(root.trace_id, by_trace.get(root.trace_id, []))
+
+
+def _chunk_trace_ids(roots: dict[int, Span], chunk: Sequence[int]) -> list[str] | None:
+    """The trace ids a batch-level span stitches into (``None`` untraced)."""
+    if not roots:
+        return None
+    return [roots[i].trace_id for i in chunk if i in roots]
 
 
 def _materialize(
@@ -329,34 +400,40 @@ def _execute_instance(
     seeds: list[int | None],
     context: dict[str, object],
 ) -> Iterator[tuple[int, Result]]:
+    roots = context.get("trace_roots") or {}
     for index in group.indices:
         res = plan.resolved[index]
         request = res.request
+        root = roots.get(index)
         start = time.perf_counter()
         if request.source == "stream":
-            _, inst = _materialize(res, None)
-            sampling = execute_class_batch(
-                [inst],
-                model=request.model,
-                include_probabilities=request.include_probabilities,
-                skip_zero_capacity=res.skip_zero_capacity,
-                backend=res.backend,
-            )[0]
+            with span("build", parent=root, label=res.label):
+                _, inst = _materialize(res, None)
+            with span("execute", parent=root, backend=res.backend, batch=1):
+                sampling = execute_class_batch(
+                    [inst],
+                    model=request.model,
+                    include_probabilities=request.include_probabilities,
+                    skip_zero_capacity=res.skip_zero_capacity,
+                    backend=res.backend,
+                )[0]
             wall = time.perf_counter() - start
             yield index, _class_result(res, None, inst, sampling, "instance", wall)
             continue
-        db = request.database
-        if db is None:
-            assert request.spec is not None
-            db = request.spec.build(rng=seeds[index])
-        db = request.masked(db)
+        with span("build", parent=root, label=res.label):
+            db = request.database
+            if db is None:
+                assert request.spec is not None
+                db = request.spec.build(rng=seeds[index])
+            db = request.masked(db)
         sampler_cls = (
             SequentialSampler if request.model == "sequential" else ParallelSampler
         )
         sampler = sampler_cls(
             db, backend=res.backend, skip_zero_capacity=res.skip_zero_capacity
         )
-        sampling = sampler.run()
+        with span("execute", parent=root, backend=res.backend, batch=1):
+            sampling = sampler.run()
         wall = time.perf_counter() - start
         row = unified_row(
             res.label,
@@ -389,16 +466,27 @@ def _execute_stacked(
     context: dict[str, object],
 ) -> Iterator[tuple[int, Result]]:
     first = plan.resolved[group.indices[0]].request
+    roots = context.get("trace_roots") or {}
     for chunk in _chunked(group.indices, plan.batch_size):
-        built = [(index, _materialize(plan.resolved[index], seeds[index])) for index in chunk]
+        built = []
+        for index in chunk:
+            with span("build", parent=roots.get(index), label=plan.resolved[index].label):
+                built.append((index, _materialize(plan.resolved[index], seeds[index])))
         start = time.perf_counter()
-        samplings = execute_class_batch(
-            [inst for _, (_, inst) in built],
-            model=first.model,
-            include_probabilities=first.include_probabilities,
-            skip_zero_capacity=plan.resolved[chunk[0]].skip_zero_capacity,
+        with span(
+            "execute",
+            parent=roots.get(chunk[0]),
             backend=plan.resolved[chunk[0]].backend,
-        )
+            batch=len(chunk),
+            trace_ids=_chunk_trace_ids(roots, chunk),
+        ):
+            samplings = execute_class_batch(
+                [inst for _, (_, inst) in built],
+                model=first.model,
+                include_probabilities=first.include_probabilities,
+                skip_zero_capacity=plan.resolved[chunk[0]].skip_zero_capacity,
+                backend=plan.resolved[chunk[0]].backend,
+            )
         wall = time.perf_counter() - start
         for (index, (_, inst)), sampling in zip(built, samplings):
             yield index, _class_result(
@@ -411,32 +499,66 @@ def _execute_stacked(
 
 def _fanout_worker(
     payload: tuple[
-        str, list[tuple[object, int | None, str, tuple[int, ...] | None]], bool, bool, str
+        str,
+        list[tuple[object, int | None, str, tuple[int, ...] | None]],
+        bool,
+        bool,
+        str,
+        list | None,
     ],
-) -> list[dict[str, object]]:
+) -> tuple[list[dict[str, object]], list[dict]]:
     """Build one chunk's databases, execute them stacked, return audit rows.
 
     Module-level (single-argument) so the process pool can pickle it; the
     heavyweight objects — databases, states, results — never cross the
     process boundary, only the plain-scalar rows and fault masks do.
     Masks apply worker-side, after the build, exactly as in-process.
+
+    ``traces`` (the payload's last element) carries one parent
+    :class:`~repro.obs.trace.SpanContext` per item when the dispatcher
+    is tracing: the worker then runs a local tracer and ships its
+    finished ``build``/``execute`` span dicts back alongside the rows,
+    so child-process phases stitch into the per-request traces.
     """
-    model, items, include_probabilities, skip_zero_capacity, backend = payload
+    model, items, include_probabilities, skip_zero_capacity, backend, traces = payload
+    from contextlib import nullcontext
+
     from ..batch.engine import execute_sampling_batch
     from ..database.fault import apply_fault_mask
 
-    dbs = [
-        spec.build(rng=seed) if mask is None  # type: ignore[union-attr]
-        else apply_fault_mask(spec.build(rng=seed), mask)  # type: ignore[union-attr]
-        for spec, seed, _, mask in items
-    ]
-    samplings = execute_sampling_batch(
-        dbs,
-        model=model,
-        include_probabilities=include_probabilities,
-        skip_zero_capacity=skip_zero_capacity,
-        backend=backend,
+    local = Tracer() if traces is not None else None
+    parents = traces if traces is not None else [None] * len(items)
+    dbs = []
+    for (spec, seed, label, mask), parent in zip(items, parents):
+        cm = (
+            local.span("build", parent=parent, label=label)
+            if local is not None
+            else nullcontext()
+        )
+        with cm:
+            db = spec.build(rng=seed)  # type: ignore[union-attr]
+            if mask is not None:
+                db = apply_fault_mask(db, mask)
+        dbs.append(db)
+    execute_cm = (
+        local.span(
+            "execute",
+            parent=next((ctx for ctx in parents if ctx is not None), None),
+            backend=backend,
+            batch=len(items),
+            trace_ids=[ctx.trace_id for ctx in parents if ctx is not None],
+        )
+        if local is not None
+        else nullcontext()
     )
+    with execute_cm:
+        samplings = execute_sampling_batch(
+            dbs,
+            model=model,
+            include_probabilities=include_probabilities,
+            skip_zero_capacity=skip_zero_capacity,
+            backend=backend,
+        )
     rows = []
     for (_, _, label, _), db, sampling in zip(items, dbs, samplings):
         rows.append(
@@ -451,7 +573,7 @@ def _fanout_worker(
                 0.0,
             )
         )
-    return rows
+    return rows, (local.drain() if local is not None else [])
 
 
 def _execute_fanout(
@@ -461,6 +583,8 @@ def _execute_fanout(
     context: dict[str, object],
 ) -> Iterator[tuple[int, Result]]:
     first = plan.resolved[group.indices[0]].request
+    roots = context.get("trace_roots") or {}
+    tracer = get_tracer()
     chunks = list(_chunked(group.indices, plan.batch_size))
     payloads = (
         (
@@ -477,11 +601,21 @@ def _execute_fanout(
             first.include_probabilities,
             plan.resolved[chunk[0]].skip_zero_capacity,
             plan.resolved[chunk[0]].backend,
+            (
+                [roots[i].context if i in roots else None for i in chunk]
+                if roots
+                else None
+            ),
         )
         for chunk in chunks
     )
     previous = time.perf_counter()
-    for chunk, rows in zip(chunks, process_map_iter(_fanout_worker, payloads, jobs=plan.jobs)):
+    for chunk, (rows, spans) in zip(
+        chunks, process_map_iter(_fanout_worker, payloads, jobs=plan.jobs)
+    ):
+        if tracer is not None:
+            for record in spans:
+                tracer.record(record)
         now = time.perf_counter()
         wall = now - previous  # observed pipeline time for this chunk
         previous = now
@@ -556,15 +690,23 @@ def _execute_served(
         if shards is not None
         else SamplerService(workers=plan.workers, **common)
     )
+    roots = context.get("trace_roots") or {}
     with service:
         for index in group.indices:
             res = plan.resolved[index]
+            root = roots.get(index)
+            ctx = root.context if root is not None else None
             if res.request.source == "spec":
                 future = service.submit(
-                    res.request.spec, seed=seeds[index], fault_mask=res.fault_mask
+                    res.request.spec,
+                    seed=seeds[index],
+                    fault_mask=res.fault_mask,
+                    trace_ctx=ctx,
                 )
             else:
-                future = service.submit_live(res.request.stream, label=res.label)
+                future = service.submit_live(
+                    res.request.stream, label=res.label, trace_ctx=ctx
+                )
             submissions.append((index, seeds[index], future))
     context["telemetry"] = service.telemetry()
     for index, seed, future in submissions:

@@ -50,6 +50,8 @@ from ..batch.backends import auto_stacked_backend, stacked_backend_names
 from ..config import CONFIG
 from ..core.backends import MODELS, backend_names, resolve_backend
 from ..errors import PlanningError, RequestError, ValidationError
+from ..obs.metrics import METRICS
+from ..obs.trace import span
 from .request import AUTO_BACKEND, CAPACITY_POLICIES, SamplingRequest
 
 #: Minimum homogeneous group size at which the planner routes to the
@@ -329,12 +331,21 @@ class Planner:
             )
         if batch_size is not None and batch_size < 1:
             raise PlanningError(f"batch_size must be >= 1, got {batch_size}")
-        resolved_strategies = self._route(requests, strategy, jobs)
-        resolved = tuple(
-            self._resolve(request, index, resolved_strategies[index])
-            for index, request in enumerate(requests)
-        )
-        groups = self._group(resolved)
+        with span("plan", requests=len(requests), forced=strategy) as plan_span:
+            resolved_strategies = self._route(requests, strategy, jobs)
+            resolved = tuple(
+                self._resolve(request, index, resolved_strategies[index])
+                for index, request in enumerate(requests)
+            )
+            groups = self._group(resolved)
+            plan_span.set(groups=len(groups))
+        METRICS.counter("planner.requests").inc(len(resolved))
+        METRICS.counter("planner.plans").inc()
+        by_strategy: dict[str, int] = {}
+        for res in resolved:
+            by_strategy[res.strategy] = by_strategy.get(res.strategy, 0) + 1
+        for name, count in by_strategy.items():
+            METRICS.counter(f"planner.strategy.{name}").inc(count)
         return ExecutionPlan(
             resolved=resolved,
             groups=groups,

@@ -74,6 +74,11 @@ class Result:
         The full :class:`SamplingResult` — plan, schedule, ledger,
         final state.  ``None`` for fan-out results, whose runs completed
         in worker processes and shipped audit rows only.
+    trace:
+        The request's stitched span dicts (``repro.obs``), start-time
+        ordered and spanning every process that touched the request —
+        populated only while tracing is enabled, ``None`` otherwise (so
+        untraced rows stay bit-identical across runs).
     """
 
     request: "SamplingRequest"
@@ -82,6 +87,7 @@ class Result:
     seed: int | None
     wall_time: float
     sampling: SamplingResult | None
+    trace: list[dict] | None = field(default=None, repr=False)
     _row: dict[str, object] = field(default_factory=dict, repr=False)
 
     # -- convenience accessors ------------------------------------------------------
@@ -120,6 +126,20 @@ class Result:
         """The unified audit row (a copy; see the module docstring)."""
         return dict(self._row)
 
+    def attach_trace(self, trace_id: str, spans: list[dict]) -> None:
+        """Attach the request's stitched trace (tracing-enabled runs only).
+
+        Adds the two observability audit columns — ``trace_id`` and the
+        compact ``trace_spans`` phase summary — next to the physical
+        columns.  Never called when tracing is off, so default rows are
+        unchanged.
+        """
+        from ..obs.trace import summarize
+
+        self.trace = spans
+        self._row["trace_id"] = trace_id
+        self._row["trace_spans"] = summarize(spans)
+
     def __repr__(self) -> str:
         return (
             f"Result(strategy={self.strategy!r}, backend={self.backend!r}, "
@@ -155,6 +175,33 @@ class ResultSet:
     def strategies(self) -> list[str]:
         """Per-result strategy, in request order."""
         return [result.strategy for result in self.results]
+
+    def trace_summary(self) -> dict[str, dict[str, float]]:
+        """Phase-duration aggregates over every attached trace.
+
+        Maps span name → ``{count, total_s, p50_s, p99_s, max_s}``
+        across all results (empty when the run was untraced) — the
+        per-phase wall-time signal the cost-model planner reads.
+        """
+        from ..obs.metrics import percentile
+
+        durations: dict[str, list[float]] = {}
+        for result in self.results:
+            for record in result.trace or ():
+                durations.setdefault(record["name"], []).append(
+                    float(record["duration_s"])
+                )
+        summary: dict[str, dict[str, float]] = {}
+        for name, values in sorted(durations.items()):
+            values.sort()
+            summary[name] = {
+                "count": len(values),
+                "total_s": sum(values),
+                "p50_s": percentile(values, 0.50),
+                "p99_s": percentile(values, 0.99),
+                "max_s": values[-1],
+            }
+        return summary
 
     def __len__(self) -> int:
         return len(self.results)

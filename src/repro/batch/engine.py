@@ -51,12 +51,14 @@ machines.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from ..obs.metrics import METRICS
 from ..qsim.classvector import ClassVector
 from ..qsim.register import RegisterLayout
 from ..qsim.state import StateVector
@@ -256,8 +258,12 @@ def _run_group(
     The control flow below is the whole engine: the named
     :class:`~repro.batch.backends.StackedBackend` owns the tensor and the
     batched ``D`` kernel; ledgers, schedules and plans are charged here,
-    identically for every substrate.
+    identically for every substrate.  Every group publishes its kernel
+    wall time into the process metrics registry
+    (``engine.group_s.<backend>``), the per-phase signal the ROADMAP's
+    cost-model planner needs.
     """
+    kernel_start = time.perf_counter()
     plan0 = plans[0]
     backend = create_stacked_backend(backend_name, instances, model)
     state = backend.uniform_state()
@@ -305,6 +311,11 @@ def _run_group(
                 public_parameters=inst.public_parameters(),
             )
         )
+    METRICS.counter("engine.groups").inc()
+    METRICS.counter("engine.instances").inc(len(instances))
+    METRICS.histogram(f"engine.group_s.{backend_name}").observe(
+        time.perf_counter() - kernel_start
+    )
     return results
 
 

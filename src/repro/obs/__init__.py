@@ -1,0 +1,62 @@
+"""Observability: end-to-end tracing, unified metrics, flight recording.
+
+The pipeline's audit surface for the *classical* side of the system —
+the same discipline the quantum side gets from honest query ledgers:
+
+* :mod:`repro.obs.trace` — span-based tracing with cross-process
+  stitching (``enable_tracing``/``span``/``get_tracer``); a disabled
+  tracer is a no-op.
+* :mod:`repro.obs.metrics` — the process-wide :data:`METRICS` registry
+  (counters/gauges/histograms) every subsystem publishes into, with a
+  JSON-lines exporter.
+* :mod:`repro.obs.recorder` — the sharded tier's flight-recorder ring,
+  dumped on worker death.
+
+Quickstart::
+
+    from repro.obs import enable_tracing, disable_tracing, METRICS
+
+    enable_tracing(sink="trace.jsonl")   # every span appended as JSON
+    results = repro.sample_many(requests)
+    print(results[0].trace)              # the request's stitched spans
+    print(METRICS.snapshot())            # process-wide counters
+    disable_tracing()
+
+Or from the CLI: ``python -m repro sample --trace out.jsonl ...`` then
+``python -m repro stats out.jsonl``.
+"""
+
+from .metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry, percentile
+from .recorder import FlightRecorder
+from .trace import (
+    Span,
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    stitch,
+    summarize,
+    tracing_enabled,
+)
+
+__all__ = [
+    "METRICS",
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "percentile",
+    "span",
+    "stitch",
+    "summarize",
+    "tracing_enabled",
+]

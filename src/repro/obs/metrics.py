@@ -1,0 +1,206 @@
+"""The process-wide metrics registry (counters, gauges, histograms).
+
+One :data:`METRICS` registry per process is the single publication
+point for every subsystem's operational counters — the planner's
+routing decisions, the batch engine's per-backend kernel wall times,
+the serving tiers' request lifecycle events and the shared-memory
+arena's allocation traffic all land here instead of in per-module
+ad-hoc counters.  The registry is always on: publishing is a lock-bound
+integer bump or a bounded-deque append, cheap enough for every hot
+path, and :meth:`MetricsRegistry.snapshot` renders the whole process's
+state as one plain-scalar dict (JSON-ready) at any moment.
+
+Metric types
+------------
+:class:`Counter`
+    Monotone event count (``inc``).
+:class:`Gauge`
+    Last-write-wins level (``set``), e.g. queue depth or arena bytes.
+:class:`Histogram`
+    A bounded reservoir of recent observations (``observe``) reporting
+    count/total over the lifetime and mean/p50/p99/max over the window
+    — the same "current behaviour, not lifetime average" discipline
+    :class:`~repro.serve.stats.ServiceStats` uses for latencies.
+
+:func:`percentile` is the canonical nearest-rank implementation shared
+with ``repro.serve.stats`` — **ceil-rank**: the q-th percentile of n
+sorted values is element ``ceil(q·n) - 1``, so ``q=0.5`` of an even-n
+sample picks the lower median and ``q=1.0`` picks the maximum.  (The
+historical ``int(q·n)`` form overshot by one rank exactly on boundary
+quantiles: the median of 100 values landed on index 50, the 51st
+value.)
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from typing import Dict
+
+from ..errors import ValidationError
+
+#: Default bounded-reservoir size for :class:`Histogram` windows.
+DEFAULT_WINDOW = 2048
+
+
+def percentile(sorted_values, q: float) -> float:
+    """Nearest-rank (ceil-rank) percentile of pre-sorted data, ``q`` in [0, 1].
+
+    Rank ``ceil(q·n)`` in 1-based terms, clamped to the sample — the
+    classical nearest-rank definition, so exact boundary quantiles do
+    not overshoot (``q=1.0`` is the max, never out of range; ``q=0.5``
+    over 100 values is the 50th value, index 49).
+    """
+    if not sorted_values:
+        return 0.0
+    n = len(sorted_values)
+    index = min(n - 1, max(0, math.ceil(q * n) - 1))
+    return float(sorted_values[index])
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A last-write-wins level."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Observations over a bounded most-recent window.
+
+    ``count``/``total`` accumulate over the histogram's lifetime;
+    percentiles, mean and max are computed over the window only, so a
+    long-lived process reports current behaviour.
+    """
+
+    __slots__ = ("_lock", "_window", "_count", "_total")
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window: deque[float] = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._window.append(float(value))
+            self._count += 1
+            self._total += float(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            ordered = sorted(self._window)
+            count, total = self._count, self._total
+        return {
+            "count": count,
+            "total": total,
+            "mean": (sum(ordered) / len(ordered)) if ordered else 0.0,
+            "p50": percentile(ordered, 0.50),
+            "p99": percentile(ordered, 0.99),
+            "max": (ordered[-1] if ordered else 0.0),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → metric table with one snapshot surface.
+
+    Metrics are get-or-create by name (:meth:`counter` / :meth:`gauge`
+    / :meth:`histogram`); asking for an existing name as a different
+    type raises :class:`~repro.errors.ValidationError` — one name, one
+    meaning, process-wide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ValidationError(
+                    f"metric {name!r} is already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(window))
+
+    def snapshot(self) -> dict[str, object]:
+        """Every metric as plain scalars (histograms as nested dicts)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        view: dict[str, object] = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                view[name] = metric.snapshot()
+            else:
+                view[name] = metric.value  # type: ignore[union-attr]
+        return view
+
+    def record(self) -> dict[str, object]:
+        """The snapshot as one exporter record (what :meth:`json_line` encodes)."""
+        return {"kind": "metrics", "ts": time.time(), "metrics": self.snapshot()}
+
+    def json_line(self) -> str:
+        """One JSON-lines record of the current snapshot (the exporter)."""
+        return json.dumps(self.record())
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation; production never calls this)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+#: The process-wide registry every subsystem publishes into.
+METRICS = MetricsRegistry()

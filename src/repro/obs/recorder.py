@@ -1,0 +1,45 @@
+"""Flight recorder: a bounded ring of recent protocol events.
+
+The sharded tier's failure path (worker death → salvage → respawn →
+requeue) is the hardest part of the system to debug after the fact:
+by the time a future fails, the pipe messages that led there are gone.
+:class:`FlightRecorder` keeps the last N events (submissions, message
+receipts, deaths, requeues) as plain dicts; the dispatcher dumps the
+ring whenever a worker dies, so every death leaves a self-contained
+account of what the tier was doing around it.
+
+Events are plain scalars only — dumps land in telemetry snapshots and
+JSON artifacts unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+#: Default ring capacity (events, not bytes).
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """A thread-safe bounded ring buffer of timestamped events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._lock = threading.Lock()
+        self._events: deque[dict] = deque(maxlen=capacity)
+
+    def record(self, event: str, **fields: object) -> None:
+        """Append one event (oldest dropped once the ring is full)."""
+        entry = {"event": event, "ts": time.time(), **fields}
+        with self._lock:
+            self._events.append(entry)
+
+    def dump(self) -> list[dict]:
+        """A copy of the ring, oldest first (the ring itself is untouched)."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

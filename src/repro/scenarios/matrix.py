@@ -181,6 +181,7 @@ class ScenarioMatrix:
             for i in range(count)
         ]
         row = self._cell_row(cell, served_rows, expected, elapsed)
+        _attach_trace_summary(row, served)
         if self.verify:
             reference = repro.sample_many(requests, strategy="instance")
             failure = _compare_rows(
@@ -228,6 +229,7 @@ class ScenarioMatrix:
         # Healthy topology: the live snapshot is the target, fidelity 1.
         expected = [1.0] * count
         row = self._cell_row(cell, served_rows, expected, elapsed)
+        _attach_trace_summary(row, served)
         if self.verify:
             # The reference replays the identical seeded build + update
             # schedule and samples each snapshot per-instance.
@@ -288,6 +290,26 @@ class ScenarioMatrix:
         if self.strict:
             raise ValidationError(message)
         row["gate"] = f"failed: {failure}"
+
+
+def _attach_trace_summary(row: dict[str, object], served) -> None:
+    """Ride the cell's per-phase trace aggregates along on the row.
+
+    Only when tracing is enabled (``repro.obs.enable_tracing``): the
+    ``trace_spans`` column maps span name → ``{count, total_s, p50_s,
+    p99_s, max_s}`` across the cell's requests, so an E27 artifact from a
+    traced run localizes a regression to a phase.  Untraced artifacts are
+    byte-for-byte what they were — ``trace_spans`` is never present —
+    and the column is outside :data:`COMPARED_COLUMNS`, so gates ignore
+    it either way.
+    """
+    from ..obs.trace import tracing_enabled
+
+    if not tracing_enabled():
+        return
+    summary = served.trace_summary()
+    if summary:
+        row["trace_spans"] = summary
 
 
 def _compare_rows(

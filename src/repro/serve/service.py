@@ -58,6 +58,7 @@ from ..core.result import SamplingResult
 from ..database.dynamic import UpdateStream
 from ..database.fault import apply_fault_mask
 from ..errors import ValidationError
+from ..obs.trace import SpanContext, get_tracer, span
 from ..utils.rng import as_generator, spawn_seed
 from .packer import ShapePacker
 from .stats import ServiceStats
@@ -91,6 +92,7 @@ class ServedRequest:
         submitted_at: float,
         row_fn: RowFn,
         fault_mask: tuple[int, ...] | None = None,
+        trace_ctx: "SpanContext | None" = None,
     ) -> None:
         self.index = index
         self.label = label
@@ -99,6 +101,13 @@ class ServedRequest:
         #: Machine-loss mask applied after the build (scenario traffic);
         #: ``None`` for healthy requests.
         self.fault_mask = fault_mask
+        #: Trace context this request's phase spans parent to (``None``
+        #: untraced).  Either handed in by the front door (its root) or
+        #: minted by the service at submit time for direct callers.
+        self.trace_ctx = trace_ctx
+        #: The root span the *service* opened (only when it minted the
+        #: context itself); finished when the request resolves.
+        self._trace_root = None
         self.submitted_at = submitted_at
         #: Service-clock timestamp of batch completion (None until done);
         #: ``completed_at - submitted_at`` is the request's latency.
@@ -169,6 +178,39 @@ class ServedRequest:
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._event.set()
+
+
+def _open_trace(request: ServedRequest, trace_ctx: SpanContext | None) -> None:
+    """Wire a submission into the active trace (no-op when tracing is off).
+
+    The front door hands in its per-request root's context; a direct
+    service caller gets a service-minted root instead, finished when the
+    request resolves (:func:`_finish_trace`).
+    """
+    if trace_ctx is not None:
+        request.trace_ctx = trace_ctx
+        return
+    tracer = get_tracer()
+    if tracer is None:
+        return
+    root = tracer.start(
+        "request", label=request.label, strategy="served", index=request.index
+    )
+    request.trace_ctx = root.context
+    request._trace_root = root
+
+
+def _finish_trace(request: ServedRequest, error: BaseException | None = None) -> None:
+    """Close a service-minted root span, if this request carries one."""
+    root = request._trace_root
+    if root is None:
+        return
+    request._trace_root = None
+    tracer = get_tracer()
+    if tracer is not None:
+        if error is not None:
+            root.set(error=repr(error))
+        tracer.finish(root)
 
 
 class SamplerService:
@@ -297,6 +339,7 @@ class SamplerService:
         spec: InstanceSpec,
         seed: int | None = None,
         fault_mask: tuple[int, ...] | None = None,
+        trace_ctx: SpanContext | None = None,
     ) -> ServedRequest:
         """Queue one spec-built instance; returns its future immediately.
 
@@ -312,6 +355,10 @@ class SamplerService:
         capacity republished as zero), so scenario traces interleave
         degraded and healthy requests in one service and each submission
         re-plans against its own topology.
+
+        ``trace_ctx`` parents this request's phase spans when tracing is
+        enabled (the front door's per-request root); omitted, the
+        service mints a root itself.
         """
         with self._submit_lock:
             self._check_open()
@@ -325,13 +372,19 @@ class SamplerService:
                 row_fn=self._row_fn,
                 fault_mask=tuple(fault_mask) if fault_mask else None,
             )
+            _open_trace(request, trace_ctx)
             self._next_index += 1
             self._requests.append(request)
             self._stats.record_submit()
             self._input.put(request)
         return request
 
-    def submit_live(self, stream: UpdateStream, label: str = "live") -> ServedRequest:
+    def submit_live(
+        self,
+        stream: UpdateStream,
+        label: str = "live",
+        trace_ctx: SpanContext | None = None,
+    ) -> ServedRequest:
         """Queue a re-sample of a mutating dynamic database.
 
         Snapshots the stream's ``O(1)``-maintained count-class view
@@ -366,6 +419,7 @@ class SamplerService:
                 submitted_at=self._clock(),
                 row_fn=self._row_fn,
             )
+            _open_trace(request, trace_ctx)
             self._next_index += 1
             self._requests.append(request)
             self._stats.record_submit()
@@ -472,14 +526,18 @@ class SamplerService:
             if item is _STOP:
                 continue
             if self._abandon:
-                item._fail(ServiceClosedError("service closed without draining"))
+                error = ServiceClosedError("service closed without draining")
+                item._fail(error)
+                _finish_trace(item, error)
                 self._stats.record_failure()
             else:
                 self._prepare_and_pack(item)
         if self._abandon:
             for batch in self._packer.drain():
                 for request in batch:
-                    request._fail(ServiceClosedError("service closed without draining"))
+                    error = ServiceClosedError("service closed without draining")
+                    request._fail(error)
+                    _finish_trace(request, error)
                     self._stats.record_failure()
         else:
             self._flush_ready()
@@ -496,13 +554,14 @@ class SamplerService:
         """
         try:
             live = request.spec is None
-            if request._instance is None:
-                assert request.spec is not None
-                request.db = request.spec.build(rng=request.seed)
-                if request.fault_mask is not None:
-                    request.db = apply_fault_mask(request.db, request.fault_mask)
-                request._instance = ClassInstance.from_db(request.db)
-            plan = cached_plan(request._instance.overlap())
+            with span("build", parent=request.trace_ctx, label=request.label):
+                if request._instance is None:
+                    assert request.spec is not None
+                    request.db = request.spec.build(rng=request.seed)
+                    if request.fault_mask is not None:
+                        request.db = apply_fault_mask(request.db, request.fault_mask)
+                    request._instance = ClassInstance.from_db(request.db)
+                plan = cached_plan(request._instance.overlap())
             if live:
                 backend = "classes"
             elif self._backend == AUTO_STACKED_BACKEND:
@@ -515,6 +574,7 @@ class SamplerService:
                 backend = self._backend
         except BaseException as error:  # bad spec/plan: fail just this request
             request._fail(error)
+            _finish_trace(request, error)
             self._stats.record_failure()
             return
         request._backend = backend
@@ -525,22 +585,43 @@ class SamplerService:
             self._launch(batch)
 
     def _launch(self, batch: list[ServedRequest]) -> None:
+        tracer = get_tracer()
+        if tracer is not None:
+            # The pack phase ended the instant this batch flushed; its
+            # duration is the oldest member's queue wait.
+            now = self._clock()
+            tracer.emit(
+                "pack",
+                duration_s=now - min(r.submitted_at for r in batch),
+                parent=batch[0].trace_ctx,
+                batch=len(batch),
+                trace_ids=[r.trace_ctx.trace_id for r in batch if r.trace_ctx],
+            )
         self._stats.record_batch(len(batch), self._packer.batch_size)
         self._executor.submit(self._execute_batch, batch)
 
     def _execute_batch(self, batch: list[ServedRequest]) -> None:
+        trace_ids = [r.trace_ctx.trace_id for r in batch if r.trace_ctx] or None
         try:
-            results = execute_class_batch(
-                [request._instance for request in batch],
-                model=self._model,
-                include_probabilities=self._include_probabilities,
-                skip_zero_capacity=self._skip_zero_capacity,
-                # The packer groups by backend, so one name covers the batch.
+            with span(
+                "execute",
+                parent=batch[0].trace_ctx,
                 backend=batch[0]._backend or "classes",
-            )
+                batch=len(batch),
+                trace_ids=trace_ids,
+            ):
+                results = execute_class_batch(
+                    [request._instance for request in batch],
+                    model=self._model,
+                    include_probabilities=self._include_probabilities,
+                    skip_zero_capacity=self._skip_zero_capacity,
+                    # The packer groups by backend, so one name covers the batch.
+                    backend=batch[0]._backend or "classes",
+                )
         except BaseException as error:
             for request in batch:
                 request._fail(error)
+                _finish_trace(request, error)
                 self._stats.record_failure()
             return
         completed_at = self._clock()
@@ -552,6 +633,7 @@ class SamplerService:
                     )
             except BaseException as error:  # a broken row_fn fails its request
                 request._fail(error)
+                _finish_trace(request, error)
                 self._stats.record_failure()
                 continue
             # Row and result are all a resolved request keeps: the built
@@ -560,6 +642,7 @@ class SamplerService:
             request._instance = None
             request.completed_at = completed_at
             request._fulfill(result)
+            _finish_trace(request)
             self._stats.record_complete(completed_at - request.submitted_at, result)
 
     # -- internals --------------------------------------------------------------

@@ -45,7 +45,16 @@ The moving parts:
 Telemetry aggregates per-shard :class:`~repro.serve.stats.ServiceStats`
 (:meth:`ServiceStats.aggregate`) plus the tier counters:
 ``shards``, ``worker_restarts``, ``requeued_batches``, ``shm_batches``,
-``shm_fallback_batches``.
+``shm_fallback_batches``, ``flight_dumps``.
+
+When tracing is enabled (:func:`repro.obs.enable_tracing`) the request's
+:class:`~repro.obs.trace.SpanContext` rides the ``req`` pipe message,
+each worker runs a *local* tracer whose ``build``/``execute``/``marshal``
+spans ship home as the trailing element of result messages, and the
+dispatcher stitches them into the process-wide trace — so one request's
+trace spans every process that touched it.  A
+:class:`~repro.obs.recorder.FlightRecorder` ring buffers routing/result
+events and is dumped to ``death_dumps`` whenever a worker dies.
 """
 
 from __future__ import annotations
@@ -73,10 +82,18 @@ from ..config import CONFIG
 from ..core.result import SamplingResult
 from ..database.dynamic import UpdateStream
 from ..errors import ValidationError
+from ..obs.recorder import FlightRecorder
+from ..obs.trace import SpanContext, Tracer, get_tracer, span, tracing_enabled
 from ..utils.rng import as_generator, spawn_seed
 from ..utils.validation import require_pos_int
 from .packer import ShapePacker
-from .service import DEFAULT_FLUSH_DEADLINE, ServedRequest, ServiceClosedError
+from .service import (
+    DEFAULT_FLUSH_DEADLINE,
+    ServedRequest,
+    ServiceClosedError,
+    _finish_trace,
+    _open_trace,
+)
 from .shm import ArenaClient, ShmArena, arrays_nbytes, read_arrays, write_arrays
 from .stats import ServiceStats
 
@@ -122,17 +139,18 @@ class _Work:
     """One request, worker-side: the future's pickled essentials."""
 
     __slots__ = (
-        "index", "label", "spec", "seed", "instance", "fault_mask", "db",
-        "backend", "retries",
+        "index", "label", "spec", "seed", "instance", "fault_mask", "trace",
+        "db", "backend", "retries",
     )
 
-    def __init__(self, index, label, spec, seed, instance, fault_mask, retries):
+    def __init__(self, index, label, spec, seed, instance, fault_mask, trace, retries):
         self.index = index
         self.label = label
         self.spec = spec
         self.seed = seed
         self.instance = instance
         self.fault_mask = fault_mask
+        self.trace = trace  # the request's SpanContext (or None when untraced)
         self.db = None
         self.backend = None
         self.retries = retries
@@ -140,17 +158,29 @@ class _Work:
 
 def _worker_prepare(work: _Work, config: dict) -> tuple:
     """Materialize one request and return its packing key."""
-    if work.instance is None:
-        assert work.spec is not None
-        work.db = work.spec.build(rng=work.seed)
-        if work.fault_mask is not None:
-            # Scenario traffic: drop the lost shards and republish their
-            # capacities as zero, worker-side, exactly as the in-process
-            # dispatcher does.
-            from ..database.fault import apply_fault_mask
+    tracer: Tracer | None = config.get("tracer")
+    build_span = (
+        tracer.start(
+            "build", parent=work.trace, label=work.label, shard=config["shard_id"]
+        )
+        if tracer is not None and work.trace is not None
+        else None
+    )
+    try:
+        if work.instance is None:
+            assert work.spec is not None
+            work.db = work.spec.build(rng=work.seed)
+            if work.fault_mask is not None:
+                # Scenario traffic: drop the lost shards and republish their
+                # capacities as zero, worker-side, exactly as the in-process
+                # dispatcher does.
+                from ..database.fault import apply_fault_mask
 
-            work.db = apply_fault_mask(work.db, work.fault_mask)
-        work.instance = ClassInstance.from_db(work.db)
+                work.db = apply_fault_mask(work.db, work.fault_mask)
+            work.instance = ClassInstance.from_db(work.db)
+    finally:
+        if build_span is not None:
+            tracer.finish(build_span)
     plan = cached_plan(work.instance.overlap())
     if work.spec is None:
         backend = "classes"  # live snapshots' substrate
@@ -167,7 +197,36 @@ def _worker_prepare(work: _Work, config: dict) -> tuple:
 
 
 def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> None:
-    """Run one shape group and ship its results through the arena."""
+    """Run one shape group and ship its results through the arena.
+
+    When the dispatcher enabled tracing, the worker's local tracer
+    records ``execute`` and ``marshal`` spans parented into the request
+    traces and ships every buffered span dict as the result message's
+    trailing element — the dispatcher records them into the process-wide
+    tracer so cross-process traces stitch by ``trace_id``.
+    """
+    tracer: Tracer | None = config.get("tracer")
+    parent: SpanContext | None = next(
+        (work.trace for work in batch if work.trace is not None), None
+    )
+    traced = tracer is not None and parent is not None
+    trace_ids = [work.trace.trace_id for work in batch if work.trace is not None]
+
+    def _drained() -> list[dict]:
+        return tracer.drain() if tracer is not None else []
+
+    exec_span = (
+        tracer.start(
+            "execute",
+            parent=parent,
+            backend=batch[0].backend,
+            batch=len(batch),
+            shard=config["shard_id"],
+            trace_ids=trace_ids,
+        )
+        if traced
+        else None
+    )
     try:
         results = execute_group_local(
             [work.instance for work in batch],
@@ -177,9 +236,14 @@ def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> 
             backend=batch[0].backend,
         )
     except BaseException as error:
+        if exec_span is not None:
+            exec_span.set(error=repr(error))
+            tracer.finish(exec_span)
         for work in batch:
             conn.send(("fail", work.index, error))
         return
+    if exec_span is not None:
+        tracer.finish(exec_span)
     row_fn: RowFn = config["row_fn"]
     shipped: list[tuple[_Work, SamplingResult, dict | None]] = []
     for work, result in zip(batch, results):
@@ -192,6 +256,17 @@ def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> 
     if not shipped:
         return
     entries = [(work.index, row) for work, _, row in shipped]
+    marshal_span = (
+        tracer.start(
+            "marshal",
+            parent=parent,
+            batch=len(shipped),
+            shard=config["shard_id"],
+            trace_ids=trace_ids,
+        )
+        if traced
+        else None
+    )
     block = None
     try:
         meta, arrays = pack_group_results([result for _, result, _ in shipped])
@@ -199,12 +274,21 @@ def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> 
     except ValidationError:
         meta = None  # unmarshalable substrate: whole-result pickle below
     if block is None:
+        if marshal_span is not None:
+            marshal_span.set(shm=False)
+            tracer.finish(marshal_span)
         conn.send(
-            ("pbatch", entries, [result for _, result, _ in shipped], len(batch))
+            (
+                "pbatch", entries, [result for _, result, _ in shipped],
+                len(batch), _drained(),
+            )
         )
         return
     layout = write_arrays(arena.payload(block), arrays)
-    conn.send(("batch", entries, meta, block, layout, len(batch)))
+    if marshal_span is not None:
+        marshal_span.set(shm=True)
+        tracer.finish(marshal_span)
+    conn.send(("batch", entries, meta, block, layout, len(batch), _drained()))
 
 
 def _shard_worker_main(shard_id: int, conn, config: dict, arena_name: str) -> None:
@@ -212,6 +296,12 @@ def _shard_worker_main(shard_id: int, conn, config: dict, arena_name: str) -> No
     # The dispatcher picked the (unique) arena name so it can unlink the
     # segment even when this process dies without running its finally.
     arena = ShmArena(arena_name, config["arena_bytes"])
+    # A LOCAL tracer (never the process-global, which belongs to the
+    # dispatcher under fork): spans buffer here and ship home with each
+    # result message.  The copy keeps the dispatcher's config pristine.
+    config = dict(config)
+    config["shard_id"] = shard_id
+    config["tracer"] = Tracer() if config.get("tracing") else None
     packer: ShapePacker[_Work] = ShapePacker(
         config["batch_size"], config["flush_deadline"]
     )
@@ -339,6 +429,9 @@ class ShardedSamplerService:
             "arena_bytes": (
                 CONFIG.shard_arena_bytes if arena_bytes is None else arena_bytes
             ),
+            # Captured at construction: workers fork with the dispatcher's
+            # tracing state and run local tracers when it was enabled.
+            "tracing": tracing_enabled(),
         }
         self._n_shards = shards
         self._shard_stats = [ServiceStats(clock=clock) for _ in range(shards)]
@@ -356,6 +449,11 @@ class ShardedSamplerService:
         self.requeued_batches = 0
         self.shm_batches = 0
         self.shm_fallback_batches = 0
+        #: The tier's flight recorder: a bounded ring of routing/result/
+        #: death events, dumped into ``death_dumps`` whenever a worker
+        #: dies so the events leading up to the death survive the churn.
+        self.recorder = FlightRecorder()
+        self.death_dumps: list[list[dict]] = []
         # The arena contract (repro.serve.shm) relies on owner and peers
         # sharing ONE resource tracker under fork.  The tracker starts
         # lazily on first shm use — force it up in the dispatcher before
@@ -392,6 +490,7 @@ class ShardedSamplerService:
         spec: InstanceSpec,
         seed: int | None = None,
         fault_mask: tuple[int, ...] | None = None,
+        trace_ctx: "SpanContext | None" = None,
     ) -> ServedRequest:
         """Queue one spec request on its affinity shard; future back now.
 
@@ -413,12 +512,18 @@ class ShardedSamplerService:
                 row_fn=self._row_fn,
                 fault_mask=tuple(fault_mask) if fault_mask else None,
             )
+            _open_trace(request, trace_ctx)
             self._next_index += 1
             self._requests.append(request)
             self._route(request, instance=None)
         return request
 
-    def submit_live(self, stream: UpdateStream, label: str = "live") -> ServedRequest:
+    def submit_live(
+        self,
+        stream: UpdateStream,
+        label: str = "live",
+        trace_ctx: "SpanContext | None" = None,
+    ) -> ServedRequest:
         """Queue a live-snapshot re-sample (see :meth:`SamplerService.submit_live`).
 
         The ``O(ν)`` count-class snapshot is taken here (the database
@@ -447,6 +552,7 @@ class ShardedSamplerService:
                 submitted_at=self._clock(),
                 row_fn=self._row_fn,
             )
+            _open_trace(request, trace_ctx)
             self._next_index += 1
             self._requests.append(request)
             self._route(request, instance=snapshot)
@@ -459,21 +565,28 @@ class ShardedSamplerService:
             ),
             self._n_shards,
         )
+        # ``retries`` stays LAST: the death handler re-queues with
+        # ``message[:-1] + (retries + 1,)``, so the trace context slots in
+        # just before it.
         message = (
             "req", request.index, request.label, request.spec, request.seed,
-            instance, request.fault_mask, retries,
+            instance, request.fault_mask, request.trace_ctx, retries,
         )
-        # Shard lookup and the pending entry go under one lock so a
-        # concurrent death handler either sees this request (and
-        # re-queues it) or has already installed the replacement shard.
-        with self._state_lock:
-            shard = self._shards[shard_id]
-            self._futures[request.index] = request
-            shard.pending[request.index] = message
-        self._shard_stats[shard_id].record_submit()
-        # A failed send means the worker just died; the death handler
-        # re-queues from ``pending``, so nothing more to do here.
-        shard.send(message)
+        with span("dispatch", parent=request.trace_ctx, shard=shard_id):
+            # Shard lookup and the pending entry go under one lock so a
+            # concurrent death handler either sees this request (and
+            # re-queues it) or has already installed the replacement shard.
+            with self._state_lock:
+                shard = self._shards[shard_id]
+                self._futures[request.index] = request
+                shard.pending[request.index] = message
+            self._shard_stats[shard_id].record_submit()
+            # A failed send means the worker just died; the death handler
+            # re-queues from ``pending``, so nothing more to do here.
+            shard.send(message)
+        self.recorder.record(
+            "route", index=request.index, shard=shard_id, retries=retries
+        )
 
     # -- results & telemetry ------------------------------------------------------
 
@@ -490,6 +603,7 @@ class ShardedSamplerService:
         view["requeued_batches"] = self.requeued_batches
         view["shm_batches"] = self.shm_batches
         view["shm_fallback_batches"] = self.shm_fallback_batches
+        view["flight_dumps"] = len(self.death_dumps)
         return view
 
     def requests(self) -> list[ServedRequest]:
@@ -534,7 +648,9 @@ class ShardedSamplerService:
                     for shard in self._shards:
                         shard.pending.clear()
                 for future in unresolved:
-                    future._fail(ServiceClosedError("service closed without draining"))
+                    error = ServiceClosedError("service closed without draining")
+                    _finish_trace(future, error)
+                    future._fail(error)
             self._stopping = True
             for shard in self._shards:
                 shard.send(("stop",))
@@ -583,10 +699,21 @@ class ShardedSamplerService:
         except (EOFError, BrokenPipeError, OSError):
             pass  # the sentinel fires next; death handling re-queues
 
+    def _record_spans(self, spans: list[dict]) -> None:
+        """Stitch worker-shipped span dicts into the dispatcher's tracer."""
+        if not spans:
+            return
+        tracer = get_tracer()
+        if tracer is None:
+            return
+        for record in spans:
+            tracer.record(record)
+
     def _handle_message(self, shard_id: int, shard: _Shard, message: tuple) -> None:
         kind = message[0]
         if kind == "batch":
-            _, entries, meta, block, layout, size = message
+            _, entries, meta, block, layout, size, spans = message
+            self._record_spans(spans)
             try:
                 views = read_arrays(self._client.view(block), layout)
                 results = unpack_group_results(
@@ -599,10 +726,13 @@ class ShardedSamplerService:
                 return
             shard.send(("release", block))
             self.shm_batches += 1
+            self.recorder.record("batch", shard=shard_id, size=size, shm=True)
             self._fulfill(shard_id, shard, entries, results, size)
         elif kind == "pbatch":
-            _, entries, results, size = message
+            _, entries, results, size, spans = message
+            self._record_spans(spans)
             self.shm_fallback_batches += 1
+            self.recorder.record("batch", shard=shard_id, size=size, shm=False)
             self._fulfill(shard_id, shard, entries, results, size)
         elif kind == "fail":
             _, index, error = message
@@ -610,7 +740,9 @@ class ShardedSamplerService:
                 future = self._futures.pop(index, None)
                 shard.pending.pop(index, None)
                 self._done.notify_all()
+            self.recorder.record("fail", shard=shard_id, index=index)
             if future is not None:
+                _finish_trace(future, error)
                 future._fail(error)
                 self._shard_stats[shard_id].record_failure()
         elif kind == "drained":
@@ -633,6 +765,7 @@ class ShardedSamplerService:
             future._instance = None
             future.completed_at = completed_at
             future._fulfill(result)
+            _finish_trace(future)
             self._shard_stats[shard_id].record_complete(
                 completed_at - future.submitted_at, result
             )
@@ -644,6 +777,17 @@ class ShardedSamplerService:
         # stale pipe and any cached attachment to its (gone) arena.
         self._drain_conn(shard_id, shard)
         shard.process.join()
+        # The black box: snapshot the event ring at the moment of death —
+        # the routing/result traffic leading up to it — before recovery
+        # starts rewriting it.
+        self.recorder.record(
+            "death",
+            shard=shard_id,
+            pid=shard.process.pid,
+            exitcode=shard.process.exitcode,
+            pending=len(shard.pending),
+        )
+        self.death_dumps.append(self.recorder.dump())
         shard.conn.close()
         self._client.detach_all()
         if shard.segment is not None:
@@ -684,11 +828,11 @@ class ShardedSamplerService:
                     future = self._futures.pop(index, None)
                     self._done.notify_all()
                 if future is not None:
-                    future._fail(
-                        RuntimeError(
-                            f"request {index} lost to two worker deaths; giving up"
-                        )
+                    error = RuntimeError(
+                        f"request {index} lost to two worker deaths; giving up"
                     )
+                    _finish_trace(future, error)
+                    future._fail(error)
                     self._shard_stats[shard_id].record_failure()
                 continue
             requeued = message[:-1] + (retries + 1,)

@@ -43,6 +43,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from ..errors import ValidationError
+from ..obs.metrics import METRICS
 from ..utils.validation import require
 
 #: Bytes reserved at the start of every block for the generation stamp
@@ -151,7 +152,13 @@ class ShmArena:
                 )
                 struct.pack_into("<Q", self._shm.buf, offset, self._generation)
                 self._live[offset] = block
+                METRICS.counter("shm.alloc_blocks").inc()
+                METRICS.counter("shm.alloc_bytes").inc(needed)
+                METRICS.gauge("shm.live_blocks").set(len(self._live))
                 return block
+        # Momentary pressure: the caller's pickling fallback — counted so
+        # a chronically undersized arena shows up in metric snapshots.
+        METRICS.counter("shm.alloc_full").inc()
         return None
 
     def payload(self, block: ShmBlock) -> memoryview:
@@ -170,6 +177,8 @@ class ShmArena:
         self._check_live(block)
         struct.pack_into("<Q", self._shm.buf, block.offset, FREED_SENTINEL)
         del self._live[block.offset]
+        METRICS.counter("shm.freed_blocks").inc()
+        METRICS.gauge("shm.live_blocks").set(len(self._live))
         self._free.append((block.offset, block.size))
         self._free.sort()
         # Coalesce adjacent runs so long-lived arenas do not fragment.
@@ -224,6 +233,8 @@ class ArenaClient:
             # one would strip the owner's own registration).
             shm = shared_memory.SharedMemory(name=block.segment)
             self._segments[block.segment] = shm
+            METRICS.counter("shm.attaches").inc()
+        METRICS.counter("shm.views").inc()
         stamped = struct.unpack_from("<Q", shm.buf, block.offset)[0]
         if stamped != block.generation:
             raise ValidationError(

@@ -42,19 +42,16 @@ import time
 from collections import deque
 from typing import Callable, Sequence
 
+# The canonical nearest-rank (ceil-rank) implementation lives in the
+# metrics registry; re-exported here because this module defined it
+# first and callers import it from both places.
+from ..obs.metrics import METRICS, percentile  # noqa: F401
+
 #: How many most-recent request latencies the percentile window keeps.
 LATENCY_WINDOW = 10_000
 
 #: How many most-recent per-batch fill ratios the ``fill_p10`` window keeps.
 FILL_WINDOW = 10_000
-
-
-def percentile(sorted_values: list[float], q: float) -> float:
-    """Nearest-rank percentile of pre-sorted data (``q`` in [0, 1])."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
-    return float(sorted_values[rank])
 
 
 class ServiceStats:
@@ -85,6 +82,7 @@ class ServiceStats:
             self._submitted += 1
             if self._first_submit is None:
                 self._first_submit = self._clock()
+        METRICS.counter("serve.submitted").inc()
 
     def record_batch(self, size: int, target: int) -> None:
         """One packed batch handed to the worker pool."""
@@ -93,6 +91,8 @@ class ServiceStats:
             self._batched_instances += size
             self._fill_target_sum += max(target, 1)
             self._fills.append(size / max(target, 1))
+        METRICS.counter("serve.batches").inc()
+        METRICS.histogram("serve.batch_fill").observe(size / max(target, 1))
 
     def record_complete(self, latency: float, result) -> None:
         """One request finished; ``result`` is its :class:`SamplingResult`."""
@@ -104,11 +104,14 @@ class ServiceStats:
             if result.exact:
                 self._exact += 1
             self._last_complete = self._clock()
+        METRICS.counter("serve.completed").inc()
+        METRICS.histogram("serve.latency_s").observe(latency)
 
     def record_failure(self) -> None:
         """One request errored (its future carries the exception)."""
         with self._lock:
             self._failed += 1
+        METRICS.counter("serve.failed").inc()
 
     # -- reading --------------------------------------------------------------
 

@@ -1,0 +1,155 @@
+"""The unified metrics registry: counters, gauges, bounded histograms."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    percentile,
+)
+
+
+class TestPercentile:
+    """The canonical ceil-rank implementation (serve.stats re-exports it)."""
+
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_ceil_rank_on_exact_boundaries(self):
+        # rank ⌈q·n⌉ from 1: q·n integral must NOT advance a rank — the
+        # old int(q*n) indexing returned the (q·n+1)-th value here.
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 0.2) == 10.0
+        assert percentile(values, 0.4) == 20.0
+        assert percentile(values, 0.6) == 30.0
+        assert percentile(values, 0.8) == 40.0
+        assert percentile(values, 1.0) == 50.0
+
+    def test_fractional_ranks_round_up(self):
+        values = [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert percentile(values, 0.21) == 20.0
+        assert percentile(values, 0.99) == 50.0
+
+    def test_q_zero_clamps_to_first(self):
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_concurrent_increments_do_not_drop(self):
+        counter = Counter()
+        threads = [
+            threading.Thread(target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_and_value(self):
+        gauge = Gauge()
+        assert gauge.value == 0.0
+        gauge.set(3.5)
+        assert gauge.value == 3.5
+        gauge.set(1)
+        assert gauge.value == 1.0
+
+
+class TestHistogram:
+    def test_snapshot_fields(self):
+        hist = Histogram()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 4
+        assert snap["total"] == 10.0
+        assert snap["mean"] == 2.5
+        assert snap["p50"] == 2.0
+        assert snap["max"] == 4.0
+
+    def test_window_bounds_the_reservoir_but_not_the_lifetime(self):
+        hist = Histogram(window=4)
+        for value in range(100):
+            hist.observe(float(value))
+        snap = hist.snapshot()
+        assert snap["count"] == 100  # lifetime
+        assert snap["total"] == sum(range(100))
+        assert snap["max"] == 99.0  # window = the 4 most recent
+        assert snap["p50"] == 97.0
+
+    def test_empty_snapshot(self):
+        snap = Histogram().snapshot()
+        assert snap["count"] == 0
+        assert snap["mean"] == 0.0
+        assert snap["p99"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValidationError):
+            registry.gauge("x")
+        with pytest.raises(ValidationError):
+            registry.histogram("x")
+
+    def test_snapshot_is_sorted_and_nested(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.gauge("a.depth").set(7)
+        registry.histogram("c.lat").observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap["b.count"] == 2
+        assert snap["a.depth"] == 7.0
+        assert snap["c.lat"]["count"] == 1
+
+    def test_json_line_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        record = json.loads(registry.json_line())
+        assert record["kind"] == "metrics"
+        assert record["metrics"]["n"] == 1
+        assert record["metrics"] == registry.record()["metrics"]
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_concurrent_get_or_create_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def grab():
+            for _ in range(200):
+                seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(set(map(id, seen))) == 1

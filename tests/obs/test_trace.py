@@ -1,0 +1,188 @@
+"""Span tracer mechanics: nesting, stitching, sinks, flight recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.trace import (
+    SpanContext,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    stitch,
+    summarize,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_tracer():
+    yield
+    disable_tracing()
+
+
+class TestDisabledFastPath:
+    def test_span_is_a_shared_noop(self):
+        assert not tracing_enabled()
+        cm1 = span("plan", requests=3)
+        cm2 = span("execute")
+        assert cm1 is cm2  # one shared no-op context manager, no allocation
+        with cm1 as opened:
+            opened.set(backend="dense")  # swallowed
+            assert opened.context is None
+
+    def test_get_tracer_is_none(self):
+        assert get_tracer() is None
+
+
+class TestTracer:
+    def test_start_finish_produces_a_record(self):
+        tracer = Tracer()
+        opened = tracer.start("build", label="x")
+        record = tracer.finish(opened)
+        assert record["kind"] == "span"
+        assert record["name"] == "build"
+        assert record["parent_id"] is None
+        assert record["pid"] == os.getpid()
+        assert record["duration_s"] >= 0.0
+        assert record["attributes"] == {"label": "x"}
+        assert tracer.spans() == [record]
+
+    def test_nesting_links_parent_and_trace(self):
+        tracer = Tracer()
+        with tracer.span("request") as root:
+            with tracer.span("build") as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+        names = [record["name"] for record in tracer.spans()]
+        assert names == ["build", "request"]  # finished inner-first
+
+    def test_explicit_parent_crosses_context(self):
+        tracer = Tracer()
+        ctx = SpanContext(trace_id="t1", span_id="s1")
+        record = tracer.finish(tracer.start("execute", parent=ctx))
+        assert record["trace_id"] == "t1"
+        assert record["parent_id"] == "s1"
+
+    def test_context_sets_ambient_parent_without_a_span(self):
+        tracer = Tracer()
+        ctx = SpanContext(trace_id="t2", span_id="s2")
+        with tracer.context(ctx):
+            assert tracer.current() == ctx
+            record = tracer.finish(tracer.start("pack"))
+        assert record["trace_id"] == "t2"
+        assert tracer.current() is None
+
+    def test_emit_fabricates_a_finished_span(self):
+        tracer = Tracer()
+        ctx = SpanContext(trace_id="t3", span_id="s3")
+        record = tracer.emit("pack", duration_s=0.25, parent=ctx, batch=8)
+        assert record["duration_s"] == 0.25
+        assert record["trace_id"] == "t3"
+        assert record["attributes"] == {"batch": 8}
+
+    def test_record_adopts_foreign_span_dicts(self):
+        tracer = Tracer()
+        shipped = {"kind": "span", "name": "execute", "trace_id": "t", "ts": 1.0}
+        tracer.record(shipped)
+        assert tracer.spans() == [shipped]
+
+    def test_drain_pops_the_buffer(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start("a"))
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert tracer.spans() == []
+        assert tracer.drain() == []
+
+    def test_buffer_is_bounded(self):
+        tracer = Tracer(buffer_size=4)
+        for index in range(10):
+            tracer.finish(tracer.start(f"s{index}"))
+        names = [record["name"] for record in tracer.spans()]
+        assert names == ["s6", "s7", "s8", "s9"]
+
+    def test_sink_receives_every_span_as_json_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(sink=str(path))
+        tracer.finish(tracer.start("build"))
+        tracer.drain()  # the sink keeps its copy regardless
+        tracer.finish(tracer.start("execute"))
+        tracer.write({"kind": "metrics", "metrics": {}})
+        tracer.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r.get("name", r["kind"]) for r in records] == [
+            "build", "execute", "metrics",
+        ]
+
+
+class TestGlobalTracer:
+    def test_enable_installs_and_disable_removes(self):
+        tracer = enable_tracing()
+        assert get_tracer() is tracer
+        assert tracing_enabled()
+        with span("plan", requests=1) as opened:
+            opened.set(groups=1)
+        assert tracer.spans()[0]["attributes"] == {"requests": 1, "groups": 1}
+        disable_tracing()
+        assert get_tracer() is None
+
+    def test_reenable_replaces_the_tracer(self):
+        first = enable_tracing()
+        second = enable_tracing()
+        assert first is not second
+        assert get_tracer() is second
+
+
+class TestStitch:
+    def test_groups_by_trace_and_orders_by_ts(self):
+        spans = [
+            {"name": "b", "trace_id": "t1", "ts": 2.0},
+            {"name": "a", "trace_id": "t1", "ts": 1.0},
+            {"name": "c", "trace_id": "t2", "ts": 0.5},
+        ]
+        by_trace = stitch(spans)
+        assert [s["name"] for s in by_trace["t1"]] == ["a", "b"]
+        assert [s["name"] for s in by_trace["t2"]] == ["c"]
+
+    def test_batch_spans_join_every_listed_trace(self):
+        batch = {
+            "name": "execute",
+            "trace_id": "tbatch",
+            "ts": 1.0,
+            "attributes": {"trace_ids": ["t1", "t2"]},
+        }
+        by_trace = stitch([batch])
+        assert set(by_trace) == {"tbatch", "t1", "t2"}
+        assert all(traced == [batch] for traced in by_trace.values())
+
+    def test_summarize_is_compact(self):
+        text = summarize([
+            {"name": "build", "duration_s": 0.001},
+            {"name": "execute", "duration_s": 0.0205},
+        ])
+        assert text == "build:1.000ms;execute:20.500ms"
+
+
+class TestFlightRecorder:
+    def test_records_and_dumps(self):
+        recorder = FlightRecorder(capacity=8)
+        recorder.record("route", index=0, shard=1)
+        recorder.record("death", shard=1)
+        dump = recorder.dump()
+        assert len(recorder) == 2
+        assert [entry["event"] for entry in dump] == ["route", "death"]
+        assert dump[0]["shard"] == 1
+        assert "ts" in dump[0]
+
+    def test_ring_wraps_at_capacity(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        dump = recorder.dump()
+        assert len(dump) == 4
+        assert [entry["index"] for entry in dump] == [6, 7, 8, 9]

@@ -1,5 +1,8 @@
 """ServiceStats: counter bookkeeping and snapshot fields."""
 
+import threading
+
+import repro.serve.stats as stats_module
 from repro.serve import ServiceStats
 from repro.serve.stats import percentile
 
@@ -24,10 +27,34 @@ class TestPercentile:
         assert percentile([], 0.5) == 0.0
 
     def test_median_and_tail(self):
+        # Nearest-rank (ceil) semantics: rank ⌈q·n⌉ counted from 1.  The
+        # old ``int(q * n)`` indexing overshot by one whole rank exactly
+        # on rank boundaries (p50 of 100 values landed on the 51st).
         values = sorted(float(v) for v in range(100))
-        assert percentile(values, 0.50) == 50.0
-        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 0.50) == 49.0  # the 50th value, not the 51st
+        assert percentile(values, 0.99) == 98.0  # the 99th value
         assert percentile(values, 1.0) == 99.0  # clamped to the last rank
+
+    def test_exact_rank_boundaries(self):
+        # q·n integral is the biased case: ceil-rank must NOT advance to
+        # the next value.
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.25) == 1.0
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.75) == 3.0
+        assert percentile(values, 1.0) == 4.0
+
+    def test_fractional_ranks_round_up(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.26) == 2.0
+        assert percentile(values, 0.51) == 3.0
+        assert percentile(values, 0.76) == 4.0
+
+    def test_single_value_and_extremes(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 1.0) == 7.0
+        assert percentile([1.0, 2.0], 0.0) == 1.0  # q=0 clamps to the first rank
 
 
 class TestCounters:
@@ -130,3 +157,69 @@ class TestAggregate:
         view = ServiceStats.aggregate([])
         assert view["submitted"] == 0
         assert view["per_shard"] == []
+
+
+class TestWindowBounds:
+    """Percentiles run over the most-recent window, not lifetime history."""
+
+    def test_latency_window_keeps_most_recent_only(self, monkeypatch):
+        monkeypatch.setattr(stats_module, "LATENCY_WINDOW", 8)
+        stats = ServiceStats(clock=FakeClock())
+        # 100 slow completions followed by 8 fast ones: the overflowed
+        # window must report the fast regime only.
+        for _ in range(100):
+            stats.record_complete(50.0, FakeResult())
+        for latency in (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0):
+            stats.record_complete(latency, FakeResult())
+        snap = stats.snapshot()
+        assert len(stats._latencies) == 8
+        assert snap["p50_latency"] == 4.0
+        assert snap["p99_latency"] == 8.0
+        assert snap["max_latency"] == 8.0
+        assert snap["completed"] == 108  # lifetime counters keep counting
+
+    def test_fill_window_keeps_most_recent_only(self, monkeypatch):
+        monkeypatch.setattr(stats_module, "FILL_WINDOW", 4)
+        stats = ServiceStats(clock=FakeClock())
+        for _ in range(50):
+            stats.record_batch(1, target=10)  # old trickle regime
+        for _ in range(4):
+            stats.record_batch(10, target=10)  # current full-batch regime
+        snap = stats.snapshot()
+        assert len(stats._fills) == 4
+        assert snap["fill_p10"] == 1.0
+        # The weighted mean stays lifetime-wide by design.
+        assert snap["batch_fill_ratio"] == 90 / 540
+
+    def test_window_bound_holds_under_concurrent_writers(self, monkeypatch):
+        monkeypatch.setattr(stats_module, "LATENCY_WINDOW", 16)
+        monkeypatch.setattr(stats_module, "FILL_WINDOW", 16)
+        stats = ServiceStats(clock=FakeClock())
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(500):
+                    stats.record_submit()
+                    stats.record_batch(4, target=8)
+                    stats.record_complete(float(worker * 1000 + i), FakeResult())
+            except BaseException as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,)) for worker in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(stats._latencies) == 16
+        assert len(stats._fills) == 16
+        snap = stats.snapshot()
+        assert snap["submitted"] == snap["completed"] == 2000
+        # Every surviving window entry is a real recorded value and the
+        # percentile surface stays within the window's value range.
+        window = sorted(stats._latencies)
+        assert window[0] <= snap["p50_latency"] <= window[-1]
+        assert snap["max_latency"] == window[-1]

@@ -158,6 +158,14 @@ class TestWorkerDeathRecovery:
         assert [row["label"] for row in rows] == [s.label() for s in specs]
         assert telemetry["completed"] == 32
         assert telemetry["failed"] == 0
+        # The flight recorder dumped its ring at the moment of death: the
+        # dump ends in the death event, preceded by the routed traffic.
+        assert telemetry["flight_dumps"] == len(tier.death_dumps) >= 1
+        dump = tier.death_dumps[0]
+        events = [entry["event"] for entry in dump]
+        assert events[-1] == "death"
+        assert "route" in events
+        assert dump[-1]["shard"] == 0
 
     def test_rows_match_unsharded_even_across_a_restart(self):
         specs = [spec_of(tag=f"t{i % 2}") for i in range(16)]

@@ -160,7 +160,78 @@ class TestServeCli:
         assert "8/8" in out
         assert "shards" in out
         assert "shm batches" in out
+        assert "shm fallbacks" in out
         assert "worker restarts" in out
+        assert "requeued batches" in out
+        assert "flight dumps" in out
+
+    # -- tracing (--trace artifacts and the stats renderer) -----------------------
+
+    def test_sample_trace_writes_spans_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.trace import tracing_enabled
+
+        path = tmp_path / "trace.jsonl"
+        code = main(["sample", "--universe", "32", "--total", "24",
+                     "--machines", "2", "--batch", "4", "--seed", "2",
+                     "--trace", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        assert not tracing_enabled()  # main() disabled it on the way out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"span", "metrics"}
+        names = {r["name"] for r in records if r["kind"] == "span"}
+        assert {"plan", "request", "build", "execute"} <= names
+        assert records[-1]["kind"] == "metrics"
+        # The registry is process-global and cumulative, so other tests'
+        # traffic may be included — but this run's 4 instances are.
+        assert records[-1]["metrics"]["engine.instances"] >= 4
+
+    def test_serve_trace_captures_shard_worker_spans(self, capsys, tmp_path):
+        import json
+        import os
+
+        path = tmp_path / "serve.jsonl"
+        code = main(["serve", "--max-requests", "6", "--universe", "64",
+                     "--total", "24", "--machines", "2", "--batch-size", "4",
+                     "--flush-deadline", "0.01", "--seed", "3", "--shards", "2",
+                     "--trace", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        spans = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if json.loads(line)["kind"] == "span"
+        ]
+        assert {s["name"] for s in spans} >= {"dispatch", "build", "execute"}
+        assert any(s["pid"] != os.getpid() for s in spans)
+
+    def test_stats_renders_a_trace_artifact(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        code = main(["sample", "--universe", "32", "--total", "24",
+                     "--machines", "2", "--batch", "4", "--seed", "2",
+                     "--trace", str(path)])
+        capsys.readouterr()
+        assert code == 0
+        code = main(["stats", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans" in out and "phase" in out
+        assert "execute" in out
+        assert "metrics snapshot" in out
+        assert "engine.instances" in out
+
+    def test_stats_rejects_missing_or_empty_input(self, capsys, tmp_path):
+        code = main(["stats", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["stats", str(empty)])
+        assert code == 2
+        assert "no span or metrics" in capsys.readouterr().err
 
     # -- workloads and scenarios (the adversarial-scenario engine) ----------------
 

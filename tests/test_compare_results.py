@@ -118,6 +118,72 @@ class TestCompareMatrixPayloads:
         assert "E27" in compare_results.DEFAULT_EXPERIMENTS
 
 
+def span_payload(p99s):
+    """A payload shaped like the traced E24/E26 smokes' ``"spans"`` key."""
+    return {
+        "spans": {
+            name: {"count": 10, "p50_s": p99 / 2.0, "p99_s": p99}
+            for name, p99 in p99s.items()
+        }
+    }
+
+
+class TestCompareSpanPayloads:
+    def test_span_p99s_are_extracted(self):
+        extracted = compare_results.extract_span_p99s(
+            span_payload({"execute": 0.004, "build": 0.001})
+        )
+        assert extracted == {"execute": 0.004, "build": 0.001}
+
+    def test_malformed_span_entries_are_ignored(self):
+        assert compare_results.extract_span_p99s(
+            {"spans": {"execute": "oops", "build": {"p99_s": 0.0},
+                       "marshal": {"count": 3}}}
+        ) == {}
+        assert compare_results.extract_span_p99s({}) == {}
+
+    def test_p99_growth_past_threshold_warns(self):
+        base = span_payload({"execute": 0.010})
+        cur = span_payload({"execute": 0.015})  # +50%
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1
+        assert "span p99 regression" in warnings[0]
+        assert "execute" in warnings[0] and "+50%" in warnings[0]
+
+    def test_growth_within_threshold_is_quiet(self):
+        base = span_payload({"execute": 0.010, "build": 0.002})
+        cur = span_payload({"execute": 0.011, "build": 0.002})  # +10%
+        assert compare_results.compare_payloads(base, cur) == []
+
+    def test_faster_spans_never_warn(self):
+        base = span_payload({"execute": 0.010})
+        cur = span_payload({"execute": 0.001})
+        assert compare_results.compare_payloads(base, cur) == []
+
+    def test_phase_missing_from_current_is_not_flagged(self):
+        # Traced smokes are optional per run — absence is not a regression.
+        base = span_payload({"execute": 0.010, "marshal": 0.003})
+        cur = span_payload({"execute": 0.010})
+        assert compare_results.compare_payloads(base, cur) == []
+
+    def test_span_threshold_reuses_rate_threshold(self):
+        base = span_payload({"execute": 0.010})
+        cur = span_payload({"execute": 0.0112})  # +12%
+        assert compare_results.compare_payloads(base, cur, threshold=0.2) == []
+        warnings = compare_results.compare_payloads(base, cur, threshold=0.05)
+        assert len(warnings) == 1 and "span p99" in warnings[0]
+
+    def test_rate_and_span_regressions_both_reported(self):
+        base = payload({"served": 1000.0})
+        base.update(span_payload({"execute": 0.010}))
+        cur = payload({"served": 500.0})
+        cur.update(span_payload({"execute": 0.030}))
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 2
+        assert any("throughput regression" in w for w in warnings)
+        assert any("span p99 regression" in w for w in warnings)
+
+
 class TestCompareDirectories:
     @pytest.fixture
     def dirs(self, tmp_path):
