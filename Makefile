@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint bench-smoke bench e22 bench-batch bench-batch-smoke \
+.PHONY: test lint analyze bench-smoke bench e22 bench-batch bench-batch-smoke \
 	bench-serve bench-serve-smoke bench-api bench-serve-sharded \
 	bench-serve-sharded-smoke bench-scenarios bench-scenarios-smoke
 
@@ -16,6 +16,14 @@ lint:
 	else \
 		echo "ruff not installed — skipping lint"; \
 	fi
+
+# The project invariant analyzer (repro.analysis.lint): REP001-REP008
+# over the whole tree, failing on any unsuppressed finding.  Writes the
+# JSON report CI archives and compare_results.py diffs between runs.
+analyze:
+	$(PYTHON) -m repro lint src tests benchmarks examples \
+		--format json --output benchmarks/_results/analysis_report.json
+	$(PYTHON) -m repro lint src tests benchmarks examples
 
 # Fast pass over the experiment harness: every bench executes once,
 # pytest-benchmark timing loops disabled.

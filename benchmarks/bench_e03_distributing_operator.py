@@ -5,6 +5,7 @@ import numpy as np
 from repro.core import DirectDistributingOperator, OracleDistributingOperator
 from repro.database import QueryLedger, round_robin, zipf_dataset
 from repro.qsim import RegisterLayout, StateVector, haar_random_state
+from repro.utils.rng import as_generator
 
 
 def test_e03_distributing_operator(benchmark, report):
@@ -14,7 +15,7 @@ def test_e03_distributing_operator(benchmark, report):
         ledger = QueryLedger(n)
         op = OracleDistributingOperator(db, ledger=ledger)
         layout = RegisterLayout.of(i=db.universe, s=db.nu + 1, w=2)
-        state = haar_random_state(layout, np.random.default_rng(n))
+        state = haar_random_state(layout, as_generator(n))
 
         # Reference: the Eq. (5) rotation on the s = 0 slice.
         reference = state.copy()

@@ -10,11 +10,12 @@ import numpy as np
 
 from repro.apps import classical_monte_carlo_shots, estimate_mean, mean_query_cost
 from repro.database import round_robin, zipf_dataset
+from repro.utils.rng import as_generator
 
 
 def test_e19_mean_estimation(benchmark, report):
     db = round_robin(zipf_dataset(32, 60, exponent=1.2, rng=5), n_machines=2)
-    gen = np.random.default_rng(11)
+    gen = as_generator(11)
     scores = gen.uniform(0, 1, size=db.universe)
 
     rows = []

@@ -40,6 +40,7 @@ import pytest
 from repro.batch import execute_sampling_batch
 from repro.core import ParallelSampler, SequentialSampler
 from repro.database import DistributedDatabase
+from repro.utils.rng import as_generator
 
 N_MACHINES = 2
 #: (label, universe, nu) instance families; ν ≤ 32 per the acceptance bar.
@@ -61,7 +62,7 @@ DENSE_FAMILIES = [
 
 def _instance(universe: int, nu: int, seed: int) -> DistributedDatabase:
     """Sparse heavy-key workload with per-seed support (M, ν shared)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     support = rng.choice(universe, size=125, replace=False)
     counts = np.zeros((N_MACHINES, universe), dtype=np.int64)
     counts[0, support] = nu // 2

@@ -34,6 +34,7 @@ from repro.analysis import InstanceSpec
 from repro.batch import run_batched
 from repro.database import WorkloadSpec
 from repro.serve import SamplerService
+from repro.utils.rng import as_generator
 
 #: One spec family, ν pinned to M — always a valid capacity, and constant
 #: across child seeds, so the shared overlap M/(νN) puts every instance in
@@ -60,7 +61,7 @@ def _batched_rate(specs, rng) -> tuple[float, list[dict]]:
 
 def _serve_trace(specs, rng, rate_hz: float, deadline: float = DEADLINE):
     """Replay one arrival trace; returns (telemetry, rows)."""
-    arrivals = np.random.default_rng(123)
+    arrivals = as_generator(123)
     with SamplerService(
         batch_size=BATCH_SIZE, flush_deadline=deadline, workers=2, rng=rng
     ) as service:

@@ -36,6 +36,7 @@ import pytest
 from repro.analysis import InstanceSpec
 from repro.database import WorkloadSpec
 from repro.serve import SamplerService, ShardedSamplerService
+from repro.utils.rng import as_generator
 
 #: Same steady-state family as E24: ν pinned to M keeps every instance in
 #: one schedule shape, i.e. one affinity class — the worst case for a
@@ -66,7 +67,7 @@ def _arrival_gaps(trace: str, count: int, rate_hz: float) -> list[float]:
     rate sinusoidally over the trace (a compressed diurnal cycle: peaks
     at ~4× the trough) so the tier sees alternating saturation and idle.
     """
-    rng = np.random.default_rng(123)
+    rng = as_generator(123)
     if rate_hz <= 0:
         return [0.0] * count
     if trace == "poisson":

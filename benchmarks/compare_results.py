@@ -7,9 +7,12 @@ sustained ``instances_per_sec`` drops by more than the threshold
 (default 20%). Payloads carrying a ``"spans"`` metric snapshot (the
 traced E24/E26 smokes) are diffed too: a span phase whose p99 duration
 *grew* past the same threshold warns — a per-phase localization of the
-regression the rate diff only shows in aggregate. Warnings are advisory
-— shared runners are not clocks — so the exit code is 0 unless
-``--strict`` is passed.
+regression the rate diff only shows in aggregate. When both directories
+carry an ``analysis_report.json`` (the ``make analyze`` artifact), the
+per-rule finding counts are diffed as well: growth warns, because the
+lint gate already fails on unsuppressed findings, so growth means
+suppressed debt accumulating. Warnings are advisory — shared runners
+are not clocks — so the exit code is 0 unless ``--strict`` is passed.
 
 Usage::
 
@@ -113,8 +116,50 @@ def compare_payloads(
     return warnings
 
 
+#: The static-analysis artifact `make analyze` writes next to the E2x
+#: payloads; finding-count *growth* between runs warns like a perf
+#: regression (suppressed debt creeping in under the CI gate's radar).
+ANALYSIS_REPORT = "analysis_report.json"
+
+
+def compare_analysis_reports(baseline: dict, current: dict) -> list[str]:
+    """Warnings for every rule whose finding count grew since baseline.
+
+    Counts come from the report's ``counts`` map (rule id → findings).
+    Any growth warns — including a rule appearing for the first time —
+    because the lint gate already fails CI on *unsuppressed* findings,
+    so growth here means newly *suppressed* debt accumulating silently.
+    Shrinkage is progress and stays quiet.
+    """
+    base_counts = dict(baseline.get("counts") or {})
+    cur_counts = dict(current.get("counts") or {})
+    warnings = []
+    for rule_id in sorted(set(base_counts) | set(cur_counts)):
+        base = int(base_counts.get(rule_id, 0))
+        cur = int(cur_counts.get(rule_id, 0))
+        if cur > base:
+            warnings.append(
+                f"analysis finding growth in {rule_id}: {base} -> {cur}"
+            )
+    base_total = int(baseline.get("total", 0))
+    cur_total = int(current.get("total", 0))
+    if cur_total > base_total and not warnings:
+        warnings.append(
+            f"analysis finding growth: {base_total} -> {cur_total}"
+        )
+    return warnings
+
+
 def _load(directory: str, experiment_id: str) -> dict | None:
     path = os.path.join(directory, f"{experiment_id}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _load_file(directory: str, filename: str) -> dict | None:
+    path = os.path.join(directory, filename)
     if not os.path.exists(path):
         return None
     with open(path, encoding="utf-8") as handle:
@@ -137,6 +182,13 @@ def compare_directories(
         warnings.extend(
             f"[{experiment_id}] {w}"
             for w in compare_payloads(baseline, current, threshold)
+        )
+    base_report = _load_file(baseline_dir, ANALYSIS_REPORT)
+    cur_report = _load_file(current_dir, ANALYSIS_REPORT)
+    if base_report is not None and cur_report is not None:
+        warnings.extend(
+            f"[analysis] {w}"
+            for w in compare_analysis_reports(base_report, cur_report)
         )
     return warnings
 

@@ -17,11 +17,12 @@ from repro.apps import classical_monte_carlo_shots, estimate_mean
 from repro.apps.mean_estimation import true_mean
 from repro.database import round_robin, zipf_dataset
 from repro.utils import Table
+from repro.utils.rng import as_generator
 
 
 def main() -> None:
     db = round_robin(zipf_dataset(32, 60, exponent=1.2, rng=5), n_machines=3)
-    gen = np.random.default_rng(11)
+    gen = as_generator(11)
     scores = gen.uniform(0, 1, size=db.universe)  # f: key → risk score in [0,1]
     mu = true_mean(db, scores)
     print(f"database: {db}")

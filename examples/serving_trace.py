@@ -22,6 +22,7 @@ from repro.analysis import InstanceSpec
 from repro.database import WorkloadSpec, round_robin, zipf_dataset
 from repro.database.dynamic import random_update_stream
 from repro.utils import Table
+from repro.utils.rng import as_generator
 
 #: Two spec families with different overlaps → different schedule shapes,
 #: so the dispatcher's shape-keyed grouping actually has work to do.
@@ -40,7 +41,7 @@ FLUSH_DEADLINE = 0.02
 
 def replay(rate_hz: float) -> dict:
     """Drive one trace at the given offered load; returns the telemetry."""
-    arrivals = np.random.default_rng(42)
+    arrivals = as_generator(42)
 
     def trace():
         # The stream is consumed lazily in the submit thread, so sleeping

@@ -31,6 +31,11 @@ Commands
     (count, total, p50/p99/max) plus the final metrics snapshot.
 ``experiments``
     List the experiment benches and the paper claim each regenerates.
+``lint``
+    Run the project invariant analyzer (:mod:`repro.analysis.lint`)
+    over source trees; flags: ``--format text|json --output PATH
+    --select REPnnn [...] --list-rules``.  Exits 1 on any unsuppressed
+    finding — the CI gate.
 
 ``sample`` and ``serve`` accept ``--trace PATH``: the run executes with
 :mod:`repro.obs` tracing enabled, every finished span appended to PATH
@@ -226,7 +231,7 @@ def _cmd_sample(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import time
 
-    import numpy as np
+    from .utils.rng import as_generator
 
     if args.max_requests < 1:
         print(f"error: --max-requests needs a positive count, got {args.max_requests}",
@@ -246,7 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 2
     spec = None if scenario is not None else _instance_spec(args)
-    arrivals = np.random.default_rng(args.seed)
+    arrivals = as_generator(args.seed)
 
     def request_trace():
         """Poisson arrivals, replayed by sleeping in the submit thread."""
@@ -413,6 +418,52 @@ def _cmd_scenarios(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis.lint import analyze_paths, render, resolve_rule, rule_names
+
+    if args.list_rules:
+        table = Table(
+            "registered lint rules (silence one with "
+            "`# repro: allow(<id>) -- <reason>`)",
+            ["id", "name", "description"],
+        )
+        for rule_id in rule_names():
+            cls = resolve_rule(rule_id)
+            table.add_row([rule_id, cls.name, cls.description])
+        print(table.render())
+        return 0
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        paths = [p for p in ("src", "tests", "benchmarks", "examples")
+                 if Path(p).exists()]
+        if not paths:
+            print("error: no default lint paths found; pass paths explicitly",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = analyze_paths(
+            paths,
+            rule_ids=tuple(args.select) if args.select else None,
+            root=Path.cwd(),
+        )
+        rendered = render(report, args.format)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.output:
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(rendered + "\n", encoding="utf-8")
+        print(f"wrote {out}: {report.total} finding(s) in "
+              f"{report.files_checked} file(s)")
+    else:
+        print(rendered)
+    return 0 if report.total == 0 and not report.parse_errors else 1
+
+
 def _cmd_experiments(_args: argparse.Namespace) -> int:
     table = Table("experiment harness (pytest benchmarks/ --benchmark-only)",
                   ["id", "claim", "bench module"])
@@ -570,6 +621,32 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("experiments", help="list the experiment harness")
     sub.add_parser("scenarios", help="list the registered adversarial scenarios")
 
+    lint = sub.add_parser(
+        "lint", help="run the repro invariant analyzer over source trees"
+    )
+    lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to analyze "
+        "(default: src tests benchmarks examples, those that exist)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (json is the stable analysis_report schema)",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the report to PATH instead of stdout "
+        "(CI archives benchmarks/_results/analysis_report.json)",
+    )
+    lint.add_argument(
+        "--select", nargs="+", default=None, metavar="REPnnn",
+        help="run only these rule ids (default: every registered rule)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -579,6 +656,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "experiments": _cmd_experiments,
         "scenarios": _cmd_scenarios,
+        "lint": _cmd_lint,
     }
     if args.command is None:
         parser.print_help()

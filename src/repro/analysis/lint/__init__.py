@@ -1,0 +1,53 @@
+"""`repro.analysis.lint`: the project's AST-based invariant analyzer.
+
+A plugin-style rule registry (mirroring :mod:`repro.core.backends`)
+drives project-specific checks — seeded-RNG discipline, monotonic-clock
+hot paths, fork-safe module state, picklable pipe payloads, shm-view
+lifetimes, registry conformance, span discipline and the error
+taxonomy — over the repo tree.  Entry points: ``python -m repro lint``
+and :func:`analyze_paths`.
+"""
+
+from . import rules as _rules  # noqa: F401  (registers REP001-REP008)
+from .driver import (
+    AnalysisReport,
+    analyze_module,
+    analyze_paths,
+    iter_python_files,
+    load_module,
+)
+from .model import (
+    Finding,
+    LintRule,
+    ModuleContext,
+    create_rules,
+    is_registered,
+    register_rule,
+    resolve_rule,
+    rule_names,
+)
+from .reporters import FORMATS, render, render_json, render_text
+from .suppressions import Suppression, apply_suppressions, parse_suppressions
+
+__all__ = [
+    "AnalysisReport",
+    "FORMATS",
+    "Finding",
+    "LintRule",
+    "ModuleContext",
+    "Suppression",
+    "analyze_module",
+    "analyze_paths",
+    "apply_suppressions",
+    "create_rules",
+    "is_registered",
+    "iter_python_files",
+    "load_module",
+    "parse_suppressions",
+    "register_rule",
+    "render",
+    "render_json",
+    "render_text",
+    "resolve_rule",
+    "rule_names",
+]

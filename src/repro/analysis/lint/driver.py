@@ -1,0 +1,130 @@
+"""The analyzer driver: walk paths, parse modules, run rules, report.
+
+The driver is deliberately dependency-free (stdlib ``ast`` + ``tokenize``)
+so ``make analyze`` and the CI step run on every matrix Python with no
+extra installs.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ...errors import ValidationError
+from .model import Finding, LintRule, ModuleContext, create_rules
+from .suppressions import apply_suppressions
+
+#: Directories never worth analyzing, wherever they appear.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".pytest_cache", "_results", ".venv", "node_modules",
+})
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analyzer run over a set of paths."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.findings)
+
+    def counts(self) -> dict[str, int]:
+        """Finding count per rule id, sorted by id."""
+        tally: dict[str, int] = {}
+        for finding in self.findings:
+            tally[finding.rule_id] = tally.get(finding.rule_id, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "total": self.total,
+            "counts": self.counts(),
+            "findings": [finding.as_dict() for finding in self.findings],
+            "parse_errors": list(self.parse_errors),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, depth-first, sorted, deduped."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise ValidationError(f"lint path does not exist: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (_SKIP_DIRS & set(p.parts))
+            )
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def _display_path(path: Path, root: Path | None) -> str:
+    """``path`` relative to ``root`` when possible, posix separators."""
+    resolved = path.resolve()
+    if root is not None:
+        try:
+            return resolved.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def load_module(path: Path, *, root: Path | None = None) -> ModuleContext | None:
+    """Parse ``path`` into a :class:`ModuleContext`; None on syntax error."""
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None
+    return ModuleContext(
+        path=_display_path(path, root), source=source, tree=tree
+    )
+
+
+def analyze_module(
+    module: ModuleContext, rules: list[LintRule]
+) -> list[Finding]:
+    """All surviving findings for one module: rules, then suppressions."""
+    raw: list[Finding] = []
+    for rule in rules:
+        raw.extend(rule.check(module))
+    return apply_suppressions(module, sorted(raw))
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    rule_ids: tuple[str, ...] | None = None,
+    root: Path | None = None,
+) -> AnalysisReport:
+    """Run the (selected) rules over every ``.py`` file under ``paths``."""
+    rules = create_rules(rule_ids)
+    report = AnalysisReport()
+    for path in iter_python_files(paths):
+        module = load_module(path, root=root)
+        if module is None:
+            report.parse_errors.append(_display_path(path, root))
+            continue
+        report.files_checked += 1
+        report.findings.extend(analyze_module(module, rules))
+    report.findings.sort()
+    return report

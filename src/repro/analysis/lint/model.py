@@ -1,0 +1,174 @@
+"""The lint-rule protocol and registry.
+
+The static analyzer mirrors the architecture of
+:mod:`repro.core.backends`: a rule is a small class declaring a unique
+:attr:`LintRule.rule_id` plus a one-line :attr:`LintRule.name`, added to
+a process-wide registry with the :func:`register_rule` class decorator
+and resolved purely by id.  Third-party checks can register themselves
+the same way — ``python -m repro lint`` picks up anything in the
+registry, exactly like ``--backend`` picks up registered sampler
+backends.
+
+A rule sees one parsed module at a time (:class:`ModuleContext`: path,
+source and AST) and yields :class:`Finding` records.  Rules never apply
+suppressions themselves — the driver owns the
+``# repro: allow(rule-id) -- reason`` protocol (see
+:mod:`repro.analysis.lint.suppressions`) so that stale-suppression
+accounting stays in one place.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator
+
+from ...errors import ValidationError
+
+#: Registry ids are REPnnn; the 9xx block is reserved for the driver's
+#: suppression meta-findings (malformed / unknown / stale).
+_RULE_ID = re.compile(r"^REP\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordered by location so reports are stable regardless of which rule
+    produced a line's findings first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """One analyzed module: its path, raw source and parsed AST.
+
+    ``path`` is kept exactly as the driver walked it (posix separators),
+    so rules scope themselves with plain substring checks against the
+    repo layout (``src/repro/qsim/``, ``benchmarks/``, ...).
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    def in_dir(self, *segments: str) -> bool:
+        """Whether the module lives under any of the path ``segments``."""
+        probe = "/" + self.path
+        return any(f"/{seg.strip('/')}/" in probe for seg in segments)
+
+    def is_file(self, suffix: str) -> bool:
+        """Whether the module path ends with ``suffix`` (posix form)."""
+        return self.path.endswith(suffix)
+
+
+class LintRule(abc.ABC):
+    """One project invariant, checked against a module's AST.
+
+    Subclasses declare the registry surface (:attr:`rule_id`,
+    :attr:`name`, :attr:`description`) and implement :meth:`check`.
+    Instances are cheap, per-run objects created by
+    :func:`create_rules`.
+    """
+
+    #: Registry key and the id suppression comments name (``REPnnn``).
+    rule_id: ClassVar[str]
+    #: Short kebab-case slug (``no-unseeded-rng``).
+    name: ClassVar[str]
+    #: One line for ``--list-rules`` and the README rule table.
+    description: ClassVar[str]
+    #: Meta rules are emitted by the driver itself (suppression
+    #: accounting) and can never be suppressed.
+    meta: ClassVar[bool] = False
+
+    @abc.abstractmethod
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node``'s location."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+# -- registry (mirrors repro.core.backends) ---------------------------------------
+
+_REGISTRY: dict[str, type[LintRule]] = {}
+
+
+def register_rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(cls, "rule_id", None)
+    if not rule_id or not _RULE_ID.match(rule_id):
+        raise ValidationError(
+            f"lint rules must declare a rule_id matching REPnnn, got {rule_id!r}"
+        )
+    if not getattr(cls, "name", None):
+        raise ValidationError(f"lint rule {rule_id} must declare a non-empty `name`")
+    if rule_id in _REGISTRY:
+        raise ValidationError(f"lint rule {rule_id} is already registered")
+    _REGISTRY[rule_id] = cls  # repro: allow(REP003) -- rule registry fills at import time; forked workers should inherit it
+    return cls
+
+
+def rule_names() -> tuple[str, ...]:
+    """All registered rule ids, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_rule(rule_id: str) -> type[LintRule]:
+    """The rule class for ``rule_id``; raises with the available choices."""
+    cls = _REGISTRY.get(rule_id)
+    if cls is None:
+        raise ValidationError(
+            f"unknown lint rule {rule_id!r}; choose from {rule_names()}"
+        )
+    return cls
+
+
+def is_registered(rule_id: str) -> bool:
+    return rule_id in _REGISTRY
+
+
+def create_rules(rule_ids: tuple[str, ...] | None = None) -> list[LintRule]:
+    """Instantiate the selected (default: all non-meta) rules."""
+    if rule_ids is None:
+        selected = [rid for rid in rule_names() if not _REGISTRY[rid].meta]
+    else:
+        selected = [resolve_rule(rid).rule_id for rid in rule_ids]
+        for rid in selected:
+            if _REGISTRY[rid].meta:
+                raise ValidationError(
+                    f"{rid} is a driver meta-rule and cannot be selected"
+                )
+    return [_REGISTRY[rid]() for rid in selected]

@@ -1,0 +1,43 @@
+"""Render an :class:`~repro.analysis.lint.driver.AnalysisReport`.
+
+Two formats: ``text`` (one ``path:line:col: RULEID message`` per line,
+grep- and editor-friendly) and ``json`` (the stable ``version: 1``
+schema that CI archives as ``analysis_report.json`` and
+``benchmarks/compare_results.py`` diffs between runs).
+"""
+
+from __future__ import annotations
+
+from ...errors import ValidationError
+from .driver import AnalysisReport
+
+FORMATS = ("text", "json")
+
+
+def render_text(report: AnalysisReport) -> str:
+    """Human-readable listing plus a per-rule summary footer."""
+    lines = [finding.render() for finding in report.findings]
+    for path in report.parse_errors:
+        lines.append(f"{path}:1:0: PARSE-ERROR file could not be parsed")
+    if report.findings:
+        lines.append("")
+        for rule_id, count in report.counts().items():
+            lines.append(f"{rule_id}: {count}")
+        lines.append(
+            f"{report.total} finding(s) in {report.files_checked} file(s)"
+        )
+    else:
+        lines.append(f"clean: 0 findings in {report.files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    return report.to_json()
+
+
+def render(report: AnalysisReport, fmt: str) -> str:
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return render_json(report)
+    raise ValidationError(f"unknown report format {fmt!r}; choose from {FORMATS}")

@@ -1,0 +1,688 @@
+"""The project-specific invariants, as registered lint rules.
+
+Each rule encodes one correctness argument the repo's tests rely on but
+no generic linter can see — bit-identical replay under seeded RNG, fork
+hygiene for the shard/fanout workers, picklability of pipe payloads,
+shm-view lifetimes, registry protocol conformance, span discipline and
+the library error taxonomy.  The rules are AST-level and heuristic by
+design: they over-approximate the invariant and rely on the
+``# repro: allow(...) -- reason`` protocol to record the cases where a
+human has argued the exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .model import Finding, LintRule, ModuleContext, register_rule
+
+#: Mutating container methods REP003 treats as state writes.  ``set`` is
+#: deliberately absent: ``ContextVar.set`` is context-local (fork-safe by
+#: construction) and ``Gauge.set`` publishes through the metrics
+#: registry, which carries its own at-fork reset.
+_MUTATORS = frozenset({
+    "append", "add", "update", "clear", "pop", "popitem", "extend",
+    "insert", "remove", "discard", "setdefault", "appendleft", "popleft",
+})
+
+#: Exception names REP008 refuses raised bare inside ``src/repro`` — the
+#: library promises every failure derives from ``repro.errors.ReproError``.
+_BARE_BUILTINS = frozenset({
+    "ValueError", "TypeError", "RuntimeError", "KeyError", "IndexError",
+    "Exception",
+})
+
+#: The registration decorators REP006 audits (both backend registries).
+_BACKEND_REGISTRARS = frozenset({"register_backend", "register_stacked_backend"})
+
+#: Base-class names treated as protocol terminals, not unresolved bases.
+_TERMINAL_BASES = frozenset({"ABC", "object", "Protocol", "Generic"})
+
+
+def _dotted(node: ast.AST) -> tuple[str, ...] | None:
+    """``a.b.c`` as ``("a", "b", "c")``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _collect_bound_names(target: ast.expr, names: set[str]) -> None:
+    """Names *bound* by ``target`` — a ``x[k] = v`` / ``x.a = v`` target
+    mutates ``x`` without binding it, so Subscript/Attribute are skipped."""
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            _collect_bound_names(elt, names)
+    elif isinstance(target, ast.Starred):
+        _collect_bound_names(target.value, names)
+
+
+def _assigned_names(node: ast.AST) -> set[str]:
+    """Plain ``Name`` targets assigned anywhere under ``node``."""
+    names: set[str] = set()
+    for sub in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        elif isinstance(sub, (ast.For, ast.AsyncFor)):
+            targets = [sub.target]
+        elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+            targets = [sub.optional_vars]
+        for target in targets:
+            _collect_bound_names(target, names)
+    return names
+
+
+@register_rule
+class NoUnseededRngRule(LintRule):
+    """REP001: all randomness routes through ``repro.utils.rng``.
+
+    ScenarioMatrix gates every cell on bit-identical replay at 1e-12
+    from a single integer seed; one bare ``np.random``/``random`` draw
+    anywhere in the pipeline silently breaks cross-process (and
+    cross-machine) reproducibility.  Only ``utils/rng.py`` — the one
+    blessed wrapper — may touch the raw generators.
+    """
+
+    rule_id = "REP001"
+    name = "no-unseeded-rng"
+    description = (
+        "bare np.random.* / random.* use outside utils/rng.py; route "
+        "randomness through as_generator/child_generators/spawn_seed"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.is_file("utils/rng.py"):
+            return
+        numpy_aliases: set[str] = set()
+        nprandom_aliases: set[str] = set()
+        stdrandom_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        nprandom_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "random":
+                        stdrandom_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        module, node,
+                        "stdlib random imported; use repro.utils.rng instead",
+                    )
+                elif node.module == "numpy.random":
+                    yield self.finding(
+                        module, node,
+                        "numpy.random primitives imported directly; use "
+                        "repro.utils.rng.as_generator instead",
+                    )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            nprandom_aliases.add(alias.asname or "random")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted(node.func)
+            if parts is None or len(parts) < 2:
+                continue
+            if parts[0] in numpy_aliases and len(parts) >= 3 and parts[1] == "random":
+                drawn = ".".join(parts)
+            elif parts[0] in nprandom_aliases or parts[0] in stdrandom_aliases:
+                drawn = ".".join(parts)
+            else:
+                continue
+            yield self.finding(
+                module, node,
+                f"bare {drawn}(...) call; route through "
+                "repro.utils.rng.as_generator so runs replay from one seed",
+            )
+
+
+@register_rule
+class NoWallClockInKernelsRule(LintRule):
+    """REP002: hot paths and benches measure with monotonic clocks only.
+
+    ``time.time()`` steps with NTP and DST; a duration computed from it
+    can be negative, and a wall timestamp inside a kernel or bench
+    corrupts the archived E2x trajectories.  Spans carry wall ``ts``
+    for *ordering* only — and that lives in ``repro.obs``, outside this
+    rule's scope.
+    """
+
+    rule_id = "REP002"
+    name = "no-wall-clock-in-kernels"
+    description = (
+        "time.time()/datetime.now() in qsim/batch/core/serve hot paths "
+        "or benches; use time.monotonic/perf_counter or span APIs"
+    )
+
+    _SCOPES = ("src/repro/qsim", "src/repro/batch", "src/repro/core",
+               "src/repro/serve", "benchmarks", "examples")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_dir(*self._SCOPES):
+            return
+        time_aliases: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.finding(
+                            module, node,
+                            "wall clock imported into a hot path; use "
+                            "time.monotonic/perf_counter",
+                        )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            parts = _dotted(node.func)
+            if parts is None:
+                continue
+            wall = (
+                (len(parts) == 2 and parts[0] in time_aliases and parts[1] == "time")
+                or parts[-2:] == ("datetime", "now")
+                or parts[-2:] == ("datetime", "utcnow")
+                or parts[-2:] == ("datetime", "today")
+                or parts[-2:] == ("date", "today")
+            )
+            if wall:
+                yield self.finding(
+                    module, node,
+                    f"wall-clock call {'.'.join(parts)}() in a hot path; "
+                    "durations must come from time.monotonic/perf_counter "
+                    "(or a span)",
+                )
+
+
+@register_rule
+class ForkUnsafeGlobalMutationRule(LintRule):
+    """REP003: runtime-mutable module state needs an at-fork reset.
+
+    The shard tier and the fanout pool fork workers; any module-level
+    state the parent mutated (counters, the active tracer, ring
+    buffers, registries) is silently inherited.  A module that mutates
+    module-level state at runtime must register an
+    ``os.register_at_fork`` hook resetting it in the child — or argue,
+    in a suppression reason, why inheritance is correct (import-time
+    registries, for instance).
+    """
+
+    rule_id = "REP003"
+    name = "fork-unsafe-global-mutation"
+    description = (
+        "module-level mutable state mutated in a module that never "
+        "registers an os.register_at_fork reset hook"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_dir("src/repro"):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                parts = _dotted(node.func)
+                if parts and parts[-1] == "register_at_fork":
+                    return  # the module owns its fork story
+        module_names: set[str] = set()
+        mutable_names: set[str] = set()
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = list(stmt.targets), stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_names.add(target.id)
+                    if isinstance(value, (ast.Dict, ast.List, ast.Set,
+                                          ast.DictComp, ast.ListComp,
+                                          ast.SetComp, ast.Call)):
+                        mutable_names.add(target.id)
+        if not module_names:
+            return
+        for func in _functions(module.tree):
+            declared_global: set[str] = set()
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Global):
+                    declared_global.update(sub.names)
+            local_names = (_assigned_names(func) - declared_global) | {
+                arg.arg
+                for arg in (func.args.args + func.args.kwonlyargs
+                            + func.args.posonlyargs)
+            }
+            for sub in ast.walk(func):
+                # Rebinding a module name declared `global`.
+                if isinstance(sub, ast.Assign):
+                    for target in sub.targets:
+                        if (isinstance(target, ast.Name)
+                                and target.id in declared_global
+                                and target.id in module_names):
+                            yield self.finding(
+                                module, sub,
+                                f"module-level {target.id!r} rebound at "
+                                "runtime; forked workers inherit it — add "
+                                "an os.register_at_fork reset hook",
+                            )
+                # Subscript writes into a module-level container.
+                targets = []
+                if isinstance(sub, (ast.Assign,)):
+                    targets = sub.targets
+                elif isinstance(sub, ast.AugAssign):
+                    targets = [sub.target]
+                elif isinstance(sub, ast.Delete):
+                    targets = sub.targets
+                for target in targets:
+                    if (isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in mutable_names
+                            and target.value.id not in local_names):
+                        yield self.finding(
+                            module, sub,
+                            f"module-level container {target.value.id!r} "
+                            "mutated at runtime without an "
+                            "os.register_at_fork reset hook",
+                        )
+                # Mutating method calls on a module-level container.
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _MUTATORS
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id in mutable_names
+                        and sub.func.value.id not in local_names):
+                    yield self.finding(
+                        module, sub,
+                        f"module-level container {sub.func.value.id!r}"
+                        f".{sub.func.attr}(...) mutation without an "
+                        "os.register_at_fork reset hook",
+                    )
+
+
+@register_rule
+class UnpicklablePipePayloadRule(LintRule):
+    """REP004: nothing unpicklable crosses a process boundary.
+
+    ``process_map``/``process_map_iter`` and pool ``submit`` pickle the
+    callable and every payload; lambdas and nested functions fail only
+    at runtime, inside a worker, with a traceback pointing nowhere.
+    """
+
+    rule_id = "REP004"
+    name = "unpicklable-pipe-payload"
+    description = (
+        "lambda or locally-defined function passed to process_map/"
+        "pool submit — unpicklable across the process boundary"
+    )
+
+    def _is_fanout_call(self, call: ast.Call, thread_bound: set[str]) -> bool:
+        parts = _dotted(call.func)
+        if parts is None:
+            return False
+        if parts[-1] in ("process_map", "process_map_iter", "apply_async"):
+            return True
+        if parts[-1] == "submit" and len(parts) >= 2:
+            if parts[-2] in thread_bound:
+                return False  # threads share memory; nothing pickles
+            receiver = parts[-2].lower()
+            return "pool" in receiver or "executor" in receiver
+        return False
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        yield from self._scan(module, module.tree, frozenset(), frozenset())
+
+    def _scan(
+        self,
+        module: ModuleContext,
+        scope: ast.AST,
+        local_defs: frozenset[str],
+        thread_bound: frozenset[str],
+    ) -> Iterator[Finding]:
+        """One lexical scope: flag its fan-out calls, recurse into defs.
+
+        Each call site is visited exactly once, in its innermost
+        enclosing scope.  ``local_defs`` carries the function names
+        defined in *enclosing function bodies* — module-level defs
+        pickle fine and are never flagged.
+        """
+        is_module = isinstance(scope, ast.Module)
+        own_defs: set[str] = set()
+        own_threads: set[str] = set()
+        nested_scopes: list[ast.AST] = []
+        calls: list[ast.Call] = []
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                own_defs.add(node.name)
+                nested_scopes.append(node)
+                continue  # its body belongs to the nested scope
+            if isinstance(node, ast.Call):
+                calls.append(node)
+            source: ast.expr | None = None
+            target: ast.expr | None = None
+            if isinstance(node, ast.withitem) and node.optional_vars is not None:
+                source, target = node.context_expr, node.optional_vars
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                source, target = node.value, node.targets[0]
+            if (isinstance(target, ast.Name) and isinstance(source, ast.Call)
+                    and (parts := _dotted(source.func))
+                    and "thread" in parts[-1].lower()):
+                own_threads.add(target.id)
+            stack.extend(ast.iter_child_nodes(node))
+        threads = thread_bound | own_threads
+        flaggable = local_defs if is_module else local_defs | own_defs
+        for call in calls:
+            if not self._is_fanout_call(call, threads):
+                continue
+            payloads = list(call.args) + [kw.value for kw in call.keywords]
+            for arg in payloads:
+                if isinstance(arg, ast.Lambda):
+                    yield self.finding(
+                        module, arg,
+                        "lambda passed across a process boundary; "
+                        "hoist it to a module-level function",
+                    )
+                elif isinstance(arg, ast.Name) and arg.id in flaggable:
+                    yield self.finding(
+                        module, arg,
+                        f"locally-defined function {arg.id!r} passed "
+                        "across a process boundary; hoist it to module "
+                        "level so it pickles",
+                    )
+        for nested in nested_scopes:
+            yield from self._scan(module, nested, flaggable, threads)
+
+
+@register_rule
+class EscapingShmViewRule(LintRule):
+    """REP005: shm views never outlive their arena block.
+
+    ``read_arrays`` returns ndarrays aliasing the shared segment; the
+    sharded service releases the generation-tagged block right after
+    reconstruction, so a returned (uncopied) view is a use-after-free
+    the moment the worker recycles the block.
+    """
+
+    rule_id = "REP005"
+    name = "escaping-shm-view"
+    description = (
+        "function returns an ndarray view derived from read_arrays "
+        "without .copy() — the view dies with its arena block"
+    )
+
+    @staticmethod
+    def _is_read_arrays_call(node: ast.AST) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        parts = _dotted(node.func)
+        return bool(parts) and parts[-1] == "read_arrays"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for func in _functions(module.tree):
+            tracked: set[str] = set()
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target = sub.targets[0]
+                    value = sub.value
+                    derived = self._is_read_arrays_call(value) or (
+                        isinstance(value, ast.Subscript)
+                        and self._is_read_arrays_call(value.value)
+                    ) or (
+                        isinstance(value, ast.Subscript)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in tracked
+                    )
+                    if isinstance(target, ast.Name) and derived:
+                        tracked.add(target.id)
+            for sub in ast.walk(func):
+                if not isinstance(sub, ast.Return) or sub.value is None:
+                    continue
+                values = (
+                    sub.value.elts
+                    if isinstance(sub.value, ast.Tuple)
+                    else [sub.value]
+                )
+                for value in values:
+                    escaping = self._is_read_arrays_call(value) or (
+                        isinstance(value, ast.Name) and value.id in tracked
+                    ) or (
+                        isinstance(value, ast.Subscript)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in tracked
+                    )
+                    if escaping:
+                        yield self.finding(
+                            module, sub,
+                            "returns a zero-copy shm view from "
+                            "read_arrays; .copy() it — the arena block is "
+                            "released (and recycled) after reconstruction",
+                        )
+
+
+@register_rule
+class RegistryConformanceRule(LintRule):
+    """REP006: registered plugins implement the full protocol surface.
+
+    The registries resolve purely by name at runtime, so a backend
+    missing an abstract method (or its ``name``) explodes only when a
+    request first routes to it.  Scenario registrations must carry the
+    ``name``/``description`` surface the CLI tables and E27 artifact
+    key on.
+    """
+
+    rule_id = "REP006"
+    name = "registry-conformance"
+    description = (
+        "register_backend/register_scenario target missing protocol "
+        "surface (abstract methods, name, description)"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        classes = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_backend_class(module, node, classes)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                parts = _dotted(node.func)
+                if parts and parts[-1] == "register_scenario":
+                    yield from self._check_scenario_call(module, node)
+
+    def _chain(
+        self, cls: ast.ClassDef, classes: dict[str, ast.ClassDef]
+    ) -> tuple[list[ast.ClassDef], bool]:
+        """Module-local base chain (derived first) + full resolvability."""
+        chain: list[ast.ClassDef] = []
+        resolvable = True
+        stack = [cls]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop(0)
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            chain.append(current)
+            for base in current.bases:
+                parts = _dotted(base)
+                base_name = parts[-1] if parts else None
+                if base_name in classes:
+                    stack.append(classes[base_name])
+                elif base_name not in _TERMINAL_BASES:
+                    resolvable = False
+        return chain, resolvable
+
+    def _check_backend_class(
+        self,
+        module: ModuleContext,
+        cls: ast.ClassDef,
+        classes: dict[str, ast.ClassDef],
+    ) -> Iterator[Finding]:
+        if not any(
+            (parts := _dotted(dec)) and parts[-1] in _BACKEND_REGISTRARS
+            for dec in cls.decorator_list
+        ):
+            return
+        chain, resolvable = self._chain(cls, classes)
+        if not resolvable:
+            return  # protocol lives in another module; nothing provable here
+        abstract: set[str] = set()
+        concrete: set[str] = set()
+        attrs: set[str] = set()
+        for klass in chain:
+            for stmt in klass.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    is_abstract = any(
+                        (parts := _dotted(dec)) and parts[-1] == "abstractmethod"
+                        for dec in stmt.decorator_list
+                    )
+                    if is_abstract:
+                        abstract.add(stmt.name)
+                    else:
+                        concrete.add(stmt.name)
+                elif isinstance(stmt, ast.Assign):
+                    attrs.update(
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    )
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    if stmt.value is not None:
+                        attrs.update([stmt.target.id])
+        for method in sorted(abstract - concrete):
+            yield self.finding(
+                module, cls,
+                f"registered backend {cls.name!r} never implements "
+                f"abstract method {method!r}",
+            )
+        if "name" not in attrs:
+            yield self.finding(
+                module, cls,
+                f"registered backend {cls.name!r} declares no `name` — "
+                "the registry resolves by it",
+            )
+
+    def _check_scenario_call(
+        self, module: ModuleContext, call: ast.Call
+    ) -> Iterator[Finding]:
+        if not call.args:
+            return
+        target = call.args[0]
+        if not (isinstance(target, ast.Call)
+                and (parts := _dotted(target.func))
+                and parts[-1] == "Scenario"):
+            return  # pre-built instance: checked at its construction site
+        provided = {kw.arg for kw in target.keywords if kw.arg}
+        if len(target.args) >= 1:
+            provided.add("name")
+        if len(target.args) >= 2:
+            provided.add("description")
+        for missing in sorted({"name", "description"} - provided):
+            yield self.finding(
+                module, call,
+                f"register_scenario target missing {missing!r} — the CLI "
+                "tables and the E27 artifact key on it",
+            )
+
+
+@register_rule
+class SpanDisciplineRule(LintRule):
+    """REP007: spans open inside ``with`` blocks, or not at all.
+
+    ``span(...)`` returns a context manager; calling it as a bare
+    statement silently discards the span (never opened, never timed,
+    never finished), and a bare ``tracer.start(...)`` leaks an open
+    span no ``finish`` will ever stamp.
+    """
+
+    rule_id = "REP007"
+    name = "span-discipline"
+    description = (
+        "span(...) called as a bare statement (context manager "
+        "discarded) or tracer.start(...) result dropped"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.is_file("obs/trace.py"):
+            return  # the tracer's own implementation
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+                continue
+            parts = _dotted(node.value.func)
+            if parts is None:
+                continue
+            if parts[-1] == "span":
+                yield self.finding(
+                    module, node,
+                    "span(...) result discarded — the span never opens; "
+                    "use `with span(...):`",
+                )
+            elif parts[-1] == "start" and len(parts) >= 2 and (
+                "tracer" in parts[-2].lower()
+            ):
+                yield self.finding(
+                    module, node,
+                    "tracer.start(...) result dropped — the open span can "
+                    "never be finished; keep the Span (or use `with "
+                    "tracer.span(...)`)",
+                )
+
+
+@register_rule
+class BareRaiseOfBuiltinRule(LintRule):
+    """REP008: library failures derive from ``repro.errors.ReproError``.
+
+    Callers are promised one ``except ReproError`` catches every
+    library failure; a bare ``ValueError`` inside ``src/repro`` leaks
+    past that contract.
+    """
+
+    rule_id = "REP008"
+    name = "bare-raise-of-builtin"
+    description = (
+        "builtin exception (ValueError/RuntimeError/...) raised inside "
+        "src/repro; raise a repro.errors type instead"
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.in_dir("src/repro"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in _BARE_BUILTINS:
+                yield self.finding(
+                    module, node,
+                    f"bare {name} raised; use a repro.errors type so "
+                    "`except ReproError` keeps its contract",
+                )

@@ -1,0 +1,217 @@
+"""The ``# repro: allow(rule-id) -- reason`` suppression protocol.
+
+A finding is silenced by a trailing comment on the finding's first
+physical line::
+
+    sigma = np.random.default_rng(seed)  # repro: allow(REP001) -- tests the raw API
+
+Several ids may share one comment (``allow(REP001, REP003)``); the
+reason after ``--`` is mandatory — a suppression without a recorded
+"why" is itself a finding.  The driver enforces three meta-invariants,
+each with its own id so CI output distinguishes them:
+
+``REP900`` (suppression-malformed)
+    The comment parses as an allow() but carries no ``-- reason`` (or an
+    empty rule list).  A malformed suppression suppresses nothing.
+``REP901`` (suppression-unknown-rule)
+    An allowed id is not a registered rule (typo, removed rule) — or
+    names a 9xx meta rule, which can never be suppressed.
+``REP902`` (suppression-stale)
+    A well-formed suppression whose rule produced no finding on its
+    line: the violation was fixed (or moved) and the comment outlived
+    it.  Stale suppressions rot into misinformation, so they fail CI
+    like any other finding.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .model import Finding, LintRule, ModuleContext, is_registered, register_rule
+
+#: The comment grammar.  The reason group is absent (not just empty)
+#: when the ``--`` separator is missing entirely.
+_ALLOW = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<ids>[^)]*?)\s*\)\s*(?:--\s*(?P<reason>.*\S))?\s*$"
+)
+
+
+@register_rule
+class SuppressionMalformedRule(LintRule):
+    """Driver meta-finding: an allow() without a ``-- reason``."""
+
+    rule_id = "REP900"
+    name = "suppression-malformed"
+    description = (
+        "a `# repro: allow(...)` comment lacks the mandatory `-- reason` "
+        "(or names no rules); it suppresses nothing"
+    )
+    meta = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())  # emitted by the driver, never by a scan
+
+
+@register_rule
+class SuppressionUnknownRule(LintRule):
+    """Driver meta-finding: an allow() naming an unregistered rule id."""
+
+    rule_id = "REP901"
+    name = "suppression-unknown-rule"
+    description = (
+        "a suppression names a rule id that is not registered (or a 9xx "
+        "meta rule, which cannot be suppressed)"
+    )
+    meta = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register_rule
+class SuppressionStaleRule(LintRule):
+    """Driver meta-finding: a suppression whose rule no longer fires."""
+
+    rule_id = "REP902"
+    name = "suppression-stale"
+    description = (
+        "a well-formed suppression on a line where the named rule "
+        "produced no finding — the comment outlived the violation"
+    )
+    meta = True
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@dataclass
+class Suppression:
+    """One parsed allow() comment: location, ids and bookkeeping."""
+
+    line: int
+    col: int
+    rule_ids: tuple[str, ...]
+    reason: str | None
+    #: Ids that actually matched a finding (stale detection).
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.rule_ids) and bool(self.reason)
+
+
+def parse_suppressions(module: ModuleContext) -> list[Suppression]:
+    """Every allow() comment in ``module``, via the tokenizer.
+
+    Tokenizing (rather than regexing raw lines) keeps string literals
+    that merely *mention* the syntax — this module's own docstring, the
+    fixture snippets in the self-tests — from being read as live
+    suppressions.
+    """
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(module.source).readline)
+        comments = [
+            (tok.start[0], tok.start[1], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        comments = []
+    for line, col, text in comments:
+        match = _ALLOW.search(text)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group("ids").split(",") if part.strip()
+        )
+        suppressions.append(
+            Suppression(line=line, col=col, rule_ids=ids, reason=match.group("reason"))
+        )
+    return suppressions
+
+
+def apply_suppressions(
+    module: ModuleContext, findings: list[Finding]
+) -> list[Finding]:
+    """Filter suppressed findings; append the meta-findings.
+
+    Returns the surviving findings plus one REP900/901/902 finding per
+    suppression defect, location-sorted.
+    """
+    suppressions = parse_suppressions(module)
+    meta: list[Finding] = []
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        if not sup.well_formed:
+            meta.append(
+                Finding(
+                    path=module.path,
+                    line=sup.line,
+                    col=sup.col,
+                    rule_id="REP900",
+                    message=(
+                        "malformed suppression: `# repro: allow(<ids>) -- "
+                        "<reason>` needs at least one rule id and a reason"
+                    ),
+                )
+            )
+            continue
+        live_ids = []
+        for rule_id in sup.rule_ids:
+            if not is_registered(rule_id) or rule_id.startswith("REP9"):
+                meta.append(
+                    Finding(
+                        path=module.path,
+                        line=sup.line,
+                        col=sup.col,
+                        rule_id="REP901",
+                        message=(
+                            f"suppression names {rule_id!r}, which is "
+                            + (
+                                "a driver meta-rule and cannot be suppressed"
+                                if rule_id.startswith("REP9")
+                                and is_registered(rule_id)
+                                else "not a registered rule"
+                            )
+                        ),
+                    )
+                )
+                continue
+            live_ids.append(rule_id)
+        if live_ids:
+            sup.rule_ids = tuple(live_ids)
+            by_line.setdefault(sup.line, []).append(sup)
+
+    survivors: list[Finding] = []
+    for finding in findings:
+        matched = False
+        for sup in by_line.get(finding.line, ()):
+            if finding.rule_id in sup.rule_ids:
+                sup.used.add(finding.rule_id)
+                matched = True
+        if not matched:
+            survivors.append(finding)
+
+    for sups in by_line.values():
+        for sup in sups:
+            for rule_id in sup.rule_ids:
+                if rule_id not in sup.used:
+                    meta.append(
+                        Finding(
+                            path=module.path,
+                            line=sup.line,
+                            col=sup.col,
+                            rule_id="REP902",
+                            message=(
+                                f"stale suppression: {rule_id} produced no "
+                                "finding on this line — delete the comment "
+                                "or restore the invariant it documented"
+                            ),
+                        )
+                    )
+    return sorted(survivors + meta)

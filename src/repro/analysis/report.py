@@ -63,4 +63,4 @@ def _jsonify(value: object) -> object:
         return float(value)
     if isinstance(value, np.ndarray):
         return value.tolist()
-    raise TypeError(f"cannot serialize {type(value).__name__}")
+    raise TypeError(f"cannot serialize {type(value).__name__}")  # repro: allow(REP008) -- json.dumps default-hook protocol requires TypeError to fall through

@@ -171,7 +171,7 @@ def register_stacked_backend(cls: type[StackedBackend]) -> type[StackedBackend]:
             raise ValidationError(
                 f"stacked backend {cls.name!r} declares unknown model {model!r}"
             )
-    _REGISTRY[cls.name] = cls
+    _REGISTRY[cls.name] = cls  # repro: allow(REP003) -- registry fills at import time; forked workers should inherit it
     return cls
 
 

@@ -151,7 +151,7 @@ def register_backend(cls: type[SamplerBackend]) -> type[SamplerBackend]:
     for model in cls.models:
         if model not in MODELS:
             raise ValidationError(f"backend {cls.name!r} declares unknown model {model!r}")
-    _REGISTRY[cls.name] = cls
+    _REGISTRY[cls.name] = cls  # repro: allow(REP003) -- registry fills at import time; forked workers should inherit it
     return cls
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import threading
 import time
 from collections import deque
@@ -204,3 +205,10 @@ class MetricsRegistry:
 
 #: The process-wide registry every subsystem publishes into.
 METRICS = MetricsRegistry()
+
+# Forked shard/fanout workers must not inherit the parent's counters:
+# a child that keeps them double-publishes the parent's entire history
+# in its first telemetry snapshot.  Each worker starts from a zero
+# registry and reports only what it actually did.
+if hasattr(os, "register_at_fork"):  # POSIX only; a no-op elsewhere
+    os.register_at_fork(after_in_child=METRICS.reset)

@@ -14,12 +14,18 @@ JSON artifacts unchanged.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
+import weakref
 from collections import deque
 
 #: Default ring capacity (events, not bytes).
 DEFAULT_CAPACITY = 512
+
+#: Every live recorder, for the at-fork reset below.  Weak references:
+#: the registry must not keep dead dispatchers' rings alive.
+_LIVE: "weakref.WeakSet[FlightRecorder]" = weakref.WeakSet()
 
 
 class FlightRecorder:
@@ -28,6 +34,7 @@ class FlightRecorder:
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self._lock = threading.Lock()
         self._events: deque[dict] = deque(maxlen=capacity)
+        _LIVE.add(self)
 
     def record(self, event: str, **fields: object) -> None:
         """Append one event (oldest dropped once the ring is full)."""
@@ -40,6 +47,26 @@ class FlightRecorder:
         with self._lock:
             return list(self._events)
 
+    def clear(self) -> None:
+        """Drop every buffered event (fork hygiene; see below)."""
+        with self._lock:
+            self._events.clear()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._events)
+
+
+def _clear_after_fork() -> None:
+    """Empty every inherited ring in a forked child.
+
+    A worker forked mid-incident would otherwise carry the parent
+    dispatcher's event history and replay it in its own death dumps,
+    attributing the parent's protocol traffic to the wrong process.
+    """
+    for recorder in list(_LIVE):
+        recorder.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; a no-op elsewhere
+    os.register_at_fork(after_in_child=_clear_after_fork)

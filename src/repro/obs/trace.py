@@ -290,6 +290,24 @@ def disable_tracing() -> None:
     _ACTIVE = None
 
 
+def _reset_after_fork() -> None:
+    """Drop the inherited tracer in a forked child.
+
+    A forked worker inherits ``_ACTIVE`` — including its open-span
+    ContextVar stack and its JSONL sink *file handle*, which the parent
+    still owns.  The child must not adopt either: it drops the
+    reference without :meth:`Tracer.close` (closing would steal the
+    parent's sink) and starts untraced, re-enabling a local tracer
+    explicitly the way the shard/fanout workers do.
+    """
+    global _ACTIVE
+    _ACTIVE = None
+
+
+if hasattr(os, "register_at_fork"):  # POSIX only; a no-op elsewhere
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
 def get_tracer() -> Tracer | None:
     """The process-wide tracer, or ``None`` when tracing is off."""
     return _ACTIVE

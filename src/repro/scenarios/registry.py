@@ -292,7 +292,7 @@ def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
             f"scenario {scenario.name!r} is already registered; pass "
             "overwrite=True to replace it"
         )
-    _REGISTRY[scenario.name] = scenario
+    _REGISTRY[scenario.name] = scenario  # repro: allow(REP003) -- registry fills at import time; forked workers should inherit it
     return scenario
 
 

@@ -12,6 +12,8 @@ from typing import Sequence
 
 import numpy as np
 
+from ..errors import ValidationError
+
 RngLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
 
@@ -28,7 +30,7 @@ def as_generator(rng: object = None) -> np.random.Generator:
         return np.random.default_rng(rng)
     if isinstance(rng, np.random.SeedSequence):
         return np.random.default_rng(rng)
-    raise TypeError(f"cannot interpret {rng!r} as a random generator")
+    raise ValidationError(f"cannot interpret {rng!r} as a random generator")
 
 
 def spawn_seed(rng: object = None) -> int:

@@ -1,0 +1,167 @@
+"""The analyzer driver, registry and reporters.
+
+File walking, the report schema CI archives, registry validation (the
+same contract as ``repro.core.backends``), and the text/JSON renders.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    AnalysisReport,
+    Finding,
+    LintRule,
+    analyze_paths,
+    create_rules,
+    iter_python_files,
+    render,
+    render_text,
+    resolve_rule,
+    rule_names,
+)
+from repro.analysis.lint.model import register_rule
+from repro.errors import ValidationError
+
+BAD_MODULE = 'raise ValueError("seeded violation")\n'
+
+
+def write_tree(root, files):
+    for name, content in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+    return root
+
+
+class TestFileWalk:
+    def test_walks_sorted_and_skips_caches(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/b.py": "x = 1\n",
+            "pkg/a.py": "x = 1\n",
+            "pkg/__pycache__/junk.py": "x = 1\n",
+            "pkg/notes.txt": "not python\n",
+        })
+        names = [p.name for p in iter_python_files([tmp_path / "pkg"])]
+        assert names == ["a.py", "b.py"]
+
+    def test_single_file_and_dedup(self, tmp_path):
+        write_tree(tmp_path, {"one.py": "x = 1\n"})
+        target = tmp_path / "one.py"
+        assert list(iter_python_files([target, target, tmp_path])) == [target]
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="does not exist"):
+            list(iter_python_files([tmp_path / "absent"]))
+
+
+class TestAnalyzePaths:
+    def test_findings_and_counts(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/dirty.py": BAD_MODULE,
+            "src/repro/clean.py": "x = 1\n",
+        })
+        report = analyze_paths([tmp_path / "src"], root=tmp_path)
+        assert report.files_checked == 2
+        assert report.total == 1
+        assert report.counts() == {"REP008": 1}
+        assert report.findings[0].path == "src/repro/dirty.py"
+
+    def test_syntax_error_recorded_not_fatal(self, tmp_path):
+        write_tree(tmp_path, {
+            "src/repro/broken.py": "def nope(:\n",
+            "src/repro/clean.py": "x = 1\n",
+        })
+        report = analyze_paths([tmp_path / "src"], root=tmp_path)
+        assert report.files_checked == 1
+        assert report.parse_errors == ["src/repro/broken.py"]
+
+    def test_rule_selection(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/dirty.py": BAD_MODULE})
+        report = analyze_paths(
+            [tmp_path / "src"], rule_ids=("REP001",), root=tmp_path
+        )
+        assert report.total == 0
+
+    def test_json_schema_stable(self, tmp_path):
+        write_tree(tmp_path, {"src/repro/dirty.py": BAD_MODULE})
+        payload = json.loads(
+            analyze_paths([tmp_path / "src"], root=tmp_path).to_json()
+        )
+        assert payload["version"] == 1
+        assert set(payload) == {
+            "version", "files_checked", "total", "counts", "findings",
+            "parse_errors",
+        }
+        (finding,) = payload["findings"]
+        assert set(finding) == {"path", "line", "col", "rule", "message"}
+
+
+class TestRegistry:
+    def test_all_eight_rules_plus_meta_registered(self):
+        ids = rule_names()
+        for expected in [f"REP00{i}" for i in range(1, 9)]:
+            assert expected in ids
+        for meta in ("REP900", "REP901", "REP902"):
+            assert meta in ids
+
+    def test_resolve_unknown_lists_choices(self):
+        with pytest.raises(ValidationError, match="REP001"):
+            resolve_rule("REP555")
+
+    def test_default_selection_excludes_meta(self):
+        ids = {rule.rule_id for rule in create_rules()}
+        assert "REP900" not in ids
+        assert "REP001" in ids
+
+    def test_meta_rules_not_selectable(self):
+        with pytest.raises(ValidationError, match="meta-rule"):
+            create_rules(("REP900",))
+
+    def test_bad_rule_id_rejected(self):
+        with pytest.raises(ValidationError, match="REPnnn"):
+            @register_rule
+            class Bad(LintRule):
+                rule_id = "NOPE1"
+                name = "bad"
+                description = "bad"
+
+                def check(self, module):
+                    return iter(())
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            @register_rule
+            class Clash(LintRule):
+                rule_id = "REP001"
+                name = "clash"
+                description = "clash"
+
+                def check(self, module):
+                    return iter(())
+
+
+class TestReporters:
+    def sample_report(self):
+        report = AnalysisReport(files_checked=3)
+        report.findings = [
+            Finding(path="src/repro/a.py", line=4, col=2,
+                    rule_id="REP008", message="bare ValueError raised"),
+        ]
+        return report
+
+    def test_text_lists_location_and_summary(self):
+        text = render_text(self.sample_report())
+        assert "src/repro/a.py:4:2: REP008" in text
+        assert "1 finding(s) in 3 file(s)" in text
+
+    def test_text_clean_summary(self):
+        assert "clean: 0 findings" in render_text(AnalysisReport(files_checked=5))
+
+    def test_json_round_trips(self):
+        payload = json.loads(render(self.sample_report(), "json"))
+        assert payload["counts"] == {"REP008": 1}
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValidationError, match="format"):
+            render(self.sample_report(), "xml")

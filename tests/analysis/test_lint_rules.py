@@ -1,0 +1,426 @@
+"""Fixture self-tests for the invariant analyzer's rules.
+
+One bad/good snippet pair per rule: the bad form must fire, the
+corrected form must stay silent.  Snippets are built as in-memory
+:class:`ModuleContext` objects with repo-shaped paths, so path-scoped
+rules (REP002/REP003/REP008) see the layout they key on.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.lint import ModuleContext, resolve_rule
+
+
+def run_rule(rule_id: str, source: str, path: str = "src/repro/qsim/kernel.py"):
+    source = textwrap.dedent(source)
+    module = ModuleContext(path=path, source=source, tree=ast.parse(source))
+    return list(resolve_rule(rule_id)().check(module))
+
+
+class TestREP001UnseededRng:
+    BAD = """
+        import numpy as np
+
+        def draw():
+            return np.random.default_rng(0).integers(10)
+    """
+    GOOD = """
+        from repro.utils.rng import as_generator
+
+        def draw():
+            return as_generator(0).integers(10)
+    """
+
+    def test_fires_on_bare_default_rng(self):
+        findings = self.run(self.BAD)
+        assert len(findings) == 1
+        assert "np.random.default_rng" in findings[0].message
+
+    def test_silent_on_as_generator(self):
+        assert self.run(self.GOOD) == []
+
+    def test_fires_on_stdlib_random(self):
+        findings = self.run("""
+            import random
+
+            def draw():
+                return random.random()
+        """)
+        assert len(findings) == 1
+
+    def test_fires_on_from_import(self):
+        findings = self.run("""
+            from random import choice
+        """)
+        assert len(findings) == 1
+
+    def test_numpy_alias_tracked(self):
+        findings = self.run("""
+            import numpy as xp
+
+            def draw():
+                return xp.random.normal()
+        """)
+        assert len(findings) == 1
+
+    def test_rng_module_itself_exempt(self):
+        findings = run_rule("REP001", textwrap.dedent("""
+            import numpy as np
+
+            def as_generator(rng):
+                return np.random.default_rng(rng)
+        """), path="src/repro/utils/rng.py")
+        assert findings == []
+
+    def run(self, source):
+        return run_rule("REP001", source)
+
+
+class TestREP002WallClockInKernels:
+    BAD = """
+        import time
+
+        def kernel():
+            start = time.time()
+            work()
+            return time.time() - start
+    """
+    GOOD = """
+        import time
+
+        def kernel():
+            start = time.perf_counter()
+            work()
+            return time.perf_counter() - start
+    """
+
+    def test_fires_in_hot_path(self):
+        findings = run_rule("REP002", self.BAD, path="src/repro/qsim/state.py")
+        assert len(findings) == 2
+        assert "monotonic" in findings[0].message
+
+    def test_silent_on_monotonic(self):
+        assert run_rule("REP002", self.GOOD, path="src/repro/qsim/state.py") == []
+
+    def test_fires_in_benchmarks(self):
+        findings = run_rule("REP002", self.BAD, path="benchmarks/bench_e99.py")
+        assert len(findings) == 2
+
+    def test_out_of_scope_module_exempt(self):
+        # obs/ owns wall-clock ts fields (span ordering) by design.
+        assert run_rule("REP002", self.BAD, path="src/repro/obs/trace.py") == []
+
+    def test_fires_on_from_import(self):
+        findings = run_rule("REP002", """
+            from time import time
+        """, path="src/repro/batch/engine.py")
+        assert len(findings) == 1
+
+    def test_fires_on_datetime_now(self):
+        findings = run_rule("REP002", """
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+        """, path="src/repro/core/sampler.py")
+        assert len(findings) == 1
+
+
+class TestREP003ForkUnsafeGlobalMutation:
+    BAD = """
+        _CACHE = {}
+
+        def remember(key, value):
+            _CACHE[key] = value
+    """
+    GOOD = """
+        import os
+
+        _CACHE = {}
+
+        def remember(key, value):
+            _CACHE[key] = value
+
+        def _reset():
+            _CACHE.clear()
+
+        os.register_at_fork(after_in_child=_reset)
+    """
+
+    def test_fires_on_unhooked_mutation(self):
+        findings = run_rule("REP003", self.BAD, path="src/repro/foo.py")
+        assert len(findings) == 1
+        assert "register_at_fork" in findings[0].message
+
+    def test_silent_with_at_fork_hook(self):
+        assert run_rule("REP003", self.GOOD, path="src/repro/foo.py") == []
+
+    def test_fires_on_global_rebind(self):
+        findings = run_rule("REP003", """
+            _ACTIVE = None
+
+            def activate(value):
+                global _ACTIVE
+                _ACTIVE = value
+        """, path="src/repro/foo.py")
+        assert len(findings) == 1
+        assert "rebound" in findings[0].message
+
+    def test_fires_on_mutating_method(self):
+        findings = run_rule("REP003", """
+            _EVENTS = []
+
+            def record(event):
+                _EVENTS.append(event)
+        """, path="src/repro/foo.py")
+        assert len(findings) == 1
+
+    def test_local_shadow_not_flagged(self):
+        findings = run_rule("REP003", """
+            _CACHE = {}
+
+            def build():
+                _CACHE = {}
+                _CACHE["fresh"] = True
+                return _CACHE
+        """, path="src/repro/foo.py")
+        assert findings == []
+
+    def test_out_of_tree_module_exempt(self):
+        assert run_rule("REP003", self.BAD, path="tests/test_foo.py") == []
+
+
+class TestREP004UnpicklablePipePayload:
+    BAD = """
+        def fan_out(pool, items):
+            def helper(item):
+                return item + 1
+            return [pool.submit(helper, item) for item in items]
+    """
+    GOOD = """
+        def helper(item):
+            return item + 1
+
+        def fan_out(pool, items):
+            return [pool.submit(helper, item) for item in items]
+    """
+
+    def test_fires_on_nested_function(self):
+        findings = run_rule("REP004", self.BAD)
+        assert len(findings) == 1
+        assert "helper" in findings[0].message
+
+    def test_silent_on_module_level_function(self):
+        assert run_rule("REP004", self.GOOD) == []
+
+    def test_fires_on_lambda(self):
+        findings = run_rule("REP004", """
+            from repro.utils.pool import process_map
+
+            def run(items):
+                return process_map(lambda x: x * 2, items)
+        """)
+        assert len(findings) == 1
+        assert "lambda" in findings[0].message
+
+    def test_thread_pool_exempt(self):
+        # Threads share memory; submit() never pickles.
+        findings = run_rule("REP004", """
+            from concurrent.futures import ThreadPoolExecutor
+
+            def run(items):
+                def helper(item):
+                    return item
+                with ThreadPoolExecutor() as pool:
+                    return [pool.submit(helper, item) for item in items]
+        """)
+        assert findings == []
+
+
+class TestREP005EscapingShmView:
+    BAD = """
+        def fetch(client, handle):
+            arrays = client.read_arrays(handle)
+            return arrays
+    """
+    GOOD = """
+        def fetch(client, handle):
+            arrays = client.read_arrays(handle)
+            return [array.copy() for array in arrays]
+    """
+
+    def test_fires_on_returned_views(self):
+        findings = run_rule("REP005", self.BAD)
+        assert len(findings) == 1
+        assert "copy" in findings[0].message
+
+    def test_silent_on_copies(self):
+        assert run_rule("REP005", self.GOOD) == []
+
+    def test_fires_on_direct_return(self):
+        findings = run_rule("REP005", """
+            def fetch(client, handle):
+                return client.read_arrays(handle)
+        """)
+        assert len(findings) == 1
+
+    def test_fires_on_indexed_view(self):
+        findings = run_rule("REP005", """
+            def first(client, handle):
+                views = client.read_arrays(handle)
+                return views[0]
+        """)
+        assert len(findings) == 1
+
+
+class TestREP006RegistryConformance:
+    BAD = """
+        import abc
+
+        class Base(abc.ABC):
+            name = ""
+
+            @abc.abstractmethod
+            def initial_state(self):
+                ...
+
+        @register_backend
+        class Broken(Base):
+            name = "broken"
+    """
+    GOOD = """
+        import abc
+
+        class Base(abc.ABC):
+            name = ""
+
+            @abc.abstractmethod
+            def initial_state(self):
+                ...
+
+        @register_backend
+        class Works(Base):
+            name = "works"
+
+            def initial_state(self):
+                return None
+    """
+
+    def test_fires_on_missing_abstract_method(self):
+        findings = run_rule("REP006", self.BAD)
+        assert len(findings) == 1
+        assert "initial_state" in findings[0].message
+
+    def test_silent_on_full_implementation(self):
+        assert run_rule("REP006", self.GOOD) == []
+
+    def test_fires_on_missing_name(self):
+        findings = run_rule("REP006", """
+            @register_backend
+            class NoName:
+                def initial_state(self):
+                    return None
+        """)
+        assert len(findings) == 1
+        assert "name" in findings[0].message
+
+    def test_unresolvable_base_skipped(self):
+        # The protocol lives in another module; nothing provable here.
+        findings = run_rule("REP006", """
+            from elsewhere import Base
+
+            @register_backend
+            class Remote(Base):
+                name = "remote"
+        """)
+        assert findings == []
+
+    def test_scenario_missing_description(self):
+        findings = run_rule("REP006", """
+            register_scenario(Scenario(name="skewed"))
+        """)
+        assert len(findings) == 1
+        assert "description" in findings[0].message
+
+    def test_scenario_complete(self):
+        findings = run_rule("REP006", """
+            register_scenario(Scenario(name="skewed", description="zipf 2.0"))
+        """)
+        assert findings == []
+
+
+class TestREP007SpanDiscipline:
+    BAD = """
+        def plan(request):
+            span("plan", backend="dense")
+            return compute(request)
+    """
+    GOOD = """
+        def plan(request):
+            with span("plan", backend="dense"):
+                return compute(request)
+    """
+
+    def test_fires_on_discarded_span(self):
+        findings = run_rule("REP007", self.BAD)
+        assert len(findings) == 1
+        assert "with" in findings[0].message
+
+    def test_silent_inside_with(self):
+        assert run_rule("REP007", self.GOOD) == []
+
+    def test_fires_on_dropped_tracer_start(self):
+        findings = run_rule("REP007", """
+            def plan(tracer, request):
+                tracer.start("plan")
+                return compute(request)
+        """)
+        assert len(findings) == 1
+
+    def test_assigned_start_is_fine(self):
+        findings = run_rule("REP007", """
+            def plan(tracer, request):
+                opened = tracer.start("plan")
+                try:
+                    return compute(request)
+                finally:
+                    tracer.finish(opened)
+        """)
+        assert findings == []
+
+
+class TestREP008BareRaiseOfBuiltin:
+    BAD = """
+        def check(value):
+            if value < 0:
+                raise ValueError("negative")
+    """
+    GOOD = """
+        from repro.errors import ValidationError
+
+        def check(value):
+            if value < 0:
+                raise ValidationError("negative")
+    """
+
+    def test_fires_on_bare_builtin(self):
+        findings = run_rule("REP008", self.BAD, path="src/repro/core/plan.py")
+        assert len(findings) == 1
+        assert "ReproError" in findings[0].message
+
+    def test_silent_on_repro_error(self):
+        assert run_rule("REP008", self.GOOD, path="src/repro/core/plan.py") == []
+
+    def test_tests_tree_exempt(self):
+        assert run_rule("REP008", self.BAD, path="tests/test_plan.py") == []
+
+    def test_reraise_is_fine(self):
+        findings = run_rule("REP008", """
+            def forward():
+                try:
+                    work()
+                except Exception:
+                    raise
+        """, path="src/repro/core/plan.py")
+        assert findings == []

@@ -1,0 +1,143 @@
+"""The ``# repro: allow(rule-id) -- reason`` suppression protocol.
+
+Covers the three distinct meta-findings: REP900 (malformed — no
+reason), REP901 (unknown or meta rule id), REP902 (stale — the named
+rule no longer fires on that line).  All allow() comments here live in
+fixture *strings*; the analyzer tokenizes each fixture independently,
+so nothing in this file is a live suppression.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.lint import (
+    ModuleContext,
+    analyze_module,
+    create_rules,
+    parse_suppressions,
+)
+
+#: A one-line REP008 violation (src/repro scope) to hang comments off.
+VIOLATION = 'raise ValueError("bad")'
+
+
+def analyze(source: str, path: str = "src/repro/fixture.py"):
+    source = textwrap.dedent(source)
+    module = ModuleContext(path=path, source=source, tree=ast.parse(source))
+    return analyze_module(module, create_rules())
+
+
+def rule_ids(findings):
+    return [finding.rule_id for finding in findings]
+
+
+class TestWellFormedSuppression:
+    def test_silences_the_named_finding(self):
+        findings = analyze(
+            f"{VIOLATION}  # repro: allow(REP008) -- fixture exercises the bare form"
+        )
+        assert findings == []
+
+    def test_reason_survives_parsing(self):
+        module = ModuleContext(
+            path="src/repro/fixture.py",
+            source=f"{VIOLATION}  # repro: allow(REP008) -- because physics\n",
+            tree=ast.parse(VIOLATION),
+        )
+        (sup,) = parse_suppressions(module)
+        assert sup.rule_ids == ("REP008",)
+        assert sup.reason == "because physics"
+
+    def test_multiple_ids_share_one_comment(self):
+        findings = analyze("""
+            import numpy as np
+
+            def f():
+                rng = np.random.default_rng(0)  # repro: allow(REP001, REP008) -- REP001 is real here, REP008 goes stale
+                raise ValueError("x")
+        """)
+        # REP001 suppressed; REP008 on line 4 never fired there → stale;
+        # the line-5 ValueError still reports.
+        assert sorted(rule_ids(findings)) == ["REP008", "REP902"]
+
+    def test_only_its_own_line(self):
+        findings = analyze(f"""
+            # repro: allow(REP008) -- wrong line entirely
+            {VIOLATION}
+        """)
+        # The violation survives AND the suppression is stale.
+        assert sorted(rule_ids(findings)) == ["REP008", "REP902"]
+
+    def test_string_literal_is_not_a_suppression(self):
+        findings = analyze(f"""
+            DOC = "silence with  # repro: allow(REP008) -- like this"
+            {VIOLATION}
+        """)
+        assert rule_ids(findings) == ["REP008"]
+
+
+class TestMalformedSuppression:
+    def test_missing_reason_is_rep900(self):
+        findings = analyze(f"{VIOLATION}  # repro: allow(REP008)")
+        # It suppresses nothing: the violation reports alongside REP900.
+        assert sorted(rule_ids(findings)) == ["REP008", "REP900"]
+
+    def test_empty_rule_list_is_rep900(self):
+        findings = analyze(f"{VIOLATION}  # repro: allow() -- no ids named")
+        assert sorted(rule_ids(findings)) == ["REP008", "REP900"]
+
+    def test_message_names_the_grammar(self):
+        findings = analyze(f"{VIOLATION}  # repro: allow(REP008)")
+        (rep900,) = [f for f in findings if f.rule_id == "REP900"]
+        assert "-- <reason>" in rep900.message
+
+
+class TestUnknownRuleSuppression:
+    def test_unknown_id_is_rep901(self):
+        findings = analyze(
+            f"{VIOLATION}  # repro: allow(REP999) -- typo for REP008"
+        )
+        assert sorted(rule_ids(findings)) == ["REP008", "REP901"]
+
+    def test_meta_rule_cannot_be_suppressed(self):
+        findings = analyze(
+            f"{VIOLATION}  # repro: allow(REP902) -- nice try"
+        )
+        (rep901,) = [f for f in findings if f.rule_id == "REP901"]
+        assert "cannot be suppressed" in rep901.message
+
+    def test_valid_ids_in_same_comment_still_apply(self):
+        findings = analyze(
+            f"{VIOLATION}  # repro: allow(REP999, REP008) -- one typo, one real"
+        )
+        # REP008 is suppressed; only the unknown-id meta-finding remains.
+        assert rule_ids(findings) == ["REP901"]
+
+
+class TestStaleSuppression:
+    def test_clean_line_is_rep902(self):
+        findings = analyze(
+            "x = 1  # repro: allow(REP008) -- nothing wrong here anymore"
+        )
+        assert rule_ids(findings) == ["REP902"]
+
+    def test_message_names_the_stale_rule(self):
+        findings = analyze(
+            "x = 1  # repro: allow(REP001) -- fixed long ago"
+        )
+        assert "REP001" in findings[0].message
+
+    def test_fresh_suppression_is_not_stale(self):
+        findings = analyze(
+            f"{VIOLATION}  # repro: allow(REP008) -- live violation"
+        )
+        assert findings == []
+
+    def test_distinct_ids_from_malformed_and_unknown(self):
+        # The three defects produce three distinct rule ids.
+        stale = analyze("x = 1  # repro: allow(REP008) -- gone")
+        malformed = analyze(f"{VIOLATION}  # repro: allow(REP008)")
+        unknown = analyze(f"{VIOLATION}  # repro: allow(REP777) -- what")
+        assert rule_ids(stale) == ["REP902"]
+        assert "REP900" in rule_ids(malformed)
+        assert "REP901" in rule_ids(unknown)

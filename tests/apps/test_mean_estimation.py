@@ -12,6 +12,7 @@ from repro.apps.mean_estimation import true_mean
 from repro.core import solve_plan
 from repro.database import DistributedDatabase, Multiset, round_robin, zipf_dataset
 from repro.errors import ValidationError
+from repro.utils.rng import as_generator
 
 
 @pytest.fixture
@@ -21,7 +22,7 @@ def db():
 
 @pytest.fixture
 def scores(db):
-    gen = np.random.default_rng(9)
+    gen = as_generator(9)
     return gen.uniform(0.0, 1.0, size=db.universe)
 
 

@@ -14,6 +14,7 @@ from repro.config import strict_mode
 from repro.core import ParallelSampler, SequentialSampler
 from repro.database import DistributedDatabase
 from repro.errors import ValidationError
+from repro.utils.rng import as_generator
 
 
 def random_database(rng: np.random.Generator) -> DistributedDatabase:
@@ -46,7 +47,7 @@ def reference_run(db: DistributedDatabase, model: str):
 @pytest.mark.parametrize("model", ["sequential", "parallel"])
 @pytest.mark.parametrize("batch_size,seed", [(3, 1), (7, 2), (17, 3)])
 def test_randomized_grid_equivalence(model, batch_size, seed):
-    rng = np.random.default_rng(1000 * seed)
+    rng = as_generator(1000 * seed)
     dbs = [random_database(rng) for _ in range(batch_size)]
     batched = execute_sampling_batch(dbs, model=model)
     assert len(batched) == batch_size
@@ -72,7 +73,7 @@ def test_randomized_grid_equivalence(model, batch_size, seed):
 class TestGrouping:
     def test_mixed_schedule_shapes_preserve_input_order(self):
         # Overlaps far apart → different grover_reps → multiple groups.
-        rng = np.random.default_rng(42)
+        rng = as_generator(42)
         dbs = []
         for _ in range(4):
             dbs.append(random_database(rng))
@@ -85,7 +86,7 @@ class TestGrouping:
             assert result.public_parameters["M"] == db.total_count
 
     def test_plan_cache_shares_frozen_plans(self):
-        rng = np.random.default_rng(0)
+        rng = as_generator(0)
         db = random_database(rng)
         copies = [db, db, db]
         batched = execute_sampling_batch(copies, model="sequential")

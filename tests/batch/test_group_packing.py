@@ -20,6 +20,7 @@ from repro.batch.engine import (
 from repro.errors import ValidationError
 from repro.database import DistributedDatabase
 from repro.serve.shm import ArenaClient, ShmArena, arrays_nbytes, read_arrays, write_arrays
+from repro.utils.rng import as_generator
 
 
 def random_database(rng):
@@ -76,7 +77,7 @@ def assert_results_match(rebuilt, original):
 class TestExecuteGroupLocal:
     @pytest.mark.parametrize("model", ["sequential", "parallel"])
     def test_matches_execute_class_batch(self, model):
-        rng = np.random.default_rng(7)
+        rng = as_generator(7)
         instances = shape_group(rng, 5, model)
         direct = execute_class_batch(
             instances, model=model, include_probabilities=True, backend="classes"
@@ -92,7 +93,7 @@ class TestExecuteGroupLocal:
             )
 
     def test_subspace_group_matches(self):
-        rng = np.random.default_rng(11)
+        rng = as_generator(11)
         instances = shape_group(rng, 4)
         direct = execute_class_batch(
             instances, model="sequential", backend="subspace",
@@ -105,7 +106,7 @@ class TestExecuteGroupLocal:
         assert_results_match(local, direct)
 
     def test_mixed_shapes_rejected(self):
-        rng = np.random.default_rng(13)
+        rng = as_generator(13)
         instances = [ClassInstance.from_db(random_database(rng)) for _ in range(12)]
         shapes = {
             (p.grover_reps, p.needs_final)
@@ -116,7 +117,7 @@ class TestExecuteGroupLocal:
             execute_group_local(instances, model="sequential", backend="classes")
 
     def test_auto_backend_rejected(self):
-        rng = np.random.default_rng(3)
+        rng = as_generator(3)
         instances = shape_group(rng, 2)
         with pytest.raises(ValidationError):
             execute_group_local(instances, backend="auto")
@@ -129,7 +130,7 @@ class TestPackUnpack:
     @pytest.mark.parametrize("model", ["sequential", "parallel"])
     @pytest.mark.parametrize("include_probabilities", [False, True])
     def test_classes_round_trip(self, model, include_probabilities):
-        rng = np.random.default_rng(23)
+        rng = as_generator(23)
         instances = shape_group(rng, 4, model)
         original = execute_group_local(
             instances,
@@ -151,7 +152,7 @@ class TestPackUnpack:
             )
 
     def test_dense_round_trip(self):
-        rng = np.random.default_rng(29)
+        rng = as_generator(29)
         instances = shape_group(rng, 3)
         original = execute_group_local(
             instances, model="sequential", include_probabilities=True,
@@ -186,7 +187,7 @@ class TestPackUnpack:
         # The full wire path: pack → write into a shm block → attach as
         # a peer → zero-copy views → unpack → release. The rebuilt
         # results must not alias the (recycled) block.
-        rng = np.random.default_rng(31)
+        rng = as_generator(31)
         instances = shape_group(rng, 3)
         original = execute_group_local(
             instances, model="sequential", include_probabilities=True,

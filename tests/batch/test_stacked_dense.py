@@ -19,6 +19,7 @@ from repro.config import CONFIG, strict_mode
 from repro.core import SequentialSampler
 from repro.database import DistributedDatabase
 from repro.errors import SimulationLimitError, ValidationError
+from repro.utils.rng import as_generator
 
 
 def random_database(rng: np.random.Generator, universe: int | None = None) -> DistributedDatabase:
@@ -51,7 +52,7 @@ def assert_bit_identical(result, reference):
 class TestBitIdentity:
     @pytest.mark.parametrize("seed", [1, 2, 3])
     def test_randomized_grid_matches_per_instance_subspace(self, seed):
-        rng = np.random.default_rng(2000 * seed)
+        rng = as_generator(2000 * seed)
         dbs = [random_database(rng) for _ in range(9)]
         batched = execute_sampling_batch(dbs, model="sequential", backend="subspace")
         for db, result in zip(dbs, batched):
@@ -60,7 +61,7 @@ class TestBitIdentity:
 
     def test_mixed_universes_pad_inertly(self):
         """Different N in one batch: padding must not perturb any instance."""
-        rng = np.random.default_rng(99)
+        rng = as_generator(99)
         dbs = [random_database(rng, universe=u) for u in (17, 64, 40, 64, 128)]
         batched = execute_sampling_batch(dbs, model="sequential", backend="subspace")
         for db, result in zip(dbs, batched):
@@ -82,7 +83,7 @@ class TestBitIdentity:
         assert restricted.sequential_queries == reference.sequential_queries
 
     def test_strict_mode_run_stays_exact(self):
-        rng = np.random.default_rng(5)
+        rng = as_generator(5)
         dbs = [random_database(rng) for _ in range(3)]
         with strict_mode():
             results = execute_sampling_batch(
@@ -91,7 +92,7 @@ class TestBitIdentity:
         assert all(r.exact for r in results)
 
     def test_include_probabilities_false_skips_gather(self):
-        rng = np.random.default_rng(6)
+        rng = as_generator(6)
         [result] = execute_sampling_batch(
             [random_database(rng)],
             model="sequential",
@@ -119,7 +120,7 @@ class TestAutoResolution:
         )
 
     def test_auto_batch_splits_by_backend(self):
-        rng = np.random.default_rng(11)
+        rng = as_generator(11)
         small = random_database(rng, universe=32)
         counts = np.zeros((2, CONFIG.classes_universe_threshold), dtype=np.int64)
         counts[0, :8] = 2
@@ -139,7 +140,7 @@ class TestAutoResolution:
         assert stacked_backend_names("parallel") == ("classes",)
         with pytest.raises(ValidationError, match="unknown stacked backend"):
             execute_sampling_batch(
-                [random_database(np.random.default_rng(0))],
+                [random_database(as_generator(0))],
                 model="sequential",
                 backend="oracles",
             )
@@ -147,7 +148,7 @@ class TestAutoResolution:
     def test_parallel_model_rejects_subspace(self):
         with pytest.raises(ValidationError, match="unknown stacked backend"):
             execute_sampling_batch(
-                [random_database(np.random.default_rng(0))],
+                [random_database(as_generator(0))],
                 model="parallel",
                 backend="subspace",
             )
@@ -180,7 +181,7 @@ class TestStackedSubspaceVector:
         from repro.qsim import StateVector
         from repro.qsim.register import RegisterLayout
 
-        rng = np.random.default_rng(3)
+        rng = as_generator(3)
         singles = []
         for n in (5, 8, 3):
             amps = rng.normal(size=(n, 2)) + 1j * rng.normal(size=(n, 2))

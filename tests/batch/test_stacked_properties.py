@@ -13,6 +13,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.batch import StackedClassVector
 from repro.qsim import ClassVector
+from repro.utils.rng import as_generator
 
 #: One instance: (element→class map, class count), sizes kept tiny so the
 #: hypothesis grid explores shapes, not arithmetic.
@@ -43,7 +44,7 @@ class TestStackExtractRoundTrip:
         """stack → extract returns every instance cell for cell, at any
         mix of widths (padding classes carry multiplicity 0)."""
         shapes, seed = batch
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         singles = [build_instance(rng, n, c) for n, c in shapes]
         stacked = StackedClassVector.stack(singles)
         assert stacked.batch_size == len(singles)
@@ -62,7 +63,7 @@ class TestStackExtractRoundTrip:
     @settings(max_examples=60, deadline=None)
     def test_norms_and_probabilities_survive_stacking(self, batch):
         shapes, seed = batch
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         singles = [build_instance(rng, n, c) for n, c in shapes]
         stacked = StackedClassVector.stack(singles)
         for b, single in enumerate(singles):
@@ -77,7 +78,7 @@ class TestStackExtractRoundTrip:
     @settings(max_examples=40, deadline=None)
     def test_single_instance_stack_is_transparent(self, n_classes, seed):
         """B = 1: the stack is exactly its one instance (no padding)."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         single = build_instance(rng, 7, n_classes)
         stacked = StackedClassVector.stack([single])
         assert stacked.batch_size == 1
@@ -88,7 +89,7 @@ class TestStackExtractRoundTrip:
     @settings(max_examples=40, deadline=None)
     def test_n_equals_one_instances(self, n_classes, seed):
         """N = 1 universes stack, extract and normalize like any other."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         singles = [build_instance(rng, 1, n_classes), build_instance(rng, 5, 2)]
         stacked = StackedClassVector.stack(singles)
         assert stacked.n_elements(0) == 1
@@ -108,7 +109,7 @@ class TestFromPartsContract:
     @settings(max_examples=40, deadline=None)
     def test_extracted_states_share_class_maps(self, batch):
         shapes, seed = batch
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         singles = [build_instance(rng, n, c) for n, c in shapes]
         stacked = StackedClassVector.stack(singles)
         for b in range(stacked.batch_size):
@@ -124,7 +125,7 @@ class TestFromPartsContract:
     ):
         """Copy-on-write: a dynamic update on an extracted state must not
         write through to the stacked tensor's shared class map."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         singles = [build_instance(rng, 6, n_classes) for _ in range(2)]
         stacked = StackedClassVector.stack(singles)
         before_map = stacked._element_classes[0].copy()
@@ -140,7 +141,7 @@ class TestFromPartsContract:
     @given(st.integers(min_value=0, max_value=10**6))
     @settings(max_examples=30, deadline=None)
     def test_transfer_element_roundtrip_restores_state(self, seed):
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         single = build_instance(rng, 8, 4)
         reference = single.copy()
         state = single.copy()
@@ -161,7 +162,7 @@ class TestMixedWidthPadding:
         """A one-class (ν = 0) instance next to a wide one: the whole
         padded tail is empty classes and stays inert under the batched
         operator surface."""
-        rng = np.random.default_rng(seed)
+        rng = as_generator(seed)
         narrow = build_instance(rng, 4, 1)   # one class only
         wide = build_instance(rng, 6, 5)
         stacked = StackedClassVector.stack([narrow, wide])

@@ -14,12 +14,13 @@ from repro.database import (
     zipf_dataset,
 )
 from repro.qsim import RegisterLayout
+from repro.utils.rng import as_generator
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
     """A deterministic generator — never use global numpy randomness."""
-    return np.random.default_rng(20250611)
+    return as_generator(20250611)
 
 
 @pytest.fixture

@@ -25,6 +25,7 @@ from repro.core import (
 from repro.core.backends import _REGISTRY
 from repro.database import DistributedDatabase, partition, zipf_dataset
 from repro.errors import SimulationLimitError, ValidationError
+from repro.utils.rng import as_generator
 
 
 def random_instance(rng, universe, total, n_machines, nu_headroom=0):
@@ -118,7 +119,7 @@ class TestSequentialEquivalence:
     def test_fidelity_distribution_and_ledger_agree(
         self, universe, total, n_machines, headroom
     ):
-        rng = np.random.default_rng(1000 + universe + total)
+        rng = as_generator(1000 + universe + total)
         db = random_instance(rng, universe, total, n_machines, headroom)
         results = {
             b: sample_sequential(db, backend=b)
@@ -173,7 +174,7 @@ class TestParallelEquivalence:
 
     @pytest.mark.parametrize("universe,total,n_machines,headroom", GRID)
     def test_classes_matches_synced(self, universe, total, n_machines, headroom):
-        rng = np.random.default_rng(2000 + universe + total)
+        rng = as_generator(2000 + universe + total)
         db = random_instance(rng, universe, total, n_machines, headroom)
         r_synced = sample_parallel(db, backend="synced")
         r_classes = sample_parallel(db, backend="classes")

@@ -20,6 +20,7 @@ from repro.core import (
     solve_plan,
 )
 from repro.database import DistributedDatabase, Multiset
+from repro.utils.rng import as_generator
 
 
 @st.composite
@@ -116,7 +117,7 @@ def test_schedule_depends_only_on_public_parameters(db, data):
     fingerprint = sampler.schedule().fingerprint()
 
     seed = data.draw(st.integers(min_value=0, max_value=2**31))
-    sigma = np.random.default_rng(seed).permutation(db.universe)
+    sigma = as_generator(seed).permutation(db.universe)
     relabeled = DistributedDatabase(
         [m.replaced_shard(m.shard.permuted(sigma)) for m in db.machines],
         nu=db.nu,

@@ -13,6 +13,7 @@ from repro.database import (
     zipf_dataset,
 )
 from repro.errors import ValidationError
+from repro.utils.rng import as_generator
 
 universes = st.integers(min_value=1, max_value=64)
 totals = st.integers(min_value=1, max_value=128)
@@ -65,7 +66,7 @@ def test_sparse_support_bounds(universe, support, multiplicity, seed):
 def test_zipf_head_dominates_in_expectation(seed):
     """Averaged over many draws, low keys carry more Zipf mass than high
     keys — the monotone-in-expectation shape the skew scenarios rely on."""
-    gen = np.random.default_rng(seed)
+    gen = as_generator(seed)
     counts = sum(
         zipf_dataset(32, 400, exponent=1.5, rng=int(gen.integers(2**31))).counts
         for _ in range(8)

@@ -186,3 +186,57 @@ class TestFlightRecorder:
         dump = recorder.dump()
         assert len(dump) == 4
         assert [entry["index"] for entry in dump] == [6, 7, 8, 9]
+
+
+class TestWallClockIndependence:
+    """Duration math is monotonic-only: a wall clock stepping backward
+    (NTP, DST) must never produce negative durations or perturb traced
+    sampling results relative to untraced ones."""
+
+    def _backwards_clock(self):
+        ticks = iter(range(10**6, 0, -1))  # strictly decreasing wall time
+
+        def stepped_back():
+            return float(next(ticks))
+
+        return stepped_back
+
+    def test_span_durations_survive_backwards_wall_clock(self, monkeypatch):
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod.time, "time", self._backwards_clock())
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                sum(range(1000))
+        for record in tracer.spans():
+            assert record["duration_s"] >= 0.0
+
+    def test_traced_rows_bit_identical_under_backwards_wall_clock(
+        self, monkeypatch
+    ):
+        from repro.api import SamplingRequest, sample
+        from repro.database import partition, zipf_dataset
+
+        def run():
+            db = partition(zipf_dataset(16, 24, rng=3), 2)
+            result = sample(SamplingRequest(database=db))
+            assert result.sampling is not None
+            return result.sampling.summary(), result.trace
+
+        untraced, _ = run()
+
+        from repro.obs import trace as trace_mod
+
+        monkeypatch.setattr(trace_mod.time, "time", self._backwards_clock())
+        enable_tracing()
+        try:
+            traced, spans = run()
+        finally:
+            disable_tracing()
+
+        # Bit-identical result rows: tracing (even under a broken wall
+        # clock) must never touch the sampled physics.
+        assert traced == untraced
+        assert spans, "the traced run recorded no spans"
+        assert all(record["duration_s"] >= 0.0 for record in spans)

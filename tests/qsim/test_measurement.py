@@ -12,6 +12,7 @@ from repro.qsim import (
     sample_register,
 )
 from repro.qsim.measurement import expected_distribution_from_counts
+from repro.utils.rng import as_generator
 
 
 @pytest.fixture
@@ -75,7 +76,7 @@ class TestMeasureRegister:
 
     def test_correlated_register_collapses_too(self, biased_state):
         # In biased_state, i=2 is perfectly correlated with w=1.
-        gen = np.random.default_rng(0)
+        gen = as_generator(0)
         for _ in range(20):
             record = measure_register(biased_state, "i", rng=gen)
             if record.outcome == 2:

@@ -5,6 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.qsim import RegisterLayout, StateVector, haar_random_state
+from repro.utils.rng import as_generator
 
 dims = st.integers(min_value=2, max_value=6)
 seeds = st.integers(min_value=0, max_value=2**32 - 1)
@@ -12,7 +13,7 @@ seeds = st.integers(min_value=0, max_value=2**32 - 1)
 
 def _random_state(i_dim, s_dim, seed):
     layout = RegisterLayout.of(i=i_dim, s=s_dim, w=2)
-    return haar_random_state(layout, np.random.default_rng(seed))
+    return haar_random_state(layout, as_generator(seed))
 
 
 @settings(max_examples=40, deadline=None)
@@ -55,9 +56,9 @@ def test_value_shift_roundtrip_is_identity(i_dim, s_dim, seed, data):
 @given(i_dim=dims, seed=seeds)
 def test_permutation_preserves_probability_multiset(i_dim, seed):
     layout = RegisterLayout.of(x=i_dim)
-    state = haar_random_state(layout, np.random.default_rng(seed))
+    state = haar_random_state(layout, as_generator(seed))
     probs_before = np.sort(state.marginal_probabilities("x"))
-    perm = np.random.default_rng(seed + 1).permutation(i_dim)
+    perm = as_generator(seed + 1).permutation(i_dim)
     state.apply_permutation("x", perm)
     probs_after = np.sort(state.marginal_probabilities("x"))
     np.testing.assert_allclose(probs_after, probs_before, atol=1e-12)
@@ -67,7 +68,7 @@ def test_permutation_preserves_probability_multiset(i_dim, seed):
 @given(i_dim=dims, seed=seeds, angle=st.floats(min_value=-np.pi, max_value=np.pi))
 def test_projector_phase_preserves_norm(i_dim, seed, angle):
     layout = RegisterLayout.of(i=i_dim, w=2)
-    state = haar_random_state(layout, np.random.default_rng(seed))
+    state = haar_random_state(layout, as_generator(seed))
     vec = np.full(i_dim, 1.0 / np.sqrt(i_dim), dtype=np.complex128)
     state.apply_projector_phase({"i": vec, "w": 0}, np.exp(1j * angle))
     assert abs(state.norm() - 1.0) < 1e-10
@@ -77,7 +78,7 @@ def test_projector_phase_preserves_norm(i_dim, seed, angle):
 @given(i_dim=dims, seed=seeds, angle=st.floats(min_value=-np.pi, max_value=np.pi))
 def test_projector_phase_inverse(i_dim, seed, angle):
     layout = RegisterLayout.of(i=i_dim, w=2)
-    state = haar_random_state(layout, np.random.default_rng(seed))
+    state = haar_random_state(layout, as_generator(seed))
     before = state.flat()
     vec = np.full(i_dim, 1.0 / np.sqrt(i_dim), dtype=np.complex128)
     state.apply_projector_phase({"i": vec, "w": 0}, np.exp(1j * angle))
@@ -89,7 +90,7 @@ def test_projector_phase_inverse(i_dim, seed, angle):
 @given(c_dim=dims, seed=seeds)
 def test_controlled_qubit_unitary_preserves_norm(c_dim, seed):
     layout = RegisterLayout.of(c=c_dim, t=2)
-    gen = np.random.default_rng(seed)
+    gen = as_generator(seed)
     state = haar_random_state(layout, gen)
     # Random per-control unitaries via QR.
     mats = np.stack(
@@ -116,7 +117,7 @@ def test_marginals_sum_to_one(i_dim, s_dim, seed):
 @given(i_dim=dims, seed=seeds)
 def test_overlap_cauchy_schwarz(i_dim, seed):
     layout = RegisterLayout.of(i=i_dim)
-    gen = np.random.default_rng(seed)
+    gen = as_generator(seed)
     a = haar_random_state(layout, gen)
     b = haar_random_state(layout, gen)
     assert abs(a.overlap(b)) <= 1.0 + 1e-12
@@ -126,7 +127,7 @@ def test_overlap_cauchy_schwarz(i_dim, seed):
 @given(i_dim=dims, seed=seeds)
 def test_distance_triangle_inequality(i_dim, seed):
     layout = RegisterLayout.of(i=i_dim)
-    gen = np.random.default_rng(seed)
+    gen = as_generator(seed)
     a = haar_random_state(layout, gen)
     b = haar_random_state(layout, gen)
     c = haar_random_state(layout, gen)

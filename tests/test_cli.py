@@ -279,3 +279,80 @@ class TestServeCli:
                      "--batch-size", "4", "--flush-deadline", "0.01"])
         assert code == 0
         assert "4/4" in capsys.readouterr().out
+
+
+class TestLintCommand:
+    """`python -m repro lint` — the CI gate surface."""
+
+    def _tree(self, tmp_path, dirty=True):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        body = 'raise ValueError("bad")\n' if dirty else "x = 1\n"
+        (pkg / "mod.py").write_text(body, encoding="utf-8")
+        return tmp_path / "src"
+
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        code = main(["lint", str(self._tree(tmp_path, dirty=False))])
+        assert code == 0
+        assert "clean: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        code = main(["lint", str(self._tree(tmp_path))])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP008" in out
+        assert "1 finding(s)" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json as json_mod
+
+        code = main(["lint", str(self._tree(tmp_path)), "--format", "json"])
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["counts"] == {"REP008": 1}
+
+    def test_output_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        report_path = tmp_path / "out" / "analysis_report.json"
+        code = main(["lint", str(self._tree(tmp_path, dirty=False)),
+                     "--format", "json", "--output", str(report_path)])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        payload = json_mod.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["total"] == 0
+
+    def test_select_subset(self, tmp_path, capsys):
+        code = main(["lint", str(self._tree(tmp_path)), "--select", "REP001"])
+        assert code == 0  # REP008 violation invisible to a REP001-only run
+        capsys.readouterr()
+
+    def test_select_unknown_rule_exits_two(self, tmp_path, capsys):
+        code = main(["lint", str(self._tree(tmp_path)), "--select", "REP555"])
+        assert code == 2
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path / "absent")])
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for rule_id in ("REP001", "REP008", "REP902"):
+            assert rule_id in out
+        assert "no-unseeded-rng" in out
+
+    def test_repo_tree_is_clean(self, capsys):
+        """The acceptance gate: the shipped tree has zero findings."""
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[1]
+        paths = [str(repo / d)
+                 for d in ("src", "tests", "benchmarks", "examples")
+                 if (repo / d).exists()]
+        code = main(["lint", *paths])
+        capsys.readouterr()
+        assert code == 0

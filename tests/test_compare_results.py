@@ -229,3 +229,62 @@ class TestCompareDirectories:
             ["--baseline", baseline, "--current", current, "--strict"]
         )
         assert code == 1
+
+
+def analysis_report(counts):
+    return {
+        "version": 1,
+        "files_checked": 200,
+        "total": sum(counts.values()),
+        "counts": dict(counts),
+        "findings": [],
+        "parse_errors": [],
+    }
+
+
+class TestCompareAnalysisReports:
+    """Finding-count diffing of the make-analyze artifact."""
+
+    def test_equal_counts_stay_quiet(self):
+        report = analysis_report({"REP001": 2})
+        assert compare_results.compare_analysis_reports(report, report) == []
+
+    def test_growth_warns_per_rule(self):
+        warnings = compare_results.compare_analysis_reports(
+            analysis_report({"REP001": 2}),
+            analysis_report({"REP001": 5, "REP003": 1}),
+        )
+        assert len(warnings) == 2
+        assert "REP001: 2 -> 5" in warnings[0]
+        assert "REP003: 0 -> 1" in warnings[1]
+
+    def test_shrinkage_is_progress_not_warning(self):
+        warnings = compare_results.compare_analysis_reports(
+            analysis_report({"REP001": 5}),
+            analysis_report({"REP001": 1}),
+        )
+        assert warnings == []
+
+    def test_directories_pick_up_the_report(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        baseline.mkdir()
+        current.mkdir()
+        (baseline / "analysis_report.json").write_text(
+            json.dumps(analysis_report({})), encoding="utf-8"
+        )
+        (current / "analysis_report.json").write_text(
+            json.dumps(analysis_report({"REP008": 3})), encoding="utf-8"
+        )
+        warnings = compare_results.compare_directories(str(baseline), str(current))
+        assert warnings == ["[analysis] analysis finding growth in REP008: 0 -> 3"]
+
+    def test_missing_report_skips_silently(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        current = tmp_path / "current"
+        baseline.mkdir()
+        current.mkdir()
+        (current / "analysis_report.json").write_text(
+            json.dumps(analysis_report({"REP008": 3})), encoding="utf-8"
+        )
+        assert compare_results.compare_directories(str(baseline), str(current)) == []
