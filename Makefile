@@ -38,9 +38,10 @@ e22:
 	$(PYTHON) -m pytest benchmarks/bench_e22_backend_scaling.py -q --benchmark-disable
 
 # E23: the stacked engines vs the per-instance loop — classes at any
-# scale plus the (B, N, 2) stacked-dense subspace backend on the
-# medium-N grid.  Full run asserts the ≥5× (classes) and ≥3× (dense)
-# instances/sec bars at B = 256; the smoke variant (tiny B, both
+# scale, the (B, N, 2) stacked-dense subspace backend on the medium-N
+# grid, and the CSR ragged substrate on mixed-ν batches.  Full run
+# asserts the ≥5× (classes), ≥3× (dense) and ≥2×-over-padded (ragged)
+# instances/sec bars at B = 256; the smoke variant (tiny B, all
 # backends, no throughput assertion) is what CI executes.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_e23_batched_throughput.py -q --benchmark-disable
@@ -51,7 +52,8 @@ bench-batch-smoke:
 
 # E24: the long-lived serving loop vs the offline batched driver.  Full
 # run asserts the ≥0.8× throughput bar and the deadline-bounded p99; the
-# smoke variant (tiny trace, no rate assertions) is what CI executes,
+# smoke variants (tiny trace + the mixed-ν ragged trickle, whose ≥2×
+# and ≥0.9-fill bars self-gate on ≥4 cores) are what CI executes,
 # alongside a CLI trace through `python -m repro serve`.
 bench-serve:
 	$(PYTHON) -m pytest benchmarks/bench_e24_serving.py -q --benchmark-disable \

@@ -25,6 +25,16 @@ Stacked backends
     mixed-``N`` batches.  Reproduces per-instance
     :class:`~repro.core.backends.SubspaceBackend` rows **bit-identically**
     and is the fast path for small/medium-``N`` homogeneous sweeps.
+``"synced"`` (parallel):
+    the same ``(B, N, 2)`` stacked-dense machinery driving the Lemma
+    4.4 synced layout (:class:`~repro.batch.stacked_dense.StackedSyncedBackend`)
+    — small-``N`` *parallel* groups stack densely too, bit-identical to
+    per-instance :class:`~repro.core.backends.SyncedBackend` rows.
+``"ragged"`` (both models):
+    CSR-style ``(values, offsets)`` packing of heterogeneous-ν batches
+    into one contiguous ``(Σνᵢ+B, 2)`` plane
+    (:mod:`repro.batch.ragged`) — mixed-ν, mixed-schedule work executes
+    as **one** group with fill ratio ≈ 1 instead of padding to max ν.
 
 The state objects returned by :meth:`StackedBackend.uniform_state`
 share the batched phase surface of
@@ -106,6 +116,13 @@ class StackedBackend(abc.ABC):
     name: ClassVar[str]
     #: Query models this backend can execute.
     models: ClassVar[tuple[str, ...]]
+    #: Whether one group may mix schedule shapes (``grover_reps`` /
+    #: ``needs_final``).  When True the engine relaxes its grouping key
+    #: to the compatibility class and drives heterogeneous schedules with
+    #: a masked iterate loop, calling ``apply_d(state, adjoint, active=mask)``
+    #: — inactive instances must see an exact identity.  Padding-free
+    #: substrates (the CSR-packed ``ragged`` backend) opt in.
+    supports_mixed_schedules: ClassVar[bool] = False
 
     def __init__(self, instances: Sequence["ClassInstance"], model: str) -> None:
         if model not in self.models:
@@ -218,8 +235,9 @@ def auto_stacked_backend(
     ``N ≥ classes_universe_threshold`` (the compression's home regime)
     and whenever the per-instance dense dimension ``2N`` would exceed
     the cap; otherwise the ``(B, N, 2)`` stacked-dense representation —
-    currently sequential-model only, so parallel batches stay on
-    ``classes``.  Both knobs default to the live :data:`CONFIG` fields;
+    ``subspace`` for sequential batches, the Lemma 4.4 ``synced``
+    layout for parallel ones (mirroring the per-instance planner rule).
+    Both knobs default to the live :data:`CONFIG` fields;
     ``max_dense_dimension`` is the per-run ``SamplingRequest`` /
     ``--max-dense-dim`` override, ``classes_universe_threshold`` the
     per-planner one.
@@ -234,9 +252,10 @@ def auto_stacked_backend(
     )
     if universe >= threshold or 2 * universe > cap:
         return "classes"
-    dense = _REGISTRY.get("subspace")
+    dense_name = "subspace" if model == "sequential" else "synced"
+    dense = _REGISTRY.get(dense_name)
     if dense is not None and model in dense.models:
-        return "subspace"
+        return dense_name
     return "classes"
 
 

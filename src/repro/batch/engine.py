@@ -9,9 +9,24 @@ tensor, and hands back one
 :class:`~repro.core.result.SamplingResult` per input database, in input
 order.  The stacked representation is pluggable
 (:mod:`repro.batch.backends`): the ``(B, ν+1, 2)`` count-class tensor
-(``"classes"``, any scale), the ``(B, N, 2)`` dense subspace tensor
-(``"subspace"``, small/medium ``N``), or ``"auto"`` to pick per instance
-by universe size — the engine below never branches on the substrate.
+(``"classes"``, any scale), the ``(B, N, 2)`` dense tensors
+(``"subspace"``/``"synced"``, small/medium ``N``), the CSR-packed
+``"ragged"`` plane (heterogeneous ν at fill ratio ≈ 1), or ``"auto"``
+to pick per instance by universe size — the engine below never branches
+on the substrate.
+
+Backends that declare
+:attr:`~repro.batch.backends.StackedBackend.supports_mixed_schedules`
+relax the grouping key to the *compatibility class* (just the backend
+name): one group may then mix schedule shapes, and the engine drives it
+with a masked iterate loop — finished instances ride the remaining
+iterations under unit phases and identity rotation blocks, which are
+exact no-ops, so every instance still executes precisely its own
+schedule.  With ``CONFIG.ragged_fill_threshold > 0``, ``"auto"``
+batches whose ``classes``-bound instances would pad badly (padded fill
+below the threshold across ≥ 2 distinct shapes) are rerouted onto the
+``ragged`` substrate; the default threshold ``0.0`` keeps auto routing
+byte-stable.
 
 Exactness is not traded for throughput:
 
@@ -58,9 +73,10 @@ from typing import Sequence
 
 import numpy as np
 
+from ..config import CONFIG
 from ..obs.metrics import METRICS
 from ..qsim.classvector import ClassVector
-from ..qsim.register import RegisterLayout
+from ..qsim.register import Register, RegisterLayout
 from ..qsim.state import StateVector
 from ..core.exact_aa import AmplificationPlan, solve_plan
 from ..core.result import SamplingResult
@@ -69,10 +85,13 @@ from ..database.distributed import DistributedDatabase
 from ..database.ledger import QueryLedger
 from ..errors import ValidationError
 from .backends import (
+    AUTO_STACKED_BACKEND,
+    StackedBackend,
     create_stacked_backend,
     resolve_stacked_backend,
     resolve_stacked_name,
 )
+from .ragged import padded_fill_ratio
 
 #: The default stacked substrate (and the name stamped on its results):
 #: the ``classes`` compression, which batches at any scale.
@@ -245,6 +264,52 @@ def _charge_run(
         )
 
 
+def _apply_masked_schedules(
+    backend: StackedBackend,
+    state,
+    plans: Sequence[AmplificationPlan],
+) -> None:
+    """Drive one mixed-schedule group through per-instance activity masks.
+
+    Every schedule is ``D`` then ``grover_reps`` full iterates then an
+    optional partial final iterate, so the union of the group's
+    schedules is a single loop of length ``max(reps + needs_final)`` in
+    which each instance is *active* while its own schedule still runs.
+    Inactive instances see unit phases, identity rotation blocks and a
+    unit global phase — exact no-ops on their cells (the backend's
+    ``supports_mixed_schedules`` contract) — so each instance's
+    amplitudes are bit-for-bit those of running its schedule alone,
+    modulo the sign of zeros.  Ledgers are unaffected: they are charged
+    per instance from each plan's own ``d_applications``.
+    """
+    batch = len(plans)
+    reps = np.array([p.grover_reps for p in plans], dtype=np.int64)
+    wants_final = np.array([p.needs_final for p in plans], dtype=bool)
+    final_varphi = np.array([p.final_varphi for p in plans], dtype=np.float64)
+    final_phi = np.array([p.final_phi for p in plans], dtype=np.float64)
+
+    backend.apply_d(state)  # the initial D — every schedule starts with it
+    total = int(np.max(reps + wants_final.astype(np.int64)))
+    pi_phase = np.exp(1j * np.pi)
+    for t in range(total):
+        in_loop = t < reps
+        at_final = wants_final & (reps == t)
+        active = in_loop | at_final
+        varphi = np.ones(batch, dtype=np.complex128)
+        phi = np.ones(batch, dtype=np.complex128)
+        varphi[in_loop] = pi_phase
+        phi[in_loop] = pi_phase
+        varphi[at_final] = np.exp(1j * final_varphi[at_final])
+        phi[at_final] = np.exp(1j * final_phi[at_final])
+        glob = np.where(active, -1.0 + 0.0j, 1.0 + 0.0j)
+        # Q(φ, ϕ) = −D S_π(ϕ) D† S_χ(φ) on the active instances only.
+        state.apply_phase_slice("w", 0, varphi)
+        backend.apply_d(state, adjoint=True, active=active)
+        state.apply_pi_projector_phase(phi)
+        backend.apply_d(state, active=active)
+        state.apply_global_phase(glob)
+
+
 def _run_group(
     instances: Sequence[ClassInstance],
     plans: Sequence[AmplificationPlan],
@@ -258,8 +323,11 @@ def _run_group(
     The control flow below is the whole engine: the named
     :class:`~repro.batch.backends.StackedBackend` owns the tensor and the
     batched ``D`` kernel; ledgers, schedules and plans are charged here,
-    identically for every substrate.  Every group publishes its kernel
-    wall time into the process metrics registry
+    identically for every substrate.  A group whose plans share one
+    schedule shape runs the classic lockstep loop; a mixed-shape group
+    (only formed for ``supports_mixed_schedules`` backends) runs the
+    masked loop of :func:`_apply_masked_schedules`.  Every group
+    publishes its kernel wall time into the process metrics registry
     (``engine.group_s.<backend>``), the per-phase signal the ROADMAP's
     cost-model planner needs.
     """
@@ -276,13 +344,19 @@ def _run_group(
         backend.apply_d(state)
         state.apply_global_phase(-1.0)
 
-    backend.apply_d(state)  # the initial D
-    for _ in range(plan0.grover_reps):
-        apply_q(np.exp(1j * np.pi), np.exp(1j * np.pi))
-    if plan0.needs_final:
-        varphi = np.exp(1j * np.array([p.final_varphi for p in plans]))
-        phi = np.exp(1j * np.array([p.final_phi for p in plans]))
-        apply_q(varphi, phi)
+    if any(
+        (p.grover_reps, p.needs_final) != (plan0.grover_reps, plan0.needs_final)
+        for p in plans
+    ):
+        _apply_masked_schedules(backend, state, plans)
+    else:
+        backend.apply_d(state)  # the initial D
+        for _ in range(plan0.grover_reps):
+            apply_q(np.exp(1j * np.pi), np.exp(1j * np.pi))
+        if plan0.needs_final:
+            varphi = np.exp(1j * np.array([p.final_varphi for p in plans]))
+            phi = np.exp(1j * np.array([p.final_phi for p in plans]))
+            apply_q(varphi, phi)
 
     fidelities = backend.fidelities(state)
     probabilities = (
@@ -350,10 +424,15 @@ def execute_sampling_batch(
         schedule fingerprints, identical output state).
     backend:
         The stacked substrate: ``"classes"`` (default — the ``O(ν)``
-        compression, any scale), ``"subspace"`` (the ``(B, N, 2)`` dense
-        tensor, bit-identical to per-instance ``subspace`` rows), or
-        ``"auto"`` to resolve per instance by universe size
-        (:func:`~repro.batch.backends.auto_stacked_backend`).
+        compression, any scale), ``"subspace"``/``"synced"`` (the
+        ``(B, N, 2)`` dense tensors, bit-identical to per-instance
+        ``subspace``/``synced`` rows), ``"ragged"`` (CSR-packed
+        heterogeneous-ν groups, bit-identical to per-instance
+        ``classes`` rows), or ``"auto"`` to resolve per instance by
+        universe size
+        (:func:`~repro.batch.backends.auto_stacked_backend`), with
+        poor-fill heterogeneous batches rerouted to ``ragged`` when
+        ``CONFIG.ragged_fill_threshold`` is positive.
 
     Returns
     -------
@@ -373,6 +452,41 @@ def execute_sampling_batch(
         skip_zero_capacity=skip_zero_capacity,
         backend=backend,
     )
+
+
+def _reroute_heterogeneous(
+    requested: str,
+    backends: list[str],
+    instances: Sequence[ClassInstance],
+    plans: Sequence[AmplificationPlan],
+) -> None:
+    """Reroute poor-fill heterogeneous ``auto`` batches onto ``ragged``.
+
+    Mutates ``backends`` in place.  Applies only when the caller asked
+    for ``"auto"`` routing and ``CONFIG.ragged_fill_threshold`` is
+    positive (the default ``0.0`` keeps auto labels byte-stable): the
+    ``classes``-bound instances are rerouted as one set when they span
+    at least two distinct ``(ν, schedule-shape)`` signatures — genuine
+    heterogeneity, not just a small batch — and a padded ``(B, C, 2)``
+    stack of them would fill below the threshold.  Explicit backend
+    names are never second-guessed; ``backend="ragged"`` opts in
+    unconditionally.
+    """
+    threshold = CONFIG.ragged_fill_threshold
+    if requested != AUTO_STACKED_BACKEND or threshold <= 0:
+        return
+    routed = [i for i, name in enumerate(backends) if name == "classes"]
+    if len(routed) < 2:
+        return
+    shapes = {
+        (instances[i].nu, plans[i].grover_reps, plans[i].needs_final) for i in routed
+    }
+    if len(shapes) < 2:
+        return
+    if padded_fill_ratio([instances[i].nu + 1 for i in routed]) >= threshold:
+        return
+    for i in routed:
+        backends[i] = "ragged"
 
 
 def execute_class_batch(
@@ -404,9 +518,15 @@ def execute_class_batch(
     backends = [
         resolve_stacked_name(backend, model, inst.universe) for inst in instances
     ]
-    groups: dict[tuple[str, int, bool], list[int]] = {}
+    _reroute_heterogeneous(backend, backends, instances, plans)
+    groups: dict[tuple[str, int | None, bool | None], list[int]] = {}
     for idx, plan in enumerate(plans):
-        key = (backends[idx], plan.grover_reps, plan.needs_final)
+        # Mixed-schedule backends group by compatibility class (the name
+        # alone) — the masked loop executes each instance's own schedule.
+        if resolve_stacked_backend(backends[idx], model).supports_mixed_schedules:
+            key: tuple[str, int | None, bool | None] = (backends[idx], None, None)
+        else:
+            key = (backends[idx], plan.grover_reps, plan.needs_final)
         groups.setdefault(key, []).append(idx)
     results: list[SamplingResult | None] = [None] * len(instances)
     for (backend_name, _, _), indices in groups.items():
@@ -438,6 +558,7 @@ def execute_group_local(
     include_probabilities: bool = False,
     skip_zero_capacity: bool = False,
     backend: str = BATCH_BACKEND,
+    request_ids: Sequence[object] | None = None,
 ) -> list[SamplingResult]:
     """Execute one *pre-packed* schedule-shape group (the shard-local entry).
 
@@ -449,7 +570,13 @@ def execute_group_local(
     a concrete registered name, never ``"auto"`` — but still *verifies*
     schedule-shape homogeneity (the plans are memoized, so the check is
     a few tuple compares) because a mixed-shape group would silently run
-    every instance on the first instance's schedule.  Block splitting by
+    every instance on the first instance's schedule.  Mixed-schedule
+    backends (``supports_mixed_schedules``, e.g. ``ragged``) skip that
+    check: the masked loop executes each instance's own schedule.  When
+    the caller knows its request ids, passing them as ``request_ids``
+    (aligned with ``instances``) makes the mixed-shape error name the
+    offending *request*, not just a batch index nobody can map back.
+    Block splitting by
     :meth:`~repro.batch.backends.StackedBackend.group_size_limit` and
     all result guarantees match :func:`execute_class_batch`.
     """
@@ -460,16 +587,24 @@ def execute_group_local(
     instances = list(instances)
     if not instances:
         return []
+    backend_cls = resolve_stacked_backend(backend, model)
     plans = [cached_plan(inst.overlap()) for inst in instances]
-    shape = (plans[0].grover_reps, plans[0].needs_final)
-    for b, plan in enumerate(plans):
-        if (plan.grover_reps, plan.needs_final) != shape:
-            raise ValidationError(
-                f"execute_group_local takes one schedule-shape group: instance "
-                f"{b} has shape ({plan.grover_reps}, {plan.needs_final}), the "
-                f"group leads with {shape}"
-            )
-    limit = resolve_stacked_backend(backend, model).group_size_limit(instances)
+    if not backend_cls.supports_mixed_schedules:
+        shape = (plans[0].grover_reps, plans[0].needs_final)
+        for b, plan in enumerate(plans):
+            if (plan.grover_reps, plan.needs_final) != shape:
+                who = (
+                    f"request {request_ids[b]!r}"
+                    if request_ids is not None and b < len(request_ids)
+                    else f"instance {b}"
+                )
+                raise ValidationError(
+                    f"execute_group_local takes one schedule-shape group for "
+                    f"the {backend!r} backend: {who} has shape "
+                    f"({plan.grover_reps}, {plan.needs_final}), the group "
+                    f"leads with {shape}"
+                )
+    limit = backend_cls.group_size_limit(instances)
     step = len(instances) if limit is None else max(1, limit)
     results: list[SamplingResult] = []
     for start in range(0, len(instances), step):
@@ -503,19 +638,30 @@ def execute_group_local(
 # worker-side originals exactly.
 
 
-def pack_group_results(results: Sequence[SamplingResult]) -> tuple[
-    list[dict[str, object]], dict[str, np.ndarray]
-]:
+def pack_group_results(
+    results: Sequence[SamplingResult], *, ragged: bool = False
+) -> tuple[list[dict[str, object]], dict[str, np.ndarray]]:
     """Flatten executed results into ``(meta, arrays)`` for the shm handoff.
 
     ``meta`` holds only plain scalars (ints, floats, small tuples);
-    ``arrays`` holds every ndarray, keyed ``<field><index>``.  Raises
-    :class:`ValidationError` for final-state types it does not know how
-    to marshal (a custom registered backend) — callers fall back to
-    pickling the whole results list for that batch.
+    ``arrays`` holds every ndarray, keyed ``<field><index>``.  Dense
+    final states record their register layout in the meta entry, so the
+    wider ``(i, s, w)`` synced layouts survive the wire.  With
+    ``ragged=True`` the class-substrate final states of the whole group
+    are marshalled as **one** CSR triple — a concatenated values plane
+    (``rv``), a concatenated multiplicity plane (``rcs``) and one
+    offsets array (``ro``) — instead of ``2B`` per-instance arrays, so
+    a ragged group crosses the shm arena as the same contiguous packing
+    it executed in.  Raises :class:`ValidationError` for final-state
+    types it does not know how to marshal (a custom registered backend)
+    — callers fall back to pickling the whole results list for that
+    batch.
     """
     meta: list[dict[str, object]] = []
     arrays: dict[str, np.ndarray] = {}
+    widths: list[int] = []
+    values_parts: list[np.ndarray] = []
+    sizes_parts: list[np.ndarray] = []
     for i, res in enumerate(results):
         params = res.public_parameters
         entry: dict[str, object] = {
@@ -529,14 +675,24 @@ def pack_group_results(results: Sequence[SamplingResult]) -> tuple[
         }
         state = res.final_state
         if isinstance(state, ClassVector):
-            entry["state"] = "classes"
             entry["norm"] = float(state._expected_norm)
             arrays[f"ec{i}"] = state.element_classes
-            arrays[f"cs{i}"] = state.class_sizes
-            arrays[f"amps{i}"] = state.class_amplitudes()
+            if ragged:
+                entry["state"] = "ragged"
+                entry["seg"] = len(widths)
+                widths.append(int(state.n_classes))
+                sizes_parts.append(state.class_sizes)
+                values_parts.append(state.class_amplitudes())
+            else:
+                entry["state"] = "classes"
+                arrays[f"cs{i}"] = state.class_sizes
+                arrays[f"amps{i}"] = state.class_amplitudes()
         elif isinstance(state, StateVector):
             entry["state"] = "dense"
             entry["norm"] = float(state._expected_norm)
+            entry["layout"] = tuple(
+                (reg.name, int(reg.dim)) for reg in state.layout.registers
+            )
             arrays[f"amps{i}"] = state.as_array()
         else:
             raise ValidationError(
@@ -546,6 +702,12 @@ def pack_group_results(results: Sequence[SamplingResult]) -> tuple[
         if res.output_probabilities is not None:
             arrays[f"prob{i}"] = res.output_probabilities
         meta.append(entry)
+    if widths:
+        offsets = np.zeros(len(widths) + 1, dtype=np.int64)
+        np.cumsum(np.asarray(widths, dtype=np.int64), out=offsets[1:])
+        arrays["ro"] = offsets
+        arrays["rcs"] = np.concatenate(sizes_parts, axis=0)
+        arrays["rv"] = np.concatenate(values_parts, axis=0)
     return meta, arrays
 
 
@@ -580,16 +742,37 @@ def unpack_group_results(
         ledger = QueryLedger(n)
         _charge_run(ledger, model, n, plan.d_applications, active=active)
         ledger.freeze()
-        if entry["state"] == "classes":
+        kind = entry["state"]
+        if kind == "classes":
             final_state: object = ClassVector.from_parts(
                 np.array(arrays[f"ec{i}"]),
                 np.array(arrays[f"cs{i}"]),
                 np.array(arrays[f"amps{i}"]),
                 expected_norm=float(entry["norm"]),  # type: ignore[arg-type]
             )
+        elif kind == "ragged":
+            seg = int(entry["seg"])  # type: ignore[arg-type]
+            offsets = arrays["ro"]
+            lo, hi = int(offsets[seg]), int(offsets[seg + 1])
+            final_state = ClassVector.from_parts(
+                np.array(arrays[f"ec{i}"]),
+                np.array(arrays["rcs"][lo:hi]),
+                np.array(arrays["rv"][lo:hi]),
+                expected_norm=float(entry["norm"]),  # type: ignore[arg-type]
+            )
         else:
+            layout_spec = entry.get("layout")
+            if layout_spec is not None:
+                layout = RegisterLayout(
+                    tuple(
+                        Register(str(name), int(dim))
+                        for name, dim in layout_spec  # type: ignore[union-attr]
+                    )
+                )
+            else:
+                layout = RegisterLayout.of(i=universe, w=2)
             dense = StateVector.__new__(StateVector)
-            dense._layout = RegisterLayout.of(i=universe, w=2)
+            dense._layout = layout
             dense._amps = np.array(arrays[f"amps{i}"])
             dense._expected_norm = float(entry["norm"])  # type: ignore[arg-type]
             final_state = dense

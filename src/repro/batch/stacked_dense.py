@@ -37,6 +37,12 @@ memory wall the naive ``(B, C, 2)`` array hits:
 The interleaved ``(N_b, 2)`` view any endpoint needs (fidelity ``vdot``,
 final-state extraction) is materialized per instance, once, at the end.
 
+Two backends share the machinery: ``subspace`` stacks the sequential
+Eq. (5) states, and ``synced`` stacks the parallel Lemma 4.4 fast path —
+the synced counting register stays classically correlated with the
+element register, so the same two planes carry it with the ``s`` axis
+kept virtual (see :class:`StackedSyncedVector`).
+
 Instances need not be homogeneous: each carries its own universe size
 ``N_b``.  Shorter instances are padded with inert columns — amplitude
 zero, identity rotation, zero uniform weight — so stacking never changes
@@ -527,3 +533,226 @@ class StackedSubspaceBackend(StackedBackend):
 
     def final_state(self, state: StackedSubspaceVector, b: int) -> StateVector:
         return state.extract(b)
+
+
+class StackedSyncedVector(StackedSubspaceVector):
+    """``B`` dense Lemma 4.4 synced states as the same ``(B, N, 2)`` planes.
+
+    The per-instance ``synced`` backend carries the full ``(i, s, w)``
+    layout, but its dynamics keep the counting register *classically
+    correlated* with the element register: between ``D`` applications the
+    state is supported on ``s = 0``, and inside a ``D`` the value
+    shift/unshift pair is an exact basis permutation.  The composite
+    effect on the live ``(i, w)`` cells is therefore the per-element
+    rotation by the ``U``-block at ``c_i`` — exactly the
+    :class:`StackedSubspaceVector` kernel surface — so the stacked
+    representation stores only the two ``(B, C)`` flag planes and keeps
+    the ``s`` register *virtual*.
+
+    The two places the wider layout is observable are replicated
+    bit for bit:
+
+    * ``S_π`` — per instance, :meth:`StateVector.apply_projector_phase`
+      with factors ``{i: |π⟩, w: 0}`` contracts ``w`` first and then runs
+      a *wide* ``(1, N) @ (N, ν+1)`` gemm whose column-0 summation order
+      differs from the narrow ``(1, N) @ (N, 1)`` dot of the subspace
+      path.  :meth:`apply_pi_projector_phase` below issues the identical
+      wide gemm against a persistent zero window per instance.
+    * endpoints — fidelity, final state — zero-embed the planes back
+      into the ``(N, ν+1, 2)`` layout so ``np.vdot`` and extraction see
+      the per-instance array shapes (padding cells contribute exact
+      zeros; the sign of zeros is the usual non-observable).
+    """
+
+    __slots__ = ("_nus", "_spi_windows")
+
+    def __init__(
+        self, sizes: Sequence[int], nus: Sequence[int], amps: np.ndarray | None = None
+    ) -> None:
+        sizes = [int(n) for n in sizes]
+        super().__init__(sizes, amps)
+        counts = [int(v) for v in nus]
+        require(
+            len(counts) == len(sizes),
+            "need exactly one ν per instance to shape the synced layout",
+        )
+        for b, v in enumerate(counts):
+            require(v >= 1, f"instance {b}: ν must be >= 1")
+        self._nus = np.asarray(counts, dtype=np.int64)
+        # Persistent per-instance (N_b, ν_b+1) zero windows for the S_π
+        # wide gemm; only column 0 is ever (re)written.
+        self._spi_windows: dict[int, np.ndarray] = {}
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def uniform(
+        cls, sizes: Sequence[int], nus: Sequence[int]
+    ) -> "StackedSyncedVector":
+        """Every instance in ``|π⟩ ⊗ |0⟩_s ⊗ |0⟩_w`` — the state after ``F``."""
+        state = cls(sizes, nus)
+        for b, n in enumerate(state._sizes):
+            state._a0[b, : int(n)] = 1.0 / np.sqrt(int(n))
+        state._expected_norms = state.norms()
+        return state
+
+    @classmethod
+    def stack(cls, states: Sequence[StateVector]) -> "StackedSyncedVector":
+        """Stack existing per-instance ``(i, s, w)`` synced states.
+
+        Requires each state to be supported on ``s = 0`` (the synced
+        invariant between ``D`` applications) — amplitude elsewhere has
+        no home in the plane representation and raises.
+        """
+        sizes = []
+        nus = []
+        for b, s in enumerate(states):
+            if tuple(s.layout.names) != ("i", "s", "w"):
+                raise ValidationError(
+                    f"instance {b}: expected an (i, s, w) layout, got {s.layout!r}"
+                )
+            sizes.append(s.layout.dim("i"))
+            nus.append(s.layout.dim("s") - 1)
+        out = cls(sizes, nus)
+        for b, s in enumerate(states):
+            arr = s.as_array()
+            stray = float(np.linalg.norm(arr[:, 1:, :]))
+            if stray > CONFIG.atol:
+                raise ValidationError(
+                    f"instance {b}: state has amplitude {stray} outside s=0; "
+                    "not a synced-invariant state"
+                )
+            out._a0[b, : sizes[b]] = arr[:, 0, 0]
+            out._a1[b, : sizes[b]] = arr[:, 0, 1]
+        out._expected_norms = out.norms()
+        return out
+
+    # -- unitary mutations -------------------------------------------------------
+
+    def apply_pi_projector_phase(
+        self,
+        phase: complex | np.ndarray,
+        element_reg: str = "i",
+        flag_reg: str = "w",
+    ) -> "StackedSyncedVector":
+        """``S_π(ϕ)`` replicating the per-instance wide-gemm contraction.
+
+        On the ``(i, s, w)`` layout the projector factors leave ``s``
+        free, so the per-instance overlap is column 0 of a
+        ``(1, N) @ (N, ν+1)`` gemm — a different BLAS summation order
+        than the subspace path's narrow dot (they disagree by an ulp).
+        The persistent zero window reproduces the exact same call shape;
+        the ``s ≥ 1`` columns of the per-instance operand hold only
+        signed zeros, which cannot perturb column 0.
+        """
+        require(element_reg == "i" and flag_reg == "w", "stacked registers are (i, s, w)")
+        col = _as_phase_column(phase, self.batch_size)
+        overlaps = np.empty(self.batch_size, dtype=np.complex128)
+        for b, conj in enumerate(self._uniforms_conj):
+            n = int(self._sizes[b])
+            window = self._spi_window(b)
+            window[:, 0] = self._a0[b, :n]
+            overlaps[b] = np.dot(conj, window)[0, 0]
+        correction = (col[:, 0] - 1.0) * overlaps
+        np.multiply(correction[:, None], self._uniform_grid, out=self._scratch)
+        self._a0 += self._scratch
+        return self._after_unitary()
+
+    # -- non-unitary analysis helpers ---------------------------------------------
+
+    def embedded(self, b: int) -> np.ndarray:
+        """Instance ``b`` zero-embedded into its ``(N_b, ν_b+1, 2)`` layout.
+
+        A fresh, exclusively-owned array — the per-instance memory order
+        every synced endpoint contraction (``np.vdot`` fidelity, final
+        state) expects.
+        """
+        n = int(self._sizes[b])
+        out = np.zeros((n, int(self._nus[b]) + 1, 2), dtype=np.complex128)
+        out[:, 0, 0] = self._a0[b, :n]
+        out[:, 0, 1] = self._a1[b, :n]
+        return out
+
+    def extract(self, b: int) -> StateVector:
+        """Instance ``b`` as a standalone dense ``(i, s, w)`` :class:`StateVector`."""
+        out = StateVector.__new__(StateVector)
+        out._layout = RegisterLayout.of(
+            i=int(self._sizes[b]), s=int(self._nus[b]) + 1, w=2
+        )
+        out._amps = self.embedded(b)
+        out._expected_norm = float(self._expected_norms[b])
+        return out
+
+    # -- internals --------------------------------------------------------------
+
+    def _spi_window(self, b: int) -> np.ndarray:
+        window = self._spi_windows.get(b)
+        if window is None:
+            window = np.zeros(
+                (int(self._sizes[b]), int(self._nus[b]) + 1), dtype=np.complex128
+            )
+            self._spi_windows[b] = window
+        return window
+
+    def __repr__(self) -> str:
+        return (
+            f"StackedSyncedVector(B={self.batch_size}, width={self.width}, "
+            f"cells={2 * self._a0.size})"
+        )
+
+
+@register_stacked_backend
+class StackedSyncedBackend(StackedSubspaceBackend):
+    """``B`` dense Lemma 4.4 synced states as one ``(B, N, 2)`` tensor (parallel).
+
+    Reproduces per-instance :class:`~repro.core.backends.SyncedBackend`
+    runs bit for bit.  The synced choreography — value shift, ``U``-block
+    rotation at ``s = c_i``, unshift — reduces on the live cells to the
+    per-element rotation by the Eq. (6) block at ``c_i``, so the rotation
+    tables and the six-pass ``D`` kernel are inherited unchanged from the
+    subspace backend (:func:`~repro.core.distributing.u_rotation_blocks`
+    computes ``√(c/ν)``/``√((ν−c)/ν)`` from the same integer operands).
+    Only the ``S_π`` contraction and the endpoints differ — see
+    :class:`StackedSyncedVector`.
+
+    Like the per-instance path, construction commits to the full
+    ``N(ν+1)·2`` dense layout per instance: an over-cap instance raises
+    the honest :class:`~repro.errors.SimulationLimitError` here exactly
+    where ``_prepared_dense_state`` would, even though the stacked
+    representation itself only allocates the ``(B, N, 2)`` planes.
+    """
+
+    name = "synced"
+    models = ("parallel",)
+
+    def __init__(self, instances: Sequence["ClassInstance"], model: str) -> None:
+        super().__init__(instances, model)
+        for inst in self._instances:
+            CONFIG.require_dense_dimension(inst.universe * (inst.nu + 1) * 2)
+
+    def uniform_state(self) -> StackedSyncedVector:
+        return StackedSyncedVector.uniform(
+            [inst.universe for inst in self._instances],
+            [inst.nu for inst in self._instances],
+        )
+
+    def fidelities(self, state: StackedSyncedVector) -> np.ndarray:
+        """Per-instance ``|⟨ψ_b, 0…0|state_b⟩|²`` on the ``(i, s, w)`` layout.
+
+        Runs :func:`~repro.core.target.fidelity_with_target`'s exact
+        contraction per instance — zero-embedded reference and state,
+        full ``np.vdot`` over the ``N(ν+1)·2`` cells — so batched
+        fidelities equal per-instance ``synced`` ones bit for bit.
+        """
+        out = np.empty(state.batch_size, dtype=np.float64)
+        for b, inst in enumerate(self._instances):
+            counts = inst.joints.astype(np.float64)
+            total = counts.sum()
+            if total <= 0:
+                raise EmptyDatabaseError(
+                    "the joint database is empty; |ψ⟩ is undefined"
+                )
+            reference = np.zeros((inst.universe, inst.nu + 1, 2), dtype=np.complex128)
+            reference[:, 0, 0] = np.sqrt(counts / total).astype(np.complex128)
+            out[b] = abs(complex(np.vdot(reference, state.embedded(b)))) ** 2
+        return out

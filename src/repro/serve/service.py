@@ -54,6 +54,7 @@ from ..batch.backends import (
 )
 from ..batch.driver import DEFAULT_BATCH_SIZE, RowFn, audit_row, default_row
 from ..batch.engine import ClassInstance, cached_plan, execute_class_batch
+from ..config import CONFIG
 from ..core.result import SamplingResult
 from ..database.dynamic import UpdateStream
 from ..database.fault import apply_fault_mask
@@ -61,7 +62,7 @@ from ..errors import ValidationError
 from ..obs.trace import SpanContext, get_tracer, span
 from ..utils.rng import as_generator, spawn_seed
 from .packer import ShapePacker
-from .stats import ServiceStats
+from .stats import ServiceStats, padding_cells
 
 #: Default seconds a request may wait in the packer before a partial flush.
 DEFAULT_FLUSH_DEADLINE = 0.05
@@ -256,14 +257,19 @@ class SamplerService:
         every front-door strategy uses.
     backend:
         The stacked substrate batches execute on: ``"classes"``
-        (default — the ``O(ν)`` compression, any scale),
-        ``"subspace"`` (the ``(B, N, 2)`` dense tensor for
-        small/medium-``N`` sequential traffic), or ``"auto"`` to
-        resolve per request by universe size
-        (:func:`~repro.batch.backends.auto_stacked_backend`).  The
-        packer keys groups by resolved backend, so a mixed-``N`` auto
-        stream packs dense and compressed batches side by side.  Live
-        snapshots run on ``classes`` — an explicit ``"subspace"``
+        (default — the ``O(ν)`` compression, any scale), ``"ragged"``
+        (the CSR class packing: mixed-``ν``, mixed-schedule traffic
+        pools into **one** group per flush instead of one group per
+        shape), ``"subspace"`` / ``"synced"`` (the ``(B, N, 2)`` dense
+        tensors for small/medium-``N`` sequential / parallel traffic),
+        or ``"auto"`` to resolve per request by universe size
+        (:func:`~repro.batch.backends.auto_stacked_backend`); when
+        :attr:`repro.config.NumericsConfig.ragged_fill_threshold` is
+        positive, auto traffic that resolves to ``classes`` pools into
+        the ragged group as well.  The packer keys groups by resolved
+        backend, so a mixed-``N`` auto stream packs dense and
+        compressed batches side by side.  Live snapshots run on the
+        class substrates — an explicit ``"subspace"``/``"synced"``
         service therefore rejects :meth:`submit_live` (the front-door
         planner raises the matching :class:`PlanningError`).
     max_dense_dimension:
@@ -395,14 +401,14 @@ class SamplerService:
         updates keep streaming.  (The first ``class_state()`` call on a
         stream builds the view once; prime it before heavy traffic.)
         """
-        if self._backend not in (AUTO_STACKED_BACKEND, "classes"):
+        if self._backend not in (AUTO_STACKED_BACKEND, "classes", "ragged"):
             # Mirror the front-door planner: a stream snapshot cannot run
             # on an explicitly pinned dense substrate — reject loudly
             # instead of silently substituting classes.
             raise ValidationError(
                 f"backend {self._backend!r} cannot execute a live snapshot; "
-                "live requests run on the 'classes' substrate — construct the "
-                "service with backend='auto' or 'classes'"
+                "live requests run on a class substrate — construct the "
+                "service with backend='auto', 'classes' or 'ragged'"
             )
         db = stream.database
         snapshot = ClassInstance.from_class_state(
@@ -547,10 +553,16 @@ class SamplerService:
     def _prepare_and_pack(self, request: ServedRequest) -> None:
         """Materialize the request; queue it under (backend, schedule shape).
 
-        Live snapshots always run ``classes`` (their substrate);
-        ``backend="auto"`` resolves spec requests per universe size, so
-        a mixed-``N`` stream packs dense and compressed groups side by
-        side without ever mixing representations in one tensor.
+        Live snapshots run a class substrate (``ragged`` on a ragged
+        service, ``classes`` otherwise); ``backend="auto"`` resolves
+        spec requests per universe size, so a mixed-``N`` stream packs
+        dense and compressed groups side by side without ever mixing
+        representations in one tensor.  Class-substrate traffic pools
+        into the single shape-free ragged group when the service is
+        pinned to ``"ragged"`` or the live
+        :attr:`~repro.config.NumericsConfig.ragged_fill_threshold` is
+        positive — mixed shapes then fill one tensor instead of
+        fragmenting across per-shape groups.
         """
         try:
             live = request.spec is None
@@ -563,7 +575,7 @@ class SamplerService:
                     request._instance = ClassInstance.from_db(request.db)
                 plan = cached_plan(request._instance.overlap())
             if live:
-                backend = "classes"
+                backend = "ragged" if self._backend == "ragged" else "classes"
             elif self._backend == AUTO_STACKED_BACKEND:
                 backend = auto_stacked_backend(
                     self._model,
@@ -572,13 +584,26 @@ class SamplerService:
                 )
             else:
                 backend = self._backend
+            if (
+                backend == "classes"
+                and self._backend == AUTO_STACKED_BACKEND
+                and CONFIG.ragged_fill_threshold > 0
+            ):
+                # Mirrors the engine's auto-only reroute: an explicit
+                # "classes" pin keeps its label and per-shape groups.
+                backend = "ragged"
         except BaseException as error:  # bad spec/plan: fail just this request
             request._fail(error)
             _finish_trace(request, error)
             self._stats.record_failure()
             return
         request._backend = backend
-        self._packer.add((backend, plan.grover_reps, plan.needs_final), request)
+        if backend == "ragged":
+            # Mixed schedule shapes execute together under the masked
+            # loop — one pooled group, no per-shape fragmentation.
+            self._packer.add(("ragged", None, None), request)
+        else:
+            self._packer.add((backend, plan.grover_reps, plan.needs_final), request)
 
     def _flush_ready(self) -> None:
         for batch in self._packer.pop_ready():
@@ -597,7 +622,18 @@ class SamplerService:
                 batch=len(batch),
                 trace_ids=[r.trace_ctx.trace_id for r in batch if r.trace_ctx],
             )
-        self._stats.record_batch(len(batch), self._packer.batch_size)
+        backend = batch[0]._backend or "classes"
+        widths = [
+            request._instance.universe
+            if backend in ("subspace", "synced")
+            else request._instance.nu + 1
+            for request in batch
+        ]
+        self._stats.record_batch(
+            len(batch),
+            self._packer.batch_size,
+            padding_cells=padding_cells(backend, widths),
+        )
         self._executor.submit(self._execute_batch, batch)
 
     def _execute_batch(self, batch: list[ServedRequest]) -> None:

@@ -16,7 +16,9 @@ The moving parts:
   determines its schedule shape without building anything) with a stable
   CRC-32, so repeats of one workload shape always land on the same
   shard and its packer fills whole same-shape batches instead of ``1/n``
-  fragments on every shard;
+  fragments on every shard; ragged-pooled class traffic collapses its
+  key to the substrate alone, so a heterogeneous mixed-``ν`` trickle
+  converges on one shard's CSR-packed groups instead of fragmenting;
 * **zero-copy result handoff** — each worker owns a
   :class:`~repro.serve.shm.ShmArena`; finished batches come back as a
   small pickled control message (indices, rows, plain-scalar meta, an
@@ -95,7 +97,7 @@ from .service import (
     _open_trace,
 )
 from .shm import ArenaClient, ShmArena, arrays_nbytes, read_arrays, write_arrays
-from .stats import ServiceStats
+from .stats import ServiceStats, padding_cells
 
 
 def shard_for(affinity_key: str, shards: int) -> int:
@@ -108,6 +110,7 @@ def _affinity(
     label: str,
     backend: str | None,
     fault_mask: tuple[int, ...] | None = None,
+    pooled: bool = False,
 ) -> str:
     """Everything that pins a request's schedule shape, sans building.
 
@@ -118,10 +121,18 @@ def _affinity(
     a shape's whole stream on one shard — its packer then flushes full
     batches where a round-robin split would flush ``1/shards`` fragments
     everywhere.
+
+    ``pooled`` requests (ragged class traffic) drop the recipe and ``ν``
+    from the key: the CSR substrate packs *mixed* shapes into one
+    tensor, so spreading a heterogeneous trickle across shards would
+    only re-fragment what the ragged group exists to pool.  The fault
+    mask stays — degraded topologies still batch apart.
     """
+    mask = "" if fault_mask is None else f"|mask={','.join(map(str, fault_mask))}"
+    if pooled:
+        return f"ragged|{backend}{mask}"
     if spec is None:
         return f"live:{label}:{backend}"
-    mask = "" if fault_mask is None else f"|mask={','.join(map(str, fault_mask))}"
     return f"{spec.label()}|{spec.strategy}|{spec.nu}|{backend}{mask}"
 
 
@@ -183,7 +194,9 @@ def _worker_prepare(work: _Work, config: dict) -> tuple:
             tracer.finish(build_span)
     plan = cached_plan(work.instance.overlap())
     if work.spec is None:
-        backend = "classes"  # live snapshots' substrate
+        # Live snapshots' substrate: class-compressed, ragged on a
+        # ragged service.
+        backend = "ragged" if config["backend"] == "ragged" else "classes"
     elif config["backend"] == AUTO_STACKED_BACKEND:
         backend = auto_stacked_backend(
             config["model"],
@@ -192,7 +205,12 @@ def _worker_prepare(work: _Work, config: dict) -> tuple:
         )
     else:
         backend = config["backend"]
+    if backend == "classes" and config.get("ragged_pooling"):
+        backend = "ragged"
     work.backend = backend
+    if backend == "ragged":
+        # One shape-free pooled group: mixed schedules run the masked loop.
+        return ("ragged", None, None)
     return (backend, plan.grover_reps, plan.needs_final)
 
 
@@ -234,6 +252,7 @@ def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> 
             include_probabilities=config["include_probabilities"],
             skip_zero_capacity=config["skip_zero_capacity"],
             backend=batch[0].backend,
+            request_ids=[work.index for work in batch],
         )
     except BaseException as error:
         if exec_span is not None:
@@ -269,7 +288,13 @@ def _worker_execute(conn, arena: ShmArena, config: dict, batch: list[_Work]) -> 
     )
     block = None
     try:
-        meta, arrays = pack_group_results([result for _, result, _ in shipped])
+        # A ragged group crosses the arena as the same CSR planes it
+        # executed in: one values plane, one multiplicity plane, one
+        # offsets array — not 2B per-instance fragments.
+        meta, arrays = pack_group_results(
+            [result for _, result, _ in shipped],
+            ragged=batch[0].backend == "ragged",
+        )
         block = arena.alloc(arrays_nbytes(arrays))
     except ValidationError:
         meta = None  # unmarshalable substrate: whole-result pickle below
@@ -425,6 +450,15 @@ class ShardedSamplerService:
             "skip_zero_capacity": skip,
             "backend": backend,
             "max_dense_dimension": max_dense_dimension,
+            # Captured at construction (workers fork with it): pool class
+            # traffic into shape-free ragged groups when the service is
+            # pinned to "ragged", or on "auto" when the live config's
+            # ragged_fill_threshold opts heterogeneous packing in.
+            "ragged_pooling": backend == "ragged"
+            or (
+                backend == AUTO_STACKED_BACKEND
+                and CONFIG.ragged_fill_threshold > 0
+            ),
             "row_fn": row_fn,
             "arena_bytes": (
                 CONFIG.shard_arena_bytes if arena_bytes is None else arena_bytes
@@ -531,11 +565,11 @@ class ShardedSamplerService:
         marshalling is off the hot path; only results come back through
         shared memory.
         """
-        if self._backend not in (AUTO_STACKED_BACKEND, "classes"):
+        if self._backend not in (AUTO_STACKED_BACKEND, "classes", "ragged"):
             raise ValidationError(
                 f"backend {self._backend!r} cannot execute a live snapshot; "
-                "live requests run on the 'classes' substrate — construct the "
-                "service with backend='auto' or 'classes'"
+                "live requests run on a class substrate — construct the "
+                "service with backend='auto', 'classes' or 'ragged'"
             )
         db = stream.database
         snapshot = ClassInstance.from_class_state(
@@ -561,7 +595,11 @@ class ShardedSamplerService:
     def _route(self, request: ServedRequest, instance, retries: int = 0) -> None:
         shard_id = shard_for(
             _affinity(
-                request.spec, request.label, self._backend, request.fault_mask
+                request.spec,
+                request.label,
+                self._backend,
+                request.fault_mask,
+                pooled=self._would_pool(request),
             ),
             self._n_shards,
         )
@@ -586,6 +624,30 @@ class ShardedSamplerService:
             shard.send(message)
         self.recorder.record(
             "route", index=request.index, shard=shard_id, retries=retries
+        )
+
+    def _would_pool(self, request: ServedRequest) -> bool:
+        """Whether this request lands in the shape-free ragged pool.
+
+        Mirrors the worker's substrate resolution without building
+        anything: the spec's declared universe decides the auto route
+        (unknown-universe recipes pool conservatively — the worker still
+        resolves them correctly; only the shard choice is heuristic).
+        """
+        if not self._config["ragged_pooling"]:
+            return False
+        if self._backend == "ragged" or request.spec is None:
+            return True
+        universe = dict(request.spec.workload.params).get("universe")
+        if universe is None:
+            return True
+        return (
+            auto_stacked_backend(
+                self._model,
+                int(universe),  # type: ignore[call-overload]
+                max_dense_dimension=self._config["max_dense_dimension"],
+            )
+            == "classes"
         )
 
     # -- results & telemetry ------------------------------------------------------
@@ -751,7 +813,16 @@ class ShardedSamplerService:
                 self._done.notify_all()
 
     def _fulfill(self, shard_id, shard, entries, results, size) -> None:
-        self._shard_stats[shard_id].record_batch(size, self._batch_size)
+        backend = results[0].backend if results else "classes"
+        widths = [
+            int(result.public_parameters["N"])
+            if backend in ("subspace", "synced")
+            else int(result.public_parameters["nu"]) + 1
+            for result in results
+        ]
+        self._shard_stats[shard_id].record_batch(
+            size, self._batch_size, padding_cells=padding_cells(backend, widths)
+        )
         completed_at = self._clock()
         for (index, row), result in zip(entries, results):
             with self._done:

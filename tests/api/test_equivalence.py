@@ -104,7 +104,7 @@ class TestStackedStrategy:
         assert set(results.strategies()) == {"stacked"}
         # backend="auto" applies the same stacked-substrate rule the
         # planner does (subspace for these small-N sequential specs,
-        # classes for parallel), so rows stay bit-identical.
+        # synced for parallel), so rows stay bit-identical.
         legacy = run_batched(specs, model=model, rng=7, batch_size=4, backend="auto")
         assert_rows_identical(results.rows(), legacy.rows)
 

@@ -95,13 +95,13 @@ class TestAutoStrategy:
         assert set(plan.strategies()) == {"stacked"}
         assert set(plan.backends()) == {"classes"}
 
-    def test_parallel_groups_stack_on_classes(self, planner):
-        """No parallel-model dense stack is registered: classes it is."""
+    def test_parallel_groups_stack_on_synced(self, planner):
+        """Parallel dense-eligible groups ride the (B, N, 2) synced stack."""
         plan = planner.plan_many(
             [spec_request(model="parallel") for _ in range(STACK_THRESHOLD)]
         )
         assert set(plan.strategies()) == {"stacked"}
-        assert set(plan.backends()) == {"classes"}
+        assert set(plan.backends()) == {"synced"}
 
     def test_max_dense_dimension_override_forces_classes(self, planner):
         """The per-request cap: 2N over the override → the dense stack
@@ -157,11 +157,16 @@ class TestAutoStrategy:
             [spec_request(backend="oracles") for _ in range(STACK_THRESHOLD)]
         )
         assert set(plan.strategies()) == {"instance"}
+
+    def test_explicit_synced_backend_stacks(self, planner):
+        """synced is a stacked substrate now — an explicit choice keeps
+        the (B, N, 2) parallel layout and still batches."""
         synced = planner.plan_many(
             [spec_request(model="parallel", backend="synced")
              for _ in range(STACK_THRESHOLD)]
         )
-        assert set(synced.strategies()) == {"instance"}
+        assert set(synced.strategies()) == {"stacked"}
+        assert set(synced.backends()) == {"synced"}
 
     def test_heterogeneous_models_bucket_separately(self, planner):
         requests = [spec_request() for _ in range(STACK_THRESHOLD)] + [

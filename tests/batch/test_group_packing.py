@@ -116,6 +116,53 @@ class TestExecuteGroupLocal:
         with pytest.raises(ValidationError, match="schedule-shape"):
             execute_group_local(instances, model="sequential", backend="classes")
 
+    def test_mixed_shapes_error_names_request_id(self):
+        # Satellite (b): with request ids the error blames the request,
+        # not an opaque batch index.
+        rng = as_generator(13)
+        instances = [ClassInstance.from_db(random_database(rng)) for _ in range(12)]
+        shapes = [
+            (p.grover_reps, p.needs_final)
+            for p in (cached_plan(i.overlap()) for i in instances)
+        ]
+        offender = next(b for b, s in enumerate(shapes) if s != shapes[0])
+        ids = [f"req-{b:03d}" for b in range(len(instances))]
+        with pytest.raises(ValidationError, match=f"request 'req-{offender:03d}'"):
+            execute_group_local(
+                instances, model="sequential", backend="classes", request_ids=ids
+            )
+
+    @pytest.mark.parametrize("model", ["sequential", "parallel"])
+    def test_ragged_group_accepts_mixed_shapes(self, model):
+        # The same seed the rejection test uses: on the ragged backend the
+        # mixed-shape group runs, and every row is bit-identical to that
+        # instance's own single-instance stacked-classes execution.
+        rng = as_generator(13)
+        instances = [ClassInstance.from_db(random_database(rng)) for _ in range(8)]
+        shapes = {
+            (p.grover_reps, p.needs_final)
+            for p in (cached_plan(i.overlap()) for i in instances)
+        }
+        assert len(shapes) > 1
+        results = execute_group_local(
+            instances, model=model, include_probabilities=True, backend="ragged"
+        )
+        for inst, ours in zip(instances, results):
+            [ref] = execute_group_local(
+                [inst], model=model, include_probabilities=True, backend="classes"
+            )
+            assert ours.backend == "ragged"
+            assert ours.fidelity == ref.fidelity
+            np.testing.assert_array_equal(
+                ours.output_probabilities, ref.output_probabilities
+            )
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )
+            assert ours.ledger.summary() == ref.ledger.summary()
+            assert ours.schedule.fingerprint() == ref.schedule.fingerprint()
+
     def test_auto_backend_rejected(self):
         rng = as_generator(3)
         instances = shape_group(rng, 2)
@@ -166,6 +213,75 @@ class TestPackUnpack:
                 ours.final_state.as_array(), ref.final_state.as_array()
             )
             assert tuple(ours.final_state.layout.names) == ("i", "w")
+
+    @pytest.mark.parametrize("model", ["sequential", "parallel"])
+    def test_ragged_round_trip(self, model):
+        # CSR wire format: one shared offsets/sizes/values plane instead
+        # of per-instance class arrays.
+        rng = as_generator(37)
+        instances = [ClassInstance.from_db(random_database(rng)) for _ in range(5)]
+        original = execute_group_local(
+            instances, model=model, include_probabilities=True, backend="ragged"
+        )
+        meta, arrays = pack_group_results(original, ragged=True)
+        assert {"ro", "rcs", "rv"} <= set(arrays)
+        assert not any(k.startswith(("cs", "amps")) for k in arrays)
+        assert arrays["ro"].dtype == np.int64 and arrays["ro"].size == 6
+        assert arrays["ro"][-1] == arrays["rv"].shape[0] == arrays["rcs"].shape[0]
+        rebuilt = unpack_group_results(meta, arrays, model, False)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )
+
+    def test_synced_round_trip_preserves_layout(self):
+        # The parallel dense state carries an (i, s, w) layout; the wire
+        # format must rebuild it, not fall back to the (i, w) default.
+        rng = as_generator(41)
+        instances = shape_group(rng, 3, "parallel")
+        original = execute_group_local(
+            instances, model="parallel", include_probabilities=True,
+            backend="synced",
+        )
+        meta, arrays = pack_group_results(original)
+        rebuilt = unpack_group_results(meta, arrays, "parallel", False)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            assert tuple(ours.final_state.layout.names) == tuple(
+                ref.final_state.layout.names
+            )
+            np.testing.assert_array_equal(
+                ours.final_state.as_array(), ref.final_state.as_array()
+            )
+
+    def test_ragged_round_trip_through_shared_memory(self):
+        # The CSR planes (including the int64 offsets) over the real shm
+        # wire, mixed schedule shapes included.
+        rng = as_generator(43)
+        instances = [ClassInstance.from_db(random_database(rng)) for _ in range(6)]
+        original = execute_group_local(
+            instances, model="sequential", include_probabilities=True,
+            backend="ragged",
+        )
+        meta, arrays = pack_group_results(original, ragged=True)
+        client = ArenaClient()
+        with ShmArena("ragged-roundtrip", 1 << 20) as arena:
+            block = arena.alloc(arrays_nbytes(arrays))
+            layout = write_arrays(arena.payload(block), arrays)
+            try:
+                views = read_arrays(client.view(block), layout)
+                rebuilt = unpack_group_results(meta, views, "sequential", False)
+            finally:
+                client.detach_all()
+            arena.free(block)
+        assert_results_match(rebuilt, original)
+        for ours, ref in zip(rebuilt, original):
+            np.testing.assert_array_equal(
+                ours.final_state.class_amplitudes(),
+                ref.final_state.class_amplitudes(),
+            )
 
     def test_skip_zero_capacity_restriction_survives(self):
         # A database with an empty machine: the reconstructed ledger and

@@ -16,7 +16,7 @@ from repro.batch import (
     stacked_backend_names,
 )
 from repro.config import CONFIG, strict_mode
-from repro.core import SequentialSampler
+from repro.core import ParallelSampler, SequentialSampler
 from repro.database import DistributedDatabase
 from repro.errors import SimulationLimitError, ValidationError
 from repro.utils.rng import as_generator
@@ -37,7 +37,7 @@ def random_database(rng: np.random.Generator, universe: int | None = None) -> Di
     return DistributedDatabase.from_count_matrix(counts, nu=nu)
 
 
-def assert_bit_identical(result, reference):
+def assert_bit_identical(result, reference, backend="subspace"):
     """Every float the row carries — and the full state — matches with ==."""
     assert result.fidelity == reference.fidelity
     assert (result.output_probabilities == reference.output_probabilities).all()
@@ -46,7 +46,7 @@ def assert_bit_identical(result, reference):
     assert result.ledger.per_machine() == reference.ledger.per_machine()
     assert result.schedule.fingerprint() == reference.schedule.fingerprint()
     assert result.plan == reference.plan
-    assert result.backend == "subspace"
+    assert result.backend == backend
 
 
 class TestBitIdentity:
@@ -103,13 +103,59 @@ class TestBitIdentity:
         assert result.exact
 
 
+class TestSyncedBitIdentity:
+    """The (B, N, 2) synced-layout stack vs per-instance ParallelSampler."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_grid_matches_per_instance_synced(self, seed):
+        rng = as_generator(4000 * seed)
+        dbs = [random_database(rng) for _ in range(7)]
+        batched = execute_sampling_batch(dbs, model="parallel", backend="synced")
+        for db, result in zip(dbs, batched):
+            reference = ParallelSampler(db, backend="synced").run()
+            assert_bit_identical(result, reference, backend="synced")
+
+    def test_mixed_universes_pad_inertly(self):
+        rng = as_generator(101)
+        dbs = [random_database(rng, universe=u) for u in (17, 64, 40, 64, 128)]
+        batched = execute_sampling_batch(dbs, model="parallel", backend="synced")
+        for db, result in zip(dbs, batched):
+            reference = ParallelSampler(db, backend="synced").run()
+            assert_bit_identical(result, reference, backend="synced")
+
+    def test_final_state_layout_is_synced(self):
+        rng = as_generator(103)
+        [result] = execute_sampling_batch(
+            [random_database(rng, universe=32)], model="parallel", backend="synced"
+        )
+        assert tuple(result.final_state.layout.names) == ("i", "s", "w")
+
+    def test_strict_mode_run_stays_exact(self):
+        rng = as_generator(105)
+        dbs = [random_database(rng) for _ in range(3)]
+        with strict_mode():
+            results = execute_sampling_batch(dbs, model="parallel", backend="synced")
+        assert all(r.exact for r in results)
+
+    def test_sequential_model_rejects_synced(self):
+        with pytest.raises(ValidationError, match="unknown stacked backend"):
+            execute_sampling_batch(
+                [random_database(as_generator(0))],
+                model="sequential",
+                backend="synced",
+            )
+
+
 class TestAutoResolution:
     def test_auto_picks_subspace_below_threshold(self):
         assert auto_stacked_backend("sequential", 64) == "subspace"
         assert auto_stacked_backend("sequential", CONFIG.classes_universe_threshold) == (
             "classes"
         )
-        assert auto_stacked_backend("parallel", 64) == "classes"
+        assert auto_stacked_backend("parallel", 64) == "synced"
+        assert auto_stacked_backend("parallel", CONFIG.classes_universe_threshold) == (
+            "classes"
+        )
 
     def test_auto_respects_dense_cap_override(self):
         assert auto_stacked_backend("sequential", 64, max_dense_dimension=64) == (
@@ -137,7 +183,7 @@ class TestAutoResolution:
 
     def test_registry_names(self):
         assert "subspace" in stacked_backend_names("sequential")
-        assert stacked_backend_names("parallel") == ("classes",)
+        assert stacked_backend_names("parallel") == ("classes", "ragged", "synced")
         with pytest.raises(ValidationError, match="unknown stacked backend"):
             execute_sampling_batch(
                 [random_database(as_generator(0))],

@@ -4,7 +4,7 @@ import threading
 
 import repro.serve.stats as stats_module
 from repro.serve import ServiceStats
-from repro.serve.stats import percentile
+from repro.serve.stats import padding_cells, percentile
 
 
 class FakeClock:
@@ -104,6 +104,31 @@ class TestCounters:
         assert snap["fill_p10"] == 0.1
         assert snap["batch_fill_ratio"] == 164 / 200
 
+    def test_fill_percentiles_expose_the_distribution(self):
+        stats = ServiceStats(clock=FakeClock())
+        for fill in (2, 4, 6, 8, 10):
+            stats.record_batch(fill, target=10)
+        snap = stats.snapshot()
+        assert snap["fill_p10"] == 0.2
+        assert snap["fill_p50"] == 0.6
+        assert snap["fill_p90"] == 1.0
+
+    def test_padding_cells_accumulate_across_batches(self):
+        stats = ServiceStats(clock=FakeClock())
+        stats.record_batch(3, target=4, padding_cells=7)
+        stats.record_batch(4, target=4, padding_cells=0)
+        stats.record_batch(2, target=4, padding_cells=5)
+        assert stats.snapshot()["padding_cells"] == 12
+
+    def test_padding_cells_helper(self):
+        # B·max(w) − Σw on the padded substrates; identically zero for
+        # ragged (no padded cells exist) and for empty batches.
+        assert padding_cells("classes", [5, 3, 5, 2]) == 5
+        assert padding_cells("subspace", [64, 64]) == 0
+        assert padding_cells("synced", [128, 17]) == 111
+        assert padding_cells("ragged", [5, 3, 5, 2]) == 0
+        assert padding_cells("classes", []) == 0
+
     def test_failures_reduce_queue_depth(self):
         stats = ServiceStats(clock=FakeClock())
         stats.record_submit()
@@ -128,8 +153,8 @@ class TestAggregate:
         clock_b.now = 1.0
         b.record_submit()
         b.record_submit()
-        a.record_batch(4, target=8)
-        b.record_batch(8, target=8)
+        a.record_batch(4, target=8, padding_cells=3)
+        b.record_batch(8, target=8, padding_cells=4)
         clock_a.now = 2.0
         a.record_complete(0.5, FakeResult(sequential_queries=6))
         clock_b.now = 4.0  # the tier's busy span ends here
@@ -143,6 +168,7 @@ class TestAggregate:
         assert view["exact"] == 1
         assert view["batches_executed"] == 2
         assert view["batch_fill_ratio"] == 12 / 16
+        assert view["padding_cells"] == 7
         assert view["sequential_queries"] == 10
         # span: earliest first submit (t=0, shard a) → latest completion
         # (t=4, shard b) → 2 completions / 4 s.

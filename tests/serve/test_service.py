@@ -276,6 +276,99 @@ class TestStackedDenseServing:
             service.close()
 
 
+def mixed_nu_specs():
+    """Eight specs over four total-count regimes → heterogeneous ν and
+    at least two schedule shapes (the padded path's worst case)."""
+    return [
+        InstanceSpec(
+            workload=WorkloadSpec.of("zipf", universe=64, total=6 * (k % 4 + 1)),
+            n_machines=2 + k % 2,
+            tag=f"m{k}",
+        )
+        for k in range(8)
+    ]
+
+
+class TestRaggedServing:
+    def test_ragged_rows_match_run_batched(self):
+        specs = mixed_nu_specs()
+        with SamplerService(
+            backend="ragged", rng=7, batch_size=4, flush_deadline=0.01
+        ) as service:
+            for spec in specs:
+                service.submit(spec)
+            rows = service.rows()
+        reference = run_batched(specs, rng=7, batch_size=4, backend="ragged")
+        assert_rows_equivalent(rows, reference.rows)
+        assert all(row["backend"] == "ragged" for row in rows)
+
+    def test_mixed_shapes_pool_into_one_csr_batch(self):
+        """Where the classes service splits per shape (see
+        TestShapeRepacking), the ragged service drains everything as ONE
+        zero-padding batch."""
+        specs = mixed_nu_specs()
+        service = SamplerService(
+            backend="ragged", rng=11, batch_size=64, flush_deadline=30.0
+        )
+        for spec in specs:
+            service.submit(spec)
+        service.close(drain=True)
+        telemetry = service.telemetry()
+        assert telemetry["batches_executed"] == 1
+        assert telemetry["padding_cells"] == 0
+        assert telemetry["completed"] == len(specs)
+        assert telemetry["exact"] == len(specs)
+
+    def test_classes_service_reports_padding_on_the_same_stream(self):
+        """The contrast stat: the padded path charges ν-heterogeneity as
+        padding_cells > 0 — the signal to switch the tier to ragged."""
+        specs = mixed_nu_specs()
+        service = SamplerService(rng=11, batch_size=64, flush_deadline=30.0)
+        for spec in specs:
+            service.submit(spec)
+        service.close(drain=True)
+        telemetry = service.telemetry()
+        assert telemetry["batches_executed"] >= 2  # per-shape groups
+        assert telemetry["padding_cells"] > 0
+
+    def test_auto_service_pools_onto_ragged_when_threshold_armed(self):
+        from repro.config import CONFIG
+
+        universe = CONFIG.classes_universe_threshold  # auto resolves to classes
+        specs = [
+            InstanceSpec(
+                workload=WorkloadSpec.of("zipf", universe=universe, total=6 * (k + 1)),
+                n_machines=2,
+                tag=f"a{k}",
+            )
+            for k in range(4)
+        ]
+        before = CONFIG.ragged_fill_threshold
+        CONFIG.ragged_fill_threshold = 0.95
+        try:
+            with SamplerService(
+                backend="auto", rng=13, batch_size=4, flush_deadline=0.01
+            ) as service:
+                futures = [service.submit(spec) for spec in specs]
+                results = [f.result(timeout=WAIT) for f in futures]
+        finally:
+            CONFIG.ragged_fill_threshold = before
+        assert all(r.backend == "ragged" for r in results)
+        assert all(r.exact for r in results)
+
+    def test_live_requests_allowed_on_ragged(self):
+        db = round_robin(zipf_dataset(64, 12, exponent=1.2, rng=3), n_machines=3)
+        stream = random_update_stream(db, 5, rng=5)
+        stream.class_state()
+        with SamplerService(
+            backend="ragged", rng=1, batch_size=2, flush_deadline=0.01
+        ) as service:
+            row = service.submit_live(stream, label="live-ragged").row()
+        assert row["label"] == "live-ragged"
+        assert row["backend"] == "ragged"
+        assert row["exact"] is True
+
+
 class TestDynamicServing:
     def _stream(self, rng=0):
         db = round_robin(zipf_dataset(128, 48, exponent=1.2, rng=rng), n_machines=3)

@@ -102,6 +102,70 @@ class TestEquivalence:
         assert all(r.exact for r in results)
 
 
+class TestRaggedSharding:
+    def mixed_nu_specs(self):
+        return [
+            InstanceSpec(
+                workload=WorkloadSpec.of(
+                    "zipf", universe=64, total=6 * (k % 4 + 1)
+                ),
+                n_machines=2 + k % 2,
+                tag=f"m{k}",
+            )
+            for k in range(12)
+        ]
+
+    def test_pooled_affinity_ignores_spec_shape(self):
+        # Heterogeneous recipes must converge on one shard when pooled —
+        # otherwise a trickle of mixed-ν requests fragments across shards
+        # and no ragged batch ever fills.
+        key_a = _affinity(spec_of(universe=64, tag="a"), "a", "ragged", pooled=True)
+        key_b = _affinity(spec_of(universe=256, tag="b"), "b", "ragged", pooled=True)
+        assert key_a == key_b
+        assert key_a != _affinity(spec_of(universe=64, tag="a"), "a", "ragged")
+        # the fault-profile mask still partitions the pool
+        masked = _affinity(
+            spec_of(), "a", "ragged", fault_mask=(1,), pooled=True
+        )
+        assert masked != key_a
+
+    def test_ragged_rows_match_unsharded(self):
+        specs = self.mixed_nu_specs()
+        with SamplerService(
+            backend="ragged", rng=42, flush_deadline=0.01
+        ) as plain:
+            plain_rows = [plain.submit(s).row() for s in specs]
+
+        with ShardedSamplerService(
+            shards=2, backend="ragged", rng=42, flush_deadline=0.01
+        ) as tier:
+            futures = [tier.submit(s) for s in specs]
+            rows = [f.row() for f in futures]
+            telemetry = tier.telemetry()
+
+        for ours, ref in zip(rows, plain_rows):
+            assert ours["label"] == ref["label"]
+            assert ours["backend"] == "ragged"
+            assert ours["exact"] == ref["exact"]
+            assert ours["fidelity"] == pytest.approx(ref["fidelity"], abs=1e-12)
+            assert ours["sequential_queries"] == ref["sequential_queries"]
+        assert telemetry["completed"] == len(specs)
+        # CSR batches cross the shm wire with zero padding
+        assert telemetry["padding_cells"] == 0
+        assert telemetry["shm_batches"] >= 1
+
+    def test_live_allowed_on_ragged_tier(self):
+        db = round_robin(zipf_dataset(64, 12, exponent=1.2, rng=3), n_machines=3)
+        stream = random_update_stream(db, 5, rng=5)
+        stream.class_state()
+        with ShardedSamplerService(
+            shards=2, backend="ragged", rng=1, flush_deadline=0.01
+        ) as tier:
+            result = tier.submit_live(stream).result(timeout=30)
+        assert result.exact
+        assert result.backend == "ragged"
+
+
 class TestLifecycle:
     def test_submit_after_close_raises(self):
         tier = ShardedSamplerService(shards=1, rng=0)

@@ -118,6 +118,78 @@ class TestCompareMatrixPayloads:
         assert "E27" in compare_results.DEFAULT_EXPERIMENTS
 
 
+def fill_payload(fills, column="batch_fill_ratio"):
+    return {
+        "trajectory": [
+            {"scenario": name, column: fill} for name, fill in fills.items()
+        ]
+    }
+
+
+class TestFillAndRaggedColumns:
+    def test_fills_are_extracted(self):
+        fills = compare_results.extract_fills(
+            fill_payload({"served-full-load": 0.95})
+        )
+        assert fills == {"served-full-load|batch_fill_ratio": 0.95}
+
+    def test_ragged_fill_column_is_extracted(self):
+        fills = compare_results.extract_fills(
+            fill_payload({"ragged/mixed-nu": 1.0}, column="ragged_fill")
+        )
+        assert fills == {"ragged/mixed-nu|ragged_fill": 1.0}
+
+    def test_fill_drop_past_threshold_warns(self):
+        base = fill_payload({"served": 1.0})
+        cur = fill_payload({"served": 0.5})  # the fragmentation regression
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1
+        assert "fill-ratio regression" in warnings[0] and "served" in warnings[0]
+
+    def test_fill_drop_within_threshold_is_quiet(self):
+        base = fill_payload({"served": 1.0})
+        cur = fill_payload({"served": 0.85})  # -15% < 20%
+        assert compare_results.compare_payloads(base, cur) == []
+
+    def test_fill_missing_from_current_is_not_flagged(self):
+        # older current runs may predate the column
+        base = fill_payload({"served": 1.0})
+        assert compare_results.compare_payloads(base, {"trajectory": []}) == []
+
+    def test_ragged_metrics_are_extracted(self):
+        block = {
+            "ragged_trickle": {
+                "ragged_rate": 4000.0,
+                "speedup": 2.5,
+                "trickle_fill_ragged": 0.97,
+                "padded_rate": 1600.0,  # baseline column: not a gate, not diffed
+            }
+        }
+        metrics = compare_results.extract_ragged_metrics(block)
+        assert metrics == {
+            "ragged_trickle.ragged_rate": 4000.0,
+            "ragged_trickle.speedup": 2.5,
+            "ragged_trickle.trickle_fill_ragged": 0.97,
+        }
+
+    def test_ragged_rate_drop_warns(self):
+        base = {"ragged_trickle": {"ragged_rate": 4000.0, "speedup": 2.5}}
+        cur = {"ragged_trickle": {"ragged_rate": 2000.0, "speedup": 2.4}}
+        warnings = compare_results.compare_payloads(base, cur)
+        assert len(warnings) == 1
+        assert "ragged-metric regression" in warnings[0]
+        assert "ragged_trickle.ragged_rate" in warnings[0]
+
+    def test_family_rows_get_stable_identities(self):
+        # E23 trajectory rows key by family + model/backend cells
+        row = {"family": "ragged/mixed-nu/N2048", "model": "parallel",
+               "backend": "ragged", "ragged_fill": 1.0}
+        fills = compare_results.extract_fills({"trajectory": [row]})
+        [key] = fills
+        assert "ragged/mixed-nu/N2048" in key
+        assert "model=parallel" in key and "backend=ragged" in key
+
+
 def span_payload(p99s):
     """A payload shaped like the traced E24/E26 smokes' ``"spans"`` key."""
     return {
